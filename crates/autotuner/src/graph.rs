@@ -1,0 +1,149 @@
+//! The concurrent directed-graph interface used by the evaluation (§6.2)
+//! and its implementation on top of synthesized relations.
+//!
+//! The benchmark fixes the graph relational specification `{src, dst,
+//! weight}` with `src, dst → weight` and four operations: find successors,
+//! find predecessors, insert edge, remove edge.
+
+use std::sync::Arc;
+
+use relc::{ConcurrentRelation, CoreError};
+use relc_spec::{ColumnSet, Tuple, Value};
+
+/// The four §6.2 graph operations, implementable by synthesized relations
+/// and by hand-written baselines alike.
+pub trait GraphOps: Send + Sync {
+    /// All `(dst, weight)` pairs for edges leaving `src`.
+    fn find_successors(&self, src: i64) -> Vec<(i64, i64)>;
+    /// All `(src, weight)` pairs for edges entering `dst`.
+    fn find_predecessors(&self, dst: i64) -> Vec<(i64, i64)>;
+    /// Put-if-absent insertion of `(src, dst, weight)`; returns whether the
+    /// edge was inserted (§2's compare-and-set `insert`).
+    fn insert_edge(&self, src: i64, dst: i64, weight: i64) -> bool;
+    /// Removes the edge `(src, dst)` if present; returns whether it existed.
+    fn remove_edge(&self, src: i64, dst: i64) -> bool;
+    /// Number of edges (quiescent).
+    fn edge_count(&self) -> usize;
+}
+
+/// A [`GraphOps`] implementation backed by a synthesized
+/// [`ConcurrentRelation`].
+#[derive(Debug)]
+pub struct RelationGraph {
+    rel: Arc<ConcurrentRelation>,
+    dw: ColumnSet,
+    sw: ColumnSet,
+    src_col: relc_spec::ColumnId,
+    dst_col: relc_spec::ColumnId,
+    weight_col: relc_spec::ColumnId,
+}
+
+impl RelationGraph {
+    /// Wraps a relation over the graph schema.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Spec`] if the relation's schema is not the graph schema.
+    pub fn new(rel: Arc<ConcurrentRelation>) -> Result<Self, CoreError> {
+        let schema = rel.schema().clone();
+        Ok(RelationGraph {
+            dw: schema.column_set(&["dst", "weight"])?,
+            sw: schema.column_set(&["src", "weight"])?,
+            src_col: schema.column("src")?,
+            dst_col: schema.column("dst")?,
+            weight_col: schema.column("weight")?,
+            rel,
+        })
+    }
+
+    /// The underlying relation.
+    pub fn relation(&self) -> &Arc<ConcurrentRelation> {
+        &self.rel
+    }
+
+    fn key(&self, src: i64, dst: i64) -> Tuple {
+        Tuple::from_pairs([
+            (self.src_col, Value::from(src)),
+            (self.dst_col, Value::from(dst)),
+        ])
+    }
+}
+
+impl GraphOps for RelationGraph {
+    fn find_successors(&self, src: i64) -> Vec<(i64, i64)> {
+        let pat = Tuple::from_pairs([(self.src_col, Value::from(src))]);
+        self.rel
+            .query(&pat, self.dw)
+            .expect("successor query is plannable for benchmark variants")
+            .into_iter()
+            .map(|t| {
+                (
+                    t.get(self.dst_col).and_then(Value::as_int).expect("dst"),
+                    t.get(self.weight_col).and_then(Value::as_int).expect("weight"),
+                )
+            })
+            .collect()
+    }
+
+    fn find_predecessors(&self, dst: i64) -> Vec<(i64, i64)> {
+        let pat = Tuple::from_pairs([(self.dst_col, Value::from(dst))]);
+        self.rel
+            .query(&pat, self.sw)
+            .expect("predecessor query is plannable for benchmark variants")
+            .into_iter()
+            .map(|t| {
+                (
+                    t.get(self.src_col).and_then(Value::as_int).expect("src"),
+                    t.get(self.weight_col).and_then(Value::as_int).expect("weight"),
+                )
+            })
+            .collect()
+    }
+
+    fn insert_edge(&self, src: i64, dst: i64, weight: i64) -> bool {
+        let payload = Tuple::from_pairs([(self.weight_col, Value::from(weight))]);
+        self.rel
+            .insert(&self.key(src, dst), &payload)
+            .expect("insert is plannable for benchmark variants")
+    }
+
+    fn remove_edge(&self, src: i64, dst: i64) -> bool {
+        self.rel
+            .remove(&self.key(src, dst))
+            .expect("remove is plannable for benchmark variants")
+            > 0
+    }
+
+    fn edge_count(&self) -> usize {
+        self.rel.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relc::decomp::library::split;
+    use relc::placement::LockPlacement;
+    use relc_containers::ContainerKind;
+
+    #[test]
+    fn graph_ops_roundtrip() {
+        let d = split(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap);
+        let p = LockPlacement::fine(&d).unwrap();
+        let rel = Arc::new(ConcurrentRelation::new(d, p).unwrap());
+        let g = RelationGraph::new(rel).unwrap();
+        assert!(g.insert_edge(1, 2, 42));
+        assert!(!g.insert_edge(1, 2, 99), "put-if-absent");
+        assert!(g.insert_edge(1, 3, 7));
+        assert!(g.insert_edge(4, 2, 1));
+        let mut succ = g.find_successors(1);
+        succ.sort_unstable();
+        assert_eq!(succ, vec![(2, 42), (3, 7)]);
+        let mut pred = g.find_predecessors(2);
+        pred.sort_unstable();
+        assert_eq!(pred, vec![(1, 42), (4, 1)]);
+        assert!(g.remove_edge(1, 2));
+        assert!(!g.remove_edge(1, 2));
+        assert_eq!(g.edge_count(), 2);
+    }
+}

@@ -1,0 +1,43 @@
+//! # relc-autotune — the autotuner of §6.1
+//!
+//! "A programmer may not know the best possible representation for a
+//! concurrent relation. To help find an optimal decomposition ... we have
+//! implemented an autotuner which, given a concurrent benchmark,
+//! automatically discovers the best combination of decomposition structure,
+//! container data structures, and choice of lock placement."
+//!
+//! This crate provides:
+//!
+//! * [`graph`] — the §6.2 four-operation concurrent graph interface
+//!   ([`graph::GraphOps`]) and its synthesized implementation;
+//! * [`workload`] — the Herlihy-style `k`-thread random-operation
+//!   throughput benchmark with the paper's Figure 5 operation mixes;
+//! * [`candidates`] — the search space (3 structures × container menu ×
+//!   placement families × stripe factors), validity- and
+//!   consistency-filtered per §6.1;
+//! * [`tuner`] — measurement and ranking.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use relc_autotune::candidates::enumerate;
+//! use relc_autotune::tuner::autotune;
+//! use relc_autotune::workload::{WorkloadConfig, FIGURE5_MIXES};
+//!
+//! let space = enumerate(&[1, 1024]);
+//! let cfg = WorkloadConfig { mix: FIGURE5_MIXES[1], ..Default::default() };
+//! let report = autotune(&space, &cfg);
+//! println!("best: {}", report.best());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod candidates;
+pub mod graph;
+pub mod tuner;
+pub mod workload;
+
+pub use candidates::{enumerate, Candidate, PlacementKind, Structure};
+pub use graph::{GraphOps, RelationGraph};
+pub use tuner::{autotune, TuneEntry, TuneReport};
+pub use workload::{run_workload, KeyDistribution, OpMix, WorkloadConfig, WorkloadResult, FIGURE5_MIXES};

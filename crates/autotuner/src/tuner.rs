@@ -1,0 +1,142 @@
+//! The autotuner proper (§6.1): measure every feasible candidate on a
+//! training workload and report the ranking.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::candidates::Candidate;
+use crate::graph::GraphOps;
+use crate::workload::{run_workload, WorkloadConfig};
+
+/// Measurement of one candidate on the training workload.
+#[derive(Debug, Clone)]
+pub struct TuneEntry {
+    /// The candidate.
+    pub candidate: Candidate,
+    /// Aggregate throughput (operations per second).
+    pub ops_per_sec: f64,
+}
+
+impl fmt::Display for TuneEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:>12.0} ops/s  {}", self.ops_per_sec, self.candidate.name())
+    }
+}
+
+/// The autotuner's report: feasible candidates ranked by throughput, plus
+/// the candidates that were skipped (no valid plan for the training mix).
+#[derive(Debug, Clone)]
+pub struct TuneReport {
+    /// Feasible candidates, best first.
+    pub ranked: Vec<TuneEntry>,
+    /// Names of candidates with no valid plan for the training mix.
+    pub infeasible: Vec<String>,
+}
+
+impl TuneReport {
+    /// The best candidate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no candidate was feasible.
+    pub fn best(&self) -> &TuneEntry {
+        &self.ranked[0]
+    }
+}
+
+/// Runs the autotuner: filters candidates that cannot implement the
+/// training mix, measures the rest (building a fresh relation per
+/// candidate, as the paper does per benchmark run), and ranks them.
+pub fn autotune(candidates: &[Candidate], cfg: &WorkloadConfig) -> TuneReport {
+    let mut ranked = Vec::new();
+    let mut infeasible = Vec::new();
+    for cand in candidates {
+        if !cand.supports(cfg.mix) {
+            infeasible.push(cand.name());
+            continue;
+        }
+        let graph: Arc<dyn GraphOps> = Arc::new(
+            cand.build_graph()
+                .expect("supports() implies the candidate builds"),
+        );
+        let result = run_workload(&graph, cfg);
+        ranked.push(TuneEntry {
+            candidate: cand.clone(),
+            ops_per_sec: result.ops_per_sec,
+        });
+    }
+    ranked.sort_by(|a, b| b.ops_per_sec.total_cmp(&a.ops_per_sec));
+    TuneReport { ranked, infeasible }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::{enumerate, PlacementKind, Structure};
+    use crate::workload::{KeyDistribution, OpMix, FIGURE5_MIXES};
+    use relc_containers::ContainerKind;
+
+    /// A miniature end-to-end autotune: a handful of candidates, a tiny
+    /// workload, and sanity checks on the ranking.
+    #[test]
+    fn tiny_autotune_ranks_candidates() {
+        let candidates = vec![
+            Candidate {
+                structure: Structure::Split,
+                top: ContainerKind::HashMap,
+                second: ContainerKind::HashMap,
+                top2: None,
+                second2: None,
+                placement: PlacementKind::Coarse,
+            },
+            Candidate {
+                structure: Structure::Split,
+                top: ContainerKind::ConcurrentHashMap,
+                second: ContainerKind::HashMap,
+                top2: None,
+                second2: None,
+                placement: PlacementKind::Striped(64),
+            },
+            Candidate {
+                structure: Structure::Stick,
+                top: ContainerKind::ConcurrentHashMap,
+                second: ContainerKind::HashMap,
+                top2: None,
+                second2: None,
+                placement: PlacementKind::Speculative(16),
+            },
+        ];
+        let cfg = WorkloadConfig {
+            mix: FIGURE5_MIXES[1], // 35-35-20-10: uses predecessors
+            threads: 4,
+            ops_per_thread: 300,
+            key_range: 32,
+            distribution: KeyDistribution::Uniform,
+            seed: 3,
+        };
+        let report = autotune(&candidates, &cfg);
+        // The speculative stick cannot answer predecessor queries.
+        assert_eq!(report.infeasible.len(), 1);
+        assert!(report.infeasible[0].contains("stick"));
+        assert_eq!(report.ranked.len(), 2);
+        assert!(report.best().ops_per_sec >= report.ranked[1].ops_per_sec);
+        assert!(!report.best().to_string().is_empty());
+    }
+
+    #[test]
+    fn enumerated_space_autotunes_on_insert_only_mix() {
+        // A fast smoke run over a few enumerated candidates.
+        let mut space = enumerate(&[16]);
+        space.truncate(6);
+        let cfg = WorkloadConfig {
+            mix: OpMix::new(0, 0, 50, 50),
+            threads: 2,
+            ops_per_thread: 200,
+            key_range: 16,
+            distribution: KeyDistribution::Uniform,
+            seed: 11,
+        };
+        let report = autotune(&space, &cfg);
+        assert!(!report.ranked.is_empty());
+    }
+}

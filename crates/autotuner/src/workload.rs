@@ -1,0 +1,329 @@
+//! The §6.2 benchmark workload: `k` identical threads each performing
+//! random graph operations drawn from a fixed distribution against one
+//! shared relation, measuring aggregate throughput.
+//!
+//! "Each graph is labeled x-y-z-w, denoting a distribution of x% successors,
+//! y% predecessors, z% inserts, and w% removes."
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::graph::GraphOps;
+
+/// An operation-mix distribution `x-y-z-w` (percentages must sum to 100).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpMix {
+    /// % find-successors.
+    pub successors: u32,
+    /// % find-predecessors.
+    pub predecessors: u32,
+    /// % insert-edge.
+    pub inserts: u32,
+    /// % remove-edge.
+    pub removes: u32,
+}
+
+impl OpMix {
+    /// Creates a mix, checking it sums to 100.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the percentages do not sum to 100.
+    pub const fn new(successors: u32, predecessors: u32, inserts: u32, removes: u32) -> Self {
+        assert!(
+            successors + predecessors + inserts + removes == 100,
+            "op mix must sum to 100"
+        );
+        OpMix {
+            successors,
+            predecessors,
+            inserts,
+            removes,
+        }
+    }
+
+    /// The paper's label, e.g. `70-0-20-10`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}-{}-{}-{}",
+            self.successors, self.predecessors, self.inserts, self.removes
+        )
+    }
+
+    /// Whether the mix ever queries predecessors (plans over the dst
+    /// branch).
+    pub fn uses_predecessors(&self) -> bool {
+        self.predecessors > 0
+    }
+}
+
+/// The four workload mixes of Figure 5.
+pub const FIGURE5_MIXES: [OpMix; 4] = [
+    OpMix::new(70, 0, 20, 10),
+    OpMix::new(35, 35, 20, 10),
+    OpMix::new(0, 0, 50, 50),
+    OpMix::new(45, 45, 9, 1),
+];
+
+/// How `src`/`dst` values are drawn from `0..key_range`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDistribution {
+    /// Uniform (the paper's §6.2 methodology).
+    Uniform,
+    /// Zipf-like skew with exponent `s` (our extension): hot keys
+    /// concentrate lock and container contention, stressing striping and
+    /// speculation. Sampled by inverse-CDF over precomputed weights.
+    Zipf(f64),
+}
+
+/// A sampler for [`KeyDistribution`] (per-thread, cheap).
+#[derive(Debug, Clone)]
+struct KeySampler {
+    /// Cumulative weights for Zipf; empty for uniform.
+    cdf: Vec<f64>,
+    range: i64,
+}
+
+impl KeySampler {
+    fn new(dist: KeyDistribution, range: i64) -> Self {
+        match dist {
+            KeyDistribution::Uniform => KeySampler { cdf: Vec::new(), range },
+            KeyDistribution::Zipf(s) => {
+                let mut cdf = Vec::with_capacity(range as usize);
+                let mut acc = 0.0;
+                for k in 1..=range {
+                    acc += 1.0 / (k as f64).powf(s);
+                    cdf.push(acc);
+                }
+                let total = acc;
+                for w in &mut cdf {
+                    *w /= total;
+                }
+                KeySampler { cdf, range }
+            }
+        }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> i64 {
+        if self.cdf.is_empty() {
+            rng.random_range(0..self.range)
+        } else {
+            let u: f64 = rng.random_range(0.0..1.0);
+            match self.cdf.binary_search_by(|w| w.total_cmp(&u)) {
+                Ok(i) | Err(i) => (i as i64).min(self.range - 1),
+            }
+        }
+    }
+}
+
+/// Configuration of one workload run.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// The operation mix.
+    pub mix: OpMix,
+    /// Number of worker threads (`k` in §6.2).
+    pub threads: usize,
+    /// Operations per thread (paper: 5 × 10⁵).
+    pub ops_per_thread: usize,
+    /// `src`/`dst` values are drawn from `0..key_range`.
+    pub key_range: i64,
+    /// Key skew (uniform in the paper; Zipf as a contention ablation).
+    pub distribution: KeyDistribution,
+    /// RNG seed (deterministic workloads per seed).
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            mix: FIGURE5_MIXES[0],
+            threads: 4,
+            ops_per_thread: 10_000,
+            key_range: 256,
+            distribution: KeyDistribution::Uniform,
+            seed: 0x0e1c_5eed,
+        }
+    }
+}
+
+/// The result of one workload run.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadResult {
+    /// Aggregate throughput over all threads, operations per second.
+    pub ops_per_sec: f64,
+    /// Wall-clock seconds for the run.
+    pub elapsed_secs: f64,
+    /// Total operations executed.
+    pub total_ops: u64,
+}
+
+/// Runs the §6.2 workload against `graph`: starts `threads` workers at a
+/// barrier, each performing `ops_per_thread` operations drawn from the mix,
+/// and reports aggregate throughput.
+pub fn run_workload(graph: &Arc<dyn GraphOps>, cfg: &WorkloadConfig) -> WorkloadResult {
+    let barrier = Arc::new(Barrier::new(cfg.threads + 1));
+    let done_ops = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::with_capacity(cfg.threads);
+    for tid in 0..cfg.threads {
+        let graph = Arc::clone(graph);
+        let barrier = Arc::clone(&barrier);
+        let done_ops = Arc::clone(&done_ops);
+        let cfg = cfg.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ (tid as u64).wrapping_mul(0x9e37));
+            let sampler = KeySampler::new(cfg.distribution, cfg.key_range);
+            barrier.wait();
+            let mut local = 0u64;
+            for _ in 0..cfg.ops_per_thread {
+                let src = sampler.sample(&mut rng);
+                let dst = sampler.sample(&mut rng);
+                let dice = rng.random_range(0..100u32);
+                let m = cfg.mix;
+                if dice < m.successors {
+                    let _ = graph.find_successors(src);
+                } else if dice < m.successors + m.predecessors {
+                    let _ = graph.find_predecessors(dst);
+                } else if dice < m.successors + m.predecessors + m.inserts {
+                    let weight = rng.random_range(0..1_000_000);
+                    let _ = graph.insert_edge(src, dst, weight);
+                } else {
+                    let _ = graph.remove_edge(src, dst);
+                }
+                local += 1;
+            }
+            done_ops.fetch_add(local, Ordering::Relaxed);
+        }));
+    }
+    barrier.wait();
+    let start = Instant::now();
+    for h in handles {
+        h.join().expect("workload thread panicked");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let total = done_ops.load(Ordering::Relaxed);
+    WorkloadResult {
+        ops_per_sec: total as f64 / elapsed.max(1e-9),
+        elapsed_secs: elapsed,
+        total_ops: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::RelationGraph;
+    use relc::decomp::library::split;
+    use relc::placement::LockPlacement;
+    use relc::ConcurrentRelation;
+    use relc_containers::ContainerKind;
+
+    #[test]
+    fn mixes_are_well_formed() {
+        for m in FIGURE5_MIXES {
+            assert_eq!(m.successors + m.predecessors + m.inserts + m.removes, 100);
+            assert!(!m.label().is_empty());
+        }
+        assert_eq!(FIGURE5_MIXES[0].label(), "70-0-20-10");
+        assert!(!FIGURE5_MIXES[0].uses_predecessors());
+        assert!(FIGURE5_MIXES[1].uses_predecessors());
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 100")]
+    fn bad_mix_panics() {
+        let _ = OpMix::new(50, 50, 50, 50);
+    }
+
+    #[test]
+    fn workload_runs_and_counts_ops() {
+        let d = split(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap);
+        let p = LockPlacement::striped_root(&d, 16).unwrap();
+        let rel = Arc::new(ConcurrentRelation::new(d, p).unwrap());
+        let graph: Arc<dyn GraphOps> =
+            Arc::new(RelationGraph::new(rel.clone()).unwrap());
+        let cfg = WorkloadConfig {
+            mix: FIGURE5_MIXES[1],
+            threads: 4,
+            ops_per_thread: 500,
+            key_range: 32,
+            distribution: KeyDistribution::Uniform,
+            seed: 42,
+        };
+        let res = run_workload(&graph, &cfg);
+        assert_eq!(res.total_ops, 2_000);
+        assert!(res.ops_per_sec > 0.0);
+        rel.verify().expect("structurally sound after workload");
+    }
+
+    #[test]
+    fn zipf_sampler_is_skewed_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let sampler = KeySampler::new(KeyDistribution::Zipf(1.2), 64);
+        let mut counts = [0usize; 64];
+        for _ in 0..20_000 {
+            let k = sampler.sample(&mut rng);
+            assert!((0..64).contains(&k));
+            counts[k as usize] += 1;
+        }
+        // Key 0 is the hottest; the head dominates the tail.
+        assert!(counts[0] > counts[1]);
+        assert!(counts[0] > 10 * counts[32].max(1), "{counts:?}");
+        let head: usize = counts[..8].iter().sum();
+        assert!(head > 10_000, "head of the Zipf must carry most mass: {head}");
+        // Uniform sampler spreads instead.
+        let uniform = KeySampler::new(KeyDistribution::Uniform, 64);
+        let mut u_counts = [0usize; 64];
+        for _ in 0..20_000 {
+            u_counts[uniform.sample(&mut rng) as usize] += 1;
+        }
+        assert!(u_counts.iter().all(|&c| c > 100), "{u_counts:?}");
+    }
+
+    #[test]
+    fn zipf_workload_runs_against_relation() {
+        let d = split(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap);
+        let p = LockPlacement::striped_root(&d, 16).unwrap();
+        let rel = Arc::new(ConcurrentRelation::new(d, p).unwrap());
+        let graph: Arc<dyn GraphOps> = Arc::new(RelationGraph::new(rel.clone()).unwrap());
+        let cfg = WorkloadConfig {
+            mix: FIGURE5_MIXES[1],
+            threads: 4,
+            ops_per_thread: 400,
+            key_range: 32,
+            distribution: KeyDistribution::Zipf(1.0),
+            seed: 5,
+        };
+        let res = run_workload(&graph, &cfg);
+        assert_eq!(res.total_ops, 1_600);
+        rel.verify().expect("sound after skewed contention");
+    }
+
+    #[test]
+    fn workload_is_deterministic_per_seed_single_thread() {
+        // Same seed, single thread → identical final relation contents.
+        let build = || {
+            let d = split(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap);
+            let p = LockPlacement::fine(&d).unwrap();
+            Arc::new(ConcurrentRelation::new(d, p).unwrap())
+        };
+        let cfg = WorkloadConfig {
+            mix: FIGURE5_MIXES[2],
+            threads: 1,
+            ops_per_thread: 400,
+            key_range: 16,
+            distribution: KeyDistribution::Uniform,
+            seed: 7,
+        };
+        let r1 = build();
+        let g1: Arc<dyn GraphOps> = Arc::new(RelationGraph::new(r1.clone()).unwrap());
+        run_workload(&g1, &cfg);
+        let r2 = build();
+        let g2: Arc<dyn GraphOps> = Arc::new(RelationGraph::new(r2.clone()).unwrap());
+        run_workload(&g2, &cfg);
+        assert_eq!(r1.snapshot().unwrap(), r2.snapshot().unwrap());
+    }
+}

@@ -1,0 +1,80 @@
+//! Criterion ablations of the design choices DESIGN.md calls out:
+//! lock-sort elision (§5.2) and the speculative-vs-striped placement
+//! trade-off (§4.5).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relc::decomp::library::{diamond, stick};
+use relc::placement::LockPlacement;
+use relc::ConcurrentRelation;
+use relc_containers::ContainerKind;
+use relc_spec::{Tuple, Value};
+
+fn bench_sort_elision(c: &mut Criterion) {
+    // Full iteration over a sorted (TreeMap) stick under fine locking; the
+    // planner marks every lock statement presorted.
+    let d = stick(ContainerKind::TreeMap, ContainerKind::TreeMap);
+    let p = LockPlacement::fine(&d).unwrap();
+    let rel = Arc::new(ConcurrentRelation::new(d.clone(), p).unwrap());
+    for i in 0..1_000i64 {
+        let s = d
+            .schema()
+            .tuple(&[("src", Value::from(i % 32)), ("dst", Value::from(i))])
+            .unwrap();
+        let t = d.schema().tuple(&[("weight", Value::from(i))]).unwrap();
+        rel.insert(&s, &t).unwrap();
+    }
+    let all = d.schema().columns();
+    let mut group = c.benchmark_group("sort_elision_full_scan");
+    group.sample_size(20);
+    for (label, force) in [("elided", false), ("forced", true)] {
+        rel.set_always_sort_locks(force);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, ()| {
+            b.iter(|| std::hint::black_box(rel.query(&Tuple::empty(), all).unwrap()))
+        });
+    }
+    rel.set_always_sort_locks(false);
+    group.finish();
+}
+
+fn bench_speculative_vs_striped_point_reads(c: &mut Criterion) {
+    // Single-threaded successor lookups: speculation pays an extra
+    // validation lookup; striping pays a hash+stripe pick. Contended
+    // behavior is covered by the figure5 harness; this isolates the
+    // single-thread constant factors.
+    let mut group = c.benchmark_group("speculative_vs_striped_successors");
+    for (label, placement) in [
+        ("striped1024", "s"),
+        ("speculative1024", "p"),
+    ] {
+        let d = diamond(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap);
+        let p = if placement == "s" {
+            LockPlacement::striped_root(&d, 1024).unwrap()
+        } else {
+            LockPlacement::speculative(&d, 1024).unwrap()
+        };
+        let rel = Arc::new(ConcurrentRelation::new(d.clone(), p).unwrap());
+        for i in 0..2_000i64 {
+            let s = d
+                .schema()
+                .tuple(&[("src", Value::from(i % 128)), ("dst", Value::from(i))])
+                .unwrap();
+            let t = d.schema().tuple(&[("weight", Value::from(i))]).unwrap();
+            rel.insert(&s, &t).unwrap();
+        }
+        let dw = d.schema().column_set(&["dst", "weight"]).unwrap();
+        let mut k = 0i64;
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, ()| {
+            b.iter(|| {
+                k = (k + 31) % 128;
+                let pat = d.schema().tuple(&[("src", Value::from(k))]).unwrap();
+                std::hint::black_box(rel.query(&pat, dw).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sort_elision, bench_speculative_vs_striped_point_reads);
+criterion_main!(benches);

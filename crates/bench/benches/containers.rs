@@ -1,0 +1,88 @@
+//! Criterion microbenchmarks of the container substrate: per-kind lookup,
+//! write, and scan costs (these are the per-edge costs the query planner's
+//! cost model abstracts).
+
+use std::ops::ControlFlow;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relc_containers::{Container, ContainerKind};
+
+const N: i64 = 1_000;
+
+fn prefilled(kind: ContainerKind) -> Box<dyn Container<i64, i64>> {
+    let c = kind.instantiate::<i64, i64>();
+    for i in 0..N {
+        c.write(&i, Some(i * 2));
+    }
+    c
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("container_lookup");
+    for kind in [
+        ContainerKind::HashMap,
+        ContainerKind::TreeMap,
+        ContainerKind::ConcurrentHashMap,
+        ContainerKind::ConcurrentSkipListMap,
+        ContainerKind::CopyOnWriteArrayList,
+        ContainerKind::SplayTreeMap,
+    ] {
+        let map = prefilled(kind);
+        let mut key = 0i64;
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, _| {
+            b.iter(|| {
+                key = (key + 7) % N;
+                std::hint::black_box(map.lookup(&key))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_write(c: &mut Criterion) {
+    let mut group = c.benchmark_group("container_write_update");
+    for kind in [
+        ContainerKind::HashMap,
+        ContainerKind::TreeMap,
+        ContainerKind::ConcurrentHashMap,
+        ContainerKind::ConcurrentSkipListMap,
+        ContainerKind::SplayTreeMap,
+    ] {
+        let map = prefilled(kind);
+        let mut key = 0i64;
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, _| {
+            b.iter(|| {
+                key = (key + 13) % N;
+                std::hint::black_box(map.write(&key, Some(key)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("container_scan_1000");
+    for kind in [
+        ContainerKind::HashMap,
+        ContainerKind::TreeMap,
+        ContainerKind::ConcurrentHashMap,
+        ContainerKind::ConcurrentSkipListMap,
+        ContainerKind::CopyOnWriteArrayList,
+    ] {
+        let map = prefilled(kind);
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, _| {
+            b.iter(|| {
+                let mut acc = 0i64;
+                map.scan(&mut |_, v| {
+                    acc = acc.wrapping_add(*v);
+                    ControlFlow::Continue(())
+                });
+                std::hint::black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup, bench_write, bench_scan);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Criterion benchmarks of single-threaded synthesized-relation operation
+//! latency across representative decomposition/placement pairs — the
+//! constant factors under the Figure 5 curves.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relc::decomp::library::{diamond, split, stick};
+use relc::placement::LockPlacement;
+use relc::{ConcurrentRelation, Decomposition};
+use relc_containers::ContainerKind;
+use relc_spec::{Tuple, Value};
+
+fn variants() -> Vec<(&'static str, Arc<ConcurrentRelation>)> {
+    let mk = |d: Arc<Decomposition>, p| Arc::new(ConcurrentRelation::new(d, p).unwrap());
+    let s = stick(ContainerKind::HashMap, ContainerKind::TreeMap);
+    let sp = split(ContainerKind::ConcurrentHashMap, ContainerKind::TreeMap);
+    let di = diamond(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap);
+    vec![
+        ("stick/coarse", mk(s.clone(), LockPlacement::coarse(&s).unwrap())),
+        ("split/fine", mk(sp.clone(), LockPlacement::fine(&sp).unwrap())),
+        (
+            "split/striped1024",
+            mk(sp.clone(), LockPlacement::striped_root(&sp, 1024).unwrap()),
+        ),
+        (
+            "diamond/speculative",
+            mk(di.clone(), LockPlacement::speculative(&di, 1024).unwrap()),
+        ),
+    ]
+}
+
+fn key(rel: &ConcurrentRelation, s: i64, d: i64) -> Tuple {
+    rel.schema()
+        .tuple(&[("src", Value::from(s)), ("dst", Value::from(d))])
+        .unwrap()
+}
+
+fn bench_insert_remove(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relation_insert_remove_pair");
+    for (name, rel) in variants() {
+        let w = rel.schema().tuple(&[("weight", Value::from(1))]).unwrap();
+        let mut i = 0i64;
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
+            b.iter(|| {
+                i += 1;
+                let k = key(&rel, i % 512, (i * 7) % 512);
+                std::hint::black_box(rel.insert(&k, &w).unwrap());
+                std::hint::black_box(rel.remove(&k).unwrap());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_successor_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relation_find_successors");
+    for (name, rel) in variants() {
+        let w = rel.schema().tuple(&[("weight", Value::from(1))]).unwrap();
+        for i in 0..2_000i64 {
+            rel.insert(&key(&rel, i % 128, i), &w).unwrap();
+        }
+        let dw = rel.schema().column_set(&["dst", "weight"]).unwrap();
+        let mut s = 0i64;
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
+            b.iter(|| {
+                s = (s + 11) % 128;
+                let pat = rel.schema().tuple(&[("src", Value::from(s))]).unwrap();
+                std::hint::black_box(rel.query(&pat, dw).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_predecessor_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relation_find_predecessors");
+    group.sample_size(20);
+    for (name, rel) in variants() {
+        let w = rel.schema().tuple(&[("weight", Value::from(1))]).unwrap();
+        for i in 0..2_000i64 {
+            rel.insert(&key(&rel, i % 128, i % 64), &w).unwrap();
+        }
+        let sw = rel.schema().column_set(&["src", "weight"]).unwrap();
+        let mut d = 0i64;
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
+            b.iter(|| {
+                d = (d + 5) % 64;
+                let pat = rel.schema().tuple(&[("dst", Value::from(d))]).unwrap();
+                // Sticks answer this with a full scan; splits/diamonds with
+                // an index lookup — the Figure 5 asymmetry in miniature.
+                std::hint::black_box(rel.query(&pat, sw).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert_remove, bench_successor_query, bench_predecessor_query);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Regenerates the **§6.1 autotuner experiment**: enumerate the candidate
+//! space (decomposition structure × lock placement × stripe factor ×
+//! containers, validity- and consistency-filtered), measure every feasible
+//! candidate on each training mix, and report the ranking.
+//!
+//! ```text
+//! cargo run -p relc-bench --release --bin autotune [-- --ops N]
+//!     [--threads T] [--keys K] [--top M]
+//! ```
+
+use relc_autotune::candidates::enumerate;
+use relc_autotune::tuner::autotune;
+use relc_autotune::workload::{KeyDistribution, WorkloadConfig, FIGURE5_MIXES};
+use relc_bench::arg_value;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ops: usize = arg_value(&args, "--ops", 8_000);
+    let threads: usize = arg_value(
+        &args,
+        "--threads",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+    );
+    let keys: i64 = arg_value(&args, "--keys", 256);
+    let top: usize = arg_value(&args, "--top", 10);
+
+    // Paper: stripe factors "chosen for simplicity to be either 1 or 1024";
+    // 448 variants over the three structures.
+    let space = enumerate(&[1, 1024]);
+    println!(
+        "Autotuner (§6.1): {} validity- and consistency-filtered candidates \
+         (3 structures × containers × placements × stripe factors)\n",
+        space.len()
+    );
+
+    for mix in FIGURE5_MIXES {
+        let cfg = WorkloadConfig {
+            mix,
+            threads,
+            ops_per_thread: ops,
+            key_range: keys,
+            distribution: KeyDistribution::Uniform,
+            seed: 0xa070,
+        };
+        let report = autotune(&space, &cfg);
+        println!(
+            "=== training mix {} ({} threads, {} ops/thread) — {} feasible, {} infeasible",
+            mix.label(),
+            threads,
+            ops,
+            report.ranked.len(),
+            report.infeasible.len()
+        );
+        for entry in report.ranked.iter().take(top) {
+            println!("  {entry}");
+        }
+        println!("  best: {}\n", report.best().candidate.name());
+    }
+}

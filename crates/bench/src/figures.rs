@@ -1,0 +1,205 @@
+//! The Figure 5 configuration table: the 12 representative synthesized
+//! decompositions plus the hand-coded comparator (§6.2).
+//!
+//! The paper selected 12 of its 448 autotuner variants "that cover a
+//! spectrum of different performance levels". The text pins down most of
+//! them; where it is ambiguous we document our reading in EXPERIMENTS.md:
+//!
+//! * Stick 1 / Split 1 / Diamond 0 — single coarse lock, `HashMap` top
+//!   level, `TreeMap` second level;
+//! * Stick 2/3/4 — striped root over `ConcurrentHashMap`-of-`HashMap`,
+//!   `ConcurrentHashMap`-of-`TreeMap`, `ConcurrentSkipListMap`-of-`HashMap`;
+//! * Split 2 — striped locks and concurrent maps on the src branch only;
+//!   one fixed lock for the whole dst branch;
+//! * Split 3/4/5 — striped; `CHM`+`HashMap`, `CHM`+`TreeMap`,
+//!   `CSLM`+`HashMap`;
+//! * Diamond 1/2 — striped; `CHM`+`HashMap`, `CSLM`+`HashMap`;
+//! * Diamond 3 — the Fig. 3(c) *speculative* placement (§4.5), our bonus
+//!   series exercising target-side locks;
+//! * Handcoded — [`crate::handcoded::HandcodedGraph`].
+
+use std::sync::Arc;
+
+use relc::decomp::library::{diamond, split, stick};
+use relc::placement::LockPlacement;
+use relc::{ConcurrentRelation, Decomposition};
+use relc_autotune::{GraphOps, RelationGraph};
+use relc_containers::ContainerKind;
+
+use crate::handcoded::HandcodedGraph;
+
+/// The stripe factor used by the striped/speculative Figure 5 configs
+/// (paper: "chosen for simplicity to be either 1 or 1024").
+pub const FIG5_STRIPES: u32 = 1024;
+
+/// One Figure 5 series: a named graph-implementation factory.
+pub struct Fig5Config {
+    /// Series label, e.g. `Split 4`.
+    pub name: &'static str,
+    build: Box<dyn Fn() -> Arc<dyn GraphOps> + Send + Sync>,
+}
+
+impl std::fmt::Debug for Fig5Config {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Fig5Config({})", self.name)
+    }
+}
+
+impl Fig5Config {
+    /// Builds a fresh, empty graph for one benchmark run.
+    pub fn build(&self) -> Arc<dyn GraphOps> {
+        (self.build)()
+    }
+}
+
+fn synthesized(
+    name: &'static str,
+    decomp: impl Fn() -> Arc<Decomposition> + Send + Sync + 'static,
+    place: impl Fn(&Arc<Decomposition>) -> Arc<LockPlacement> + Send + Sync + 'static,
+) -> Fig5Config {
+    Fig5Config {
+        name,
+        build: Box::new(move || {
+            let d = decomp();
+            let p = place(&d);
+            let rel = Arc::new(ConcurrentRelation::new(d, p).expect("valid config"));
+            Arc::new(RelationGraph::new(rel).expect("graph schema"))
+        }),
+    }
+}
+
+/// Split 2's mixed placement: src branch striped + fine over concurrent
+/// maps; the whole dst branch pinned to one root lock (stripe 0) over
+/// non-concurrent maps.
+fn split2_decomposition() -> Arc<Decomposition> {
+    let schema = relc_spec::library::graph_schema();
+    let mut b = Decomposition::builder(schema);
+    let root = b.root();
+    let u = b.node("u");
+    let w = b.node("w");
+    let x = b.node("x");
+    let v = b.node("v");
+    let y = b.node("y");
+    let z = b.node("z");
+    b.edge(root, u, &["src"], ContainerKind::ConcurrentHashMap).expect("cols");
+    b.edge(u, w, &["dst"], ContainerKind::ConcurrentHashMap).expect("cols");
+    b.edge(w, x, &["weight"], ContainerKind::Singleton).expect("cols");
+    b.edge(root, v, &["dst"], ContainerKind::HashMap).expect("cols");
+    b.edge(v, y, &["src"], ContainerKind::TreeMap).expect("cols");
+    b.edge(y, z, &["weight"], ContainerKind::Singleton).expect("cols");
+    b.build().expect("adequate")
+}
+
+fn split2_placement(d: &Arc<Decomposition>) -> Arc<LockPlacement> {
+    let mut b = LockPlacement::builder(Arc::clone(d));
+    let ru = d.edge_between("ρ", "u").expect("edge");
+    let uw = d.edge_between("u", "w").expect("edge");
+    let wx = d.edge_between("w", "x").expect("edge");
+    let rv = d.edge_between("ρ", "v").expect("edge");
+    let vy = d.edge_between("v", "y").expect("edge");
+    let yz = d.edge_between("y", "z").expect("edge");
+    let u = d.node_by_name("u").expect("node");
+    let w = d.node_by_name("w").expect("node");
+    // src branch: striped at the root, striped at u, fine at w.
+    b.place_striped(ru, d.root(), d.schema().column_set(&["src"]).expect("cols"));
+    b.place_striped(uw, u, d.schema().column_set(&["dst"]).expect("cols"));
+    b.place(wx, w);
+    // dst branch: everything under the root's stripe 0.
+    b.place(rv, d.root());
+    b.place(vy, d.root());
+    b.place(yz, d.root());
+    b.stripes(d.root(), FIG5_STRIPES);
+    b.stripes(u, 8);
+    b.named("split2-mixed");
+    b.build().expect("well-formed")
+}
+
+/// The thirteen Figure 5 series (12 synthesized + handcoded) plus our
+/// speculative bonus series.
+pub fn figure5_configs() -> Vec<Fig5Config> {
+    use ContainerKind::{
+        ConcurrentHashMap as CHM, ConcurrentSkipListMap as CSLM, HashMap as HM, TreeMap as TM,
+    };
+    vec![
+        synthesized("Stick 1", || stick(HM, TM), |d| {
+            LockPlacement::coarse(d).expect("valid")
+        }),
+        synthesized("Stick 2", || stick(CHM, HM), |d| {
+            LockPlacement::striped_root(d, FIG5_STRIPES).expect("valid")
+        }),
+        synthesized("Stick 3", || stick(CHM, TM), |d| {
+            LockPlacement::striped_root(d, FIG5_STRIPES).expect("valid")
+        }),
+        synthesized("Stick 4", || stick(CSLM, HM), |d| {
+            LockPlacement::striped_root(d, FIG5_STRIPES).expect("valid")
+        }),
+        synthesized("Split 1", || split(HM, TM), |d| {
+            LockPlacement::coarse(d).expect("valid")
+        }),
+        Fig5Config {
+            name: "Split 2",
+            build: Box::new(|| {
+                let d = split2_decomposition();
+                let p = split2_placement(&d);
+                let rel = Arc::new(ConcurrentRelation::new(d, p).expect("valid config"));
+                Arc::new(RelationGraph::new(rel).expect("graph schema"))
+            }),
+        },
+        synthesized("Split 3", || split(CHM, HM), |d| {
+            LockPlacement::striped_root(d, FIG5_STRIPES).expect("valid")
+        }),
+        synthesized("Split 4", || split(CHM, TM), |d| {
+            LockPlacement::striped_root(d, FIG5_STRIPES).expect("valid")
+        }),
+        synthesized("Split 5", || split(CSLM, HM), |d| {
+            LockPlacement::striped_root(d, FIG5_STRIPES).expect("valid")
+        }),
+        synthesized("Diamond 0", || diamond(HM, TM), |d| {
+            LockPlacement::coarse(d).expect("valid")
+        }),
+        synthesized("Diamond 1", || diamond(CHM, HM), |d| {
+            LockPlacement::striped_root(d, FIG5_STRIPES).expect("valid")
+        }),
+        synthesized("Diamond 2", || diamond(CSLM, HM), |d| {
+            LockPlacement::striped_root(d, FIG5_STRIPES).expect("valid")
+        }),
+        synthesized("Diamond 3*", || diamond(CHM, HM), |d| {
+            LockPlacement::speculative(d, FIG5_STRIPES).expect("valid")
+        }),
+        Fig5Config {
+            name: "Handcoded",
+            build: Box::new(|| Arc::new(HandcodedGraph::new())),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_figure5_configs_build_and_work() {
+        for cfg in figure5_configs() {
+            let g = cfg.build();
+            assert!(g.insert_edge(1, 2, 42), "{}", cfg.name);
+            assert!(!g.insert_edge(1, 2, 9), "{}", cfg.name);
+            assert_eq!(g.find_successors(1), vec![(2, 42)], "{}", cfg.name);
+            // Predecessor support: sticks may need a scan; all these
+            // placements allow it (no speculative edge needs scanning for
+            // dst on split/diamond; stick scans its src level).
+            let preds = g.find_predecessors(2);
+            assert_eq!(preds, vec![(1, 42)], "{}", cfg.name);
+            assert!(g.remove_edge(1, 2), "{}", cfg.name);
+            assert_eq!(g.edge_count(), 0, "{}", cfg.name);
+        }
+    }
+
+    #[test]
+    fn fig5_has_14_series() {
+        let names: Vec<&str> = figure5_configs().iter().map(|c| c.name).collect();
+        assert_eq!(names.len(), 14);
+        assert!(names.contains(&"Split 4"));
+        assert!(names.contains(&"Handcoded"));
+        assert!(names.contains(&"Diamond 3*"));
+    }
+}

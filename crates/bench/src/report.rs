@@ -1,0 +1,143 @@
+//! Plain-text reporting helpers for the figure-regeneration binaries:
+//! aligned throughput tables (rows = configurations, columns = thread
+//! counts) and machine-readable CSV blocks.
+
+use std::fmt::Write as _;
+
+/// A throughput table for one workload mix.
+#[derive(Debug, Clone)]
+pub struct ThroughputTable {
+    /// Title, e.g. `Operation Distribution: 70-0-20-10`.
+    pub title: String,
+    /// Column headers (thread counts).
+    pub threads: Vec<usize>,
+    /// `(series name, ops/sec per thread count)` rows.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl ThroughputTable {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, threads: Vec<usize>) -> Self {
+        ThroughputTable {
+            title: title.into(),
+            threads,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length does not match the thread-count header.
+    pub fn push_row(&mut self, name: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(values.len(), self.threads.len(), "row width mismatch");
+        self.rows.push((name.into(), values));
+    }
+
+    /// The best series at the highest thread count.
+    pub fn best_at_max_threads(&self) -> Option<&str> {
+        self.rows
+            .iter()
+            .max_by(|a, b| {
+                let av = a.1.last().copied().unwrap_or(0.0);
+                let bv = b.1.last().copied().unwrap_or(0.0);
+                av.total_cmp(&bv)
+            })
+            .map(|(name, _)| name.as_str())
+    }
+
+    /// Renders an aligned human-readable table (throughput in kops/sec).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let name_w = self
+            .rows
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(["series".len()])
+            .max()
+            .unwrap_or(10)
+            + 2;
+        let _ = writeln!(out, "{}", self.title);
+        let _ = write!(out, "{:<name_w$}", "series");
+        for t in &self.threads {
+            let _ = write!(out, "{:>10}", format!("{t}T"));
+        }
+        out.push('\n');
+        let _ = writeln!(out, "{}", "-".repeat(name_w + 10 * self.threads.len()));
+        for (name, vals) in &self.rows {
+            let _ = write!(out, "{:<name_w$}", name);
+            for v in vals {
+                let _ = write!(out, "{:>10.1}", v / 1_000.0);
+            }
+            out.push('\n');
+        }
+        let _ = writeln!(out, "(kops/sec; best at max threads: {})",
+            self.best_at_max_threads().unwrap_or("n/a"));
+        out
+    }
+
+    /// Renders a CSV block (`mix,series,threads,ops_per_sec`).
+    pub fn render_csv(&self) -> String {
+        let mut out = String::from("mix,series,threads,ops_per_sec\n");
+        for (name, vals) in &self.rows {
+            for (t, v) in self.threads.iter().zip(vals) {
+                let _ = writeln!(out, "{},{},{},{:.1}", self.title, name, t, v);
+            }
+        }
+        out
+    }
+}
+
+/// The default thread sweep: powers of two up to the machine's parallelism,
+/// always including 1 and the maximum.
+pub fn default_thread_counts() -> Vec<usize> {
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut out = vec![1usize];
+    let mut t = 2;
+    while t < max {
+        out.push(t);
+        t *= 2;
+    }
+    if *out.last().expect("nonempty") != max {
+        out.push(max);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_and_csv() {
+        let mut t = ThroughputTable::new("Operation Distribution: 70-0-20-10", vec![1, 2, 4]);
+        t.push_row("Stick 1", vec![1000.0, 900.0, 800.0]);
+        t.push_row("Split 4", vec![1000.0, 1900.0, 3600.0]);
+        let s = t.render();
+        assert!(s.contains("Stick 1"));
+        assert!(s.contains("4T"));
+        assert!(s.contains("best at max threads: Split 4"));
+        let csv = t.render_csv();
+        assert!(csv.contains("70-0-20-10,Split 4,4,3600.0"));
+        assert_eq!(csv.lines().count(), 1 + 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = ThroughputTable::new("x", vec![1, 2]);
+        t.push_row("bad", vec![1.0]);
+    }
+
+    #[test]
+    fn thread_counts_cover_machine() {
+        let ts = default_thread_counts();
+        assert_eq!(ts[0], 1);
+        assert!(ts.windows(2).all(|w| w[0] < w[1]));
+        let max = std::thread::available_parallelism().unwrap().get();
+        assert_eq!(*ts.last().unwrap(), max);
+    }
+}

@@ -1,0 +1,267 @@
+//! The container interface (§3) and the container catalog.
+//!
+//! "A container is a data structure that implements an associative key-value
+//! map interface consisting of read operations `lookup(k)` and `scan(f)`, and
+//! a write operation `write(k, v)`."
+
+use std::fmt;
+use std::hash::Hash;
+use std::ops::ControlFlow;
+
+use crate::cow_list::CowArrayList;
+use crate::hash_map::ChainedHashMap;
+use crate::singleton::SingletonCell;
+use crate::skiplist::ConcurrentSkipListMap;
+use crate::splay::SplayTreeMap;
+use crate::striped_hash::StripedHashMap;
+use crate::taxonomy::{ContainerProps, PairSafety};
+use crate::tree_map::AvlTreeMap;
+
+/// Requirements on container keys.
+///
+/// Keys must be totally ordered (sorted containers, lock ordering), hashable
+/// (hashed containers, lock striping), cheaply cloneable, and thread-safe.
+/// Implemented automatically for every qualifying type.
+pub trait Key: Ord + Hash + Clone + Send + Sync + fmt::Debug + 'static {}
+impl<T: Ord + Hash + Clone + Send + Sync + fmt::Debug + 'static> Key for T {}
+
+/// Requirements on container values. Implemented automatically.
+///
+/// Values are cloned out of containers on `lookup`; in the synthesis runtime
+/// `V` is an `Arc` so clones are cheap.
+pub trait Val: Clone + Send + Sync + fmt::Debug + 'static {}
+impl<T: Clone + Send + Sync + fmt::Debug + 'static> Val for T {}
+
+/// The paper's container interface: `lookup`, `scan`, `write` (§3).
+///
+/// All methods take `&self`; containers that are not concurrency-safe use
+/// interior mutability and rely on *external* synchronization supplied by the
+/// synthesized lock placement. See [`crate::extsync::ExtSyncCell`] for the
+/// safety contract and the debug-mode race detector that enforces it.
+pub trait Container<K: Key, V: Val>: Send + Sync + fmt::Debug {
+    /// Returns the value associated with `key`, if any.
+    fn lookup(&self, key: &K) -> Option<V>;
+
+    /// Iterates over the map, invoking `f` once per entry; `f` may stop the
+    /// iteration early by returning [`ControlFlow::Break`].
+    ///
+    /// Whether iteration is sorted, snapshot, or weakly consistent is
+    /// declared by [`Container::props`].
+    fn scan(&self, f: &mut dyn FnMut(&K, &V) -> ControlFlow<()>);
+
+    /// Sets the value associated with `key` to `value`; `None` removes any
+    /// existing entry (§3). Returns the previous value, if any.
+    fn write(&self, key: &K, value: Option<V>) -> Option<V>;
+
+    /// Number of entries.
+    fn len(&self) -> usize;
+
+    /// Whether the container has no entries.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The static property sheet (Figure 1 row) of this implementation.
+    fn props(&self) -> ContainerProps;
+}
+
+/// The catalog of container implementations available to the synthesizer.
+///
+/// The first five are the Rust analogs of the JDK containers in Figure 1;
+/// [`ContainerKind::SplayTreeMap`] realizes §3.1's aside that even reads can
+/// be concurrency-unsafe, and [`ContainerKind::Singleton`] implements the
+/// paper's "singleton tuple" edges (dotted edges in Figs. 2 and 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ContainerKind {
+    /// Chained hash map; not concurrency-safe (JDK `HashMap` analog).
+    HashMap,
+    /// AVL tree map with sorted scans; not concurrency-safe (JDK `TreeMap`
+    /// analog).
+    TreeMap,
+    /// Sharded hash map with per-shard reader-writer locks; concurrency-safe,
+    /// weakly-consistent scans (JDK `ConcurrentHashMap` analog).
+    ConcurrentHashMap,
+    /// Lazy concurrent skip list with epoch reclamation; concurrency-safe,
+    /// sorted weakly-consistent scans (JDK `ConcurrentSkipListMap` analog).
+    ConcurrentSkipListMap,
+    /// Copy-on-write sorted array; concurrency-safe with linearizable
+    /// snapshot scans (JDK `CopyOnWriteArrayList` analog).
+    CopyOnWriteArrayList,
+    /// Splay tree map; *reads rebalance the tree*, so even concurrent
+    /// lookups are unsafe (§3.1's counterexample).
+    SplayTreeMap,
+    /// A 0-or-1-entry cell used for functional-dependency-determined
+    /// singleton edges; internally locked, fully linearizable.
+    Singleton,
+}
+
+impl ContainerKind {
+    /// All kinds, in catalog order.
+    pub const ALL: [ContainerKind; 7] = [
+        ContainerKind::HashMap,
+        ContainerKind::TreeMap,
+        ContainerKind::ConcurrentHashMap,
+        ContainerKind::ConcurrentSkipListMap,
+        ContainerKind::CopyOnWriteArrayList,
+        ContainerKind::SplayTreeMap,
+        ContainerKind::Singleton,
+    ];
+
+    /// The five rows of Figure 1, in the paper's order.
+    pub const FIGURE1: [ContainerKind; 5] = [
+        ContainerKind::HashMap,
+        ContainerKind::TreeMap,
+        ContainerKind::ConcurrentHashMap,
+        ContainerKind::ConcurrentSkipListMap,
+        ContainerKind::CopyOnWriteArrayList,
+    ];
+
+    /// The kinds the autotuner chooses among for map edges (§6.2: "selection
+    /// of containers from the options ConcurrentHashMap,
+    /// ConcurrentSkipListMap, HashMap, and TreeMap").
+    pub const AUTOTUNE_MENU: [ContainerKind; 4] = [
+        ContainerKind::ConcurrentHashMap,
+        ContainerKind::ConcurrentSkipListMap,
+        ContainerKind::HashMap,
+        ContainerKind::TreeMap,
+    ];
+
+    /// The static property sheet (Figure 1 row) for this kind.
+    pub fn props(self) -> ContainerProps {
+        use PairSafety::{Linearizable, Unsafe, Weak};
+        match self {
+            ContainerKind::HashMap => ContainerProps {
+                name: "HashMap",
+                lookup_lookup: Linearizable,
+                lookup_write: Unsafe,
+                scan_write: Unsafe,
+                write_write: Unsafe,
+                lookup_scan: Linearizable,
+                scan_scan: Linearizable,
+                sorted_scan: false,
+                snapshot_scan: false,
+            },
+            ContainerKind::TreeMap => ContainerProps {
+                name: "TreeMap",
+                lookup_lookup: Linearizable,
+                lookup_write: Unsafe,
+                scan_write: Unsafe,
+                write_write: Unsafe,
+                lookup_scan: Linearizable,
+                scan_scan: Linearizable,
+                sorted_scan: true,
+                snapshot_scan: false,
+            },
+            ContainerKind::ConcurrentHashMap => ContainerProps {
+                name: "ConcurrentHashMap",
+                lookup_lookup: Linearizable,
+                lookup_write: Linearizable,
+                scan_write: Weak,
+                write_write: Linearizable,
+                lookup_scan: Linearizable,
+                scan_scan: Linearizable,
+                sorted_scan: false,
+                snapshot_scan: false,
+            },
+            ContainerKind::ConcurrentSkipListMap => ContainerProps {
+                name: "ConcurrentSkipListMap",
+                lookup_lookup: Linearizable,
+                lookup_write: Linearizable,
+                scan_write: Weak,
+                write_write: Linearizable,
+                lookup_scan: Linearizable,
+                scan_scan: Linearizable,
+                sorted_scan: true,
+                snapshot_scan: false,
+            },
+            ContainerKind::CopyOnWriteArrayList => ContainerProps {
+                name: "CopyOnWriteArrayList",
+                lookup_lookup: Linearizable,
+                lookup_write: Linearizable,
+                scan_write: Linearizable,
+                write_write: Linearizable,
+                lookup_scan: Linearizable,
+                scan_scan: Linearizable,
+                sorted_scan: true,
+                snapshot_scan: true,
+            },
+            ContainerKind::SplayTreeMap => ContainerProps {
+                name: "SplayTreeMap",
+                lookup_lookup: Unsafe,
+                lookup_write: Unsafe,
+                scan_write: Unsafe,
+                write_write: Unsafe,
+                lookup_scan: Unsafe,
+                scan_scan: Unsafe,
+                sorted_scan: true,
+                snapshot_scan: false,
+            },
+            ContainerKind::Singleton => ContainerProps {
+                name: "Singleton",
+                lookup_lookup: Linearizable,
+                lookup_write: Linearizable,
+                scan_write: Linearizable,
+                write_write: Linearizable,
+                lookup_scan: Linearizable,
+                scan_scan: Linearizable,
+                sorted_scan: true,
+                snapshot_scan: true,
+            },
+        }
+    }
+
+    /// Instantiates an empty container of this kind.
+    pub fn instantiate<K: Key, V: Val>(self) -> Box<dyn Container<K, V>> {
+        match self {
+            ContainerKind::HashMap => Box::new(ChainedHashMap::new()),
+            ContainerKind::TreeMap => Box::new(AvlTreeMap::new()),
+            ContainerKind::ConcurrentHashMap => Box::new(StripedHashMap::new()),
+            ContainerKind::ConcurrentSkipListMap => Box::new(ConcurrentSkipListMap::new()),
+            ContainerKind::CopyOnWriteArrayList => Box::new(CowArrayList::new()),
+            ContainerKind::SplayTreeMap => Box::new(SplayTreeMap::new()),
+            ContainerKind::Singleton => Box::new(SingletonCell::new()),
+        }
+    }
+}
+
+impl fmt::Display for ContainerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.props().name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instantiate_all_kinds() {
+        for kind in ContainerKind::ALL {
+            let c: Box<dyn Container<i64, i64>> = kind.instantiate();
+            assert!(c.is_empty());
+            assert_eq!(c.len(), 0);
+            assert_eq!(c.props().name, kind.props().name);
+            assert!(!format!("{c:?}").is_empty());
+            assert_eq!(kind.to_string(), kind.props().name);
+        }
+    }
+
+    #[test]
+    fn props_match_paper_classification() {
+        assert!(!ContainerKind::HashMap.props().is_concurrency_safe());
+        assert!(!ContainerKind::TreeMap.props().is_concurrency_safe());
+        assert!(ContainerKind::ConcurrentHashMap.props().is_concurrency_safe());
+        assert!(ContainerKind::ConcurrentSkipListMap.props().is_concurrency_safe());
+        assert!(ContainerKind::CopyOnWriteArrayList.props().is_concurrency_safe());
+        assert!(!ContainerKind::SplayTreeMap.props().is_concurrency_safe());
+        assert!(ContainerKind::Singleton.props().is_concurrency_safe());
+    }
+
+    #[test]
+    fn sorted_scan_flags() {
+        assert!(!ContainerKind::HashMap.props().sorted_scan);
+        assert!(ContainerKind::TreeMap.props().sorted_scan);
+        assert!(!ContainerKind::ConcurrentHashMap.props().sorted_scan);
+        assert!(ContainerKind::ConcurrentSkipListMap.props().sorted_scan);
+    }
+}

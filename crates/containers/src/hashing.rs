@@ -1,0 +1,84 @@
+//! Deterministic hashing for container buckets and lock striping.
+//!
+//! Hash-based containers and striped lock placements need a hash that is a
+//! pure function of the key (no per-process randomization), so that stripe
+//! indices (§4.4: `i = t(src) mod k`) are stable and reproducible across
+//! runs and threads.
+
+use std::hash::{Hash, Hasher};
+
+/// FNV-1a, 64-bit: small, fast, deterministic.
+#[derive(Debug, Clone)]
+pub struct FnvHasher(u64);
+
+const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(OFFSET)
+    }
+}
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(PRIME);
+        }
+    }
+}
+
+/// Hashes a key deterministically.
+///
+/// # Examples
+///
+/// ```
+/// use relc_containers::hashing::hash_key;
+/// assert_eq!(hash_key(&42i64), hash_key(&42i64));
+/// assert_ne!(hash_key(&42i64), hash_key(&43i64));
+/// ```
+pub fn hash_key<K: Hash + ?Sized>(key: &K) -> u64 {
+    let mut h = FnvHasher::default();
+    key.hash(&mut h);
+    // A final avalanche step (splitmix64 finalizer) so sequential integers
+    // spread across buckets and stripes.
+    let mut x = h.finish();
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_key("abc"), hash_key("abc"));
+        assert_eq!(hash_key(&(1u64, 2u64)), hash_key(&(1u64, 2u64)));
+    }
+
+    #[test]
+    fn spreads_sequential_keys() {
+        // With 16 buckets, 1000 sequential keys should hit every bucket.
+        let mut counts = [0usize; 16];
+        for i in 0..1000i64 {
+            counts[(hash_key(&i) % 16) as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 20), "{counts:?}");
+    }
+
+    #[test]
+    fn differs_for_different_keys() {
+        let hashes: std::collections::HashSet<u64> = (0..1000i64).map(|i| hash_key(&i)).collect();
+        assert_eq!(hashes.len(), 1000, "no collisions expected in this tiny set");
+    }
+}

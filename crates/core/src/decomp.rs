@@ -1,0 +1,815 @@
+//! The concurrent decomposition language (§4.1).
+//!
+//! A decomposition is a rooted DAG describing how to represent a relation as
+//! a combination of container data structures. Each node `v : A ▷ B` pairs
+//! the columns `A` fixed by paths from the root with the residual columns
+//! `B` represented by the subgraph below `v`; each edge carries a set of
+//! columns and a container choice.
+//!
+//! [`Decomposition::builder`] checks *adequacy* (the conditions of Hawkins
+//! et al. \[12\], under which every relation satisfying the specification is
+//! representable):
+//!
+//! * the graph is a DAG, rooted, with every node reachable from the root;
+//! * for every edge `u → v`: `A_v = A_u ∪ cols(uv)` (consistent across all
+//!   of `v`'s incoming edges) and `cols(uv)` is disjoint from `A_u`;
+//! * for every edge `u → v`: `B_u = cols(uv) ∪ B_v` — every branch below a
+//!   node covers the node's full residual, so any maximal path from the
+//!   root binds every column;
+//! * sinks have empty residuals (their `A` is the full column set);
+//! * a [`ContainerKind::Singleton`] edge is only legal where the functional
+//!   dependencies guarantee at most one entry (`A_u → cols(uv)`).
+
+use std::fmt;
+use std::sync::Arc;
+
+use relc_containers::ContainerKind;
+use relc_spec::{ColumnSet, RelationSchema};
+
+use crate::error::CoreError;
+
+/// Identifier of a decomposition node (index into [`Decomposition::nodes`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u16);
+
+impl NodeId {
+    /// Dense index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a decomposition edge (index into [`Decomposition::edges`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub(crate) u16);
+
+impl EdgeId {
+    /// Dense index of this edge.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A decomposition node `v : A ▷ B`.
+#[derive(Debug, Clone)]
+pub struct NodeMeta {
+    /// Human-readable name (e.g. `ρ`, `x`).
+    pub name: String,
+    /// `A`: the columns whose valuation identifies an instance of this node.
+    pub key_cols: ColumnSet,
+    /// `B`: the residual columns represented below this node.
+    pub residual: ColumnSet,
+    /// Outgoing edges, in insertion order.
+    pub outgoing: Vec<EdgeId>,
+    /// Incoming edges, in insertion order.
+    pub incoming: Vec<EdgeId>,
+}
+
+/// A decomposition edge `u → v` with its column set and container choice.
+#[derive(Debug, Clone)]
+pub struct EdgeMeta {
+    /// Source node.
+    pub src: NodeId,
+    /// Target node.
+    pub dst: NodeId,
+    /// The columns bound by traversing this edge (the container key).
+    pub cols: ColumnSet,
+    /// The container implementing this edge.
+    pub container: ContainerKind,
+    /// Whether the FDs guarantee at most one entry per container instance.
+    pub singleton: bool,
+}
+
+/// A validated decomposition: the static description of the heap.
+#[derive(Debug, Clone)]
+pub struct Decomposition {
+    schema: Arc<RelationSchema>,
+    nodes: Vec<NodeMeta>,
+    edges: Vec<EdgeMeta>,
+    root: NodeId,
+    /// `topo_pos[node] = position` in a fixed topological order; the first
+    /// component of the global lock order (§5.1).
+    topo_pos: Vec<u16>,
+    /// `dominators[node]` = set of nodes (as a bitmask) dominating `node`
+    /// w.r.t. the root, including itself.
+    dominators: Vec<u64>,
+}
+
+impl Decomposition {
+    /// Starts building a decomposition for `schema`. The root node `ρ` is
+    /// created implicitly.
+    pub fn builder(schema: Arc<RelationSchema>) -> DecompositionBuilder {
+        DecompositionBuilder::new(schema)
+    }
+
+    /// The relation schema this decomposition represents.
+    pub fn schema(&self) -> &Arc<RelationSchema> {
+        &self.schema
+    }
+
+    /// The root node `ρ`.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &NodeMeta)> + '_ {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i as u16), n))
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, &EdgeMeta)> + '_ {
+        self.edges.iter().enumerate().map(|(i, e)| (EdgeId(i as u16), e))
+    }
+
+    /// Node metadata.
+    pub fn node(&self, id: NodeId) -> &NodeMeta {
+        &self.nodes[id.index()]
+    }
+
+    /// Edge metadata.
+    pub fn edge(&self, id: EdgeId) -> &EdgeMeta {
+        &self.edges[id.index()]
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The position of `node` in the fixed topological order (the first
+    /// component of the lock order, §5.1).
+    pub fn topo_position(&self, node: NodeId) -> u16 {
+        self.topo_pos[node.index()]
+    }
+
+    /// Whether `a` dominates `b`: every path from the root to `b` passes
+    /// through `a`. Every node dominates itself.
+    pub fn dominates(&self, a: NodeId, b: NodeId) -> bool {
+        self.dominators[b.index()] & (1u64 << a.0) != 0
+    }
+
+    /// Finds a node by name.
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|n| n.name == name)
+            .map(|i| NodeId(i as u16))
+    }
+
+    /// Finds the edge between two named nodes.
+    pub fn edge_between(&self, src: &str, dst: &str) -> Option<EdgeId> {
+        let s = self.node_by_name(src)?;
+        let d = self.node_by_name(dst)?;
+        self.edges
+            .iter()
+            .position(|e| e.src == s && e.dst == d)
+            .map(|i| EdgeId(i as u16))
+    }
+
+    /// All simple paths (edge sequences) from `from` to `to`.
+    pub fn paths_between(&self, from: NodeId, to: NodeId) -> Vec<Vec<EdgeId>> {
+        let mut out = Vec::new();
+        let mut stack = Vec::new();
+        self.paths_rec(from, to, &mut stack, &mut out);
+        out
+    }
+
+    fn paths_rec(
+        &self,
+        cur: NodeId,
+        to: NodeId,
+        stack: &mut Vec<EdgeId>,
+        out: &mut Vec<Vec<EdgeId>>,
+    ) {
+        if cur == to {
+            out.push(stack.clone());
+            return;
+        }
+        for &e in &self.nodes[cur.index()].outgoing {
+            stack.push(e);
+            self.paths_rec(self.edges[e.index()].dst, to, stack, out);
+            stack.pop();
+        }
+    }
+
+    /// Renders the decomposition in a compact text form, e.g.
+    /// `ρ -{src}-> u [TreeMap]; u -{dst}-> v [TreeMap]; ...`.
+    pub fn describe(&self) -> String {
+        let cat = self.schema.catalog();
+        let mut parts = Vec::new();
+        for e in &self.edges {
+            parts.push(format!(
+                "{} -{}-> {} [{}{}]",
+                self.nodes[e.src.index()].name,
+                cat.render_set(e.cols),
+                self.nodes[e.dst.index()].name,
+                e.container,
+                if e.singleton { ", singleton" } else { "" },
+            ));
+        }
+        parts.join("; ")
+    }
+}
+
+impl fmt::Display for Decomposition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+/// Builder for [`Decomposition`]; see [`Decomposition::builder`].
+#[derive(Debug)]
+pub struct DecompositionBuilder {
+    schema: Arc<RelationSchema>,
+    names: Vec<String>,
+    edges: Vec<(usize, usize, ColumnSet, ContainerKind)>,
+}
+
+impl DecompositionBuilder {
+    fn new(schema: Arc<RelationSchema>) -> Self {
+        DecompositionBuilder {
+            schema,
+            names: vec!["ρ".to_owned()],
+            edges: Vec::new(),
+        }
+    }
+
+    /// The implicit root node `ρ`.
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Adds a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        assert!(
+            !self.names.iter().any(|n| n == name),
+            "duplicate node name {name}"
+        );
+        self.names.push(name.to_owned());
+        NodeId((self.names.len() - 1) as u16)
+    }
+
+    /// Adds an edge `src → dst` binding `cols` (by name), implemented by
+    /// `container`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Spec`] for unknown column names.
+    pub fn edge(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        cols: &[&str],
+        container: ContainerKind,
+    ) -> Result<&mut Self, CoreError> {
+        let cols = self.schema.column_set(cols)?;
+        self.edges.push((src.index(), dst.index(), cols, container));
+        Ok(self)
+    }
+
+    /// Validates adequacy and produces the decomposition.
+    ///
+    /// # Errors
+    ///
+    /// See [`CoreError::MalformedDecomposition`] and
+    /// [`CoreError::Inadequate`].
+    pub fn build(&self) -> Result<Arc<Decomposition>, CoreError> {
+        let n = self.names.len();
+        if n > 64 {
+            return Err(CoreError::MalformedDecomposition(
+                "more than 64 nodes".into(),
+            ));
+        }
+        let mut nodes: Vec<NodeMeta> = self
+            .names
+            .iter()
+            .map(|name| NodeMeta {
+                name: name.clone(),
+                key_cols: ColumnSet::EMPTY,
+                residual: ColumnSet::EMPTY,
+                outgoing: Vec::new(),
+                incoming: Vec::new(),
+            })
+            .collect();
+        let mut edges: Vec<EdgeMeta> = Vec::with_capacity(self.edges.len());
+        for (i, (src, dst, cols, container)) in self.edges.iter().enumerate() {
+            if *src >= n || *dst >= n {
+                return Err(CoreError::MalformedDecomposition(format!(
+                    "edge {i} references unknown node"
+                )));
+            }
+            if cols.is_empty() {
+                return Err(CoreError::MalformedDecomposition(format!(
+                    "edge {} -> {} has no columns",
+                    self.names[*src], self.names[*dst]
+                )));
+            }
+            if edges
+                .iter()
+                .any(|e: &EdgeMeta| e.src.index() == *src && e.dst.index() == *dst)
+            {
+                return Err(CoreError::MalformedDecomposition(format!(
+                    "duplicate edge {} -> {}",
+                    self.names[*src], self.names[*dst]
+                )));
+            }
+            let id = EdgeId(i as u16);
+            nodes[*src].outgoing.push(id);
+            nodes[*dst].incoming.push(id);
+            edges.push(EdgeMeta {
+                src: NodeId(*src as u16),
+                dst: NodeId(*dst as u16),
+                cols: *cols,
+                container: *container,
+                singleton: false,
+            });
+        }
+        if !nodes[0].incoming.is_empty() {
+            return Err(CoreError::MalformedDecomposition(
+                "root has incoming edges".into(),
+            ));
+        }
+
+        // Topological sort (Kahn); also detects cycles.
+        let mut indeg: Vec<usize> = nodes.iter().map(|v| v.incoming.len()).collect();
+        let mut topo: Vec<NodeId> = Vec::with_capacity(n);
+        let mut queue: Vec<NodeId> = vec![NodeId(0)];
+        // Non-root nodes with zero in-degree are unreachable; caught below.
+        while let Some(v) = queue.pop() {
+            topo.push(v);
+            for &e in &nodes[v.index()].outgoing {
+                let d = edges[e.index()].dst;
+                indeg[d.index()] -= 1;
+                if indeg[d.index()] == 0 {
+                    queue.push(d);
+                }
+            }
+        }
+        if topo.len() != n {
+            return Err(CoreError::MalformedDecomposition(
+                "graph has a cycle or a node unreachable from the root".into(),
+            ));
+        }
+        let mut topo_pos = vec![0u16; n];
+        for (pos, v) in topo.iter().enumerate() {
+            topo_pos[v.index()] = pos as u16;
+        }
+
+        // Key columns: A_v = A_u ∪ cols(uv), consistent over incoming edges,
+        // and cols(uv) disjoint from A_u. Process in topological order.
+        for &v in &topo {
+            if v.index() == 0 {
+                continue;
+            }
+            let mut acc: Option<ColumnSet> = None;
+            for &e in &nodes[v.index()].incoming.clone() {
+                let em = &edges[e.index()];
+                let a_u = nodes[em.src.index()].key_cols;
+                if !a_u.is_disjoint(em.cols) {
+                    return Err(CoreError::Inadequate(format!(
+                        "edge {} -> {} rebinds columns already fixed at its source",
+                        nodes[em.src.index()].name, nodes[v.index()].name
+                    )));
+                }
+                let a_v = a_u.union(em.cols);
+                match acc {
+                    None => acc = Some(a_v),
+                    Some(prev) if prev == a_v => {}
+                    Some(_) => {
+                        return Err(CoreError::Inadequate(format!(
+                            "node {} has inconsistent key columns across incoming edges",
+                            nodes[v.index()].name
+                        )))
+                    }
+                }
+            }
+            nodes[v.index()].key_cols = acc.expect("non-root reachable node has incoming edges");
+        }
+
+        // Residuals: B_v computed bottom-up; every outgoing edge must cover
+        // the full residual: B_u = cols(uv) ∪ B_v for all uv.
+        let all = self.schema.columns();
+        for &v in topo.iter().rev() {
+            let vm = &nodes[v.index()];
+            if vm.outgoing.is_empty() {
+                if vm.key_cols != all {
+                    return Err(CoreError::Inadequate(format!(
+                        "sink node {} binds {} but the relation has columns {}",
+                        vm.name,
+                        self.schema.catalog().render_set(vm.key_cols),
+                        self.schema.catalog().render_set(all)
+                    )));
+                }
+                continue; // residual stays empty
+            }
+            let mut acc: Option<ColumnSet> = None;
+            for &e in &vm.outgoing {
+                let em = &edges[e.index()];
+                let b = em.cols.union(nodes[em.dst.index()].residual);
+                match acc {
+                    None => acc = Some(b),
+                    Some(prev) if prev == b => {}
+                    Some(prev) => {
+                        return Err(CoreError::Inadequate(format!(
+                            "node {} has branches covering different residuals ({} vs {})",
+                            nodes[v.index()].name,
+                            self.schema.catalog().render_set(prev),
+                            self.schema.catalog().render_set(b)
+                        )))
+                    }
+                }
+            }
+            let residual = acc.expect("checked outgoing non-empty");
+            let v_idx = v.index();
+            if !nodes[v_idx].key_cols.is_disjoint(residual) {
+                return Err(CoreError::Inadequate(format!(
+                    "node {} residual overlaps its key columns",
+                    nodes[v_idx].name
+                )));
+            }
+            nodes[v_idx].residual = residual;
+        }
+        if nodes[0].residual != all {
+            return Err(CoreError::Inadequate(format!(
+                "root represents {} but the relation has columns {}",
+                self.schema.catalog().render_set(nodes[0].residual),
+                self.schema.catalog().render_set(all)
+            )));
+        }
+
+        // Singleton analysis and container legality.
+        for e in &mut edges {
+            let a_u = nodes[e.src.index()].key_cols;
+            e.singleton = self.schema.fds().determines(a_u, e.cols);
+            if e.container == ContainerKind::Singleton && !e.singleton {
+                return Err(CoreError::IncompatibleContainer(format!(
+                    "edge {} -> {} uses a Singleton container but the FDs allow \
+                     multiple entries",
+                    nodes[e.src.index()].name, nodes[e.dst.index()].name
+                )));
+            }
+        }
+
+        // Dominators (iterative dataflow over the DAG in topo order).
+        let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let mut dom = vec![full; n];
+        dom[0] = 1; // root dominated only by itself
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &v in &topo {
+                if v.index() == 0 {
+                    continue;
+                }
+                let mut acc = full;
+                for &e in &nodes[v.index()].incoming {
+                    acc &= dom[edges[e.index()].src.index()];
+                }
+                acc |= 1u64 << v.0;
+                if acc != dom[v.index()] {
+                    dom[v.index()] = acc;
+                    changed = true;
+                }
+            }
+        }
+
+        Ok(Arc::new(Decomposition {
+            schema: Arc::clone(&self.schema),
+            nodes,
+            edges,
+            root: NodeId(0),
+            topo_pos,
+            dominators: dom,
+        }))
+    }
+}
+
+/// The paper's ready-made decompositions.
+pub mod library {
+    use super::*;
+    use relc_spec::library as schemas;
+
+    /// Fig. 3(a): the "stick" — a chain `ρ -src→ u -dst→ v -weight→ w`.
+    ///
+    /// `map1` implements the first level, `map2` the second; the weight edge
+    /// is a singleton.
+    pub fn stick(map1: ContainerKind, map2: ContainerKind) -> Arc<Decomposition> {
+        let schema = schemas::graph_schema();
+        let mut b = Decomposition::builder(schema);
+        let root = b.root();
+        let u = b.node("u");
+        let v = b.node("v");
+        let w = b.node("w");
+        b.edge(root, u, &["src"], map1).expect("valid columns");
+        b.edge(u, v, &["dst"], map2).expect("valid columns");
+        b.edge(v, w, &["weight"], ContainerKind::Singleton)
+            .expect("valid columns");
+        b.build().expect("stick is adequate")
+    }
+
+    /// Fig. 3(b): the "split" — independent src-first and dst-first chains.
+    ///
+    /// Nodes: `ρ`, `u`(src), `w`(src,dst), `x`(leaf), `v`(dst), `y`(dst,src),
+    /// `z`(leaf).
+    pub fn split(top: ContainerKind, second: ContainerKind) -> Arc<Decomposition> {
+        let schema = schemas::graph_schema();
+        let mut b = Decomposition::builder(schema);
+        let root = b.root();
+        let u = b.node("u");
+        let w = b.node("w");
+        let x = b.node("x");
+        let v = b.node("v");
+        let y = b.node("y");
+        let z = b.node("z");
+        b.edge(root, u, &["src"], top).expect("valid columns");
+        b.edge(u, w, &["dst"], second).expect("valid columns");
+        b.edge(w, x, &["weight"], ContainerKind::Singleton)
+            .expect("valid columns");
+        b.edge(root, v, &["dst"], top).expect("valid columns");
+        b.edge(v, y, &["src"], second).expect("valid columns");
+        b.edge(y, z, &["weight"], ContainerKind::Singleton)
+            .expect("valid columns");
+        b.build().expect("split is adequate")
+    }
+
+    /// Fig. 3(c): the "diamond" — src-first and dst-first indexes sharing
+    /// the `(src, dst)` node `w`, which holds the weight.
+    pub fn diamond(top: ContainerKind, second: ContainerKind) -> Arc<Decomposition> {
+        let schema = schemas::graph_schema();
+        let mut b = Decomposition::builder(schema);
+        let root = b.root();
+        let x = b.node("x");
+        let y = b.node("y");
+        let w = b.node("w");
+        let z = b.node("z");
+        b.edge(root, x, &["src"], top).expect("valid columns");
+        b.edge(root, y, &["dst"], top).expect("valid columns");
+        b.edge(x, w, &["dst"], second).expect("valid columns");
+        b.edge(y, w, &["src"], second).expect("valid columns");
+        b.edge(w, z, &["weight"], ContainerKind::Singleton)
+            .expect("valid columns");
+        b.build().expect("diamond is adequate")
+    }
+
+    /// Fig. 2(a): the filesystem directory-tree ("dcache") decomposition:
+    /// a parent→name tree plus a global (parent, name) hash index sharing
+    /// node `y`.
+    pub fn dcache() -> Arc<Decomposition> {
+        let schema = schemas::dcache_schema();
+        let mut b = Decomposition::builder(schema);
+        let root = b.root();
+        let x = b.node("x");
+        let y = b.node("y");
+        let z = b.node("z");
+        b.edge(root, x, &["parent"], ContainerKind::TreeMap)
+            .expect("valid columns");
+        b.edge(x, y, &["name"], ContainerKind::TreeMap)
+            .expect("valid columns");
+        b.edge(root, y, &["parent", "name"], ContainerKind::ConcurrentHashMap)
+            .expect("valid columns");
+        b.edge(y, z, &["child"], ContainerKind::Singleton)
+            .expect("valid columns");
+        b.build().expect("dcache is adequate")
+    }
+
+    /// A two-level key-value map `ρ -key→ a -value→ b` over the kv schema.
+    pub fn kv(map: ContainerKind) -> Arc<Decomposition> {
+        let schema = schemas::kv_schema();
+        let mut b = Decomposition::builder(schema);
+        let root = b.root();
+        let a = b.node("a");
+        let bb = b.node("b");
+        b.edge(root, a, &["key"], map).expect("valid columns");
+        b.edge(a, bb, &["value"], ContainerKind::Singleton)
+            .expect("valid columns");
+        b.build().expect("kv is adequate")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::library::*;
+    use super::*;
+    use relc_spec::library as schemas;
+
+    #[test]
+    fn stick_types_match_paper() {
+        let d = stick(ContainerKind::TreeMap, ContainerKind::TreeMap);
+        assert_eq!(d.node_count(), 4);
+        assert_eq!(d.edge_count(), 3);
+        let u = d.node_by_name("u").unwrap();
+        let v = d.node_by_name("v").unwrap();
+        let w = d.node_by_name("w").unwrap();
+        let s = d.schema();
+        assert_eq!(d.node(u).key_cols, s.column_set(&["src"]).unwrap());
+        assert_eq!(d.node(u).residual, s.column_set(&["dst", "weight"]).unwrap());
+        assert_eq!(d.node(v).key_cols, s.column_set(&["src", "dst"]).unwrap());
+        assert_eq!(d.node(w).key_cols, s.columns());
+        assert!(d.node(w).residual.is_empty());
+        // weight edge is a singleton by the FD src,dst → weight
+        let vw = d.edge_between("v", "w").unwrap();
+        assert!(d.edge(vw).singleton);
+        let uv = d.edge_between("u", "v").unwrap();
+        assert!(!d.edge(uv).singleton);
+    }
+
+    #[test]
+    fn split_has_independent_branches() {
+        let d = split(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap);
+        assert_eq!(d.node_count(), 7);
+        assert_eq!(d.edge_count(), 6);
+        let y = d.node_by_name("y").unwrap();
+        let s = d.schema();
+        assert_eq!(d.node(y).key_cols, s.column_set(&["src", "dst"]).unwrap());
+        // Root residual covers everything through both branches.
+        assert_eq!(d.node(d.root()).residual, s.columns());
+    }
+
+    #[test]
+    fn diamond_shares_w() {
+        let d = diamond(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap);
+        let w = d.node_by_name("w").unwrap();
+        assert_eq!(d.node(w).incoming.len(), 2);
+        // ρ and w dominate w; x and y do not.
+        assert!(d.dominates(d.root(), w));
+        assert!(d.dominates(w, w));
+        assert!(!d.dominates(d.node_by_name("x").unwrap(), w));
+        assert!(!d.dominates(d.node_by_name("y").unwrap(), w));
+        // Two paths root → w.
+        assert_eq!(d.paths_between(d.root(), w).len(), 2);
+    }
+
+    #[test]
+    fn dcache_matches_figure2() {
+        let d = dcache();
+        assert_eq!(d.node_count(), 4);
+        assert_eq!(d.edge_count(), 4);
+        let y = d.node_by_name("y").unwrap();
+        assert_eq!(d.node(y).incoming.len(), 2, "y is shared (tree + hash index)");
+        let s = d.schema();
+        assert_eq!(d.node(y).key_cols, s.column_set(&["parent", "name"]).unwrap());
+        let yz = d.edge_between("y", "z").unwrap();
+        assert!(d.edge(yz).singleton, "parent,name → child makes yz a singleton");
+        assert!(d.describe().contains("TreeMap"));
+    }
+
+    #[test]
+    fn topo_order_is_consistent() {
+        let d = diamond(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap);
+        for (_, e) in d.edges() {
+            assert!(
+                d.topo_position(e.src) < d.topo_position(e.dst),
+                "edges go forward in topo order"
+            );
+        }
+        assert_eq!(d.topo_position(d.root()), 0);
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let schema = schemas::graph_schema();
+        let mut b = Decomposition::builder(schema);
+        let root = b.root();
+        let a = b.node("a");
+        let c = b.node("c");
+        b.edge(root, a, &["src"], ContainerKind::HashMap).unwrap();
+        b.edge(a, c, &["dst"], ContainerKind::HashMap).unwrap();
+        b.edge(c, a, &["weight"], ContainerKind::HashMap).unwrap();
+        assert!(matches!(
+            b.build(),
+            Err(CoreError::MalformedDecomposition(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_unreachable_node() {
+        let schema = schemas::graph_schema();
+        let mut b = Decomposition::builder(schema);
+        let root = b.root();
+        let a = b.node("a");
+        let _orphan = b.node("orphan");
+        b.edge(root, a, &["src"], ContainerKind::HashMap).unwrap();
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn rejects_incomplete_sink() {
+        // Chain binding only src, dst — sink misses weight.
+        let schema = schemas::graph_schema();
+        let mut b = Decomposition::builder(schema);
+        let root = b.root();
+        let a = b.node("a");
+        let c = b.node("c");
+        b.edge(root, a, &["src"], ContainerKind::HashMap).unwrap();
+        b.edge(a, c, &["dst"], ContainerKind::HashMap).unwrap();
+        match b.build() {
+            Err(CoreError::Inadequate(msg)) => assert!(msg.contains("sink"), "{msg}"),
+            other => panic!("expected Inadequate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_inconsistent_shared_node_keys() {
+        // w reached with keys {src,dst} on one path, {src} on the other.
+        let schema = schemas::graph_schema();
+        let mut b = Decomposition::builder(schema);
+        let root = b.root();
+        let x = b.node("x");
+        let w = b.node("w");
+        b.edge(root, x, &["src"], ContainerKind::HashMap).unwrap();
+        b.edge(x, w, &["dst"], ContainerKind::HashMap).unwrap();
+        b.edge(root, w, &["src"], ContainerKind::HashMap).unwrap();
+        assert!(matches!(b.build(), Err(CoreError::Inadequate(_))));
+    }
+
+    #[test]
+    fn rejects_branches_with_unequal_residuals() {
+        let schema = schemas::graph_schema();
+        let mut b = Decomposition::builder(schema);
+        let root = b.root();
+        // Branch 1: full chain; branch 2: root→leaf directly missing weight
+        let u = b.node("u");
+        let v = b.node("v");
+        let w = b.node("w");
+        let q = b.node("q");
+        b.edge(root, u, &["src"], ContainerKind::HashMap).unwrap();
+        b.edge(u, v, &["dst"], ContainerKind::HashMap).unwrap();
+        b.edge(v, w, &["weight"], ContainerKind::Singleton).unwrap();
+        b.edge(root, q, &["src", "dst"], ContainerKind::HashMap).unwrap();
+        // q is a sink binding only src,dst → inadequate.
+        assert!(matches!(b.build(), Err(CoreError::Inadequate(_))));
+    }
+
+    #[test]
+    fn rejects_singleton_on_multi_entry_edge() {
+        let schema = schemas::graph_schema();
+        let mut b = Decomposition::builder(schema);
+        let root = b.root();
+        let u = b.node("u");
+        let v = b.node("v");
+        let w = b.node("w");
+        b.edge(root, u, &["src"], ContainerKind::Singleton).unwrap();
+        b.edge(u, v, &["dst"], ContainerKind::HashMap).unwrap();
+        b.edge(v, w, &["weight"], ContainerKind::Singleton).unwrap();
+        assert!(matches!(
+            b.build(),
+            Err(CoreError::IncompatibleContainer(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_edge_and_rebinding() {
+        let schema = schemas::graph_schema();
+        let mut b = Decomposition::builder(schema);
+        let root = b.root();
+        let u = b.node("u");
+        b.edge(root, u, &["src"], ContainerKind::HashMap).unwrap();
+        b.edge(root, u, &["src"], ContainerKind::TreeMap).unwrap();
+        assert!(matches!(
+            b.build(),
+            Err(CoreError::MalformedDecomposition(_))
+        ));
+
+        let schema = schemas::graph_schema();
+        let mut b = Decomposition::builder(schema);
+        let root = b.root();
+        let u = b.node("u");
+        let v = b.node("v");
+        b.edge(root, u, &["src"], ContainerKind::HashMap).unwrap();
+        // rebinding src on the next edge
+        b.edge(u, v, &["src"], ContainerKind::HashMap).unwrap();
+        assert!(matches!(b.build(), Err(CoreError::Inadequate(_))));
+    }
+
+    #[test]
+    fn unknown_column_surfaces_spec_error() {
+        let schema = schemas::graph_schema();
+        let mut b = Decomposition::builder(schema);
+        let root = b.root();
+        let u = b.node("u");
+        assert!(matches!(
+            b.edge(root, u, &["nope"], ContainerKind::HashMap),
+            Err(CoreError::Spec(_))
+        ));
+    }
+
+    #[test]
+    fn kv_decomposition() {
+        let d = kv(ContainerKind::ConcurrentHashMap);
+        assert_eq!(d.node_count(), 3);
+        let a = d.node_by_name("a").unwrap();
+        assert_eq!(d.node(a).key_cols, d.schema().column_set(&["key"]).unwrap());
+        let ab = d.edge_between("a", "b").unwrap();
+        assert!(d.edge(ab).singleton);
+    }
+}

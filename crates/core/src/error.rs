@@ -1,0 +1,73 @@
+//! Error types for the synthesis compiler.
+
+use std::fmt;
+
+use relc_spec::SpecError;
+
+/// Errors from building or validating decompositions and lock placements,
+/// or from compiling relational operations against them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The decomposition graph is malformed (cycle, unreachable node,
+    /// duplicate edge, bad root).
+    MalformedDecomposition(String),
+    /// The decomposition fails an adequacy condition of \[12\]: it cannot
+    /// represent every relation satisfying the specification.
+    Inadequate(String),
+    /// The lock placement violates a well-formedness condition (§4.3):
+    /// domination, path-sharing, striping, or speculation constraints.
+    IllFormedPlacement(String),
+    /// A container choice is incompatible with the lock placement (e.g. a
+    /// concurrency-unsafe container on an edge whose placement admits
+    /// concurrent access).
+    IncompatibleContainer(String),
+    /// The query planner found no valid plan for an operation under this
+    /// decomposition and placement.
+    NoValidPlan(String),
+    /// An operation's arguments violate its contract (§2), e.g. `remove`
+    /// with a non-key pattern.
+    Spec(SpecError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::MalformedDecomposition(m) => write!(f, "malformed decomposition: {m}"),
+            CoreError::Inadequate(m) => write!(f, "decomposition is not adequate: {m}"),
+            CoreError::IllFormedPlacement(m) => write!(f, "ill-formed lock placement: {m}"),
+            CoreError::IncompatibleContainer(m) => write!(f, "incompatible container: {m}"),
+            CoreError::NoValidPlan(m) => write!(f, "no valid query plan: {m}"),
+            CoreError::Spec(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Spec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SpecError> for CoreError {
+    fn from(e: SpecError) -> Self {
+        CoreError::Spec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::Inadequate("node x misses column weight".into());
+        assert!(e.to_string().contains("adequate"));
+        let e: CoreError = SpecError::UnknownColumn("zap".into()).into();
+        assert!(e.to_string().contains("zap"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,533 @@
+//! Plan execution under the two-phase locking engine (§5).
+//!
+//! The [`Executor`] interprets compiled plans against a decomposition
+//! instance, acquiring the physical locks named by the placement through a
+//! [`TwoPhaseEngine`]. Every operation is well-locked (locks precede the
+//! reads/writes they cover — a planner invariant) and two-phase (the engine
+//! releases only at commit/abort), so by §4.2 the operations are
+//! serializable; the §5.1 lock order plus the engine's try-and-restart rule
+//! for out-of-order acquisitions gives deadlock freedom.
+
+use std::collections::BTreeSet;
+use std::ops::ControlFlow;
+use std::sync::Arc;
+
+use relc_locks::{LockMode, MustRestart, TwoPhaseEngine};
+use relc_spec::Tuple;
+
+use crate::decomp::{Decomposition, EdgeId, NodeId};
+use crate::instance::{NodeInstance, NodeRef};
+use crate::placement::{LockPlacement, LockToken};
+use crate::planner::{InsertPlan, MutTraverse, Plan, RemovePlan};
+use crate::query::{PlanStep, QueryState};
+
+/// Executes compiled plans for one transaction at a time.
+pub struct Executor<'a> {
+    decomp: &'a Decomposition,
+    placement: &'a LockPlacement,
+    engine: &'a mut TwoPhaseEngine<LockToken>,
+    /// Ablation knob: ignore the planner's sort-elision analysis and always
+    /// sort lock sets at runtime (§5.2).
+    pub always_sort_locks: bool,
+}
+
+impl<'a> Executor<'a> {
+    /// Creates an executor borrowing the transaction's lock engine.
+    pub fn new(
+        decomp: &'a Decomposition,
+        placement: &'a LockPlacement,
+        engine: &'a mut TwoPhaseEngine<LockToken>,
+    ) -> Self {
+        Executor {
+            decomp,
+            placement,
+            engine,
+            always_sort_locks: false,
+        }
+    }
+
+    /// Acquires the physical locks implementing `edge`'s logical locks for
+    /// every state, in `mode`.
+    fn lock_step(
+        &mut self,
+        states: &[QueryState],
+        edge: EdgeId,
+        mode: LockMode,
+        presorted: bool,
+        all_stripes: bool,
+    ) -> Result<(), MustRestart> {
+        let host = self.placement.edge(edge).host;
+        let mut batch: Vec<(LockToken, Arc<relc_locks::PhysicalLock>)> = Vec::new();
+        for st in states {
+            let inst = st.instance(host);
+            let tokens = if all_stripes {
+                self.placement.all_stripe_tokens(edge, &st.tuple)
+            } else {
+                self.placement.fallback_tokens(edge, &st.tuple)
+            };
+            for tok in tokens {
+                let lock = Arc::clone(inst.lock(tok.stripe));
+                batch.push((tok, lock));
+            }
+        }
+        if !presorted || self.always_sort_locks {
+            batch.sort_by(|a, b| a.0.cmp(&b.0));
+        } else {
+            debug_assert!(
+                batch.windows(2).all(|w| w[0].0 <= w[1].0),
+                "planner sort-elision analysis was wrong"
+            );
+        }
+        for (tok, lock) in batch {
+            self.engine.acquire(tok, &lock, mode)?;
+        }
+        Ok(())
+    }
+
+    /// Point traversal: every state follows its bound key through `edge`'s
+    /// container; states whose edge instance is absent die.
+    fn lookup_step(&self, states: Vec<QueryState>, edge: EdgeId) -> Vec<QueryState> {
+        let em = self.decomp.edge(edge);
+        let mut out = Vec::with_capacity(states.len());
+        for mut st in states {
+            let key = st.tuple.project(em.cols);
+            debug_assert!(
+                key.is_valuation_for(em.cols),
+                "planner invariant: lookup key fully bound"
+            );
+            let src = st.instance(em.src).clone();
+            if let Some(child) = src.container(self.decomp, edge).lookup(&key) {
+                st.nodes[em.dst.index()] = Some(child);
+                out.push(st);
+            }
+        }
+        out
+    }
+
+    /// Scan traversal: every state fans out over `edge`'s container entries
+    /// that match its pattern.
+    fn scan_step(&self, states: Vec<QueryState>, edge: EdgeId) -> Vec<QueryState> {
+        let em = self.decomp.edge(edge);
+        let mut out = Vec::new();
+        for st in states {
+            let src = st.instance(em.src).clone();
+            src.container(self.decomp, edge)
+                .scan(&mut |k: &Tuple, child: &NodeRef| {
+                    if st.tuple.matches(k) {
+                        let mut next = st.clone();
+                        next.tuple = st.tuple.union(k).expect("matches implies mergeable");
+                        next.nodes[em.dst.index()] = Some(Arc::clone(child));
+                        out.push(next);
+                    }
+                    ControlFlow::Continue(())
+                });
+        }
+        out
+    }
+
+    /// §4.5 speculative point traversal for reads: guess with an unlocked
+    /// (linearizable) lookup, lock the target if present or the fallback
+    /// stripe if absent, re-validate, and restart the transaction on a
+    /// wrong guess.
+    fn spec_lookup_step(
+        &mut self,
+        states: Vec<QueryState>,
+        edge: EdgeId,
+        mode: LockMode,
+    ) -> Result<Vec<QueryState>, MustRestart> {
+        let em = self.decomp.edge(edge);
+        let mut out = Vec::new();
+        for mut st in states {
+            let key = st.tuple.project(em.cols);
+            let src = st.instance(em.src).clone();
+            let container = src.container(self.decomp, edge);
+            match container.lookup(&key) {
+                Some(child) => {
+                    // Guess: present. Lock the target instance, then verify
+                    // that the edge still points at the same object.
+                    let tok = self.placement.target_token(edge, child.key());
+                    let lock = Arc::clone(child.lock(0));
+                    self.engine.acquire(tok, &lock, mode)?;
+                    match container.lookup(&key) {
+                        Some(now) if Arc::ptr_eq(&now, &child) => {
+                            st.nodes[em.dst.index()] = Some(child);
+                            out.push(st);
+                        }
+                        _ => return Err(self.engine.fail_speculation()),
+                    }
+                }
+                None => {
+                    // Guess: absent. Lock the fallback stripe(s) at the
+                    // source, then verify the edge is still absent.
+                    for tok in self.placement.fallback_tokens(edge, &st.tuple) {
+                        let lock = Arc::clone(src.lock(tok.stripe));
+                        self.engine.acquire(tok, &lock, mode)?;
+                    }
+                    if container.lookup(&key).is_some() {
+                        return Err(self.engine.fail_speculation());
+                    }
+                    // Verified absent: the state dies (no tuple downstream).
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Runs a compiled query plan; returns the deduplicated projection of
+    /// the surviving states (§2's `query r s C`).
+    ///
+    /// # Errors
+    ///
+    /// [`MustRestart`] if lock acquisition or speculation failed; the caller
+    /// rolls back and retries.
+    pub fn run_query(
+        &mut self,
+        plan: &Plan,
+        pattern: &Tuple,
+        root: &NodeRef,
+    ) -> Result<Vec<Tuple>, MustRestart> {
+        let mut states = vec![QueryState::initial(
+            self.decomp,
+            pattern.clone(),
+            Arc::clone(root),
+        )];
+        for step in &plan.steps {
+            match step {
+                PlanStep::Lock { edge, mode, presorted, all_stripes } => {
+                    self.lock_step(&states, *edge, *mode, *presorted, *all_stripes)?;
+                }
+                PlanStep::Lookup { edge } => {
+                    states = self.lookup_step(states, *edge);
+                }
+                PlanStep::Scan { edge } => {
+                    states = self.scan_step(states, *edge);
+                }
+                PlanStep::SpecLookup { edge, mode } => {
+                    states = self.spec_lookup_step(states, *edge, *mode)?;
+                }
+            }
+            if states.is_empty() {
+                return Ok(Vec::new());
+            }
+        }
+        let set: BTreeSet<Tuple> = states
+            .into_iter()
+            .map(|st| st.tuple.project(plan.output))
+            .collect();
+        Ok(set.into_iter().collect())
+    }
+
+    /// Acquires exclusive locks on every root-hosted edge for the tuple
+    /// `bound` (insert: the full tuple; remove: the key pattern), in one
+    /// sorted batch. Root-hosted edges include all speculative fallbacks,
+    /// which freezes the presence of speculative edges for the rest of the
+    /// transaction. `force_all` selects edges whose whole stripe set must be
+    /// taken (scanned root edges in removals).
+    fn lock_root_batch(
+        &mut self,
+        bound: &Tuple,
+        root: &NodeRef,
+        force_all: &dyn Fn(EdgeId) -> bool,
+    ) -> Result<(), MustRestart> {
+        let mut batch: Vec<LockToken> = Vec::new();
+        for (e, _) in self.decomp.edges() {
+            if self.placement.edge(e).host == self.decomp.root() {
+                if force_all(e) {
+                    batch.extend(self.placement.all_stripe_tokens(e, bound));
+                } else {
+                    batch.extend(self.placement.fallback_tokens(e, bound));
+                }
+            }
+        }
+        batch.sort();
+        batch.dedup();
+        for tok in batch {
+            let lock = Arc::clone(root.lock(tok.stripe));
+            self.engine.acquire(tok, &lock, LockMode::Exclusive)?;
+        }
+        Ok(())
+    }
+
+    /// Runs a compiled insert plan for the full tuple `x = s ∪ t` with
+    /// pattern `s`. Returns whether the tuple was inserted (put-if-absent,
+    /// §2).
+    ///
+    /// # Errors
+    ///
+    /// [`MustRestart`] on lock contention; the caller rolls back and
+    /// retries.
+    pub fn run_insert(
+        &mut self,
+        plan: &InsertPlan,
+        x: &Tuple,
+        s: &Tuple,
+        root: &NodeRef,
+    ) -> Result<bool, MustRestart> {
+        self.lock_root_batch(x, root, &|_| false)?;
+
+        // Walk every edge in mutation order, locking non-root hosts and
+        // recording bindings/presence along x's projections.
+        let mut bindings: Vec<Option<NodeRef>> = vec![None; self.decomp.node_count()];
+        bindings[self.decomp.root().index()] = Some(Arc::clone(root));
+        let mut present = vec![false; self.decomp.edge_count()];
+        for &e in &plan.edges {
+            let em = self.decomp.edge(e);
+            let ep = self.placement.edge(e);
+            let host_bound = bindings[ep.host.index()].is_some();
+            if ep.host != self.decomp.root() && host_bound {
+                for tok in self.placement.fallback_tokens(e, x) {
+                    let lock = {
+                        let host_inst = bindings[ep.host.index()].as_ref().expect("bound");
+                        Arc::clone(host_inst.lock(tok.stripe))
+                    };
+                    self.engine.acquire(tok, &lock, LockMode::Exclusive)?;
+                }
+            }
+            // Traverse by x's projection (x is a full valuation).
+            let Some(src_inst) = bindings[em.src.index()].clone() else {
+                continue; // absent prefix: subtree will be created privately
+            };
+            let key = x.project(em.cols);
+            if let Some(child) = src_inst.container(self.decomp, e).lookup(&key) {
+                // Speculative edges: presence is frozen by the fallback
+                // lock held exclusively, so no target lock or re-validation
+                // is needed for the existence check.
+                match &bindings[em.dst.index()] {
+                    Some(prev) => debug_assert!(
+                        Arc::ptr_eq(prev, &child),
+                        "shared node reached with different instances"
+                    ),
+                    None => bindings[em.dst.index()] = Some(child),
+                }
+                present[e.index()] = true;
+            }
+        }
+
+        // Existence check: does any tuple extend s? (Chain over dom s.)
+        if self.check_exists(&plan.check, s, &bindings) {
+            return Ok(false);
+        }
+
+        // Materialize: create missing instances in topological order, then
+        // write the missing edges.
+        let mut order: Vec<NodeId> = self.decomp.nodes().map(|(id, _)| id).collect();
+        order.sort_by_key(|&v| self.decomp.topo_position(v));
+        for v in order {
+            if bindings[v.index()].is_none() {
+                let key = x.project(self.decomp.node(v).key_cols);
+                bindings[v.index()] =
+                    Some(NodeInstance::new(self.decomp, self.placement, v, key));
+            }
+        }
+        for &e in &plan.edges {
+            if present[e.index()] {
+                continue;
+            }
+            let em = self.decomp.edge(e);
+            let src = bindings[em.src.index()].as_ref().expect("all bound");
+            let dst = bindings[em.dst.index()].as_ref().expect("all bound");
+            let prev = src
+                .container(self.decomp, e)
+                .write(&x.project(em.cols), Some(Arc::clone(dst)));
+            debug_assert!(prev.is_none(), "edge instance appeared under our locks");
+        }
+        Ok(true)
+    }
+
+    /// Evaluates the existence-check chain over the recorded bindings: true
+    /// iff some tuple extends `s`.
+    fn check_exists(
+        &self,
+        check: &[(EdgeId, MutTraverse)],
+        s: &Tuple,
+        bindings: &[Option<NodeRef>],
+    ) -> bool {
+        // States: (pattern-so-far, instance). Lookup steps reuse the
+        // bindings recorded by the mutation walk (their keys coincide with
+        // s's projections); scan steps read the containers directly — their
+        // whole container instance is covered by the held locks.
+        let root = bindings[self.decomp.root().index()]
+            .as_ref()
+            .expect("root always bound");
+        let mut states: Vec<(Tuple, NodeRef)> = vec![(s.clone(), Arc::clone(root))];
+        for (e, kind) in check {
+            let em = self.decomp.edge(*e);
+            let mut next = Vec::new();
+            match kind {
+                MutTraverse::Lookup => {
+                    for (t, inst) in &states {
+                        let key = t.project(em.cols);
+                        if let Some(child) = inst.container(self.decomp, *e).lookup(&key) {
+                            next.push((t.clone(), child));
+                        }
+                    }
+                }
+                MutTraverse::Scan => {
+                    for (t, inst) in &states {
+                        inst.container(self.decomp, *e)
+                            .scan(&mut |k: &Tuple, child: &NodeRef| {
+                                if t.matches(k) {
+                                    let merged =
+                                        t.union(k).expect("matches implies mergeable");
+                                    next.push((merged, Arc::clone(child)));
+                                }
+                                ControlFlow::Continue(())
+                            });
+                    }
+                }
+            }
+            states = next;
+            if states.is_empty() {
+                return false;
+            }
+        }
+        !states.is_empty()
+    }
+
+    /// Runs a compiled remove plan for key pattern `s`. Returns the removed
+    /// tuple, if one existed (§2; at most one, since `s` is a key).
+    ///
+    /// # Errors
+    ///
+    /// [`MustRestart`] on lock contention; the caller rolls back and
+    /// retries.
+    pub fn run_remove(
+        &mut self,
+        plan: &RemovePlan,
+        s: &Tuple,
+        root: &NodeRef,
+    ) -> Result<Option<Tuple>, MustRestart> {
+        self.lock_root_batch(s, root, &|e| {
+            plan.edges
+                .iter()
+                .zip(&plan.all_stripes)
+                .any(|(&(pe, _), &all)| pe == e && all)
+        })?;
+
+        // Multi-state traversal: a scan over an edge whose columns are not
+        // bound by `s` (e.g. a by-cpu index when removing by pid) yields
+        // several *candidate* states; deeper edges filter them. Since `s`
+        // is a key, at most one candidate survives the full traversal.
+        let mut states = vec![QueryState::initial(self.decomp, s.clone(), Arc::clone(root))];
+        for (i, &(e, kind)) in plan.edges.iter().enumerate() {
+            let em = self.decomp.edge(e);
+            let ep = self.placement.edge(e);
+            // Lock (non-root hosts; the root batch covered the rest), one
+            // sorted batch across all candidate states.
+            if ep.host != self.decomp.root() {
+                let mut batch: Vec<(LockToken, Arc<relc_locks::PhysicalLock>)> = Vec::new();
+                for st in &states {
+                    let Some(host_inst) = st.nodes[ep.host.index()].clone() else {
+                        continue;
+                    };
+                    let tokens = if plan.all_stripes[i] {
+                        self.placement.all_stripe_tokens(e, &st.tuple)
+                    } else {
+                        self.placement.fallback_tokens(e, &st.tuple)
+                    };
+                    for tok in tokens {
+                        let lock = Arc::clone(host_inst.lock(tok.stripe));
+                        batch.push((tok, lock));
+                    }
+                }
+                batch.sort_by(|a, b| a.0.cmp(&b.0));
+                for (tok, lock) in batch {
+                    self.engine.acquire(tok, &lock, LockMode::Exclusive)?;
+                }
+            }
+            let mut next = Vec::with_capacity(states.len());
+            for st in states {
+                let Some(src_inst) = st.nodes[em.src.index()].clone() else {
+                    continue; // prefix absent for this candidate
+                };
+                let container = src_inst.container(self.decomp, e);
+                match kind {
+                    MutTraverse::Lookup => {
+                        let key = st.tuple.project(em.cols);
+                        if let Some(child) = container.lookup(&key) {
+                            if ep.speculative {
+                                // Exclude readers holding the target-side
+                                // lock; presence is already frozen by the
+                                // fallback lock from the root batch.
+                                let tok = self.placement.target_token(e, child.key());
+                                let lock = Arc::clone(child.lock(0));
+                                self.engine.acquire(tok, &lock, LockMode::Exclusive)?;
+                            }
+                            let mut st = st;
+                            merge_binding(&mut st.nodes, em.dst, child);
+                            next.push(st);
+                        }
+                    }
+                    MutTraverse::Scan => {
+                        container.scan(&mut |k: &Tuple, child: &NodeRef| {
+                            if st.tuple.matches(k) {
+                                let mut cand = st.clone();
+                                cand.tuple =
+                                    st.tuple.union(k).expect("matches implies mergeable");
+                                merge_binding(&mut cand.nodes, em.dst, Arc::clone(child));
+                                next.push(cand);
+                            }
+                            ControlFlow::Continue(())
+                        });
+                    }
+                }
+            }
+            states = next;
+            if states.is_empty() {
+                return Ok(None); // no tuple matches s
+            }
+        }
+        debug_assert!(
+            states.len() == 1,
+            "s is a key: at most one candidate can survive the full traversal"
+        );
+        let survivor = states.remove(0);
+        let tuple = survivor.tuple;
+        let bindings = survivor.nodes;
+
+        // All edges present: unlink bottom-up. A node dies when all its
+        // containers become empty; dying children are removed from every
+        // parent container.
+        let mut order: Vec<NodeId> = self.decomp.nodes().map(|(id, _)| id).collect();
+        order.sort_by_key(|&v| std::cmp::Reverse(self.decomp.topo_position(v)));
+        let mut dies = vec![false; self.decomp.node_count()];
+        for v in order {
+            let meta = self.decomp.node(v);
+            let inst = bindings[v.index()].as_ref().expect("all bound").clone();
+            if meta.outgoing.is_empty() {
+                dies[v.index()] = true;
+                continue;
+            }
+            for &e in &meta.outgoing {
+                let em = self.decomp.edge(e);
+                if dies[em.dst.index()] {
+                    let prev = inst
+                        .container(self.decomp, e)
+                        .write(&tuple.project(em.cols), None);
+                    debug_assert!(prev.is_some(), "edge vanished under our locks");
+                }
+            }
+            dies[v.index()] = v != self.decomp.root() && inst.is_exhausted();
+        }
+        Ok(Some(tuple))
+    }
+}
+
+fn merge_binding(bindings: &mut [Option<NodeRef>], node: NodeId, child: NodeRef) {
+    match &bindings[node.index()] {
+        Some(prev) => debug_assert!(
+            Arc::ptr_eq(prev, &child),
+            "shared node reached with different instances"
+        ),
+        None => bindings[node.index()] = Some(child),
+    }
+}
+
+impl std::fmt::Debug for Executor<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("placement", &self.placement.name())
+            .field("always_sort_locks", &self.always_sort_locks)
+            .finish()
+    }
+}

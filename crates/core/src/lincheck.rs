@@ -1,0 +1,308 @@
+//! A Wing–Gong style linearizability checker for concurrent-relation
+//! histories.
+//!
+//! The paper requires that "the implementations of the relational operations
+//! are linearizable" (§2). This module provides the test-side machinery: a
+//! recorder for per-thread operation histories (invocation/response
+//! timestamps plus observed results) and an exhaustive checker that searches
+//! for a sequential order, consistent with real time, under which the §2
+//! semantics explain every observed result.
+//!
+//! Complexity is exponential in the number of overlapping operations;
+//! intended for small stress histories (a few dozen operations).
+
+use std::collections::{BTreeSet, HashSet};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use relc_spec::{ColumnSet, RelationSchema, Tuple};
+
+/// One completed operation with its observed result.
+#[derive(Debug, Clone)]
+pub enum OpRecord {
+    /// `insert r s t` returning whether the tuple was inserted.
+    Insert {
+        /// Key pattern `s`.
+        s: Tuple,
+        /// Payload `t`.
+        t: Tuple,
+        /// Observed result.
+        result: bool,
+    },
+    /// `remove r s` returning the number of tuples removed.
+    Remove {
+        /// Key pattern `s`.
+        s: Tuple,
+        /// Observed result.
+        result: usize,
+    },
+    /// `query r s C` returning the sorted projection.
+    Query {
+        /// Pattern `s`.
+        s: Tuple,
+        /// Projection columns `C`.
+        cols: ColumnSet,
+        /// Observed result (sorted, deduplicated).
+        result: Vec<Tuple>,
+    },
+}
+
+/// A completed operation with real-time interval.
+#[derive(Debug, Clone)]
+pub struct HistoryEvent {
+    /// Invocation timestamp (ns from the recorder's epoch).
+    pub invoke_ns: u64,
+    /// Response timestamp.
+    pub respond_ns: u64,
+    /// The operation and its result.
+    pub op: OpRecord,
+}
+
+/// Thread-safe recorder of a concurrent history.
+#[derive(Debug)]
+pub struct HistoryRecorder {
+    epoch: Instant,
+    events: Mutex<Vec<HistoryEvent>>,
+}
+
+impl HistoryRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Arc<Self> {
+        Arc::new(HistoryRecorder {
+            epoch: Instant::now(),
+            events: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Times `f` and records its result as one event. The closure returns
+    /// the operation record describing what happened.
+    pub fn record<R>(&self, f: impl FnOnce() -> (R, OpRecord)) -> R {
+        let invoke_ns = self.epoch.elapsed().as_nanos() as u64;
+        let (r, op) = f();
+        let respond_ns = self.epoch.elapsed().as_nanos() as u64;
+        self.events.lock().expect("recorder").push(HistoryEvent {
+            invoke_ns,
+            respond_ns,
+            op,
+        });
+        r
+    }
+
+    /// Extracts the recorded history.
+    pub fn into_history(self: Arc<Self>) -> Vec<HistoryEvent> {
+        Arc::try_unwrap(self)
+            .expect("all recording threads joined")
+            .events
+            .into_inner()
+            .expect("recorder")
+    }
+}
+
+/// Applies `op` to the model state; returns `false` if the observed result
+/// contradicts the §2 semantics.
+fn apply(state: &mut BTreeSet<Tuple>, op: &OpRecord) -> bool {
+    match op {
+        OpRecord::Insert { s, t, result } => {
+            let exists = state.iter().any(|u| u.extends(s));
+            if exists {
+                !*result
+            } else {
+                if !*result {
+                    return false;
+                }
+                let x = s.union(t).expect("recorded inserts have disjoint domains");
+                state.insert(x);
+                true
+            }
+        }
+        OpRecord::Remove { s, result } => {
+            let before = state.len();
+            state.retain(|u| !u.extends(s));
+            before - state.len() == *result
+        }
+        OpRecord::Query { s, cols, result } => {
+            let got: BTreeSet<Tuple> = state
+                .iter()
+                .filter(|u| u.extends(s))
+                .map(|u| u.project(*cols))
+                .collect();
+            got.iter().cloned().collect::<Vec<_>>() == *result
+        }
+    }
+}
+
+/// Checks whether `history` is linearizable with respect to the §2 relation
+/// semantics, starting from an empty relation.
+///
+/// Uses Wing–Gong search: repeatedly pick a minimal operation (one invoked
+/// before every pending operation's response), apply it to the model, and
+/// backtrack on contradiction, memoizing failed (chosen-set, state) pairs.
+pub fn check_linearizable(_schema: &Arc<RelationSchema>, history: &[HistoryEvent]) -> bool {
+    assert!(
+        history.len() <= 63,
+        "checker is exponential; keep histories small"
+    );
+    let n = history.len();
+    if n == 0 {
+        return true;
+    }
+    let full: u64 = (1u64 << n) - 1;
+    let mut failed: HashSet<(u64, u64)> = HashSet::new();
+
+    fn state_hash(state: &BTreeSet<Tuple>) -> u64 {
+        // Order-independent-ish cheap hash over the sorted contents.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for t in state {
+            h = h.rotate_left(7) ^ t.stable_hash_of(t.dom());
+        }
+        h
+    }
+
+    fn search(
+        history: &[HistoryEvent],
+        done: u64,
+        full: u64,
+        state: &mut BTreeSet<Tuple>,
+        failed: &mut HashSet<(u64, u64)>,
+    ) -> bool {
+        if done == full {
+            return true;
+        }
+        let key = (done, state_hash(state));
+        if failed.contains(&key) {
+            return false;
+        }
+        // Minimal response time among pending ops.
+        let min_respond = history
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| done & (1 << i) == 0)
+            .map(|(_, e)| e.respond_ns)
+            .min()
+            .expect("pending ops exist");
+        for (i, e) in history.iter().enumerate() {
+            if done & (1 << i) != 0 {
+                continue;
+            }
+            // Real-time constraint: `e` may linearize next only if no
+            // pending op responded before `e` was invoked.
+            if e.invoke_ns > min_respond {
+                continue;
+            }
+            let saved = state.clone();
+            if apply(state, &e.op)
+                && search(history, done | (1 << i), full, state, failed)
+            {
+                return true;
+            }
+            *state = saved;
+        }
+        failed.insert(key);
+        false
+    }
+
+    let mut state = BTreeSet::new();
+    search(history, 0, full, &mut state, &mut failed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relc_spec::{library, Value};
+
+    fn schema() -> Arc<RelationSchema> {
+        library::graph_schema()
+    }
+
+    fn edge(s: i64, d: i64) -> Tuple {
+        schema()
+            .tuple(&[("src", Value::from(s)), ("dst", Value::from(d))])
+            .unwrap()
+    }
+
+    fn weight(w: i64) -> Tuple {
+        schema().tuple(&[("weight", Value::from(w))]).unwrap()
+    }
+
+    fn ev(invoke: u64, respond: u64, op: OpRecord) -> HistoryEvent {
+        HistoryEvent {
+            invoke_ns: invoke,
+            respond_ns: respond,
+            op,
+        }
+    }
+
+    #[test]
+    fn empty_and_sequential_histories() {
+        assert!(check_linearizable(&schema(), &[]));
+        let h = vec![
+            ev(0, 1, OpRecord::Insert { s: edge(1, 2), t: weight(9), result: true }),
+            ev(2, 3, OpRecord::Insert { s: edge(1, 2), t: weight(7), result: false }),
+            ev(4, 5, OpRecord::Remove { s: edge(1, 2), result: 1 }),
+            ev(6, 7, OpRecord::Remove { s: edge(1, 2), result: 0 }),
+        ];
+        assert!(check_linearizable(&schema(), &h));
+    }
+
+    #[test]
+    fn detects_non_linearizable_sequential_result() {
+        // Remove reports success on an empty relation: impossible.
+        let h = vec![ev(0, 1, OpRecord::Remove { s: edge(1, 2), result: 1 })];
+        assert!(!check_linearizable(&schema(), &h));
+    }
+
+    #[test]
+    fn overlapping_inserts_one_winner() {
+        // Two overlapping put-if-absent inserts on the same key: exactly one
+        // may win, regardless of real-time order.
+        let h = vec![
+            ev(0, 10, OpRecord::Insert { s: edge(1, 2), t: weight(1), result: true }),
+            ev(1, 9, OpRecord::Insert { s: edge(1, 2), t: weight(2), result: false }),
+        ];
+        assert!(check_linearizable(&schema(), &h));
+        let h2 = vec![
+            ev(0, 10, OpRecord::Insert { s: edge(1, 2), t: weight(1), result: true }),
+            ev(1, 9, OpRecord::Insert { s: edge(1, 2), t: weight(2), result: true }),
+        ];
+        assert!(!check_linearizable(&schema(), &h2), "two winners is a violation");
+    }
+
+    #[test]
+    fn real_time_order_is_respected() {
+        // A query that completes *before* an insert begins must not see it.
+        let cols = schema().column_set(&["weight"]).unwrap();
+        let h = vec![
+            ev(
+                0,
+                1,
+                OpRecord::Query { s: edge(1, 2), cols, result: vec![weight(5)] },
+            ),
+            ev(2, 3, OpRecord::Insert { s: edge(1, 2), t: weight(5), result: true }),
+        ];
+        assert!(
+            !check_linearizable(&schema(), &h),
+            "query preceding the insert in real time cannot observe it"
+        );
+        // If they overlap, it is fine.
+        let h2 = vec![
+            ev(
+                0,
+                10,
+                OpRecord::Query { s: edge(1, 2), cols, result: vec![weight(5)] },
+            ),
+            ev(1, 9, OpRecord::Insert { s: edge(1, 2), t: weight(5), result: true }),
+        ];
+        assert!(check_linearizable(&schema(), &h2));
+    }
+
+    #[test]
+    fn recorder_round_trip() {
+        let rec = HistoryRecorder::new();
+        rec.record(|| ((), OpRecord::Insert { s: edge(1, 2), t: weight(1), result: true }));
+        rec.record(|| ((), OpRecord::Remove { s: edge(1, 2), result: 1 }));
+        let hist = rec.into_history();
+        assert_eq!(hist.len(), 2);
+        assert!(hist[0].respond_ns <= hist[1].invoke_ns);
+        assert!(check_linearizable(&schema(), &hist));
+    }
+}

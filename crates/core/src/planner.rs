@@ -1,0 +1,676 @@
+//! The concurrent query planner (§5).
+//!
+//! The planner compiles each relational operation into a plan tailored to
+//! one decomposition and lock placement:
+//!
+//! * **Queries** become chain plans: because adequacy forces every branch
+//!   below a node to cover the node's full residual, a single
+//!   root-originating chain always suffices; the planner enumerates all
+//!   chains that bind the needed columns, rejects chains that would need to
+//!   scan a speculative edge (no lock could be named in advance, §4.5),
+//!   costs each candidate, and keeps the cheapest.
+//! * **Mutations** (insert/remove) must touch *every* edge (§5.2: "a
+//!   concurrent query plan that locates and locks all of the edges that
+//!   require updating"). The planner fixes a global edge order — by lock
+//!   host's topological position, then source position — which makes the
+//!   executor's acquisitions follow the §5.1 lock order, and classifies
+//!   each traversal as lookup or scan given the operation's bound columns.
+//! * The §5.2 static **sort-elision analysis**: a lock set produced by
+//!   traversing sorted containers is already in lock order, so the runtime
+//!   sort can be skipped (`presorted`).
+
+use std::fmt;
+use std::sync::Arc;
+
+use relc_containers::ContainerKind;
+use relc_locks::LockMode;
+use relc_spec::ColumnSet;
+
+use crate::decomp::{Decomposition, EdgeId};
+use crate::error::CoreError;
+use crate::placement::LockPlacement;
+use crate::query::{render_plan, PlanStep};
+
+/// A compiled, costed query plan.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// Growing-phase steps (unlocks are implicit at commit).
+    pub steps: Vec<PlanStep>,
+    /// Columns projected out of the surviving states.
+    pub output: ColumnSet,
+    /// Heuristic cost estimate used to select this plan.
+    pub cost: f64,
+}
+
+/// How a mutation traverses one edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutTraverse {
+    /// Point lookup: the edge's columns are bound at this point.
+    Lookup,
+    /// Scan (filtered by the pattern), binding the edge's columns.
+    Scan,
+}
+
+/// A compiled insert plan (§2's `insert r s t`, put-if-absent).
+#[derive(Debug, Clone)]
+pub struct InsertPlan {
+    /// Every edge, in mutation order (lock host topo, then source topo).
+    pub edges: Vec<EdgeId>,
+    /// Existence-check chain over the bound columns `dom s`.
+    pub check: Vec<(EdgeId, MutTraverse)>,
+}
+
+/// A compiled remove plan (§2's `remove r s`; `s` must be a key).
+#[derive(Debug, Clone)]
+pub struct RemovePlan {
+    /// Every edge, in mutation order, with its traversal kind.
+    pub edges: Vec<(EdgeId, MutTraverse)>,
+    /// Per `edges` entry: conservatively take every stripe of the edge's
+    /// lock (needed when the removal's emptiness checks must cover a whole
+    /// container instance that striping splits).
+    pub all_stripes: Vec<bool>,
+}
+
+/// The query planner for one (decomposition, placement) pair.
+#[derive(Debug, Clone)]
+pub struct Planner {
+    decomp: Arc<Decomposition>,
+    placement: Arc<LockPlacement>,
+}
+
+fn lookup_cost(kind: ContainerKind) -> f64 {
+    match kind {
+        ContainerKind::HashMap => 1.0,
+        ContainerKind::ConcurrentHashMap => 1.3,
+        ContainerKind::TreeMap => 1.7,
+        ContainerKind::ConcurrentSkipListMap => 2.0,
+        ContainerKind::CopyOnWriteArrayList => 1.5,
+        ContainerKind::SplayTreeMap => 1.7,
+        ContainerKind::Singleton => 0.4,
+    }
+}
+
+const SCAN_SETUP_COST: f64 = 0.5;
+const SCAN_ENTRY_COST: f64 = 0.4;
+const DEFAULT_FANOUT: f64 = 8.0;
+const LOCK_COST_SHARED: f64 = 0.4;
+const LOCK_COST_EXCLUSIVE: f64 = 0.8;
+const LOCK_COST_PER_EXTRA_STRIPE: f64 = 0.15;
+
+impl Planner {
+    /// Creates a planner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the placement belongs to a different decomposition.
+    pub fn new(decomp: Arc<Decomposition>, placement: Arc<LockPlacement>) -> Self {
+        assert!(
+            Arc::ptr_eq(placement.decomposition(), &decomp),
+            "placement must belong to the decomposition"
+        );
+        Planner { decomp, placement }
+    }
+
+    /// The decomposition being planned against.
+    pub fn decomposition(&self) -> &Arc<Decomposition> {
+        &self.decomp
+    }
+
+    /// The lock placement being planned against.
+    pub fn placement(&self) -> &Arc<LockPlacement> {
+        &self.placement
+    }
+
+    /// Plans `query r s C` for a pattern binding `bound` and outputs
+    /// `output` (§5.2). Returns the cheapest valid chain plan.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NoValidPlan`] if every chain would have to scan a
+    /// speculative edge.
+    pub fn plan_query(&self, bound: ColumnSet, output: ColumnSet) -> Result<Plan, CoreError> {
+        let needed = bound.union(output);
+        let mut best: Option<Plan> = None;
+        let mut chain: Vec<EdgeId> = Vec::new();
+        self.enumerate_chains(self.decomp.root(), bound, needed, output, &mut chain, &mut best);
+        best.ok_or_else(|| {
+            CoreError::NoValidPlan(format!(
+                "no chain can bind {} under placement `{}` (speculative edges \
+                 cannot be scanned)",
+                self.decomp.schema().catalog().render_set(needed),
+                self.placement.name()
+            ))
+        })
+    }
+
+    fn enumerate_chains(
+        &self,
+        node: crate::decomp::NodeId,
+        bound: ColumnSet,
+        needed: ColumnSet,
+        output: ColumnSet,
+        chain: &mut Vec<EdgeId>,
+        best: &mut Option<Plan>,
+    ) {
+        // Every needed column must be covered by the *chain* (`A_node`):
+        // pattern-bound columns not on the chain would be projected out
+        // unverified, silently dropping the constraint. The root witnesses
+        // no tuples, so at least one edge must be traversed.
+        if needed.is_subset(self.decomp.node(node).key_cols) && node != self.decomp.root() {
+            if let Some(plan) = self.chain_to_plan(chain, bound, output) {
+                if best.as_ref().map_or(true, |b| plan.cost < b.cost) {
+                    *best = Some(plan);
+                }
+            }
+            return;
+        }
+        for &e in &self.decomp.node(node).outgoing {
+            chain.push(e);
+            self.enumerate_chains(self.decomp.edge(e).dst, bound, needed, output, chain, best);
+            chain.pop();
+        }
+    }
+
+    /// Builds and costs the plan for one chain; `None` if invalid.
+    fn chain_to_plan(&self, chain: &[EdgeId], bound: ColumnSet, output: ColumnSet) -> Option<Plan> {
+        let mut steps = Vec::new();
+        let mut known = bound;
+        let mut cost = 0.0f64;
+        let mut states = 1.0f64;
+        // §5.2 sort-elision analysis. The lock order compares instance key
+        // tuples lexicographically by ascending column id, while the state
+        // list is ordered by the *scan order* of the traversed containers.
+        // The two coincide only while (a) every scanned container is sorted
+        // and (b) the scanned column groups appear in ascending column-id
+        // order (so scan-major order equals tuple-major order).
+        let mut chain_sorted = true; // one initial state is trivially sorted
+        let mut last_scanned_max: Option<usize> = None;
+        for &e in chain {
+            let em = self.decomp.edge(e);
+            let ep = self.placement.edge(e);
+            let mode = self.placement.read_mode(e);
+            let point = em.cols.is_subset(known);
+            if ep.speculative {
+                if !point {
+                    return None; // cannot scan a speculative edge (§4.5)
+                }
+                steps.push(PlanStep::SpecLookup { edge: e, mode });
+                cost += states * (lookup_cost(em.container) * 2.0 + LOCK_COST_EXCLUSIVE);
+            } else {
+                // A scan reads a whole container instance; if striping
+                // splits the instance's entries across stripes
+                // (stripe_by ⊄ A_src), every stripe must be taken (§4.4).
+                let a_src = self.decomp.node(em.src).key_cols;
+                let all_stripes = !point && !ep.stripe_by.is_subset(a_src);
+                // Stripe cost: unbound or conservative stripes take all k.
+                let k = self.placement.stripe_count(ep.host) as f64;
+                let stripes = if !all_stripes && ep.stripe_by.is_subset(known) {
+                    1.0
+                } else {
+                    k
+                };
+                let lock_base = match mode {
+                    LockMode::Shared => LOCK_COST_SHARED,
+                    LockMode::Exclusive => LOCK_COST_EXCLUSIVE,
+                };
+                cost += states * (lock_base + (stripes - 1.0) * LOCK_COST_PER_EXTRA_STRIPE);
+                steps.push(PlanStep::Lock {
+                    edge: e,
+                    mode,
+                    presorted: chain_sorted,
+                    all_stripes,
+                });
+                if point {
+                    steps.push(PlanStep::Lookup { edge: e });
+                    cost += states * lookup_cost(em.container);
+                } else {
+                    steps.push(PlanStep::Scan { edge: e });
+                    // A scan reads the whole container instance, whose
+                    // population grows with the number of key columns the
+                    // edge binds; filtering only shrinks the *output*.
+                    let population = if em.singleton {
+                        1.0
+                    } else {
+                        DEFAULT_FANOUT.powi(em.cols.len() as i32).min(4096.0)
+                    };
+                    let out_fanout = if em.singleton {
+                        1.0
+                    } else {
+                        DEFAULT_FANOUT
+                            .powi(em.cols.difference(known).len() as i32)
+                            .min(4096.0)
+                    };
+                    cost += states * (SCAN_SETUP_COST + population * SCAN_ENTRY_COST);
+                    states *= out_fanout;
+                    let group_min = em.cols.iter().next().map(|c| c.index());
+                    let group_max = em.cols.iter().last().map(|c| c.index());
+                    chain_sorted = chain_sorted
+                        && em.container.props().sorted_scan
+                        && match (last_scanned_max, group_min) {
+                            (Some(prev_max), Some(min)) => prev_max < min,
+                            _ => true,
+                        };
+                    last_scanned_max = last_scanned_max.max(group_max);
+                }
+            }
+            known = known.union(em.cols);
+        }
+        Some(Plan {
+            steps,
+            output,
+            cost,
+        })
+    }
+
+    /// The global mutation order over all edges: lock host topological
+    /// position, then source position, then edge index. Guarantees that an
+    /// edge's source node is bound before the edge is traversed, and that
+    /// lock acquisitions follow the §5.1 order for well-formed placements.
+    pub fn mutation_order(&self) -> Vec<EdgeId> {
+        let mut edges: Vec<EdgeId> = self.decomp.edges().map(|(e, _)| e).collect();
+        edges.sort_by_key(|&e| {
+            let em = self.decomp.edge(e);
+            let host = self.placement.edge(e).host;
+            (
+                self.decomp.topo_position(host),
+                self.decomp.topo_position(em.src),
+                e.index(),
+            )
+        });
+        edges
+    }
+
+    /// Plans `insert r s t` where `dom s = bound` (§2). The full tuple
+    /// `s ∪ t` must be a valuation of the schema, so every edge is traversed
+    /// by point lookup; the existence check on `s` is a chain over `bound`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NoValidPlan`] if no chain can check `∃u ⊇ s` under the
+    /// placement (e.g. the check would scan a speculative edge).
+    pub fn plan_insert(&self, bound: ColumnSet) -> Result<InsertPlan, CoreError> {
+        let check = self.plan_check_chain(bound)?;
+        Ok(InsertPlan {
+            edges: self.mutation_order(),
+            check,
+        })
+    }
+
+    /// Finds the cheapest chain that decides whether any tuple extends a
+    /// pattern over `bound`: lookups where the edge's columns are bound,
+    /// scans otherwise (scans are invalid on speculative edges).
+    fn plan_check_chain(
+        &self,
+        bound: ColumnSet,
+    ) -> Result<Vec<(EdgeId, MutTraverse)>, CoreError> {
+        let mut best: Option<(f64, Vec<(EdgeId, MutTraverse)>)> = None;
+        let mut chain = Vec::new();
+        self.enumerate_check(self.decomp.root(), bound, 0.0, 1.0, &mut chain, &mut best);
+        best.map(|(_, c)| c).ok_or_else(|| {
+            CoreError::NoValidPlan(format!(
+                "no chain can check existence of a tuple over {} under placement `{}`",
+                self.decomp.schema().catalog().render_set(bound),
+                self.placement.name()
+            ))
+        })
+    }
+
+    fn enumerate_check(
+        &self,
+        node: crate::decomp::NodeId,
+        bound: ColumnSet,
+        cost: f64,
+        states: f64,
+        chain: &mut Vec<(EdgeId, MutTraverse)>,
+        best: &mut Option<(f64, Vec<(EdgeId, MutTraverse)>)>,
+    ) {
+        // Stop when every bound column has been applied as a constraint:
+        // A_node ⊇ bound means a surviving state witnesses ∃u ⊇ s. The root
+        // instance always exists, so at least one edge must be traversed.
+        if bound.is_subset(self.decomp.node(node).key_cols) && node != self.decomp.root() {
+            if best.as_ref().map_or(true, |(c, _)| cost < *c) {
+                *best = Some((cost, chain.clone()));
+            }
+            return;
+        }
+        for &e in &self.decomp.node(node).outgoing {
+            let em = self.decomp.edge(e);
+            let ep = self.placement.edge(e);
+            let point = em.cols.is_subset(bound);
+            let (kind, step_cost, next_states) = if point {
+                (MutTraverse::Lookup, lookup_cost(em.container), states)
+            } else {
+                if ep.speculative {
+                    continue; // cannot scan a speculative edge
+                }
+                let fanout = if em.singleton { 1.0 } else { DEFAULT_FANOUT };
+                (
+                    MutTraverse::Scan,
+                    SCAN_SETUP_COST + fanout * SCAN_ENTRY_COST,
+                    states * fanout,
+                )
+            };
+            chain.push((e, kind));
+            self.enumerate_check(
+                em.dst,
+                bound,
+                cost + states * step_cost,
+                next_states,
+                chain,
+                best,
+            );
+            chain.pop();
+        }
+    }
+
+    /// Plans `remove r s` where `dom s = bound`; the schema's FDs must make
+    /// `bound` a key (§2: "our implementation requires that s is a key").
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::Spec`] if `bound` is not a key;
+    /// * [`CoreError::NoValidPlan`] if some edge could only be reached by
+    ///   scanning a speculative edge.
+    pub fn plan_remove(&self, bound: ColumnSet) -> Result<RemovePlan, CoreError> {
+        if !self.decomp.schema().is_key(bound) {
+            return Err(CoreError::Spec(relc_spec::SpecError::RemoveNotByKey {
+                dom: self.decomp.schema().catalog().render_set(bound),
+            }));
+        }
+        let order = self.mutation_order();
+        let mut known = bound;
+        let mut edges = Vec::with_capacity(order.len());
+        let mut all_stripes = Vec::with_capacity(order.len());
+        for e in order {
+            let em = self.decomp.edge(e);
+            let ep = self.placement.edge(e);
+            let kind = if em.cols.is_subset(known) {
+                MutTraverse::Lookup
+            } else {
+                if ep.speculative {
+                    return Err(CoreError::NoValidPlan(format!(
+                        "removal must scan speculative edge {}→{}",
+                        self.decomp.node(em.src).name,
+                        self.decomp.node(em.dst).name
+                    )));
+                }
+                known = known.union(em.cols);
+                MutTraverse::Scan
+            };
+            // Two situations force taking every stripe: emptiness checks on
+            // non-root sources, and scans — both read a whole container
+            // instance, which striping beyond the source key splits.
+            let a_src = self.decomp.node(em.src).key_cols;
+            let needs_all = !ep.speculative
+                && !ep.stripe_by.is_subset(a_src)
+                && self.placement.stripe_count(ep.host) > 1
+                && (em.src != self.decomp.root() || kind == MutTraverse::Scan);
+            edges.push((e, kind));
+            all_stripes.push(needs_all);
+        }
+        Ok(RemovePlan { edges, all_stripes })
+    }
+
+    /// Renders a query plan in the paper's `let` notation (§5.2).
+    pub fn render(&self, plan: &Plan) -> String {
+        render_plan(&self.decomp, &plan.steps)
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "plan({} steps, cost {:.1})", self.steps.len(), self.cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomp::library::{dcache, diamond, split, stick};
+
+    fn cols(d: &Decomposition, names: &[&str]) -> ColumnSet {
+        d.schema().column_set(names).unwrap()
+    }
+
+    #[test]
+    fn successor_query_on_split_uses_src_branch() {
+        let d = split(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap);
+        let p = LockPlacement::fine(&d).unwrap();
+        let planner = Planner::new(d.clone(), p);
+        let plan = planner
+            .plan_query(cols(&d, &["src"]), cols(&d, &["dst", "weight"]))
+            .unwrap();
+        // First traversal must be a lookup of the src-keyed edge ρu.
+        let ru = d.edge_between("ρ", "u").unwrap();
+        assert!(plan.steps.iter().any(|s| matches!(s,
+            PlanStep::Lookup { edge } if *edge == ru)));
+        // And it must not touch the dst-side branch.
+        let rv = d.edge_between("ρ", "v").unwrap();
+        assert!(!plan.steps.iter().any(|s| s.edge() == rv));
+    }
+
+    #[test]
+    fn predecessor_query_on_stick_requires_full_scan() {
+        let d = stick(ContainerKind::HashMap, ContainerKind::HashMap);
+        let p = LockPlacement::coarse(&d).unwrap();
+        let planner = Planner::new(d.clone(), p);
+        // find-predecessors: bind dst, want src+weight. The stick must scan
+        // the src level.
+        let plan = planner
+            .plan_query(cols(&d, &["dst"]), cols(&d, &["src", "weight"]))
+            .unwrap();
+        let ru = d.edge_between("ρ", "u").unwrap();
+        assert!(plan.steps.iter().any(|s| matches!(s,
+            PlanStep::Scan { edge } if *edge == ru)));
+        // Compare with the successors plan, which should be much cheaper.
+        let succ = planner
+            .plan_query(cols(&d, &["src"]), cols(&d, &["dst", "weight"]))
+            .unwrap();
+        assert!(succ.cost < plan.cost, "successors {} < predecessors {}", succ.cost, plan.cost);
+    }
+
+    #[test]
+    fn dcache_point_query_prefers_hash_shortcut() {
+        // Fig. 2: lookup by (parent, name) should use the ρ→y hash edge, not
+        // the two-level tree path.
+        let d = dcache();
+        let p = LockPlacement::fine(&d).unwrap();
+        let planner = Planner::new(d.clone(), p);
+        let plan = planner
+            .plan_query(cols(&d, &["parent", "name"]), cols(&d, &["child"]))
+            .unwrap();
+        let ry = d.edge_between("ρ", "y").unwrap();
+        assert!(
+            plan.steps.iter().any(|s| matches!(s, PlanStep::Lookup { edge } if *edge == ry)),
+            "should shortcut through the hash index: {}",
+            planner.render(&plan)
+        );
+    }
+
+    #[test]
+    fn dcache_full_iteration_matches_paper_plan2() {
+        // §5.2 plan (2): lock ρ, scan(ρy), scan(yz), unlock, return — under
+        // the coarse placement.
+        let d = dcache();
+        let p = LockPlacement::coarse(&d).unwrap();
+        let planner = Planner::new(d.clone(), p);
+        let plan = planner
+            .plan_query(ColumnSet::EMPTY, d.schema().columns())
+            .unwrap();
+        let rendered = planner.render(&plan);
+        // Whichever chain is chosen, it must scan to cover all columns and
+        // end with the singleton child edge.
+        assert!(rendered.contains("scan"), "{rendered}");
+        assert!(rendered.contains("unlock"), "{rendered}");
+        // The cheapest chain is the 2-edge one: ρy then yz (plan (2), not
+        // the 3-edge plan (3)).
+        let ry = d.edge_between("ρ", "y").unwrap();
+        assert!(plan.steps.iter().any(|s| s.edge() == ry), "{rendered}");
+        assert_eq!(
+            plan.steps.iter().filter(|s| !s.is_lock()).count(),
+            2,
+            "two traversals: {rendered}"
+        );
+    }
+
+    #[test]
+    fn speculative_edges_forbid_scans() {
+        let d = diamond(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap);
+        let p = LockPlacement::speculative(&d, 8).unwrap();
+        let planner = Planner::new(d.clone(), p);
+        // Point query by (src) is fine: speculative lookup.
+        let plan = planner
+            .plan_query(cols(&d, &["src"]), cols(&d, &["dst", "weight"]))
+            .unwrap();
+        assert!(plan
+            .steps
+            .iter()
+            .any(|s| matches!(s, PlanStep::SpecLookup { .. })));
+        // Full iteration must scan ρx or ρy — impossible: no valid plan.
+        let err = planner
+            .plan_query(ColumnSet::EMPTY, d.schema().columns())
+            .unwrap_err();
+        assert!(matches!(err, CoreError::NoValidPlan(_)));
+    }
+
+    #[test]
+    fn sort_elision_flags_follow_container_sortedness() {
+        // Sorted containers (TreeMap) keep the chain sorted; HashMap breaks
+        // it.
+        let d = stick(ContainerKind::TreeMap, ContainerKind::TreeMap);
+        let p = LockPlacement::fine(&d).unwrap();
+        let planner = Planner::new(d.clone(), p);
+        let plan = planner
+            .plan_query(ColumnSet::EMPTY, d.schema().columns())
+            .unwrap();
+        let flags: Vec<bool> = plan
+            .steps
+            .iter()
+            .filter_map(|s| match s {
+                PlanStep::Lock { presorted, .. } => Some(*presorted),
+                _ => None,
+            })
+            .collect();
+        assert!(flags.iter().all(|&f| f), "TreeMap chain stays sorted: {flags:?}");
+
+        let d = stick(ContainerKind::HashMap, ContainerKind::HashMap);
+        let p = LockPlacement::fine(&d).unwrap();
+        let planner = Planner::new(d.clone(), p);
+        let plan = planner
+            .plan_query(ColumnSet::EMPTY, d.schema().columns())
+            .unwrap();
+        let flags: Vec<bool> = plan
+            .steps
+            .iter()
+            .filter_map(|s| match s {
+                PlanStep::Lock { presorted, .. } => Some(*presorted),
+                _ => None,
+            })
+            .collect();
+        assert!(flags[0], "first lock over one state is trivially sorted");
+        assert!(!flags[2], "after an unsorted scan the lock set needs sorting");
+    }
+
+    #[test]
+    fn mutation_order_binds_sources_first() {
+        for d in [
+            stick(ContainerKind::HashMap, ContainerKind::HashMap),
+            split(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap),
+            diamond(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap),
+            dcache(),
+        ] {
+            for p in [
+                LockPlacement::coarse(&d).unwrap(),
+                LockPlacement::fine(&d).unwrap(),
+            ] {
+                let planner = Planner::new(d.clone(), p);
+                let order = planner.mutation_order();
+                assert_eq!(order.len(), d.edge_count());
+                // Every edge's source must be bound (reached) by an earlier
+                // edge, or be the root.
+                let mut bound = vec![false; d.node_count()];
+                bound[d.root().index()] = true;
+                for e in order {
+                    let em = d.edge(e);
+                    assert!(bound[em.src.index()], "source bound before edge {e:?}");
+                    bound[em.dst.index()] = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn insert_plan_check_chain_covers_key() {
+        let d = split(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap);
+        let p = LockPlacement::fine(&d).unwrap();
+        let planner = Planner::new(d.clone(), p);
+        let plan = planner.plan_insert(cols(&d, &["src", "dst"])).unwrap();
+        assert_eq!(plan.edges.len(), d.edge_count());
+        // The check chain should be pure lookups (src, dst both bound).
+        assert!(plan
+            .check
+            .iter()
+            .all(|(_, k)| *k == MutTraverse::Lookup));
+        let covered: ColumnSet = plan
+            .check
+            .iter()
+            .fold(ColumnSet::EMPTY, |acc, (e, _)| acc.union(d.edge(*e).cols));
+        assert!(cols(&d, &["src", "dst"]).is_subset(covered));
+    }
+
+    #[test]
+    fn remove_plan_requires_key() {
+        let d = stick(ContainerKind::HashMap, ContainerKind::HashMap);
+        let p = LockPlacement::coarse(&d).unwrap();
+        let planner = Planner::new(d.clone(), p);
+        assert!(planner.plan_remove(cols(&d, &["src", "dst"])).is_ok());
+        // src alone is not a key.
+        assert!(matches!(
+            planner.plan_remove(cols(&d, &["src"])),
+            Err(CoreError::Spec(_))
+        ));
+        // Full tuples are keys.
+        assert!(planner
+            .plan_remove(cols(&d, &["src", "dst", "weight"]))
+            .is_ok());
+    }
+
+    #[test]
+    fn remove_plan_mixes_lookups_and_scans() {
+        let d = stick(ContainerKind::HashMap, ContainerKind::HashMap);
+        let p = LockPlacement::coarse(&d).unwrap();
+        let planner = Planner::new(d.clone(), p);
+        let plan = planner.plan_remove(cols(&d, &["src", "dst"])).unwrap();
+        let kinds: Vec<MutTraverse> = plan.edges.iter().map(|(_, k)| *k).collect();
+        // src, dst edges are lookups; the weight edge must be scanned.
+        assert_eq!(
+            kinds,
+            vec![MutTraverse::Lookup, MutTraverse::Lookup, MutTraverse::Scan]
+        );
+        assert!(plan.all_stripes.iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn remove_under_speculation_works_for_keys() {
+        let d = diamond(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap);
+        let p = LockPlacement::speculative(&d, 8).unwrap();
+        let planner = Planner::new(d.clone(), p);
+        // (src, dst) binds both speculative edges via lookups: fine.
+        assert!(planner.plan_remove(cols(&d, &["src", "dst"])).is_ok());
+    }
+
+    #[test]
+    fn query_plan_cache_key_is_shape_only() {
+        // Same bound/output shapes give structurally identical plans.
+        let d = stick(ContainerKind::TreeMap, ContainerKind::TreeMap);
+        let p = LockPlacement::fine(&d).unwrap();
+        let planner = Planner::new(d.clone(), p);
+        let a = planner
+            .plan_query(cols(&d, &["src"]), cols(&d, &["dst"]))
+            .unwrap();
+        let b = planner
+            .plan_query(cols(&d, &["src"]), cols(&d, &["dst"]))
+            .unwrap();
+        assert_eq!(a.steps, b.steps);
+    }
+}

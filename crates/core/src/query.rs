@@ -1,0 +1,270 @@
+//! The concurrent query language (§5.2, Fig. 4).
+//!
+//! Compiled relational operations are sequences of *plan steps* over sets of
+//! *query states*. A query state pairs a partial tuple with a mapping from
+//! decomposition nodes to node instances — exactly the paper's `(t, m)`
+//! pairs. The step language mirrors Fig. 4's expressions: `lock`, `lookup`,
+//! and `scan` (plus the combined speculative lookup of §4.5); `let`-bound
+//! sequencing is implicit in the step list, and the matching `unlock`s of
+//! the shrinking phase are emitted by the renderer and performed by the
+//! engine's release-all at commit.
+
+use std::fmt;
+
+use relc_locks::LockMode;
+use relc_spec::Tuple;
+
+use crate::decomp::{Decomposition, EdgeId};
+use crate::instance::NodeRef;
+
+/// One step of a compiled plan (growing phase; unlocks are implicit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanStep {
+    /// Acquire the physical locks implementing edge `edge`'s logical locks
+    /// for every current query state, in `mode`.
+    ///
+    /// `presorted` records the §5.2 static analysis: when the states were
+    /// produced by a sorted scan whose order coincides with the lock order,
+    /// the runtime sort of the lock set can be elided.
+    Lock {
+        /// The edge whose logical locks are being implemented.
+        edge: EdgeId,
+        /// Requested mode.
+        mode: LockMode,
+        /// Lock set is already sorted (sort elision, §5.2).
+        presorted: bool,
+        /// Take every stripe at the host: required when the following
+        /// traversal reads a whole container instance that striping splits
+        /// (§4.4's conservative all-`k` acquisition).
+        all_stripes: bool,
+    },
+    /// Traverse `edge` by point lookup: the edge's columns are already bound
+    /// in every state.
+    Lookup {
+        /// The edge to traverse.
+        edge: EdgeId,
+    },
+    /// Traverse `edge` by scanning its container, binding the edge's columns
+    /// (filtered against any partial bindings).
+    Scan {
+        /// The edge to traverse.
+        edge: EdgeId,
+    },
+    /// §4.5: speculative point traversal of a concurrency-safe edge — guess
+    /// via an unlocked lookup, lock the target (present) or the fallback
+    /// stripe (absent), re-validate, restart the transaction on a wrong
+    /// guess.
+    SpecLookup {
+        /// The edge to traverse.
+        edge: EdgeId,
+        /// Mode for the edge's logical lock.
+        mode: LockMode,
+    },
+}
+
+impl PlanStep {
+    /// The edge this step concerns.
+    pub fn edge(&self) -> EdgeId {
+        match self {
+            PlanStep::Lock { edge, .. }
+            | PlanStep::Lookup { edge }
+            | PlanStep::Scan { edge }
+            | PlanStep::SpecLookup { edge, .. } => *edge,
+        }
+    }
+
+    /// Whether the step acquires locks.
+    pub fn is_lock(&self) -> bool {
+        matches!(self, PlanStep::Lock { .. } | PlanStep::SpecLookup { .. })
+    }
+}
+
+/// A query state `(t, m)`: a partial tuple plus bindings from decomposition
+/// nodes to node instances (§5.2).
+#[derive(Debug, Clone)]
+pub struct QueryState {
+    /// The tuple accumulated so far (pattern plus bound columns).
+    pub tuple: Tuple,
+    /// `m`: per-node instance bindings (indexed by `NodeId`).
+    pub nodes: Vec<Option<NodeRef>>,
+}
+
+impl QueryState {
+    /// The initial state: the operation's pattern tuple with only the root
+    /// instance bound.
+    pub fn initial(decomp: &Decomposition, pattern: Tuple, root: NodeRef) -> Self {
+        let mut nodes = vec![None; decomp.node_count()];
+        nodes[decomp.root().index()] = Some(root);
+        QueryState {
+            tuple: pattern,
+            nodes,
+        }
+    }
+
+    /// The bound instance of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is unbound — a planner invariant violation.
+    pub fn instance(&self, node: crate::decomp::NodeId) -> &NodeRef {
+        self.nodes[node.index()]
+            .as_ref()
+            .expect("planner invariant: node instance bound before use")
+    }
+}
+
+/// Renders a plan in the paper's `let`-notation (§5.2), e.g.
+///
+/// ```text
+/// let _ = lock(a, ρ) in
+/// let b = scan(a, ρy) in
+/// let c = scan(b, yz) in
+/// let _ = unlock(a, ρ) in
+/// c
+/// ```
+pub fn render_plan(decomp: &Decomposition, steps: &[PlanStep]) -> String {
+    let edge_name = |e: EdgeId| {
+        let em = decomp.edge(e);
+        format!(
+            "{}{}",
+            decomp.node(em.src).name,
+            decomp.node(em.dst).name
+        )
+    };
+    let mut out = String::new();
+    let mut var = b'a';
+    let mut current = var; // variable holding the current state set
+    let mut locked: Vec<(EdgeId, u8)> = Vec::new();
+    for step in steps {
+        match step {
+            PlanStep::Lock { edge, mode, .. } => {
+                let host = &decomp.node(crate::decomp::NodeId(
+                    decomp.edge(*edge).src.0, // rendered below via placement-free form
+                )).name;
+                let _ = host;
+                out.push_str(&format!(
+                    "let _ = lock{}({}, ψ({})) in\n",
+                    if *mode == LockMode::Exclusive { "!" } else { "" },
+                    current as char,
+                    edge_name(*edge),
+                ));
+                locked.push((*edge, current));
+            }
+            PlanStep::SpecLookup { edge, mode } => {
+                var += 1;
+                out.push_str(&format!(
+                    "let {} = spec-lock{}-lookup({}, {}) in\n",
+                    var as char,
+                    if *mode == LockMode::Exclusive { "!" } else { "" },
+                    current as char,
+                    edge_name(*edge),
+                ));
+                locked.push((*edge, current));
+                current = var;
+            }
+            PlanStep::Lookup { edge } => {
+                var += 1;
+                out.push_str(&format!(
+                    "let {} = lookup({}, {}) in\n",
+                    var as char,
+                    current as char,
+                    edge_name(*edge)
+                ));
+                current = var;
+            }
+            PlanStep::Scan { edge } => {
+                var += 1;
+                out.push_str(&format!(
+                    "let {} = scan({}, {}) in\n",
+                    var as char,
+                    current as char,
+                    edge_name(*edge)
+                ));
+                current = var;
+            }
+        }
+    }
+    for (edge, v) in locked.iter().rev() {
+        out.push_str(&format!(
+            "let _ = unlock({}, ψ({})) in\n",
+            *v as char,
+            edge_name(*edge)
+        ));
+    }
+    out.push(current as char);
+    out
+}
+
+/// A rendered, displayable plan.
+#[derive(Debug, Clone)]
+pub struct RenderedPlan(pub String);
+
+impl fmt::Display for RenderedPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomp::library::{dcache, stick};
+    use crate::instance::NodeInstance;
+    use crate::placement::LockPlacement;
+    use relc_containers::ContainerKind;
+
+    #[test]
+    fn initial_state_binds_root_only() {
+        let d = stick(ContainerKind::TreeMap, ContainerKind::TreeMap);
+        let p = LockPlacement::coarse(&d).unwrap();
+        let root = NodeInstance::new(&d, &p, d.root(), Tuple::empty());
+        let st = QueryState::initial(&d, Tuple::empty(), root);
+        assert!(st.nodes[d.root().index()].is_some());
+        assert_eq!(st.nodes.iter().filter(|n| n.is_some()).count(), 1);
+        let _ = st.instance(d.root());
+    }
+
+    #[test]
+    #[should_panic(expected = "planner invariant")]
+    fn unbound_instance_access_panics() {
+        let d = stick(ContainerKind::TreeMap, ContainerKind::TreeMap);
+        let p = LockPlacement::coarse(&d).unwrap();
+        let root = NodeInstance::new(&d, &p, d.root(), Tuple::empty());
+        let st = QueryState::initial(&d, Tuple::empty(), root);
+        let _ = st.instance(d.node_by_name("u").unwrap());
+    }
+
+    #[test]
+    fn render_matches_paper_shape() {
+        // The dcache full-iteration plan (2) from §5.2: lock root, scan ρy,
+        // scan yz, unlock, return.
+        let d = dcache();
+        let ry = d.edge_between("ρ", "y").unwrap();
+        let yz = d.edge_between("y", "z").unwrap();
+        let steps = vec![
+            PlanStep::Lock { edge: ry, mode: LockMode::Shared, presorted: false, all_stripes: false },
+            PlanStep::Scan { edge: ry },
+            PlanStep::Lock { edge: yz, mode: LockMode::Shared, presorted: false, all_stripes: false },
+            PlanStep::Scan { edge: yz },
+        ];
+        let rendered = render_plan(&d, &steps);
+        assert!(rendered.contains("scan(a, ρy)"), "{rendered}");
+        assert!(rendered.contains("scan(b, yz)"), "{rendered}");
+        assert!(rendered.contains("unlock"), "{rendered}");
+        // Unlocks come in reverse order of locks.
+        let first_unlock = rendered.find("unlock(b, ψ(yz))").unwrap();
+        let second_unlock = rendered.find("unlock(a, ψ(ρy))").unwrap();
+        assert!(first_unlock < second_unlock, "{rendered}");
+    }
+
+    #[test]
+    fn step_accessors() {
+        let d = stick(ContainerKind::TreeMap, ContainerKind::TreeMap);
+        let ru = d.edge_between("ρ", "u").unwrap();
+        let lock = PlanStep::Lock { edge: ru, mode: LockMode::Shared, presorted: true, all_stripes: false };
+        assert_eq!(lock.edge(), ru);
+        assert!(lock.is_lock());
+        assert!(!PlanStep::Scan { edge: ru }.is_lock());
+        assert!(PlanStep::SpecLookup { edge: ru, mode: LockMode::Shared }.is_lock());
+    }
+}

@@ -1,0 +1,613 @@
+//! The synthesized concurrent relation: the public API of the system (§2).
+//!
+//! A [`ConcurrentRelation`] is the object the compiler produces for one
+//! (decomposition, lock placement) pair: it owns the root of the
+//! decomposition instance, compiles and caches one plan per operation
+//! *shape* (the bound/output column sets), and runs each operation as a
+//! two-phase, well-locked, deadlock-free transaction with automatic restart
+//! and backoff. Operations are linearizable by construction (§4.2).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+
+use relc_locks::{Backoff, LockStats, LockStatsSnapshot, TwoPhaseEngine};
+use relc_spec::{ColumnSet, RelationSchema, SpecError, Tuple};
+
+use crate::decomp::Decomposition;
+use crate::error::CoreError;
+use crate::exec::Executor;
+use crate::instance::{self, NodeInstance, NodeRef};
+use crate::placement::{LockPlacement, LockToken};
+use crate::planner::{InsertPlan, Plan, Planner, RemovePlan};
+
+/// A concurrent relation synthesized from a decomposition and a lock
+/// placement.
+///
+/// # Examples
+///
+/// ```
+/// use relc::{ConcurrentRelation, decomp, placement::LockPlacement};
+/// use relc_containers::ContainerKind;
+/// use relc_spec::Value;
+///
+/// let d = decomp::library::stick(ContainerKind::HashMap, ContainerKind::TreeMap);
+/// let p = LockPlacement::coarse(&d)?;
+/// let graph = ConcurrentRelation::new(d.clone(), p)?;
+///
+/// let s = d.schema().tuple(&[("src", Value::from(1)), ("dst", Value::from(2))])?;
+/// let t = d.schema().tuple(&[("weight", Value::from(42))])?;
+/// assert!(graph.insert(&s, &t)?);
+/// assert!(!graph.insert(&s, &t)?); // put-if-absent
+/// assert_eq!(graph.remove(&s)?, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct ConcurrentRelation {
+    decomp: Arc<Decomposition>,
+    placement: Arc<LockPlacement>,
+    planner: Planner,
+    root: NodeRef,
+    stats: Arc<LockStats>,
+    len: AtomicUsize,
+    always_sort_locks: AtomicBool,
+    /// Unique id for the thread-local plan memo (avoids cross-thread cache
+    /// traffic on the shared plan maps in the per-operation hot path).
+    id: u64,
+    query_plans: RwLock<HashMap<(u64, u64), Arc<Plan>>>,
+    insert_plans: RwLock<HashMap<u64, Arc<InsertPlan>>>,
+    remove_plans: RwLock<HashMap<u64, Arc<RemovePlan>>>,
+}
+
+/// Monotonic relation ids for the thread-local plan memo.
+static NEXT_RELATION_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+thread_local! {
+    static QUERY_MEMO: std::cell::RefCell<HashMap<(u64, u64, u64), Arc<Plan>>> =
+        std::cell::RefCell::new(HashMap::new());
+    static INSERT_MEMO: std::cell::RefCell<HashMap<(u64, u64), Arc<InsertPlan>>> =
+        std::cell::RefCell::new(HashMap::new());
+    static REMOVE_MEMO: std::cell::RefCell<HashMap<(u64, u64), Arc<RemovePlan>>> =
+        std::cell::RefCell::new(HashMap::new());
+}
+
+impl ConcurrentRelation {
+    /// Synthesizes a relation from a decomposition and a placement.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::IllFormedPlacement`] if the placement belongs to a
+    /// different decomposition.
+    pub fn new(
+        decomp: Arc<Decomposition>,
+        placement: Arc<LockPlacement>,
+    ) -> Result<Self, CoreError> {
+        if !Arc::ptr_eq(placement.decomposition(), &decomp) {
+            return Err(CoreError::IllFormedPlacement(
+                "placement belongs to a different decomposition".into(),
+            ));
+        }
+        let root = NodeInstance::new(&decomp, &placement, decomp.root(), Tuple::empty());
+        let planner = Planner::new(Arc::clone(&decomp), Arc::clone(&placement));
+        Ok(ConcurrentRelation {
+            decomp,
+            placement,
+            planner,
+            root,
+            stats: Arc::new(LockStats::new()),
+            len: AtomicUsize::new(0),
+            always_sort_locks: AtomicBool::new(false),
+            id: NEXT_RELATION_ID.fetch_add(1, Ordering::Relaxed),
+            query_plans: RwLock::new(HashMap::new()),
+            insert_plans: RwLock::new(HashMap::new()),
+            remove_plans: RwLock::new(HashMap::new()),
+        })
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Arc<RelationSchema> {
+        self.decomp.schema()
+    }
+
+    /// The decomposition this relation is represented by.
+    pub fn decomposition(&self) -> &Arc<Decomposition> {
+        &self.decomp
+    }
+
+    /// The lock placement in force.
+    pub fn placement(&self) -> &Arc<LockPlacement> {
+        &self.placement
+    }
+
+    /// The planner (exposed for plan inspection and rendering).
+    pub fn planner(&self) -> &Planner {
+        &self.planner
+    }
+
+    /// Lock statistics accumulated so far.
+    pub fn lock_stats(&self) -> LockStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Ablation knob (§5.2): ignore the planner's sort-elision analysis and
+    /// always sort lock sets at runtime.
+    pub fn set_always_sort_locks(&self, v: bool) {
+        self.always_sort_locks.store(v, Ordering::Relaxed);
+    }
+
+    /// Number of tuples (maintained outside the locking protocol; exact
+    /// under quiescence, approximate during concurrent mutation).
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Whether the relation is empty (same caveat as [`Self::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Runs `f` as a transaction: restart on lock-order or speculation
+    /// conflicts, with randomized backoff; release all locks at the end.
+    fn transaction<R>(
+        &self,
+        mut f: impl FnMut(&mut Executor<'_>) -> Result<R, relc_locks::MustRestart>,
+    ) -> R {
+        let mut engine: TwoPhaseEngine<LockToken> =
+            TwoPhaseEngine::new(Arc::clone(&self.stats));
+        let mut backoff = Backoff::new();
+        loop {
+            let mut exec = Executor::new(&self.decomp, &self.placement, &mut engine);
+            exec.always_sort_locks = self.always_sort_locks.load(Ordering::Relaxed);
+            match f(&mut exec) {
+                Ok(r) => {
+                    engine.finish();
+                    return r;
+                }
+                Err(_) => {
+                    engine.rollback();
+                    backoff.wait();
+                }
+            }
+        }
+    }
+
+    /// `insert r s t` (§2): inserts `s ∪ t` provided no existing tuple
+    /// extends `s`; returns whether the insert happened. Generalizes
+    /// put-if-absent.
+    ///
+    /// # Errors
+    ///
+    /// * [`SpecError::OverlappingInsertDomains`] if `s` and `t` share
+    ///   columns;
+    /// * [`SpecError::NotAValuation`] if `s ∪ t` is not a full tuple;
+    /// * [`CoreError::NoValidPlan`] if the placement cannot support the
+    ///   existence check for this shape of `s`.
+    pub fn insert(&self, s: &Tuple, t: &Tuple) -> Result<bool, CoreError> {
+        if !s.dom().is_disjoint(t.dom()) {
+            return Err(SpecError::OverlappingInsertDomains {
+                shared: self
+                    .schema()
+                    .catalog()
+                    .render_set(s.dom().intersection(t.dom())),
+            }
+            .into());
+        }
+        let x = s.union(t).expect("disjoint domains cannot conflict");
+        self.schema().check_valuation(&x)?;
+        let plan = self.insert_plan(s.dom())?;
+        let inserted = self.transaction(|exec| exec.run_insert(&plan, &x, s, &self.root));
+        if inserted {
+            self.len.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(inserted)
+    }
+
+    /// `remove r s` (§2): removes the tuple matching the key pattern `s`,
+    /// returning how many tuples were removed (0 or 1, since `s` must be a
+    /// key).
+    ///
+    /// # Errors
+    ///
+    /// * [`SpecError::RemoveNotByKey`] if `dom s` is not a key;
+    /// * [`CoreError::NoValidPlan`] if the placement cannot locate tuples
+    ///   for this shape of `s`.
+    pub fn remove(&self, s: &Tuple) -> Result<usize, CoreError> {
+        Ok(usize::from(self.remove_returning(s)?.is_some()))
+    }
+
+    /// Like [`Self::remove`], but returns the removed tuple.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::remove`].
+    pub fn remove_returning(&self, s: &Tuple) -> Result<Option<Tuple>, CoreError> {
+        let plan = self.remove_plan(s.dom())?;
+        let removed = self.transaction(|exec| exec.run_remove(&plan, s, &self.root));
+        if removed.is_some() {
+            self.len.fetch_sub(1, Ordering::Relaxed);
+        }
+        Ok(removed)
+    }
+
+    /// `query r s C` (§2): the projection onto `cols` of all tuples
+    /// extending `s`, deduplicated and sorted.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NoValidPlan`] if no chain can bind this shape under the
+    /// placement (e.g. it would have to scan a speculative edge).
+    pub fn query(&self, s: &Tuple, cols: ColumnSet) -> Result<Vec<Tuple>, CoreError> {
+        let plan = self.query_plan(s.dom(), cols)?;
+        Ok(self.transaction(|exec| exec.run_query(&plan, s, &self.root)))
+    }
+
+    /// Whether any tuple extends `s` (a `query` projected onto nothing).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::query`].
+    pub fn contains(&self, s: &Tuple) -> Result<bool, CoreError> {
+        Ok(!self.query(s, ColumnSet::EMPTY)?.is_empty())
+    }
+
+    /// All tuples, sorted (a `query` with an empty pattern and all columns).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::query`].
+    pub fn snapshot(&self) -> Result<Vec<Tuple>, CoreError> {
+        self.query(&Tuple::empty(), self.schema().columns())
+    }
+
+    /// Structural verification of the quiescent instance (tests):
+    /// branch agreement, sharing, no exhausted instances. Returns the
+    /// represented relation.
+    ///
+    /// # Errors
+    ///
+    /// A description of the violated invariant.
+    pub fn verify(&self) -> Result<std::collections::BTreeSet<Tuple>, String> {
+        instance::verify_instance(&self.decomp, &self.root)
+    }
+
+    fn query_plan(&self, bound: ColumnSet, output: ColumnSet) -> Result<Arc<Plan>, CoreError> {
+        let memo_key = (self.id, bound.bits(), output.bits());
+        if let Some(p) = QUERY_MEMO.with(|m| m.borrow().get(&memo_key).cloned()) {
+            return Ok(p);
+        }
+        let key = (bound.bits(), output.bits());
+        let plan = {
+            let cached = self.query_plans.read().expect("plan cache").get(&key).cloned();
+            match cached {
+                Some(p) => p,
+                None => {
+                    let plan = Arc::new(self.planner.plan_query(bound, output)?);
+                    self.query_plans
+                        .write()
+                        .expect("plan cache")
+                        .insert(key, Arc::clone(&plan));
+                    plan
+                }
+            }
+        };
+        QUERY_MEMO.with(|m| m.borrow_mut().insert(memo_key, Arc::clone(&plan)));
+        Ok(plan)
+    }
+
+    fn insert_plan(&self, bound: ColumnSet) -> Result<Arc<InsertPlan>, CoreError> {
+        let memo_key = (self.id, bound.bits());
+        if let Some(p) = INSERT_MEMO.with(|m| m.borrow().get(&memo_key).cloned()) {
+            return Ok(p);
+        }
+        let key = bound.bits();
+        let plan = {
+            let cached = self.insert_plans.read().expect("plan cache").get(&key).cloned();
+            match cached {
+                Some(p) => p,
+                None => {
+                    let plan = Arc::new(self.planner.plan_insert(bound)?);
+                    self.insert_plans
+                        .write()
+                        .expect("plan cache")
+                        .insert(key, Arc::clone(&plan));
+                    plan
+                }
+            }
+        };
+        INSERT_MEMO.with(|m| m.borrow_mut().insert(memo_key, Arc::clone(&plan)));
+        Ok(plan)
+    }
+
+    fn remove_plan(&self, bound: ColumnSet) -> Result<Arc<RemovePlan>, CoreError> {
+        let memo_key = (self.id, bound.bits());
+        if let Some(p) = REMOVE_MEMO.with(|m| m.borrow().get(&memo_key).cloned()) {
+            return Ok(p);
+        }
+        let key = bound.bits();
+        let plan = {
+            let cached = self.remove_plans.read().expect("plan cache").get(&key).cloned();
+            match cached {
+                Some(p) => p,
+                None => {
+                    let plan = Arc::new(self.planner.plan_remove(bound)?);
+                    self.remove_plans
+                        .write()
+                        .expect("plan cache")
+                        .insert(key, Arc::clone(&plan));
+                    plan
+                }
+            }
+        };
+        REMOVE_MEMO.with(|m| m.borrow_mut().insert(memo_key, Arc::clone(&plan)));
+        Ok(plan)
+    }
+}
+
+impl fmt::Debug for ConcurrentRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ConcurrentRelation")
+            .field("decomposition", &self.decomp.describe())
+            .field("placement", &self.placement.name())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomp::library::{dcache, diamond, kv, split, stick};
+    use relc_containers::ContainerKind;
+    use relc_spec::{OracleRelation, Value};
+
+    fn graph_variants() -> Vec<(Arc<Decomposition>, Arc<LockPlacement>)> {
+        let mut out = Vec::new();
+        let sticks = [
+            stick(ContainerKind::HashMap, ContainerKind::TreeMap),
+            stick(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap),
+            stick(ContainerKind::ConcurrentSkipListMap, ContainerKind::HashMap),
+        ];
+        let splits = [
+            split(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap),
+            split(ContainerKind::ConcurrentHashMap, ContainerKind::TreeMap),
+            split(ContainerKind::HashMap, ContainerKind::TreeMap),
+        ];
+        let diamonds = [
+            diamond(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap),
+            diamond(ContainerKind::ConcurrentSkipListMap, ContainerKind::TreeMap),
+        ];
+        for d in sticks.iter().chain(&splits).chain(&diamonds) {
+            out.push((d.clone(), LockPlacement::coarse(d).unwrap()));
+            out.push((d.clone(), LockPlacement::fine(d).unwrap()));
+            if let Ok(p) = LockPlacement::striped_root(d, 16) {
+                out.push((d.clone(), p));
+            }
+            if let Ok(p) = LockPlacement::speculative(d, 8) {
+                out.push((d.clone(), p));
+            }
+        }
+        out
+    }
+
+    fn edge(d: &Decomposition, s: i64, dst: i64) -> Tuple {
+        d.schema()
+            .tuple(&[("src", Value::from(s)), ("dst", Value::from(dst))])
+            .unwrap()
+    }
+
+    fn weight(d: &Decomposition, w: i64) -> Tuple {
+        d.schema().tuple(&[("weight", Value::from(w))]).unwrap()
+    }
+
+    #[test]
+    fn single_threaded_oracle_equivalence_across_variants() {
+        // Pseudo-random op mix replayed against every representation and
+        // the oracle; every intermediate observable must agree.
+        for (d, p) in graph_variants() {
+            let name = format!("{} / {}", d.describe(), p.name());
+            let rel = ConcurrentRelation::new(d.clone(), p).unwrap();
+            let oracle = OracleRelation::empty(d.schema().clone());
+            let mut x = 0x12345678u64;
+            let mut step = move || {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            };
+            let dw = d.schema().column_set(&["dst", "weight"]).unwrap();
+            let sw = d.schema().column_set(&["src", "weight"]).unwrap();
+            for _ in 0..300 {
+                let s = (step() % 6) as i64;
+                let t = (step() % 6) as i64;
+                let w = (step() % 4) as i64;
+                match step() % 4 {
+                    0 => {
+                        let got = rel.insert(&edge(&d, s, t), &weight(&d, w)).unwrap();
+                        let want = oracle.insert(&edge(&d, s, t), &weight(&d, w)).unwrap();
+                        assert_eq!(got, want, "insert on {name}");
+                    }
+                    1 => {
+                        let got = rel.remove(&edge(&d, s, t)).unwrap();
+                        let want = oracle.remove(&edge(&d, s, t));
+                        assert_eq!(got, want, "remove on {name}");
+                    }
+                    2 => {
+                        let pat = d.schema().tuple(&[("src", Value::from(s))]).unwrap();
+                        match rel.query(&pat, dw) {
+                            Ok(got) => assert_eq!(got, oracle.query(&pat, dw), "succ on {name}"),
+                            Err(CoreError::NoValidPlan(_)) => {}
+                            Err(e) => panic!("unexpected error on {name}: {e}"),
+                        }
+                    }
+                    _ => {
+                        let pat = d.schema().tuple(&[("dst", Value::from(t))]).unwrap();
+                        match rel.query(&pat, sw) {
+                            Ok(got) => assert_eq!(got, oracle.query(&pat, sw), "pred on {name}"),
+                            Err(CoreError::NoValidPlan(_)) => {}
+                            Err(e) => panic!("unexpected error on {name}: {e}"),
+                        }
+                    }
+                }
+                assert_eq!(rel.len(), oracle.len(), "len on {name}");
+            }
+            // Structural invariants + final contents.
+            let verified = rel.verify().unwrap_or_else(|e| panic!("{name}: {e}"));
+            let want: std::collections::BTreeSet<Tuple> =
+                oracle.snapshot().into_iter().collect();
+            assert_eq!(verified, want, "final contents on {name}");
+        }
+    }
+
+    #[test]
+    fn put_if_absent_semantics() {
+        let d = stick(ContainerKind::HashMap, ContainerKind::TreeMap);
+        let p = LockPlacement::coarse(&d).unwrap();
+        let rel = ConcurrentRelation::new(d.clone(), p).unwrap();
+        assert!(rel.insert(&edge(&d, 1, 2), &weight(&d, 42)).unwrap());
+        // §2: a second insert with the same src/dst leaves the relation
+        // unchanged, even with a different weight.
+        assert!(!rel.insert(&edge(&d, 1, 2), &weight(&d, 101)).unwrap());
+        let all = rel.snapshot().unwrap();
+        assert_eq!(all.len(), 1);
+        let wcol = d.schema().column("weight").unwrap();
+        assert_eq!(all[0].get(wcol), Some(&Value::from(42)));
+    }
+
+    #[test]
+    fn remove_cleans_up_empty_substructures() {
+        let d = split(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap);
+        let p = LockPlacement::fine(&d).unwrap();
+        let rel = ConcurrentRelation::new(d.clone(), p).unwrap();
+        rel.insert(&edge(&d, 1, 2), &weight(&d, 10)).unwrap();
+        rel.insert(&edge(&d, 1, 3), &weight(&d, 11)).unwrap();
+        assert_eq!(rel.remove(&edge(&d, 1, 2)).unwrap(), 1);
+        rel.verify().unwrap(); // no exhausted instances may remain
+        assert_eq!(rel.remove(&edge(&d, 1, 3)).unwrap(), 1);
+        rel.verify().unwrap();
+        assert!(rel.is_empty());
+        assert_eq!(rel.remove(&edge(&d, 1, 3)).unwrap(), 0);
+    }
+
+    #[test]
+    fn query_by_full_key_and_projections() {
+        let d = diamond(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap);
+        let p = LockPlacement::fine(&d).unwrap();
+        let rel = ConcurrentRelation::new(d.clone(), p).unwrap();
+        rel.insert(&edge(&d, 1, 2), &weight(&d, 10)).unwrap();
+        rel.insert(&edge(&d, 2, 2), &weight(&d, 20)).unwrap();
+        let wcols = d.schema().column_set(&["weight"]).unwrap();
+        let got = rel.query(&edge(&d, 1, 2), wcols).unwrap();
+        assert_eq!(got, vec![weight(&d, 10)]);
+        // Predecessors of 2: two edges.
+        let pat = d.schema().tuple(&[("dst", Value::from(2))]).unwrap();
+        let sc = d.schema().column_set(&["src"]).unwrap();
+        assert_eq!(rel.query(&pat, sc).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn dcache_relation_basics() {
+        let d = dcache();
+        let p = LockPlacement::fine(&d).unwrap();
+        let rel = ConcurrentRelation::new(d.clone(), p).unwrap();
+        let key = |par: i64, name: &str| {
+            d.schema()
+                .tuple(&[("parent", Value::from(par)), ("name", Value::from(name))])
+                .unwrap()
+        };
+        let child = |c: i64| d.schema().tuple(&[("child", Value::from(c))]).unwrap();
+        // Fig. 2(b)'s three entries.
+        rel.insert(&key(1, "a"), &child(2)).unwrap();
+        rel.insert(&key(2, "b"), &child(3)).unwrap();
+        rel.insert(&key(2, "c"), &child(4)).unwrap();
+        // List directory 2.
+        let pat = d.schema().tuple(&[("parent", Value::from(2))]).unwrap();
+        let nc = d.schema().column_set(&["name", "child"]).unwrap();
+        assert_eq!(rel.query(&pat, nc).unwrap().len(), 2);
+        // Point lookup through the hash index.
+        let cc = d.schema().column_set(&["child"]).unwrap();
+        assert_eq!(rel.query(&key(2, "c"), cc).unwrap(), vec![child(4)]);
+        rel.verify().unwrap();
+        // Unlink and re-check.
+        assert_eq!(rel.remove(&key(2, "b")).unwrap(), 1);
+        rel.verify().unwrap();
+        assert_eq!(rel.query(&pat, nc).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn kv_put_if_absent_is_paper_example() {
+        let d = kv(ContainerKind::ConcurrentHashMap);
+        let p = LockPlacement::striped_root(&d, 16).unwrap();
+        let rel = ConcurrentRelation::new(d.clone(), p).unwrap();
+        let k = |k: i64| d.schema().tuple(&[("key", Value::from(k))]).unwrap();
+        let v = |v: &str| d.schema().tuple(&[("value", Value::from(v))]).unwrap();
+        assert!(rel.insert(&k(1), &v("one")).unwrap());
+        assert!(!rel.insert(&k(1), &v("uno")).unwrap());
+        assert_eq!(rel.remove(&k(1)).unwrap(), 1);
+        assert!(rel.insert(&k(1), &v("uno")).unwrap());
+    }
+
+    #[test]
+    fn overlapping_insert_domains_rejected() {
+        let d = stick(ContainerKind::HashMap, ContainerKind::TreeMap);
+        let p = LockPlacement::coarse(&d).unwrap();
+        let rel = ConcurrentRelation::new(d.clone(), p).unwrap();
+        let s = d
+            .schema()
+            .tuple(&[("src", Value::from(1)), ("dst", Value::from(2))])
+            .unwrap();
+        let t = d
+            .schema()
+            .tuple(&[("dst", Value::from(2)), ("weight", Value::from(3))])
+            .unwrap();
+        assert!(matches!(
+            rel.insert(&s, &t),
+            Err(CoreError::Spec(SpecError::OverlappingInsertDomains { .. }))
+        ));
+        // Partial tuples are rejected too.
+        let s1 = d.schema().tuple(&[("src", Value::from(1))]).unwrap();
+        let t1 = d.schema().tuple(&[("weight", Value::from(3))]).unwrap();
+        assert!(matches!(
+            rel.insert(&s1, &t1),
+            Err(CoreError::Spec(SpecError::NotAValuation { .. }))
+        ));
+    }
+
+    #[test]
+    fn remove_requires_key_pattern() {
+        let d = stick(ContainerKind::HashMap, ContainerKind::TreeMap);
+        let p = LockPlacement::coarse(&d).unwrap();
+        let rel = ConcurrentRelation::new(d.clone(), p).unwrap();
+        let pat = d.schema().tuple(&[("dst", Value::from(2))]).unwrap();
+        assert!(matches!(
+            rel.remove(&pat),
+            Err(CoreError::Spec(SpecError::RemoveNotByKey { .. }))
+        ));
+    }
+
+    #[test]
+    fn contains_is_projectionless_query() {
+        let d = stick(ContainerKind::HashMap, ContainerKind::TreeMap);
+        let p = LockPlacement::coarse(&d).unwrap();
+        let rel = ConcurrentRelation::new(d.clone(), p).unwrap();
+        rel.insert(&edge(&d, 1, 2), &weight(&d, 7)).unwrap();
+        assert!(rel.contains(&edge(&d, 1, 2)).unwrap());
+        assert!(!rel.contains(&edge(&d, 1, 3)).unwrap());
+        // Partial patterns work too.
+        let src1 = d.schema().tuple(&[("src", Value::from(1))]).unwrap();
+        assert!(rel.contains(&src1).unwrap());
+        // Empty pattern: is the relation nonempty?
+        assert!(rel.contains(&Tuple::empty()).unwrap());
+        rel.remove(&edge(&d, 1, 2)).unwrap();
+        assert!(!rel.contains(&Tuple::empty()).unwrap());
+    }
+
+    #[test]
+    fn lock_stats_accumulate() {
+        let d = stick(ContainerKind::HashMap, ContainerKind::TreeMap);
+        let p = LockPlacement::coarse(&d).unwrap();
+        let rel = ConcurrentRelation::new(d.clone(), p).unwrap();
+        rel.insert(&edge(&d, 1, 2), &weight(&d, 1)).unwrap();
+        let stats = rel.lock_stats();
+        assert!(stats.acquisitions >= 1, "{stats}");
+    }
+}

@@ -1,0 +1,145 @@
+//! Graphviz (DOT) export of decompositions and lock placements — renders
+//! the paper's Figs. 2(a) and 3 style diagrams from live objects: solid
+//! edges for tree maps, dashed for concurrent hash containers, dotted for
+//! singleton edges, with each edge labelled by its columns and its lock
+//! placement (`ψ`).
+
+use std::fmt::Write as _;
+
+use relc_containers::ContainerKind;
+
+use crate::decomp::Decomposition;
+use crate::placement::LockPlacement;
+
+fn edge_style(kind: ContainerKind) -> &'static str {
+    // Matching the paper's legend: solid = TreeMap (and other
+    // non-concurrent maps), dashed = concurrent containers, dotted =
+    // singleton tuples.
+    match kind {
+        ContainerKind::Singleton => "dotted",
+        ContainerKind::ConcurrentHashMap
+        | ContainerKind::ConcurrentSkipListMap
+        | ContainerKind::CopyOnWriteArrayList => "dashed",
+        ContainerKind::HashMap | ContainerKind::TreeMap | ContainerKind::SplayTreeMap => "solid",
+    }
+}
+
+/// Renders a decomposition as a DOT digraph.
+///
+/// # Examples
+///
+/// ```
+/// use relc::decomp::library::stick;
+/// use relc::viz::decomposition_dot;
+/// use relc_containers::ContainerKind;
+///
+/// let d = stick(ContainerKind::HashMap, ContainerKind::TreeMap);
+/// let dot = decomposition_dot(&d);
+/// assert!(dot.starts_with("digraph decomposition"));
+/// assert!(dot.contains("ρ"));
+/// ```
+pub fn decomposition_dot(decomp: &Decomposition) -> String {
+    let cat = decomp.schema().catalog();
+    let mut out = String::from("digraph decomposition {\n  rankdir=TB;\n  node [shape=circle];\n");
+    for (_, n) in decomp.nodes() {
+        let _ = writeln!(
+            out,
+            "  \"{}\" [xlabel=\"{} ▷ {}\"];",
+            n.name,
+            cat.render_set(n.key_cols),
+            cat.render_set(n.residual)
+        );
+    }
+    for (_, e) in decomp.edges() {
+        let _ = writeln!(
+            out,
+            "  \"{}\" -> \"{}\" [label=\"{}\\n{}\", style={}];",
+            decomp.node(e.src).name,
+            decomp.node(e.dst).name,
+            cat.render_set(e.cols),
+            e.container,
+            edge_style(e.container),
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a decomposition *with its lock placement* as a DOT digraph:
+/// every edge label carries the `ψ` annotation of Fig. 3 (host node, stripe
+/// columns, speculation).
+pub fn placement_dot(placement: &LockPlacement) -> String {
+    let decomp = placement.decomposition();
+    let cat = decomp.schema().catalog();
+    let mut out = format!(
+        "digraph placement {{\n  label=\"{}\";\n  rankdir=TB;\n  node [shape=circle];\n",
+        placement.name()
+    );
+    for (_, n) in decomp.nodes() {
+        let _ = writeln!(out, "  \"{}\";", n.name);
+    }
+    for (e, em) in decomp.edges() {
+        let ep = placement.edge(e);
+        let host = &decomp.node(ep.host).name;
+        let k = placement.stripe_count(ep.host);
+        let mut psi = if ep.speculative {
+            format!("ψ: target | {host}")
+        } else {
+            format!("ψ: {host}")
+        };
+        if k > 1 && !ep.stripe_by.is_empty() {
+            let _ = write!(psi, "[{} mod {}]", cat.render_set(ep.stripe_by), k);
+        }
+        let _ = writeln!(
+            out,
+            "  \"{}\" -> \"{}\" [label=\"{}\\n{}\", style={}];",
+            decomp.node(em.src).name,
+            decomp.node(em.dst).name,
+            cat.render_set(em.cols),
+            psi,
+            edge_style(em.container),
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomp::library::{dcache, diamond};
+    use relc_containers::ContainerKind;
+
+    #[test]
+    fn dcache_dot_matches_figure2_legend() {
+        let d = dcache();
+        let dot = decomposition_dot(&d);
+        // Tree edges solid, hash shortcut dashed, child singleton dotted.
+        assert!(dot.contains("style=solid"), "{dot}");
+        assert!(dot.contains("style=dashed"), "{dot}");
+        assert!(dot.contains("style=dotted"), "{dot}");
+        assert!(dot.contains("\"ρ\" -> \"y\""), "{dot}");
+        assert!(dot.contains("{parent, name}"), "{dot}");
+        // Node types rendered as A ▷ B.
+        assert!(dot.contains("▷"), "{dot}");
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn speculative_placement_dot_shows_targets() {
+        let d = diamond(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap);
+        let p = LockPlacement::speculative(&d, 8).unwrap();
+        let dot = placement_dot(&p);
+        assert_eq!(dot.matches("ψ: target |").count(), 2, "{dot}");
+        assert!(dot.contains("mod 8"), "{dot}");
+        assert!(dot.contains("label=\"speculative(8)\""), "{dot}");
+    }
+
+    #[test]
+    fn coarse_placement_dot_pins_everything_to_root() {
+        let d = dcache();
+        let p = LockPlacement::coarse(&d).unwrap();
+        let dot = placement_dot(&p);
+        assert_eq!(dot.matches("ψ: ρ").count(), d.edge_count(), "{dot}");
+    }
+}

@@ -1,0 +1,300 @@
+//! Multi-threaded correctness tests for synthesized concurrent relations:
+//! linearizability (checked histories), put-if-absent atomicity, structural
+//! integrity under contention, and deadlock freedom (watchdogged).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use relc::decomp::library::{diamond, split, stick};
+use relc::lincheck::{check_linearizable, HistoryRecorder, OpRecord};
+use relc::placement::LockPlacement;
+use relc::{ConcurrentRelation, Decomposition};
+use relc_containers::ContainerKind;
+use relc_spec::{Tuple, Value};
+
+fn variants() -> Vec<(String, Arc<ConcurrentRelation>)> {
+    let mut out: Vec<(String, Arc<ConcurrentRelation>)> = Vec::new();
+    let decomps: Vec<Arc<Decomposition>> = vec![
+        stick(ContainerKind::HashMap, ContainerKind::TreeMap),
+        stick(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap),
+        split(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap),
+        split(ContainerKind::ConcurrentSkipListMap, ContainerKind::TreeMap),
+        diamond(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap),
+    ];
+    for d in decomps {
+        for p in [
+            LockPlacement::coarse(&d).ok(),
+            LockPlacement::fine(&d).ok(),
+            LockPlacement::striped_root(&d, 16).ok(),
+            LockPlacement::speculative(&d, 8).ok(),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            let name = format!("{} / {}", d.describe(), p.name());
+            out.push((
+                name,
+                Arc::new(ConcurrentRelation::new(d.clone(), p).unwrap()),
+            ));
+        }
+    }
+    out
+}
+
+fn edge(rel: &ConcurrentRelation, s: i64, d: i64) -> Tuple {
+    rel.schema()
+        .tuple(&[("src", Value::from(s)), ("dst", Value::from(d))])
+        .unwrap()
+}
+
+fn weight(rel: &ConcurrentRelation, w: i64) -> Tuple {
+    rel.schema().tuple(&[("weight", Value::from(w))]).unwrap()
+}
+
+/// Runs `f` under a watchdog; panics if it does not finish in time
+/// (deadlock/livelock detector).
+fn with_watchdog(secs: u64, f: impl FnOnce() + Send + 'static) {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        f();
+        let _ = tx.send(());
+    });
+    rx.recv_timeout(Duration::from_secs(secs))
+        .expect("watchdog: concurrent test did not finish (deadlock?)");
+}
+
+#[test]
+fn put_if_absent_has_exactly_one_winner_per_key() {
+    for (name, rel) in variants() {
+        let threads = 8;
+        let keys = 16i64;
+        let barrier = Arc::new(Barrier::new(threads));
+        let wins = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..threads as i64)
+            .map(|tid| {
+                let rel = rel.clone();
+                let barrier = barrier.clone();
+                let wins = wins.clone();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for k in 0..keys {
+                        // Every thread tries to insert (k, k) with its own
+                        // weight; put-if-absent must admit exactly one.
+                        if rel.insert(&edge(&rel, k, k), &weight(&rel, tid)).unwrap() {
+                            wins.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            wins.load(Ordering::Relaxed),
+            keys as usize,
+            "exactly one winner per key on {name}"
+        );
+        assert_eq!(rel.len(), keys as usize, "{name}");
+        // Each edge's weight identifies a single coherent winner.
+        let wcol = rel.schema().column_set(&["weight"]).unwrap();
+        for k in 0..keys {
+            let got = rel.query(&edge(&rel, k, k), wcol).unwrap();
+            assert_eq!(got.len(), 1, "{name}");
+        }
+        rel.verify().unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn structural_integrity_under_contended_mixed_ops() {
+    for (name, rel) in variants() {
+        let rel2 = rel.clone();
+        let name2 = name.clone();
+        with_watchdog(120, move || {
+            let threads = 8;
+            let ops = 400;
+            let keyspace = 8i64; // small: maximum contention
+            let barrier = Arc::new(Barrier::new(threads));
+            let handles: Vec<_> = (0..threads as u64)
+                .map(|tid| {
+                    let rel = rel2.clone();
+                    let barrier = barrier.clone();
+                    std::thread::spawn(move || {
+                        let mut x = (tid + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                        let mut next = move || {
+                            x ^= x << 13;
+                            x ^= x >> 7;
+                            x ^= x << 17;
+                            x
+                        };
+                        barrier.wait();
+                        let dw = rel.schema().column_set(&["dst", "weight"]).unwrap();
+                        let sw = rel.schema().column_set(&["src", "weight"]).unwrap();
+                        for _ in 0..ops {
+                            let s = (next() % keyspace as u64) as i64;
+                            let d = (next() % keyspace as u64) as i64;
+                            let w = (next() % 4) as i64;
+                            match next() % 4 {
+                                0 => {
+                                    let _ = rel.insert(&edge(&rel, s, d), &weight(&rel, w));
+                                }
+                                1 => {
+                                    let _ = rel.remove(&edge(&rel, s, d));
+                                }
+                                2 => {
+                                    let pat = rel
+                                        .schema()
+                                        .tuple(&[("src", Value::from(s))])
+                                        .unwrap();
+                                    match rel.query(&pat, dw) {
+                                        Ok(res) => {
+                                            // Every result extends the pattern's columns.
+                                            for t in res {
+                                                assert!(t.dom() == dw);
+                                            }
+                                        }
+                                        Err(relc::CoreError::NoValidPlan(_)) => {}
+                                        Err(e) => panic!("{e}"),
+                                    }
+                                }
+                                _ => {
+                                    let pat = rel
+                                        .schema()
+                                        .tuple(&[("dst", Value::from(d))])
+                                        .unwrap();
+                                    match rel.query(&pat, sw) {
+                                        Ok(_) => {}
+                                        Err(relc::CoreError::NoValidPlan(_)) => {}
+                                        Err(e) => panic!("{e}"),
+                                    }
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        // Quiescent: the instance must be structurally perfect.
+        rel.verify().unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn small_histories_are_linearizable() {
+    // Exhaustive Wing–Gong checking of many short concurrent histories on
+    // the most interesting placements (striped + speculative), where lock
+    // placement bugs would manifest as non-linearizable results.
+    let d = diamond(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap);
+    let placements = vec![
+        LockPlacement::fine(&d).unwrap(),
+        LockPlacement::striped_root(&d, 4).unwrap(),
+        LockPlacement::speculative(&d, 4).unwrap(),
+    ];
+    for p in placements {
+        for round in 0..30u64 {
+            let rel = Arc::new(ConcurrentRelation::new(d.clone(), p.clone()).unwrap());
+            let rec = HistoryRecorder::new();
+            let threads = 3;
+            let barrier = Arc::new(Barrier::new(threads));
+            let handles: Vec<_> = (0..threads as u64)
+                .map(|tid| {
+                    let rel = rel.clone();
+                    let rec = rec.clone();
+                    let barrier = barrier.clone();
+                    std::thread::spawn(move || {
+                        let mut x = (round + 1) * (tid + 1) * 0x9e37_79b9;
+                        let mut next = move || {
+                            x ^= x << 13;
+                            x ^= x >> 7;
+                            x ^= x << 17;
+                            x
+                        };
+                        barrier.wait();
+                        for _ in 0..4 {
+                            let s = (next() % 2) as i64;
+                            let dd = (next() % 2) as i64;
+                            let w = (next() % 2) as i64;
+                            match next() % 3 {
+                                0 => rec.record(|| {
+                                    let r = rel
+                                        .insert(&edge(&rel, s, dd), &weight(&rel, w))
+                                        .unwrap();
+                                    (
+                                        (),
+                                        OpRecord::Insert {
+                                            s: edge(&rel, s, dd),
+                                            t: weight(&rel, w),
+                                            result: r,
+                                        },
+                                    )
+                                }),
+                                1 => rec.record(|| {
+                                    let r = rel.remove(&edge(&rel, s, dd)).unwrap();
+                                    ((), OpRecord::Remove { s: edge(&rel, s, dd), result: r })
+                                }),
+                                _ => {
+                                    let cols =
+                                        rel.schema().column_set(&["dst", "weight"]).unwrap();
+                                    rec.record(|| {
+                                        let pat = rel
+                                            .schema()
+                                            .tuple(&[("src", Value::from(s))])
+                                            .unwrap();
+                                        let r = rel.query(&pat, cols).unwrap();
+                                        ((), OpRecord::Query { s: pat, cols, result: r })
+                                    })
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            let history = rec.into_history();
+            assert!(
+                check_linearizable(rel.schema(), &history),
+                "non-linearizable history on {} (round {round}): {history:#?}",
+                rel.placement().name()
+            );
+        }
+    }
+}
+
+#[test]
+fn len_is_exact_after_quiescence() {
+    for (name, rel) in variants().into_iter().take(6) {
+        let threads = 4;
+        let barrier = Arc::new(Barrier::new(threads));
+        let handles: Vec<_> = (0..threads as i64)
+            .map(|tid| {
+                let rel = rel.clone();
+                let barrier = barrier.clone();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for k in 0..50i64 {
+                        // Thread-disjoint keys: all inserts must win.
+                        assert!(rel
+                            .insert(&edge(&rel, tid * 1000 + k, k), &weight(&rel, k))
+                            .unwrap());
+                    }
+                    for k in 0..25i64 {
+                        assert_eq!(rel.remove(&edge(&rel, tid * 1000 + k, k)).unwrap(), 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(rel.len(), threads * 25, "{name}");
+        let snap = rel.verify().unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(snap.len(), threads * 25, "{name}");
+    }
+}

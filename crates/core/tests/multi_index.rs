@@ -1,0 +1,221 @@
+//! Regression tests for multi-index decompositions where a mutation's
+//! traversal must *scan* a secondary index whose key columns are not bound
+//! by the operation's pattern — several candidate states match the scan and
+//! only deeper edges filter them (the scheduler shape: remove by pid, while
+//! a by-cpu index exists).
+
+use std::sync::Arc;
+
+use relc::placement::LockPlacement;
+use relc::{ConcurrentRelation, Decomposition};
+use relc_containers::ContainerKind;
+use relc_spec::{OracleRelation, RelationSchema, Value};
+
+/// pid → cpu, state; indexed by pid and, separately, by (cpu, pid).
+fn scheduler_decomposition(
+    by_pid: ContainerKind,
+    by_cpu: ContainerKind,
+) -> Arc<Decomposition> {
+    let schema = RelationSchema::builder()
+        .column("pid")
+        .column("cpu")
+        .column("state")
+        .fd(&["pid"], &["cpu", "state"])
+        .build();
+    let mut b = Decomposition::builder(schema);
+    let root = b.root();
+    let p1 = b.node("byPid");
+    let p2 = b.node("pidCpu");
+    let leaf = b.node("proc");
+    let c1 = b.node("byCpu");
+    let c2 = b.node("queued");
+    b.edge(root, p1, &["pid"], by_pid).unwrap();
+    b.edge(p1, p2, &["cpu"], ContainerKind::Singleton).unwrap();
+    b.edge(p2, leaf, &["state"], ContainerKind::Singleton).unwrap();
+    b.edge(root, c1, &["cpu"], by_cpu).unwrap();
+    b.edge(c1, c2, &["pid"], by_cpu).unwrap();
+    b.edge(c2, leaf, &["state"], ContainerKind::Singleton).unwrap();
+    b.build().unwrap()
+}
+
+fn variants() -> Vec<(String, Arc<ConcurrentRelation>)> {
+    let mut out = Vec::new();
+    for (cname, by_pid, by_cpu) in [
+        ("HM/TM", ContainerKind::HashMap, ContainerKind::TreeMap),
+        (
+            "CHM/CSLM",
+            ContainerKind::ConcurrentHashMap,
+            ContainerKind::ConcurrentSkipListMap,
+        ),
+    ] {
+        let d = scheduler_decomposition(by_pid, by_cpu);
+        for (pname, p) in [
+            ("coarse", LockPlacement::coarse(&d).ok()),
+            ("fine", LockPlacement::fine(&d).ok()),
+            ("striped", LockPlacement::striped_root(&d, 16).ok()),
+        ] {
+            if let Some(p) = p {
+                out.push((
+                    format!("{cname}/{pname}"),
+                    Arc::new(ConcurrentRelation::new(d.clone(), p).unwrap()),
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn remove_by_pid_filters_candidate_cpus() {
+    for (name, rel) in variants() {
+        let schema = rel.schema().clone();
+        // Ten processes spread over 4 cpus.
+        for pid in 0..10i64 {
+            let s = schema.tuple(&[("pid", Value::from(pid))]).unwrap();
+            let t = schema
+                .tuple(&[
+                    ("cpu", Value::from(pid % 4)),
+                    ("state", Value::from("ready")),
+                ])
+                .unwrap();
+            assert!(rel.insert(&s, &t).unwrap(), "{name}");
+        }
+        // Removing pid 6 must not disturb other pids that share no cpu —
+        // nor pid 2, which shares cpu 2 with pid 6.
+        let key6 = schema.tuple(&[("pid", Value::from(6))]).unwrap();
+        assert_eq!(rel.remove(&key6).unwrap(), 1, "{name}");
+        assert_eq!(rel.len(), 9, "{name}");
+        rel.verify().unwrap_or_else(|e| panic!("{name}: {e}"));
+        // pid 2 still on cpu 2.
+        let got = rel
+            .query(
+                &schema.tuple(&[("pid", Value::from(2))]).unwrap(),
+                schema.column_set(&["cpu"]).unwrap(),
+            )
+            .unwrap();
+        assert_eq!(
+            got,
+            vec![schema.tuple(&[("cpu", Value::from(2))]).unwrap()],
+            "{name}"
+        );
+        // cpu-2 queue contains pid 2 but not pid 6.
+        let queue = rel
+            .query(
+                &schema.tuple(&[("cpu", Value::from(2))]).unwrap(),
+                schema.column_set(&["pid"]).unwrap(),
+            )
+            .unwrap();
+        let pids: Vec<i64> = queue
+            .iter()
+            .map(|t| t.get(schema.column("pid").unwrap()).unwrap().as_int().unwrap())
+            .collect();
+        assert_eq!(pids, vec![2], "{name}");
+        // Removing an absent pid is a no-op.
+        assert_eq!(rel.remove(&key6).unwrap(), 0, "{name}");
+    }
+}
+
+#[test]
+fn migration_storm_differential_vs_oracle() {
+    for (name, rel) in variants() {
+        let schema = rel.schema().clone();
+        let oracle = OracleRelation::empty(schema.clone());
+        let mut x = 0xabcdef1u64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..400 {
+            let pid = (next() % 12) as i64;
+            let cpu = (next() % 4) as i64;
+            let key = schema.tuple(&[("pid", Value::from(pid))]).unwrap();
+            match next() % 3 {
+                0 => {
+                    let t = schema
+                        .tuple(&[("cpu", Value::from(cpu)), ("state", Value::from("r"))])
+                        .unwrap();
+                    let got = rel.insert(&key, &t).unwrap();
+                    let want = oracle.insert(&key, &t).unwrap();
+                    assert_eq!(got, want, "{name}");
+                }
+                1 => {
+                    let got = rel.remove(&key).unwrap();
+                    let want = oracle.remove(&key);
+                    assert_eq!(got, want, "{name}");
+                }
+                _ => {
+                    let pat = schema.tuple(&[("cpu", Value::from(cpu))]).unwrap();
+                    let cols = schema.column_set(&["pid", "state"]).unwrap();
+                    let got = rel.query(&pat, cols).unwrap();
+                    assert_eq!(got, oracle.query(&pat, cols), "{name}");
+                }
+            }
+        }
+        let got = rel.verify().unwrap_or_else(|e| panic!("{name}: {e}"));
+        let want: std::collections::BTreeSet<_> = oracle.snapshot().into_iter().collect();
+        assert_eq!(got, want, "{name}");
+    }
+}
+
+#[test]
+fn concurrent_migrations_keep_indexes_consistent() {
+    let d = scheduler_decomposition(
+        ContainerKind::ConcurrentHashMap,
+        ContainerKind::ConcurrentSkipListMap,
+    );
+    let p = LockPlacement::striped_root(&d, 16).unwrap();
+    let rel = Arc::new(ConcurrentRelation::new(d.clone(), p).unwrap());
+    let schema = rel.schema().clone();
+    for pid in 0..64i64 {
+        let s = schema.tuple(&[("pid", Value::from(pid))]).unwrap();
+        let t = schema
+            .tuple(&[("cpu", Value::from(pid % 4)), ("state", Value::from("r"))])
+            .unwrap();
+        rel.insert(&s, &t).unwrap();
+    }
+    let handles: Vec<_> = (0..8u64)
+        .map(|tid| {
+            let rel = rel.clone();
+            std::thread::spawn(move || {
+                let schema = rel.schema().clone();
+                let mut x = (tid + 1).wrapping_mul(0x9e37_79b9);
+                let mut next = move || {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    x
+                };
+                for _ in 0..300 {
+                    let pid = (next() % 64) as i64;
+                    let key = schema.tuple(&[("pid", Value::from(pid))]).unwrap();
+                    if rel.remove(&key).unwrap() == 1 {
+                        let t = schema
+                            .tuple(&[
+                                ("cpu", Value::from((next() % 4) as i64)),
+                                ("state", Value::from("m")),
+                            ])
+                            .unwrap();
+                        assert!(rel.insert(&key, &t).unwrap());
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(rel.len(), 64, "migrations preserve cardinality");
+    rel.verify().unwrap();
+    // Each pid appears on exactly one cpu across the by-cpu index.
+    let mut seen = std::collections::BTreeSet::new();
+    for cpu in 0..4i64 {
+        let pat = schema.tuple(&[("cpu", Value::from(cpu))]).unwrap();
+        for t in rel.query(&pat, schema.column_set(&["pid"]).unwrap()).unwrap() {
+            let pid = t.get(schema.column("pid").unwrap()).unwrap().as_int().unwrap();
+            assert!(seen.insert(pid), "pid {pid} queued on two cpus");
+        }
+    }
+    assert_eq!(seen.len(), 64);
+}

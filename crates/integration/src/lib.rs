@@ -1,0 +1,76 @@
+//! `relc-integration` hosts the repository-level integration tests
+//! (`/tests`) and runnable examples (`/examples`). It also exports the
+//! shared helpers those targets use.
+
+use std::sync::Arc;
+
+use relc::decomp::library::{diamond, split, stick};
+use relc::placement::LockPlacement;
+use relc::{ConcurrentRelation, Decomposition};
+use relc_containers::ContainerKind;
+
+/// Builds a labelled matrix of graph-relation representations covering the
+/// three Fig. 3 structures and all four placement families.
+pub fn graph_variant_matrix() -> Vec<(String, Arc<ConcurrentRelation>)> {
+    let mut out: Vec<(String, Arc<ConcurrentRelation>)> = Vec::new();
+    let decomps: Vec<(&str, Arc<Decomposition>)> = vec![
+        ("stick(HM,TM)", stick(ContainerKind::HashMap, ContainerKind::TreeMap)),
+        (
+            "stick(CHM,HM)",
+            stick(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap),
+        ),
+        (
+            "split(CHM,HM)",
+            split(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap),
+        ),
+        (
+            "split(CSLM,TM)",
+            split(ContainerKind::ConcurrentSkipListMap, ContainerKind::TreeMap),
+        ),
+        (
+            "diamond(CHM,HM)",
+            diamond(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap),
+        ),
+        (
+            "diamond(CHM,COW)",
+            diamond(
+                ContainerKind::ConcurrentHashMap,
+                ContainerKind::CopyOnWriteArrayList,
+            ),
+        ),
+        (
+            "stick(CHM,Splay)",
+            stick(ContainerKind::ConcurrentHashMap, ContainerKind::SplayTreeMap),
+        ),
+    ];
+    for (dname, d) in decomps {
+        let placements = [
+            ("coarse", LockPlacement::coarse(&d).ok()),
+            ("fine", LockPlacement::fine(&d).ok()),
+            ("striped16", LockPlacement::striped_root(&d, 16).ok()),
+            ("spec8", LockPlacement::speculative(&d, 8).ok()),
+        ];
+        for (pname, p) in placements {
+            if let Some(p) = p {
+                let rel = ConcurrentRelation::new(d.clone(), p)
+                    .expect("matrix variants are valid");
+                out.push((format!("{dname}/{pname}"), Arc::new(rel)));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_is_substantial_and_diverse() {
+        let m = graph_variant_matrix();
+        assert!(m.len() >= 20, "got {}", m.len());
+        assert!(m.iter().any(|(n, _)| n.contains("spec")));
+        assert!(m.iter().any(|(n, _)| n.contains("Splay")));
+        assert!(m.iter().any(|(n, _)| n.contains("COW")));
+    }
+}

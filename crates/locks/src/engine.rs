@@ -1,0 +1,479 @@
+//! The ordered two-phase locking engine (§4.2, §5.1).
+//!
+//! Transactions acquire physical locks through a [`TwoPhaseEngine`], which
+//! enforces:
+//!
+//! * **Two-phase discipline**: all acquisitions (growing phase) precede all
+//!   releases (shrinking phase). Violations are programming errors in the
+//!   query planner and panic.
+//! * **Global lock order**: every lock has a totally ordered key `O`
+//!   (node topological index, instance key tuple, stripe index — built by
+//!   the synthesis runtime). In-order acquisitions may block; out-of-order
+//!   acquisitions (which arise from speculative guesses and upgrades) only
+//!   *try*; on failure the transaction must release everything and restart.
+//!   Since no thread ever blocks while violating the order, the wait-for
+//!   graph cannot contain a cycle: **deadlock freedom by construction**.
+//! * **Upgrade hints**: a shared→exclusive upgrade cannot be granted in
+//!   place (two upgraders would deadlock); the engine records the needed
+//!   mode and fails the transaction, so the retry acquires exclusive access
+//!   up front.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::mode::LockMode;
+use crate::physical::PhysicalLock;
+use crate::stats::{LocalStats, LockStats};
+
+/// Why a transaction must restart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestartReason {
+    /// An out-of-order lock was contended; blocking would risk deadlock.
+    OutOfOrderContention,
+    /// A held shared lock needed upgrading to exclusive.
+    UpgradeRequired,
+    /// A speculative lock guess (§4.5) failed validation.
+    SpeculationFailed,
+}
+
+/// Error demanding that the caller roll back and re-run the transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MustRestart {
+    /// The reason for the restart.
+    pub reason: RestartReason,
+}
+
+impl fmt::Display for MustRestart {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.reason {
+            RestartReason::OutOfOrderContention => {
+                f.write_str("transaction must restart: out-of-order lock was contended")
+            }
+            RestartReason::UpgradeRequired => {
+                f.write_str("transaction must restart: shared lock requires exclusive upgrade")
+            }
+            RestartReason::SpeculationFailed => {
+                f.write_str("transaction must restart: speculative lock guess failed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MustRestart {}
+
+#[derive(Debug)]
+struct Held {
+    lock: Arc<PhysicalLock>,
+    mode: LockMode,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Growing,
+    Shrinking,
+}
+
+/// A deadlock-free, ordered, two-phase lock manager for one transaction at a
+/// time (create one per worker thread and reuse it across transactions).
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use relc_locks::{TwoPhaseEngine, PhysicalLock, LockMode, LockStats};
+///
+/// let stats = Arc::new(LockStats::new());
+/// let a = Arc::new(PhysicalLock::new());
+/// let b = Arc::new(PhysicalLock::new());
+///
+/// let mut txn: TwoPhaseEngine<u32> = TwoPhaseEngine::new(stats);
+/// txn.acquire(1, &a, LockMode::Shared)?;
+/// txn.acquire(2, &b, LockMode::Exclusive)?;
+/// assert_eq!(txn.held_count(), 2);
+/// txn.finish(); // shrinking phase: release everything
+/// # Ok::<(), relc_locks::MustRestart>(())
+/// ```
+#[derive(Debug)]
+pub struct TwoPhaseEngine<O: Ord + Clone + fmt::Debug> {
+    held: BTreeMap<O, Held>,
+    hints: BTreeMap<O, LockMode>,
+    phase: Phase,
+    stats: Arc<LockStats>,
+    /// Per-transaction deltas; flushed to `stats` at finish/rollback so the
+    /// lock hot path never touches shared cache lines.
+    local: LocalStats,
+}
+
+impl<O: Ord + Clone + fmt::Debug> TwoPhaseEngine<O> {
+    /// Creates an idle engine reporting to `stats`.
+    pub fn new(stats: Arc<LockStats>) -> Self {
+        TwoPhaseEngine {
+            held: BTreeMap::new(),
+            hints: BTreeMap::new(),
+            phase: Phase::Growing,
+            stats,
+            local: LocalStats::default(),
+        }
+    }
+
+    /// Acquires `lock` (identified by the globally ordered `key`) in `mode`.
+    ///
+    /// In-order requests (`key` greater than every held key) block;
+    /// out-of-order requests only try, and on contention the transaction
+    /// must restart.
+    ///
+    /// # Errors
+    ///
+    /// [`MustRestart`] if the lock could not be acquired without risking
+    /// deadlock; the caller must [`TwoPhaseEngine::rollback`], back off, and
+    /// re-run the transaction. Mode hints recorded by failed upgrades are
+    /// applied automatically on the retry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called in the shrinking phase (a query-planner bug: plans
+    /// are two-phase by construction).
+    pub fn acquire(
+        &mut self,
+        key: O,
+        lock: &Arc<PhysicalLock>,
+        mode: LockMode,
+    ) -> Result<(), MustRestart> {
+        assert!(
+            self.phase == Phase::Growing,
+            "two-phase violation: acquire after release (planner bug)"
+        );
+        let mode = match self.hints.get(&key) {
+            Some(hint) => mode.join(*hint),
+            None => mode,
+        };
+        if let Some(held) = self.held.get(&key) {
+            if held.mode.covers(mode) {
+                return Ok(());
+            }
+            // Upgrade required: remember and restart.
+            self.hints.insert(key, LockMode::Exclusive);
+            self.local.upgrades += 1;
+            self.local.restarts += 1;
+            return Err(MustRestart {
+                reason: RestartReason::UpgradeRequired,
+            });
+        }
+        let in_order = match self.held.last_key_value() {
+            None => true,
+            Some((max, _)) => key > *max,
+        };
+        if in_order {
+            lock.acquire(mode);
+        } else if !lock.try_acquire(mode) {
+            self.local.contended += 1;
+            self.local.restarts += 1;
+            return Err(MustRestart {
+                reason: RestartReason::OutOfOrderContention,
+            });
+        }
+        self.local.acquisitions += 1;
+        self.held.insert(
+            key,
+            Held {
+                lock: Arc::clone(lock),
+                mode,
+            },
+        );
+        Ok(())
+    }
+
+    /// The mode in which `key` is currently held, if any.
+    pub fn holds(&self, key: &O) -> Option<LockMode> {
+        self.held.get(key).map(|h| h.mode)
+    }
+
+    /// Number of currently held locks.
+    pub fn held_count(&self) -> usize {
+        self.held.len()
+    }
+
+    /// Records a mode hint for a future retry of this transaction (used by
+    /// the speculative protocol when it discovers it will need stronger
+    /// access).
+    pub fn hint(&mut self, key: O, mode: LockMode) {
+        let entry = self.hints.entry(key).or_insert(mode);
+        *entry = entry.join(mode);
+    }
+
+    /// Fails the transaction with [`RestartReason::SpeculationFailed`],
+    /// recording the statistic. Convenience for the speculation protocol.
+    pub fn fail_speculation(&mut self) -> MustRestart {
+        self.local.speculation_failures += 1;
+        self.local.restarts += 1;
+        MustRestart {
+            reason: RestartReason::SpeculationFailed,
+        }
+    }
+
+    /// Releases one lock, entering the shrinking phase: no further
+    /// acquisitions are allowed until [`TwoPhaseEngine::finish`] or
+    /// [`TwoPhaseEngine::rollback`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is not held.
+    pub fn unlock(&mut self, key: &O) {
+        let held = self
+            .held
+            .remove(key)
+            .unwrap_or_else(|| panic!("unlock of lock {key:?} that is not held"));
+        self.phase = Phase::Shrinking;
+        // SAFETY: `held` records the exact mode we acquired.
+        unsafe { held.lock.release(held.mode) };
+    }
+
+    /// Commits the transaction: releases all remaining locks, clears mode
+    /// hints, and resets to the growing phase for the next transaction.
+    pub fn finish(&mut self) {
+        self.release_all();
+        self.hints.clear();
+        self.phase = Phase::Growing;
+        self.stats.flush(&mut self.local);
+    }
+
+    /// Aborts the transaction: releases all locks but *keeps* mode hints so
+    /// the retry acquires adequate modes up front, and resets to growing.
+    pub fn rollback(&mut self) {
+        self.release_all();
+        self.phase = Phase::Growing;
+        self.stats.flush(&mut self.local);
+    }
+
+    fn release_all(&mut self) {
+        for (_, held) in std::mem::take(&mut self.held) {
+            // SAFETY: `held` records the exact mode we acquired.
+            unsafe { held.lock.release(held.mode) };
+        }
+    }
+
+    /// The statistics sink shared by this engine.
+    pub fn stats(&self) -> &Arc<LockStats> {
+        &self.stats
+    }
+}
+
+impl<O: Ord + Clone + fmt::Debug> Drop for TwoPhaseEngine<O> {
+    fn drop(&mut self) {
+        self.release_all();
+        self.stats.flush(&mut self.local);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Barrier;
+    use std::time::Duration;
+
+    fn engine() -> TwoPhaseEngine<u32> {
+        TwoPhaseEngine::new(Arc::new(LockStats::new()))
+    }
+
+    fn lock() -> Arc<PhysicalLock> {
+        Arc::new(PhysicalLock::new())
+    }
+
+    #[test]
+    fn in_order_acquire_and_finish() {
+        let (a, b) = (lock(), lock());
+        let mut e = engine();
+        e.acquire(1, &a, LockMode::Shared).unwrap();
+        e.acquire(2, &b, LockMode::Exclusive).unwrap();
+        assert_eq!(e.holds(&1), Some(LockMode::Shared));
+        assert_eq!(e.holds(&2), Some(LockMode::Exclusive));
+        e.finish();
+        assert_eq!(e.held_count(), 0);
+        // Locks are actually free again.
+        assert!(a.try_acquire(LockMode::Exclusive));
+        unsafe { a.release(LockMode::Exclusive) };
+    }
+
+    #[test]
+    fn reacquire_covered_is_noop() {
+        let a = lock();
+        let mut e = engine();
+        e.acquire(1, &a, LockMode::Exclusive).unwrap();
+        e.acquire(1, &a, LockMode::Shared).unwrap();
+        e.acquire(1, &a, LockMode::Exclusive).unwrap();
+        assert_eq!(e.held_count(), 1);
+        e.finish(); // stats flush at commit
+        assert_eq!(e.stats().snapshot().acquisitions, 1);
+    }
+
+    #[test]
+    fn upgrade_restarts_with_hint() {
+        let a = lock();
+        let mut e = engine();
+        e.acquire(1, &a, LockMode::Shared).unwrap();
+        let err = e.acquire(1, &a, LockMode::Exclusive).unwrap_err();
+        assert_eq!(err.reason, RestartReason::UpgradeRequired);
+        e.rollback();
+        // Retry: the hint upgrades the first acquisition to exclusive.
+        e.acquire(1, &a, LockMode::Shared).unwrap();
+        assert_eq!(e.holds(&1), Some(LockMode::Exclusive));
+        e.acquire(1, &a, LockMode::Exclusive).unwrap();
+        e.finish();
+        assert_eq!(e.stats().snapshot().upgrades, 1);
+    }
+
+    #[test]
+    fn finish_clears_hints_rollback_keeps_them() {
+        let a = lock();
+        let mut e = engine();
+        e.hint(1, LockMode::Exclusive);
+        e.rollback();
+        e.acquire(1, &a, LockMode::Shared).unwrap();
+        assert_eq!(e.holds(&1), Some(LockMode::Exclusive), "hint survives rollback");
+        e.finish();
+        e.acquire(1, &a, LockMode::Shared).unwrap();
+        assert_eq!(e.holds(&1), Some(LockMode::Shared), "finish clears hints");
+        e.finish();
+    }
+
+    #[test]
+    fn out_of_order_contention_restarts() {
+        let (a, b) = (lock(), lock());
+        // Another party holds `a` exclusively.
+        assert!(a.try_acquire(LockMode::Exclusive));
+        let mut e = engine();
+        e.acquire(2, &b, LockMode::Shared).unwrap();
+        // Key 1 < max held key 2: out of order, must not block.
+        let start = std::time::Instant::now();
+        let err = e.acquire(1, &a, LockMode::Shared).unwrap_err();
+        assert!(start.elapsed() < Duration::from_millis(100), "must not block");
+        assert_eq!(err.reason, RestartReason::OutOfOrderContention);
+        e.rollback();
+        unsafe { a.release(LockMode::Exclusive) };
+        // Retry in order now succeeds.
+        e.acquire(1, &a, LockMode::Shared).unwrap();
+        e.acquire(2, &b, LockMode::Shared).unwrap();
+        e.finish();
+    }
+
+    #[test]
+    fn out_of_order_uncontended_succeeds() {
+        let (a, b) = (lock(), lock());
+        let mut e = engine();
+        e.acquire(2, &b, LockMode::Shared).unwrap();
+        e.acquire(1, &a, LockMode::Exclusive).unwrap();
+        assert_eq!(e.held_count(), 2);
+        e.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "two-phase violation")]
+    fn acquire_after_unlock_panics() {
+        let (a, b) = (lock(), lock());
+        let mut e = engine();
+        e.acquire(1, &a, LockMode::Shared).unwrap();
+        e.unlock(&1);
+        let _ = e.acquire(2, &b, LockMode::Shared);
+    }
+
+    #[test]
+    #[should_panic(expected = "not held")]
+    fn unlock_unheld_panics() {
+        let mut e = engine();
+        e.acquire(1, &lock(), LockMode::Shared).unwrap();
+        e.unlock(&99);
+    }
+
+    #[test]
+    fn drop_releases_held_locks() {
+        let a = lock();
+        {
+            let mut e = engine();
+            e.acquire(1, &a, LockMode::Exclusive).unwrap();
+        }
+        assert!(a.try_acquire(LockMode::Exclusive));
+        unsafe { a.release(LockMode::Exclusive) };
+    }
+
+    #[test]
+    fn speculation_failure_is_counted() {
+        let mut e = engine();
+        let err = e.fail_speculation();
+        assert_eq!(err.reason, RestartReason::SpeculationFailed);
+        e.rollback(); // stats flush at abort
+        assert_eq!(e.stats().snapshot().speculation_failures, 1);
+        assert_eq!(e.stats().snapshot().restarts, 1);
+    }
+
+    /// End-to-end deadlock-freedom stress: many threads run transactions
+    /// over a shared pool of locks. Each transaction wants a random subset
+    /// in a random *request* order; the engine's order/try/restart protocol
+    /// must guarantee global progress. A watchdog fails the test on a hang.
+    #[test]
+    fn stress_no_deadlock_under_adversarial_orders() {
+        const LOCKS: usize = 12;
+        const THREADS: usize = 8;
+        const TXNS: usize = 300;
+
+        let locks: Arc<Vec<Arc<PhysicalLock>>> =
+            Arc::new((0..LOCKS).map(|_| lock()).collect());
+        let barrier = Arc::new(Barrier::new(THREADS));
+        let stats = Arc::new(LockStats::new());
+
+        let handles: Vec<_> = (0..THREADS)
+            .map(|tid| {
+                let locks = locks.clone();
+                let barrier = barrier.clone();
+                let stats = stats.clone();
+                std::thread::spawn(move || {
+                    let mut e: TwoPhaseEngine<usize> = TwoPhaseEngine::new(stats);
+                    let mut rng = (tid as u64 + 1) * 0x9e37_79b9;
+                    let mut next = move || {
+                        rng ^= rng << 13;
+                        rng ^= rng >> 7;
+                        rng ^= rng << 17;
+                        rng
+                    };
+                    barrier.wait();
+                    for _ in 0..TXNS {
+                        // Pick 3 distinct lock indices in arbitrary order.
+                        let mut want = [0usize; 3];
+                        for w in &mut want {
+                            *w = (next() % LOCKS as u64) as usize;
+                        }
+                        let mut backoff = crate::backoff::Backoff::new();
+                        'txn: loop {
+                            for &w in &want {
+                                let mode = if next() % 2 == 0 {
+                                    LockMode::Shared
+                                } else {
+                                    LockMode::Exclusive
+                                };
+                                if e.acquire(w, &locks[w], mode).is_err() {
+                                    e.rollback();
+                                    backoff.wait();
+                                    continue 'txn;
+                                }
+                            }
+                            // "Commit".
+                            e.finish();
+                            break;
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        // Watchdog: the whole stress must complete well within 60s.
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            for h in handles {
+                h.join().unwrap();
+            }
+            let _ = tx.send(());
+        });
+        rx.recv_timeout(Duration::from_secs(60))
+            .expect("deadlock: stress test did not complete");
+    }
+}

@@ -1,0 +1,77 @@
+//! Lock modes.
+//!
+//! "By 'lock' we mean a class of pessimistic synchronization primitives that
+//! may be held by a transaction in either of two different modes, namely
+//! shared or exclusive" (§4.2).
+
+use std::fmt;
+
+/// The mode in which a transaction holds a lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LockMode {
+    /// Shared access: multiple transactions may hold the lock concurrently.
+    /// Required to *observe* the state (presence or absence) of an edge.
+    Shared,
+    /// Exclusive access: no other transaction may hold the lock in any mode.
+    /// Required to *add, remove, or update* an edge.
+    Exclusive,
+}
+
+impl LockMode {
+    /// Whether holding `self` satisfies a request for `other`.
+    ///
+    /// Exclusive access subsumes shared access; the converse does not hold.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use relc_locks::LockMode;
+    /// assert!(LockMode::Exclusive.covers(LockMode::Shared));
+    /// assert!(!LockMode::Shared.covers(LockMode::Exclusive));
+    /// assert!(LockMode::Shared.covers(LockMode::Shared));
+    /// ```
+    pub fn covers(self, other: LockMode) -> bool {
+        self >= other
+    }
+
+    /// The join of two modes: the weakest mode covering both.
+    #[must_use]
+    pub fn join(self, other: LockMode) -> LockMode {
+        self.max(other)
+    }
+}
+
+impl fmt::Display for LockMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockMode::Shared => f.write_str("shared"),
+            LockMode::Exclusive => f.write_str("exclusive"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_is_a_partial_order_on_strength() {
+        assert!(LockMode::Exclusive.covers(LockMode::Exclusive));
+        assert!(LockMode::Exclusive.covers(LockMode::Shared));
+        assert!(LockMode::Shared.covers(LockMode::Shared));
+        assert!(!LockMode::Shared.covers(LockMode::Exclusive));
+    }
+
+    #[test]
+    fn join_is_max() {
+        assert_eq!(LockMode::Shared.join(LockMode::Exclusive), LockMode::Exclusive);
+        assert_eq!(LockMode::Shared.join(LockMode::Shared), LockMode::Shared);
+        assert_eq!(LockMode::Exclusive.join(LockMode::Shared), LockMode::Exclusive);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(LockMode::Shared.to_string(), "shared");
+        assert_eq!(LockMode::Exclusive.to_string(), "exclusive");
+    }
+}

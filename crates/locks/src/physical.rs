@@ -1,0 +1,135 @@
+//! Physical reader-writer locks attached to decomposition node instances
+//! (§4.3).
+//!
+//! A [`PhysicalLock`] is a thin wrapper over `parking_lot`'s raw
+//! reader-writer lock: unlike `RwLock<T>`, it guards no data of its own —
+//! it *implements a set of logical locks* chosen by the lock placement, and
+//! the data it protects (container entries) lives elsewhere in the
+//! decomposition instance.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::lock_api::RawRwLock as RawRwLockApi;
+use parking_lot::RawRwLock;
+
+use crate::mode::LockMode;
+
+/// A physical reader-writer lock with contention accounting.
+pub struct PhysicalLock {
+    raw: RawRwLock,
+    contended: AtomicU64,
+}
+
+impl PhysicalLock {
+    /// Creates an unlocked lock.
+    pub fn new() -> Self {
+        PhysicalLock {
+            raw: RawRwLockApi::INIT,
+            contended: AtomicU64::new(0),
+        }
+    }
+
+    /// Acquires the lock in `mode`, blocking if necessary.
+    pub fn acquire(&self, mode: LockMode) {
+        if !self.try_acquire(mode) {
+            self.contended.fetch_add(1, Ordering::Relaxed);
+            match mode {
+                LockMode::Shared => self.raw.lock_shared(),
+                LockMode::Exclusive => self.raw.lock_exclusive(),
+            }
+        }
+    }
+
+    /// Attempts to acquire the lock in `mode` without blocking.
+    pub fn try_acquire(&self, mode: LockMode) -> bool {
+        match mode {
+            LockMode::Shared => self.raw.try_lock_shared(),
+            LockMode::Exclusive => self.raw.try_lock_exclusive(),
+        }
+    }
+
+    /// Releases the lock previously acquired in `mode`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must currently hold this lock in exactly `mode` (the
+    /// two-phase engine tracks held modes and upholds this).
+    pub unsafe fn release(&self, mode: LockMode) {
+        match mode {
+            // SAFETY: forwarded contract.
+            LockMode::Shared => unsafe { self.raw.unlock_shared() },
+            // SAFETY: forwarded contract.
+            LockMode::Exclusive => unsafe { self.raw.unlock_exclusive() },
+        }
+    }
+
+    /// How many acquisitions found the lock already contended.
+    pub fn contention_count(&self) -> u64 {
+        self.contended.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for PhysicalLock {
+    fn default() -> Self {
+        PhysicalLock::new()
+    }
+}
+
+impl fmt::Debug for PhysicalLock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PhysicalLock")
+            .field("contended", &self.contention_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn exclusive_excludes_everyone() {
+        let l = PhysicalLock::new();
+        assert!(l.try_acquire(LockMode::Exclusive));
+        assert!(!l.try_acquire(LockMode::Exclusive));
+        assert!(!l.try_acquire(LockMode::Shared));
+        unsafe { l.release(LockMode::Exclusive) };
+        assert!(l.try_acquire(LockMode::Shared));
+        unsafe { l.release(LockMode::Shared) };
+    }
+
+    #[test]
+    fn shared_admits_readers_excludes_writers() {
+        let l = PhysicalLock::new();
+        assert!(l.try_acquire(LockMode::Shared));
+        assert!(l.try_acquire(LockMode::Shared));
+        assert!(!l.try_acquire(LockMode::Exclusive));
+        unsafe { l.release(LockMode::Shared) };
+        assert!(!l.try_acquire(LockMode::Exclusive));
+        unsafe { l.release(LockMode::Shared) };
+        assert!(l.try_acquire(LockMode::Exclusive));
+        unsafe { l.release(LockMode::Exclusive) };
+    }
+
+    #[test]
+    fn blocking_acquire_hands_over() {
+        let l = Arc::new(PhysicalLock::new());
+        l.acquire(LockMode::Exclusive);
+        let l2 = l.clone();
+        let t = std::thread::spawn(move || {
+            l2.acquire(LockMode::Exclusive); // blocks until main releases
+            unsafe { l2.release(LockMode::Exclusive) };
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        unsafe { l.release(LockMode::Exclusive) };
+        t.join().unwrap();
+        assert!(l.contention_count() >= 1);
+    }
+
+    #[test]
+    fn debug_nonempty() {
+        assert!(!format!("{:?}", PhysicalLock::new()).is_empty());
+    }
+}

@@ -1,0 +1,135 @@
+//! Lock-engine statistics, used by the ablation benchmarks and tests.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters describing lock traffic for one synthesized relation.
+///
+/// All counters use relaxed atomics: they are diagnostics, not
+/// synchronization.
+#[derive(Debug, Default)]
+pub struct LockStats {
+    acquisitions: AtomicU64,
+    contended: AtomicU64,
+    restarts: AtomicU64,
+    upgrades: AtomicU64,
+    speculation_failures: AtomicU64,
+}
+
+/// Per-transaction counter deltas, accumulated locally (no shared-cache
+/// traffic on the lock hot path) and flushed into [`LockStats`] at commit
+/// or rollback.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct LocalStats {
+    pub acquisitions: u64,
+    pub contended: u64,
+    pub restarts: u64,
+    pub upgrades: u64,
+    pub speculation_failures: u64,
+}
+
+impl LocalStats {
+    pub(crate) fn is_empty(&self) -> bool {
+        self.acquisitions == 0
+            && self.contended == 0
+            && self.restarts == 0
+            && self.upgrades == 0
+            && self.speculation_failures == 0
+    }
+}
+
+impl LockStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        LockStats::default()
+    }
+
+    /// Merges a transaction's local deltas (one shared add per touched
+    /// counter, instead of one per lock acquisition).
+    pub(crate) fn flush(&self, local: &mut LocalStats) {
+        if local.is_empty() {
+            return;
+        }
+        if local.acquisitions > 0 {
+            self.acquisitions.fetch_add(local.acquisitions, Ordering::Relaxed);
+        }
+        if local.contended > 0 {
+            self.contended.fetch_add(local.contended, Ordering::Relaxed);
+        }
+        if local.restarts > 0 {
+            self.restarts.fetch_add(local.restarts, Ordering::Relaxed);
+        }
+        if local.upgrades > 0 {
+            self.upgrades.fetch_add(local.upgrades, Ordering::Relaxed);
+        }
+        if local.speculation_failures > 0 {
+            self.speculation_failures
+                .fetch_add(local.speculation_failures, Ordering::Relaxed);
+        }
+        *local = LocalStats::default();
+    }
+
+    /// Takes a point-in-time snapshot of all counters.
+    pub fn snapshot(&self) -> LockStatsSnapshot {
+        LockStatsSnapshot {
+            acquisitions: self.acquisitions.load(Ordering::Relaxed),
+            contended: self.contended.load(Ordering::Relaxed),
+            restarts: self.restarts.load(Ordering::Relaxed),
+            upgrades: self.upgrades.load(Ordering::Relaxed),
+            speculation_failures: self.speculation_failures.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`LockStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LockStatsSnapshot {
+    /// Total physical lock acquisitions.
+    pub acquisitions: u64,
+    /// Acquisitions that could not be satisfied immediately.
+    pub contended: u64,
+    /// Transaction restarts (out-of-order try-lock failures or upgrades).
+    pub restarts: u64,
+    /// Restarts caused specifically by shared→exclusive upgrades.
+    pub upgrades: u64,
+    /// Failed speculative lock guesses (§4.5).
+    pub speculation_failures: u64,
+}
+
+impl fmt::Display for LockStatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "acquisitions={} contended={} restarts={} upgrades={} spec-failures={}",
+            self.acquisitions, self.contended, self.restarts, self.upgrades,
+            self.speculation_failures
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = LockStats::new();
+        let mut local = LocalStats {
+            acquisitions: 2,
+            contended: 1,
+            restarts: 1,
+            upgrades: 1,
+            speculation_failures: 1,
+        };
+        s.flush(&mut local);
+        assert!(local.is_empty(), "flush drains the local deltas");
+        s.flush(&mut local); // no-op
+        let snap = s.snapshot();
+        assert_eq!(snap.acquisitions, 2);
+        assert_eq!(snap.contended, 1);
+        assert_eq!(snap.restarts, 1);
+        assert_eq!(snap.upgrades, 1);
+        assert_eq!(snap.speculation_failures, 1);
+        assert!(snap.to_string().contains("acquisitions=2"));
+    }
+}

@@ -1,0 +1,401 @@
+//! Column names, interned column identifiers, and column sets.
+//!
+//! A relational specification is "a set of column names C together with a set
+//! of functional dependencies Δ" (§2). Column names are interned into dense
+//! [`ColumnId`]s by a [`Catalog`] so that sets of columns can be represented
+//! as 64-bit masks ([`ColumnSet`]), which the planner manipulates constantly.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// An interned column identifier, dense from `0..Catalog::len()`.
+///
+/// # Examples
+///
+/// ```
+/// use relc_spec::Catalog;
+///
+/// let mut cat = Catalog::new();
+/// let src = cat.intern("src");
+/// assert_eq!(cat.name(src), "src");
+/// assert_eq!(cat.intern("src"), src); // idempotent
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ColumnId(pub(crate) u8);
+
+impl ColumnId {
+    /// The dense index of this column within its [`Catalog`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `ColumnId` from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= ColumnSet::MAX_COLUMNS`.
+    pub fn from_index(index: usize) -> Self {
+        assert!(
+            index < ColumnSet::MAX_COLUMNS,
+            "column index {index} out of range"
+        );
+        ColumnId(index as u8)
+    }
+}
+
+impl fmt::Display for ColumnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A set of columns, represented as a 64-bit mask.
+///
+/// Supports the usual set algebra; iteration yields columns in ascending
+/// `ColumnId` order, which is also the canonical order of tuple fields.
+///
+/// # Examples
+///
+/// ```
+/// use relc_spec::{ColumnId, ColumnSet};
+///
+/// let a = ColumnSet::from_iter([ColumnId::from_index(0), ColumnId::from_index(2)]);
+/// let b = ColumnSet::single(ColumnId::from_index(2));
+/// assert!(b.is_subset(a));
+/// assert_eq!(a.difference(b).len(), 1);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ColumnSet(u64);
+
+impl ColumnSet {
+    /// Maximum number of distinct columns a catalog may hold.
+    pub const MAX_COLUMNS: usize = 64;
+
+    /// The empty column set.
+    pub const EMPTY: ColumnSet = ColumnSet(0);
+
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        ColumnSet(0)
+    }
+
+    /// Creates a singleton set.
+    pub fn single(c: ColumnId) -> Self {
+        ColumnSet(1u64 << c.0)
+    }
+
+    /// Creates the set of the first `n` columns `{0, 1, .., n-1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_COLUMNS`.
+    pub fn first_n(n: usize) -> Self {
+        assert!(n <= Self::MAX_COLUMNS);
+        if n == 64 {
+            ColumnSet(u64::MAX)
+        } else {
+            ColumnSet((1u64 << n) - 1)
+        }
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of columns in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether `c` is a member.
+    pub fn contains(self, c: ColumnId) -> bool {
+        self.0 & (1u64 << c.0) != 0
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(self, other: ColumnSet) -> ColumnSet {
+        ColumnSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub fn intersection(self, other: ColumnSet) -> ColumnSet {
+        ColumnSet(self.0 & other.0)
+    }
+
+    /// Set difference `self \ other`.
+    #[must_use]
+    pub fn difference(self, other: ColumnSet) -> ColumnSet {
+        ColumnSet(self.0 & !other.0)
+    }
+
+    /// Adds a column, returning the new set.
+    #[must_use]
+    pub fn with(self, c: ColumnId) -> ColumnSet {
+        ColumnSet(self.0 | (1u64 << c.0))
+    }
+
+    /// Inserts a column in place.
+    pub fn insert(&mut self, c: ColumnId) {
+        self.0 |= 1u64 << c.0;
+    }
+
+    /// Removes a column in place.
+    pub fn remove(&mut self, c: ColumnId) {
+        self.0 &= !(1u64 << c.0);
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset(self, other: ColumnSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Whether `self ⊇ other`.
+    pub fn is_superset(self, other: ColumnSet) -> bool {
+        other.is_subset(self)
+    }
+
+    /// Whether the two sets share no columns.
+    pub fn is_disjoint(self, other: ColumnSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Iterates over members in ascending order.
+    pub fn iter(self) -> ColumnSetIter {
+        ColumnSetIter(self.0)
+    }
+
+    /// The raw bitmask (stable; used by tests and debugging tools).
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+}
+
+impl FromIterator<ColumnId> for ColumnSet {
+    fn from_iter<T: IntoIterator<Item = ColumnId>>(iter: T) -> Self {
+        let mut s = ColumnSet::new();
+        for c in iter {
+            s.insert(c);
+        }
+        s
+    }
+}
+
+impl IntoIterator for ColumnSet {
+    type Item = ColumnId;
+    type IntoIter = ColumnSetIter;
+    fn into_iter(self) -> ColumnSetIter {
+        self.iter()
+    }
+}
+
+/// Iterator over the members of a [`ColumnSet`], ascending.
+#[derive(Debug, Clone)]
+pub struct ColumnSetIter(u64);
+
+impl Iterator for ColumnSetIter {
+    type Item = ColumnId;
+    fn next(&mut self) -> Option<ColumnId> {
+        if self.0 == 0 {
+            None
+        } else {
+            let i = self.0.trailing_zeros() as u8;
+            self.0 &= self.0 - 1;
+            Some(ColumnId(i))
+        }
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for ColumnSetIter {}
+
+impl fmt::Debug for ColumnSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// An interning catalog of column names.
+///
+/// Shared (via `Arc`) between a schema, its decompositions, and its runtime
+/// relations so that `ColumnId`s mean the same thing everywhere.
+///
+/// # Examples
+///
+/// ```
+/// use relc_spec::Catalog;
+///
+/// let mut cat = Catalog::new();
+/// let src = cat.intern("src");
+/// let dst = cat.intern("dst");
+/// assert_ne!(src, dst);
+/// assert_eq!(cat.len(), 2);
+/// assert_eq!(cat.lookup("src"), Some(src));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Catalog {
+    names: Vec<Arc<str>>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog { names: Vec::new() }
+    }
+
+    /// Interns `name`, returning its id; idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`ColumnSet::MAX_COLUMNS`] distinct names are
+    /// interned.
+    pub fn intern(&mut self, name: &str) -> ColumnId {
+        if let Some(id) = self.lookup(name) {
+            return id;
+        }
+        assert!(
+            self.names.len() < ColumnSet::MAX_COLUMNS,
+            "catalog overflow: more than {} columns",
+            ColumnSet::MAX_COLUMNS
+        );
+        self.names.push(Arc::from(name));
+        ColumnId((self.names.len() - 1) as u8)
+    }
+
+    /// Finds an already-interned name.
+    pub fn lookup(&self, name: &str) -> Option<ColumnId> {
+        self.names
+            .iter()
+            .position(|n| &**n == name)
+            .map(|i| ColumnId(i as u8))
+    }
+
+    /// The name of a column id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this catalog.
+    pub fn name(&self, id: ColumnId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of interned columns.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The set of all columns in the catalog.
+    pub fn all(&self) -> ColumnSet {
+        ColumnSet::first_n(self.names.len())
+    }
+
+    /// Renders a column set with human-readable names, e.g. `{src, dst}`.
+    pub fn render_set(&self, set: ColumnSet) -> String {
+        let mut s = String::from("{");
+        for (i, c) in set.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(self.name(c));
+        }
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cols(ids: &[usize]) -> ColumnSet {
+        ids.iter().map(|&i| ColumnId::from_index(i)).collect()
+    }
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut cat = Catalog::new();
+        let a = cat.intern("a");
+        let b = cat.intern("b");
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(cat.intern("a"), a);
+        assert_eq!(cat.len(), 2);
+        assert_eq!(cat.name(a), "a");
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = cols(&[0, 1, 2]);
+        let b = cols(&[1, 3]);
+        assert_eq!(a.union(b), cols(&[0, 1, 2, 3]));
+        assert_eq!(a.intersection(b), cols(&[1]));
+        assert_eq!(a.difference(b), cols(&[0, 2]));
+        assert!(cols(&[1]).is_subset(a));
+        assert!(!b.is_subset(a));
+        assert!(a.is_superset(cols(&[0])));
+        assert!(cols(&[0]).is_disjoint(cols(&[1])));
+        assert!(!a.is_disjoint(b));
+    }
+
+    #[test]
+    fn iteration_is_sorted_and_exact() {
+        let s = cols(&[5, 1, 9]);
+        let v: Vec<usize> = s.iter().map(ColumnId::index).collect();
+        assert_eq!(v, vec![1, 5, 9]);
+        assert_eq!(s.iter().len(), 3);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn first_n_and_all() {
+        assert_eq!(ColumnSet::first_n(0), ColumnSet::EMPTY);
+        assert_eq!(ColumnSet::first_n(3), cols(&[0, 1, 2]));
+        assert_eq!(ColumnSet::first_n(64).len(), 64);
+        let mut cat = Catalog::new();
+        cat.intern("x");
+        cat.intern("y");
+        assert_eq!(cat.all(), cols(&[0, 1]));
+    }
+
+    #[test]
+    fn insert_remove() {
+        let mut s = ColumnSet::new();
+        assert!(s.is_empty());
+        s.insert(ColumnId::from_index(4));
+        assert!(s.contains(ColumnId::from_index(4)));
+        s.remove(ColumnId::from_index(4));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn render_set_names() {
+        let mut cat = Catalog::new();
+        let a = cat.intern("src");
+        let b = cat.intern("dst");
+        assert_eq!(cat.render_set(ColumnSet::from_iter([a, b])), "{src, dst}");
+        assert_eq!(cat.render_set(ColumnSet::EMPTY), "{}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn column_index_range_checked() {
+        let _ = ColumnId::from_index(64);
+    }
+
+    #[test]
+    fn debug_set_formatting() {
+        let s = cols(&[0, 2]);
+        let dbg = format!("{s:?}");
+        assert!(dbg.contains("ColumnId(0)") && dbg.contains("ColumnId(2)"), "{dbg}");
+    }
+}

@@ -1,0 +1,85 @@
+//! Error types for relational specifications.
+
+use std::fmt;
+
+/// Errors arising from misuse of a relational specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SpecError {
+    /// A column name was not found in the schema's catalog.
+    UnknownColumn(String),
+    /// A tuple was expected to be a valuation for a specific column set.
+    NotAValuation {
+        /// Rendered domain of the offending tuple.
+        dom: String,
+        /// Rendered expected column set.
+        expected: String,
+    },
+    /// `insert r s t` requires `s` and `t` to have disjoint domains (§2).
+    OverlappingInsertDomains {
+        /// Rendered shared columns.
+        shared: String,
+    },
+    /// An operation would violate a declared functional dependency.
+    ///
+    /// The paper makes FD preservation a *client* obligation; the oracle
+    /// checks it eagerly so tests catch violations.
+    FdViolation {
+        /// Rendered functional dependency that failed.
+        fd: String,
+    },
+    /// `remove r s` requires `s` to be a key for the relation (§2).
+    RemoveNotByKey {
+        /// Rendered domain of the offending tuple.
+        dom: String,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::UnknownColumn(name) => write!(f, "unknown column `{name}`"),
+            SpecError::NotAValuation { dom, expected } => {
+                write!(f, "tuple with domain {dom} is not a valuation for {expected}")
+            }
+            SpecError::OverlappingInsertDomains { shared } => {
+                write!(f, "insert key and payload tuples share columns {shared}")
+            }
+            SpecError::FdViolation { fd } => {
+                write!(f, "operation violates functional dependency {fd}")
+            }
+            SpecError::RemoveNotByKey { dom } => {
+                write!(f, "remove pattern {dom} is not a key for the relation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let errs: Vec<SpecError> = vec![
+            SpecError::UnknownColumn("zap".into()),
+            SpecError::NotAValuation {
+                dom: "{a}".into(),
+                expected: "{a, b}".into(),
+            },
+            SpecError::OverlappingInsertDomains { shared: "{a}".into() },
+            SpecError::FdViolation { fd: "a → b".into() },
+            SpecError::RemoveNotByKey { dom: "{b}".into() },
+        ];
+        for e in errs {
+            let msg = format!("{e}");
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+            // Error trait object usable
+            let _boxed: Box<dyn std::error::Error> = Box::new(e);
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Functional dependencies and their closure.
+//!
+//! "A relation r has a functional dependency C1 → C2 if any pair of tuples in
+//! r that are equal on columns C1 are also equal on columns C2" (§2). The
+//! synthesis compiler uses FDs in two places: to decide which decomposition
+//! edges are singletons (at most one entry per container), and to check that
+//! `remove`'s argument is a key.
+
+use std::fmt;
+
+use crate::column::{Catalog, ColumnSet};
+
+/// A functional dependency `lhs → rhs`.
+///
+/// # Examples
+///
+/// ```
+/// use relc_spec::{Catalog, ColumnSet, FunctionalDependency};
+///
+/// let mut cat = Catalog::new();
+/// let src = cat.intern("src");
+/// let dst = cat.intern("dst");
+/// let weight = cat.intern("weight");
+/// let fd = FunctionalDependency::new(
+///     ColumnSet::from_iter([src, dst]),
+///     ColumnSet::single(weight),
+/// );
+/// assert_eq!(fd.lhs().len(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FunctionalDependency {
+    lhs: ColumnSet,
+    rhs: ColumnSet,
+}
+
+impl FunctionalDependency {
+    /// Creates `lhs → rhs`.
+    pub fn new(lhs: ColumnSet, rhs: ColumnSet) -> Self {
+        FunctionalDependency { lhs, rhs }
+    }
+
+    /// The determining columns.
+    pub fn lhs(&self) -> ColumnSet {
+        self.lhs
+    }
+
+    /// The determined columns.
+    pub fn rhs(&self) -> ColumnSet {
+        self.rhs
+    }
+
+    /// Whether the dependency is trivial (`rhs ⊆ lhs`).
+    pub fn is_trivial(&self) -> bool {
+        self.rhs.is_subset(self.lhs)
+    }
+
+    /// Renders with column names, e.g. `src, dst → weight`.
+    pub fn render(&self, catalog: &Catalog) -> String {
+        let side = |s: ColumnSet| {
+            s.iter()
+                .map(|c| catalog.name(c).to_owned())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        format!("{} → {}", side(self.lhs), side(self.rhs))
+    }
+}
+
+impl fmt::Display for FunctionalDependency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?} → {:?}", self.lhs, self.rhs)
+    }
+}
+
+/// A set of functional dependencies with closure queries.
+///
+/// # Examples
+///
+/// ```
+/// use relc_spec::{Catalog, ColumnSet, FdSet, FunctionalDependency};
+///
+/// let mut cat = Catalog::new();
+/// let (a, b, c) = (cat.intern("a"), cat.intern("b"), cat.intern("c"));
+/// let fds = FdSet::from_iter([
+///     FunctionalDependency::new(ColumnSet::single(a), ColumnSet::single(b)),
+///     FunctionalDependency::new(ColumnSet::single(b), ColumnSet::single(c)),
+/// ]);
+/// // a⁺ = {a, b, c} by transitivity
+/// let closure = fds.closure(ColumnSet::single(a));
+/// assert!(closure.contains(b) && closure.contains(c));
+/// assert!(fds.is_key(ColumnSet::single(a), cat.all()));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FdSet {
+    fds: Vec<FunctionalDependency>,
+}
+
+impl FdSet {
+    /// Creates an empty FD set.
+    pub fn new() -> Self {
+        FdSet { fds: Vec::new() }
+    }
+
+    /// Adds a dependency.
+    pub fn push(&mut self, fd: FunctionalDependency) {
+        self.fds.push(fd);
+    }
+
+    /// The dependencies, in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &FunctionalDependency> + '_ {
+        self.fds.iter()
+    }
+
+    /// Number of dependencies.
+    pub fn len(&self) -> usize {
+        self.fds.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.fds.is_empty()
+    }
+
+    /// The attribute closure `cols⁺` under these dependencies (the standard
+    /// fixpoint over Armstrong's axioms).
+    pub fn closure(&self, cols: ColumnSet) -> ColumnSet {
+        let mut acc = cols;
+        loop {
+            let mut changed = false;
+            for fd in &self.fds {
+                if fd.lhs.is_subset(acc) && !fd.rhs.is_subset(acc) {
+                    acc = acc.union(fd.rhs);
+                    changed = true;
+                }
+            }
+            if !changed {
+                return acc;
+            }
+        }
+    }
+
+    /// Whether `cols` functionally determines `target` (`target ⊆ cols⁺`).
+    pub fn determines(&self, cols: ColumnSet, target: ColumnSet) -> bool {
+        target.is_subset(self.closure(cols))
+    }
+
+    /// Whether `cols` is a key for a relation over `all_columns`.
+    ///
+    /// A tuple `t` is a key for `r` if `dom t` functionally determines all
+    /// columns of `r` (§2).
+    pub fn is_key(&self, cols: ColumnSet, all_columns: ColumnSet) -> bool {
+        all_columns.is_subset(self.closure(cols))
+    }
+
+    /// Whether `cols` is a *minimal* key for `all_columns`: a key none of
+    /// whose proper subsets is a key.
+    pub fn is_minimal_key(&self, cols: ColumnSet, all_columns: ColumnSet) -> bool {
+        if !self.is_key(cols, all_columns) {
+            return false;
+        }
+        for c in cols.iter() {
+            let mut smaller = cols;
+            smaller.remove(c);
+            if self.is_key(smaller, all_columns) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl FromIterator<FunctionalDependency> for FdSet {
+    fn from_iter<T: IntoIterator<Item = FunctionalDependency>>(iter: T) -> Self {
+        FdSet {
+            fds: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::ColumnId;
+
+    fn cs(ids: &[usize]) -> ColumnSet {
+        ids.iter().map(|&i| ColumnId::from_index(i)).collect()
+    }
+
+    fn fd(l: &[usize], r: &[usize]) -> FunctionalDependency {
+        FunctionalDependency::new(cs(l), cs(r))
+    }
+
+    #[test]
+    fn closure_reflexive() {
+        let fds = FdSet::new();
+        assert_eq!(fds.closure(cs(&[0, 1])), cs(&[0, 1]));
+    }
+
+    #[test]
+    fn closure_transitive_chain() {
+        let fds = FdSet::from_iter([fd(&[0], &[1]), fd(&[1], &[2]), fd(&[2], &[3])]);
+        assert_eq!(fds.closure(cs(&[0])), cs(&[0, 1, 2, 3]));
+        assert_eq!(fds.closure(cs(&[2])), cs(&[2, 3]));
+    }
+
+    #[test]
+    fn closure_requires_full_lhs() {
+        let fds = FdSet::from_iter([fd(&[0, 1], &[2])]);
+        assert_eq!(fds.closure(cs(&[0])), cs(&[0]));
+        assert_eq!(fds.closure(cs(&[0, 1])), cs(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn graph_spec_keys() {
+        // src, dst → weight  (the paper's running example)
+        let fds = FdSet::from_iter([fd(&[0, 1], &[2])]);
+        let all = cs(&[0, 1, 2]);
+        assert!(fds.is_key(cs(&[0, 1]), all));
+        assert!(fds.is_key(cs(&[0, 1, 2]), all));
+        assert!(!fds.is_key(cs(&[0]), all));
+        assert!(!fds.is_key(cs(&[2]), all));
+        assert!(fds.is_minimal_key(cs(&[0, 1]), all));
+        assert!(!fds.is_minimal_key(cs(&[0, 1, 2]), all));
+    }
+
+    #[test]
+    fn determines() {
+        let fds = FdSet::from_iter([fd(&[0], &[1, 2])]);
+        assert!(fds.determines(cs(&[0]), cs(&[2])));
+        assert!(!fds.determines(cs(&[1]), cs(&[0])));
+        assert!(fds.determines(cs(&[1]), cs(&[])), "anything determines ∅");
+    }
+
+    #[test]
+    fn trivial_fd() {
+        assert!(fd(&[0, 1], &[1]).is_trivial());
+        assert!(!fd(&[0], &[1]).is_trivial());
+    }
+
+    #[test]
+    fn render_uses_names() {
+        let mut cat = Catalog::new();
+        cat.intern("src");
+        cat.intern("dst");
+        cat.intern("weight");
+        let f = fd(&[0, 1], &[2]);
+        assert_eq!(f.render(&cat), "src, dst → weight");
+    }
+}

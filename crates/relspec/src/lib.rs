@@ -1,0 +1,58 @@
+//! # relc-spec — relational specifications for data representation synthesis
+//!
+//! This crate is the foundation of `relc-rs`, a Rust reproduction of
+//! *Concurrent Data Representation Synthesis* (Hawkins, Aiken, Fisher,
+//! Rinard, Sagiv — PLDI 2012). It defines the *relational specification*
+//! layer (§2 of the paper):
+//!
+//! * [`Value`] — the untyped value universe;
+//! * [`ColumnId`], [`ColumnSet`], [`Catalog`] — interned column names and
+//!   bitmask column sets;
+//! * [`Tuple`] — finite maps from columns to values, with the paper's
+//!   `⊇` (extends) and `∼` (matches) relations;
+//! * [`FunctionalDependency`], [`FdSet`] — FDs with attribute closure and
+//!   key inference;
+//! * [`RelationSchema`] — a specification (columns + FDs), built with
+//!   [`SchemaBuilder`];
+//! * [`OracleRelation`] — the literal §2 semantics under one global lock,
+//!   used as the test/linearizability oracle for every synthesized
+//!   representation.
+//!
+//! # Example
+//!
+//! ```
+//! use relc_spec::{library, OracleRelation, Tuple, Value};
+//!
+//! let schema = library::graph_schema(); // {src, dst, weight}, src,dst → weight
+//! let r = OracleRelation::empty(schema.clone());
+//!
+//! let key = schema.tuple(&[("src", Value::from(1)), ("dst", Value::from(2))])?;
+//! let payload = schema.tuple(&[("weight", Value::from(42))])?;
+//! assert!(r.insert(&key, &payload)?);
+//!
+//! let successors_of_1 = r.query(
+//!     &schema.tuple(&[("src", Value::from(1))])?,
+//!     schema.column_set(&["dst", "weight"])?,
+//! );
+//! assert_eq!(successors_of_1.len(), 1);
+//! # Ok::<(), relc_spec::SpecError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod column;
+mod error;
+mod fd;
+mod oracle;
+mod schema;
+mod tuple;
+mod value;
+
+pub use column::{Catalog, ColumnId, ColumnSet, ColumnSetIter};
+pub use error::SpecError;
+pub use fd::{FdSet, FunctionalDependency};
+pub use oracle::OracleRelation;
+pub use schema::{library, RelationSchema, SchemaBuilder};
+pub use tuple::{Tuple, TupleMergeError};
+pub use value::Value;

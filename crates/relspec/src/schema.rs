@@ -1,0 +1,308 @@
+//! Relational specifications: a column catalog plus functional dependencies.
+//!
+//! "A relational specification is a set of column names C together with a set
+//! of functional dependencies Δ" (§2). The specification is the contract
+//! between the client and the synthesized code.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::column::{Catalog, ColumnId, ColumnSet};
+use crate::error::SpecError;
+use crate::fd::{FdSet, FunctionalDependency};
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// A relational specification (schema): columns and functional dependencies.
+///
+/// Schemas are immutable once built (see [`SchemaBuilder`]) and shared via
+/// [`Arc`] between the compiler, decompositions, and runtime relations.
+///
+/// # Examples
+///
+/// ```
+/// use relc_spec::{RelationSchema, Value};
+///
+/// let schema = RelationSchema::builder()
+///     .column("src")
+///     .column("dst")
+///     .column("weight")
+///     .fd(&["src", "dst"], &["weight"])
+///     .build();
+/// let t = schema.tuple(&[("src", Value::from(1)), ("dst", Value::from(2))]).unwrap();
+/// assert!(schema.is_key(t.dom())); // src, dst → weight makes (src, dst) a key
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationSchema {
+    catalog: Catalog,
+    columns: ColumnSet,
+    fds: FdSet,
+}
+
+impl RelationSchema {
+    /// Starts building a schema.
+    pub fn builder() -> SchemaBuilder {
+        SchemaBuilder::new()
+    }
+
+    /// The column catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// All columns of the relation.
+    pub fn columns(&self) -> ColumnSet {
+        self.columns
+    }
+
+    /// The functional dependencies.
+    pub fn fds(&self) -> &FdSet {
+        &self.fds
+    }
+
+    /// Looks up a column id by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::UnknownColumn`] if `name` is not in the catalog.
+    pub fn column(&self, name: &str) -> Result<ColumnId, SpecError> {
+        self.catalog
+            .lookup(name)
+            .ok_or_else(|| SpecError::UnknownColumn(name.to_owned()))
+    }
+
+    /// Builds a [`ColumnSet`] from column names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::UnknownColumn`] for any unknown name.
+    pub fn column_set(&self, names: &[&str]) -> Result<ColumnSet, SpecError> {
+        let mut s = ColumnSet::new();
+        for n in names {
+            s.insert(self.column(n)?);
+        }
+        Ok(s)
+    }
+
+    /// Builds a [`Tuple`] from `(name, value)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::UnknownColumn`] for any unknown name.
+    pub fn tuple(&self, fields: &[(&str, Value)]) -> Result<Tuple, SpecError> {
+        let mut pairs = Vec::with_capacity(fields.len());
+        for (n, v) in fields {
+            pairs.push((self.column(n)?, v.clone()));
+        }
+        Ok(Tuple::from_pairs(pairs))
+    }
+
+    /// Whether `cols` functionally determines all columns (i.e. is a key).
+    pub fn is_key(&self, cols: ColumnSet) -> bool {
+        self.fds.is_key(cols, self.columns)
+    }
+
+    /// The attribute closure of `cols` under the schema's FDs, intersected
+    /// with the schema's columns.
+    pub fn closure(&self, cols: ColumnSet) -> ColumnSet {
+        self.fds.closure(cols).intersection(self.columns)
+    }
+
+    /// Validates that `t` is a full valuation of the schema's columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::NotAValuation`] otherwise.
+    pub fn check_valuation(&self, t: &Tuple) -> Result<(), SpecError> {
+        if t.is_valuation_for(self.columns) {
+            Ok(())
+        } else {
+            Err(SpecError::NotAValuation {
+                dom: self.catalog.render_set(t.dom()),
+                expected: self.catalog.render_set(self.columns),
+            })
+        }
+    }
+
+    /// Human-readable description of the schema.
+    pub fn describe(&self) -> String {
+        let mut s = format!("columns {}", self.catalog.render_set(self.columns));
+        for fd in self.fds.iter() {
+            s.push_str(&format!("; {}", fd.render(&self.catalog)));
+        }
+        s
+    }
+}
+
+impl fmt::Display for RelationSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+/// Builder for [`RelationSchema`] (see [`RelationSchema::builder`]).
+#[derive(Debug, Clone, Default)]
+pub struct SchemaBuilder {
+    catalog: Catalog,
+    fds: Vec<(Vec<String>, Vec<String>)>,
+}
+
+impl SchemaBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        SchemaBuilder::default()
+    }
+
+    /// Declares a column.
+    pub fn column(mut self, name: &str) -> Self {
+        self.catalog.intern(name);
+        self
+    }
+
+    /// Declares a functional dependency `lhs → rhs` by column names.
+    /// Columns mentioned here are interned if not yet declared.
+    pub fn fd(mut self, lhs: &[&str], rhs: &[&str]) -> Self {
+        for n in lhs.iter().chain(rhs) {
+            self.catalog.intern(n);
+        }
+        self.fds.push((
+            lhs.iter().map(|s| (*s).to_owned()).collect(),
+            rhs.iter().map(|s| (*s).to_owned()).collect(),
+        ));
+        self
+    }
+
+    /// Finalizes the schema.
+    pub fn build(self) -> Arc<RelationSchema> {
+        let columns = self.catalog.all();
+        let mut fds = FdSet::new();
+        for (lhs, rhs) in &self.fds {
+            let to_set = |names: &Vec<String>| {
+                names
+                    .iter()
+                    .map(|n| self.catalog.lookup(n).expect("interned above"))
+                    .collect::<ColumnSet>()
+            };
+            fds.push(FunctionalDependency::new(to_set(lhs), to_set(rhs)));
+        }
+        Arc::new(RelationSchema {
+            catalog: self.catalog,
+            columns,
+            fds,
+        })
+    }
+}
+
+/// Ready-made schemas used throughout the paper and this repository.
+pub mod library {
+    use super::*;
+
+    /// The paper's running example (§2): a directed, weighted graph.
+    ///
+    /// Columns `{src, dst, weight}` with FD `src, dst → weight`.
+    pub fn graph_schema() -> Arc<RelationSchema> {
+        RelationSchema::builder()
+            .column("src")
+            .column("dst")
+            .column("weight")
+            .fd(&["src", "dst"], &["weight"])
+            .build()
+    }
+
+    /// The filesystem directory-tree relation of Fig. 2: columns
+    /// `{parent, name, child}` with FD `parent, name → child`.
+    pub fn dcache_schema() -> Arc<RelationSchema> {
+        RelationSchema::builder()
+            .column("parent")
+            .column("name")
+            .column("child")
+            .fd(&["parent", "name"], &["child"])
+            .build()
+    }
+
+    /// A simple concurrent key-value map, the degenerate relation the paper
+    /// uses to explain `insert` as put-if-absent: columns `{key, value}` with
+    /// FD `key → value`.
+    pub fn kv_schema() -> Arc<RelationSchema> {
+        RelationSchema::builder()
+            .column("key")
+            .column("value")
+            .fd(&["key"], &["value"])
+            .build()
+    }
+
+    /// A process-scheduler relation in the spirit of the sequential RelC
+    /// paper's motivating example: `{pid, cpu, state}` with FD `pid → cpu,
+    /// state`.
+    pub fn scheduler_schema() -> Arc<RelationSchema> {
+        RelationSchema::builder()
+            .column("pid")
+            .column("cpu")
+            .column("state")
+            .fd(&["pid"], &["cpu", "state"])
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::library::*;
+    use super::*;
+
+    #[test]
+    fn builder_interns_and_orders_columns() {
+        let s = graph_schema();
+        assert_eq!(s.catalog().len(), 3);
+        assert_eq!(s.column("src").unwrap().index(), 0);
+        assert_eq!(s.column("weight").unwrap().index(), 2);
+        assert!(s.column("nope").is_err());
+        assert_eq!(s.columns().len(), 3);
+    }
+
+    #[test]
+    fn fd_and_keys() {
+        let s = graph_schema();
+        let sd = s.column_set(&["src", "dst"]).unwrap();
+        assert!(s.is_key(sd));
+        assert!(!s.is_key(s.column_set(&["src"]).unwrap()));
+        assert_eq!(s.closure(sd), s.columns());
+    }
+
+    #[test]
+    fn tuple_builder_and_valuation_check() {
+        let s = graph_schema();
+        let full = s
+            .tuple(&[
+                ("src", Value::from(1)),
+                ("dst", Value::from(2)),
+                ("weight", Value::from(42)),
+            ])
+            .unwrap();
+        assert!(s.check_valuation(&full).is_ok());
+        let partial = s.tuple(&[("src", Value::from(1))]).unwrap();
+        let err = s.check_valuation(&partial).unwrap_err();
+        assert!(format!("{err}").contains("valuation"));
+    }
+
+    #[test]
+    fn fd_declares_columns_implicitly() {
+        let s = RelationSchema::builder().fd(&["a"], &["b"]).build();
+        assert_eq!(s.catalog().len(), 2);
+        assert!(s.is_key(s.column_set(&["a"]).unwrap()));
+    }
+
+    #[test]
+    fn library_schemas_are_well_formed() {
+        for s in [graph_schema(), dcache_schema(), kv_schema(), scheduler_schema()] {
+            assert!(!s.columns().is_empty());
+            assert!(!s.describe().is_empty());
+            assert!(!format!("{s}").is_empty());
+        }
+        // dcache: parent,name is a key
+        let d = dcache_schema();
+        assert!(d.is_key(d.column_set(&["parent", "name"]).unwrap()));
+        // scheduler: pid determines everything
+        let sch = scheduler_schema();
+        assert!(sch.is_key(sch.column_set(&["pid"]).unwrap()));
+    }
+}

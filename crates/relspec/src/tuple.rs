@@ -1,0 +1,370 @@
+//! Tuples: finite maps from columns to values.
+//!
+//! A tuple `t = ⟨c1: v1, c2: v2, ...⟩` maps a set of columns to values (§2).
+//! [`Tuple`] stores fields sorted by [`ColumnId`], giving canonical equality,
+//! a total order (used for the lexicographic part of the global lock order,
+//! §5.1), and O(log n) field access.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::column::{Catalog, ColumnId, ColumnSet};
+use crate::value::Value;
+
+/// A tuple: a finite map from columns to [`Value`]s, sorted by column.
+///
+/// # Examples
+///
+/// ```
+/// use relc_spec::{Tuple, Value, ColumnId};
+///
+/// let src = ColumnId::from_index(0);
+/// let dst = ColumnId::from_index(1);
+/// let t = Tuple::from_pairs([(src, Value::from(1)), (dst, Value::from(2))]);
+/// assert_eq!(t.get(src), Some(&Value::from(1)));
+/// assert_eq!(t.dom().len(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Tuple {
+    /// Sorted by `ColumnId`, no duplicates.
+    fields: Vec<(ColumnId, Value)>,
+}
+
+impl Tuple {
+    /// The empty tuple `⟨⟩`.
+    pub fn empty() -> Self {
+        Tuple { fields: Vec::new() }
+    }
+
+    /// Builds a tuple from `(column, value)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same column appears twice with different values.
+    pub fn from_pairs<I: IntoIterator<Item = (ColumnId, Value)>>(pairs: I) -> Self {
+        let mut fields: Vec<(ColumnId, Value)> = pairs.into_iter().collect();
+        fields.sort_by_key(|(c, _)| *c);
+        for w in fields.windows(2) {
+            if w[0].0 == w[1].0 {
+                assert!(
+                    w[0].1 == w[1].1,
+                    "duplicate column {:?} with conflicting values",
+                    w[0].0
+                );
+            }
+        }
+        fields.dedup_by(|a, b| a.0 == b.0);
+        Tuple { fields }
+    }
+
+    /// The columns of the tuple, `dom t`.
+    pub fn dom(&self) -> ColumnSet {
+        self.fields.iter().map(|(c, _)| *c).collect()
+    }
+
+    /// Whether the tuple is a valuation for `cols`, i.e. `dom t = cols`.
+    pub fn is_valuation_for(&self, cols: ColumnSet) -> bool {
+        self.dom() == cols
+    }
+
+    /// The value of column `c`, if present.
+    pub fn get(&self, c: ColumnId) -> Option<&Value> {
+        self.fields
+            .binary_search_by_key(&c, |(k, _)| *k)
+            .ok()
+            .map(|i| &self.fields[i].1)
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether this is the empty tuple.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Iterates over `(column, value)` pairs in ascending column order.
+    pub fn iter(&self) -> impl Iterator<Item = (ColumnId, &Value)> + '_ {
+        self.fields.iter().map(|(c, v)| (*c, v))
+    }
+
+    /// Projection `π_C t`: restricts the tuple to the columns in `cols`.
+    ///
+    /// Columns in `cols` that are absent from `t` are silently dropped
+    /// (standard relational projection semantics on partial tuples).
+    #[must_use]
+    pub fn project(&self, cols: ColumnSet) -> Tuple {
+        Tuple {
+            fields: self
+                .fields
+                .iter()
+                .filter(|(c, _)| cols.contains(*c))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Whether `self ⊇ other`: `self` extends `other`, agreeing on all of
+    /// `other`'s columns.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use relc_spec::{Tuple, Value, ColumnId};
+    /// let c0 = ColumnId::from_index(0);
+    /// let c1 = ColumnId::from_index(1);
+    /// let big = Tuple::from_pairs([(c0, Value::from(1)), (c1, Value::from(2))]);
+    /// let small = Tuple::from_pairs([(c0, Value::from(1))]);
+    /// assert!(big.extends(&small));
+    /// assert!(!small.extends(&big));
+    /// ```
+    pub fn extends(&self, other: &Tuple) -> bool {
+        other
+            .fields
+            .iter()
+            .all(|(c, v)| self.get(*c) == Some(v))
+    }
+
+    /// Whether `self ∼ other`: the tuples agree on all *common* columns.
+    pub fn matches(&self, other: &Tuple) -> bool {
+        // Merge-walk both sorted field lists.
+        let (mut i, mut j) = (0, 0);
+        while i < self.fields.len() && j < other.fields.len() {
+            match self.fields[i].0.cmp(&other.fields[j].0) {
+                Ordering::Less => i += 1,
+                Ordering::Greater => j += 1,
+                Ordering::Equal => {
+                    if self.fields[i].1 != other.fields[j].1 {
+                        return false;
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        true
+    }
+
+    /// Union of two tuples with disjoint or agreeing domains.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if the tuples disagree on a shared column.
+    pub fn union(&self, other: &Tuple) -> Result<Tuple, TupleMergeError> {
+        if !self.matches(other) {
+            return Err(TupleMergeError {
+                left: self.clone(),
+                right: other.clone(),
+            });
+        }
+        let mut fields = self.fields.clone();
+        for (c, v) in &other.fields {
+            if self.get(*c).is_none() {
+                fields.push((*c, v.clone()));
+            }
+        }
+        fields.sort_by_key(|(c, _)| *c);
+        Ok(Tuple { fields })
+    }
+
+    /// A deterministic 64-bit hash of the projection of this tuple onto
+    /// `cols`, for lock striping (§4.4): the stripe is `hash mod k`.
+    pub fn stable_hash_of(&self, cols: ColumnSet) -> u64 {
+        let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
+        for (c, v) in &self.fields {
+            if cols.contains(*c) {
+                h = h
+                    .rotate_left(13)
+                    .wrapping_mul(0xff51_afd7_ed55_8ccd)
+                    .wrapping_add(u64::from(c.0 as u32))
+                    .wrapping_add(v.stable_hash());
+            }
+        }
+        h
+    }
+
+    /// Renders the tuple with column names from `catalog`,
+    /// e.g. `⟨src: 1, dst: 2⟩`.
+    pub fn render(&self, catalog: &Catalog) -> String {
+        let mut s = String::from("⟨");
+        for (i, (c, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(catalog.name(*c));
+            s.push_str(": ");
+            s.push_str(&v.to_string());
+        }
+        s.push('⟩');
+        s
+    }
+}
+
+/// Total order: lexicographic over the sorted field list.
+///
+/// For tuples that are valuations of the *same* column set, this coincides
+/// with the lexicographic value order the paper uses to order node instances
+/// (§5.1). Tuples over different domains are still totally ordered (by the
+/// interleaved column/value sequence), which keeps `BTreeMap<Tuple, _>`
+/// usable as a container key type.
+impl Ord for Tuple {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.fields.cmp(&other.fields)
+    }
+}
+
+impl PartialOrd for Tuple {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, (c, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}: {v}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+impl FromIterator<(ColumnId, Value)> for Tuple {
+    fn from_iter<T: IntoIterator<Item = (ColumnId, Value)>>(iter: T) -> Self {
+        Tuple::from_pairs(iter)
+    }
+}
+
+/// Error returned by [`Tuple::union`] when tuples disagree on a shared column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TupleMergeError {
+    /// Left operand of the failed union.
+    pub left: Tuple,
+    /// Right operand of the failed union.
+    pub right: Tuple,
+}
+
+impl fmt::Display for TupleMergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tuples disagree on a shared column: {:?} vs {:?}",
+            self.left, self.right
+        )
+    }
+}
+
+impl std::error::Error for TupleMergeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: usize) -> ColumnId {
+        ColumnId::from_index(i)
+    }
+
+    fn t(pairs: &[(usize, i64)]) -> Tuple {
+        Tuple::from_pairs(pairs.iter().map(|&(i, v)| (c(i), Value::from(v))))
+    }
+
+    #[test]
+    fn fields_are_sorted_and_deduped() {
+        let a = Tuple::from_pairs([(c(2), Value::from(9)), (c(0), Value::from(1))]);
+        let cols: Vec<usize> = a.iter().map(|(cid, _)| cid.index()).collect();
+        assert_eq!(cols, vec![0, 2]);
+        let dup = Tuple::from_pairs([(c(1), Value::from(5)), (c(1), Value::from(5))]);
+        assert_eq!(dup.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicting")]
+    fn conflicting_duplicates_panic() {
+        let _ = Tuple::from_pairs([(c(1), Value::from(5)), (c(1), Value::from(6))]);
+    }
+
+    #[test]
+    fn get_and_dom() {
+        let a = t(&[(0, 1), (3, 4)]);
+        assert_eq!(a.get(c(0)), Some(&Value::from(1)));
+        assert_eq!(a.get(c(1)), None);
+        assert_eq!(a.dom(), ColumnSet::from_iter([c(0), c(3)]));
+        assert!(a.is_valuation_for(ColumnSet::from_iter([c(0), c(3)])));
+        assert!(!a.is_valuation_for(ColumnSet::from_iter([c(0)])));
+    }
+
+    #[test]
+    fn projection() {
+        let a = t(&[(0, 1), (1, 2), (2, 3)]);
+        let p = a.project(ColumnSet::from_iter([c(0), c(2), c(5)]));
+        assert_eq!(p, t(&[(0, 1), (2, 3)]));
+        assert_eq!(a.project(ColumnSet::EMPTY), Tuple::empty());
+    }
+
+    #[test]
+    fn extends_and_matches() {
+        let big = t(&[(0, 1), (1, 2)]);
+        let small = t(&[(0, 1)]);
+        let other = t(&[(0, 9)]);
+        let disjoint = t(&[(5, 5)]);
+        assert!(big.extends(&small));
+        assert!(big.extends(&big));
+        assert!(!big.extends(&other));
+        assert!(!small.extends(&big));
+        assert!(big.matches(&small));
+        assert!(!big.matches(&other));
+        assert!(big.matches(&disjoint), "disjoint domains always match");
+        assert!(Tuple::empty().matches(&big));
+        assert!(big.extends(&Tuple::empty()));
+    }
+
+    #[test]
+    fn union_merges_or_errors() {
+        let a = t(&[(0, 1)]);
+        let b = t(&[(1, 2)]);
+        assert_eq!(a.union(&b).unwrap(), t(&[(0, 1), (1, 2)]));
+        let conflict = t(&[(0, 7)]);
+        let err = a.union(&conflict).unwrap_err();
+        assert!(format!("{err}").contains("disagree"));
+        // union with agreeing overlap is fine
+        let overlap = t(&[(0, 1), (2, 3)]);
+        assert_eq!(a.union(&overlap).unwrap(), t(&[(0, 1), (2, 3)]));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_on_same_domain() {
+        let a = t(&[(0, 1), (1, 5)]);
+        let b = t(&[(0, 1), (1, 6)]);
+        let z = t(&[(0, 2), (1, 0)]);
+        assert!(a < b);
+        assert!(b < z);
+        let mut v = vec![z.clone(), a.clone(), b.clone()];
+        v.sort();
+        assert_eq!(v, vec![a, b, z]);
+    }
+
+    #[test]
+    fn stable_hash_respects_projection() {
+        let a = t(&[(0, 1), (1, 2), (2, 3)]);
+        let b = t(&[(0, 1), (1, 99), (2, 3)]);
+        let cols02 = ColumnSet::from_iter([c(0), c(2)]);
+        assert_eq!(a.stable_hash_of(cols02), b.stable_hash_of(cols02));
+        let cols01 = ColumnSet::from_iter([c(0), c(1)]);
+        assert_ne!(a.stable_hash_of(cols01), b.stable_hash_of(cols01));
+    }
+
+    #[test]
+    fn render_and_debug() {
+        let mut cat = Catalog::new();
+        let src = cat.intern("src");
+        let dst = cat.intern("dst");
+        let e = Tuple::from_pairs([(src, Value::from(1)), (dst, Value::from(2))]);
+        assert_eq!(e.render(&cat), "⟨src: 1, dst: 2⟩");
+        assert_eq!(format!("{:?}", Tuple::empty()), "⟨⟩");
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for the relational algebra substrate: column-set lattice
+//! laws, tuple projection/extension/matching laws, and FD closure laws —
+//! the §2 identities the compiler silently relies on everywhere.
+
+use proptest::prelude::*;
+use relc_spec::{ColumnId, ColumnSet, FdSet, FunctionalDependency, Tuple, Value};
+
+const MAX_COL: usize = 10;
+
+fn colset_strategy() -> impl Strategy<Value = ColumnSet> {
+    proptest::collection::vec(0usize..MAX_COL, 0..MAX_COL)
+        .prop_map(|v| v.into_iter().map(ColumnId::from_index).collect())
+}
+
+fn tuple_strategy() -> impl Strategy<Value = Tuple> {
+    proptest::collection::btree_map(0usize..MAX_COL, -4i64..4, 0..MAX_COL).prop_map(|m| {
+        Tuple::from_pairs(
+            m.into_iter()
+                .map(|(c, v)| (ColumnId::from_index(c), Value::from(v))),
+        )
+    })
+}
+
+fn fdset_strategy() -> impl Strategy<Value = FdSet> {
+    proptest::collection::vec((colset_strategy(), colset_strategy()), 0..5)
+        .prop_map(|v| v.into_iter().map(|(l, r)| FunctionalDependency::new(l, r)).collect())
+}
+
+proptest! {
+    #[test]
+    fn columnset_lattice_laws(a in colset_strategy(), b in colset_strategy(), c in colset_strategy()) {
+        // Commutativity, associativity, absorption, distributivity.
+        prop_assert_eq!(a.union(b), b.union(a));
+        prop_assert_eq!(a.intersection(b), b.intersection(a));
+        prop_assert_eq!(a.union(b.union(c)), a.union(b).union(c));
+        prop_assert_eq!(a.intersection(b.intersection(c)), a.intersection(b).intersection(c));
+        prop_assert_eq!(a.union(a.intersection(b)), a);
+        prop_assert_eq!(a.intersection(a.union(b)), a);
+        prop_assert_eq!(
+            a.intersection(b.union(c)),
+            a.intersection(b).union(a.intersection(c))
+        );
+        // Difference laws.
+        prop_assert_eq!(a.difference(b).intersection(b), ColumnSet::EMPTY);
+        prop_assert_eq!(a.difference(b).union(a.intersection(b)), a);
+        // Subset is a partial order compatible with union.
+        prop_assert!(a.is_subset(a.union(b)));
+        prop_assert!(a.intersection(b).is_subset(a));
+        prop_assert_eq!(a.is_disjoint(b), a.intersection(b).is_empty());
+        // Cardinality.
+        prop_assert_eq!(a.union(b).len() + a.intersection(b).len(), a.len() + b.len());
+    }
+
+    #[test]
+    fn tuple_projection_laws(t in tuple_strategy(), a in colset_strategy(), b in colset_strategy()) {
+        // Projection is idempotent and commutes with intersection.
+        prop_assert_eq!(t.project(a).project(a), t.project(a));
+        prop_assert_eq!(t.project(a).project(b), t.project(a.intersection(b)));
+        // dom(π_A t) = dom t ∩ A.
+        prop_assert_eq!(t.project(a).dom(), t.dom().intersection(a));
+        // t extends all of its projections; projections match t.
+        prop_assert!(t.extends(&t.project(a)));
+        prop_assert!(t.matches(&t.project(a)));
+        // Full projection is identity.
+        prop_assert_eq!(t.project(t.dom()), t.clone());
+        prop_assert_eq!(t.project(ColumnSet::EMPTY), Tuple::empty());
+    }
+
+    #[test]
+    fn tuple_extends_matches_union_laws(s in tuple_strategy(), t in tuple_strategy()) {
+        // extends ⇒ matches.
+        if t.extends(&s) {
+            prop_assert!(t.matches(&s));
+        }
+        // matches is symmetric and exactly characterizes union success.
+        prop_assert_eq!(s.matches(&t), t.matches(&s));
+        prop_assert_eq!(s.union(&t).is_ok(), s.matches(&t));
+        if let Ok(u) = s.union(&t) {
+            prop_assert!(u.extends(&s));
+            prop_assert!(u.extends(&t));
+            prop_assert_eq!(u.dom(), s.dom().union(t.dom()));
+            // Union is the least upper bound: projecting back recovers the
+            // originals.
+            prop_assert_eq!(u.project(s.dom()), s.clone());
+            prop_assert_eq!(u.project(t.dom()), t.clone());
+            // And commutative.
+            prop_assert_eq!(u, t.union(&s).unwrap());
+        }
+        // The empty tuple is a unit.
+        prop_assert!(s.extends(&Tuple::empty()));
+        prop_assert_eq!(s.union(&Tuple::empty()).unwrap(), s.clone());
+    }
+
+    #[test]
+    fn fd_closure_laws(fds in fdset_strategy(), a in colset_strategy(), b in colset_strategy()) {
+        let ca = fds.closure(a);
+        // Extensive, monotone, idempotent: a closure operator.
+        prop_assert!(a.is_subset(ca));
+        if a.is_subset(b) {
+            prop_assert!(ca.is_subset(fds.closure(b)));
+        }
+        prop_assert_eq!(fds.closure(ca), ca);
+        // determines() agrees with closure membership.
+        prop_assert!(fds.determines(a, ca));
+        // Keys: the full closure set is always a key of itself.
+        prop_assert!(fds.is_key(ca, ca));
+    }
+
+    #[test]
+    fn tuple_order_is_total_and_consistent_with_eq(
+        s in tuple_strategy(), t in tuple_strategy(), u in tuple_strategy())
+    {
+        use std::cmp::Ordering;
+        // Totality + antisymmetry.
+        match s.cmp(&t) {
+            Ordering::Equal => prop_assert_eq!(s.clone(), t.clone()),
+            Ordering::Less => prop_assert_eq!(t.cmp(&s), Ordering::Greater),
+            Ordering::Greater => prop_assert_eq!(t.cmp(&s), Ordering::Less),
+        }
+        // Transitivity (spot form).
+        if s <= t && t <= u {
+            prop_assert!(s <= u);
+        }
+    }
+
+    #[test]
+    fn stable_hash_is_a_function_of_the_projection(
+        t in tuple_strategy(), a in colset_strategy())
+    {
+        prop_assert_eq!(t.stable_hash_of(a), t.project(a).stable_hash_of(a));
+    }
+}

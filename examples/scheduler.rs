@@ -1,0 +1,135 @@
+//! A process-scheduler relation `{pid, cpu, state}` with `pid → cpu, state`
+//! — the RelC lineage's original motivating example, here with concurrent
+//! migrations and per-CPU run-queue scans.
+//!
+//! A custom decomposition indexes processes by pid (point lookups) and by
+//! cpu (run-queue iteration), sharing the per-process leaf. A custom lock
+//! placement stripes the pid index while keeping each per-CPU queue under
+//! its own lock.
+//!
+//! ```text
+//! cargo run -p relc-integration --example scheduler
+//! ```
+
+use std::sync::Arc;
+
+use relc::placement::LockPlacement;
+use relc::{ConcurrentRelation, Decomposition};
+use relc_containers::ContainerKind;
+use relc_spec::{RelationSchema, Value};
+
+fn scheduler_decomposition() -> Arc<Decomposition> {
+    let schema = RelationSchema::builder()
+        .column("pid")
+        .column("cpu")
+        .column("state")
+        .fd(&["pid"], &["cpu", "state"])
+        .build();
+    let mut b = Decomposition::builder(schema);
+    let root = b.root();
+    // pid index: pid → (cpu, state)
+    let p1 = b.node("byPid");
+    let p2 = b.node("pidCpu");
+    let leaf1 = b.node("proc");
+    // cpu index: cpu → pid → state
+    let c1 = b.node("byCpu");
+    let c2 = b.node("queued");
+    b.edge(root, p1, &["pid"], ContainerKind::ConcurrentHashMap)
+        .expect("cols");
+    b.edge(p1, p2, &["cpu"], ContainerKind::Singleton).expect("cols");
+    b.edge(p2, leaf1, &["state"], ContainerKind::Singleton)
+        .expect("cols");
+    b.edge(root, c1, &["cpu"], ContainerKind::TreeMap).expect("cols");
+    b.edge(c1, c2, &["pid"], ContainerKind::TreeMap).expect("cols");
+    b.edge(c2, leaf1, &["state"], ContainerKind::Singleton)
+        .expect("cols");
+    b.build().expect("adequate")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let d = scheduler_decomposition();
+    println!("decomposition: {d}");
+
+    // Stripe the pid index; serialize each per-CPU queue on the root lock
+    // of its branch (the cpu branch is coarse under ρ's stripe 0).
+    let mut pb = LockPlacement::builder(d.clone());
+    for (e, em) in d.edges() {
+        if d.node(em.src).name == "byPid" || (d.node(em.src).name == "ρ" && {
+            let dst = &d.node(em.dst).name;
+            dst == "byPid"
+        }) {
+            pb.place_striped(e, em.src, d.schema().column_set(&["pid"])?);
+        } else if d.node(em.src).name == "pidCpu" {
+            pb.place(e, em.src);
+        } else {
+            // cpu branch: everything under the root lock, stripe 0.
+            pb.place(e, d.root());
+        }
+    }
+    pb.stripes(d.root(), 64);
+    pb.named("scheduler");
+    let p = pb.build()?;
+    println!("placement:     {p}\n");
+
+    let sched = Arc::new(ConcurrentRelation::new(d.clone(), p)?);
+    let schema = sched.schema().clone();
+
+    // Spawn 1000 processes across 8 CPUs.
+    for pid in 0..1000i64 {
+        let s = schema.tuple(&[("pid", Value::from(pid))])?;
+        let t = schema.tuple(&[
+            ("cpu", Value::from(pid % 8)),
+            ("state", Value::from("ready")),
+        ])?;
+        assert!(sched.insert(&s, &t)?);
+    }
+
+    // Concurrent migration storm: move processes between CPUs (remove +
+    // reinsert under the pid key), while other threads scan run queues.
+    let workers: Vec<_> = (0..8u64)
+        .map(|tid| {
+            let sched = sched.clone();
+            std::thread::spawn(move || {
+                let schema = sched.schema().clone();
+                let mut migrations = 0usize;
+                for i in 0..500i64 {
+                    let pid = (tid as i64 * 131 + i * 7) % 1000;
+                    let key = schema.tuple(&[("pid", Value::from(pid))]).expect("schema");
+                    if tid % 2 == 0 {
+                        // Migrate: atomically replace the (cpu, state) row.
+                        if sched.remove(&key).expect("plannable") == 1 {
+                            let t = schema
+                                .tuple(&[
+                                    ("cpu", Value::from((pid * 5 + i * 3 + 1) % 8)),
+                                    ("state", Value::from("running")),
+                                ])
+                                .expect("schema");
+                            assert!(sched.insert(&key, &t).expect("plannable"));
+                            migrations += 1;
+                        }
+                    } else {
+                        // Run-queue scan for this thread's CPU.
+                        let pat = schema
+                            .tuple(&[("cpu", Value::from(tid as i64 % 8))])
+                            .expect("schema");
+                        let cols = schema.column_set(&["pid", "state"]).expect("schema");
+                        let _ = sched.query(&pat, cols).expect("plannable");
+                    }
+                }
+                migrations
+            })
+        })
+        .collect();
+    let total_migrations: usize = workers.into_iter().map(|w| w.join().expect("worker")).sum();
+
+    println!("performed {total_migrations} migrations; {} processes live", sched.len());
+    for cpu in 0..8i64 {
+        let pat = schema.tuple(&[("cpu", Value::from(cpu))])?;
+        let q = sched.query(&pat, schema.column_set(&["pid"])?)?;
+        println!("  cpu {cpu}: {} queued", q.len());
+    }
+    assert_eq!(sched.len(), 1000, "migrations preserve the process count");
+    sched.verify().map_err(|e| format!("integrity: {e}"))?;
+    println!("scheduler relation verified; stats: {}", sched.lock_stats());
+    Ok(())
+}

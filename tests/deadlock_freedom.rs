@@ -1,0 +1,161 @@
+//! Deadlock-freedom stress (§5.1): adversarial multi-threaded workloads on
+//! every placement family, with watchdogs. "If all transactions acquire
+//! locks in ascending lock order, then we are guaranteed that concurrent
+//! transactions are deadlock-free."
+
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use relc_integration::graph_variant_matrix;
+use relc_spec::Value;
+
+fn with_watchdog(secs: u64, name: String, f: impl FnOnce() + Send + 'static) {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        f();
+        let _ = tx.send(());
+    });
+    rx.recv_timeout(Duration::from_secs(secs))
+        .unwrap_or_else(|_| panic!("watchdog: {name} did not finish (deadlock?)"));
+}
+
+/// Bidirectional edge pairs — transactions touching (a, b) and (b, a)
+/// exercise opposite traversal orders over src- and dst-keyed branches,
+/// the classic deadlock shape.
+#[test]
+fn opposite_key_orders_do_not_deadlock() {
+    for (name, rel) in graph_variant_matrix() {
+        let rel2 = rel.clone();
+        with_watchdog(90, name.clone(), move || {
+            let threads = 8usize;
+            let barrier = Arc::new(Barrier::new(threads));
+            let handles: Vec<_> = (0..threads)
+                .map(|tid| {
+                    let rel = rel2.clone();
+                    let barrier = barrier.clone();
+                    std::thread::spawn(move || {
+                        barrier.wait();
+                        for i in 0..300i64 {
+                            let (a, b) = ((i % 4) + 1, ((i + tid as i64) % 4) + 1);
+                            let key = rel
+                                .schema()
+                                .tuple(&[("src", Value::from(a)), ("dst", Value::from(b))])
+                                .unwrap();
+                            let rev = rel
+                                .schema()
+                                .tuple(&[("src", Value::from(b)), ("dst", Value::from(a))])
+                                .unwrap();
+                            let w = rel.schema().tuple(&[("weight", Value::from(i))]).unwrap();
+                            if tid % 2 == 0 {
+                                let _ = rel.insert(&key, &w);
+                                let _ = rel.remove(&rev);
+                            } else {
+                                let _ = rel.insert(&rev, &w);
+                                let _ = rel.remove(&key);
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        rel.verify().unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+/// Speculation-heavy churn: writers constantly create and destroy the
+/// targets that readers speculatively lock (§4.5's guess-validate-retry).
+#[test]
+fn speculative_churn_makes_progress() {
+    let d = relc::decomp::library::diamond(
+        relc_containers::ContainerKind::ConcurrentHashMap,
+        relc_containers::ContainerKind::HashMap,
+    );
+    let p = relc::placement::LockPlacement::speculative(&d, 4).unwrap();
+    let rel = Arc::new(relc::ConcurrentRelation::new(d, p).unwrap());
+    let rel2 = rel.clone();
+    with_watchdog(90, "speculative churn".into(), move || {
+        let threads = 8usize;
+        let barrier = Arc::new(Barrier::new(threads));
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                let rel = rel2.clone();
+                let barrier = barrier.clone();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let dw = rel.schema().column_set(&["dst", "weight"]).unwrap();
+                    for i in 0..500i64 {
+                        let k = i % 3; // tiny keyspace: constant target churn
+                        let key = rel
+                            .schema()
+                            .tuple(&[("src", Value::from(k)), ("dst", Value::from(k))])
+                            .unwrap();
+                        let w = rel.schema().tuple(&[("weight", Value::from(tid as i64))]).unwrap();
+                        match (tid + i as usize) % 3 {
+                            0 => {
+                                let _ = rel.insert(&key, &w);
+                            }
+                            1 => {
+                                let _ = rel.remove(&key);
+                            }
+                            _ => {
+                                let pat =
+                                    rel.schema().tuple(&[("src", Value::from(k))]).unwrap();
+                                let _ = rel.query(&pat, dw).unwrap();
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+    rel.verify().unwrap();
+    // Speculation failures should actually have been exercised.
+    let stats = rel.lock_stats();
+    assert!(stats.acquisitions > 0);
+}
+
+/// The restart machinery terminates: after heavy contention, all lock
+/// statistics are coherent (restarts imply contended or speculative events).
+#[test]
+fn restart_statistics_are_coherent() {
+    for (name, rel) in graph_variant_matrix().into_iter().take(8) {
+        let rel2 = rel.clone();
+        with_watchdog(60, name.clone(), move || {
+            let threads = 4usize;
+            let barrier = Arc::new(Barrier::new(threads));
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let rel = rel2.clone();
+                    let barrier = barrier.clone();
+                    std::thread::spawn(move || {
+                        barrier.wait();
+                        for i in 0..300i64 {
+                            let key = rel
+                                .schema()
+                                .tuple(&[("src", Value::from(1)), ("dst", Value::from(i % 2))])
+                                .unwrap();
+                            let w = rel.schema().tuple(&[("weight", Value::from(i))]).unwrap();
+                            let _ = rel.insert(&key, &w);
+                            let _ = rel.remove(&key);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        let s = rel.lock_stats();
+        assert!(s.acquisitions > 0, "{name}: {s}");
+        assert!(
+            s.restarts >= s.upgrades + s.speculation_failures,
+            "{name}: restarts subsume upgrades and speculation failures: {s}"
+        );
+    }
+}

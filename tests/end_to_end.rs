@@ -1,0 +1,203 @@
+//! Cross-crate integration tests: the full synthesis pipeline (schema →
+//! decomposition → placement → relation) behaving identically to the §2
+//! oracle, sequentially and under concurrency, across the whole variant
+//! matrix.
+
+use std::sync::{Arc, Barrier};
+
+use relc::CoreError;
+use relc_integration::graph_variant_matrix;
+use relc_spec::{OracleRelation, Tuple, Value};
+
+fn edge(rel: &relc::ConcurrentRelation, s: i64, d: i64) -> Tuple {
+    rel.schema()
+        .tuple(&[("src", Value::from(s)), ("dst", Value::from(d))])
+        .unwrap()
+}
+
+fn weight(rel: &relc::ConcurrentRelation, w: i64) -> Tuple {
+    rel.schema().tuple(&[("weight", Value::from(w))]).unwrap()
+}
+
+#[test]
+fn sequential_differential_vs_oracle_whole_matrix() {
+    for (name, rel) in graph_variant_matrix() {
+        let oracle = OracleRelation::empty(rel.schema().clone());
+        let mut x = 0xdeadbeefu64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for step in 0..500 {
+            let s = (next() % 8) as i64;
+            let d = (next() % 8) as i64;
+            let w = (next() % 3) as i64;
+            match next() % 5 {
+                0 | 1 => {
+                    let got = rel.insert(&edge(&rel, s, d), &weight(&rel, w)).unwrap();
+                    let want = oracle.insert(&edge(&rel, s, d), &weight(&rel, w)).unwrap();
+                    assert_eq!(got, want, "{name} step {step}: insert({s},{d},{w})");
+                }
+                2 => {
+                    let got = rel.remove(&edge(&rel, s, d)).unwrap();
+                    let want = oracle.remove(&edge(&rel, s, d));
+                    assert_eq!(got, want, "{name} step {step}: remove({s},{d})");
+                }
+                3 => {
+                    let pat = rel.schema().tuple(&[("src", Value::from(s))]).unwrap();
+                    let cols = rel.schema().column_set(&["dst", "weight"]).unwrap();
+                    match rel.query(&pat, cols) {
+                        Ok(got) => assert_eq!(
+                            got,
+                            oracle.query(&pat, cols),
+                            "{name} step {step}: successors({s})"
+                        ),
+                        Err(CoreError::NoValidPlan(_)) => {} // speculative sticks
+                        Err(e) => panic!("{name}: {e}"),
+                    }
+                }
+                _ => {
+                    // Full-relation snapshot, where plannable.
+                    match rel.snapshot() {
+                        Ok(got) => {
+                            let want = oracle.query(&Tuple::empty(), rel.schema().columns());
+                            assert_eq!(got, want, "{name} step {step}: snapshot");
+                        }
+                        Err(CoreError::NoValidPlan(_)) => {}
+                        Err(e) => panic!("{name}: {e}"),
+                    }
+                }
+            }
+        }
+        let final_rel = rel.verify().unwrap_or_else(|e| panic!("{name}: {e}"));
+        let final_oracle: std::collections::BTreeSet<Tuple> =
+            oracle.snapshot().into_iter().collect();
+        assert_eq!(final_rel, final_oracle, "{name}: final state");
+    }
+}
+
+#[test]
+fn concurrent_disjoint_threads_merge_cleanly() {
+    // Threads operate on disjoint src ranges; the final state must be the
+    // union of each thread's sequential effect.
+    for (name, rel) in graph_variant_matrix() {
+        let threads = 4usize;
+        let per = 40i64;
+        let barrier = Arc::new(Barrier::new(threads));
+        let handles: Vec<_> = (0..threads as i64)
+            .map(|tid| {
+                let rel = rel.clone();
+                let barrier = barrier.clone();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let base = tid * 1_000;
+                    for i in 0..per {
+                        assert!(rel
+                            .insert(&edge(&rel, base + i, i % 7), &weight(&rel, i))
+                            .unwrap());
+                    }
+                    // Remove every third edge again.
+                    for i in (0..per).step_by(3) {
+                        assert_eq!(rel.remove(&edge(&rel, base + i, i % 7)).unwrap(), 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let expected_per_thread = per as usize - ((per + 2) / 3) as usize;
+        assert_eq!(
+            rel.len(),
+            threads * expected_per_thread,
+            "{name}: final cardinality"
+        );
+        rel.verify().unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn concurrent_contended_single_key_is_coherent() {
+    for (name, rel) in graph_variant_matrix().into_iter().take(10) {
+        let threads = 8usize;
+        let rounds = 200i64;
+        let barrier = Arc::new(Barrier::new(threads));
+        let handles: Vec<_> = (0..threads as i64)
+            .map(|tid| {
+                let rel = rel.clone();
+                let barrier = barrier.clone();
+                let name = name.clone();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for i in 0..rounds {
+                        // Everyone fights over edge (1, 1).
+                        let _ = rel.insert(&edge(&rel, 1, 1), &weight(&rel, tid));
+                        if i % 3 == tid % 3 {
+                            let _ = rel.remove(&edge(&rel, 1, 1));
+                        }
+                        let cols = rel.schema().column_set(&["weight"]).unwrap();
+                        let got = rel.query(&edge(&rel, 1, 1), cols).unwrap();
+                        assert!(got.len() <= 1, "{name}: FD violated under contention");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        rel.verify().unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn dcache_end_to_end_with_hash_shortcut() {
+    // The Fig. 2 decomposition as a client would use it.
+    let d = relc::decomp::library::dcache();
+    let p = relc::placement::LockPlacement::fine(&d).unwrap();
+    let fs = relc::ConcurrentRelation::new(d.clone(), p).unwrap();
+    let schema = fs.schema().clone();
+    let entry = |parent: i64, name: &str| {
+        schema
+            .tuple(&[("parent", Value::from(parent)), ("name", Value::from(name))])
+            .unwrap()
+    };
+    let child = |c: i64| schema.tuple(&[("child", Value::from(c))]).unwrap();
+
+    // Build a small tree, concurrently.
+    let fs = Arc::new(fs);
+    let handles: Vec<_> = (0..4i64)
+        .map(|tid| {
+            let fs = fs.clone();
+            std::thread::spawn(move || {
+                for i in 0..25i64 {
+                    let inode = tid * 100 + i + 2;
+                    let name = format!("f{tid}_{i}");
+                    let s = fs
+                        .schema()
+                        .tuple(&[("parent", Value::from(1)), ("name", Value::from(name.as_str()))])
+                        .unwrap();
+                    let t = fs.schema().tuple(&[("child", Value::from(inode))]).unwrap();
+                    assert!(fs.insert(&s, &t).unwrap());
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(fs.len(), 100);
+    // Directory listing of parent 1.
+    let pat = schema.tuple(&[("parent", Value::from(1))]).unwrap();
+    let listing = fs
+        .query(&pat, schema.column_set(&["name", "child"]).unwrap())
+        .unwrap();
+    assert_eq!(listing.len(), 100);
+    // Point lookups resolve through the hash index.
+    let got = fs
+        .query(&entry(1, "f0_0"), schema.column_set(&["child"]).unwrap())
+        .unwrap();
+    assert_eq!(got, vec![child(2)]);
+    fs.verify().unwrap();
+}

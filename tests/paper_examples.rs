@@ -1,0 +1,297 @@
+//! Executable transcriptions of the paper's worked examples: the §2 running
+//! example, Fig. 2's dcache instance, Fig. 3's three decompositions with
+//! their placements ψ1–ψ4, and the §5.2 query plans (2)–(4).
+
+use relc::decomp::library::{dcache, diamond, split, stick};
+use relc::placement::LockPlacement;
+use relc::query::PlanStep;
+use relc::{ConcurrentRelation, Planner};
+use relc_containers::ContainerKind;
+use relc_spec::{ColumnSet, Tuple, Value};
+
+/// §2: `insert r0 ⟨src:1,dst:2⟩ ⟨weight:42⟩`, then a conflicting insert
+/// leaves the relation unchanged; query successors; remove by dst needs a
+/// key so the §2 `remove r ⟨dst: 2⟩` is run through per-edge key removal.
+#[test]
+fn section2_running_example() {
+    let d = stick(ContainerKind::HashMap, ContainerKind::TreeMap);
+    let p = LockPlacement::coarse(&d).unwrap();
+    let r = ConcurrentRelation::new(d.clone(), p).unwrap();
+    let schema = r.schema().clone();
+
+    let s = schema
+        .tuple(&[("src", Value::from(1)), ("dst", Value::from(2))])
+        .unwrap();
+    assert!(r
+        .insert(&s, &schema.tuple(&[("weight", Value::from(42))]).unwrap())
+        .unwrap());
+    // "A subsequent insertion ... leaves the relation unchanged, because
+    // relation r1 already contains an edge with the same src and dst."
+    assert!(!r
+        .insert(&s, &schema.tuple(&[("weight", Value::from(101))]).unwrap())
+        .unwrap());
+    let snap = r.snapshot().unwrap();
+    assert_eq!(snap.len(), 1);
+    assert_eq!(
+        snap[0],
+        schema
+            .tuple(&[
+                ("src", Value::from(1)),
+                ("dst", Value::from(2)),
+                ("weight", Value::from(42)),
+            ])
+            .unwrap()
+    );
+
+    // "query r ⟨src: 1⟩ {dst, weight}"
+    let res = r
+        .query(
+            &schema.tuple(&[("src", Value::from(1))]).unwrap(),
+            schema.column_set(&["dst", "weight"]).unwrap(),
+        )
+        .unwrap();
+    assert_eq!(
+        res,
+        vec![schema
+            .tuple(&[("dst", Value::from(2)), ("weight", Value::from(42))])
+            .unwrap()]
+    );
+
+    // "remove r ⟨dst: 2⟩": our implementation (like the paper's) removes by
+    // key, so enumerate matching keys first, then remove each.
+    let matches = r
+        .query(
+            &schema.tuple(&[("dst", Value::from(2))]).unwrap(),
+            schema.column_set(&["src", "dst"]).unwrap(),
+        )
+        .unwrap();
+    for key in matches {
+        assert_eq!(r.remove(&key).unwrap(), 1);
+    }
+    assert!(r.is_empty());
+}
+
+/// Fig. 2(b): the three-directory-entry instance, built through the public
+/// API, then queried both through the tree path and the hash index.
+#[test]
+fn figure2_dcache_instance() {
+    let d = dcache();
+    let p = LockPlacement::fine(&d).unwrap();
+    let r = ConcurrentRelation::new(d.clone(), p).unwrap();
+    let schema = r.schema().clone();
+    let ins = |parent: i64, name: &str, child: i64| {
+        let s = schema
+            .tuple(&[("parent", Value::from(parent)), ("name", Value::from(name))])
+            .unwrap();
+        let t = schema.tuple(&[("child", Value::from(child))]).unwrap();
+        r.insert(&s, &t).unwrap()
+    };
+    assert!(ins(1, "a", 2));
+    assert!(ins(2, "b", 3));
+    assert!(ins(2, "c", 4));
+
+    let rel = r.verify().unwrap();
+    assert_eq!(rel.len(), 3);
+
+    // Iterating the children of directory 2 uses the tree path.
+    let children = r
+        .query(
+            &schema.tuple(&[("parent", Value::from(2))]).unwrap(),
+            schema.column_set(&["name", "child"]).unwrap(),
+        )
+        .unwrap();
+    assert_eq!(children.len(), 2);
+
+    // Unmount-style full iteration (plan (2)/(3) territory).
+    assert_eq!(r.snapshot().unwrap().len(), 3);
+}
+
+/// Fig. 2(b), structurally: the `y` instances reached through the tree path
+/// (ρ→x→y) and through the hash index (ρ→y) are the *same objects* — the
+/// decomposition instance shares nodes rather than duplicating them.
+#[test]
+fn figure2_instance_sharing_is_physical() {
+    let d = dcache();
+    let p = LockPlacement::fine(&d).unwrap();
+    let r = ConcurrentRelation::new(d.clone(), p).unwrap();
+    let schema = r.schema().clone();
+    for (parent, name, child) in [(1, "a", 2), (2, "b", 3), (2, "c", 4)] {
+        let s = schema
+            .tuple(&[("parent", Value::from(parent)), ("name", Value::from(name))])
+            .unwrap();
+        let t = schema.tuple(&[("child", Value::from(child))]).unwrap();
+        assert!(r.insert(&s, &t).unwrap());
+    }
+    // verify() walks both branches, checks they represent the same relation
+    // AND that shared (node, key) pairs are physically one Arc (see
+    // relc::instance::verify_instance's "duplicated instead of shared"
+    // check, which the instance-layer unit tests prove fires on duplicated
+    // y nodes). A representation that duplicated y would fail here.
+    let rel = r.verify().unwrap();
+    assert_eq!(rel.len(), 3);
+
+    // Mutating through one path is observed through the other — the
+    // behavioral face of physical sharing.
+    let key = schema
+        .tuple(&[("parent", Value::from(2)), ("name", Value::from("b"))])
+        .unwrap();
+    assert_eq!(r.remove(&key).unwrap(), 1, "remove via the (parent,name) key");
+    let listing = r
+        .query(
+            &schema.tuple(&[("parent", Value::from(2))]).unwrap(),
+            schema.column_set(&["name", "child"]).unwrap(),
+        )
+        .unwrap();
+    assert_eq!(listing.len(), 1, "tree path no longer lists the removed entry");
+    r.verify().unwrap();
+}
+
+/// Fig. 3: the stick/split/diamond decompositions accept exactly the
+/// placements the paper gives them (ψ1 coarse, ψ2 fine, ψ3 striped,
+/// ψ4 speculative).
+#[test]
+fn figure3_placements_validate() {
+    let stick_d = stick(ContainerKind::TreeMap, ContainerKind::TreeMap);
+    assert!(LockPlacement::coarse(&stick_d).is_ok(), "ψ1 on Fig. 3(a)");
+
+    let split_d = split(ContainerKind::ConcurrentHashMap, ContainerKind::TreeMap);
+    assert!(LockPlacement::fine(&split_d).is_ok(), "ψ2 on Fig. 3(b)");
+    assert!(
+        LockPlacement::striped_root(&split_d, 1024).is_ok(),
+        "ψ3 on Fig. 3(b)"
+    );
+
+    let diamond_d = diamond(ContainerKind::ConcurrentHashMap, ContainerKind::TreeMap);
+    let spec = LockPlacement::speculative(&diamond_d, 1024).unwrap();
+    // ψ4: the two root edges are speculative, everything else source-locked.
+    let rx = diamond_d.edge_between("ρ", "x").unwrap();
+    let ry = diamond_d.edge_between("ρ", "y").unwrap();
+    let xw = diamond_d.edge_between("x", "w").unwrap();
+    assert!(spec.edge(rx).speculative);
+    assert!(spec.edge(ry).speculative);
+    assert!(!spec.edge(xw).speculative);
+    assert_eq!(spec.describe().matches("target/").count(), 2);
+}
+
+/// §5.2 plans (2)–(4): the dcache full-iteration query under coarse and
+/// fine placements, rendered in the paper's let-notation.
+#[test]
+fn section52_query_plans() {
+    let d = dcache();
+
+    // Plan (2): coarse placement. The planner picks the 2-edge chain
+    // ρy, yz: lock ρ once, scan twice, unlock.
+    let coarse = LockPlacement::coarse(&d).unwrap();
+    let planner = Planner::new(d.clone(), coarse);
+    let plan2 = planner
+        .plan_query(ColumnSet::EMPTY, d.schema().columns())
+        .unwrap();
+    let rendered = planner.render(&plan2);
+    assert!(rendered.contains("scan(a, ρy)") || rendered.contains("scan(b, ρy)"), "{rendered}");
+    assert!(rendered.contains("yz"), "{rendered}");
+    // Exactly one physical lock is involved (ρ), matching plan (2)'s single
+    // lock/unlock pair around the scans.
+    let lock_steps = plan2.steps.iter().filter(|s| s.is_lock()).count();
+    assert_eq!(lock_steps, 2, "one per edge, both at ρ: {rendered}");
+
+    // Under the fine placement, the same query needs locks at each level,
+    // like plan (4) (the planner still prefers the shorter ρy chain over
+    // plan (4)'s 3-edge path, so we check the 3-edge variant explicitly).
+    let fine = LockPlacement::fine(&d).unwrap();
+    let planner = Planner::new(d.clone(), fine);
+    let plan = planner
+        .plan_query(ColumnSet::EMPTY, d.schema().columns())
+        .unwrap();
+    let rendered = planner.render(&plan);
+    assert!(rendered.contains("unlock"), "{rendered}");
+
+    // Plan (3)'s chain ρx, xy, yz exists in the enumeration space: verify
+    // that it is *valid* by querying with parent bound (which makes the
+    // tree path the best plan).
+    let by_parent = planner
+        .plan_query(
+            d.schema().column_set(&["parent"]).unwrap(),
+            d.schema().columns(),
+        )
+        .unwrap();
+    let rx = d.edge_between("ρ", "x").unwrap();
+    assert!(
+        by_parent.steps.iter().any(|s| matches!(s, PlanStep::Lookup { edge } if *edge == rx)),
+        "parent-bound queries lookup the tree level: {}",
+        planner.render(&by_parent)
+    );
+}
+
+/// Fig. 1's taxonomy, as the planner consumes it: lock modes follow the
+/// container's read-safety, and speculative placement demands linearizable
+/// lookups.
+#[test]
+fn figure1_taxonomy_drives_the_compiler() {
+    use relc_locks::LockMode;
+    // Splay-tree edges force exclusive read locks.
+    let d = stick(ContainerKind::SplayTreeMap, ContainerKind::TreeMap);
+    let p = LockPlacement::coarse(&d).unwrap();
+    let ru = d.edge_between("ρ", "u").unwrap();
+    assert_eq!(p.read_mode(ru), LockMode::Exclusive);
+    let r = ConcurrentRelation::new(d.clone(), p).unwrap();
+    let s = d
+        .schema()
+        .tuple(&[("src", Value::from(1)), ("dst", Value::from(2))])
+        .unwrap();
+    let w = d.schema().tuple(&[("weight", Value::from(5))]).unwrap();
+    r.insert(&s, &w).unwrap();
+    assert_eq!(r.snapshot().unwrap().len(), 1);
+
+    // HashMap cannot host a speculative edge; ConcurrentHashMap can.
+    let d = diamond(ContainerKind::HashMap, ContainerKind::HashMap);
+    assert!(LockPlacement::speculative(&d, 4).is_err());
+    let d = diamond(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap);
+    assert!(LockPlacement::speculative(&d, 4).is_ok());
+}
+
+/// The paper's guarantee, §4.2/§5: "the resulting code is correct by
+/// construction: individual relational operations are implemented correctly
+/// and the aggregate set of operations is serializable and deadlock free."
+/// Spot-check serializability machinery: a two-phase violation panics.
+#[test]
+fn two_phase_discipline_is_enforced() {
+    use relc_locks::{LockMode, LockStats, PhysicalLock, TwoPhaseEngine};
+    use std::sync::Arc;
+    let result = std::panic::catch_unwind(|| {
+        let mut e: TwoPhaseEngine<u32> = TwoPhaseEngine::new(Arc::new(LockStats::new()));
+        let a = Arc::new(PhysicalLock::new());
+        let b = Arc::new(PhysicalLock::new());
+        e.acquire(1, &a, LockMode::Shared).unwrap();
+        e.unlock(&1);
+        // Growing after shrinking: must panic.
+        let _ = e.acquire(2, &b, LockMode::Shared);
+    });
+    assert!(result.is_err());
+}
+
+/// Empty-pattern insert uses the relation-nonempty existence check.
+#[test]
+fn insert_with_empty_key_pattern() {
+    let d = stick(ContainerKind::HashMap, ContainerKind::TreeMap);
+    let p = LockPlacement::coarse(&d).unwrap();
+    let r = ConcurrentRelation::new(d.clone(), p).unwrap();
+    let schema = r.schema().clone();
+    let full = schema
+        .tuple(&[
+            ("src", Value::from(1)),
+            ("dst", Value::from(2)),
+            ("weight", Value::from(3)),
+        ])
+        .unwrap();
+    // insert r ⟨⟩ t: inserts iff the relation is empty.
+    assert!(r.insert(&Tuple::empty(), &full).unwrap());
+    let full2 = schema
+        .tuple(&[
+            ("src", Value::from(9)),
+            ("dst", Value::from(9)),
+            ("weight", Value::from(9)),
+        ])
+        .unwrap();
+    assert!(!r.insert(&Tuple::empty(), &full2).unwrap(), "relation not empty");
+    assert_eq!(r.len(), 1);
+}

@@ -1,0 +1,200 @@
+//! Property-based differential testing: arbitrary §2 operation sequences
+//! applied to synthesized representations and the oracle must observe
+//! identical results, maintain the FDs, and leave structurally perfect
+//! instances — for every decomposition structure and placement family.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use relc::decomp::library::{diamond, split, stick};
+use relc::placement::LockPlacement;
+use relc::{ConcurrentRelation, CoreError, Decomposition};
+use relc_containers::ContainerKind;
+use relc_spec::{OracleRelation, Tuple, Value};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { src: i64, dst: i64, weight: i64 },
+    Remove { src: i64, dst: i64 },
+    QuerySucc { src: i64 },
+    QueryPred { dst: i64 },
+    QueryEdge { src: i64, dst: i64 },
+    Snapshot,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let k = 0i64..6;
+    prop_oneof![
+        3 => (k.clone(), k.clone(), 0i64..3).prop_map(|(src, dst, weight)| Op::Insert {
+            src, dst, weight
+        }),
+        2 => (k.clone(), k.clone()).prop_map(|(src, dst)| Op::Remove { src, dst }),
+        1 => k.clone().prop_map(|src| Op::QuerySucc { src }),
+        1 => k.clone().prop_map(|dst| Op::QueryPred { dst }),
+        1 => (k.clone(), k.clone()).prop_map(|(src, dst)| Op::QueryEdge { src, dst }),
+        1 => Just(Op::Snapshot),
+    ]
+}
+
+fn variant_strategy() -> impl Strategy<Value = (Arc<Decomposition>, &'static str)> {
+    let containers = prop_oneof![
+        Just(ContainerKind::HashMap),
+        Just(ContainerKind::TreeMap),
+        Just(ContainerKind::ConcurrentHashMap),
+        Just(ContainerKind::ConcurrentSkipListMap),
+        Just(ContainerKind::CopyOnWriteArrayList),
+    ];
+    let structure = prop_oneof![Just(0u8), Just(1), Just(2)];
+    let placement = prop_oneof![
+        Just("coarse"),
+        Just("fine"),
+        Just("striped"),
+        Just("speculative"),
+    ];
+    (structure, containers.clone(), containers, placement).prop_map(
+        |(s, top, second, pl)| {
+            let d = match s {
+                0 => stick(top, second),
+                1 => split(top, second),
+                _ => diamond(top, second),
+            };
+            (d, pl)
+        },
+    )
+}
+
+fn build_placement(
+    d: &Arc<Decomposition>,
+    kind: &str,
+) -> Option<Arc<relc::LockPlacement>> {
+    match kind {
+        "coarse" => LockPlacement::coarse(d).ok(),
+        "fine" => LockPlacement::fine(d).ok(),
+        "striped" => LockPlacement::striped_root(d, 8).ok(),
+        _ => LockPlacement::speculative(d, 4).ok(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn synthesized_matches_oracle(
+        (d, pl) in variant_strategy(),
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+    ) {
+        let Some(p) = build_placement(&d, pl) else {
+            // Invalid container/placement combination — correctly rejected.
+            return Ok(());
+        };
+        let rel = ConcurrentRelation::new(d.clone(), p).unwrap();
+        let oracle = OracleRelation::empty(d.schema().clone());
+        let schema = d.schema().clone();
+        let key = |s: i64, t: i64| {
+            schema.tuple(&[("src", Value::from(s)), ("dst", Value::from(t))]).unwrap()
+        };
+        for op in &ops {
+            match op {
+                Op::Insert { src, dst, weight } => {
+                    let w = schema.tuple(&[("weight", Value::from(*weight))]).unwrap();
+                    let got = rel.insert(&key(*src, *dst), &w).unwrap();
+                    let want = oracle.insert(&key(*src, *dst), &w).unwrap();
+                    prop_assert_eq!(got, want);
+                }
+                Op::Remove { src, dst } => {
+                    let got = rel.remove(&key(*src, *dst)).unwrap();
+                    let want = oracle.remove(&key(*src, *dst));
+                    prop_assert_eq!(got, want);
+                }
+                Op::QuerySucc { src } => {
+                    let pat = schema.tuple(&[("src", Value::from(*src))]).unwrap();
+                    let cols = schema.column_set(&["dst", "weight"]).unwrap();
+                    match rel.query(&pat, cols) {
+                        Ok(got) => prop_assert_eq!(got, oracle.query(&pat, cols)),
+                        Err(CoreError::NoValidPlan(_)) => {}
+                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                    }
+                }
+                Op::QueryPred { dst } => {
+                    let pat = schema.tuple(&[("dst", Value::from(*dst))]).unwrap();
+                    let cols = schema.column_set(&["src", "weight"]).unwrap();
+                    match rel.query(&pat, cols) {
+                        Ok(got) => prop_assert_eq!(got, oracle.query(&pat, cols)),
+                        Err(CoreError::NoValidPlan(_)) => {}
+                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                    }
+                }
+                Op::QueryEdge { src, dst } => {
+                    let cols = schema.column_set(&["weight"]).unwrap();
+                    match rel.query(&key(*src, *dst), cols) {
+                        Ok(got) => {
+                            prop_assert_eq!(got.clone(), oracle.query(&key(*src, *dst), cols));
+                            prop_assert!(got.len() <= 1, "FD guarantees one weight");
+                        }
+                        Err(CoreError::NoValidPlan(_)) => {}
+                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                    }
+                }
+                Op::Snapshot => match rel.snapshot() {
+                    Ok(got) => {
+                        let want = oracle.query(&Tuple::empty(), schema.columns());
+                        prop_assert_eq!(got, want);
+                    }
+                    Err(CoreError::NoValidPlan(_)) => {}
+                    Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                },
+            }
+            prop_assert_eq!(rel.len(), oracle.len());
+        }
+        // Structural invariants and exact final contents.
+        let final_rel = rel.verify().map_err(TestCaseError::fail)?;
+        let final_oracle: std::collections::BTreeSet<Tuple> =
+            oracle.snapshot().into_iter().collect();
+        prop_assert_eq!(final_rel, final_oracle);
+        oracle.check_fds().unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn kv_relation_is_a_correct_concurrent_map(
+        ops in proptest::collection::vec((0i64..8, proptest::option::of(0i64..100)), 1..80),
+    ) {
+        // The kv schema: the §2 put-if-absent example. Model: BTreeMap with
+        // put-if-absent semantics.
+        let d = relc::decomp::library::kv(ContainerKind::ConcurrentHashMap);
+        let p = LockPlacement::striped_root(&d, 8).unwrap();
+        let rel = ConcurrentRelation::new(d.clone(), p).unwrap();
+        let schema = d.schema().clone();
+        let mut model: std::collections::BTreeMap<i64, i64> = Default::default();
+        for (k, v) in ops {
+            let key = schema.tuple(&[("key", Value::from(k))]).unwrap();
+            match v {
+                Some(v) => {
+                    let val = schema.tuple(&[("value", Value::from(v))]).unwrap();
+                    let got = rel.insert(&key, &val).unwrap();
+                    let want = !model.contains_key(&k);
+                    if want {
+                        model.insert(k, v);
+                    }
+                    prop_assert_eq!(got, want);
+                }
+                None => {
+                    let got = rel.remove(&key).unwrap();
+                    let want = usize::from(model.remove(&k).is_some());
+                    prop_assert_eq!(got, want);
+                }
+            }
+            let cols = schema.column_set(&["value"]).unwrap();
+            for (mk, mv) in &model {
+                let key = schema.tuple(&[("key", Value::from(*mk))]).unwrap();
+                let got = rel.query(&key, cols).unwrap();
+                prop_assert_eq!(
+                    got,
+                    vec![schema.tuple(&[("value", Value::from(*mv))]).unwrap()]
+                );
+            }
+            prop_assert_eq!(rel.len(), model.len());
+        }
+    }
+}
