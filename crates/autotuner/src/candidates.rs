@@ -115,10 +115,12 @@ fn split_mixed(
     let z = b.node("z");
     b.edge(root, u, &["src"], top).expect("cols");
     b.edge(u, w, &["dst"], second).expect("cols");
-    b.edge(w, x, &["weight"], ContainerKind::Singleton).expect("cols");
+    b.edge(w, x, &["weight"], ContainerKind::Singleton)
+        .expect("cols");
     b.edge(root, v, &["dst"], top2).expect("cols");
     b.edge(v, y, &["src"], second2).expect("cols");
-    b.edge(y, z, &["weight"], ContainerKind::Singleton).expect("cols");
+    b.edge(y, z, &["weight"], ContainerKind::Singleton)
+        .expect("cols");
     b.build().expect("adequate")
 }
 
@@ -141,7 +143,8 @@ fn diamond_mixed(
     b.edge(root, y, &["dst"], top2).expect("cols");
     b.edge(x, w, &["dst"], second).expect("cols");
     b.edge(y, w, &["src"], second2).expect("cols");
-    b.edge(w, z, &["weight"], ContainerKind::Singleton).expect("cols");
+    b.edge(w, z, &["weight"], ContainerKind::Singleton)
+        .expect("cols");
     b.build().expect("adequate")
 }
 
@@ -163,10 +166,7 @@ impl Candidate {
     ///
     /// Propagates placement validation failures (such candidates are
     /// filtered out of the space).
-    pub fn placement_for(
-        &self,
-        d: &Arc<Decomposition>,
-    ) -> Result<Arc<LockPlacement>, CoreError> {
+    pub fn placement_for(&self, d: &Arc<Decomposition>) -> Result<Arc<LockPlacement>, CoreError> {
         match self.placement {
             PlacementKind::Coarse => LockPlacement::coarse(d),
             PlacementKind::Fine => LockPlacement::fine(d),
@@ -259,7 +259,9 @@ pub fn enumerate(stripe_factors: &[u32]) -> Vec<Candidate> {
             _ => ContainerKind::AUTOTUNE_MENU
                 .iter()
                 .flat_map(|&t2| {
-                    ContainerKind::AUTOTUNE_MENU.iter().map(move |&s2| Some((t2, s2)))
+                    ContainerKind::AUTOTUNE_MENU
+                        .iter()
+                        .map(move |&s2| Some((t2, s2)))
                 })
                 .collect(),
         };
@@ -347,7 +349,10 @@ mod tests {
     #[test]
     fn coarse_candidates_use_non_concurrent_containers() {
         let space = enumerate(&[1]);
-        for c in space.iter().filter(|c| c.placement == PlacementKind::Coarse) {
+        for c in space
+            .iter()
+            .filter(|c| c.placement == PlacementKind::Coarse)
+        {
             assert!(!c.top.props().is_concurrency_safe(), "{}", c.name());
             assert!(!c.second.props().is_concurrency_safe(), "{}", c.name());
         }

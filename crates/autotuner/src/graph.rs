@@ -79,7 +79,9 @@ impl GraphOps for RelationGraph {
             .map(|t| {
                 (
                     t.get(self.dst_col).and_then(Value::as_int).expect("dst"),
-                    t.get(self.weight_col).and_then(Value::as_int).expect("weight"),
+                    t.get(self.weight_col)
+                        .and_then(Value::as_int)
+                        .expect("weight"),
                 )
             })
             .collect()
@@ -94,7 +96,9 @@ impl GraphOps for RelationGraph {
             .map(|t| {
                 (
                     t.get(self.src_col).and_then(Value::as_int).expect("src"),
-                    t.get(self.weight_col).and_then(Value::as_int).expect("weight"),
+                    t.get(self.weight_col)
+                        .and_then(Value::as_int)
+                        .expect("weight"),
                 )
             })
             .collect()

@@ -40,4 +40,6 @@ pub mod workload;
 pub use candidates::{enumerate, Candidate, PlacementKind, Structure};
 pub use graph::{GraphOps, RelationGraph};
 pub use tuner::{autotune, TuneEntry, TuneReport};
-pub use workload::{run_workload, KeyDistribution, OpMix, WorkloadConfig, WorkloadResult, FIGURE5_MIXES};
+pub use workload::{
+    run_workload, KeyDistribution, OpMix, WorkloadConfig, WorkloadResult, FIGURE5_MIXES,
+};

@@ -19,7 +19,12 @@ pub struct TuneEntry {
 
 impl fmt::Display for TuneEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:>12.0} ops/s  {}", self.ops_per_sec, self.candidate.name())
+        write!(
+            f,
+            "{:>12.0} ops/s  {}",
+            self.ops_per_sec,
+            self.candidate.name()
+        )
     }
 }
 

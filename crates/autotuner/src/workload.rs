@@ -91,7 +91,10 @@ struct KeySampler {
 impl KeySampler {
     fn new(dist: KeyDistribution, range: i64) -> Self {
         match dist {
-            KeyDistribution::Uniform => KeySampler { cdf: Vec::new(), range },
+            KeyDistribution::Uniform => KeySampler {
+                cdf: Vec::new(),
+                range,
+            },
             KeyDistribution::Zipf(s) => {
                 let mut cdf = Vec::with_capacity(range as usize);
                 let mut acc = 0.0;
@@ -188,7 +191,7 @@ pub fn run_workload(graph: &Arc<dyn GraphOps>, cfg: &WorkloadConfig) -> Workload
                 } else if dice < m.successors + m.predecessors {
                     let _ = graph.find_predecessors(dst);
                 } else if dice < m.successors + m.predecessors + m.inserts {
-                    let weight = rng.random_range(0..1_000_000);
+                    let weight = rng.random_range(0..1_000_000i64);
                     let _ = graph.insert_edge(src, dst, weight);
                 } else {
                     let _ = graph.remove_edge(src, dst);
@@ -243,8 +246,7 @@ mod tests {
         let d = split(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap);
         let p = LockPlacement::striped_root(&d, 16).unwrap();
         let rel = Arc::new(ConcurrentRelation::new(d, p).unwrap());
-        let graph: Arc<dyn GraphOps> =
-            Arc::new(RelationGraph::new(rel.clone()).unwrap());
+        let graph: Arc<dyn GraphOps> = Arc::new(RelationGraph::new(rel.clone()).unwrap());
         let cfg = WorkloadConfig {
             mix: FIGURE5_MIXES[1],
             threads: 4,
@@ -273,7 +275,10 @@ mod tests {
         assert!(counts[0] > counts[1]);
         assert!(counts[0] > 10 * counts[32].max(1), "{counts:?}");
         let head: usize = counts[..8].iter().sum();
-        assert!(head > 10_000, "head of the Zipf must carry most mass: {head}");
+        assert!(
+            head > 10_000,
+            "head of the Zipf must carry most mass: {head}"
+        );
         // Uniform sampler spreads instead.
         let uniform = KeySampler::new(KeyDistribution::Uniform, 64);
         let mut u_counts = [0usize; 64];

@@ -44,10 +44,7 @@ fn bench_speculative_vs_striped_point_reads(c: &mut Criterion) {
     // behavior is covered by the figure5 harness; this isolates the
     // single-thread constant factors.
     let mut group = c.benchmark_group("speculative_vs_striped_successors");
-    for (label, placement) in [
-        ("striped1024", "s"),
-        ("speculative1024", "p"),
-    ] {
+    for (label, placement) in [("striped1024", "s"), ("speculative1024", "p")] {
         let d = diamond(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap);
         let p = if placement == "s" {
             LockPlacement::striped_root(&d, 1024).unwrap()
@@ -76,5 +73,9 @@ fn bench_speculative_vs_striped_point_reads(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sort_elision, bench_speculative_vs_striped_point_reads);
+criterion_group!(
+    benches,
+    bench_sort_elision,
+    bench_speculative_vs_striped_point_reads
+);
 criterion_main!(benches);

@@ -17,8 +17,14 @@ fn variants() -> Vec<(&'static str, Arc<ConcurrentRelation>)> {
     let sp = split(ContainerKind::ConcurrentHashMap, ContainerKind::TreeMap);
     let di = diamond(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap);
     vec![
-        ("stick/coarse", mk(s.clone(), LockPlacement::coarse(&s).unwrap())),
-        ("split/fine", mk(sp.clone(), LockPlacement::fine(&sp).unwrap())),
+        (
+            "stick/coarse",
+            mk(s.clone(), LockPlacement::coarse(&s).unwrap()),
+        ),
+        (
+            "split/fine",
+            mk(sp.clone(), LockPlacement::fine(&sp).unwrap()),
+        ),
         (
             "split/striped1024",
             mk(sp.clone(), LockPlacement::striped_root(&sp, 1024).unwrap()),
@@ -96,5 +102,10 @@ fn bench_predecessor_query(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_insert_remove, bench_successor_query, bench_predecessor_query);
+criterion_group!(
+    benches,
+    bench_insert_remove,
+    bench_successor_query,
+    bench_predecessor_query
+);
 criterion_main!(benches);

@@ -32,10 +32,7 @@ fn main() {
     let schema = d.schema();
     for i in 0..edges {
         let s = schema
-            .tuple(&[
-                ("src", Value::from(i % 64)),
-                ("dst", Value::from(i)),
-            ])
+            .tuple(&[("src", Value::from(i % 64)), ("dst", Value::from(i))])
             .expect("tuple");
         let t = schema.tuple(&[("weight", Value::from(i))]).expect("tuple");
         rel.insert(&s, &t).expect("insert");
@@ -56,9 +53,7 @@ fn main() {
         secs
     };
 
-    println!(
-        "Lock-sort elision ablation (§5.2): {edges} edges, {iters} full scans\n"
-    );
+    println!("Lock-sort elision ablation (§5.2): {edges} edges, {iters} full scans\n");
     let elided = measure("sort elided (planner)", false);
     let forced = measure("sort forced (ablation)", true);
     println!(

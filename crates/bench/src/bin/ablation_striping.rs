@@ -26,7 +26,9 @@ use relc_containers::ContainerKind;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let ops: usize = arg_value(&args, "--ops", 20_000);
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let factors = [1u32, 4, 64, 1024];
 
     println!("Stripe-factor ablation (§4.4); {threads} threads, {ops} ops/thread\n");

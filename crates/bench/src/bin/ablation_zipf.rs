@@ -21,7 +21,9 @@ use relc_containers::ContainerKind;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let ops: usize = arg_value(&args, "--ops", 20_000);
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let skews: [(&str, KeyDistribution); 3] = [
         ("uniform", KeyDistribution::Uniform),
         ("zipf(0.8)", KeyDistribution::Zipf(0.8)),

@@ -19,7 +19,9 @@ fn main() {
     let threads: usize = arg_value(
         &args,
         "--threads",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
     );
     let keys: i64 = arg_value(&args, "--keys", 256);
     let top: usize = arg_value(&args, "--top", 10);

@@ -1,0 +1,234 @@
+//! Mixed read-modify-write workloads for the transaction layer: the §2
+//! `update` primitive and multi-operation transfer transactions, across
+//! representative (decomposition, placement) pairs and thread counts.
+//! Emits a JSON baseline (`BENCH_txn.json` by default) so the
+//! performance trajectory of the transaction path is tracked across
+//! changes.
+//!
+//! ```text
+//! cargo run --release -p relc-bench --bin txn_mix -- \
+//!     [--quick] [--threads 8] [--ops 200000] [--out BENCH_txn.json]
+//! ```
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use relc::decomp::library::{diamond, split, stick};
+use relc::placement::LockPlacement;
+use relc::{ConcurrentRelation, Decomposition};
+use relc_bench::{arg_present, arg_value};
+use relc_containers::ContainerKind;
+use relc_spec::{RelationSchema, Tuple, Value};
+
+const KEY_RANGE: i64 = 256;
+
+fn variants() -> Vec<(&'static str, Arc<ConcurrentRelation>)> {
+    let mk = |d: Arc<Decomposition>, p| Arc::new(ConcurrentRelation::new(d, p).unwrap());
+    let st = stick(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap);
+    let sp = split(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap);
+    let di = diamond(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap);
+    vec![
+        (
+            "stick/coarse",
+            mk(st.clone(), LockPlacement::coarse(&st).unwrap()),
+        ),
+        (
+            "split/fine",
+            mk(sp.clone(), LockPlacement::fine(&sp).unwrap()),
+        ),
+        (
+            "split/striped1024",
+            mk(sp.clone(), LockPlacement::striped_root(&sp, 1024).unwrap()),
+        ),
+        (
+            "diamond/speculative64",
+            mk(di.clone(), LockPlacement::speculative(&di, 64).unwrap()),
+        ),
+    ]
+}
+
+fn key(schema: &RelationSchema, s: i64, d: i64) -> Tuple {
+    schema
+        .tuple(&[("src", Value::from(s)), ("dst", Value::from(d))])
+        .unwrap()
+}
+
+fn weight(schema: &RelationSchema, w: i64) -> Tuple {
+    schema.tuple(&[("weight", Value::from(w))]).unwrap()
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Workload {
+    /// Single-shot `update` on random keys.
+    UpdateHeavy,
+    /// 4-op transfer transactions (query + query + update + update).
+    TxnTransfer,
+    /// 50% update, 30% point query, 20% transfer transaction.
+    Mixed,
+}
+
+impl Workload {
+    fn label(self) -> &'static str {
+        match self {
+            Workload::UpdateHeavy => "update_heavy",
+            Workload::TxnTransfer => "txn_transfer",
+            Workload::Mixed => "mixed_rmw",
+        }
+    }
+}
+
+struct Sample {
+    representation: String,
+    workload: &'static str,
+    threads: usize,
+    total_ops: u64,
+    elapsed_secs: f64,
+}
+
+fn run_workload(
+    rel: &Arc<ConcurrentRelation>,
+    workload: Workload,
+    threads: usize,
+    ops_per_thread: usize,
+) -> Sample {
+    let schema = rel.schema().clone();
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let done = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..threads as u64)
+        .map(|tid| {
+            let rel = Arc::clone(rel);
+            let schema = schema.clone();
+            let barrier = Arc::clone(&barrier);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let wcols = schema.column_set(&["weight"]).unwrap();
+                let mut x = (tid + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                let mut next = move || {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    x
+                };
+                barrier.wait();
+                let mut local = 0u64;
+                for i in 0..ops_per_thread {
+                    let a = (next() % KEY_RANGE as u64) as i64;
+                    let b = (next() % KEY_RANGE as u64) as i64;
+                    let w = (next() % 1000) as i64;
+                    let pick = match workload {
+                        Workload::UpdateHeavy => 0,
+                        Workload::TxnTransfer => 1,
+                        Workload::Mixed => match i % 10 {
+                            0..=4 => 0,
+                            5..=7 => 2,
+                            _ => 1,
+                        },
+                    };
+                    match pick {
+                        0 => {
+                            rel.update(&key(&schema, a, a), &weight(&schema, w))
+                                .unwrap();
+                        }
+                        1 => {
+                            if a != b {
+                                rel.transaction(|tx| {
+                                    let wa = tx.query(&key(&schema, a, a), wcols)?;
+                                    let wb = tx.query(&key(&schema, b, b), wcols)?;
+                                    if wa.is_empty() || wb.is_empty() {
+                                        return Ok(());
+                                    }
+                                    tx.update(&key(&schema, a, a), &weight(&schema, w))?;
+                                    tx.update(&key(&schema, b, b), &weight(&schema, w + 1))?;
+                                    Ok(())
+                                })
+                                .unwrap();
+                            }
+                        }
+                        _ => {
+                            let _ = rel.query(&key(&schema, a, a), wcols).unwrap();
+                        }
+                    }
+                    local += 1;
+                }
+                done.fetch_add(local, Ordering::Relaxed);
+            })
+        })
+        .collect();
+    barrier.wait();
+    let start = Instant::now();
+    for h in handles {
+        h.join().expect("bench worker panicked");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    Sample {
+        representation: String::new(),
+        workload: workload.label(),
+        threads,
+        total_ops: done.load(Ordering::Relaxed),
+        elapsed_secs: elapsed,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = arg_present(&args, "--quick");
+    let max_threads: usize = arg_value(&args, "--threads", 8);
+    let default_ops = if quick { 2_000 } else { 50_000 };
+    let ops_per_thread: usize = arg_value(&args, "--ops", default_ops);
+    let out: String = arg_value(&args, "--out", "BENCH_txn.json".to_owned());
+
+    let thread_counts: Vec<usize> = [1usize, 2, 4, 8, 16]
+        .into_iter()
+        .filter(|&t| t <= max_threads)
+        .collect();
+    let workloads = [
+        Workload::UpdateHeavy,
+        Workload::TxnTransfer,
+        Workload::Mixed,
+    ];
+
+    let mut samples: Vec<Sample> = Vec::new();
+    for (name, rel) in variants() {
+        // Pre-populate every diagonal key so updates always hit.
+        for k in 0..KEY_RANGE {
+            rel.insert(&key(rel.schema(), k, k), &weight(rel.schema(), k))
+                .unwrap();
+        }
+        for workload in workloads {
+            for &threads in &thread_counts {
+                let mut s = run_workload(&rel, workload, threads, ops_per_thread);
+                s.representation = name.to_owned();
+                let rate = s.total_ops as f64 / s.elapsed_secs.max(1e-9);
+                println!(
+                    "{:<24} {:<14} threads={:<2} {:>12.0} ops/s ({} ops in {:.3}s)",
+                    s.representation, s.workload, s.threads, rate, s.total_ops, s.elapsed_secs
+                );
+                samples.push(s);
+            }
+        }
+        rel.verify().expect("structurally sound after benchmark");
+    }
+
+    // Hand-rolled JSON (the workspace is offline; no serde).
+    let mut json = String::from("{\n  \"benchmark\": \"txn_mix\",\n");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"ops_per_thread\": {ops_per_thread},");
+    let _ = writeln!(json, "  \"key_range\": {KEY_RANGE},");
+    json.push_str("  \"results\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let rate = s.total_ops as f64 / s.elapsed_secs.max(1e-9);
+        let _ = write!(
+            json,
+            "    {{\"representation\": \"{}\", \"workload\": \"{}\", \
+             \"threads\": {}, \"total_ops\": {}, \"elapsed_secs\": {:.6}, \
+             \"ops_per_sec\": {:.1}}}",
+            s.representation, s.workload, s.threads, s.total_ops, s.elapsed_secs, rate
+        );
+        json.push_str(if i + 1 < samples.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, &json).expect("write baseline");
+    println!("wrote {out} ({} samples)", samples.len());
+}

@@ -81,12 +81,18 @@ fn split2_decomposition() -> Arc<Decomposition> {
     let v = b.node("v");
     let y = b.node("y");
     let z = b.node("z");
-    b.edge(root, u, &["src"], ContainerKind::ConcurrentHashMap).expect("cols");
-    b.edge(u, w, &["dst"], ContainerKind::ConcurrentHashMap).expect("cols");
-    b.edge(w, x, &["weight"], ContainerKind::Singleton).expect("cols");
-    b.edge(root, v, &["dst"], ContainerKind::HashMap).expect("cols");
-    b.edge(v, y, &["src"], ContainerKind::TreeMap).expect("cols");
-    b.edge(y, z, &["weight"], ContainerKind::Singleton).expect("cols");
+    b.edge(root, u, &["src"], ContainerKind::ConcurrentHashMap)
+        .expect("cols");
+    b.edge(u, w, &["dst"], ContainerKind::ConcurrentHashMap)
+        .expect("cols");
+    b.edge(w, x, &["weight"], ContainerKind::Singleton)
+        .expect("cols");
+    b.edge(root, v, &["dst"], ContainerKind::HashMap)
+        .expect("cols");
+    b.edge(v, y, &["src"], ContainerKind::TreeMap)
+        .expect("cols");
+    b.edge(y, z, &["weight"], ContainerKind::Singleton)
+        .expect("cols");
     b.build().expect("adequate")
 }
 
@@ -121,21 +127,31 @@ pub fn figure5_configs() -> Vec<Fig5Config> {
         ConcurrentHashMap as CHM, ConcurrentSkipListMap as CSLM, HashMap as HM, TreeMap as TM,
     };
     vec![
-        synthesized("Stick 1", || stick(HM, TM), |d| {
-            LockPlacement::coarse(d).expect("valid")
-        }),
-        synthesized("Stick 2", || stick(CHM, HM), |d| {
-            LockPlacement::striped_root(d, FIG5_STRIPES).expect("valid")
-        }),
-        synthesized("Stick 3", || stick(CHM, TM), |d| {
-            LockPlacement::striped_root(d, FIG5_STRIPES).expect("valid")
-        }),
-        synthesized("Stick 4", || stick(CSLM, HM), |d| {
-            LockPlacement::striped_root(d, FIG5_STRIPES).expect("valid")
-        }),
-        synthesized("Split 1", || split(HM, TM), |d| {
-            LockPlacement::coarse(d).expect("valid")
-        }),
+        synthesized(
+            "Stick 1",
+            || stick(HM, TM),
+            |d| LockPlacement::coarse(d).expect("valid"),
+        ),
+        synthesized(
+            "Stick 2",
+            || stick(CHM, HM),
+            |d| LockPlacement::striped_root(d, FIG5_STRIPES).expect("valid"),
+        ),
+        synthesized(
+            "Stick 3",
+            || stick(CHM, TM),
+            |d| LockPlacement::striped_root(d, FIG5_STRIPES).expect("valid"),
+        ),
+        synthesized(
+            "Stick 4",
+            || stick(CSLM, HM),
+            |d| LockPlacement::striped_root(d, FIG5_STRIPES).expect("valid"),
+        ),
+        synthesized(
+            "Split 1",
+            || split(HM, TM),
+            |d| LockPlacement::coarse(d).expect("valid"),
+        ),
         Fig5Config {
             name: "Split 2",
             build: Box::new(|| {
@@ -145,27 +161,41 @@ pub fn figure5_configs() -> Vec<Fig5Config> {
                 Arc::new(RelationGraph::new(rel).expect("graph schema"))
             }),
         },
-        synthesized("Split 3", || split(CHM, HM), |d| {
-            LockPlacement::striped_root(d, FIG5_STRIPES).expect("valid")
-        }),
-        synthesized("Split 4", || split(CHM, TM), |d| {
-            LockPlacement::striped_root(d, FIG5_STRIPES).expect("valid")
-        }),
-        synthesized("Split 5", || split(CSLM, HM), |d| {
-            LockPlacement::striped_root(d, FIG5_STRIPES).expect("valid")
-        }),
-        synthesized("Diamond 0", || diamond(HM, TM), |d| {
-            LockPlacement::coarse(d).expect("valid")
-        }),
-        synthesized("Diamond 1", || diamond(CHM, HM), |d| {
-            LockPlacement::striped_root(d, FIG5_STRIPES).expect("valid")
-        }),
-        synthesized("Diamond 2", || diamond(CSLM, HM), |d| {
-            LockPlacement::striped_root(d, FIG5_STRIPES).expect("valid")
-        }),
-        synthesized("Diamond 3*", || diamond(CHM, HM), |d| {
-            LockPlacement::speculative(d, FIG5_STRIPES).expect("valid")
-        }),
+        synthesized(
+            "Split 3",
+            || split(CHM, HM),
+            |d| LockPlacement::striped_root(d, FIG5_STRIPES).expect("valid"),
+        ),
+        synthesized(
+            "Split 4",
+            || split(CHM, TM),
+            |d| LockPlacement::striped_root(d, FIG5_STRIPES).expect("valid"),
+        ),
+        synthesized(
+            "Split 5",
+            || split(CSLM, HM),
+            |d| LockPlacement::striped_root(d, FIG5_STRIPES).expect("valid"),
+        ),
+        synthesized(
+            "Diamond 0",
+            || diamond(HM, TM),
+            |d| LockPlacement::coarse(d).expect("valid"),
+        ),
+        synthesized(
+            "Diamond 1",
+            || diamond(CHM, HM),
+            |d| LockPlacement::striped_root(d, FIG5_STRIPES).expect("valid"),
+        ),
+        synthesized(
+            "Diamond 2",
+            || diamond(CSLM, HM),
+            |d| LockPlacement::striped_root(d, FIG5_STRIPES).expect("valid"),
+        ),
+        synthesized(
+            "Diamond 3*",
+            || diamond(CHM, HM),
+            |d| LockPlacement::speculative(d, FIG5_STRIPES).expect("valid"),
+        ),
         Fig5Config {
             name: "Handcoded",
             build: Box::new(|| Arc::new(HandcodedGraph::new())),

@@ -72,8 +72,11 @@ impl ThroughputTable {
             }
             out.push('\n');
         }
-        let _ = writeln!(out, "(kops/sec; best at max threads: {})",
-            self.best_at_max_threads().unwrap_or("n/a"));
+        let _ = writeln!(
+            out,
+            "(kops/sec; best at max threads: {})",
+            self.best_at_max_threads().unwrap_or("n/a")
+        );
         out
     }
 

@@ -250,9 +250,15 @@ mod tests {
     fn props_match_paper_classification() {
         assert!(!ContainerKind::HashMap.props().is_concurrency_safe());
         assert!(!ContainerKind::TreeMap.props().is_concurrency_safe());
-        assert!(ContainerKind::ConcurrentHashMap.props().is_concurrency_safe());
-        assert!(ContainerKind::ConcurrentSkipListMap.props().is_concurrency_safe());
-        assert!(ContainerKind::CopyOnWriteArrayList.props().is_concurrency_safe());
+        assert!(ContainerKind::ConcurrentHashMap
+            .props()
+            .is_concurrency_safe());
+        assert!(ContainerKind::ConcurrentSkipListMap
+            .props()
+            .is_concurrency_safe());
+        assert!(ContainerKind::CopyOnWriteArrayList
+            .props()
+            .is_concurrency_safe());
         assert!(!ContainerKind::SplayTreeMap.props().is_concurrency_safe());
         assert!(ContainerKind::Singleton.props().is_concurrency_safe());
     }

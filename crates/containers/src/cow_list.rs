@@ -210,7 +210,7 @@ mod tests {
             })
         };
         for _ in 0..20_000 {
-            assert_eq!(m.lookup(&1).is_some(), true);
+            assert!(m.lookup(&1).is_some());
         }
         stop.store(true, Ordering::Relaxed);
         writer.join().unwrap();

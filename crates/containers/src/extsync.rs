@@ -251,7 +251,10 @@ mod tests {
         })
         .join()
         .unwrap();
-        assert!(second_writer_panicked, "overlapping writers must be detected");
+        assert!(
+            second_writer_panicked,
+            "overlapping writers must be detected"
+        );
         detector.end_write();
         // After release, writing is allowed again.
         detector.begin_write();

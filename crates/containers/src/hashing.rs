@@ -79,6 +79,10 @@ mod tests {
     #[test]
     fn differs_for_different_keys() {
         let hashes: std::collections::HashSet<u64> = (0..1000i64).map(|i| hash_key(&i)).collect();
-        assert_eq!(hashes.len(), 1000, "no collisions expected in this tiny set");
+        assert_eq!(
+            hashes.len(),
+            1000,
+            "no collisions expected in this tiny set"
+        );
     }
 }

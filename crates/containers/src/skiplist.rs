@@ -50,6 +50,15 @@ fn new_tower<K, V>(height: usize) -> Box<[Atomic<Node<K, V>>]> {
     (0..height).map(|_| Atomic::null()).collect()
 }
 
+/// Result of a tower search: `(preds, succs, lfound)` — the per-level
+/// predecessors and successors of a key, and the highest level where the
+/// key itself was found.
+type FindResult<'g, K, V> = (
+    Vec<&'g Node<K, V>>,
+    Vec<Shared<'g, Node<K, V>>>,
+    Option<usize>,
+);
+
 /// Geometric (p = 1/2) random height from a thread-local xorshift generator,
 /// seeded deterministically per thread.
 fn random_height() -> usize {
@@ -108,15 +117,7 @@ impl<K: Key, V: Val> ConcurrentSkipListMap<K, V> {
     /// Finds predecessors and successors of `key` at every level.
     /// Returns `(preds, succs, lfound)` where `lfound` is the highest level
     /// at which a node with exactly `key` was found.
-    fn find<'g>(
-        &'g self,
-        key: &K,
-        guard: &'g Guard,
-    ) -> (
-        Vec<&'g Node<K, V>>,
-        Vec<Shared<'g, Node<K, V>>>,
-        Option<usize>,
-    ) {
+    fn find<'g>(&'g self, key: &K, guard: &'g Guard) -> FindResult<'g, K, V> {
         let mut preds: Vec<&'g Node<K, V>> = vec![&*self.head; MAX_HEIGHT];
         let mut succs: Vec<Shared<'g, Node<K, V>>> = vec![Shared::null(); MAX_HEIGHT];
         let mut lfound = None;
@@ -209,8 +210,7 @@ impl<K: Key, V: Val> ConcurrentSkipListMap<K, V> {
                 return Some(old_val);
             }
 
-            let Some(lock_guards) =
-                Self::lock_and_validate(&preds, &succs, height, true, &guard)
+            let Some(lock_guards) = Self::lock_and_validate(&preds, &succs, height, true, &guard)
             else {
                 continue;
             };
@@ -226,11 +226,11 @@ impl<K: Key, V: Val> ConcurrentSkipListMap<K, V> {
             .into_shared(&guard);
             // SAFETY: just allocated, uniquely reachable through us.
             let node_ref = unsafe { node.deref() };
-            for level in 0..height {
-                node_ref.next[level].store(succs[level], SeqCst);
+            for (level, succ) in succs.iter().enumerate().take(height) {
+                node_ref.next[level].store(*succ, SeqCst);
             }
-            for level in 0..height {
-                preds[level].next[level].store(node, SeqCst);
+            for (level, pred) in preds.iter().enumerate().take(height) {
+                pred.next[level].store(node, SeqCst);
             }
             node_ref.fully_linked.store(true, SeqCst);
             drop(lock_guards);
@@ -247,7 +247,7 @@ impl<K: Key, V: Val> ConcurrentSkipListMap<K, V> {
         loop {
             let (preds, succs, lfound) = self.find(key, &guard);
             if victim_guard.is_none() {
-                let Some(l) = lfound else { return None };
+                let l = lfound?;
                 let cand = succs[l];
                 // SAFETY: found under `guard`.
                 let node = unsafe { cand.deref() };
@@ -270,16 +270,14 @@ impl<K: Key, V: Val> ConcurrentSkipListMap<K, V> {
             // destroyed until we unlink it ourselves.
             let victim_ref = unsafe { victim.deref() };
             let succs_now: Vec<Shared<'_, Node<K, V>>> = (0..top).map(|_| victim).collect();
-            let Some(pred_guards) =
-                Self::lock_and_validate(&preds, &succs_now, top, false, &guard)
+            let Some(pred_guards) = Self::lock_and_validate(&preds, &succs_now, top, false, &guard)
             else {
                 continue;
             };
             // Unlink top-down. Victim's tower is frozen: its lock is held
             // and it is marked, so no insert can link after it.
             for level in (0..top).rev() {
-                preds[level].next[level]
-                    .store(victim_ref.next[level].load(SeqCst, &guard), SeqCst);
+                preds[level].next[level].store(victim_ref.next[level].load(SeqCst, &guard), SeqCst);
             }
             let val = victim_ref.value.load(SeqCst, &guard);
             // SAFETY: value pointer is final (updates exclude via the node

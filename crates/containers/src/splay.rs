@@ -170,14 +170,19 @@ impl<K: Key, V: Val> RawSplay<K, V> {
         match &self.root {
             Some(n) if &n.key == key => {
                 let node = self.root.take().expect("checked above");
-                let SplayNode { value, left, right, .. } = *node;
+                let SplayNode {
+                    value, left, right, ..
+                } = *node;
                 self.root = match (left, right) {
                     (None, r) => r,
                     (l, None) => l,
                     (Some(l), Some(r)) => {
                         // Splay the max of the left subtree to its root,
                         // then attach the right subtree.
-                        let mut sub = RawSplay { root: Some(l), len: 0 };
+                        let mut sub = RawSplay {
+                            root: Some(l),
+                            len: 0,
+                        };
                         sub.splay(key); // key > all left keys: splays max up
                         let mut new_root = sub.root.expect("nonempty");
                         debug_assert!(new_root.right.is_none());
@@ -192,7 +197,10 @@ impl<K: Key, V: Val> RawSplay<K, V> {
         }
     }
 
-    fn scan_inorder(link: &Link<K, V>, f: &mut dyn FnMut(&K, &V) -> ControlFlow<()>) -> ControlFlow<()> {
+    fn scan_inorder(
+        link: &Link<K, V>,
+        f: &mut dyn FnMut(&K, &V) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
         if let Some(n) = link {
             Self::scan_inorder(&n.left, f)?;
             f(&n.key, &n.value)?;

@@ -228,18 +228,36 @@ mod tests {
             OpPair::new(OpKind::Write, OpKind::Lookup),
             OpPair::new(OpKind::Lookup, OpKind::Write)
         );
-        assert_eq!(OpPair::new(OpKind::Write, OpKind::Lookup).to_string(), "L/W");
+        assert_eq!(
+            OpPair::new(OpKind::Write, OpKind::Lookup).to_string(),
+            "L/W"
+        );
     }
 
     #[test]
     fn figure1_hash_map_row() {
         // Figure 1: HashMap — L/L yes, L/W no, S/W no, W/W no, L/S & S/S yes.
         let p = ContainerKind::HashMap.props();
-        assert_eq!(p.safety(OpPair::new(OpKind::Lookup, OpKind::Lookup)), PairSafety::Linearizable);
-        assert_eq!(p.safety(OpPair::new(OpKind::Lookup, OpKind::Write)), PairSafety::Unsafe);
-        assert_eq!(p.safety(OpPair::new(OpKind::Scan, OpKind::Write)), PairSafety::Unsafe);
-        assert_eq!(p.safety(OpPair::new(OpKind::Write, OpKind::Write)), PairSafety::Unsafe);
-        assert_eq!(p.safety(OpPair::new(OpKind::Lookup, OpKind::Scan)), PairSafety::Linearizable);
+        assert_eq!(
+            p.safety(OpPair::new(OpKind::Lookup, OpKind::Lookup)),
+            PairSafety::Linearizable
+        );
+        assert_eq!(
+            p.safety(OpPair::new(OpKind::Lookup, OpKind::Write)),
+            PairSafety::Unsafe
+        );
+        assert_eq!(
+            p.safety(OpPair::new(OpKind::Scan, OpKind::Write)),
+            PairSafety::Unsafe
+        );
+        assert_eq!(
+            p.safety(OpPair::new(OpKind::Write, OpKind::Write)),
+            PairSafety::Unsafe
+        );
+        assert_eq!(
+            p.safety(OpPair::new(OpKind::Lookup, OpKind::Scan)),
+            PairSafety::Linearizable
+        );
         assert!(!p.is_concurrency_safe());
         assert!(p.reads_are_safe());
         assert!(!p.lookup_is_linearizable());
@@ -249,9 +267,18 @@ mod tests {
     fn figure1_concurrent_hash_map_row() {
         // Figure 1: ConcurrentHashMap — L/L yes, L/W yes, S/W weak, W/W yes.
         let p = ContainerKind::ConcurrentHashMap.props();
-        assert_eq!(p.safety(OpPair::new(OpKind::Lookup, OpKind::Write)), PairSafety::Linearizable);
-        assert_eq!(p.safety(OpPair::new(OpKind::Scan, OpKind::Write)), PairSafety::Weak);
-        assert_eq!(p.safety(OpPair::new(OpKind::Write, OpKind::Write)), PairSafety::Linearizable);
+        assert_eq!(
+            p.safety(OpPair::new(OpKind::Lookup, OpKind::Write)),
+            PairSafety::Linearizable
+        );
+        assert_eq!(
+            p.safety(OpPair::new(OpKind::Scan, OpKind::Write)),
+            PairSafety::Weak
+        );
+        assert_eq!(
+            p.safety(OpPair::new(OpKind::Write, OpKind::Write)),
+            PairSafety::Linearizable
+        );
         assert!(p.is_concurrency_safe());
         assert!(p.lookup_is_linearizable());
         assert!(!p.snapshot_scan);
@@ -274,13 +301,15 @@ mod tests {
         // tree."
         let p = ContainerKind::SplayTreeMap.props();
         assert!(!p.reads_are_safe());
-        assert_eq!(p.safety(OpPair::new(OpKind::Lookup, OpKind::Lookup)), PairSafety::Unsafe);
+        assert_eq!(
+            p.safety(OpPair::new(OpKind::Lookup, OpKind::Lookup)),
+            PairSafety::Unsafe
+        );
     }
 
     #[test]
     fn render_figure1_contains_all_rows_and_verdicts() {
-        let rows: Vec<ContainerProps> =
-            ContainerKind::FIGURE1.iter().map(|k| k.props()).collect();
+        let rows: Vec<ContainerProps> = ContainerKind::FIGURE1.iter().map(|k| k.props()).collect();
         let table = render_figure1(&rows);
         for k in ContainerKind::FIGURE1 {
             assert!(table.contains(k.props().name), "{table}");

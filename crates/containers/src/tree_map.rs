@@ -164,7 +164,10 @@ impl<K: Key, V: Val> RawTree<K, V> {
         }
     }
 
-    fn scan_inorder(link: &Link<K, V>, f: &mut dyn FnMut(&K, &V) -> ControlFlow<()>) -> ControlFlow<()> {
+    fn scan_inorder(
+        link: &Link<K, V>,
+        f: &mut dyn FnMut(&K, &V) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
         if let Some(n) = link {
             Self::scan_inorder(&n.left, f)?;
             f(&n.key, &n.value)?;

@@ -39,7 +39,11 @@ fn check_model(kind: ContainerKind, ops: &[Op]) {
                 assert_eq!(got, expected, "{kind}: write({k}, {v:?})");
             }
             Op::Lookup(k) => {
-                assert_eq!(container.lookup(k), model.get(k).copied(), "{kind}: lookup({k})");
+                assert_eq!(
+                    container.lookup(k),
+                    model.get(k).copied(),
+                    "{kind}: lookup({k})"
+                );
             }
             Op::Scan => {
                 let mut got: Vec<(i64, i64)> = Vec::new();
@@ -48,13 +52,11 @@ fn check_model(kind: ContainerKind, ops: &[Op]) {
                     ControlFlow::Continue(())
                 });
                 if container.props().sorted_scan {
-                    let expected: Vec<(i64, i64)> =
-                        model.iter().map(|(k, v)| (*k, *v)).collect();
+                    let expected: Vec<(i64, i64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
                     assert_eq!(got, expected, "{kind}: sorted scan");
                 } else {
                     got.sort_unstable();
-                    let expected: Vec<(i64, i64)> =
-                        model.iter().map(|(k, v)| (*k, *v)).collect();
+                    let expected: Vec<(i64, i64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
                     assert_eq!(got, expected, "{kind}: unsorted scan (as set)");
                 }
             }
@@ -80,8 +82,14 @@ macro_rules! model_test {
 
 model_test!(hash_map_matches_model, ContainerKind::HashMap);
 model_test!(tree_map_matches_model, ContainerKind::TreeMap);
-model_test!(concurrent_hash_map_matches_model, ContainerKind::ConcurrentHashMap);
-model_test!(skip_list_matches_model, ContainerKind::ConcurrentSkipListMap);
+model_test!(
+    concurrent_hash_map_matches_model,
+    ContainerKind::ConcurrentHashMap
+);
+model_test!(
+    skip_list_matches_model,
+    ContainerKind::ConcurrentSkipListMap
+);
 model_test!(cow_list_matches_model, ContainerKind::CopyOnWriteArrayList);
 model_test!(splay_tree_matches_model, ContainerKind::SplayTreeMap);
 

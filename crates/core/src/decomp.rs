@@ -114,12 +114,18 @@ impl Decomposition {
 
     /// All nodes.
     pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &NodeMeta)> + '_ {
-        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i as u16), n))
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u16), n))
     }
 
     /// All edges.
     pub fn edges(&self) -> impl Iterator<Item = (EdgeId, &EdgeMeta)> + '_ {
-        self.edges.iter().enumerate().map(|(i, e)| (EdgeId(i as u16), e))
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EdgeId(i as u16), e))
     }
 
     /// Node metadata.
@@ -378,7 +384,8 @@ impl DecompositionBuilder {
                 if !a_u.is_disjoint(em.cols) {
                     return Err(CoreError::Inadequate(format!(
                         "edge {} -> {} rebinds columns already fixed at its source",
-                        nodes[em.src.index()].name, nodes[v.index()].name
+                        nodes[em.src.index()].name,
+                        nodes[v.index()].name
                     )));
                 }
                 let a_v = a_u.union(em.cols);
@@ -455,7 +462,8 @@ impl DecompositionBuilder {
                 return Err(CoreError::IncompatibleContainer(format!(
                     "edge {} -> {} uses a Singleton container but the FDs allow \
                      multiple entries",
-                    nodes[e.src.index()].name, nodes[e.dst.index()].name
+                    nodes[e.src.index()].name,
+                    nodes[e.dst.index()].name
                 )));
             }
         }
@@ -575,8 +583,13 @@ pub mod library {
             .expect("valid columns");
         b.edge(x, y, &["name"], ContainerKind::TreeMap)
             .expect("valid columns");
-        b.edge(root, y, &["parent", "name"], ContainerKind::ConcurrentHashMap)
-            .expect("valid columns");
+        b.edge(
+            root,
+            y,
+            &["parent", "name"],
+            ContainerKind::ConcurrentHashMap,
+        )
+        .expect("valid columns");
         b.edge(y, z, &["child"], ContainerKind::Singleton)
             .expect("valid columns");
         b.build().expect("dcache is adequate")
@@ -612,7 +625,10 @@ mod tests {
         let w = d.node_by_name("w").unwrap();
         let s = d.schema();
         assert_eq!(d.node(u).key_cols, s.column_set(&["src"]).unwrap());
-        assert_eq!(d.node(u).residual, s.column_set(&["dst", "weight"]).unwrap());
+        assert_eq!(
+            d.node(u).residual,
+            s.column_set(&["dst", "weight"]).unwrap()
+        );
         assert_eq!(d.node(v).key_cols, s.column_set(&["src", "dst"]).unwrap());
         assert_eq!(d.node(w).key_cols, s.columns());
         assert!(d.node(w).residual.is_empty());
@@ -655,11 +671,21 @@ mod tests {
         assert_eq!(d.node_count(), 4);
         assert_eq!(d.edge_count(), 4);
         let y = d.node_by_name("y").unwrap();
-        assert_eq!(d.node(y).incoming.len(), 2, "y is shared (tree + hash index)");
+        assert_eq!(
+            d.node(y).incoming.len(),
+            2,
+            "y is shared (tree + hash index)"
+        );
         let s = d.schema();
-        assert_eq!(d.node(y).key_cols, s.column_set(&["parent", "name"]).unwrap());
+        assert_eq!(
+            d.node(y).key_cols,
+            s.column_set(&["parent", "name"]).unwrap()
+        );
         let yz = d.edge_between("y", "z").unwrap();
-        assert!(d.edge(yz).singleton, "parent,name → child makes yz a singleton");
+        assert!(
+            d.edge(yz).singleton,
+            "parent,name → child makes yz a singleton"
+        );
         assert!(d.describe().contains("TreeMap"));
     }
 
@@ -745,7 +771,8 @@ mod tests {
         b.edge(root, u, &["src"], ContainerKind::HashMap).unwrap();
         b.edge(u, v, &["dst"], ContainerKind::HashMap).unwrap();
         b.edge(v, w, &["weight"], ContainerKind::Singleton).unwrap();
-        b.edge(root, q, &["src", "dst"], ContainerKind::HashMap).unwrap();
+        b.edge(root, q, &["src", "dst"], ContainerKind::HashMap)
+            .unwrap();
         // q is a sink binding only src,dst → inadequate.
         assert!(matches!(b.build(), Err(CoreError::Inadequate(_))));
     }

@@ -28,6 +28,11 @@ pub enum CoreError {
     /// An operation's arguments violate its contract (§2), e.g. `remove`
     /// with a non-key pattern.
     Spec(SpecError),
+    /// A transaction closure aborted via [`Transaction::abort`]; all of
+    /// its effects were rolled back.
+    ///
+    /// [`Transaction::abort`]: crate::txn::Transaction::abort
+    TransactionAborted(String),
 }
 
 impl fmt::Display for CoreError {
@@ -39,6 +44,7 @@ impl fmt::Display for CoreError {
             CoreError::IncompatibleContainer(m) => write!(f, "incompatible container: {m}"),
             CoreError::NoValidPlan(m) => write!(f, "no valid query plan: {m}"),
             CoreError::Spec(e) => write!(f, "{e}"),
+            CoreError::TransactionAborted(m) => write!(f, "transaction aborted: {m}"),
         }
     }
 }

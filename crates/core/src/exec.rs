@@ -46,6 +46,14 @@ impl<'a> Executor<'a> {
         }
     }
 
+    /// Whether the engine has entered the shrinking phase. The
+    /// transaction layer asserts this stays `false` between operations:
+    /// plans never release early, so a shrinking engine mid-transaction
+    /// means two-phase discipline was broken.
+    pub(crate) fn engine_in_shrinking_phase(&self) -> bool {
+        self.engine.in_shrinking_phase()
+    }
+
     /// Acquires the physical locks implementing `edge`'s logical locks for
     /// every state, in `mode`.
     fn lock_step(
@@ -193,7 +201,12 @@ impl<'a> Executor<'a> {
         )];
         for step in &plan.steps {
             match step {
-                PlanStep::Lock { edge, mode, presorted, all_stripes } => {
+                PlanStep::Lock {
+                    edge,
+                    mode,
+                    presorted,
+                    all_stripes,
+                } => {
                     self.lock_step(&states, *edge, *mode, *presorted, *all_stripes)?;
                 }
                 PlanStep::Lookup { edge } => {
@@ -252,6 +265,18 @@ impl<'a> Executor<'a> {
     /// pattern `s`. Returns whether the tuple was inserted (put-if-absent,
     /// §2).
     ///
+    /// `undo_locks` is the multi-operation transaction layer's inverse
+    /// plan: when a *later* operation of the same transaction restarts,
+    /// this insert is compensated by structurally removing `x`, and that
+    /// removal must never itself restart (the transaction would be left
+    /// half-applied). Passing the inverse [`RemovePlan`] here makes the
+    /// insert pre-acquire, *before its first write*, the only tokens the
+    /// compensation could need beyond the insert's own set: the
+    /// all-stripes tokens of edges whose removal covers a whole striped
+    /// container instance. Single-shot operations pass `None` — their
+    /// writes are the final phase of the transaction, so no compensation
+    /// can run.
+    ///
     /// # Errors
     ///
     /// [`MustRestart`] on lock contention; the caller rolls back and
@@ -262,6 +287,7 @@ impl<'a> Executor<'a> {
         x: &Tuple,
         s: &Tuple,
         root: &NodeRef,
+        undo_locks: Option<&RemovePlan>,
     ) -> Result<bool, MustRestart> {
         self.lock_root_batch(x, root, &|_| false)?;
 
@@ -308,18 +334,75 @@ impl<'a> Executor<'a> {
             return Ok(false);
         }
 
-        // Materialize: create missing instances in topological order, then
-        // write the missing edges.
+        // Pre-acquire the compensation tokens (see the doc comment): the
+        // inverse removal's all-stripes edges on hosts that already exist,
+        // plus the target-side locks of present speculative children —
+        // the inverse removal acquires those, and it must find them
+        // uncontended. Hosts we are about to create fresh are unreachable
+        // to other transactions until published, so their locks cannot be
+        // contended (they are taken below, after creation).
+        if let Some(inverse) = undo_locks {
+            let mut batch: Vec<(LockToken, Arc<relc_locks::PhysicalLock>)> = Vec::new();
+            for (i, &(e, _)) in inverse.edges.iter().enumerate() {
+                let ep = self.placement.edge(e);
+                if ep.speculative && present[e.index()] {
+                    let child = bindings[self.decomp.edge(e).dst.index()]
+                        .as_ref()
+                        .expect("present edge binds its target");
+                    batch.push((
+                        self.placement.target_token(e, child.key()),
+                        Arc::clone(child.lock(0)),
+                    ));
+                }
+                if !inverse.all_stripes[i] {
+                    continue;
+                }
+                let Some(host_inst) = bindings[ep.host.index()].as_ref() else {
+                    continue;
+                };
+                for tok in self.placement.all_stripe_tokens(e, x) {
+                    let lock = Arc::clone(host_inst.lock(tok.stripe));
+                    batch.push((tok, lock));
+                }
+            }
+            batch.sort_by(|a, b| a.0.cmp(&b.0));
+            for (tok, lock) in batch {
+                self.engine.acquire(tok, &lock, LockMode::Exclusive)?;
+            }
+        }
+
+        // Materialize: create missing instances in topological order.
         let mut order: Vec<NodeId> = self.decomp.nodes().map(|(id, _)| id).collect();
         order.sort_by_key(|&v| self.decomp.topo_position(v));
         for v in order {
             if bindings[v.index()].is_none() {
                 let key = x.project(self.decomp.node(v).key_cols);
-                bindings[v.index()] =
-                    Some(NodeInstance::new(self.decomp, self.placement, v, key));
+                bindings[v.index()] = Some(NodeInstance::new(self.decomp, self.placement, v, key));
             }
         }
-        for &e in &plan.edges {
+        // Compensation tokens, part two: targets of speculative edges we
+        // are about to write. Fresh instances are unpublished (always
+        // uncontended); a shared pre-existing target can contend with a
+        // speculative reader, which restarts us — still before any write.
+        if undo_locks.is_some() {
+            for &e in &plan.edges {
+                if present[e.index()] || !self.placement.edge(e).speculative {
+                    continue;
+                }
+                let dst = bindings[self.decomp.edge(e).dst.index()]
+                    .as_ref()
+                    .expect("all bound");
+                let tok = self.placement.target_token(e, dst.key());
+                let lock = Arc::clone(dst.lock(0));
+                self.engine.acquire(tok, &lock, LockMode::Exclusive)?;
+            }
+        }
+        // Write the missing edges in *reverse* mutation order: subtrees
+        // complete before the root-hosted edge publishes them. Locked
+        // observers cannot look mid-flight, but §4.5 speculative readers
+        // guess through unlocked lookups — they must never find a link to
+        // a half-built instance.
+        for &e in plan.edges.iter().rev() {
             if present[e.index()] {
                 continue;
             }
@@ -367,8 +450,7 @@ impl<'a> Executor<'a> {
                         inst.container(self.decomp, *e)
                             .scan(&mut |k: &Tuple, child: &NodeRef| {
                                 if t.matches(k) {
-                                    let merged =
-                                        t.union(k).expect("matches implies mergeable");
+                                    let merged = t.union(k).expect("matches implies mergeable");
                                     next.push((merged, Arc::clone(child)));
                                 }
                                 ControlFlow::Continue(())
@@ -408,7 +490,11 @@ impl<'a> Executor<'a> {
         // bound by `s` (e.g. a by-cpu index when removing by pid) yields
         // several *candidate* states; deeper edges filter them. Since `s`
         // is a key, at most one candidate survives the full traversal.
-        let mut states = vec![QueryState::initial(self.decomp, s.clone(), Arc::clone(root))];
+        let mut states = vec![QueryState::initial(
+            self.decomp,
+            s.clone(),
+            Arc::clone(root),
+        )];
         for (i, &(e, kind)) in plan.edges.iter().enumerate() {
             let em = self.decomp.edge(e);
             let ep = self.placement.edge(e);
@@ -462,8 +548,7 @@ impl<'a> Executor<'a> {
                         container.scan(&mut |k: &Tuple, child: &NodeRef| {
                             if st.tuple.matches(k) {
                                 let mut cand = st.clone();
-                                cand.tuple =
-                                    st.tuple.union(k).expect("matches implies mergeable");
+                                cand.tuple = st.tuple.union(k).expect("matches implies mergeable");
                                 merge_binding(&mut cand.nodes, em.dst, Arc::clone(child));
                                 next.push(cand);
                             }

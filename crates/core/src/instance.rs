@@ -126,11 +126,7 @@ impl fmt::Debug for NodeInstance {
 /// at a sink.
 ///
 /// Not synchronized: callers must be quiescent (tests, assertions).
-fn tuples_along_chain(
-    decomp: &Decomposition,
-    root: &NodeRef,
-    chain: &[EdgeId],
-) -> BTreeSet<Tuple> {
+fn tuples_along_chain(decomp: &Decomposition, root: &NodeRef, chain: &[EdgeId]) -> BTreeSet<Tuple> {
     let mut states: Vec<(Tuple, NodeRef)> = vec![(Tuple::empty(), Arc::clone(root))];
     for &e in chain {
         let mut next = Vec::new();
@@ -193,10 +189,7 @@ pub fn abstract_relation(decomp: &Decomposition, root: &NodeRef) -> BTreeSet<Tup
 /// # Errors
 ///
 /// A human-readable description of the first violated invariant.
-pub fn verify_instance(
-    decomp: &Decomposition,
-    root: &NodeRef,
-) -> Result<BTreeSet<Tuple>, String> {
+pub fn verify_instance(decomp: &Decomposition, root: &NodeRef) -> Result<BTreeSet<Tuple>, String> {
     let chains = maximal_chains(decomp);
     let reference = tuples_along_chain(decomp, root, &chains[0]);
     for chain in &chains[1..] {
@@ -228,7 +221,10 @@ pub fn verify_instance(
             ));
         }
         let ptr = Arc::as_ptr(&inst);
-        match seen.iter().find(|(n, k, _)| *n == inst.node() && k == inst.key()) {
+        match seen
+            .iter()
+            .find(|(n, k, _)| *n == inst.node() && k == inst.key())
+        {
             Some((_, _, prev)) if *prev != ptr => {
                 return Err(format!(
                     "instance {:?} of {} is duplicated instead of shared",

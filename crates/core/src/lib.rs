@@ -41,6 +41,7 @@ pub mod placement;
 pub mod planner;
 pub mod query;
 pub mod relation;
+pub mod txn;
 pub mod viz;
 
 pub use decomp::{Decomposition, DecompositionBuilder, EdgeId, NodeId};
@@ -48,3 +49,4 @@ pub use error::CoreError;
 pub use placement::{LockPlacement, LockToken, PlacementBuilder};
 pub use planner::{Plan, Planner};
 pub use relation::ConcurrentRelation;
+pub use txn::{Transaction, TxnError};

@@ -45,6 +45,22 @@ pub enum OpRecord {
         /// Observed result (sorted, deduplicated).
         result: Vec<Tuple>,
     },
+    /// `update r s t` returning the replaced tuple.
+    Update {
+        /// Key pattern `s`.
+        s: Tuple,
+        /// Assignment `t` (right-biased override).
+        t: Tuple,
+        /// Observed result: the replaced tuple, if one matched.
+        result: Option<Tuple>,
+    },
+    /// A multi-operation transaction: the inner operations (with their
+    /// observed results) take effect atomically, as one linearization
+    /// point.
+    Txn {
+        /// The transaction's operations, in program order.
+        ops: Vec<OpRecord>,
+    },
 }
 
 /// A completed operation with real-time interval.
@@ -128,6 +144,28 @@ fn apply(state: &mut BTreeSet<Tuple>, op: &OpRecord) -> bool {
                 .collect();
             got.iter().cloned().collect::<Vec<_>>() == *result
         }
+        OpRecord::Update { s, t, result } => match result {
+            Some(old) => {
+                if old.extends(s) && state.remove(old) {
+                    state.insert(old.override_with(t));
+                    true
+                } else {
+                    false
+                }
+            }
+            None => !state.iter().any(|u| u.extends(s)),
+        },
+        OpRecord::Txn { ops } => {
+            // All-or-nothing: the sub-operations must be explainable in
+            // program order from this linearization point.
+            let mut scratch = state.clone();
+            if ops.iter().all(|op| apply(&mut scratch, op)) {
+                *state = scratch;
+                true
+            } else {
+                false
+            }
+        }
     }
 }
 
@@ -190,9 +228,7 @@ pub fn check_linearizable(_schema: &Arc<RelationSchema>, history: &[HistoryEvent
                 continue;
             }
             let saved = state.clone();
-            if apply(state, &e.op)
-                && search(history, done | (1 << i), full, state, failed)
-            {
+            if apply(state, &e.op) && search(history, done | (1 << i), full, state, failed) {
                 return true;
             }
             *state = saved;
@@ -236,10 +272,40 @@ mod tests {
     fn empty_and_sequential_histories() {
         assert!(check_linearizable(&schema(), &[]));
         let h = vec![
-            ev(0, 1, OpRecord::Insert { s: edge(1, 2), t: weight(9), result: true }),
-            ev(2, 3, OpRecord::Insert { s: edge(1, 2), t: weight(7), result: false }),
-            ev(4, 5, OpRecord::Remove { s: edge(1, 2), result: 1 }),
-            ev(6, 7, OpRecord::Remove { s: edge(1, 2), result: 0 }),
+            ev(
+                0,
+                1,
+                OpRecord::Insert {
+                    s: edge(1, 2),
+                    t: weight(9),
+                    result: true,
+                },
+            ),
+            ev(
+                2,
+                3,
+                OpRecord::Insert {
+                    s: edge(1, 2),
+                    t: weight(7),
+                    result: false,
+                },
+            ),
+            ev(
+                4,
+                5,
+                OpRecord::Remove {
+                    s: edge(1, 2),
+                    result: 1,
+                },
+            ),
+            ev(
+                6,
+                7,
+                OpRecord::Remove {
+                    s: edge(1, 2),
+                    result: 0,
+                },
+            ),
         ];
         assert!(check_linearizable(&schema(), &h));
     }
@@ -247,7 +313,14 @@ mod tests {
     #[test]
     fn detects_non_linearizable_sequential_result() {
         // Remove reports success on an empty relation: impossible.
-        let h = vec![ev(0, 1, OpRecord::Remove { s: edge(1, 2), result: 1 })];
+        let h = vec![ev(
+            0,
+            1,
+            OpRecord::Remove {
+                s: edge(1, 2),
+                result: 1,
+            },
+        )];
         assert!(!check_linearizable(&schema(), &h));
     }
 
@@ -256,15 +329,50 @@ mod tests {
         // Two overlapping put-if-absent inserts on the same key: exactly one
         // may win, regardless of real-time order.
         let h = vec![
-            ev(0, 10, OpRecord::Insert { s: edge(1, 2), t: weight(1), result: true }),
-            ev(1, 9, OpRecord::Insert { s: edge(1, 2), t: weight(2), result: false }),
+            ev(
+                0,
+                10,
+                OpRecord::Insert {
+                    s: edge(1, 2),
+                    t: weight(1),
+                    result: true,
+                },
+            ),
+            ev(
+                1,
+                9,
+                OpRecord::Insert {
+                    s: edge(1, 2),
+                    t: weight(2),
+                    result: false,
+                },
+            ),
         ];
         assert!(check_linearizable(&schema(), &h));
         let h2 = vec![
-            ev(0, 10, OpRecord::Insert { s: edge(1, 2), t: weight(1), result: true }),
-            ev(1, 9, OpRecord::Insert { s: edge(1, 2), t: weight(2), result: true }),
+            ev(
+                0,
+                10,
+                OpRecord::Insert {
+                    s: edge(1, 2),
+                    t: weight(1),
+                    result: true,
+                },
+            ),
+            ev(
+                1,
+                9,
+                OpRecord::Insert {
+                    s: edge(1, 2),
+                    t: weight(2),
+                    result: true,
+                },
+            ),
         ];
-        assert!(!check_linearizable(&schema(), &h2), "two winners is a violation");
+        assert!(
+            !check_linearizable(&schema(), &h2),
+            "two winners is a violation"
+        );
     }
 
     #[test]
@@ -275,9 +383,21 @@ mod tests {
             ev(
                 0,
                 1,
-                OpRecord::Query { s: edge(1, 2), cols, result: vec![weight(5)] },
+                OpRecord::Query {
+                    s: edge(1, 2),
+                    cols,
+                    result: vec![weight(5)],
+                },
             ),
-            ev(2, 3, OpRecord::Insert { s: edge(1, 2), t: weight(5), result: true }),
+            ev(
+                2,
+                3,
+                OpRecord::Insert {
+                    s: edge(1, 2),
+                    t: weight(5),
+                    result: true,
+                },
+            ),
         ];
         assert!(
             !check_linearizable(&schema(), &h),
@@ -288,18 +408,240 @@ mod tests {
             ev(
                 0,
                 10,
-                OpRecord::Query { s: edge(1, 2), cols, result: vec![weight(5)] },
+                OpRecord::Query {
+                    s: edge(1, 2),
+                    cols,
+                    result: vec![weight(5)],
+                },
             ),
-            ev(1, 9, OpRecord::Insert { s: edge(1, 2), t: weight(5), result: true }),
+            ev(
+                1,
+                9,
+                OpRecord::Insert {
+                    s: edge(1, 2),
+                    t: weight(5),
+                    result: true,
+                },
+            ),
         ];
         assert!(check_linearizable(&schema(), &h2));
     }
 
     #[test]
+    fn update_semantics_are_checked() {
+        // Sequential: insert then update; the update must report the old
+        // tuple exactly.
+        let full = edge(1, 2).union(&weight(9)).unwrap();
+        let h = vec![
+            ev(
+                0,
+                1,
+                OpRecord::Insert {
+                    s: edge(1, 2),
+                    t: weight(9),
+                    result: true,
+                },
+            ),
+            ev(
+                2,
+                3,
+                OpRecord::Update {
+                    s: edge(1, 2),
+                    t: weight(5),
+                    result: Some(full.clone()),
+                },
+            ),
+            ev(
+                4,
+                5,
+                OpRecord::Remove {
+                    s: edge(1, 2),
+                    result: 1,
+                },
+            ),
+        ];
+        assert!(check_linearizable(&schema(), &h));
+        // Claiming the wrong old value is a violation.
+        let wrong = edge(1, 2).union(&weight(7)).unwrap();
+        let h2 = vec![
+            ev(
+                0,
+                1,
+                OpRecord::Insert {
+                    s: edge(1, 2),
+                    t: weight(9),
+                    result: true,
+                },
+            ),
+            ev(
+                2,
+                3,
+                OpRecord::Update {
+                    s: edge(1, 2),
+                    t: weight(5),
+                    result: Some(wrong),
+                },
+            ),
+        ];
+        assert!(!check_linearizable(&schema(), &h2));
+        // Updating a missing tuple must observe None.
+        let h3 = vec![ev(
+            0,
+            1,
+            OpRecord::Update {
+                s: edge(1, 2),
+                t: weight(5),
+                result: Some(full),
+            },
+        )];
+        assert!(!check_linearizable(&schema(), &h3));
+        let h4 = vec![ev(
+            0,
+            1,
+            OpRecord::Update {
+                s: edge(1, 2),
+                t: weight(5),
+                result: None,
+            },
+        )];
+        assert!(check_linearizable(&schema(), &h4));
+    }
+
+    #[test]
+    fn transactions_are_single_linearization_points() {
+        let full = edge(1, 2).union(&weight(9)).unwrap();
+        // A transfer transaction overlapping a query: the query may see
+        // the state before or after the whole transaction, never between
+        // its operations.
+        let txn = OpRecord::Txn {
+            ops: vec![
+                OpRecord::Remove {
+                    s: edge(1, 2),
+                    result: 1,
+                },
+                OpRecord::Insert {
+                    s: edge(3, 4),
+                    t: weight(9),
+                    result: true,
+                },
+            ],
+        };
+        let cols = schema().column_set(&["weight"]).unwrap();
+        let h = vec![
+            ev(
+                0,
+                1,
+                OpRecord::Insert {
+                    s: edge(1, 2),
+                    t: weight(9),
+                    result: true,
+                },
+            ),
+            ev(2, 10, txn.clone()),
+            // Overlapping query sees the pre-state on (1,2)...
+            ev(
+                3,
+                9,
+                OpRecord::Query {
+                    s: edge(1, 2),
+                    cols,
+                    result: vec![weight(9)],
+                },
+            ),
+        ];
+        assert!(check_linearizable(&schema(), &h));
+        // ...but the *intermediate* state — the relation empty between the
+        // remove and the insert — must never be observable: a full query
+        // always sees exactly one tuple.
+        let all = schema().columns();
+        let h2 = vec![
+            ev(
+                0,
+                1,
+                OpRecord::Insert {
+                    s: edge(1, 2),
+                    t: weight(9),
+                    result: true,
+                },
+            ),
+            ev(2, 10, txn),
+            ev(
+                3,
+                9,
+                OpRecord::Query {
+                    s: Tuple::empty(),
+                    cols: all,
+                    result: vec![],
+                },
+            ),
+        ];
+        assert!(!check_linearizable(&schema(), &h2));
+        // Seeing the pre- or post-state of the transaction is fine.
+        let post = edge(3, 4).union(&weight(9)).unwrap();
+        for observed in [full, post] {
+            let h3 = vec![
+                ev(
+                    0,
+                    1,
+                    OpRecord::Insert {
+                        s: edge(1, 2),
+                        t: weight(9),
+                        result: true,
+                    },
+                ),
+                ev(
+                    2,
+                    10,
+                    OpRecord::Txn {
+                        ops: vec![
+                            OpRecord::Remove {
+                                s: edge(1, 2),
+                                result: 1,
+                            },
+                            OpRecord::Insert {
+                                s: edge(3, 4),
+                                t: weight(9),
+                                result: true,
+                            },
+                        ],
+                    },
+                ),
+                ev(
+                    3,
+                    9,
+                    OpRecord::Query {
+                        s: Tuple::empty(),
+                        cols: all,
+                        result: vec![observed],
+                    },
+                ),
+            ];
+            assert!(check_linearizable(&schema(), &h3));
+        }
+    }
+
+    #[test]
     fn recorder_round_trip() {
         let rec = HistoryRecorder::new();
-        rec.record(|| ((), OpRecord::Insert { s: edge(1, 2), t: weight(1), result: true }));
-        rec.record(|| ((), OpRecord::Remove { s: edge(1, 2), result: 1 }));
+        rec.record(|| {
+            (
+                (),
+                OpRecord::Insert {
+                    s: edge(1, 2),
+                    t: weight(1),
+                    result: true,
+                },
+            )
+        });
+        rec.record(|| {
+            (
+                (),
+                OpRecord::Remove {
+                    s: edge(1, 2),
+                    result: 1,
+                },
+            )
+        });
         let hist = rec.into_history();
         assert_eq!(hist.len(), 2);
         assert!(hist[0].respond_ns <= hist[1].invoke_ns);

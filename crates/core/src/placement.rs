@@ -64,7 +64,11 @@ pub struct LockToken {
 
 impl fmt::Display for LockToken {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "lock@{}:{:?}#{}", self.node_pos, self.instance, self.stripe)
+        write!(
+            f,
+            "lock@{}:{:?}#{}",
+            self.node_pos, self.instance, self.stripe
+        )
     }
 }
 
@@ -221,11 +225,19 @@ impl LockPlacement {
         // An empty stripe_by pins the edge to stripe 0 — one fixed lock at
         // a (possibly otherwise striped) node.
         if k == 1 || ep.stripe_by.is_empty() {
-            return vec![LockToken { node_pos, instance, stripe: 0 }];
+            return vec![LockToken {
+                node_pos,
+                instance,
+                stripe: 0,
+            }];
         }
         if ep.stripe_by.is_subset(bound.dom()) {
             let stripe = (bound.stable_hash_of(ep.stripe_by) % u64::from(k)) as u32;
-            vec![LockToken { node_pos, instance, stripe }]
+            vec![LockToken {
+                node_pos,
+                instance,
+                stripe,
+            }]
         } else {
             // Conservative: all stripes.
             (0..k)
@@ -586,7 +598,10 @@ mod tests {
 
     #[test]
     fn speculative_only_from_root() {
-        let d = stick(ContainerKind::ConcurrentHashMap, ContainerKind::ConcurrentHashMap);
+        let d = stick(
+            ContainerKind::ConcurrentHashMap,
+            ContainerKind::ConcurrentHashMap,
+        );
         let uv = d.edge_between("u", "v").unwrap();
         let mut b = LockPlacement::builder(Arc::clone(&d));
         for (e, em) in d.edges() {
@@ -626,8 +641,16 @@ mod tests {
 
     #[test]
     fn token_order_node_then_instance_then_stripe() {
-        let a = LockToken { node_pos: 0, instance: Tuple::empty(), stripe: 5 };
-        let b = LockToken { node_pos: 1, instance: Tuple::empty(), stripe: 0 };
+        let a = LockToken {
+            node_pos: 0,
+            instance: Tuple::empty(),
+            stripe: 5,
+        };
+        let b = LockToken {
+            node_pos: 1,
+            instance: Tuple::empty(),
+            stripe: 0,
+        };
         assert!(a < b);
         let d = stick(ContainerKind::TreeMap, ContainerKind::TreeMap);
         let p = LockPlacement::fine(&d).unwrap();

@@ -71,6 +71,30 @@ pub struct RemovePlan {
     pub all_stripes: Vec<bool>,
 }
 
+/// A compiled update plan (§2's `update r s t`: replace the unique tuple
+/// `u ⊇ s` with `u ⊕ t`).
+///
+/// The executor runs it as a locked unlink of `u` followed by a re-insert
+/// of `u ⊕ t` under the *same* two-phase scope, so the whole update is one
+/// serializable transaction step. The `remove` sub-plan's traversal takes
+/// every edge exclusively, which subsumes the required write locks on the
+/// edges whose columns intersect the updated set (`touched` records those
+/// for introspection, tests, and the planned in-place fast path).
+#[derive(Debug, Clone)]
+pub struct UpdatePlan {
+    /// Locates and unlinks the old tuple (all edges, mutation order).
+    pub remove: RemovePlan,
+    /// Re-inserts the rewritten tuple (existence check is over the full
+    /// column set: after the unlink it is vacuous, but it keeps the insert
+    /// machinery uniform).
+    pub insert: InsertPlan,
+    /// Columns assigned by the update (`dom t`).
+    pub updated: ColumnSet,
+    /// Edges whose key columns intersect `updated` — the edges whose
+    /// container entries are actually rewritten.
+    pub touched: Vec<EdgeId>,
+}
+
 /// The query planner for one (decomposition, placement) pair.
 #[derive(Debug, Clone)]
 pub struct Planner {
@@ -132,7 +156,14 @@ impl Planner {
         let needed = bound.union(output);
         let mut best: Option<Plan> = None;
         let mut chain: Vec<EdgeId> = Vec::new();
-        self.enumerate_chains(self.decomp.root(), bound, needed, output, &mut chain, &mut best);
+        self.enumerate_chains(
+            self.decomp.root(),
+            bound,
+            needed,
+            output,
+            &mut chain,
+            &mut best,
+        );
         best.ok_or_else(|| {
             CoreError::NoValidPlan(format!(
                 "no chain can bind {} under placement `{}` (speculative edges \
@@ -158,7 +189,7 @@ impl Planner {
         // no tuples, so at least one edge must be traversed.
         if needed.is_subset(self.decomp.node(node).key_cols) && node != self.decomp.root() {
             if let Some(plan) = self.chain_to_plan(chain, bound, output) {
-                if best.as_ref().map_or(true, |b| plan.cost < b.cost) {
+                if best.as_ref().is_none_or(|b| plan.cost < b.cost) {
                     *best = Some(plan);
                 }
             }
@@ -299,10 +330,7 @@ impl Planner {
     /// Finds the cheapest chain that decides whether any tuple extends a
     /// pattern over `bound`: lookups where the edge's columns are bound,
     /// scans otherwise (scans are invalid on speculative edges).
-    fn plan_check_chain(
-        &self,
-        bound: ColumnSet,
-    ) -> Result<Vec<(EdgeId, MutTraverse)>, CoreError> {
+    fn plan_check_chain(&self, bound: ColumnSet) -> Result<Vec<(EdgeId, MutTraverse)>, CoreError> {
         let mut best: Option<(f64, Vec<(EdgeId, MutTraverse)>)> = None;
         let mut chain = Vec::new();
         self.enumerate_check(self.decomp.root(), bound, 0.0, 1.0, &mut chain, &mut best);
@@ -328,7 +356,7 @@ impl Planner {
         // A_node ⊇ bound means a surviving state witnesses ∃u ⊇ s. The root
         // instance always exists, so at least one edge must be traversed.
         if bound.is_subset(self.decomp.node(node).key_cols) && node != self.decomp.root() {
-            if best.as_ref().map_or(true, |(c, _)| cost < *c) {
+            if best.as_ref().is_none_or(|(c, _)| cost < *c) {
                 *best = Some((cost, chain.clone()));
             }
             return;
@@ -411,6 +439,55 @@ impl Planner {
         Ok(RemovePlan { edges, all_stripes })
     }
 
+    /// Plans `update r s t` where `dom s = bound` and `dom t = updated`
+    /// (§2). The schema's FDs must make `bound` a key (as for `remove`, so
+    /// "the tuple matching `s`" is well defined), and the updated columns
+    /// must be disjoint from `bound` — updating a tuple never changes which
+    /// key it answers to.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::Spec`] with [`relc_spec::SpecError::EmptyUpdate`] if
+    ///   `updated` is empty, [`relc_spec::SpecError::UpdateOverlapsPattern`]
+    ///   if it intersects `bound`, or
+    ///   [`relc_spec::SpecError::RemoveNotByKey`] if `bound` is not a key;
+    /// * [`CoreError::NoValidPlan`] if the located tuple cannot be reached
+    ///   under the placement (as for `remove`).
+    pub fn plan_update(
+        &self,
+        bound: ColumnSet,
+        updated: ColumnSet,
+    ) -> Result<UpdatePlan, CoreError> {
+        if updated.is_empty() {
+            return Err(CoreError::Spec(relc_spec::SpecError::EmptyUpdate));
+        }
+        if !updated.is_disjoint(bound) {
+            return Err(CoreError::Spec(
+                relc_spec::SpecError::UpdateOverlapsPattern {
+                    shared: self
+                        .decomp
+                        .schema()
+                        .catalog()
+                        .render_set(updated.intersection(bound)),
+                },
+            ));
+        }
+        let remove = self.plan_remove(bound)?;
+        let insert = self.plan_insert(self.decomp.schema().columns())?;
+        let touched = self
+            .decomp
+            .edges()
+            .filter(|(_, em)| !em.cols.is_disjoint(updated))
+            .map(|(e, _)| e)
+            .collect();
+        Ok(UpdatePlan {
+            remove,
+            insert,
+            updated,
+            touched,
+        })
+    }
+
     /// Renders a query plan in the paper's `let` notation (§5.2).
     pub fn render(&self, plan: &Plan) -> String {
         render_plan(&self.decomp, &plan.steps)
@@ -466,7 +543,12 @@ mod tests {
         let succ = planner
             .plan_query(cols(&d, &["src"]), cols(&d, &["dst", "weight"]))
             .unwrap();
-        assert!(succ.cost < plan.cost, "successors {} < predecessors {}", succ.cost, plan.cost);
+        assert!(
+            succ.cost < plan.cost,
+            "successors {} < predecessors {}",
+            succ.cost,
+            plan.cost
+        );
     }
 
     #[test]
@@ -481,7 +563,9 @@ mod tests {
             .unwrap();
         let ry = d.edge_between("ρ", "y").unwrap();
         assert!(
-            plan.steps.iter().any(|s| matches!(s, PlanStep::Lookup { edge } if *edge == ry)),
+            plan.steps
+                .iter()
+                .any(|s| matches!(s, PlanStep::Lookup { edge } if *edge == ry)),
             "should shortcut through the hash index: {}",
             planner.render(&plan)
         );
@@ -551,7 +635,10 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert!(flags.iter().all(|&f| f), "TreeMap chain stays sorted: {flags:?}");
+        assert!(
+            flags.iter().all(|&f| f),
+            "TreeMap chain stays sorted: {flags:?}"
+        );
 
         let d = stick(ContainerKind::HashMap, ContainerKind::HashMap);
         let p = LockPlacement::fine(&d).unwrap();
@@ -568,7 +655,10 @@ mod tests {
             })
             .collect();
         assert!(flags[0], "first lock over one state is trivially sorted");
-        assert!(!flags[2], "after an unsorted scan the lock set needs sorting");
+        assert!(
+            !flags[2],
+            "after an unsorted scan the lock set needs sorting"
+        );
     }
 
     #[test]
@@ -607,10 +697,7 @@ mod tests {
         let plan = planner.plan_insert(cols(&d, &["src", "dst"])).unwrap();
         assert_eq!(plan.edges.len(), d.edge_count());
         // The check chain should be pure lookups (src, dst both bound).
-        assert!(plan
-            .check
-            .iter()
-            .all(|(_, k)| *k == MutTraverse::Lookup));
+        assert!(plan.check.iter().all(|(_, k)| *k == MutTraverse::Lookup));
         let covered: ColumnSet = plan
             .check
             .iter()
@@ -657,6 +744,40 @@ mod tests {
         let planner = Planner::new(d.clone(), p);
         // (src, dst) binds both speculative edges via lookups: fine.
         assert!(planner.plan_remove(cols(&d, &["src", "dst"])).is_ok());
+    }
+
+    #[test]
+    fn update_plan_validates_and_records_touched_edges() {
+        let d = stick(ContainerKind::HashMap, ContainerKind::TreeMap);
+        let p = LockPlacement::coarse(&d).unwrap();
+        let planner = Planner::new(d.clone(), p);
+        let plan = planner
+            .plan_update(cols(&d, &["src", "dst"]), cols(&d, &["weight"]))
+            .unwrap();
+        // Only the weight edge is rewritten by a weight update.
+        let vw = d.edge_between("v", "w").unwrap();
+        assert_eq!(plan.touched, vec![vw]);
+        assert_eq!(plan.updated, cols(&d, &["weight"]));
+        assert_eq!(plan.remove.edges.len(), d.edge_count());
+        assert_eq!(plan.insert.edges.len(), d.edge_count());
+
+        // Assignment overlapping the key pattern is rejected.
+        assert!(matches!(
+            planner.plan_update(cols(&d, &["src", "dst"]), cols(&d, &["dst"])),
+            Err(CoreError::Spec(
+                relc_spec::SpecError::UpdateOverlapsPattern { .. }
+            ))
+        ));
+        // Empty assignment is rejected.
+        assert!(matches!(
+            planner.plan_update(cols(&d, &["src", "dst"]), ColumnSet::EMPTY),
+            Err(CoreError::Spec(relc_spec::SpecError::EmptyUpdate))
+        ));
+        // Non-key pattern is rejected.
+        assert!(matches!(
+            planner.plan_update(cols(&d, &["src"]), cols(&d, &["weight"])),
+            Err(CoreError::Spec(relc_spec::SpecError::RemoveNotByKey { .. }))
+        ));
     }
 
     #[test]

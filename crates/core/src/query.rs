@@ -125,11 +125,7 @@ impl QueryState {
 pub fn render_plan(decomp: &Decomposition, steps: &[PlanStep]) -> String {
     let edge_name = |e: EdgeId| {
         let em = decomp.edge(e);
-        format!(
-            "{}{}",
-            decomp.node(em.src).name,
-            decomp.node(em.dst).name
-        )
+        format!("{}{}", decomp.node(em.src).name, decomp.node(em.dst).name)
     };
     let mut out = String::new();
     let mut var = b'a';
@@ -138,13 +134,19 @@ pub fn render_plan(decomp: &Decomposition, steps: &[PlanStep]) -> String {
     for step in steps {
         match step {
             PlanStep::Lock { edge, mode, .. } => {
-                let host = &decomp.node(crate::decomp::NodeId(
-                    decomp.edge(*edge).src.0, // rendered below via placement-free form
-                )).name;
+                let host = &decomp
+                    .node(crate::decomp::NodeId(
+                        decomp.edge(*edge).src.0, // rendered below via placement-free form
+                    ))
+                    .name;
                 let _ = host;
                 out.push_str(&format!(
                     "let _ = lock{}({}, ψ({})) in\n",
-                    if *mode == LockMode::Exclusive { "!" } else { "" },
+                    if *mode == LockMode::Exclusive {
+                        "!"
+                    } else {
+                        ""
+                    },
                     current as char,
                     edge_name(*edge),
                 ));
@@ -155,7 +157,11 @@ pub fn render_plan(decomp: &Decomposition, steps: &[PlanStep]) -> String {
                 out.push_str(&format!(
                     "let {} = spec-lock{}-lookup({}, {}) in\n",
                     var as char,
-                    if *mode == LockMode::Exclusive { "!" } else { "" },
+                    if *mode == LockMode::Exclusive {
+                        "!"
+                    } else {
+                        ""
+                    },
                     current as char,
                     edge_name(*edge),
                 ));
@@ -242,9 +248,19 @@ mod tests {
         let ry = d.edge_between("ρ", "y").unwrap();
         let yz = d.edge_between("y", "z").unwrap();
         let steps = vec![
-            PlanStep::Lock { edge: ry, mode: LockMode::Shared, presorted: false, all_stripes: false },
+            PlanStep::Lock {
+                edge: ry,
+                mode: LockMode::Shared,
+                presorted: false,
+                all_stripes: false,
+            },
             PlanStep::Scan { edge: ry },
-            PlanStep::Lock { edge: yz, mode: LockMode::Shared, presorted: false, all_stripes: false },
+            PlanStep::Lock {
+                edge: yz,
+                mode: LockMode::Shared,
+                presorted: false,
+                all_stripes: false,
+            },
             PlanStep::Scan { edge: yz },
         ];
         let rendered = render_plan(&d, &steps);
@@ -261,10 +277,19 @@ mod tests {
     fn step_accessors() {
         let d = stick(ContainerKind::TreeMap, ContainerKind::TreeMap);
         let ru = d.edge_between("ρ", "u").unwrap();
-        let lock = PlanStep::Lock { edge: ru, mode: LockMode::Shared, presorted: true, all_stripes: false };
+        let lock = PlanStep::Lock {
+            edge: ru,
+            mode: LockMode::Shared,
+            presorted: true,
+            all_stripes: false,
+        };
         assert_eq!(lock.edge(), ru);
         assert!(lock.is_lock());
         assert!(!PlanStep::Scan { edge: ru }.is_lock());
-        assert!(PlanStep::SpecLookup { edge: ru, mode: LockMode::Shared }.is_lock());
+        assert!(PlanStep::SpecLookup {
+            edge: ru,
+            mode: LockMode::Shared
+        }
+        .is_lock());
     }
 }

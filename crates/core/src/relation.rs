@@ -13,14 +13,17 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 
 use relc_locks::{Backoff, LockStats, LockStatsSnapshot, TwoPhaseEngine};
-use relc_spec::{ColumnSet, RelationSchema, SpecError, Tuple};
+#[cfg(doc)]
+use relc_spec::SpecError;
+use relc_spec::{ColumnSet, RelationSchema, Tuple};
 
 use crate::decomp::Decomposition;
 use crate::error::CoreError;
 use crate::exec::Executor;
 use crate::instance::{self, NodeInstance, NodeRef};
 use crate::placement::{LockPlacement, LockToken};
-use crate::planner::{InsertPlan, Plan, Planner, RemovePlan};
+use crate::planner::{InsertPlan, Plan, Planner, RemovePlan, UpdatePlan};
+use crate::txn::{Transaction, TxnError};
 
 /// A concurrent relation synthesized from a decomposition and a lock
 /// placement.
@@ -57,10 +60,54 @@ pub struct ConcurrentRelation {
     query_plans: RwLock<HashMap<(u64, u64), Arc<Plan>>>,
     insert_plans: RwLock<HashMap<u64, Arc<InsertPlan>>>,
     remove_plans: RwLock<HashMap<u64, Arc<RemovePlan>>>,
+    update_plans: RwLock<HashMap<(u64, u64), Arc<UpdatePlan>>>,
 }
 
 /// Monotonic relation ids for the thread-local plan memo.
 static NEXT_RELATION_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+thread_local! {
+    /// Relations with an open transaction on this thread (see
+    /// [`ActiveTxnGuard`]). At most a handful deep in practice.
+    static ACTIVE_TXNS: std::cell::RefCell<Vec<u64>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// RAII marker for "this thread is inside a transaction on relation
+/// `id`"; entering twice for the same relation is a certain
+/// self-deadlock, so it panics with a diagnosis instead of hanging.
+struct ActiveTxnGuard {
+    id: u64,
+}
+
+impl ActiveTxnGuard {
+    fn enter(id: u64) -> Self {
+        ACTIVE_TXNS.with(|t| {
+            let mut t = t.borrow_mut();
+            assert!(
+                !t.contains(&id),
+                "re-entrant operation on a relation already inside a \
+                 transaction on this thread: use the `Transaction` handle \
+                 for every operation inside a transaction closure \
+                 (calling single-shot methods there would self-deadlock)"
+            );
+            t.push(id);
+        });
+        ActiveTxnGuard { id }
+    }
+}
+
+impl Drop for ActiveTxnGuard {
+    fn drop(&mut self) {
+        ACTIVE_TXNS.with(|t| {
+            let mut t = t.borrow_mut();
+            let pos = t
+                .iter()
+                .rposition(|&x| x == self.id)
+                .expect("guard entered");
+            t.remove(pos);
+        });
+    }
+}
 
 thread_local! {
     static QUERY_MEMO: std::cell::RefCell<HashMap<(u64, u64, u64), Arc<Plan>>> =
@@ -68,6 +115,8 @@ thread_local! {
     static INSERT_MEMO: std::cell::RefCell<HashMap<(u64, u64), Arc<InsertPlan>>> =
         std::cell::RefCell::new(HashMap::new());
     static REMOVE_MEMO: std::cell::RefCell<HashMap<(u64, u64), Arc<RemovePlan>>> =
+        std::cell::RefCell::new(HashMap::new());
+    static UPDATE_MEMO: std::cell::RefCell<HashMap<(u64, u64, u64), Arc<UpdatePlan>>> =
         std::cell::RefCell::new(HashMap::new());
 }
 
@@ -101,6 +150,7 @@ impl ConcurrentRelation {
             query_plans: RwLock::new(HashMap::new()),
             insert_plans: RwLock::new(HashMap::new()),
             remove_plans: RwLock::new(HashMap::new()),
+            update_plans: RwLock::new(HashMap::new()),
         })
     }
 
@@ -146,26 +196,124 @@ impl ConcurrentRelation {
         self.len() == 0
     }
 
-    /// Runs `f` as a transaction: restart on lock-order or speculation
-    /// conflicts, with randomized backoff; release all locks at the end.
-    fn transaction<R>(
+    /// Runs `f` as one two-phase transaction over this relation: every
+    /// operation invoked on the [`Transaction`] shares a single lock
+    /// scope, released only when the closure returns (§4.2's
+    /// serializability argument applies to the whole sequence). When the
+    /// lock engine demands a restart — out-of-order contention, a
+    /// shared→exclusive upgrade, a failed speculation — the closure's
+    /// effects are rolled back and the **whole closure re-runs** after
+    /// randomized backoff, which is what makes read-modify-write
+    /// sequences atomic.
+    ///
+    /// The closure must propagate [`TxnError`] with `?`; returning
+    /// `Err(tx.abort(..))` rolls back and surfaces
+    /// [`CoreError::TransactionAborted`].
+    ///
+    /// Closures may run several times and must therefore be free of side
+    /// effects other than operations on the transaction (or idempotent
+    /// ones).
+    ///
+    /// # Re-entrancy
+    ///
+    /// All operations on this relation inside the closure must go through
+    /// `tx`. Calling a single-shot method (or opening a nested
+    /// transaction) on the *same relation* from inside the closure would
+    /// open a second lock engine on the same thread and self-deadlock on
+    /// the locks the transaction already holds; the runtime detects this
+    /// and panics instead of hanging.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use relc::{ConcurrentRelation, decomp, placement::LockPlacement};
+    /// use relc_containers::ContainerKind;
+    /// use relc_spec::Value;
+    ///
+    /// let d = decomp::library::stick(ContainerKind::HashMap, ContainerKind::TreeMap);
+    /// let p = LockPlacement::coarse(&d)?;
+    /// let graph = ConcurrentRelation::new(d.clone(), p)?;
+    /// let edge = d.schema().tuple(&[("src", Value::from(1)), ("dst", Value::from(2))])?;
+    /// let w = |w: i64| d.schema().tuple(&[("weight", Value::from(w))]).unwrap();
+    ///
+    /// // Atomic read-modify-write: halve the weight if the edge exists.
+    /// graph.insert(&edge, &w(42))?;
+    /// let halved = graph.transaction(|tx| {
+    ///     match tx.remove_returning(&edge)? {
+    ///         Some(old) => {
+    ///             let wcol = tx.relation().schema().column("weight").unwrap();
+    ///             let half = match old.get(wcol) {
+    ///                 Some(v) => v.as_int().unwrap() / 2,
+    ///                 None => 0,
+    ///             };
+    ///             tx.insert(&edge, &w(half))?;
+    ///             Ok(true)
+    ///         }
+    ///         None => Ok(false),
+    ///     }
+    /// })?;
+    /// assert!(halved);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`TxnError::Core`] error the closure propagates (planner
+    /// and spec errors from the operations, or an explicit abort).
+    /// [`TxnError::Restart`] never escapes — it is consumed by the retry
+    /// loop.
+    pub fn transaction<R>(
         &self,
-        mut f: impl FnMut(&mut Executor<'_>) -> Result<R, relc_locks::MustRestart>,
-    ) -> R {
-        let mut engine: TwoPhaseEngine<LockToken> =
-            TwoPhaseEngine::new(Arc::clone(&self.stats));
+        f: impl FnMut(&mut Transaction<'_>) -> Result<R, TxnError>,
+    ) -> Result<R, CoreError> {
+        self.run_transaction(false, f)
+    }
+
+    /// The transaction loop shared by [`Self::transaction`] and the
+    /// single-shot sugar: run, commit on success, roll back effects and
+    /// either retry (restart) or surface the error (abort).
+    fn run_transaction<R>(
+        &self,
+        single_shot: bool,
+        mut f: impl FnMut(&mut Transaction<'_>) -> Result<R, TxnError>,
+    ) -> Result<R, CoreError> {
+        // Re-entrancy guard: a second engine on the same thread for the
+        // same relation would block on locks the first engine holds — a
+        // guaranteed self-deadlock (or restart livelock). Fail loudly.
+        let _guard = ActiveTxnGuard::enter(self.id);
+        let mut engine: TwoPhaseEngine<LockToken> = TwoPhaseEngine::new(Arc::clone(&self.stats));
         let mut backoff = Backoff::new();
         loop {
             let mut exec = Executor::new(&self.decomp, &self.placement, &mut engine);
             exec.always_sort_locks = self.always_sort_locks.load(Ordering::Relaxed);
-            match f(&mut exec) {
+            let mut tx = Transaction::new(self, exec, single_shot);
+            match f(&mut tx) {
                 Ok(r) => {
+                    let delta = tx.len_delta();
+                    drop(tx);
                     engine.finish();
-                    return r;
+                    match delta.cmp(&0) {
+                        std::cmp::Ordering::Greater => {
+                            self.len.fetch_add(delta as usize, Ordering::Relaxed);
+                        }
+                        std::cmp::Ordering::Less => {
+                            self.len.fetch_sub(delta.unsigned_abs(), Ordering::Relaxed);
+                        }
+                        std::cmp::Ordering::Equal => {}
+                    }
+                    return Ok(r);
                 }
-                Err(_) => {
+                Err(TxnError::Restart(_)) => {
+                    tx.rollback_effects();
+                    drop(tx);
                     engine.rollback();
                     backoff.wait();
+                }
+                Err(TxnError::Core(e)) => {
+                    tx.rollback_effects();
+                    drop(tx);
+                    engine.rollback();
+                    return Err(e);
                 }
             }
         }
@@ -173,7 +321,7 @@ impl ConcurrentRelation {
 
     /// `insert r s t` (§2): inserts `s ∪ t` provided no existing tuple
     /// extends `s`; returns whether the insert happened. Generalizes
-    /// put-if-absent.
+    /// put-if-absent. Sugar for a one-operation [`Self::transaction`].
     ///
     /// # Errors
     ///
@@ -183,28 +331,12 @@ impl ConcurrentRelation {
     /// * [`CoreError::NoValidPlan`] if the placement cannot support the
     ///   existence check for this shape of `s`.
     pub fn insert(&self, s: &Tuple, t: &Tuple) -> Result<bool, CoreError> {
-        if !s.dom().is_disjoint(t.dom()) {
-            return Err(SpecError::OverlappingInsertDomains {
-                shared: self
-                    .schema()
-                    .catalog()
-                    .render_set(s.dom().intersection(t.dom())),
-            }
-            .into());
-        }
-        let x = s.union(t).expect("disjoint domains cannot conflict");
-        self.schema().check_valuation(&x)?;
-        let plan = self.insert_plan(s.dom())?;
-        let inserted = self.transaction(|exec| exec.run_insert(&plan, &x, s, &self.root));
-        if inserted {
-            self.len.fetch_add(1, Ordering::Relaxed);
-        }
-        Ok(inserted)
+        self.run_transaction(true, |tx| tx.insert(s, t))
     }
 
     /// `remove r s` (§2): removes the tuple matching the key pattern `s`,
     /// returning how many tuples were removed (0 or 1, since `s` must be a
-    /// key).
+    /// key). Sugar for a one-operation [`Self::transaction`].
     ///
     /// # Errors
     ///
@@ -221,24 +353,56 @@ impl ConcurrentRelation {
     ///
     /// As for [`Self::remove`].
     pub fn remove_returning(&self, s: &Tuple) -> Result<Option<Tuple>, CoreError> {
-        let plan = self.remove_plan(s.dom())?;
-        let removed = self.transaction(|exec| exec.run_remove(&plan, s, &self.root));
-        if removed.is_some() {
-            self.len.fetch_sub(1, Ordering::Relaxed);
-        }
-        Ok(removed)
+        self.run_transaction(true, |tx| tx.remove_returning(s))
+    }
+
+    /// `update r s t` (§2): replaces the unique tuple `u ⊇ s` with
+    /// `u ⊕ t` (right-biased override), returning the replaced tuple, or
+    /// `None` if no tuple extends `s`. `s` must be a key, and `dom t` must
+    /// be disjoint from `dom s`. Sugar for a one-operation
+    /// [`Self::transaction`].
+    ///
+    /// # Errors
+    ///
+    /// * [`SpecError::RemoveNotByKey`] if `dom s` is not a key;
+    /// * [`SpecError::EmptyUpdate`] if `t` assigns nothing;
+    /// * [`SpecError::UpdateOverlapsPattern`] if `t` assigns a column of
+    ///   `dom s`;
+    /// * [`CoreError::NoValidPlan`] if the placement cannot locate tuples
+    ///   for this shape of `s`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use relc::{ConcurrentRelation, decomp, placement::LockPlacement};
+    /// use relc_containers::ContainerKind;
+    /// use relc_spec::Value;
+    ///
+    /// let d = decomp::library::stick(ContainerKind::HashMap, ContainerKind::TreeMap);
+    /// let graph = ConcurrentRelation::new(d.clone(), LockPlacement::coarse(&d)?)?;
+    /// let edge = d.schema().tuple(&[("src", Value::from(1)), ("dst", Value::from(2))])?;
+    /// let w = |w: i64| d.schema().tuple(&[("weight", Value::from(w))]).unwrap();
+    /// graph.insert(&edge, &w(42))?;
+    /// let old = graph.update(&edge, &w(7))?.expect("edge exists");
+    /// let wcol = d.schema().column("weight")?;
+    /// assert_eq!(old.get(wcol), Some(&Value::from(42)));
+    /// assert_eq!(graph.update(&edge, &w(8))?.unwrap().get(wcol), Some(&Value::from(7)));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn update(&self, s: &Tuple, t: &Tuple) -> Result<Option<Tuple>, CoreError> {
+        self.run_transaction(true, |tx| tx.update(s, t))
     }
 
     /// `query r s C` (§2): the projection onto `cols` of all tuples
-    /// extending `s`, deduplicated and sorted.
+    /// extending `s`, deduplicated and sorted. Sugar for a one-operation
+    /// [`Self::transaction`].
     ///
     /// # Errors
     ///
     /// [`CoreError::NoValidPlan`] if no chain can bind this shape under the
     /// placement (e.g. it would have to scan a speculative edge).
     pub fn query(&self, s: &Tuple, cols: ColumnSet) -> Result<Vec<Tuple>, CoreError> {
-        let plan = self.query_plan(s.dom(), cols)?;
-        Ok(self.transaction(|exec| exec.run_query(&plan, s, &self.root)))
+        self.run_transaction(true, |tx| tx.query(s, cols))
     }
 
     /// Whether any tuple extends `s` (a `query` projected onto nothing).
@@ -270,14 +434,28 @@ impl ConcurrentRelation {
         instance::verify_instance(&self.decomp, &self.root)
     }
 
-    fn query_plan(&self, bound: ColumnSet, output: ColumnSet) -> Result<Arc<Plan>, CoreError> {
+    /// The root node instance (shared with open transactions).
+    pub(crate) fn root_ref(&self) -> &NodeRef {
+        &self.root
+    }
+
+    pub(crate) fn query_plan(
+        &self,
+        bound: ColumnSet,
+        output: ColumnSet,
+    ) -> Result<Arc<Plan>, CoreError> {
         let memo_key = (self.id, bound.bits(), output.bits());
         if let Some(p) = QUERY_MEMO.with(|m| m.borrow().get(&memo_key).cloned()) {
             return Ok(p);
         }
         let key = (bound.bits(), output.bits());
         let plan = {
-            let cached = self.query_plans.read().expect("plan cache").get(&key).cloned();
+            let cached = self
+                .query_plans
+                .read()
+                .expect("plan cache")
+                .get(&key)
+                .cloned();
             match cached {
                 Some(p) => p,
                 None => {
@@ -294,14 +472,19 @@ impl ConcurrentRelation {
         Ok(plan)
     }
 
-    fn insert_plan(&self, bound: ColumnSet) -> Result<Arc<InsertPlan>, CoreError> {
+    pub(crate) fn insert_plan(&self, bound: ColumnSet) -> Result<Arc<InsertPlan>, CoreError> {
         let memo_key = (self.id, bound.bits());
         if let Some(p) = INSERT_MEMO.with(|m| m.borrow().get(&memo_key).cloned()) {
             return Ok(p);
         }
         let key = bound.bits();
         let plan = {
-            let cached = self.insert_plans.read().expect("plan cache").get(&key).cloned();
+            let cached = self
+                .insert_plans
+                .read()
+                .expect("plan cache")
+                .get(&key)
+                .cloned();
             match cached {
                 Some(p) => p,
                 None => {
@@ -318,14 +501,19 @@ impl ConcurrentRelation {
         Ok(plan)
     }
 
-    fn remove_plan(&self, bound: ColumnSet) -> Result<Arc<RemovePlan>, CoreError> {
+    pub(crate) fn remove_plan(&self, bound: ColumnSet) -> Result<Arc<RemovePlan>, CoreError> {
         let memo_key = (self.id, bound.bits());
         if let Some(p) = REMOVE_MEMO.with(|m| m.borrow().get(&memo_key).cloned()) {
             return Ok(p);
         }
         let key = bound.bits();
         let plan = {
-            let cached = self.remove_plans.read().expect("plan cache").get(&key).cloned();
+            let cached = self
+                .remove_plans
+                .read()
+                .expect("plan cache")
+                .get(&key)
+                .cloned();
             match cached {
                 Some(p) => p,
                 None => {
@@ -339,6 +527,39 @@ impl ConcurrentRelation {
             }
         };
         REMOVE_MEMO.with(|m| m.borrow_mut().insert(memo_key, Arc::clone(&plan)));
+        Ok(plan)
+    }
+
+    pub(crate) fn update_plan(
+        &self,
+        bound: ColumnSet,
+        updated: ColumnSet,
+    ) -> Result<Arc<UpdatePlan>, CoreError> {
+        let memo_key = (self.id, bound.bits(), updated.bits());
+        if let Some(p) = UPDATE_MEMO.with(|m| m.borrow().get(&memo_key).cloned()) {
+            return Ok(p);
+        }
+        let key = (bound.bits(), updated.bits());
+        let plan = {
+            let cached = self
+                .update_plans
+                .read()
+                .expect("plan cache")
+                .get(&key)
+                .cloned();
+            match cached {
+                Some(p) => p,
+                None => {
+                    let plan = Arc::new(self.planner.plan_update(bound, updated)?);
+                    self.update_plans
+                        .write()
+                        .expect("plan cache")
+                        .insert(key, Arc::clone(&plan));
+                    plan
+                }
+            }
+        };
+        UPDATE_MEMO.with(|m| m.borrow_mut().insert(memo_key, Arc::clone(&plan)));
         Ok(plan)
     }
 }
@@ -358,7 +579,7 @@ mod tests {
     use super::*;
     use crate::decomp::library::{dcache, diamond, kv, split, stick};
     use relc_containers::ContainerKind;
-    use relc_spec::{OracleRelation, Value};
+    use relc_spec::{OracleRelation, SpecError, Value};
 
     fn graph_variants() -> Vec<(Arc<Decomposition>, Arc<LockPlacement>)> {
         let mut out = Vec::new();
@@ -452,8 +673,7 @@ mod tests {
             }
             // Structural invariants + final contents.
             let verified = rel.verify().unwrap_or_else(|e| panic!("{name}: {e}"));
-            let want: std::collections::BTreeSet<Tuple> =
-                oracle.snapshot().into_iter().collect();
+            let want: std::collections::BTreeSet<Tuple> = oracle.snapshot().into_iter().collect();
             assert_eq!(verified, want, "final contents on {name}");
         }
     }
@@ -599,6 +819,193 @@ mod tests {
         assert!(rel.contains(&Tuple::empty()).unwrap());
         rel.remove(&edge(&d, 1, 2)).unwrap();
         assert!(!rel.contains(&Tuple::empty()).unwrap());
+    }
+
+    #[test]
+    fn update_matches_oracle_across_variants() {
+        // Differential test of §2 update against the oracle, over every
+        // representation: pseudo-random insert/update/remove/query mix.
+        for (d, p) in graph_variants() {
+            let name = format!("{} / {}", d.describe(), p.name());
+            let rel = ConcurrentRelation::new(d.clone(), p).unwrap();
+            let oracle = OracleRelation::empty(d.schema().clone());
+            let mut x = 0xdead_beefu64;
+            let mut step = move || {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            };
+            for _ in 0..200 {
+                let s = (step() % 5) as i64;
+                let t = (step() % 5) as i64;
+                let w = (step() % 4) as i64;
+                match step() % 3 {
+                    0 => {
+                        let got = rel.insert(&edge(&d, s, t), &weight(&d, w)).unwrap();
+                        let want = oracle.insert(&edge(&d, s, t), &weight(&d, w)).unwrap();
+                        assert_eq!(got, want, "insert on {name}");
+                    }
+                    1 => {
+                        let got = rel.update(&edge(&d, s, t), &weight(&d, w)).unwrap();
+                        let want = oracle.update(&edge(&d, s, t), &weight(&d, w)).unwrap();
+                        assert_eq!(got, want, "update on {name}");
+                    }
+                    _ => {
+                        let got = rel.remove(&edge(&d, s, t)).unwrap();
+                        let want = oracle.remove(&edge(&d, s, t));
+                        assert_eq!(got, want, "remove on {name}");
+                    }
+                }
+                assert_eq!(rel.len(), oracle.len(), "len on {name}");
+            }
+            let verified = rel.verify().unwrap_or_else(|e| panic!("{name}: {e}"));
+            let want: std::collections::BTreeSet<Tuple> = oracle.snapshot().into_iter().collect();
+            assert_eq!(verified, want, "final contents on {name}");
+        }
+    }
+
+    #[test]
+    fn update_validates_arguments() {
+        let d = stick(ContainerKind::HashMap, ContainerKind::TreeMap);
+        let p = LockPlacement::coarse(&d).unwrap();
+        let rel = ConcurrentRelation::new(d.clone(), p).unwrap();
+        rel.insert(&edge(&d, 1, 2), &weight(&d, 5)).unwrap();
+        // Non-key pattern.
+        let pat = d.schema().tuple(&[("src", Value::from(1))]).unwrap();
+        assert!(matches!(
+            rel.update(&pat, &weight(&d, 9)),
+            Err(CoreError::Spec(SpecError::RemoveNotByKey { .. }))
+        ));
+        // Assignment overlapping the pattern.
+        let dst2 = d.schema().tuple(&[("dst", Value::from(3))]).unwrap();
+        assert!(matches!(
+            rel.update(&edge(&d, 1, 2), &dst2),
+            Err(CoreError::Spec(SpecError::UpdateOverlapsPattern { .. }))
+        ));
+        // Empty assignment.
+        assert!(matches!(
+            rel.update(&edge(&d, 1, 2), &Tuple::empty()),
+            Err(CoreError::Spec(SpecError::EmptyUpdate))
+        ));
+        // Missing tuple: None, relation unchanged.
+        assert_eq!(rel.update(&edge(&d, 9, 9), &weight(&d, 1)).unwrap(), None);
+        assert_eq!(rel.len(), 1);
+        rel.verify().unwrap();
+    }
+
+    #[test]
+    fn multi_op_transaction_commits_atomically() {
+        for (d, p) in graph_variants() {
+            let name = format!("{} / {}", d.describe(), p.name());
+            let rel = ConcurrentRelation::new(d.clone(), p).unwrap();
+            rel.insert(&edge(&d, 1, 2), &weight(&d, 100)).unwrap();
+            rel.insert(&edge(&d, 3, 4), &weight(&d, 0)).unwrap();
+            // Transfer 30 from (1,2) to (3,4): two updates + a readback in
+            // one two-phase scope.
+            let wcol = d.schema().column("weight").unwrap();
+            let moved = rel
+                .transaction(|tx| {
+                    let from = tx
+                        .update(&edge(&d, 1, 2), &weight(&d, 70))?
+                        .expect("source edge exists");
+                    let old = from.get(wcol).and_then(|v| v.as_int()).unwrap();
+                    let to = tx
+                        .update(&edge(&d, 3, 4), &weight(&d, 30))?
+                        .expect("target edge exists");
+                    assert_eq!(to.get(wcol), Some(&Value::from(0)), "{name}");
+                    // Read-your-writes: the new values are visible inside
+                    // the transaction.
+                    let wc = tx.relation().schema().column_set(&["weight"]).unwrap();
+                    assert_eq!(
+                        tx.query(&edge(&d, 1, 2), wc)?,
+                        vec![weight(&d, 70)],
+                        "{name}"
+                    );
+                    Ok(old)
+                })
+                .unwrap();
+            assert_eq!(moved, 100, "{name}");
+            assert_eq!(rel.len(), 2, "{name}");
+            let wc = d.schema().column_set(&["weight"]).unwrap();
+            assert_eq!(
+                rel.query(&edge(&d, 1, 2), wc).unwrap(),
+                vec![weight(&d, 70)]
+            );
+            assert_eq!(
+                rel.query(&edge(&d, 3, 4), wc).unwrap(),
+                vec![weight(&d, 30)]
+            );
+            rel.verify().unwrap_or_else(|e| panic!("{name}: {e}"));
+            // Commits are counted by the engine hooks.
+            assert!(rel.lock_stats().commits >= 3, "{name}");
+        }
+    }
+
+    #[test]
+    fn aborted_transaction_rolls_back_every_effect() {
+        for (d, p) in graph_variants() {
+            let name = format!("{} / {}", d.describe(), p.name());
+            let rel = ConcurrentRelation::new(d.clone(), p).unwrap();
+            rel.insert(&edge(&d, 1, 2), &weight(&d, 100)).unwrap();
+            let before = rel.verify().unwrap_or_else(|e| panic!("{name}: {e}"));
+            let err = rel
+                .transaction(|tx| -> Result<(), crate::TxnError> {
+                    // Apply all three mutation kinds, then abort.
+                    assert!(tx.insert(&edge(&d, 5, 6), &weight(&d, 1))?);
+                    assert!(tx.update(&edge(&d, 1, 2), &weight(&d, 55))?.is_some());
+                    assert_eq!(tx.remove(&edge(&d, 1, 2))?, 1);
+                    Err(tx.abort("insufficient funds"))
+                })
+                .unwrap_err();
+            assert!(
+                matches!(err, CoreError::TransactionAborted(ref m) if m.contains("funds")),
+                "{name}: {err}"
+            );
+            let after = rel.verify().unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(after, before, "{name}: rollback must be exact");
+            assert_eq!(rel.len(), 1, "{name}");
+        }
+    }
+
+    #[test]
+    fn transaction_read_then_write_upgrades_and_retries() {
+        // A query inside a transaction takes shared locks; the following
+        // insert upgrades them. The upgrade restarts the closure once and
+        // the retry must succeed (hints promote the modes).
+        let d = stick(ContainerKind::HashMap, ContainerKind::TreeMap);
+        let p = LockPlacement::coarse(&d).unwrap();
+        let rel = ConcurrentRelation::new(d.clone(), p).unwrap();
+        let dw = d.schema().column_set(&["dst", "weight"]).unwrap();
+        let runs = std::cell::Cell::new(0u32);
+        let inserted = rel
+            .transaction(|tx| {
+                runs.set(runs.get() + 1);
+                let succ = tx.query(&d.schema().tuple(&[("src", Value::from(1))]).unwrap(), dw)?;
+                assert!(succ.is_empty());
+                tx.insert(&edge(&d, 1, 2), &weight(&d, 1))
+            })
+            .unwrap();
+        assert!(inserted);
+        assert!(runs.get() >= 1);
+        assert_eq!(rel.len(), 1);
+        rel.verify().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "re-entrant")]
+    fn nested_single_shot_inside_transaction_panics_not_deadlocks() {
+        let d = stick(ContainerKind::HashMap, ContainerKind::TreeMap);
+        let p = LockPlacement::coarse(&d).unwrap();
+        let rel = ConcurrentRelation::new(d.clone(), p).unwrap();
+        rel.insert(&edge(&d, 1, 2), &weight(&d, 1)).unwrap();
+        let _ = rel.transaction(|tx| {
+            tx.contains(&edge(&d, 1, 2))?;
+            // Bypassing the transaction handle would self-deadlock on the
+            // locks `tx` holds; the guard panics instead.
+            let _ = rel.remove(&edge(&d, 1, 2));
+            Ok(())
+        });
     }
 
     #[test]

@@ -1,0 +1,419 @@
+//! Multi-operation transactions over a synthesized relation (§4.2).
+//!
+//! The paper's serializability argument is per-*transaction*, not
+//! per-operation: any sequence of well-locked operations that acquires
+//! all of its locks before releasing any of them (two-phase) is
+//! serializable, and with the §5.1 ordered/try-restart protocol it is
+//! also deadlock-free. The seed implementation only exposed that power
+//! one operation at a time; this module makes the transaction the unit
+//! of locking.
+//!
+//! A [`Transaction`] borrows its relation and holds **one**
+//! [`TwoPhaseEngine`] across every operation invoked through it. Locks
+//! accumulate until the closure passed to
+//! [`ConcurrentRelation::transaction`] returns; only then does the engine
+//! release (commit). When any operation inside the closure demands a
+//! restart (out-of-order lock contention, a shared→exclusive upgrade, a
+//! failed speculation), the *whole closure* re-runs from scratch against
+//! a clean lock state — that is what makes read-modify-write sequences
+//! atomic: the values read before the restart are discarded along with
+//! the locks.
+//!
+//! # Write compensation
+//!
+//! Operations apply their container writes eagerly (later operations in
+//! the same transaction must see them), so a restart in operation *k*
+//! must first undo the writes of operations *1..k*. The transaction keeps
+//! an undo log of structural inverses (insert ⟷ unlink) and replays it in
+//! reverse before releasing any lock. Because the log is replayed while
+//! every lock of the original operations is still held, and each
+//! operation pre-acquires the few extra tokens its inverse could need
+//! (see [`Executor::run_insert`]'s `undo_locks`), compensation itself can
+//! never restart — enforced, not assumed: a restarting compensation
+//! panics rather than release locks around a half-applied transaction.
+//!
+//! # Example
+//!
+//! ```
+//! use relc::{ConcurrentRelation, decomp, placement::LockPlacement};
+//! use relc_containers::ContainerKind;
+//! use relc_spec::Value;
+//!
+//! let d = decomp::library::kv(ContainerKind::ConcurrentHashMap);
+//! let p = LockPlacement::striped_root(&d, 16)?;
+//! let accounts = ConcurrentRelation::new(d.clone(), p)?;
+//! let schema = d.schema();
+//! let key = |k: i64| schema.tuple(&[("key", Value::from(k))]).unwrap();
+//! let val = |v: i64| schema.tuple(&[("value", Value::from(v))]).unwrap();
+//! accounts.insert(&key(1), &val(100))?;
+//! accounts.insert(&key(2), &val(0))?;
+//!
+//! // Atomically move 30 from account 1 to account 2: impossible with
+//! // single-shot operations, trivial in a transaction.
+//! let vcol = schema.column("value")?;
+//! accounts.transaction(|tx| {
+//!     let from = tx.update(&key(1), &val(70))?.expect("account 1 exists");
+//!     assert_eq!(from.get(vcol), Some(&Value::from(100)));
+//!     tx.update(&key(2), &val(30))?;
+//!     Ok(())
+//! })?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! [`ConcurrentRelation::transaction`]: crate::ConcurrentRelation::transaction
+//! [`TwoPhaseEngine`]: relc_locks::TwoPhaseEngine
+//! [`Executor::run_insert`]: crate::exec::Executor::run_insert
+
+use std::fmt;
+use std::sync::Arc;
+
+use relc_locks::MustRestart;
+use relc_spec::{ColumnSet, SpecError, Tuple};
+
+use crate::error::CoreError;
+use crate::exec::Executor;
+use crate::planner::{InsertPlan, RemovePlan};
+use crate::relation::ConcurrentRelation;
+
+/// Why a transactional operation did not return a value.
+///
+/// Closures passed to [`ConcurrentRelation::transaction`] should
+/// propagate this with `?`: [`TxnError::Restart`] is consumed by the
+/// transaction loop (the closure re-runs), while [`TxnError::Core`]
+/// aborts the transaction — its effects are rolled back — and surfaces to
+/// the caller.
+///
+/// [`ConcurrentRelation::transaction`]: crate::ConcurrentRelation::transaction
+#[derive(Debug)]
+pub enum TxnError {
+    /// The lock engine demands a whole-transaction restart. Internal
+    /// control flow: never escapes [`ConcurrentRelation::transaction`].
+    ///
+    /// [`ConcurrentRelation::transaction`]: crate::ConcurrentRelation::transaction
+    Restart(MustRestart),
+    /// The transaction aborts with an error; all of its effects are
+    /// undone before the error is returned.
+    Core(CoreError),
+}
+
+impl fmt::Display for TxnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxnError::Restart(r) => write!(f, "{r}"),
+            TxnError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TxnError {}
+
+impl From<MustRestart> for TxnError {
+    fn from(r: MustRestart) -> Self {
+        TxnError::Restart(r)
+    }
+}
+
+impl From<CoreError> for TxnError {
+    fn from(e: CoreError) -> Self {
+        TxnError::Core(e)
+    }
+}
+
+impl From<SpecError> for TxnError {
+    fn from(e: SpecError) -> Self {
+        TxnError::Core(CoreError::Spec(e))
+    }
+}
+
+/// A structural inverse recorded for one applied operation.
+enum UndoOp {
+    /// Inverse of an insert: unlink the tuple.
+    Unlink { plan: Arc<RemovePlan>, tuple: Tuple },
+    /// Inverse of a removal: re-insert the tuple.
+    Reinsert { plan: Arc<InsertPlan>, tuple: Tuple },
+}
+
+/// An open multi-operation transaction on a [`ConcurrentRelation`].
+///
+/// Created by [`ConcurrentRelation::transaction`]; every operation runs
+/// under the transaction's single two-phase lock scope and sees the
+/// effects of the transaction's earlier operations. See the
+/// [module docs](self) for semantics.
+///
+/// [`ConcurrentRelation::transaction`]: crate::ConcurrentRelation::transaction
+pub struct Transaction<'t> {
+    rel: &'t ConcurrentRelation,
+    exec: Executor<'t>,
+    undo: Vec<UndoOp>,
+    len_delta: isize,
+    single_shot: bool,
+}
+
+impl<'t> Transaction<'t> {
+    pub(crate) fn new(rel: &'t ConcurrentRelation, exec: Executor<'t>, single_shot: bool) -> Self {
+        Transaction {
+            rel,
+            exec,
+            undo: Vec::new(),
+            len_delta: 0,
+            single_shot,
+        }
+    }
+
+    /// The relation this transaction operates on.
+    ///
+    /// Only for reading metadata (schema, columns): operations on the
+    /// relation inside the closure must go through the transaction —
+    /// single-shot calls there self-deadlock (and panic, see
+    /// [`ConcurrentRelation::transaction`]).
+    ///
+    /// [`ConcurrentRelation::transaction`]: crate::ConcurrentRelation::transaction
+    pub fn relation(&self) -> &'t ConcurrentRelation {
+        self.rel
+    }
+
+    /// §4.2 precondition for every operation: all acquisitions precede
+    /// all releases across the *whole* transaction, and releases happen
+    /// only at commit/rollback — so the engine must still be in its
+    /// growing phase whenever an operation starts.
+    fn assert_two_phase(&self) {
+        debug_assert!(
+            !self.exec.engine_in_shrinking_phase(),
+            "two-phase discipline broken: engine entered the shrinking \
+             phase mid-transaction"
+        );
+    }
+
+    /// Net tuple-count change of the operations applied so far.
+    pub(crate) fn len_delta(&self) -> isize {
+        self.len_delta
+    }
+
+    /// `insert r s t` (§2) under this transaction's lock scope: inserts
+    /// `s ∪ t` provided no existing tuple extends `s`; returns whether the
+    /// insert happened.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ConcurrentRelation::insert`], wrapped in
+    /// [`TxnError::Core`]; or [`TxnError::Restart`] (propagate it).
+    pub fn insert(&mut self, s: &Tuple, t: &Tuple) -> Result<bool, TxnError> {
+        self.assert_two_phase();
+        if !s.dom().is_disjoint(t.dom()) {
+            return Err(SpecError::OverlappingInsertDomains {
+                shared: self
+                    .rel
+                    .schema()
+                    .catalog()
+                    .render_set(s.dom().intersection(t.dom())),
+            }
+            .into());
+        }
+        let x = s.union(t).expect("disjoint domains cannot conflict");
+        self.rel
+            .schema()
+            .check_valuation(&x)
+            .map_err(CoreError::from)?;
+        let plan = self.rel.insert_plan(s.dom())?;
+        // A full tuple is always a key, so the inverse plan always exists.
+        let inverse = if self.single_shot {
+            None
+        } else {
+            Some(self.rel.remove_plan(x.dom())?)
+        };
+        let inserted =
+            self.exec
+                .run_insert(&plan, &x, s, self.rel.root_ref(), inverse.as_deref())?;
+        if inserted {
+            self.len_delta += 1;
+            if let Some(plan) = inverse {
+                self.undo.push(UndoOp::Unlink { plan, tuple: x });
+            }
+        }
+        Ok(inserted)
+    }
+
+    /// `remove r s` (§2) under this transaction's lock scope; returns how
+    /// many tuples were removed (0 or 1, since `s` must be a key).
+    ///
+    /// # Errors
+    ///
+    /// As for [`ConcurrentRelation::remove`], wrapped in
+    /// [`TxnError::Core`]; or [`TxnError::Restart`] (propagate it).
+    pub fn remove(&mut self, s: &Tuple) -> Result<usize, TxnError> {
+        Ok(usize::from(self.remove_returning(s)?.is_some()))
+    }
+
+    /// Like [`Transaction::remove`], but returns the removed tuple.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Transaction::remove`].
+    pub fn remove_returning(&mut self, s: &Tuple) -> Result<Option<Tuple>, TxnError> {
+        self.assert_two_phase();
+        let plan = self.rel.remove_plan(s.dom())?;
+        let removed = self.exec.run_remove(&plan, s, self.rel.root_ref())?;
+        if let Some(u) = &removed {
+            self.len_delta -= 1;
+            if !self.single_shot {
+                let plan = self.rel.insert_plan(u.dom())?;
+                self.undo.push(UndoOp::Reinsert {
+                    plan,
+                    tuple: u.clone(),
+                });
+            }
+        }
+        Ok(removed)
+    }
+
+    /// `update r s t` (§2) under this transaction's lock scope: replaces
+    /// the unique tuple `u ⊇ s` with `u ⊕ t`, returning the replaced
+    /// tuple, or `None` if no tuple extends `s`.
+    ///
+    /// `s` must be a key (as for `remove`) and `dom t` must be disjoint
+    /// from `dom s` — an update never changes which key the tuple answers
+    /// to. Executed as a locked unlink + re-insert under the one two-phase
+    /// scope, so the update is a single serializable step.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ConcurrentRelation::update`], wrapped in
+    /// [`TxnError::Core`]; or [`TxnError::Restart`] (propagate it).
+    pub fn update(&mut self, s: &Tuple, t: &Tuple) -> Result<Option<Tuple>, TxnError> {
+        self.assert_two_phase();
+        let plan = self.rel.update_plan(s.dom(), t.dom())?;
+        let Some(old) = self.exec.run_remove(&plan.remove, s, self.rel.root_ref())? else {
+            return Ok(None);
+        };
+        // From here the unlink is applied, and the re-insert below can
+        // still restart (its root batch names the *new* values' tokens) —
+        // so the compensation entry is recorded even for single-shot
+        // updates. Its locks are a subset of the unlink's held set.
+        let reinsert_old = self.rel.insert_plan(old.dom())?;
+        self.undo.push(UndoOp::Reinsert {
+            plan: reinsert_old,
+            tuple: old.clone(),
+        });
+        let new = old.override_with(t);
+        let inverse_new = if self.single_shot {
+            None
+        } else {
+            Some(self.rel.remove_plan(new.dom())?)
+        };
+        let reinserted = self.exec.run_insert(
+            &plan.insert,
+            &new,
+            &new,
+            self.rel.root_ref(),
+            inverse_new.as_deref(),
+        )?;
+        debug_assert!(
+            reinserted,
+            "no tuple can extend the unlinked key under our exclusive locks"
+        );
+        if let Some(plan) = inverse_new {
+            self.undo.push(UndoOp::Unlink { plan, tuple: new });
+        }
+        Ok(Some(old))
+    }
+
+    /// `query r s C` (§2) under this transaction's lock scope: the
+    /// projection onto `cols` of all tuples extending `s`, deduplicated
+    /// and sorted. Observes this transaction's own earlier writes.
+    ///
+    /// Inside a transaction a query's shared locks *persist to commit*
+    /// (two-phase discipline) — the observed values stay stable for the
+    /// rest of the transaction. A later write to the same edges upgrades
+    /// shared→exclusive, which restarts the closure once and re-runs it
+    /// with exclusive locks acquired up front (the engine's mode hints).
+    ///
+    /// # Errors
+    ///
+    /// As for [`ConcurrentRelation::query`], wrapped in
+    /// [`TxnError::Core`]; or [`TxnError::Restart`] (propagate it).
+    pub fn query(&mut self, s: &Tuple, cols: ColumnSet) -> Result<Vec<Tuple>, TxnError> {
+        self.assert_two_phase();
+        let plan = self.rel.query_plan(s.dom(), cols)?;
+        Ok(self.exec.run_query(&plan, s, self.rel.root_ref())?)
+    }
+
+    /// Whether any tuple extends `s` (a `query` projected onto nothing).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Transaction::query`].
+    pub fn contains(&mut self, s: &Tuple) -> Result<bool, TxnError> {
+        Ok(!self.query(s, ColumnSet::EMPTY)?.is_empty())
+    }
+
+    /// All tuples, sorted, as observed under this transaction's locks.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Transaction::query`].
+    pub fn snapshot(&mut self) -> Result<Vec<Tuple>, TxnError> {
+        self.query(&Tuple::empty(), self.rel.schema().columns())
+    }
+
+    /// Aborts the transaction: return this from the closure (e.g.
+    /// `return Err(tx.abort("insufficient funds"))`) to roll back every
+    /// effect and surface [`CoreError::TransactionAborted`] to the
+    /// [`ConcurrentRelation::transaction`] caller.
+    ///
+    /// [`ConcurrentRelation::transaction`]: crate::ConcurrentRelation::transaction
+    pub fn abort(&self, reason: impl Into<String>) -> TxnError {
+        TxnError::Core(CoreError::TransactionAborted(reason.into()))
+    }
+
+    /// Rolls back every applied effect by replaying the undo log in
+    /// reverse, while all of the transaction's locks are still held.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a compensating operation demands a restart — that would
+    /// mean an operation failed to pre-acquire its inverse's lock set
+    /// (a bug in the transaction layer, never a recoverable condition:
+    /// releasing locks here would publish a half-applied transaction).
+    pub(crate) fn rollback_effects(&mut self) {
+        while let Some(op) = self.undo.pop() {
+            match op {
+                UndoOp::Unlink { plan, tuple } => {
+                    let removed = self
+                        .exec
+                        .run_remove(&plan, &tuple, self.rel.root_ref())
+                        .unwrap_or_else(|_| {
+                            panic!(
+                                "transaction compensation (unlink) restarted; \
+                                 inverse locks were not pre-acquired"
+                            )
+                        });
+                    debug_assert!(removed.is_some(), "inserted tuple vanished under our locks");
+                }
+                UndoOp::Reinsert { plan, tuple } => {
+                    let inserted = self
+                        .exec
+                        .run_insert(&plan, &tuple, &tuple, self.rel.root_ref(), None)
+                        .unwrap_or_else(|_| {
+                            panic!(
+                                "transaction compensation (re-insert) restarted; \
+                                 inverse locks were not pre-acquired"
+                            )
+                        });
+                    debug_assert!(inserted, "removed tuple reappeared under our locks");
+                }
+            }
+        }
+        self.len_delta = 0;
+    }
+}
+
+impl fmt::Debug for Transaction<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Transaction")
+            .field("relation", &self.rel)
+            .field("pending_undo_ops", &self.undo.len())
+            .field("len_delta", &self.len_delta)
+            .field("single_shot", &self.single_shot)
+            .finish()
+    }
+}

@@ -111,7 +111,7 @@ fn put_if_absent_has_exactly_one_winner_per_key() {
 fn structural_integrity_under_contended_mixed_ops() {
     for (name, rel) in variants() {
         let rel2 = rel.clone();
-        let name2 = name.clone();
+        let _name2 = name.clone();
         with_watchdog(120, move || {
             let threads = 8;
             let ops = 400;
@@ -144,10 +144,8 @@ fn structural_integrity_under_contended_mixed_ops() {
                                     let _ = rel.remove(&edge(&rel, s, d));
                                 }
                                 2 => {
-                                    let pat = rel
-                                        .schema()
-                                        .tuple(&[("src", Value::from(s))])
-                                        .unwrap();
+                                    let pat =
+                                        rel.schema().tuple(&[("src", Value::from(s))]).unwrap();
                                     match rel.query(&pat, dw) {
                                         Ok(res) => {
                                             // Every result extends the pattern's columns.
@@ -160,10 +158,8 @@ fn structural_integrity_under_contended_mixed_ops() {
                                     }
                                 }
                                 _ => {
-                                    let pat = rel
-                                        .schema()
-                                        .tuple(&[("dst", Value::from(d))])
-                                        .unwrap();
+                                    let pat =
+                                        rel.schema().tuple(&[("dst", Value::from(d))]).unwrap();
                                     match rel.query(&pat, sw) {
                                         Ok(_) => {}
                                         Err(relc::CoreError::NoValidPlan(_)) => {}
@@ -221,9 +217,8 @@ fn small_histories_are_linearizable() {
                             let w = (next() % 2) as i64;
                             match next() % 3 {
                                 0 => rec.record(|| {
-                                    let r = rel
-                                        .insert(&edge(&rel, s, dd), &weight(&rel, w))
-                                        .unwrap();
+                                    let r =
+                                        rel.insert(&edge(&rel, s, dd), &weight(&rel, w)).unwrap();
                                     (
                                         (),
                                         OpRecord::Insert {
@@ -235,18 +230,28 @@ fn small_histories_are_linearizable() {
                                 }),
                                 1 => rec.record(|| {
                                     let r = rel.remove(&edge(&rel, s, dd)).unwrap();
-                                    ((), OpRecord::Remove { s: edge(&rel, s, dd), result: r })
+                                    (
+                                        (),
+                                        OpRecord::Remove {
+                                            s: edge(&rel, s, dd),
+                                            result: r,
+                                        },
+                                    )
                                 }),
                                 _ => {
-                                    let cols =
-                                        rel.schema().column_set(&["dst", "weight"]).unwrap();
+                                    let cols = rel.schema().column_set(&["dst", "weight"]).unwrap();
                                     rec.record(|| {
-                                        let pat = rel
-                                            .schema()
-                                            .tuple(&[("src", Value::from(s))])
-                                            .unwrap();
+                                        let pat =
+                                            rel.schema().tuple(&[("src", Value::from(s))]).unwrap();
                                         let r = rel.query(&pat, cols).unwrap();
-                                        ((), OpRecord::Query { s: pat, cols, result: r })
+                                        (
+                                            (),
+                                            OpRecord::Query {
+                                                s: pat,
+                                                cols,
+                                                result: r,
+                                            },
+                                        )
                                     })
                                 }
                             }
@@ -263,6 +268,243 @@ fn small_histories_are_linearizable() {
                 "non-linearizable history on {} (round {round}): {history:#?}",
                 rel.placement().name()
             );
+        }
+    }
+}
+
+/// Bank-transfer stress: concurrent multi-operation transactions moving
+/// value between keys must conserve the total — any lost update, partial
+/// commit, or unrolled-back restart breaks the sum. Exercises the undo
+/// log hard: transactions restart mid-flight with effects already applied.
+#[test]
+fn concurrent_transfers_conserve_the_total() {
+    for (name, rel) in variants() {
+        let keys = 4i64;
+        let initial = 100i64;
+        for k in 0..keys {
+            rel.insert(&edge(&rel, k, k), &weight(&rel, initial))
+                .unwrap();
+        }
+        let rel2 = rel.clone();
+        let name2 = name.clone();
+        with_watchdog(120, move || {
+            let threads = 6;
+            let barrier = Arc::new(Barrier::new(threads));
+            let handles: Vec<_> = (0..threads as u64)
+                .map(|tid| {
+                    let rel = rel2.clone();
+                    let barrier = barrier.clone();
+                    let name = name2.clone();
+                    std::thread::spawn(move || {
+                        let wcol = rel.schema().column("weight").unwrap();
+                        let wcols = rel.schema().column_set(&["weight"]).unwrap();
+                        let mut x = (tid + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                        let mut next = move || {
+                            x ^= x << 13;
+                            x ^= x >> 7;
+                            x ^= x << 17;
+                            x
+                        };
+                        barrier.wait();
+                        for i in 0..120 {
+                            let a = (next() % 4) as i64;
+                            let b = (next() % 4) as i64;
+                            if a == b {
+                                continue;
+                            }
+                            let amt = (next() % 5) as i64;
+                            if i % 2 == 0 {
+                                // Remove/re-insert shape: 4 ops, all
+                                // exclusive from the start.
+                                rel.transaction(|tx| {
+                                    let ta = tx
+                                        .remove_returning(&edge(&rel, a, a))?
+                                        .expect("account a exists");
+                                    let tb = tx
+                                        .remove_returning(&edge(&rel, b, b))?
+                                        .expect("account b exists");
+                                    let wa = ta.get(wcol).and_then(|v| v.as_int()).unwrap();
+                                    let wb = tb.get(wcol).and_then(|v| v.as_int()).unwrap();
+                                    tx.insert(&edge(&rel, a, a), &weight(&rel, wa - amt))?;
+                                    tx.insert(&edge(&rel, b, b), &weight(&rel, wb + amt))?;
+                                    Ok(())
+                                })
+                                .unwrap_or_else(|e| panic!("{name}: {e}"));
+                            } else {
+                                // Read-then-update shape: shared locks
+                                // first, upgraded by the updates.
+                                rel.transaction(|tx| {
+                                    let qa = tx.query(&edge(&rel, a, a), wcols)?;
+                                    let qb = tx.query(&edge(&rel, b, b), wcols)?;
+                                    assert!(
+                                        !qa.is_empty() && !qb.is_empty(),
+                                        "{name}: key vanished mid-history: a={qa:?} b={qb:?}"
+                                    );
+                                    let wa = qa[0].get(wcol).and_then(|v| v.as_int()).unwrap();
+                                    let wb = qb[0].get(wcol).and_then(|v| v.as_int()).unwrap();
+                                    tx.update(&edge(&rel, a, a), &weight(&rel, wa - amt))?;
+                                    tx.update(&edge(&rel, b, b), &weight(&rel, wb + amt))?;
+                                    Ok(())
+                                })
+                                .unwrap_or_else(|e| panic!("{name}: {e}"));
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        let snap = rel.verify().unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(snap.len(), keys as usize, "{name}");
+        let wcol = rel.schema().column("weight").unwrap();
+        let total: i64 = snap
+            .iter()
+            .map(|t| t.get(wcol).and_then(|v| v.as_int()).unwrap())
+            .sum();
+        assert_eq!(
+            total,
+            keys * initial,
+            "{name}: transfers must conserve the sum"
+        );
+        assert_eq!(rel.len(), keys as usize, "{name}");
+        let stats = rel.lock_stats();
+        assert!(stats.commits > 0, "{name}: {stats}");
+        assert!(stats.rollbacks >= stats.restarts, "{name}: {stats}");
+    }
+}
+
+/// Wing–Gong checking of short concurrent histories that include
+/// *multi-operation transactions* (recorded as single `Txn` events):
+/// each transaction must be one linearization point.
+#[test]
+fn small_transaction_histories_are_linearizable() {
+    let d = diamond(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap);
+    let placements = vec![
+        LockPlacement::fine(&d).unwrap(),
+        LockPlacement::striped_root(&d, 4).unwrap(),
+        LockPlacement::speculative(&d, 4).unwrap(),
+    ];
+    for p in placements {
+        for round in 0..20u64 {
+            let rel = Arc::new(ConcurrentRelation::new(d.clone(), p.clone()).unwrap());
+            let rec = HistoryRecorder::new();
+            let threads = 3;
+            let barrier = Arc::new(Barrier::new(threads));
+            let handles: Vec<_> = (0..threads as u64)
+                .map(|tid| {
+                    let rel = rel.clone();
+                    let rec = rec.clone();
+                    let barrier = barrier.clone();
+                    std::thread::spawn(move || {
+                        let mut x = (round + 1) * (tid + 3) * 0x9e37_79b9;
+                        let mut next = move || {
+                            x ^= x << 13;
+                            x ^= x >> 7;
+                            x ^= x << 17;
+                            x
+                        };
+                        barrier.wait();
+                        for _ in 0..3 {
+                            let s = (next() % 2) as i64;
+                            let dd = (next() % 2) as i64;
+                            let w = (next() % 3) as i64;
+                            match next() % 3 {
+                                0 => {
+                                    // insert + update of the same key in
+                                    // one transaction.
+                                    rec.record(|| {
+                                        let mut ops = Vec::new();
+                                        rel.transaction(|tx| {
+                                            ops.clear();
+                                            let ins =
+                                                tx.insert(&edge(&rel, s, dd), &weight(&rel, w))?;
+                                            ops.push(OpRecord::Insert {
+                                                s: edge(&rel, s, dd),
+                                                t: weight(&rel, w),
+                                                result: ins,
+                                            });
+                                            let upd = tx
+                                                .update(&edge(&rel, s, dd), &weight(&rel, w + 1))?;
+                                            ops.push(OpRecord::Update {
+                                                s: edge(&rel, s, dd),
+                                                t: weight(&rel, w + 1),
+                                                result: upd,
+                                            });
+                                            Ok(())
+                                        })
+                                        .unwrap();
+                                        ((), OpRecord::Txn { ops })
+                                    });
+                                }
+                                1 => {
+                                    // Move the edge to the transposed key.
+                                    rec.record(|| {
+                                        let mut ops = Vec::new();
+                                        rel.transaction(|tx| {
+                                            ops.clear();
+                                            let removed =
+                                                tx.remove_returning(&edge(&rel, s, dd))?;
+                                            ops.push(OpRecord::Remove {
+                                                s: edge(&rel, s, dd),
+                                                result: usize::from(removed.is_some()),
+                                            });
+                                            if let Some(u) = removed {
+                                                let wcol = tx
+                                                    .relation()
+                                                    .schema()
+                                                    .column("weight")
+                                                    .unwrap();
+                                                let wv =
+                                                    u.get(wcol).and_then(|v| v.as_int()).unwrap();
+                                                let ins = tx.insert(
+                                                    &edge(&rel, dd, s),
+                                                    &weight(&rel, wv),
+                                                )?;
+                                                ops.push(OpRecord::Insert {
+                                                    s: edge(&rel, dd, s),
+                                                    t: weight(&rel, wv),
+                                                    result: ins,
+                                                });
+                                            }
+                                            Ok(())
+                                        })
+                                        .unwrap();
+                                        ((), OpRecord::Txn { ops })
+                                    });
+                                }
+                                _ => {
+                                    let cols = rel.schema().column_set(&["dst", "weight"]).unwrap();
+                                    rec.record(|| {
+                                        let pat =
+                                            rel.schema().tuple(&[("src", Value::from(s))]).unwrap();
+                                        let r = rel.query(&pat, cols).unwrap();
+                                        (
+                                            (),
+                                            OpRecord::Query {
+                                                s: pat,
+                                                cols,
+                                                result: r,
+                                            },
+                                        )
+                                    });
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            let history = rec.into_history();
+            assert!(
+                check_linearizable(rel.schema(), &history),
+                "non-linearizable transaction history on {} (round {round}): {history:#?}",
+                rel.placement().name()
+            );
+            rel.verify().unwrap();
         }
     }
 }

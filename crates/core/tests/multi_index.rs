@@ -12,10 +12,7 @@ use relc_containers::ContainerKind;
 use relc_spec::{OracleRelation, RelationSchema, Value};
 
 /// pid → cpu, state; indexed by pid and, separately, by (cpu, pid).
-fn scheduler_decomposition(
-    by_pid: ContainerKind,
-    by_cpu: ContainerKind,
-) -> Arc<Decomposition> {
+fn scheduler_decomposition(by_pid: ContainerKind, by_cpu: ContainerKind) -> Arc<Decomposition> {
     let schema = RelationSchema::builder()
         .column("pid")
         .column("cpu")
@@ -31,10 +28,12 @@ fn scheduler_decomposition(
     let c2 = b.node("queued");
     b.edge(root, p1, &["pid"], by_pid).unwrap();
     b.edge(p1, p2, &["cpu"], ContainerKind::Singleton).unwrap();
-    b.edge(p2, leaf, &["state"], ContainerKind::Singleton).unwrap();
+    b.edge(p2, leaf, &["state"], ContainerKind::Singleton)
+        .unwrap();
     b.edge(root, c1, &["cpu"], by_cpu).unwrap();
     b.edge(c1, c2, &["pid"], by_cpu).unwrap();
-    b.edge(c2, leaf, &["state"], ContainerKind::Singleton).unwrap();
+    b.edge(c2, leaf, &["state"], ContainerKind::Singleton)
+        .unwrap();
     b.build().unwrap()
 }
 
@@ -107,7 +106,12 @@ fn remove_by_pid_filters_candidate_cpus() {
             .unwrap();
         let pids: Vec<i64> = queue
             .iter()
-            .map(|t| t.get(schema.column("pid").unwrap()).unwrap().as_int().unwrap())
+            .map(|t| {
+                t.get(schema.column("pid").unwrap())
+                    .unwrap()
+                    .as_int()
+                    .unwrap()
+            })
             .collect();
         assert_eq!(pids, vec![2], "{name}");
         // Removing an absent pid is a no-op.
@@ -212,8 +216,15 @@ fn concurrent_migrations_keep_indexes_consistent() {
     let mut seen = std::collections::BTreeSet::new();
     for cpu in 0..4i64 {
         let pat = schema.tuple(&[("cpu", Value::from(cpu))]).unwrap();
-        for t in rel.query(&pat, schema.column_set(&["pid"]).unwrap()).unwrap() {
-            let pid = t.get(schema.column("pid").unwrap()).unwrap().as_int().unwrap();
+        for t in rel
+            .query(&pat, schema.column_set(&["pid"]).unwrap())
+            .unwrap()
+        {
+            let pid = t
+                .get(schema.column("pid").unwrap())
+                .unwrap()
+                .as_int()
+                .unwrap();
             assert!(seen.insert(pid), "pid {pid} queued on two cpus");
         }
     }

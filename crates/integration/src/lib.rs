@@ -14,7 +14,10 @@ use relc_containers::ContainerKind;
 pub fn graph_variant_matrix() -> Vec<(String, Arc<ConcurrentRelation>)> {
     let mut out: Vec<(String, Arc<ConcurrentRelation>)> = Vec::new();
     let decomps: Vec<(&str, Arc<Decomposition>)> = vec![
-        ("stick(HM,TM)", stick(ContainerKind::HashMap, ContainerKind::TreeMap)),
+        (
+            "stick(HM,TM)",
+            stick(ContainerKind::HashMap, ContainerKind::TreeMap),
+        ),
         (
             "stick(CHM,HM)",
             stick(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap),
@@ -40,7 +43,10 @@ pub fn graph_variant_matrix() -> Vec<(String, Arc<ConcurrentRelation>)> {
         ),
         (
             "stick(CHM,Splay)",
-            stick(ContainerKind::ConcurrentHashMap, ContainerKind::SplayTreeMap),
+            stick(
+                ContainerKind::ConcurrentHashMap,
+                ContainerKind::SplayTreeMap,
+            ),
         ),
     ];
     for (dname, d) in decomps {
@@ -52,8 +58,7 @@ pub fn graph_variant_matrix() -> Vec<(String, Arc<ConcurrentRelation>)> {
         ];
         for (pname, p) in placements {
             if let Some(p) = p {
-                let rel = ConcurrentRelation::new(d.clone(), p)
-                    .expect("matrix variants are valid");
+                let rel = ConcurrentRelation::new(d.clone(), p).expect("matrix variants are valid");
                 out.push((format!("{dname}/{pname}"), Arc::new(rel)));
             }
         }

@@ -66,6 +66,15 @@ impl std::error::Error for MustRestart {}
 struct Held {
     lock: Arc<PhysicalLock>,
     mode: LockMode,
+    /// Earlier physical locks held under the same key: when a transaction
+    /// removes a node instance and re-creates it (remove + insert of the
+    /// same key, or undo compensation), the *key* is unchanged but the
+    /// physical lock is a fresh object. The engine keeps the dead
+    /// object's lock (transactions blocked on it must stay blocked until
+    /// we release) and additionally acquires the live object's lock —
+    /// treating the new object as covered by the old acquisition would
+    /// publish an instance whose lock was never taken.
+    shadowed: Vec<(Arc<PhysicalLock>, LockMode)>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -148,17 +157,39 @@ impl<O: Ord + Clone + fmt::Debug> TwoPhaseEngine<O> {
             Some(hint) => mode.join(*hint),
             None => mode,
         };
-        if let Some(held) = self.held.get(&key) {
-            if held.mode.covers(mode) {
-                return Ok(());
+        if let Some(held) = self.held.get_mut(&key) {
+            if Arc::ptr_eq(&held.lock, lock) {
+                if held.mode.covers(mode) {
+                    return Ok(());
+                }
+                // Upgrade required: remember and restart.
+                self.hints.insert(key, LockMode::Exclusive);
+                self.local.upgrades += 1;
+                self.local.restarts += 1;
+                return Err(MustRestart {
+                    reason: RestartReason::UpgradeRequired,
+                });
             }
-            // Upgrade required: remember and restart.
-            self.hints.insert(key, LockMode::Exclusive);
-            self.local.upgrades += 1;
-            self.local.restarts += 1;
-            return Err(MustRestart {
-                reason: RestartReason::UpgradeRequired,
-            });
+            // Same key, different physical lock: the instance was replaced
+            // within this transaction (see `Held::shadowed`). Acquire the
+            // new object's lock — try-only, since the key sits at an
+            // arbitrary point of the held order. Replacement objects are
+            // unpublished at this point (their subtree links are written
+            // after their locks are taken), so the try succeeds except
+            // under protocol bugs.
+            let mode = mode.join(held.mode);
+            if !lock.try_acquire(mode) {
+                self.local.contended += 1;
+                self.local.restarts += 1;
+                return Err(MustRestart {
+                    reason: RestartReason::OutOfOrderContention,
+                });
+            }
+            self.local.acquisitions += 1;
+            let old_lock = std::mem::replace(&mut held.lock, Arc::clone(lock));
+            let old_mode = std::mem::replace(&mut held.mode, mode);
+            held.shadowed.push((old_lock, old_mode));
+            return Ok(());
         }
         let in_order = match self.held.last_key_value() {
             None => true,
@@ -179,6 +210,7 @@ impl<O: Ord + Clone + fmt::Debug> TwoPhaseEngine<O> {
             Held {
                 lock: Arc::clone(lock),
                 mode,
+                shadowed: Vec::new(),
             },
         );
         Ok(())
@@ -225,13 +257,20 @@ impl<O: Ord + Clone + fmt::Debug> TwoPhaseEngine<O> {
             .remove(key)
             .unwrap_or_else(|| panic!("unlock of lock {key:?} that is not held"));
         self.phase = Phase::Shrinking;
-        // SAFETY: `held` records the exact mode we acquired.
-        unsafe { held.lock.release(held.mode) };
+        // SAFETY: `held` records the exact modes we acquired.
+        unsafe {
+            held.lock.release(held.mode);
+            for (lock, mode) in held.shadowed {
+                lock.release(mode);
+            }
+        }
     }
 
     /// Commits the transaction: releases all remaining locks, clears mode
-    /// hints, and resets to the growing phase for the next transaction.
+    /// hints, counts a commit, and resets to the growing phase for the next
+    /// transaction.
     pub fn finish(&mut self) {
+        self.local.commits += 1;
         self.release_all();
         self.hints.clear();
         self.phase = Phase::Growing;
@@ -239,17 +278,32 @@ impl<O: Ord + Clone + fmt::Debug> TwoPhaseEngine<O> {
     }
 
     /// Aborts the transaction: releases all locks but *keeps* mode hints so
-    /// the retry acquires adequate modes up front, and resets to growing.
+    /// the retry acquires adequate modes up front, counts a rollback, and
+    /// resets to growing.
     pub fn rollback(&mut self) {
+        self.local.rollbacks += 1;
         self.release_all();
         self.phase = Phase::Growing;
         self.stats.flush(&mut self.local);
     }
 
+    /// Whether the transaction has entered the shrinking phase (released a
+    /// lock without committing). Multi-operation transaction layers use
+    /// this to assert that every operation runs with two-phase discipline
+    /// intact.
+    pub fn in_shrinking_phase(&self) -> bool {
+        self.phase == Phase::Shrinking
+    }
+
     fn release_all(&mut self) {
         for (_, held) in std::mem::take(&mut self.held) {
-            // SAFETY: `held` records the exact mode we acquired.
-            unsafe { held.lock.release(held.mode) };
+            // SAFETY: `held` records the exact modes we acquired.
+            unsafe {
+                held.lock.release(held.mode);
+                for (lock, mode) in held.shadowed {
+                    lock.release(mode);
+                }
+            }
         }
     }
 
@@ -330,11 +384,50 @@ mod tests {
         e.hint(1, LockMode::Exclusive);
         e.rollback();
         e.acquire(1, &a, LockMode::Shared).unwrap();
-        assert_eq!(e.holds(&1), Some(LockMode::Exclusive), "hint survives rollback");
+        assert_eq!(
+            e.holds(&1),
+            Some(LockMode::Exclusive),
+            "hint survives rollback"
+        );
         e.finish();
         e.acquire(1, &a, LockMode::Shared).unwrap();
         assert_eq!(e.holds(&1), Some(LockMode::Shared), "finish clears hints");
         e.finish();
+    }
+
+    #[test]
+    fn replaced_lock_object_under_same_key_is_really_acquired() {
+        // A transaction that unlinks an instance and re-creates it holds
+        // the same *key* but must also hold the fresh object's lock —
+        // otherwise the new instance is published unlocked.
+        let (old, new) = (lock(), lock());
+        let mut e = engine();
+        e.acquire(1, &old, LockMode::Exclusive).unwrap();
+        e.acquire(1, &new, LockMode::Exclusive).unwrap();
+        assert_eq!(e.held_count(), 1, "one key");
+        // Both objects are exclusively held.
+        assert!(!old.try_acquire(LockMode::Shared));
+        assert!(!new.try_acquire(LockMode::Shared));
+        // Covered re-acquisition of the live object is a no-op.
+        e.acquire(1, &new, LockMode::Shared).unwrap();
+        e.finish();
+        // Both released at commit.
+        assert!(old.try_acquire(LockMode::Exclusive));
+        assert!(new.try_acquire(LockMode::Exclusive));
+        unsafe {
+            old.release(LockMode::Exclusive);
+            new.release(LockMode::Exclusive);
+        }
+
+        // A contended replacement object forces a restart (never blocks).
+        let (a, b) = (lock(), lock());
+        assert!(b.try_acquire(LockMode::Shared)); // someone else reads b
+        let mut e = engine();
+        e.acquire(7, &a, LockMode::Exclusive).unwrap();
+        let err = e.acquire(7, &b, LockMode::Exclusive).unwrap_err();
+        assert_eq!(err.reason, RestartReason::OutOfOrderContention);
+        e.rollback();
+        unsafe { b.release(LockMode::Shared) };
     }
 
     #[test]
@@ -347,7 +440,10 @@ mod tests {
         // Key 1 < max held key 2: out of order, must not block.
         let start = std::time::Instant::now();
         let err = e.acquire(1, &a, LockMode::Shared).unwrap_err();
-        assert!(start.elapsed() < Duration::from_millis(100), "must not block");
+        assert!(
+            start.elapsed() < Duration::from_millis(100),
+            "must not block"
+        );
         assert_eq!(err.reason, RestartReason::OutOfOrderContention);
         e.rollback();
         unsafe { a.release(LockMode::Exclusive) };
@@ -416,8 +512,7 @@ mod tests {
         const THREADS: usize = 8;
         const TXNS: usize = 300;
 
-        let locks: Arc<Vec<Arc<PhysicalLock>>> =
-            Arc::new((0..LOCKS).map(|_| lock()).collect());
+        let locks: Arc<Vec<Arc<PhysicalLock>>> = Arc::new((0..LOCKS).map(|_| lock()).collect());
         let barrier = Arc::new(Barrier::new(THREADS));
         let stats = Arc::new(LockStats::new());
 

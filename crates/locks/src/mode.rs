@@ -64,9 +64,15 @@ mod tests {
 
     #[test]
     fn join_is_max() {
-        assert_eq!(LockMode::Shared.join(LockMode::Exclusive), LockMode::Exclusive);
+        assert_eq!(
+            LockMode::Shared.join(LockMode::Exclusive),
+            LockMode::Exclusive
+        );
         assert_eq!(LockMode::Shared.join(LockMode::Shared), LockMode::Shared);
-        assert_eq!(LockMode::Exclusive.join(LockMode::Shared), LockMode::Exclusive);
+        assert_eq!(
+            LockMode::Exclusive.join(LockMode::Shared),
+            LockMode::Exclusive
+        );
     }
 
     #[test]

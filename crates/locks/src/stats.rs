@@ -14,6 +14,8 @@ pub struct LockStats {
     restarts: AtomicU64,
     upgrades: AtomicU64,
     speculation_failures: AtomicU64,
+    commits: AtomicU64,
+    rollbacks: AtomicU64,
 }
 
 /// Per-transaction counter deltas, accumulated locally (no shared-cache
@@ -26,6 +28,8 @@ pub(crate) struct LocalStats {
     pub restarts: u64,
     pub upgrades: u64,
     pub speculation_failures: u64,
+    pub commits: u64,
+    pub rollbacks: u64,
 }
 
 impl LocalStats {
@@ -35,6 +39,8 @@ impl LocalStats {
             && self.restarts == 0
             && self.upgrades == 0
             && self.speculation_failures == 0
+            && self.commits == 0
+            && self.rollbacks == 0
     }
 }
 
@@ -51,7 +57,8 @@ impl LockStats {
             return;
         }
         if local.acquisitions > 0 {
-            self.acquisitions.fetch_add(local.acquisitions, Ordering::Relaxed);
+            self.acquisitions
+                .fetch_add(local.acquisitions, Ordering::Relaxed);
         }
         if local.contended > 0 {
             self.contended.fetch_add(local.contended, Ordering::Relaxed);
@@ -66,6 +73,12 @@ impl LockStats {
             self.speculation_failures
                 .fetch_add(local.speculation_failures, Ordering::Relaxed);
         }
+        if local.commits > 0 {
+            self.commits.fetch_add(local.commits, Ordering::Relaxed);
+        }
+        if local.rollbacks > 0 {
+            self.rollbacks.fetch_add(local.rollbacks, Ordering::Relaxed);
+        }
         *local = LocalStats::default();
     }
 
@@ -77,6 +90,8 @@ impl LockStats {
             restarts: self.restarts.load(Ordering::Relaxed),
             upgrades: self.upgrades.load(Ordering::Relaxed),
             speculation_failures: self.speculation_failures.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            rollbacks: self.rollbacks.load(Ordering::Relaxed),
         }
     }
 }
@@ -94,15 +109,26 @@ pub struct LockStatsSnapshot {
     pub upgrades: u64,
     /// Failed speculative lock guesses (§4.5).
     pub speculation_failures: u64,
+    /// Transactions committed (engine `finish` calls).
+    pub commits: u64,
+    /// Transactions rolled back (engine `rollback` calls: restarts and
+    /// aborts).
+    pub rollbacks: u64,
 }
 
 impl fmt::Display for LockStatsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "acquisitions={} contended={} restarts={} upgrades={} spec-failures={}",
-            self.acquisitions, self.contended, self.restarts, self.upgrades,
-            self.speculation_failures
+            "acquisitions={} contended={} restarts={} upgrades={} \
+             spec-failures={} commits={} rollbacks={}",
+            self.acquisitions,
+            self.contended,
+            self.restarts,
+            self.upgrades,
+            self.speculation_failures,
+            self.commits,
+            self.rollbacks
         )
     }
 }
@@ -120,6 +146,8 @@ mod tests {
             restarts: 1,
             upgrades: 1,
             speculation_failures: 1,
+            commits: 1,
+            rollbacks: 2,
         };
         s.flush(&mut local);
         assert!(local.is_empty(), "flush drains the local deltas");
@@ -130,6 +158,9 @@ mod tests {
         assert_eq!(snap.restarts, 1);
         assert_eq!(snap.upgrades, 1);
         assert_eq!(snap.speculation_failures, 1);
+        assert_eq!(snap.commits, 1);
+        assert_eq!(snap.rollbacks, 2);
         assert!(snap.to_string().contains("acquisitions=2"));
+        assert!(snap.to_string().contains("commits=1"));
     }
 }

@@ -396,6 +396,9 @@ mod tests {
     fn debug_set_formatting() {
         let s = cols(&[0, 2]);
         let dbg = format!("{s:?}");
-        assert!(dbg.contains("ColumnId(0)") && dbg.contains("ColumnId(2)"), "{dbg}");
+        assert!(
+            dbg.contains("ColumnId(0)") && dbg.contains("ColumnId(2)"),
+            "{dbg}"
+        );
     }
 }

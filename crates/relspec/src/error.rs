@@ -33,6 +33,15 @@ pub enum SpecError {
         /// Rendered domain of the offending tuple.
         dom: String,
     },
+    /// `update r s t` requires `t` to assign at least one column.
+    EmptyUpdate,
+    /// `update r s t` requires the updated columns to be disjoint from the
+    /// key pattern (the key names *which* tuple changes; to move a tuple to
+    /// a different key, remove and re-insert it).
+    UpdateOverlapsPattern {
+        /// Rendered shared columns.
+        shared: String,
+    },
 }
 
 impl fmt::Display for SpecError {
@@ -40,7 +49,10 @@ impl fmt::Display for SpecError {
         match self {
             SpecError::UnknownColumn(name) => write!(f, "unknown column `{name}`"),
             SpecError::NotAValuation { dom, expected } => {
-                write!(f, "tuple with domain {dom} is not a valuation for {expected}")
+                write!(
+                    f,
+                    "tuple with domain {dom} is not a valuation for {expected}"
+                )
             }
             SpecError::OverlappingInsertDomains { shared } => {
                 write!(f, "insert key and payload tuples share columns {shared}")
@@ -50,6 +62,15 @@ impl fmt::Display for SpecError {
             }
             SpecError::RemoveNotByKey { dom } => {
                 write!(f, "remove pattern {dom} is not a key for the relation")
+            }
+            SpecError::EmptyUpdate => {
+                write!(f, "update assigns no columns")
+            }
+            SpecError::UpdateOverlapsPattern { shared } => {
+                write!(
+                    f,
+                    "update assignment overlaps the key pattern on columns {shared}"
+                )
             }
         }
     }
@@ -69,9 +90,17 @@ mod tests {
                 dom: "{a}".into(),
                 expected: "{a, b}".into(),
             },
-            SpecError::OverlappingInsertDomains { shared: "{a}".into() },
-            SpecError::FdViolation { fd: "a → b".into() },
+            SpecError::OverlappingInsertDomains {
+                shared: "{a}".into(),
+            },
+            SpecError::FdViolation {
+                fd: "a → b".into()
+            },
             SpecError::RemoveNotByKey { dom: "{b}".into() },
+            SpecError::EmptyUpdate,
+            SpecError::UpdateOverlapsPattern {
+                shared: "{a}".into(),
+            },
         ];
         for e in errs {
             let msg = format!("{e}");

@@ -111,6 +111,47 @@ impl OracleRelation {
         before - guard.len()
     }
 
+    /// `update r s t`: replaces the unique tuple `u ⊇ s` with `u ⊕ t`
+    /// (right-biased override), returning the replaced tuple, or `None` if
+    /// no tuple extends `s` (§2).
+    ///
+    /// Like the paper's implementation of `remove`, `s` must be a key, so
+    /// at most one tuple matches; the updated columns must be disjoint
+    /// from the key pattern (a tuple's identity does not change under
+    /// `update` — remove and re-insert to move it).
+    ///
+    /// # Errors
+    ///
+    /// * [`SpecError::RemoveNotByKey`] if `dom s` is not a key;
+    /// * [`SpecError::EmptyUpdate`] if `t` assigns nothing;
+    /// * [`SpecError::UpdateOverlapsPattern`] if `t` assigns a column of
+    ///   `dom s`.
+    pub fn update(&self, s: &Tuple, t: &Tuple) -> Result<Option<Tuple>, SpecError> {
+        if t.is_empty() {
+            return Err(SpecError::EmptyUpdate);
+        }
+        if !s.dom().is_disjoint(t.dom()) {
+            return Err(SpecError::UpdateOverlapsPattern {
+                shared: self
+                    .schema
+                    .catalog()
+                    .render_set(s.dom().intersection(t.dom())),
+            });
+        }
+        if !self.schema.is_key(s.dom()) {
+            return Err(SpecError::RemoveNotByKey {
+                dom: self.schema.catalog().render_set(s.dom()),
+            });
+        }
+        let mut guard = self.tuples.lock().expect("oracle lock poisoned");
+        let Some(old) = guard.iter().find(|u| u.extends(s)).cloned() else {
+            return Ok(None);
+        };
+        guard.remove(&old);
+        guard.insert(old.override_with(t));
+        Ok(Some(old))
+    }
+
     /// `query r s C`: returns `π_C {t ∈ r | t ⊇ s}` as a deduplicated,
     /// sorted vector (§2).
     pub fn query(&self, s: &Tuple, cols: ColumnSet) -> Vec<Tuple> {
@@ -199,7 +240,10 @@ mod tests {
         assert!(!r.insert(&edge_key(&r, 1, 2), &weight(&r, 101)).unwrap());
         assert_eq!(r.len(), 1);
         let snap = r.snapshot();
-        assert_eq!(snap[0].get(r.schema().column("weight").unwrap()), Some(&Value::from(42)));
+        assert_eq!(
+            snap[0].get(r.schema().column("weight").unwrap()),
+            Some(&Value::from(42))
+        );
     }
 
     #[test]

@@ -293,7 +293,12 @@ mod tests {
 
     #[test]
     fn library_schemas_are_well_formed() {
-        for s in [graph_schema(), dcache_schema(), kv_schema(), scheduler_schema()] {
+        for s in [
+            graph_schema(),
+            dcache_schema(),
+            kv_schema(),
+            scheduler_schema(),
+        ] {
             assert!(!s.columns().is_empty());
             assert!(!s.describe().is_empty());
             assert!(!format!("{s}").is_empty());

@@ -121,10 +121,7 @@ impl Tuple {
     /// assert!(!small.extends(&big));
     /// ```
     pub fn extends(&self, other: &Tuple) -> bool {
-        other
-            .fields
-            .iter()
-            .all(|(c, v)| self.get(*c) == Some(v))
+        other.fields.iter().all(|(c, v)| self.get(*c) == Some(v))
     }
 
     /// Whether `self ∼ other`: the tuples agree on all *common* columns.
@@ -167,6 +164,36 @@ impl Tuple {
         }
         fields.sort_by_key(|(c, _)| *c);
         Ok(Tuple { fields })
+    }
+
+    /// Right-biased override: the fields of `self`, with every column of
+    /// `other` taking `other`'s value (columns new in `other` are added).
+    /// This is the §2 `update` combinator: `update r s t` replaces the
+    /// tuple `u ⊇ s` with `u ⊕ t`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use relc_spec::{Tuple, Value, ColumnId};
+    /// let c0 = ColumnId::from_index(0);
+    /// let c1 = ColumnId::from_index(1);
+    /// let u = Tuple::from_pairs([(c0, Value::from(1)), (c1, Value::from(2))]);
+    /// let t = Tuple::from_pairs([(c1, Value::from(9))]);
+    /// let got = u.override_with(&t);
+    /// assert_eq!(got.get(c0), Some(&Value::from(1)));
+    /// assert_eq!(got.get(c1), Some(&Value::from(9)));
+    /// ```
+    #[must_use]
+    pub fn override_with(&self, other: &Tuple) -> Tuple {
+        let mut fields: Vec<(ColumnId, Value)> = self
+            .fields
+            .iter()
+            .filter(|(c, _)| other.get(*c).is_none())
+            .cloned()
+            .collect();
+        fields.extend(other.fields.iter().cloned());
+        fields.sort_by_key(|(c, _)| *c);
+        Tuple { fields }
     }
 
     /// A deterministic 64-bit hash of the projection of this tuple onto

@@ -23,10 +23,11 @@ use std::sync::Arc;
 /// assert!(a < b); // integers order before strings
 /// assert_eq!(a.as_int(), Some(42));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum Value {
     /// A unit value; used for columns that carry no data (e.g. set-like
     /// relations) and as the key of singleton container entries.
+    #[default]
     Unit,
     /// A boolean.
     Bool(bool),
@@ -116,12 +117,6 @@ impl Value {
             }
         }
         h
-    }
-}
-
-impl Default for Value {
-    fn default() -> Self {
-        Value::Unit
     }
 }
 
@@ -223,7 +218,12 @@ mod tests {
 
     #[test]
     fn display_is_nonempty() {
-        for v in [Value::Unit, Value::from(1), Value::from("x"), Value::from(true)] {
+        for v in [
+            Value::Unit,
+            Value::from(1),
+            Value::from("x"),
+            Value::from(true),
+        ] {
             assert!(!format!("{v}").is_empty());
             assert!(!format!("{v:?}").is_empty());
         }

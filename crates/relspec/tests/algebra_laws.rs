@@ -22,8 +22,11 @@ fn tuple_strategy() -> impl Strategy<Value = Tuple> {
 }
 
 fn fdset_strategy() -> impl Strategy<Value = FdSet> {
-    proptest::collection::vec((colset_strategy(), colset_strategy()), 0..5)
-        .prop_map(|v| v.into_iter().map(|(l, r)| FunctionalDependency::new(l, r)).collect())
+    proptest::collection::vec((colset_strategy(), colset_strategy()), 0..5).prop_map(|v| {
+        v.into_iter()
+            .map(|(l, r)| FunctionalDependency::new(l, r))
+            .collect()
+    })
 }
 
 proptest! {

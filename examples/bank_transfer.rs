@@ -1,0 +1,139 @@
+//! Atomic read-modify-write with multi-operation transactions — the thing
+//! the single-shot API *cannot* express.
+//!
+//! A bank keeps accounts in a synthesized concurrent relation
+//! `{key, value}` (key → balance). Transfers must move money atomically:
+//! with only single-shot `insert`/`remove`/`query`, any two-step
+//! read-then-write admits lost updates under concurrency. With
+//! [`ConcurrentRelation::transaction`], the read, the debit, and the
+//! credit share one two-phase lock scope — the whole closure restarts on
+//! conflicts, so the invariant "total balance is constant" holds under
+//! any interleaving.
+//!
+//! ```text
+//! cargo run -p relc-integration --example bank_transfer
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+use relc::decomp::library::kv;
+use relc::placement::LockPlacement;
+use relc::ConcurrentRelation;
+use relc_containers::ContainerKind;
+use relc_spec::{RelationSchema, Tuple, Value};
+
+const ACCOUNTS: i64 = 8;
+const INITIAL: i64 = 1_000;
+const THREADS: usize = 8;
+const TRANSFERS: usize = 2_000;
+
+fn account(schema: &RelationSchema, id: i64) -> Tuple {
+    schema.tuple(&[("key", Value::from(id))]).unwrap()
+}
+
+fn balance(schema: &RelationSchema, v: i64) -> Tuple {
+    schema.tuple(&[("value", Value::from(v))]).unwrap()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Accounts as a key→value relation, striped across 64 root locks.
+    let decomp = kv(ContainerKind::ConcurrentHashMap);
+    let placement = LockPlacement::striped_root(&decomp, 64)?;
+    let bank = Arc::new(ConcurrentRelation::new(decomp.clone(), placement)?);
+    let schema = decomp.schema().clone();
+    let value_col = schema.column("value")?;
+
+    for id in 0..ACCOUNTS {
+        bank.insert(&account(&schema, id), &balance(&schema, INITIAL))?;
+    }
+    println!(
+        "opened {ACCOUNTS} accounts with {INITIAL} each (total {})",
+        ACCOUNTS * INITIAL
+    );
+
+    // Hammer the bank with concurrent transfers between random accounts.
+    let rejected = Arc::new(AtomicU64::new(0));
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let workers: Vec<_> = (0..THREADS as u64)
+        .map(|tid| {
+            let bank = Arc::clone(&bank);
+            let schema = schema.clone();
+            let barrier = Arc::clone(&barrier);
+            let rejected = Arc::clone(&rejected);
+            std::thread::spawn(move || {
+                let mut x = (tid + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                let mut next = move || {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    x
+                };
+                barrier.wait();
+                for _ in 0..TRANSFERS {
+                    let from = (next() % ACCOUNTS as u64) as i64;
+                    let to = (next() % ACCOUNTS as u64) as i64;
+                    if from == to {
+                        continue;
+                    }
+                    let amount = (next() % 50) as i64;
+                    // The transfer: read both balances, debit, credit —
+                    // one serializable step. The reads take shared locks
+                    // that the updates upgrade; on any conflict the whole
+                    // closure re-runs, so it computes everything from
+                    // values read *inside* the transaction.
+                    let value_cols = schema.column_set(&["value"]).unwrap();
+                    let result = bank.transaction(|tx| {
+                        let from_balance = tx.query(&account(&schema, from), value_cols)?[0]
+                            .get(value_col)
+                            .and_then(Value::as_int)
+                            .unwrap();
+                        if from_balance < amount {
+                            return Err(tx.abort("insufficient funds"));
+                        }
+                        let to_balance = tx.query(&account(&schema, to), value_cols)?[0]
+                            .get(value_col)
+                            .and_then(Value::as_int)
+                            .unwrap();
+                        tx.update(
+                            &account(&schema, from),
+                            &balance(&schema, from_balance - amount),
+                        )?;
+                        tx.update(
+                            &account(&schema, to),
+                            &balance(&schema, to_balance + amount),
+                        )?;
+                        Ok(())
+                    });
+                    match result {
+                        Ok(()) => {}
+                        Err(relc::CoreError::TransactionAborted(_)) => {
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("transfer failed: {e}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("worker panicked");
+    }
+
+    // The books must balance exactly, and no account may be overdrawn.
+    let mut total = 0;
+    for id in 0..ACCOUNTS {
+        let row = bank.query(&account(&schema, id), schema.column_set(&["value"])?)?;
+        let b = row[0].get(value_col).and_then(Value::as_int).unwrap();
+        assert!(b >= 0, "account {id} overdrawn: {b}");
+        println!("account {id}: {b}");
+        total += b;
+    }
+    assert_eq!(total, ACCOUNTS * INITIAL, "money was created or destroyed");
+    println!(
+        "total {total} — conserved; {} transfers rejected for insufficient funds",
+        rejected.load(Ordering::Relaxed)
+    );
+    println!("lock traffic: {}", bank.lock_stats());
+    Ok(())
+}

@@ -74,7 +74,11 @@ impl Dcache {
             .schema()
             .tuple(&[("parent", Value::from(parent))])
             .expect("schema");
-        let cols = self.rel.schema().column_set(&["name", "child"]).expect("schema");
+        let cols = self
+            .rel
+            .schema()
+            .column_set(&["name", "child"])
+            .expect("schema");
         let name_col = self.rel.schema().column("name").expect("schema");
         let child_col = self.rel.schema().column("child").expect("schema");
         self.rel
@@ -83,7 +87,10 @@ impl Dcache {
             .into_iter()
             .map(|t| {
                 (
-                    t.get(name_col).and_then(Value::as_str).expect("name").to_owned(),
+                    t.get(name_col)
+                        .and_then(Value::as_str)
+                        .expect("name")
+                        .to_owned(),
                     t.get(child_col).and_then(Value::as_int).expect("child"),
                 )
             })
@@ -138,7 +145,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut listing = fs.readdir(1);
     listing.sort();
     for (name, inode) in &listing {
-        println!("  {name:<12} -> inode {inode} ({} entries)", fs.readdir(*inode).len());
+        println!(
+            "  {name:<12} -> inode {inode} ({} entries)",
+            fs.readdir(*inode).len()
+        );
     }
     assert_eq!(
         listing.iter().filter(|(n, _)| n == "shared.lock").count(),

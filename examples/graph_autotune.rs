@@ -18,7 +18,9 @@ fn main() {
         space.len()
     );
 
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let scenarios = [
         ("successor-heavy service", OpMix::new(70, 0, 20, 10)),
         ("bidirectional analytics", OpMix::new(45, 45, 9, 1)),

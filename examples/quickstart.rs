@@ -67,7 +67,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &schema.tuple(&[("dst", Value::from(1))])?,
         schema.column_set(&["src", "weight"])?,
     )?;
-    println!("node 1: {} successors, {} predecessors", successors.len(), predecessors.len());
+    println!(
+        "node 1: {} successors, {} predecessors",
+        successors.len(),
+        predecessors.len()
+    );
 
     // 6. Structural self-check (branch agreement, sharing, cleanup).
     graph.verify().map_err(|e| format!("integrity: {e}"))?;

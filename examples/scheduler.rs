@@ -36,11 +36,14 @@ fn scheduler_decomposition() -> Arc<Decomposition> {
     let c2 = b.node("queued");
     b.edge(root, p1, &["pid"], ContainerKind::ConcurrentHashMap)
         .expect("cols");
-    b.edge(p1, p2, &["cpu"], ContainerKind::Singleton).expect("cols");
+    b.edge(p1, p2, &["cpu"], ContainerKind::Singleton)
+        .expect("cols");
     b.edge(p2, leaf1, &["state"], ContainerKind::Singleton)
         .expect("cols");
-    b.edge(root, c1, &["cpu"], ContainerKind::TreeMap).expect("cols");
-    b.edge(c1, c2, &["pid"], ContainerKind::TreeMap).expect("cols");
+    b.edge(root, c1, &["cpu"], ContainerKind::TreeMap)
+        .expect("cols");
+    b.edge(c1, c2, &["pid"], ContainerKind::TreeMap)
+        .expect("cols");
     b.edge(c2, leaf1, &["state"], ContainerKind::Singleton)
         .expect("cols");
     b.build().expect("adequate")
@@ -54,10 +57,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // of its branch (the cpu branch is coarse under ρ's stripe 0).
     let mut pb = LockPlacement::builder(d.clone());
     for (e, em) in d.edges() {
-        if d.node(em.src).name == "byPid" || (d.node(em.src).name == "ρ" && {
-            let dst = &d.node(em.dst).name;
-            dst == "byPid"
-        }) {
+        if d.node(em.src).name == "byPid"
+            || (d.node(em.src).name == "ρ" && {
+                let dst = &d.node(em.dst).name;
+                dst == "byPid"
+            })
+        {
             pb.place_striped(e, em.src, d.schema().column_set(&["pid"])?);
         } else if d.node(em.src).name == "pidCpu" {
             pb.place(e, em.src);
@@ -122,7 +127,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     let total_migrations: usize = workers.into_iter().map(|w| w.join().expect("worker")).sum();
 
-    println!("performed {total_migrations} migrations; {} processes live", sched.len());
+    println!(
+        "performed {total_migrations} migrations; {} processes live",
+        sched.len()
+    );
     for cpu in 0..8i64 {
         let pat = schema.tuple(&[("cpu", Value::from(cpu))])?;
         let q = sched.query(&pat, schema.column_set(&["pid"])?)?;

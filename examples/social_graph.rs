@@ -59,7 +59,11 @@ impl SocialGraph {
     }
 
     fn following(&self, who: i64) -> Vec<i64> {
-        let pat = self.rel.schema().tuple(&[("src", Value::from(who))]).expect("schema");
+        let pat = self
+            .rel
+            .schema()
+            .tuple(&[("src", Value::from(who))])
+            .expect("schema");
         let cols = self.rel.schema().column_set(&["dst"]).expect("schema");
         let dst = self.rel.schema().column("dst").expect("schema");
         self.rel
@@ -71,7 +75,11 @@ impl SocialGraph {
     }
 
     fn followers(&self, whom: i64) -> Vec<i64> {
-        let pat = self.rel.schema().tuple(&[("dst", Value::from(whom))]).expect("schema");
+        let pat = self
+            .rel
+            .schema()
+            .tuple(&[("dst", Value::from(whom))])
+            .expect("schema");
         let cols = self.rel.schema().column_set(&["src"]).expect("schema");
         let src = self.rel.schema().column("src").expect("schema");
         self.rel

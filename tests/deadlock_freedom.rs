@@ -92,7 +92,10 @@ fn speculative_churn_makes_progress() {
                             .schema()
                             .tuple(&[("src", Value::from(k)), ("dst", Value::from(k))])
                             .unwrap();
-                        let w = rel.schema().tuple(&[("weight", Value::from(tid as i64))]).unwrap();
+                        let w = rel
+                            .schema()
+                            .tuple(&[("weight", Value::from(tid as i64))])
+                            .unwrap();
                         match (tid + i as usize) % 3 {
                             0 => {
                                 let _ = rel.insert(&key, &w);
@@ -101,8 +104,7 @@ fn speculative_churn_makes_progress() {
                                 let _ = rel.remove(&key);
                             }
                             _ => {
-                                let pat =
-                                    rel.schema().tuple(&[("src", Value::from(k))]).unwrap();
+                                let pat = rel.schema().tuple(&[("src", Value::from(k))]).unwrap();
                                 let _ = rel.query(&pat, dw).unwrap();
                             }
                         }
@@ -118,6 +120,74 @@ fn speculative_churn_makes_progress() {
     // Speculation failures should actually have been exercised.
     let stats = rel.lock_stats();
     assert!(stats.acquisitions > 0);
+}
+
+/// Multi-operation transactions acquiring locks in *opposite* key orders —
+/// the textbook deadlock shape — must restart and make progress, never
+/// hang: transaction A touches key 1 then key 2 while B touches 2 then 1,
+/// under one two-phase scope each. The engine's ordered/try-restart
+/// protocol turns the would-be deadlock into a restart of the whole
+/// closure.
+#[test]
+fn conflicting_transaction_orders_restart_not_deadlock() {
+    for (name, rel) in graph_variant_matrix() {
+        // Two fixed keys, touched in opposite orders by alternating threads.
+        let k = |rel: &relc::ConcurrentRelation, s: i64| {
+            rel.schema()
+                .tuple(&[("src", Value::from(s)), ("dst", Value::from(s))])
+                .unwrap()
+        };
+        let w = |rel: &relc::ConcurrentRelation, v: i64| {
+            rel.schema().tuple(&[("weight", Value::from(v))]).unwrap()
+        };
+        rel.insert(&k(&rel, 1), &w(&rel, 0)).unwrap();
+        rel.insert(&k(&rel, 2), &w(&rel, 0)).unwrap();
+        let rel2 = rel.clone();
+        let name2 = name.clone();
+        with_watchdog(90, name.clone(), move || {
+            let threads = 8usize;
+            let barrier = Arc::new(Barrier::new(threads));
+            let handles: Vec<_> = (0..threads)
+                .map(|tid| {
+                    let rel = rel2.clone();
+                    let barrier = barrier.clone();
+                    let name = name2.clone();
+                    std::thread::spawn(move || {
+                        barrier.wait();
+                        for i in 0..200i64 {
+                            let (first, second) = if tid % 2 == 0 { (1, 2) } else { (2, 1) };
+                            let key1 = rel
+                                .schema()
+                                .tuple(&[("src", Value::from(first)), ("dst", Value::from(first))])
+                                .unwrap();
+                            let key2 = rel
+                                .schema()
+                                .tuple(&[
+                                    ("src", Value::from(second)),
+                                    ("dst", Value::from(second)),
+                                ])
+                                .unwrap();
+                            let wt = rel.schema().tuple(&[("weight", Value::from(i))]).unwrap();
+                            rel.transaction(|tx| {
+                                tx.update(&key1, &wt)?;
+                                tx.update(&key2, &wt)?;
+                                Ok(())
+                            })
+                            .unwrap_or_else(|e| panic!("{name}: {e}"));
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        rel.verify().unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(rel.len(), 2, "{name}");
+        let s = rel.lock_stats();
+        assert!(s.commits > 0, "{name}: {s}");
+        assert!(s.rollbacks >= s.restarts, "{name}: {s}");
+    }
 }
 
 /// The restart machinery terminates: after heavy contention, all lock

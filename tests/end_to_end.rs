@@ -176,7 +176,10 @@ fn dcache_end_to_end_with_hash_shortcut() {
                     let name = format!("f{tid}_{i}");
                     let s = fs
                         .schema()
-                        .tuple(&[("parent", Value::from(1)), ("name", Value::from(name.as_str()))])
+                        .tuple(&[
+                            ("parent", Value::from(1)),
+                            ("name", Value::from(name.as_str())),
+                        ])
                         .unwrap();
                     let t = fs.schema().tuple(&[("child", Value::from(inode))]).unwrap();
                     assert!(fs.insert(&s, &t).unwrap());

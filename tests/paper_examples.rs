@@ -135,14 +135,22 @@ fn figure2_instance_sharing_is_physical() {
     let key = schema
         .tuple(&[("parent", Value::from(2)), ("name", Value::from("b"))])
         .unwrap();
-    assert_eq!(r.remove(&key).unwrap(), 1, "remove via the (parent,name) key");
+    assert_eq!(
+        r.remove(&key).unwrap(),
+        1,
+        "remove via the (parent,name) key"
+    );
     let listing = r
         .query(
             &schema.tuple(&[("parent", Value::from(2))]).unwrap(),
             schema.column_set(&["name", "child"]).unwrap(),
         )
         .unwrap();
-    assert_eq!(listing.len(), 1, "tree path no longer lists the removed entry");
+    assert_eq!(
+        listing.len(),
+        1,
+        "tree path no longer lists the removed entry"
+    );
     r.verify().unwrap();
 }
 
@@ -187,7 +195,10 @@ fn section52_query_plans() {
         .plan_query(ColumnSet::EMPTY, d.schema().columns())
         .unwrap();
     let rendered = planner.render(&plan2);
-    assert!(rendered.contains("scan(a, ρy)") || rendered.contains("scan(b, ρy)"), "{rendered}");
+    assert!(
+        rendered.contains("scan(a, ρy)") || rendered.contains("scan(b, ρy)"),
+        "{rendered}"
+    );
     assert!(rendered.contains("yz"), "{rendered}");
     // Exactly one physical lock is involved (ρ), matching plan (2)'s single
     // lock/unlock pair around the scans.
@@ -216,7 +227,10 @@ fn section52_query_plans() {
         .unwrap();
     let rx = d.edge_between("ρ", "x").unwrap();
     assert!(
-        by_parent.steps.iter().any(|s| matches!(s, PlanStep::Lookup { edge } if *edge == rx)),
+        by_parent
+            .steps
+            .iter()
+            .any(|s| matches!(s, PlanStep::Lookup { edge } if *edge == rx)),
         "parent-bound queries lookup the tree level: {}",
         planner.render(&by_parent)
     );
@@ -292,6 +306,9 @@ fn insert_with_empty_key_pattern() {
             ("weight", Value::from(9)),
         ])
         .unwrap();
-    assert!(!r.insert(&Tuple::empty(), &full2).unwrap(), "relation not empty");
+    assert!(
+        !r.insert(&Tuple::empty(), &full2).unwrap(),
+        "relation not empty"
+    );
     assert_eq!(r.len(), 1);
 }

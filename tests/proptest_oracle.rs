@@ -51,22 +51,17 @@ fn variant_strategy() -> impl Strategy<Value = (Arc<Decomposition>, &'static str
         Just("striped"),
         Just("speculative"),
     ];
-    (structure, containers.clone(), containers, placement).prop_map(
-        |(s, top, second, pl)| {
-            let d = match s {
-                0 => stick(top, second),
-                1 => split(top, second),
-                _ => diamond(top, second),
-            };
-            (d, pl)
-        },
-    )
+    (structure, containers.clone(), containers, placement).prop_map(|(s, top, second, pl)| {
+        let d = match s {
+            0 => stick(top, second),
+            1 => split(top, second),
+            _ => diamond(top, second),
+        };
+        (d, pl)
+    })
 }
 
-fn build_placement(
-    d: &Arc<Decomposition>,
-    kind: &str,
-) -> Option<Arc<relc::LockPlacement>> {
+fn build_placement(d: &Arc<Decomposition>, kind: &str) -> Option<Arc<relc::LockPlacement>> {
     match kind {
         "coarse" => LockPlacement::coarse(d).ok(),
         "fine" => LockPlacement::fine(d).ok(),

@@ -1,0 +1,217 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! Implements the `Criterion` → benchmark-group → `Bencher` flow with a
+//! simple calibrated timing loop (warm-up, then a measured batch sized to
+//! a target duration) and median-of-samples reporting to stdout. None of
+//! the real crate's statistics (outlier classification, regressions,
+//! HTML reports) are reproduced — the numbers are honest wall-clock
+//! medians, good enough for coarse comparisons and for keeping the
+//! `cargo bench` targets compiling and runnable offline.
+//!
+//! Respects two environment variables: `BENCH_QUICK=1` shrinks sample
+//! counts (CI smoke), and filters passed on the command line select
+//! groups by substring, like the real crate.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (benches here mostly use
+/// `std::hint::black_box` directly).
+pub use std::hint::black_box;
+
+/// Top-level driver, one per `criterion_main!` binary.
+pub struct Criterion {
+    filter: Option<String>,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let filter = args.iter().find(|a| !a.starts_with('-')).cloned();
+        Criterion {
+            filter,
+            quick: std::env::var_os("BENCH_QUICK").is_some(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let skip = self.filter.as_deref().is_some_and(|f| !name.contains(f));
+        BenchmarkGroup {
+            name: name.to_owned(),
+            sample_size: if self.quick { 10 } else { 50 },
+            skip,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(name);
+        group.bench_with_input(BenchmarkId::from_parameter("-"), &(), |b, ()| f(b));
+        group.finish();
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    skip: bool,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(5);
+        self
+    }
+
+    /// Runs one benchmark with an input parameter.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        if self.skip {
+            return;
+        }
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher, input);
+        bencher.report(&self.name, &id.0);
+    }
+
+    /// Finishes the group (reporting happens per benchmark; this is a
+    /// source-compatibility no-op).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendered from a parameter value.
+    pub fn from_parameter(p: impl fmt::Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// An id with a function name and a parameter value.
+    pub fn new(name: impl fmt::Display, p: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+/// Passed to the benchmark closure; runs the measured routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures `routine`: warm-up, batch-size calibration to ~2ms per
+    /// sample, then `sample_size` timed batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: find a batch size taking ≥ ~2ms.
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let took = start.elapsed();
+            if took >= Duration::from_millis(2) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed().div_f64(batch as f64));
+        }
+    }
+
+    fn report(&mut self, group: &str, id: &str) {
+        if self.samples.is_empty() {
+            println!("{group}/{id:<24} (no samples)");
+            return;
+        }
+        self.samples.sort();
+        let median = self.samples[self.samples.len() / 2];
+        let lo = self.samples[self.samples.len() / 10];
+        let hi = self.samples[self.samples.len() - 1 - self.samples.len() / 10];
+        println!(
+            "{group}/{id:<24} median {:>12} [{} .. {}]",
+            fmt_dur(median),
+            fmt_dur(lo),
+            fmt_dur(hi)
+        );
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noop_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim_smoke");
+        g.sample_size(5);
+        g.bench_with_input(BenchmarkId::from_parameter("noop"), &(), |b, ()| {
+            b.iter(|| 1 + 1)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion {
+            filter: None,
+            quick: true,
+        };
+        noop_bench(&mut c);
+    }
+}

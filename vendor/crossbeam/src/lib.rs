@@ -1,0 +1,243 @@
+//! Offline stand-in for the subset of `crossbeam` this workspace uses
+//! (the `epoch` module consumed by the concurrent skip list).
+//!
+//! The real crate provides epoch-based memory reclamation: retired nodes
+//! are destroyed once no pinned thread can still observe them. This
+//! stand-in keeps the exact same API but *defers destruction forever*
+//! (i.e. leaks retired nodes). That is a sound instantiation of the epoch
+//! contract — deferral is allowed to be unbounded — at the cost of memory
+//! growth proportional to the number of removals while the container is
+//! alive. `Drop`-time teardown via [`epoch::unprotected`] still frees the
+//! *linked* structure. Replacing this with real epoch reclamation is
+//! tracked as a roadmap item.
+
+/// Epoch-based reclamation API (leaking stand-in; see crate docs).
+pub mod epoch {
+    use std::marker::PhantomData;
+    use std::sync::atomic::{AtomicPtr, Ordering};
+
+    /// A pinned-epoch guard. In this stand-in it carries no state: pinning
+    /// never blocks reclamation because reclamation never happens.
+    #[derive(Debug)]
+    pub struct Guard {
+        _priv: (),
+    }
+
+    static UNPROTECTED: Guard = Guard { _priv: () };
+
+    /// Pins the current thread, returning a guard.
+    pub fn pin() -> Guard {
+        Guard { _priv: () }
+    }
+
+    /// Returns a guard usable without pinning.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee that no other thread can concurrently
+    /// access the data structure (e.g. inside `Drop` with `&mut self`).
+    pub unsafe fn unprotected() -> &'static Guard {
+        &UNPROTECTED
+    }
+
+    impl Guard {
+        /// Schedules `ptr`'s referent for destruction once all pinned
+        /// threads have moved on. This stand-in leaks it instead, which is
+        /// a legal (if wasteful) deferral.
+        ///
+        /// # Safety
+        ///
+        /// `ptr` must be unreachable to threads that pin after this call.
+        pub unsafe fn defer_destroy<T>(&self, ptr: Shared<'_, T>) {
+            // Intentionally leaked; see the crate-level documentation.
+            let _ = ptr;
+        }
+    }
+
+    /// A heap-owned pointer, analogous to `Box`.
+    #[derive(Debug)]
+    pub struct Owned<T> {
+        inner: Box<T>,
+    }
+
+    impl<T> Owned<T> {
+        /// Allocates `value` on the heap.
+        pub fn new(value: T) -> Self {
+            Owned {
+                inner: Box::new(value),
+            }
+        }
+
+        /// Converts into a [`Shared`] tied to `guard`'s lifetime,
+        /// relinquishing ownership.
+        pub fn into_shared<'g>(self, _guard: &'g Guard) -> Shared<'g, T> {
+            Shared {
+                ptr: Box::into_raw(self.inner),
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    /// A shared pointer valid for the guard lifetime `'g`. May be null.
+    /// (The real crate also packs tag bits; nothing here uses them.)
+    pub struct Shared<'g, T> {
+        ptr: *mut T,
+        _marker: PhantomData<&'g T>,
+    }
+
+    impl<T> Clone for Shared<'_, T> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<T> Copy for Shared<'_, T> {}
+
+    impl<T> PartialEq for Shared<'_, T> {
+        fn eq(&self, other: &Self) -> bool {
+            std::ptr::eq(self.ptr, other.ptr)
+        }
+    }
+
+    impl<T> Eq for Shared<'_, T> {}
+
+    impl<T> std::fmt::Debug for Shared<'_, T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "Shared({:p})", self.ptr)
+        }
+    }
+
+    impl<'g, T> Shared<'g, T> {
+        /// The null pointer.
+        pub fn null() -> Self {
+            Shared {
+                ptr: std::ptr::null_mut(),
+                _marker: PhantomData,
+            }
+        }
+
+        /// Whether the pointer is null.
+        pub fn is_null(&self) -> bool {
+            self.ptr.is_null()
+        }
+
+        /// Dereferences, returning `None` for null.
+        ///
+        /// # Safety
+        ///
+        /// Non-null pointers must reference a live allocation for `'g`.
+        pub unsafe fn as_ref(&self) -> Option<&'g T> {
+            self.ptr.as_ref()
+        }
+
+        /// Dereferences a known non-null pointer.
+        ///
+        /// # Safety
+        ///
+        /// The pointer must be non-null and reference a live allocation
+        /// for `'g`.
+        pub unsafe fn deref(&self) -> &'g T {
+            &*self.ptr
+        }
+
+        /// Reclaims ownership of the allocation.
+        ///
+        /// # Safety
+        ///
+        /// The pointer must be non-null, uniquely reachable, and never
+        /// dereferenced again.
+        pub unsafe fn into_owned(self) -> Owned<T> {
+            Owned {
+                inner: Box::from_raw(self.ptr),
+            }
+        }
+    }
+
+    /// Types convertible into a raw shared pointer (for [`Atomic::store`]
+    /// and [`Atomic::swap`]).
+    pub trait Pointer<T> {
+        /// Consumes `self`, yielding the raw pointer.
+        fn into_ptr(self) -> *mut T;
+    }
+
+    impl<T> Pointer<T> for Shared<'_, T> {
+        fn into_ptr(self) -> *mut T {
+            self.ptr
+        }
+    }
+
+    impl<T> Pointer<T> for Owned<T> {
+        fn into_ptr(self) -> *mut T {
+            Box::into_raw(self.inner)
+        }
+    }
+
+    /// An atomic nullable pointer to `T`.
+    #[derive(Debug)]
+    pub struct Atomic<T> {
+        ptr: AtomicPtr<T>,
+    }
+
+    impl<T> Atomic<T> {
+        /// An atomic null pointer.
+        pub fn null() -> Self {
+            Atomic {
+                ptr: AtomicPtr::new(std::ptr::null_mut()),
+            }
+        }
+
+        /// Allocates `value` and points at it.
+        pub fn new(value: T) -> Self {
+            Atomic {
+                ptr: AtomicPtr::new(Box::into_raw(Box::new(value))),
+            }
+        }
+
+        /// Atomically loads the pointer.
+        pub fn load<'g>(&self, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+            Shared {
+                ptr: self.ptr.load(ord),
+                _marker: PhantomData,
+            }
+        }
+
+        /// Atomically stores `new`.
+        pub fn store<P: Pointer<T>>(&self, new: P, ord: Ordering) {
+            self.ptr.store(new.into_ptr(), ord);
+        }
+
+        /// Atomically swaps in `new`, returning the previous pointer.
+        pub fn swap<'g, P: Pointer<T>>(
+            &self,
+            new: P,
+            ord: Ordering,
+            _guard: &'g Guard,
+        ) -> Shared<'g, T> {
+            Shared {
+                ptr: self.ptr.swap(new.into_ptr(), ord),
+                _marker: PhantomData,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::epoch::{self, Atomic, Owned, Shared};
+    use std::sync::atomic::Ordering::SeqCst;
+
+    #[test]
+    fn atomic_round_trip() {
+        let guard = epoch::pin();
+        let a: Atomic<i32> = Atomic::null();
+        assert!(a.load(SeqCst, &guard).is_null());
+        let s = Owned::new(7).into_shared(&guard);
+        a.store(s, SeqCst);
+        let got = a.load(SeqCst, &guard);
+        assert_eq!(unsafe { got.as_ref() }, Some(&7));
+        let old = a.swap(Shared::null(), SeqCst, &guard);
+        assert_eq!(old, got);
+        assert_eq!(unsafe { *old.deref() }, 7);
+        drop(unsafe { old.into_owned() }); // reclaim manually
+    }
+}

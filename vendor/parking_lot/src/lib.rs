@@ -1,0 +1,328 @@
+//! Offline stand-in for the subset of `parking_lot` this workspace uses.
+//!
+//! The build environment has no network access to crates.io, so this
+//! vendored crate re-implements the needed API surface on top of `std`
+//! primitives:
+//!
+//! * [`Mutex`] / [`RwLock`] — non-poisoning wrappers over the `std`
+//!   equivalents (a poisoned `std` lock panics here, matching
+//!   `parking_lot`'s behavior of not propagating poison);
+//! * [`RawRwLock`] — a raw (guard-free) reader-writer lock built from a
+//!   `Mutex<state>` + `Condvar`, exposing the `lock_api::RawRwLock`
+//!   trait surface (`lock_shared`, `try_lock_exclusive`, ...).
+//!
+//! Fairness and performance niceties of the real crate (eventual fairness,
+//! word-sized state, parking) are intentionally out of scope: correctness
+//! and API compatibility only.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Condvar, Mutex as StdMutex};
+
+/// The `lock_api` trait surface used by `relc-locks`.
+pub mod lock_api {
+    /// A raw reader-writer lock: guard-free acquire/release, callable from
+    /// different scopes (the caller tracks ownership).
+    pub trait RawRwLock {
+        /// An unlocked lock, usable in `const`/static initializers.
+        #[allow(clippy::declare_interior_mutable_const)]
+        const INIT: Self;
+
+        /// Acquires a shared lock, blocking until available.
+        fn lock_shared(&self);
+        /// Attempts to acquire a shared lock without blocking.
+        fn try_lock_shared(&self) -> bool;
+        /// Releases a shared lock.
+        ///
+        /// # Safety
+        ///
+        /// The current context must hold a shared lock.
+        unsafe fn unlock_shared(&self);
+        /// Acquires an exclusive lock, blocking until available.
+        fn lock_exclusive(&self);
+        /// Attempts to acquire an exclusive lock without blocking.
+        fn try_lock_exclusive(&self) -> bool;
+        /// Releases an exclusive lock.
+        ///
+        /// # Safety
+        ///
+        /// The current context must hold the exclusive lock.
+        unsafe fn unlock_exclusive(&self);
+    }
+}
+
+/// Reader-writer lock state: `0` = free, `u32::MAX` = exclusively held,
+/// otherwise the number of shared holders.
+struct RawState {
+    state: StdMutex<u32>,
+    cond: Condvar,
+}
+
+const EXCLUSIVE: u32 = u32::MAX;
+
+/// A raw reader-writer lock (no guards; the caller pairs acquisitions with
+/// releases, as the two-phase engine does).
+pub struct RawRwLock {
+    inner: RawState,
+}
+
+impl lock_api::RawRwLock for RawRwLock {
+    #[allow(clippy::declare_interior_mutable_const)]
+    const INIT: RawRwLock = RawRwLock {
+        inner: RawState {
+            state: StdMutex::new(0),
+            cond: Condvar::new(),
+        },
+    };
+
+    fn lock_shared(&self) {
+        let mut s = self.inner.state.lock().expect("raw rwlock state");
+        while *s == EXCLUSIVE {
+            s = self.inner.cond.wait(s).expect("raw rwlock state");
+        }
+        *s += 1;
+    }
+
+    fn try_lock_shared(&self) -> bool {
+        let mut s = self.inner.state.lock().expect("raw rwlock state");
+        if *s == EXCLUSIVE {
+            false
+        } else {
+            *s += 1;
+            true
+        }
+    }
+
+    unsafe fn unlock_shared(&self) {
+        let mut s = self.inner.state.lock().expect("raw rwlock state");
+        debug_assert!(*s != EXCLUSIVE && *s > 0, "unlock_shared without holders");
+        *s -= 1;
+        if *s == 0 {
+            self.inner.cond.notify_all();
+        }
+    }
+
+    fn lock_exclusive(&self) {
+        let mut s = self.inner.state.lock().expect("raw rwlock state");
+        while *s != 0 {
+            s = self.inner.cond.wait(s).expect("raw rwlock state");
+        }
+        *s = EXCLUSIVE;
+    }
+
+    fn try_lock_exclusive(&self) -> bool {
+        let mut s = self.inner.state.lock().expect("raw rwlock state");
+        if *s != 0 {
+            false
+        } else {
+            *s = EXCLUSIVE;
+            true
+        }
+    }
+
+    unsafe fn unlock_exclusive(&self) {
+        let mut s = self.inner.state.lock().expect("raw rwlock state");
+        debug_assert!(*s == EXCLUSIVE, "unlock_exclusive without the writer");
+        *s = 0;
+        self.inner.cond.notify_all();
+    }
+}
+
+impl fmt::Debug for RawRwLock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("RawRwLock")
+    }
+}
+
+/// A non-poisoning mutex.
+pub struct Mutex<T: ?Sized> {
+    inner: StdMutex<T>,
+}
+
+/// Guard for [`Mutex`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: std::sync::MutexGuard<'a, T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: self.inner.lock().unwrap_or_else(|e| e.into_inner()),
+        }
+    }
+
+    /// Attempts to acquire the mutex without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: g }),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
+                inner: e.into_inner(),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_tuple("Mutex").field(&&*g).finish(),
+            None => f.write_str("Mutex(<locked>)"),
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// A non-poisoning reader-writer lock.
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+/// Shared guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
+/// Exclusive guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a lock holding `value`.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared lock, blocking until available.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(|e| e.into_inner()),
+        }
+    }
+
+    /// Acquires the exclusive lock, blocking until available.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(|e| e.into_inner()),
+        }
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.inner.try_read() {
+            Ok(g) => f.debug_tuple("RwLock").field(&&*g).finish(),
+            Err(_) => f.write_str("RwLock(<locked>)"),
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::lock_api::RawRwLock as _;
+    use super::*;
+
+    #[test]
+    fn raw_rwlock_modes() {
+        let l = RawRwLock::INIT;
+        assert!(l.try_lock_shared());
+        assert!(l.try_lock_shared());
+        assert!(!l.try_lock_exclusive());
+        unsafe { l.unlock_shared() };
+        unsafe { l.unlock_shared() };
+        assert!(l.try_lock_exclusive());
+        assert!(!l.try_lock_shared());
+        unsafe { l.unlock_exclusive() };
+        l.lock_shared();
+        unsafe { l.unlock_shared() };
+    }
+
+    #[test]
+    fn mutex_and_rwlock_round_trip() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        let rw = RwLock::new(vec![1]);
+        rw.write().push(2);
+        assert_eq!(rw.read().len(), 2);
+    }
+}

@@ -1,0 +1,121 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! re-implements the pieces the test suite needs: the [`Strategy`] trait
+//! with `prop_map`/`prop_perturb`, range/tuple/`Just`/`any` strategies,
+//! the [`collection`] and [`option`] combinators, weighted
+//! [`prop_oneof!`], and the [`proptest!`] test macro with
+//! `prop_assert*`-style assertions.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case reports its deterministic case
+//!   index (re-runnable, since generation is seeded by test name + case
+//!   number) instead of a minimized input.
+//! * **No persistence files**, forks, or timeouts.
+//!
+//! Those gaps only affect failure *diagnostics*, not what the properties
+//! verify.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`vec`, `btree_map`).
+pub mod collection {
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Vec`s of `element` with length drawn from `size`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates `Vec`s of `element` values with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.usize_in(self.size.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap`s; see [`btree_map`].
+    #[derive(Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        keys: K,
+        values: V,
+        size: Range<usize>,
+    }
+
+    /// Generates `BTreeMap`s with up to `size.end - 1` entries (duplicate
+    /// generated keys collapse, as in the real crate).
+    pub fn btree_map<K, V>(keys: K, values: V, size: Range<usize>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { keys, values, size }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.usize_in(self.size.clone());
+            let mut out = BTreeMap::new();
+            for _ in 0..n {
+                out.insert(self.keys.generate(rng), self.values.generate(rng));
+            }
+            out
+        }
+    }
+}
+
+/// Option strategies (`of`).
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Option`s; see [`of`].
+    #[derive(Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generates `Some(inner)` three times out of four, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.next_u64().is_multiple_of(4) {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// The usual glob-import surface.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}

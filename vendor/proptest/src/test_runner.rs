@@ -1,0 +1,270 @@
+//! The deterministic case runner behind the [`proptest!`] macro.
+//!
+//! [`proptest!`]: crate::proptest
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Runner configuration (only `cases` is honored by this stand-in).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 128 }
+    }
+}
+
+/// RNG algorithm selector (single-algorithm in this stand-in; kept for
+/// source compatibility).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RngAlgorithm {
+    /// The xoshiro256** generator from the vendored `rand`.
+    #[default]
+    XorShiftLike,
+}
+
+/// The generator handed to strategies (and to `prop_perturb` closures).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// A generator seeded deterministically from `seed`.
+    pub fn seeded(seed: u64) -> Self {
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// A uniform value of `T` (mirrors `rand`'s `random`).
+    pub fn random<T: rand::Standard>(&mut self) -> T {
+        T::sample(&mut self.inner)
+    }
+
+    /// A uniform index in `range`.
+    pub fn usize_in(&mut self, range: std::ops::Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty size range");
+        range.start + (self.next_u64() as usize) % (range.end - range.start)
+    }
+
+    /// An independent generator split off from this one.
+    pub fn fork(&mut self) -> TestRng {
+        TestRng::seeded(self.next_u64())
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        TestRng::next_u64(self)
+    }
+}
+
+/// A failed property case (produced by `prop_assert*` or
+/// [`TestCaseError::fail`]).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Fails the case with `reason`.
+    pub fn fail(reason: impl fmt::Display) -> Self {
+        TestCaseError {
+            message: reason.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+fn fnv(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `body` for each case with a per-case deterministic RNG. Panics on
+/// the first failing case, reporting its index and seed (generation is a
+/// pure function of the seed, so failures replay exactly).
+pub fn run(
+    config: &ProptestConfig,
+    test_name: &str,
+    mut body: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let base = fnv(test_name);
+    for case in 0..config.cases {
+        let seed = base ^ (u64::from(case)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut rng = TestRng::seeded(seed);
+        if let Err(e) = body(&mut rng) {
+            panic!(
+                "property `{test_name}` failed at case {case}/{} (seed {seed:#x}): {e}\n\
+                 (offline proptest stand-in: no shrinking; the case replays \
+                 deterministically from the seed)",
+                config.cases
+            );
+        }
+    }
+}
+
+/// Runs one or more property test functions:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop(x in 0i64..10, ys in proptest::collection::vec(0i64..4, 0..8)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            (<$crate::test_runner::ProptestConfig as ::std::default::Default>::default())
+            $($rest)*
+        );
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::test_runner::run(&__config, stringify!($name), |__rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)*
+                let __out: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        { $body }
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                __out
+            });
+        }
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`", *l, *r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`: {}", *l, *r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fails the current case unless the operands differ.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: `{:?}` != `{:?}`", *l, *r);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_in_bounds(x in 3i64..9, y in 0u8..2) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!(y < 2, "y = {}", y);
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in crate::collection::vec(prop_oneof![2 => 0i64..5, 1 => 10i64..12], 0..20),
+            o in crate::option::of(any::<i64>()),
+            t in (0i64..4, 1u32..3).prop_map(|(a, b)| (a, b)),
+        ) {
+            prop_assert!(v.iter().all(|x| (0..5).contains(x) || (10..12).contains(x)));
+            if let Some(x) = o {
+                prop_assert_ne!(x, x.wrapping_add(1)); // tautology; exercises the macro
+            }
+            prop_assert!(t.1 >= 1 && t.1 < 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let s = (0i64..100, crate::collection::vec(0i64..10, 1..5));
+        let mut r1 = crate::test_runner::TestRng::seeded(9);
+        let mut r2 = crate::test_runner::TestRng::seeded(9);
+        for _ in 0..50 {
+            assert_eq!(
+                Strategy::generate(&s, &mut r1),
+                Strategy::generate(&s, &mut r2)
+            );
+        }
+    }
+}
