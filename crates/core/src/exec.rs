@@ -21,6 +21,41 @@ use crate::placement::{LockPlacement, LockToken};
 use crate::planner::{InsertPlan, MutTraverse, Plan, RemovePlan};
 use crate::query::{PlanStep, QueryState};
 
+/// How a [`Executor::run_insert`] call participates in the transaction
+/// layer's write compensation (see `txn.rs`).
+#[derive(Clone, Copy)]
+pub enum InsertUndo<'p> {
+    /// The final write phase of a single-shot operation: no later
+    /// operation of the same transaction can restart, so this insert can
+    /// never be compensated and no extra locks are needed.
+    None,
+    /// A mid-transaction insert that may later be compensated by a
+    /// structural removal (the given inverse plan): pre-acquire, before
+    /// the first write, every token that removal could need beyond the
+    /// insert's own set, so the compensation can never restart.
+    Prepare(&'p RemovePlan),
+    /// This insert *is* a compensation step (re-inserting a removed
+    /// tuple during rollback). Freshly materialized speculative targets
+    /// must still take their target-side locks before publication: the
+    /// re-inserted value may be uncommitted state that the rest of the
+    /// rollback undoes again, so a speculative reader acquiring the
+    /// otherwise-free lock would dirty-read it — and a later compensation
+    /// step (an unlink of the same key) would then find the lock
+    /// contended and restart, which rollback must never do.
+    Compensation,
+}
+
+impl<'p> InsertUndo<'p> {
+    /// [`InsertUndo::Prepare`] when a mid-transaction inverse plan exists,
+    /// [`InsertUndo::None`] for the final phase of a single-shot operation.
+    pub fn from_inverse(inverse: Option<&'p RemovePlan>) -> Self {
+        match inverse {
+            Some(p) => InsertUndo::Prepare(p),
+            None => InsertUndo::None,
+        }
+    }
+}
+
 /// Executes compiled plans for one transaction at a time.
 pub struct Executor<'a> {
     decomp: &'a Decomposition,
@@ -265,17 +300,21 @@ impl<'a> Executor<'a> {
     /// pattern `s`. Returns whether the tuple was inserted (put-if-absent,
     /// §2).
     ///
-    /// `undo_locks` is the multi-operation transaction layer's inverse
-    /// plan: when a *later* operation of the same transaction restarts,
+    /// `undo` is the multi-operation transaction layer's compensation
+    /// mode: when a *later* operation of the same transaction restarts,
     /// this insert is compensated by structurally removing `x`, and that
     /// removal must never itself restart (the transaction would be left
-    /// half-applied). Passing the inverse [`RemovePlan`] here makes the
-    /// insert pre-acquire, *before its first write*, the only tokens the
-    /// compensation could need beyond the insert's own set: the
-    /// all-stripes tokens of edges whose removal covers a whole striped
-    /// container instance. Single-shot operations pass `None` — their
-    /// writes are the final phase of the transaction, so no compensation
-    /// can run.
+    /// half-applied). [`InsertUndo::Prepare`] carries the inverse
+    /// [`RemovePlan`] and makes the insert pre-acquire, *before its first
+    /// write*, the only tokens the compensation could need beyond the
+    /// insert's own set: the all-stripes tokens of edges whose removal
+    /// covers a whole striped container instance, plus the target-side
+    /// locks of speculative children. Single-shot operations pass
+    /// [`InsertUndo::None`] — their writes are the final phase of the
+    /// transaction, so no compensation can run. Compensation re-inserts
+    /// pass [`InsertUndo::Compensation`], which still locks freshly
+    /// materialized speculative targets before publishing them (see its
+    /// docs for why rollback correctness depends on this).
     ///
     /// # Errors
     ///
@@ -287,7 +326,7 @@ impl<'a> Executor<'a> {
         x: &Tuple,
         s: &Tuple,
         root: &NodeRef,
-        undo_locks: Option<&RemovePlan>,
+        undo: InsertUndo<'_>,
     ) -> Result<bool, MustRestart> {
         self.lock_root_batch(x, root, &|_| false)?;
 
@@ -341,7 +380,7 @@ impl<'a> Executor<'a> {
         // uncontended. Hosts we are about to create fresh are unreachable
         // to other transactions until published, so their locks cannot be
         // contended (they are taken below, after creation).
-        if let Some(inverse) = undo_locks {
+        if let InsertUndo::Prepare(inverse) = undo {
             let mut batch: Vec<(LockToken, Arc<relc_locks::PhysicalLock>)> = Vec::new();
             for (i, &(e, _)) in inverse.edges.iter().enumerate() {
                 let ep = self.placement.edge(e);
@@ -384,7 +423,14 @@ impl<'a> Executor<'a> {
         // are about to write. Fresh instances are unpublished (always
         // uncontended); a shared pre-existing target can contend with a
         // speculative reader, which restarts us — still before any write.
-        if undo_locks.is_some() {
+        // This also runs for compensation re-inserts: a fresh target
+        // published with its lock free would let speculative readers
+        // dirty-read the rolled-back value and could make a later
+        // compensating unlink of the same key restart (the engine's
+        // shadowed-lock mechanism re-acquires the fresh object under the
+        // already-held token, and an unpublished lock is uncontended, so
+        // the acquisition here cannot itself fail).
+        if !matches!(undo, InsertUndo::None) {
             for &e in &plan.edges {
                 if present[e.index()] || !self.placement.edge(e).speculative {
                     continue;

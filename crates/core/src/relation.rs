@@ -110,14 +110,62 @@ impl Drop for ActiveTxnGuard {
 }
 
 thread_local! {
-    static QUERY_MEMO: std::cell::RefCell<HashMap<(u64, u64, u64), Arc<Plan>>> =
-        std::cell::RefCell::new(HashMap::new());
-    static INSERT_MEMO: std::cell::RefCell<HashMap<(u64, u64), Arc<InsertPlan>>> =
-        std::cell::RefCell::new(HashMap::new());
-    static REMOVE_MEMO: std::cell::RefCell<HashMap<(u64, u64), Arc<RemovePlan>>> =
-        std::cell::RefCell::new(HashMap::new());
-    static UPDATE_MEMO: std::cell::RefCell<HashMap<(u64, u64, u64), Arc<UpdatePlan>>> =
-        std::cell::RefCell::new(HashMap::new());
+    static QUERY_MEMO: std::cell::RefCell<PlanMemo<(u64, u64, u64), Arc<Plan>>> =
+        std::cell::RefCell::new(PlanMemo::new());
+    static INSERT_MEMO: std::cell::RefCell<PlanMemo<(u64, u64), Arc<InsertPlan>>> =
+        std::cell::RefCell::new(PlanMemo::new());
+    static REMOVE_MEMO: std::cell::RefCell<PlanMemo<(u64, u64), Arc<RemovePlan>>> =
+        std::cell::RefCell::new(PlanMemo::new());
+    static UPDATE_MEMO: std::cell::RefCell<PlanMemo<(u64, u64, u64), Arc<UpdatePlan>>> =
+        std::cell::RefCell::new(PlanMemo::new());
+}
+
+/// Ids of live relations. The thread-local memos above are keyed by
+/// relation id and would otherwise retain Arc'd plans of dropped
+/// relations forever on long-lived worker threads; once a memo grows past
+/// its sweep point, inserting into it first drops every entry whose
+/// relation is no longer here.
+static LIVE_RELATIONS: std::sync::LazyLock<RwLock<std::collections::HashSet<u64>>> =
+    std::sync::LazyLock::new(|| RwLock::new(std::collections::HashSet::new()));
+
+/// Initial memo size at which an insert sweeps dead-relation entries. A
+/// single relation memoizes one plan per operation *shape*, so a memo
+/// this large means many relations have passed through this thread.
+const MEMO_SWEEP_WATERMARK: usize = 128;
+
+/// A thread-local plan memo with lazy dead-relation eviction. Sweeps are
+/// O(len) with the live-set read lock held, but only ever run on a memo
+/// *miss* (a fresh (relation, shape) pair on this thread), never on the
+/// per-operation hot path — and the sweep point doubles past the live
+/// population, so a thread legitimately serving many live relations does
+/// not re-sweep fruitlessly on every miss.
+struct PlanMemo<K, V> {
+    map: HashMap<K, V>,
+    /// Size at which the next insert sweeps first.
+    sweep_at: usize,
+}
+
+impl<K: std::hash::Hash + Eq, V> PlanMemo<K, V> {
+    fn new() -> Self {
+        PlanMemo {
+            map: HashMap::new(),
+            sweep_at: MEMO_SWEEP_WATERMARK,
+        }
+    }
+
+    fn get(&self, key: &K) -> Option<&V> {
+        self.map.get(key)
+    }
+
+    fn insert(&mut self, key: K, value: V, relation_id: impl Fn(&K) -> u64) {
+        if self.map.len() >= self.sweep_at {
+            let live = LIVE_RELATIONS.read().expect("live-relation set");
+            self.map.retain(|k, _| live.contains(&relation_id(k)));
+            drop(live);
+            self.sweep_at = (self.map.len() * 2).max(MEMO_SWEEP_WATERMARK);
+        }
+        self.map.insert(key, value);
+    }
 }
 
 impl ConcurrentRelation {
@@ -138,6 +186,11 @@ impl ConcurrentRelation {
         }
         let root = NodeInstance::new(&decomp, &placement, decomp.root(), Tuple::empty());
         let planner = Planner::new(Arc::clone(&decomp), Arc::clone(&placement));
+        let id = NEXT_RELATION_ID.fetch_add(1, Ordering::Relaxed);
+        LIVE_RELATIONS
+            .write()
+            .expect("live-relation set")
+            .insert(id);
         Ok(ConcurrentRelation {
             decomp,
             placement,
@@ -146,7 +199,7 @@ impl ConcurrentRelation {
             stats: Arc::new(LockStats::new()),
             len: AtomicUsize::new(0),
             always_sort_locks: AtomicBool::new(false),
-            id: NEXT_RELATION_ID.fetch_add(1, Ordering::Relaxed),
+            id,
             query_plans: RwLock::new(HashMap::new()),
             insert_plans: RwLock::new(HashMap::new()),
             remove_plans: RwLock::new(HashMap::new()),
@@ -208,7 +261,9 @@ impl ConcurrentRelation {
     ///
     /// The closure must propagate [`TxnError`] with `?`; returning
     /// `Err(tx.abort(..))` rolls back and surfaces
-    /// [`CoreError::TransactionAborted`].
+    /// [`CoreError::TransactionAborted`]. This is enforced: a closure
+    /// that swallows a restart and returns `Ok` anyway is rolled back
+    /// and re-run, never committed.
     ///
     /// Closures may run several times and must therefore be free of side
     /// effects other than operations on the transaction (or idempotent
@@ -288,7 +343,7 @@ impl ConcurrentRelation {
             exec.always_sort_locks = self.always_sort_locks.load(Ordering::Relaxed);
             let mut tx = Transaction::new(self, exec, single_shot);
             match f(&mut tx) {
-                Ok(r) => {
+                Ok(r) if !tx.needs_restart() => {
                     let delta = tx.len_delta();
                     drop(tx);
                     engine.finish();
@@ -303,7 +358,12 @@ impl ConcurrentRelation {
                     }
                     return Ok(r);
                 }
-                Err(TxnError::Restart(_)) => {
+                // Ok with a swallowed MustRestart must not commit — the
+                // failed operation may be half-applied (an update whose
+                // unlink landed but whose re-insert restarted). Enforced,
+                // not just documented: handled exactly like a propagated
+                // restart.
+                Ok(_) | Err(TxnError::Restart(_)) => {
                     tx.rollback_effects();
                     drop(tx);
                     engine.rollback();
@@ -468,7 +528,9 @@ impl ConcurrentRelation {
                 }
             }
         };
-        QUERY_MEMO.with(|m| m.borrow_mut().insert(memo_key, Arc::clone(&plan)));
+        QUERY_MEMO.with(|m| {
+            m.borrow_mut().insert(memo_key, Arc::clone(&plan), |k| k.0);
+        });
         Ok(plan)
     }
 
@@ -497,7 +559,9 @@ impl ConcurrentRelation {
                 }
             }
         };
-        INSERT_MEMO.with(|m| m.borrow_mut().insert(memo_key, Arc::clone(&plan)));
+        INSERT_MEMO.with(|m| {
+            m.borrow_mut().insert(memo_key, Arc::clone(&plan), |k| k.0);
+        });
         Ok(plan)
     }
 
@@ -526,7 +590,9 @@ impl ConcurrentRelation {
                 }
             }
         };
-        REMOVE_MEMO.with(|m| m.borrow_mut().insert(memo_key, Arc::clone(&plan)));
+        REMOVE_MEMO.with(|m| {
+            m.borrow_mut().insert(memo_key, Arc::clone(&plan), |k| k.0);
+        });
         Ok(plan)
     }
 
@@ -559,8 +625,21 @@ impl ConcurrentRelation {
                 }
             }
         };
-        UPDATE_MEMO.with(|m| m.borrow_mut().insert(memo_key, Arc::clone(&plan)));
+        UPDATE_MEMO.with(|m| {
+            m.borrow_mut().insert(memo_key, Arc::clone(&plan), |k| k.0);
+        });
         Ok(plan)
+    }
+}
+
+impl Drop for ConcurrentRelation {
+    fn drop(&mut self) {
+        // Unregister so the thread-local plan memos can shed this
+        // relation's entries at their next sweep.
+        LIVE_RELATIONS
+            .write()
+            .expect("live-relation set")
+            .remove(&self.id);
     }
 }
 
@@ -990,6 +1069,50 @@ mod tests {
         assert!(runs.get() >= 1);
         assert_eq!(rel.len(), 1);
         rel.verify().unwrap();
+    }
+
+    #[test]
+    fn swallowed_restart_cannot_commit() {
+        // A closure that swallows a restart error and returns Ok anyway
+        // must not commit the half-run: the transaction loop detects the
+        // swallowed restart, rolls back, and re-runs the closure.
+        let d = stick(ContainerKind::HashMap, ContainerKind::TreeMap);
+        let p = LockPlacement::coarse(&d).unwrap();
+        let rel = ConcurrentRelation::new(d.clone(), p).unwrap();
+        let dw = d.schema().column_set(&["dst", "weight"]).unwrap();
+        let runs = std::cell::Cell::new(0u32);
+        rel.transaction(|tx| {
+            runs.set(runs.get() + 1);
+            tx.query(&d.schema().tuple(&[("src", Value::from(1))]).unwrap(), dw)?;
+            // First run: the insert upgrades the query's shared locks and
+            // demands a restart — which this closure wrongly swallows.
+            let _ = tx.insert(&edge(&d, 1, 2), &weight(&d, 1));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(runs.get(), 2, "the swallowed restart must force a re-run");
+        // What committed is the successful second run, not the first.
+        assert!(rel.contains(&edge(&d, 1, 2)).unwrap());
+        assert_eq!(rel.len(), 1);
+        rel.verify().unwrap();
+    }
+
+    #[test]
+    fn thread_local_plan_memos_stay_bounded_across_dropped_relations() {
+        // Long-lived worker threads must not retain plan memo entries for
+        // every relation that ever passed through them: once a memo grows
+        // past the sweep watermark, entries of dropped relations are shed.
+        let d = stick(ContainerKind::HashMap, ContainerKind::TreeMap);
+        for _ in 0..MEMO_SWEEP_WATERMARK * 4 {
+            let p = LockPlacement::coarse(&d).unwrap();
+            let rel = ConcurrentRelation::new(d.clone(), p).unwrap();
+            rel.insert(&edge(&d, 1, 2), &weight(&d, 1)).unwrap();
+        }
+        let len = INSERT_MEMO.with(|m| m.borrow().map.len());
+        assert!(
+            len <= MEMO_SWEEP_WATERMARK,
+            "memo retained dead-relation plans: {len}"
+        );
     }
 
     #[test]

@@ -28,8 +28,8 @@
 //! reverse before releasing any lock. Because the log is replayed while
 //! every lock of the original operations is still held, and each
 //! operation pre-acquires the few extra tokens its inverse could need
-//! (see [`Executor::run_insert`]'s `undo_locks`), compensation itself can
-//! never restart — enforced, not assumed: a restarting compensation
+//! (see [`Executor::run_insert`]'s [`InsertUndo`]), compensation itself
+//! can never restart — enforced, not assumed: a restarting compensation
 //! panics rather than release locks around a half-applied transaction.
 //!
 //! # Example
@@ -71,7 +71,7 @@ use relc_locks::MustRestart;
 use relc_spec::{ColumnSet, SpecError, Tuple};
 
 use crate::error::CoreError;
-use crate::exec::Executor;
+use crate::exec::{Executor, InsertUndo};
 use crate::planner::{InsertPlan, RemovePlan};
 use crate::relation::ConcurrentRelation;
 
@@ -147,6 +147,7 @@ pub struct Transaction<'t> {
     undo: Vec<UndoOp>,
     len_delta: isize,
     single_shot: bool,
+    saw_restart: bool,
 }
 
 impl<'t> Transaction<'t> {
@@ -157,7 +158,28 @@ impl<'t> Transaction<'t> {
             undo: Vec::new(),
             len_delta: 0,
             single_shot,
+            saw_restart: false,
         }
+    }
+
+    /// Records any [`MustRestart`] an operation produced before handing it
+    /// to the closure. A closure that swallows the error and returns `Ok`
+    /// would otherwise commit a half-applied transaction (e.g. an update
+    /// whose unlink succeeded but whose re-insert restarted); the commit
+    /// path checks [`Transaction::needs_restart`] and rolls back and
+    /// retries instead, so the discipline is enforced, not just
+    /// documented.
+    fn track<T>(&mut self, r: Result<T, MustRestart>) -> Result<T, TxnError> {
+        if r.is_err() {
+            self.saw_restart = true;
+        }
+        r.map_err(TxnError::from)
+    }
+
+    /// Whether any operation of this transaction demanded a restart. Once
+    /// set, the transaction must not commit, whatever the closure returns.
+    pub(crate) fn needs_restart(&self) -> bool {
+        self.saw_restart
     }
 
     /// The relation this transaction operates on.
@@ -221,9 +243,11 @@ impl<'t> Transaction<'t> {
         } else {
             Some(self.rel.remove_plan(x.dom())?)
         };
-        let inserted =
-            self.exec
-                .run_insert(&plan, &x, s, self.rel.root_ref(), inverse.as_deref())?;
+        let undo = InsertUndo::from_inverse(inverse.as_deref());
+        let res = self
+            .exec
+            .run_insert(&plan, &x, s, self.rel.root_ref(), undo);
+        let inserted = self.track(res)?;
         if inserted {
             self.len_delta += 1;
             if let Some(plan) = inverse {
@@ -252,11 +276,20 @@ impl<'t> Transaction<'t> {
     pub fn remove_returning(&mut self, s: &Tuple) -> Result<Option<Tuple>, TxnError> {
         self.assert_two_phase();
         let plan = self.rel.remove_plan(s.dom())?;
-        let removed = self.exec.run_remove(&plan, s, self.rel.root_ref())?;
+        // The compensating re-insert's plan is fetched *before* the unlink
+        // is applied: no fallible step may sit between a mutation and the
+        // push of its undo entry. Removed tuples are full valuations, so
+        // the plan's bound set is the whole column set.
+        let reinsert = if self.single_shot {
+            None
+        } else {
+            Some(self.rel.insert_plan(self.rel.schema().columns())?)
+        };
+        let res = self.exec.run_remove(&plan, s, self.rel.root_ref());
+        let removed = self.track(res)?;
         if let Some(u) = &removed {
             self.len_delta -= 1;
-            if !self.single_shot {
-                let plan = self.rel.insert_plan(u.dom())?;
+            if let Some(plan) = reinsert {
                 self.undo.push(UndoOp::Reinsert {
                     plan,
                     tuple: u.clone(),
@@ -282,14 +315,18 @@ impl<'t> Transaction<'t> {
     pub fn update(&mut self, s: &Tuple, t: &Tuple) -> Result<Option<Tuple>, TxnError> {
         self.assert_two_phase();
         let plan = self.rel.update_plan(s.dom(), t.dom())?;
-        let Some(old) = self.exec.run_remove(&plan.remove, s, self.rel.root_ref())? else {
+        // Fetched before the unlink is applied: no fallible step may sit
+        // between a mutation and the push of its undo entry. The replaced
+        // tuple is a full valuation, so this is the full-column plan.
+        let reinsert_old = self.rel.insert_plan(self.rel.schema().columns())?;
+        let res = self.exec.run_remove(&plan.remove, s, self.rel.root_ref());
+        let Some(old) = self.track(res)? else {
             return Ok(None);
         };
         // From here the unlink is applied, and the re-insert below can
         // still restart (its root batch names the *new* values' tokens) —
         // so the compensation entry is recorded even for single-shot
         // updates. Its locks are a subset of the unlink's held set.
-        let reinsert_old = self.rel.insert_plan(old.dom())?;
         self.undo.push(UndoOp::Reinsert {
             plan: reinsert_old,
             tuple: old.clone(),
@@ -300,13 +337,11 @@ impl<'t> Transaction<'t> {
         } else {
             Some(self.rel.remove_plan(new.dom())?)
         };
-        let reinserted = self.exec.run_insert(
-            &plan.insert,
-            &new,
-            &new,
-            self.rel.root_ref(),
-            inverse_new.as_deref(),
-        )?;
+        let undo = InsertUndo::from_inverse(inverse_new.as_deref());
+        let res = self
+            .exec
+            .run_insert(&plan.insert, &new, &new, self.rel.root_ref(), undo);
+        let reinserted = self.track(res)?;
         debug_assert!(
             reinserted,
             "no tuple can extend the unlinked key under our exclusive locks"
@@ -334,7 +369,8 @@ impl<'t> Transaction<'t> {
     pub fn query(&mut self, s: &Tuple, cols: ColumnSet) -> Result<Vec<Tuple>, TxnError> {
         self.assert_two_phase();
         let plan = self.rel.query_plan(s.dom(), cols)?;
-        Ok(self.exec.run_query(&plan, s, self.rel.root_ref())?)
+        let res = self.exec.run_query(&plan, s, self.rel.root_ref());
+        self.track(res)
     }
 
     /// Whether any tuple extends `s` (a `query` projected onto nothing).
@@ -390,9 +426,20 @@ impl<'t> Transaction<'t> {
                     debug_assert!(removed.is_some(), "inserted tuple vanished under our locks");
                 }
                 UndoOp::Reinsert { plan, tuple } => {
+                    // `Compensation` (not `None`): the re-insert must lock
+                    // freshly materialized speculative targets before
+                    // publishing them, or a speculative reader could
+                    // dirty-read the rolled-back value and make a later
+                    // compensation step restart.
                     let inserted = self
                         .exec
-                        .run_insert(&plan, &tuple, &tuple, self.rel.root_ref(), None)
+                        .run_insert(
+                            &plan,
+                            &tuple,
+                            &tuple,
+                            self.rel.root_ref(),
+                            InsertUndo::Compensation,
+                        )
                         .unwrap_or_else(|_| {
                             panic!(
                                 "transaction compensation (re-insert) restarted; \

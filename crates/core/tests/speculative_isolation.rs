@@ -77,6 +77,84 @@ fn reader_never_sees_key_vanish() {
 }
 
 #[test]
+fn rollback_reinsert_never_exposes_uncommitted_values() {
+    // Regression: a rolled-back transaction that updates then removes the
+    // same key replays its undo log starting with a re-insert of the
+    // *uncommitted* updated value. That re-insert materializes a fresh
+    // speculative target instance and must take its target-side lock
+    // before publishing it — otherwise a speculative reader acquires the
+    // free lock and dirty-reads the rolled-back value, and the following
+    // compensating unlink finds the lock contended, restarts, and panics
+    // with the rollback half-applied.
+    let d = split(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap);
+    let p = LockPlacement::speculative(&d, 8).unwrap();
+    let rel = Arc::new(ConcurrentRelation::new(d.clone(), p).unwrap());
+    let sch = d.schema().clone();
+    for k in [1, 3, 4, 5, 6] {
+        rel.insert(&key(&sch, k), &w(&sch, 100)).unwrap();
+    }
+    let readers = 3;
+    let barrier = Arc::new(Barrier::new(readers + 1));
+    let wcols = sch.column_set(&["weight"]).unwrap();
+    const MARKER: i64 = -1;
+
+    let writer = {
+        let rel = rel.clone();
+        let barrier = barrier.clone();
+        let sch = sch.clone();
+        std::thread::spawn(move || {
+            barrier.wait();
+            for _ in 0..20000 {
+                let err = rel
+                    .transaction(|tx| -> Result<(), relc::TxnError> {
+                        tx.update(&key(&sch, 1), &w(&sch, MARKER))?;
+                        // Extra removes between the update and the remove
+                        // of key 1: their compensating re-inserts replay
+                        // *between* the re-insert of key 1's uncommitted
+                        // value and its unlink, widening the window in
+                        // which that value is linked during rollback.
+                        for k in [3, 4, 5, 6] {
+                            tx.remove(&key(&sch, k))?;
+                        }
+                        tx.remove(&key(&sch, 1))?;
+                        Err(tx.abort("always roll back"))
+                    })
+                    .unwrap_err();
+                assert!(matches!(err, relc::CoreError::TransactionAborted(_)));
+            }
+        })
+    };
+    let handles: Vec<_> = (0..readers)
+        .map(|_| {
+            let rel = rel.clone();
+            let barrier = barrier.clone();
+            let sch = sch.clone();
+            std::thread::spawn(move || {
+                let wcol = sch.column("weight").unwrap();
+                barrier.wait();
+                for _ in 0..20000 {
+                    let got = rel
+                        .transaction(|tx| tx.query(&key(&sch, 1), wcols))
+                        .unwrap();
+                    assert_eq!(got.len(), 1, "key 1 must never vanish");
+                    assert_eq!(
+                        got[0].get(wcol),
+                        Some(&Value::from(100)),
+                        "dirty read of a rolled-back value"
+                    );
+                }
+            })
+        })
+        .collect();
+    writer.join().unwrap();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let snap = rel.verify().unwrap();
+    assert_eq!(snap.len(), 5);
+}
+
+#[test]
 fn transfer_mix_never_loses_keys() {
     let d = split(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap);
     let p = LockPlacement::speculative(&d, 8).unwrap();
