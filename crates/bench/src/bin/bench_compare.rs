@@ -1,0 +1,205 @@
+//! Regression gate for the `txn_mix` baseline: compares a fresh
+//! `BENCH_txn.json`-format run against the committed baseline and exits
+//! non-zero if any matching (representation, workload, threads) sample
+//! regressed by more than the tolerance.
+//!
+//! ```text
+//! cargo run --release -p relc-bench --bin bench_compare -- \
+//!     --baseline BENCH_txn.json --candidate BENCH_txn.quick.json \
+//!     [--tolerance 0.25]
+//! ```
+//!
+//! The parser is a purpose-built scanner for the flat JSON `txn_mix`
+//! emits (the workspace is offline: no serde). Samples present in only
+//! one file are reported but do not fail the gate — CI may run with fewer
+//! thread counts than the committed baseline.
+//!
+//! The gate aggregates per (representation, workload) with a geometric
+//! mean across thread counts, and by default divides out the *median*
+//! workload ratio as a machine-speed factor, so a candidate measured on
+//! slower hardware than the committed baseline's machine does not fail
+//! spuriously — only a workload regressing relative to the rest does.
+//! Pass `--no-normalize` for absolute same-machine comparisons.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use relc_bench::{arg_present, arg_value};
+
+/// One `results[]` entry: (representation, workload, threads) → ops/s.
+type Samples = BTreeMap<(String, String, u64), f64>;
+
+/// Extracts the string value of `"field": "..."` from a JSON object line.
+fn str_field(line: &str, field: &str) -> Option<String> {
+    let tag = format!("\"{field}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')?;
+    Some(line[start..start + end].to_owned())
+}
+
+/// Extracts the numeric value of `"field": 123.4` from a JSON object line.
+fn num_field(line: &str, field: &str) -> Option<f64> {
+    let tag = format!("\"{field}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn parse_samples(path: &str) -> Result<Samples, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut out = Samples::new();
+    for line in text.lines() {
+        if !line.trim_start().starts_with('{') || !line.contains("\"representation\"") {
+            continue;
+        }
+        let rep = str_field(line, "representation")
+            .ok_or_else(|| format!("{path}: malformed result line: {line}"))?;
+        let workload = str_field(line, "workload")
+            .ok_or_else(|| format!("{path}: malformed result line: {line}"))?;
+        let threads = num_field(line, "threads")
+            .ok_or_else(|| format!("{path}: malformed result line: {line}"))?
+            as u64;
+        let rate = num_field(line, "ops_per_sec")
+            .ok_or_else(|| format!("{path}: malformed result line: {line}"))?;
+        out.insert((rep, workload, threads), rate);
+    }
+    if out.is_empty() {
+        return Err(format!("{path}: no samples found"));
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let baseline_path: String = arg_value(&args, "--baseline", "BENCH_txn.json".to_owned());
+    let candidate_path: String = arg_value(&args, "--candidate", "BENCH_txn.new.json".to_owned());
+    let tolerance: f64 = arg_value(&args, "--tolerance", 0.25);
+
+    let (baseline, candidate) = match (
+        parse_samples(&baseline_path),
+        parse_samples(&candidate_path),
+    ) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for err in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("bench_compare: {err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Per-sample report, then a per-(representation, workload) gate on the
+    // geometric mean of the candidate/baseline ratios across thread counts.
+    // Single samples of a `--quick` run are a few milliseconds and noisy;
+    // a whole workload drifting past the tolerance is a real regression.
+    let mut by_workload: BTreeMap<(String, String), Vec<f64>> = BTreeMap::new();
+    let mut compared = 0usize;
+    for (key, &base_rate) in &baseline {
+        let Some(&cand_rate) = candidate.get(key) else {
+            println!(
+                "skip     {:<24} {:<14} threads={:<3} (not in candidate)",
+                key.0, key.1, key.2
+            );
+            continue;
+        };
+        compared += 1;
+        let ratio = cand_rate / base_rate.max(1e-9);
+        by_workload
+            .entry((key.0.clone(), key.1.clone()))
+            .or_default()
+            .push(ratio);
+        println!(
+            "sample   {:<24} {:<14} threads={:<3} {:>12.0} -> {:>12.0} ops/s ({:+.1}%)",
+            key.0,
+            key.1,
+            key.2,
+            base_rate,
+            cand_rate,
+            (ratio - 1.0) * 100.0
+        );
+    }
+    for key in candidate.keys().filter(|k| !baseline.contains_key(*k)) {
+        println!(
+            "new      {:<24} {:<14} threads={:<3} (not in baseline)",
+            key.0, key.1, key.2
+        );
+    }
+    if compared == 0 {
+        eprintln!("bench_compare: no overlapping samples between the two files");
+        return ExitCode::FAILURE;
+    }
+
+    let geomeans: BTreeMap<(String, String), f64> = by_workload
+        .iter()
+        .map(|(key, ratios)| {
+            let g = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+            (key.clone(), g)
+        })
+        .collect();
+    // The baseline was produced on whatever machine last regenerated
+    // BENCH_txn.json, while the candidate may run on slower or faster
+    // hardware (a CI runner): divide out the median workload ratio as the
+    // machine-speed factor, so the gate fires on a workload regressing
+    // *relative to the others*, not on hardware differences. A uniform
+    // slowdown of every workload is indistinguishable from a slower
+    // machine without a same-host baseline, which CI does not have.
+    // `--no-normalize` restores absolute comparison for same-machine runs.
+    let normalize = !arg_present(&args, "--no-normalize");
+    let machine_factor = if normalize {
+        let mut sorted: Vec<f64> = geomeans.values().copied().collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+        // Clamped at 1.0: the factor exists only to excuse *slower* CI
+        // hardware. A median above 1 (most workloads genuinely improved)
+        // must not turn the untouched workloads into spurious relative
+        // regressions.
+        let mid = sorted[sorted.len() / 2].min(1.0);
+        println!(
+            "machine-speed factor (median workload ratio, clamped at 1): \
+             {mid:.3} — gating on ratios relative to it"
+        );
+        mid
+    } else {
+        1.0
+    };
+
+    let mut regressions = Vec::new();
+    for ((rep, wl), geomean) in &geomeans {
+        let relative = geomean / machine_factor.max(1e-9);
+        let verdict = if relative < 1.0 - tolerance {
+            regressions.push((rep.clone(), wl.clone(), relative));
+            "REGRESSED"
+        } else if relative > 1.0 + tolerance {
+            "improved"
+        } else {
+            "ok"
+        };
+        println!(
+            "{verdict:<9}{rep:<24} {wl:<14} geomean over {} thread counts: {:+.1}%",
+            by_workload[&(rep.clone(), wl.clone())].len(),
+            (relative - 1.0) * 100.0
+        );
+    }
+
+    if regressions.is_empty() {
+        println!(
+            "bench_compare: {} workloads ({compared} samples) within {:.0}% of the baseline",
+            by_workload.len(),
+            tolerance * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench_compare: {} of {} workloads regressed more than {:.0}%:",
+            regressions.len(),
+            by_workload.len(),
+            tolerance * 100.0
+        );
+        for (rep, wl, geomean) in &regressions {
+            eprintln!("  {rep} {wl}: {:+.1}%", (geomean - 1.0) * 100.0);
+        }
+        ExitCode::FAILURE
+    }
+}

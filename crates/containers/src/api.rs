@@ -53,6 +53,36 @@ pub trait Container<K: Key, V: Val>: Send + Sync + fmt::Debug {
     /// existing entry (§3). Returns the previous value, if any.
     fn write(&self, key: &K, value: Option<V>) -> Option<V>;
 
+    /// Moves the entry at `old_key` to `new_key` with a fresh `value`,
+    /// returning the displaced old value — the container-level primitive of
+    /// the in-place `update` fast path. When no entry exists at `old_key`
+    /// the container is left unchanged and `None` is returned (`value` is
+    /// dropped).
+    ///
+    /// Semantically equivalent to `write(old_key, None)` followed (on a
+    /// hit) by `write(new_key, Some(value))`, but implementations fuse the
+    /// two writes: a single slot swap (singleton), one array copy instead
+    /// of two (copy-on-write), one traversal of the synchronization
+    /// structure where the keys colocate (striped hash). Callers must
+    /// guarantee `new_key` is not already occupied by a *different* entry
+    /// (the synthesis runtime's key-uniqueness argument); violating that
+    /// clobbers the occupant, exactly as `write` would.
+    ///
+    /// **Atomicity:** callers must not assume the move is one atomic step
+    /// with respect to *unlocked* concurrent readers. Some implementations
+    /// fuse it (singleton, copy-on-write, striped hash hold every involved
+    /// lock across both writes), but the skip list moves a key as a remove
+    /// followed by an insert — two linearization points, with a window
+    /// where the entry is absent under both keys. The synthesis runtime
+    /// only invokes `update_entry` on edges whose placement locks are held
+    /// exclusively, which serializes it against every observer; a future
+    /// lock-eliding caller would need a fused implementation first.
+    fn update_entry(&self, old_key: &K, new_key: &K, value: V) -> Option<V> {
+        let old = self.write(old_key, None)?;
+        self.write(new_key, Some(value));
+        Some(old)
+    }
+
     /// Number of entries.
     fn len(&self) -> usize;
 

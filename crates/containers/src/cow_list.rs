@@ -104,6 +104,27 @@ impl<K: Key, V: Val> Container<K, V> for CowArrayList<K, V> {
         }
     }
 
+    fn update_entry(&self, old_key: &K, new_key: &K, value: V) -> Option<V> {
+        // One array copy carrying both the removal and the insertion — the
+        // default path would clone the whole array twice.
+        let mut guard = self.current.write();
+        let Ok(i) = guard.binary_search_by(|(k, _)| k.cmp(old_key)) else {
+            return None;
+        };
+        let mut next: Vec<(K, V)> = (**guard).clone();
+        let (_, old) = next.remove(i);
+        let pos = match next.binary_search_by(|(k, _)| k.cmp(new_key)) {
+            Ok(j) => {
+                next.remove(j); // caller-guaranteed not to happen for a live entry
+                j
+            }
+            Err(j) => j,
+        };
+        next.insert(pos, (new_key.clone(), value));
+        *guard = Arc::new(next);
+        Some(old)
+    }
+
     fn len(&self) -> usize {
         self.current.read().len()
     }

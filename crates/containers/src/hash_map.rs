@@ -131,6 +131,16 @@ impl<K: Key, V: Val> Container<K, V> for ChainedHashMap<K, V> {
         self.inner.write(|t| t.write(key, value))
     }
 
+    fn update_entry(&self, old_key: &K, new_key: &K, value: V) -> Option<V> {
+        // One externally synchronized critical section for both writes (the
+        // debug race detector sees a single writer span).
+        self.inner.write(|t| {
+            let old = t.write(old_key, None)?;
+            t.write(new_key, Some(value));
+            Some(old)
+        })
+    }
+
     fn len(&self) -> usize {
         self.inner.read(|t| t.len)
     }

@@ -87,6 +87,22 @@ impl<K: Key, V: Val> Container<K, V> for SingletonCell<K, V> {
         }
     }
 
+    fn update_entry(&self, old_key: &K, new_key: &K, value: V) -> Option<V> {
+        // One slot swap under one writer-lock acquisition, instead of the
+        // default's remove + insert (two acquisitions).
+        let mut guard = self.slot.write();
+        match guard.take() {
+            Some((k, old)) if &k == old_key => {
+                *guard = Some((new_key.clone(), value));
+                Some(old)
+            }
+            other => {
+                *guard = other;
+                None
+            }
+        }
+    }
+
     fn len(&self) -> usize {
         usize::from(self.slot.read().is_some())
     }

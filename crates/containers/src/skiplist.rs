@@ -344,6 +344,23 @@ impl<K: Key, V: Val> Container<K, V> for ConcurrentSkipListMap<K, V> {
         }
     }
 
+    fn update_entry(&self, old_key: &K, new_key: &K, value: V) -> Option<V> {
+        if old_key == new_key {
+            // Same position: one CAS on the node's value pointer via
+            // `insert`'s replace path, no unlink/relink at all.
+            let old = self.lookup(old_key)?;
+            self.insert(new_key, value);
+            return Some(old);
+        }
+        // A key move is remove-then-insert: two linearization points, with
+        // a window where unlocked readers see neither key (permitted by
+        // the `Container::update_entry` atomicity contract — the runtime
+        // holds the edge's placement locks exclusively around this call).
+        let old = self.remove(old_key)?;
+        self.insert(new_key, value);
+        Some(old)
+    }
+
     fn len(&self) -> usize {
         self.len.load(SeqCst)
     }

@@ -266,6 +266,17 @@ impl<K: Key, V: Val> Container<K, V> for SplayTreeMap<K, V> {
         })
     }
 
+    fn update_entry(&self, old_key: &K, new_key: &K, value: V) -> Option<V> {
+        // One writer span for the remove + insert pair (the remove already
+        // splays old_key's neighborhood to the root, so the insert that
+        // follows is cheap when the keys are close).
+        self.inner.write(|t| {
+            let old = t.remove(old_key)?;
+            t.insert(new_key, value);
+            Some(old)
+        })
+    }
+
     fn len(&self) -> usize {
         self.inner.read(|t| t.len)
     }

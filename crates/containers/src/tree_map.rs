@@ -278,6 +278,22 @@ impl<K: Key, V: Val> Container<K, V> for AvlTreeMap<K, V> {
         })
     }
 
+    fn update_entry(&self, old_key: &K, new_key: &K, value: V) -> Option<V> {
+        // Remove + insert fused into one externally synchronized writer
+        // span; len is unchanged by a successful move.
+        self.inner.write(|t| {
+            let (root, old) = RawTree::remove(t.root.take(), old_key);
+            t.root = root;
+            let old = old?;
+            let (root, prev) = RawTree::insert(t.root.take(), new_key, value);
+            t.root = Some(root);
+            if prev.is_some() {
+                t.len -= 1;
+            }
+            Some(old)
+        })
+    }
+
     fn len(&self) -> usize {
         self.inner.read(|t| t.len)
     }

@@ -11,6 +11,7 @@ use relc_containers::{Container, ContainerKind};
 #[derive(Debug, Clone)]
 enum Op {
     Write(i64, Option<i64>),
+    Move(i64, i64, i64),
     Lookup(i64),
     Scan,
     Len,
@@ -19,6 +20,7 @@ enum Op {
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         (0i64..40, proptest::option::of(any::<i64>())).prop_map(|(k, v)| Op::Write(k, v)),
+        (0i64..40, 0i64..40, any::<i64>()).prop_map(|(o, n, v)| Op::Move(o, n, v)),
         (0i64..40).prop_map(Op::Lookup),
         Just(Op::Scan),
         Just(Op::Len),
@@ -37,6 +39,20 @@ fn check_model(kind: ContainerKind, ops: &[Op]) {
                 };
                 let got = container.write(k, *v);
                 assert_eq!(got, expected, "{kind}: write({k}, {v:?})");
+            }
+            Op::Move(old_key, new_key, v) => {
+                let expected = match model.remove(old_key) {
+                    Some(old) => {
+                        model.insert(*new_key, *v);
+                        Some(old)
+                    }
+                    None => None,
+                };
+                let got = container.update_entry(old_key, new_key, *v);
+                assert_eq!(
+                    got, expected,
+                    "{kind}: update_entry({old_key}, {new_key}, {v})"
+                );
             }
             Op::Lookup(k) => {
                 assert_eq!(
@@ -124,6 +140,26 @@ proptest! {
                 None => prop_assert_eq!(c.len(), 0),
             }
         }
+    }
+}
+
+#[test]
+fn update_entry_semantics_on_every_kind() {
+    for kind in ContainerKind::ALL {
+        let c: Box<dyn Container<i64, i64>> = kind.instantiate();
+        // Miss: the container stays unchanged and the value is dropped.
+        assert_eq!(c.update_entry(&1, &2, 99), None, "{kind}: miss");
+        assert!(c.is_empty(), "{kind}: miss leaves it empty");
+        // Hit with a key move.
+        c.write(&1, Some(10));
+        assert_eq!(c.update_entry(&1, &2, 20), Some(10), "{kind}: move");
+        assert_eq!(c.lookup(&1), None, "{kind}: old key gone");
+        assert_eq!(c.lookup(&2), Some(20), "{kind}: new key present");
+        assert_eq!(c.len(), 1, "{kind}: a move preserves len");
+        // Hit in place (old == new): the value is replaced.
+        assert_eq!(c.update_entry(&2, &2, 30), Some(20), "{kind}: in place");
+        assert_eq!(c.lookup(&2), Some(30), "{kind}: value rewritten");
+        assert_eq!(c.len(), 1, "{kind}");
     }
 }
 

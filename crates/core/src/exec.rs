@@ -18,7 +18,7 @@ use relc_spec::Tuple;
 use crate::decomp::{Decomposition, EdgeId, NodeId};
 use crate::instance::{NodeInstance, NodeRef};
 use crate::placement::{LockPlacement, LockToken};
-use crate::planner::{InsertPlan, MutTraverse, Plan, RemovePlan};
+use crate::planner::{InPlaceUpdate, InsertPlan, MutTraverse, Plan, RemovePlan};
 use crate::query::{PlanStep, QueryState};
 
 /// How a [`Executor::run_insert`] call participates in the transaction
@@ -113,14 +113,28 @@ impl<'a> Executor<'a> {
                 batch.push((tok, lock));
             }
         }
-        if !presorted || self.always_sort_locks {
-            batch.sort_by(|a, b| a.0.cmp(&b.0));
-        } else {
+        if presorted && !self.always_sort_locks {
             debug_assert!(
                 batch.windows(2).all(|w| w[0].0 <= w[1].0),
                 "planner sort-elision analysis was wrong"
             );
+            for (tok, lock) in batch {
+                self.engine.acquire(tok, &lock, mode)?;
+            }
+            return Ok(());
         }
+        self.acquire_sorted_batch(batch, mode)
+    }
+
+    /// Sorts a batch of physical locks into the §5.1 global token order and
+    /// acquires each in `mode` — the shared tail of every mutation path's
+    /// lock batching.
+    fn acquire_sorted_batch(
+        &mut self,
+        mut batch: Vec<(LockToken, Arc<relc_locks::PhysicalLock>)>,
+        mode: LockMode,
+    ) -> Result<(), MustRestart> {
+        batch.sort_by(|a, b| a.0.cmp(&b.0));
         for (tok, lock) in batch {
             self.engine.acquire(tok, &lock, mode)?;
         }
@@ -404,10 +418,7 @@ impl<'a> Executor<'a> {
                     batch.push((tok, lock));
                 }
             }
-            batch.sort_by(|a, b| a.0.cmp(&b.0));
-            for (tok, lock) in batch {
-                self.engine.acquire(tok, &lock, LockMode::Exclusive)?;
-            }
+            self.acquire_sorted_batch(batch, LockMode::Exclusive)?;
         }
 
         // Materialize: create missing instances in topological order.
@@ -512,6 +523,318 @@ impl<'a> Executor<'a> {
         !states.is_empty()
     }
 
+    /// Runs a compiled query plan as a short-circuiting existence check:
+    /// `true` as soon as one state survives every step, without
+    /// materializing, deduplicating, or sorting the matches (§2's
+    /// `query r s C` asked as a boolean).
+    ///
+    /// Unlike [`Executor::run_query`], sibling states produced by a scan
+    /// are explored depth-first, so locks for later siblings can be
+    /// requested out of the global order; the engine then only *tries*
+    /// those acquisitions, and contention surfaces as a restart — the same
+    /// protocol as speculative guesses (§5.1).
+    ///
+    /// # Errors
+    ///
+    /// [`MustRestart`] if lock acquisition or speculation failed; the
+    /// caller rolls back and retries.
+    pub fn run_exists(
+        &mut self,
+        plan: &Plan,
+        pattern: &Tuple,
+        root: &NodeRef,
+    ) -> Result<bool, MustRestart> {
+        let st = QueryState::initial(self.decomp, pattern.clone(), Arc::clone(root));
+        self.exists_from(&plan.steps, st)
+    }
+
+    fn exists_from(&mut self, steps: &[PlanStep], mut st: QueryState) -> Result<bool, MustRestart> {
+        let Some((step, rest)) = steps.split_first() else {
+            return Ok(true); // the state survived every step: a witness
+        };
+        match step {
+            PlanStep::Lock {
+                edge,
+                mode,
+                presorted,
+                all_stripes,
+            } => {
+                // One state's lock set is sorted on its own, but the DFS
+                // may have acquired deeper locks for an earlier sibling:
+                // never rely on the chain-level sort-elision here.
+                self.lock_step(
+                    std::slice::from_ref(&st),
+                    *edge,
+                    *mode,
+                    *presorted,
+                    *all_stripes,
+                )?;
+                self.exists_from(rest, st)
+            }
+            PlanStep::Lookup { edge } => {
+                let em = self.decomp.edge(*edge);
+                let key = st.tuple.project(em.cols);
+                let src = st.instance(em.src).clone();
+                match src.container(self.decomp, *edge).lookup(&key) {
+                    Some(child) => {
+                        st.nodes[em.dst.index()] = Some(child);
+                        self.exists_from(rest, st)
+                    }
+                    None => Ok(false),
+                }
+            }
+            PlanStep::SpecLookup { edge, mode } => {
+                match self.spec_lookup_step(vec![st], *edge, *mode)?.pop() {
+                    Some(st) => self.exists_from(rest, st),
+                    None => Ok(false), // verified absent
+                }
+            }
+            PlanStep::Scan { edge } => {
+                let em = self.decomp.edge(*edge);
+                let decomp = self.decomp;
+                let src = st.instance(em.src).clone();
+                let mut outcome: Result<bool, MustRestart> = Ok(false);
+                src.container(decomp, *edge)
+                    .scan(&mut |k: &Tuple, child: &NodeRef| {
+                        if !st.tuple.matches(k) {
+                            return ControlFlow::Continue(());
+                        }
+                        let mut next = st.clone();
+                        next.tuple = st.tuple.union(k).expect("matches implies mergeable");
+                        next.nodes[em.dst.index()] = Some(Arc::clone(child));
+                        match self.exists_from(rest, next) {
+                            Ok(false) => ControlFlow::Continue(()),
+                            done => {
+                                // Witness found (or restart demanded):
+                                // stop scanning right here.
+                                outcome = done;
+                                ControlFlow::Break(())
+                            }
+                        }
+                    });
+                outcome
+            }
+        }
+    }
+
+    /// Runs the in-place update fast path: locates the unique tuple
+    /// `u ⊇ s` along the plan's steps (locking path edges in read mode and
+    /// touched edges exclusively), then swaps each touched edge's entry to
+    /// the rewritten key/child — no unlink, no re-insert, no touching of
+    /// any other edge. Returns the replaced tuple, or `None` if no tuple
+    /// extends `s`.
+    ///
+    /// All lock acquisitions happen during the locate phase, strictly
+    /// before the first container write; a [`MustRestart`] therefore never
+    /// leaves a partial rewrite behind, and the write phase itself cannot
+    /// fail. Affected sink instances are replaced by fresh instances keyed
+    /// by the new valuation (one per sink node, shared across its touched
+    /// edges, preserving the §4.1 sharing invariant).
+    ///
+    /// # Errors
+    ///
+    /// [`MustRestart`] on lock contention during the locate phase; the
+    /// caller rolls back and retries. No writes have been applied at that
+    /// point.
+    pub fn run_update_in_place(
+        &mut self,
+        plan: &InPlaceUpdate,
+        s: &Tuple,
+        t: &Tuple,
+        root: &NodeRef,
+    ) -> Result<Option<Tuple>, MustRestart> {
+        /// A locate candidate: the query state plus, per touched edge, the
+        /// source instance and old entry key to rewrite if this candidate
+        /// survives.
+        struct Cand {
+            st: QueryState,
+            touched: Vec<(EdgeId, NodeRef, Tuple)>,
+        }
+        let mut cands = vec![Cand {
+            st: QueryState::initial(self.decomp, s.clone(), Arc::clone(root)),
+            touched: Vec::new(),
+        }];
+        for step in &plan.steps {
+            let em = self.decomp.edge(step.edge);
+            let ep = self.placement.edge(step.edge);
+            if ep.speculative {
+                // §4.5: self-locking lookup; the planner guarantees spec
+                // steps are point lookups and never touched.
+                debug_assert!(step.kind == MutTraverse::Lookup && !step.touched);
+                let states = std::mem::take(&mut cands)
+                    .into_iter()
+                    .map(|c| (c.st, c.touched))
+                    .collect::<Vec<_>>();
+                for (st, touched) in states {
+                    let next = self.spec_lookup_step(vec![st], step.edge, step.mode)?;
+                    cands.extend(next.into_iter().map(|st| Cand {
+                        st,
+                        touched: touched.clone(),
+                    }));
+                }
+            } else {
+                // Lock the step's tokens for every live candidate, one
+                // sorted batch (as in `run_remove`).
+                let mut batch: Vec<(LockToken, Arc<relc_locks::PhysicalLock>)> = Vec::new();
+                for c in &cands {
+                    let Some(host_inst) = c.st.nodes[ep.host.index()].clone() else {
+                        continue;
+                    };
+                    let tokens = if step.all_stripes {
+                        self.placement.all_stripe_tokens(step.edge, &c.st.tuple)
+                    } else {
+                        self.placement.fallback_tokens(step.edge, &c.st.tuple)
+                    };
+                    for tok in tokens {
+                        let lock = Arc::clone(host_inst.lock(tok.stripe));
+                        batch.push((tok, lock));
+                    }
+                }
+                self.acquire_sorted_batch(batch, step.mode)?;
+                let mut next = Vec::with_capacity(cands.len());
+                for mut c in cands {
+                    let Some(src_inst) = c.st.nodes[em.src.index()].clone() else {
+                        continue; // prefix absent for this candidate
+                    };
+                    match step.kind {
+                        MutTraverse::Lookup => {
+                            let key = c.st.tuple.project(em.cols);
+                            let Some(child) =
+                                src_inst.container(self.decomp, step.edge).lookup(&key)
+                            else {
+                                continue;
+                            };
+                            merge_binding(&mut c.st.nodes, em.dst, child);
+                            if step.touched {
+                                c.touched.push((step.edge, src_inst, key));
+                            }
+                            next.push(c);
+                        }
+                        MutTraverse::Scan => {
+                            src_inst.container(self.decomp, step.edge).scan(
+                                &mut |k: &Tuple, child: &NodeRef| {
+                                    if c.st.tuple.matches(k) {
+                                        let mut cand = Cand {
+                                            st: c.st.clone(),
+                                            touched: c.touched.clone(),
+                                        };
+                                        cand.st.tuple =
+                                            c.st.tuple.union(k).expect("matches implies mergeable");
+                                        merge_binding(
+                                            &mut cand.st.nodes,
+                                            em.dst,
+                                            Arc::clone(child),
+                                        );
+                                        if step.touched {
+                                            cand.touched.push((
+                                                step.edge,
+                                                src_inst.clone(),
+                                                k.clone(),
+                                            ));
+                                        }
+                                        next.push(cand);
+                                    }
+                                    ControlFlow::Continue(())
+                                },
+                            );
+                        }
+                    }
+                }
+                cands = next;
+            }
+            if cands.is_empty() {
+                return Ok(None); // no tuple matches s
+            }
+        }
+        debug_assert!(
+            cands.len() == 1,
+            "s is a key: at most one candidate can survive the full traversal"
+        );
+        let survivor = cands.remove(0);
+        let old = survivor.st.tuple;
+        debug_assert!(
+            old.is_valuation_for(self.decomp.schema().columns()),
+            "the locate set binds every column (a touched edge reaches a sink)"
+        );
+        let new = old.override_with(t);
+
+        // Write phase: swap each touched entry under the exclusive locks
+        // taken above. One fresh instance per affected sink node, shared
+        // across all of its (necessarily all-touched) incoming edges.
+        let mut fresh: Vec<Option<NodeRef>> = vec![None; self.decomp.node_count()];
+        for (e, src_inst, old_key) in &survivor.touched {
+            let em = self.decomp.edge(*e);
+            let inst = fresh[em.dst.index()]
+                .get_or_insert_with(|| {
+                    let key = new.project(self.decomp.node(em.dst).key_cols);
+                    NodeInstance::new(self.decomp, self.placement, em.dst, key)
+                })
+                .clone();
+            let new_key = new.project(em.cols);
+            let prev = src_inst
+                .container(self.decomp, *e)
+                .update_entry(old_key, &new_key, inst);
+            debug_assert!(prev.is_some(), "touched entry vanished under our locks");
+        }
+        Ok(Some(old))
+    }
+
+    /// Reverses an applied [`Executor::run_update_in_place`] during
+    /// rollback: re-traverses the plan by the *new* tuple (every edge is a
+    /// point lookup — the full valuation is known) and swaps each touched
+    /// entry back to the old key and a fresh old-keyed sink instance.
+    ///
+    /// Runs strictly under the locks the forward pass acquired (still held
+    /// by the transaction), performs **no** lock acquisition, and therefore
+    /// can never restart — the property `Transaction::rollback_effects`
+    /// relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the traversal does not find the new tuple's entries —
+    /// that would mean the undo log is being replayed out of order (a
+    /// transaction-layer bug).
+    pub fn run_update_write_back(
+        &self,
+        plan: &InPlaceUpdate,
+        old: &Tuple,
+        new: &Tuple,
+        root: &NodeRef,
+    ) {
+        let mut bindings: Vec<Option<NodeRef>> = vec![None; self.decomp.node_count()];
+        bindings[self.decomp.root().index()] = Some(Arc::clone(root));
+        let mut fresh: Vec<Option<NodeRef>> = vec![None; self.decomp.node_count()];
+        for step in &plan.steps {
+            let em = self.decomp.edge(step.edge);
+            let src = bindings[em.src.index()]
+                .clone()
+                .expect("write-back: source bound by an earlier step");
+            if step.touched {
+                let inst = fresh[em.dst.index()]
+                    .get_or_insert_with(|| {
+                        let key = old.project(self.decomp.node(em.dst).key_cols);
+                        NodeInstance::new(self.decomp, self.placement, em.dst, key)
+                    })
+                    .clone();
+                let prev = src.container(self.decomp, step.edge).update_entry(
+                    &new.project(em.cols),
+                    &old.project(em.cols),
+                    inst,
+                );
+                assert!(
+                    prev.is_some(),
+                    "in-place write-back: rewritten entry vanished under held locks"
+                );
+            } else {
+                let child = src
+                    .container(self.decomp, step.edge)
+                    .lookup(&new.project(em.cols))
+                    .expect("write-back: path entry vanished under held locks");
+                merge_binding(&mut bindings, em.dst, child);
+            }
+        }
+    }
+
     /// Runs a compiled remove plan for key pattern `s`. Returns the removed
     /// tuple, if one existed (§2; at most one, since `s` is a key).
     ///
@@ -562,10 +885,7 @@ impl<'a> Executor<'a> {
                         batch.push((tok, lock));
                     }
                 }
-                batch.sort_by(|a, b| a.0.cmp(&b.0));
-                for (tok, lock) in batch {
-                    self.engine.acquire(tok, &lock, LockMode::Exclusive)?;
-                }
+                self.acquire_sorted_batch(batch, LockMode::Exclusive)?;
             }
             let mut next = Vec::with_capacity(states.len());
             for st in states {

@@ -15,6 +15,18 @@
 //!   host's topological position, then source position — which makes the
 //!   executor's acquisitions follow the §5.1 lock order, and classifies
 //!   each traversal as lookup or scan given the operation's bound columns.
+//! * **Updates** are classified into two strategies. When the updated
+//!   columns intersect no edge source's key columns (only sinks bind
+//!   them), the tuple's position in every untouched container is
+//!   unchanged and [`plan_update`](Planner::plan_update) emits the
+//!   [`UpdatePlan::InPlace`] fast path: lock the cheapest locate chains
+//!   in read mode, the *touched* edges (whose key columns intersect
+//!   `dom t`) in write mode, and rewrite exactly those entries in place.
+//!   Otherwise the general [`UpdatePlan::General`] unlink + re-insert
+//!   plan is produced. A mode-promotion pass upgrades any step sharing a
+//!   physical lock host with an exclusive step, so a plan never requests
+//!   one lock shared first and exclusive later (which would restart on
+//!   the upgrade every time).
 //! * The §5.2 static **sort-elision analysis**: a lock set produced by
 //!   traversing sorted containers is already in lock order, so the runtime
 //!   sort can be skipped (`presorted`).
@@ -74,25 +86,108 @@ pub struct RemovePlan {
 /// A compiled update plan (§2's `update r s t`: replace the unique tuple
 /// `u ⊇ s` with `u ⊕ t`).
 ///
-/// The executor runs it as a locked unlink of `u` followed by a re-insert
-/// of `u ⊕ t` under the *same* two-phase scope, so the whole update is one
-/// serializable transaction step. The `remove` sub-plan's traversal takes
-/// every edge exclusively, which subsumes the required write locks on the
-/// edges whose columns intersect the updated set (`touched` records those
-/// for introspection, tests, and the planned in-place fast path).
+/// The planner picks one of two strategies:
+///
+/// * [`UpdatePlan::InPlace`] — the **fast path**, chosen when the updated
+///   columns appear in no non-sink node's key (equivalently: they are
+///   disjoint from every edge *source*'s key columns). Then the only
+///   structural change is rewriting the entries of the `touched` edges —
+///   the tuple keeps its position in every other container — so the plan
+///   locks just the traversal chain (read mode) plus the touched edges
+///   (write mode) and swaps the touched entries in place.
+/// * [`UpdatePlan::General`] — the fallback: a locked unlink of `u`
+///   followed by a re-insert of `u ⊕ t` under the *same* two-phase scope.
+///   The `remove` sub-plan's traversal takes every edge exclusively, which
+///   subsumes the required write locks on the touched edges.
 #[derive(Debug, Clone)]
-pub struct UpdatePlan {
+pub enum UpdatePlan {
+    /// Key-position-preserving fast path: rewrite only the touched edge
+    /// entries in place.
+    InPlace(InPlaceUpdate),
+    /// General unlink + re-insert path.
+    General(GeneralUpdate),
+}
+
+impl UpdatePlan {
+    /// Columns assigned by the update (`dom t`).
+    pub fn updated(&self) -> ColumnSet {
+        match self {
+            UpdatePlan::InPlace(p) => p.updated,
+            UpdatePlan::General(p) => p.updated,
+        }
+    }
+
+    /// Edges whose key columns intersect the updated set — the edges whose
+    /// container entries are actually rewritten.
+    pub fn touched(&self) -> &[EdgeId] {
+        match self {
+            UpdatePlan::InPlace(p) => &p.touched,
+            UpdatePlan::General(p) => &p.touched,
+        }
+    }
+
+    /// Whether the fast path was selected.
+    pub fn is_in_place(&self) -> bool {
+        matches!(self, UpdatePlan::InPlace(_))
+    }
+}
+
+/// The general (unlink + re-insert) update plan.
+#[derive(Debug, Clone)]
+pub struct GeneralUpdate {
     /// Locates and unlinks the old tuple (all edges, mutation order).
     pub remove: RemovePlan,
     /// Re-inserts the rewritten tuple (existence check is over the full
     /// column set: after the unlink it is vacuous, but it keeps the insert
-    /// machinery uniform).
-    pub insert: InsertPlan,
+    /// machinery uniform). Shared (`Arc`) with the transaction layer's
+    /// compensation entry, so `Tx::update` fetches one plan, not two.
+    pub insert: Arc<InsertPlan>,
     /// Columns assigned by the update (`dom t`).
     pub updated: ColumnSet,
-    /// Edges whose key columns intersect `updated` — the edges whose
-    /// container entries are actually rewritten.
+    /// Edges whose key columns intersect `updated`.
     pub touched: Vec<EdgeId>,
+}
+
+/// The in-place update fast path: a locate traversal over the minimal edge
+/// set (cheapest chains from the root to every touched edge's source, plus
+/// the touched edges themselves), followed by an entry rewrite of exactly
+/// the touched edges.
+#[derive(Debug, Clone)]
+pub struct InPlaceUpdate {
+    /// Locate/rewrite steps, in mutation order (so the executor's lock
+    /// acquisitions follow the §5.1 global order).
+    pub steps: Vec<InPlaceStep>,
+    /// Columns assigned by the update (`dom t`).
+    pub updated: ColumnSet,
+    /// Edges whose entries are rewritten (the steps with `touched` set).
+    pub touched: Vec<EdgeId>,
+}
+
+/// One step of an [`InPlaceUpdate`]: lock edge `edge`'s logical locks in
+/// `mode`, then traverse it (`kind`), and — if `touched` — rewrite its
+/// entry during the write phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InPlaceStep {
+    /// The edge to lock and traverse.
+    pub edge: EdgeId,
+    /// Lookup where the edge's columns are bound at this point in the
+    /// traversal, scan otherwise. A touched edge whose old values are not
+    /// yet bound is always a scan; later touched edges become lookups once
+    /// the first touched scan binds the old values (branch agreement
+    /// guarantees every touched edge stores the same old values).
+    pub kind: MutTraverse,
+    /// Shared for pure traversal (the container's read mode), exclusive
+    /// for touched edges — promoted to exclusive for *every* step whose
+    /// placement host also hosts an exclusive step, so one physical lock
+    /// is never requested shared first and exclusive later (which would
+    /// force an upgrade restart on every execution).
+    pub mode: LockMode,
+    /// Whether this edge's container entry is rewritten.
+    pub touched: bool,
+    /// Take every stripe at the host: required when the traversal reads (or
+    /// the rewrite moves) entries that striping by non-source columns
+    /// spreads across stripes (§4.4's conservative all-`k` acquisition).
+    pub all_stripes: bool,
 }
 
 /// The query planner for one (decomposition, placement) pair.
@@ -445,6 +540,12 @@ impl Planner {
     /// must be disjoint from `bound` — updating a tuple never changes which
     /// key it answers to.
     ///
+    /// When the updated columns appear in no edge source's key columns —
+    /// only sink nodes bind them, so the tuple's position in every
+    /// untouched container is unchanged — the planner emits the
+    /// [`UpdatePlan::InPlace`] fast path; otherwise the general
+    /// unlink + re-insert plan.
+    ///
     /// # Errors
     ///
     /// * [`CoreError::Spec`] with [`relc_spec::SpecError::EmptyUpdate`] if
@@ -472,20 +573,216 @@ impl Planner {
                 },
             ));
         }
-        let remove = self.plan_remove(bound)?;
-        let insert = self.plan_insert(self.decomp.schema().columns())?;
-        let touched = self
+        if !self.decomp.schema().is_key(bound) {
+            return Err(CoreError::Spec(relc_spec::SpecError::RemoveNotByKey {
+                dom: self.decomp.schema().catalog().render_set(bound),
+            }));
+        }
+        let touched: Vec<EdgeId> = self
             .decomp
             .edges()
             .filter(|(_, em)| !em.cols.is_disjoint(updated))
             .map(|(e, _)| e)
             .collect();
-        Ok(UpdatePlan {
+        if let Some(steps) = self.plan_in_place(bound, updated, &touched) {
+            return Ok(UpdatePlan::InPlace(InPlaceUpdate {
+                steps,
+                updated,
+                touched,
+            }));
+        }
+        let remove = self.plan_remove(bound)?;
+        let insert = Arc::new(self.plan_insert(self.decomp.schema().columns())?);
+        Ok(UpdatePlan::General(GeneralUpdate {
             remove,
             insert,
             updated,
             touched,
-        })
+        }))
+    }
+
+    /// Attempts to compile the in-place fast path; `None` means the update
+    /// is not key-position-preserving (or the placement makes the fast path
+    /// unreachable) and the general plan must be used.
+    fn plan_in_place(
+        &self,
+        bound: ColumnSet,
+        updated: ColumnSet,
+        touched: &[EdgeId],
+    ) -> Option<Vec<InPlaceStep>> {
+        // Eligibility: the updated columns must intersect no edge source's
+        // key columns. Then any node binding an updated column is a sink
+        // (it can be the source of no edge), every affected sink is the
+        // target of touched edges only, and every untouched container
+        // keeps the tuple at an unchanged position.
+        for (_, em) in self.decomp.edges() {
+            if !updated.is_disjoint(self.decomp.node(em.src).key_cols) {
+                return None;
+            }
+        }
+        // A touched edge under §4.5 speculation would need the target-side
+        // re-validation protocol replayed around the rewrite; only a
+        // degenerate root→sink edge can hit this, so fall back instead.
+        if touched.iter().any(|&e| self.placement.edge(e).speculative) {
+            return None;
+        }
+        // The locate set: the cheapest valid chain from the root to every
+        // touched edge's source, plus the touched edges themselves.
+        let mut need: std::collections::BTreeSet<EdgeId> = touched.iter().copied().collect();
+        for &e in touched {
+            need.extend(self.cheapest_chain_to(self.decomp.edge(e).src, bound)?);
+        }
+        // Compile the steps in mutation order; `known` accumulates the
+        // bound columns, exactly as the executor's traversal will bind
+        // them.
+        let mut steps = Vec::with_capacity(need.len());
+        let mut known = bound;
+        for e in self.mutation_order() {
+            if !need.contains(&e) {
+                continue;
+            }
+            let em = self.decomp.edge(e);
+            let ep = self.placement.edge(e);
+            let is_touched = touched.contains(&e);
+            let kind = if em.cols.is_subset(known) {
+                MutTraverse::Lookup
+            } else {
+                if ep.speculative {
+                    return None; // cannot scan a speculative edge (§4.5)
+                }
+                MutTraverse::Scan
+            };
+            known = known.union(em.cols);
+            let a_src = self.decomp.node(em.src).key_cols;
+            // Scans read — and touched rewrites may move entries across —
+            // the whole container instance; when striping by non-source
+            // columns splits it, every stripe must be held.
+            let all_stripes = !ep.stripe_by.is_subset(a_src)
+                && self.placement.stripe_count(ep.host) > 1
+                && (is_touched || kind == MutTraverse::Scan);
+            let mode = if is_touched {
+                LockMode::Exclusive
+            } else {
+                self.placement.read_mode(e)
+            };
+            steps.push(InPlaceStep {
+                edge: e,
+                kind,
+                mode,
+                touched: is_touched,
+                all_stripes,
+            });
+        }
+        self.promote_colliding_modes(&mut steps);
+        Some(steps)
+    }
+
+    /// Lock sites (decomposition nodes whose instances hold the physical
+    /// locks) a step can acquire: the placement host, plus the edge target
+    /// for speculative lookups.
+    fn step_lock_sites(&self, step: &InPlaceStep) -> Vec<crate::decomp::NodeId> {
+        let ep = self.placement.edge(step.edge);
+        if ep.speculative {
+            vec![ep.host, self.decomp.edge(step.edge).dst]
+        } else {
+            vec![ep.host]
+        }
+    }
+
+    /// One physical lock requested shared by one step and exclusive by a
+    /// later one would force an upgrade restart on *every* execution;
+    /// promote shared steps whose lock sites collide with an exclusive
+    /// step's sites, to a fixpoint.
+    fn promote_colliding_modes(&self, steps: &mut [InPlaceStep]) {
+        let mut exclusive_nodes: std::collections::BTreeSet<crate::decomp::NodeId> = steps
+            .iter()
+            .filter(|s| s.mode == LockMode::Exclusive)
+            .flat_map(|s| self.step_lock_sites(s))
+            .collect();
+        loop {
+            let mut changed = false;
+            for step in steps.iter_mut() {
+                if step.mode == LockMode::Exclusive {
+                    continue;
+                }
+                let sites = self.step_lock_sites(step);
+                if sites.iter().any(|n| exclusive_nodes.contains(n)) {
+                    step.mode = LockMode::Exclusive;
+                    exclusive_nodes.extend(sites);
+                    changed = true;
+                }
+            }
+            if !changed {
+                return;
+            }
+        }
+    }
+
+    /// The cheapest chain of edges from the root to `target` that is valid
+    /// under the placement (speculative edges cannot be scanned), starting
+    /// from the pattern columns `bound`. `None` if no valid chain exists.
+    fn cheapest_chain_to(
+        &self,
+        target: crate::decomp::NodeId,
+        bound: ColumnSet,
+    ) -> Option<Vec<EdgeId>> {
+        let mut best: Option<(f64, Vec<EdgeId>)> = None;
+        let mut chain = Vec::new();
+        self.chains_to(
+            self.decomp.root(),
+            target,
+            bound,
+            0.0,
+            1.0,
+            &mut chain,
+            &mut best,
+        );
+        best.map(|(_, c)| c)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn chains_to(
+        &self,
+        node: crate::decomp::NodeId,
+        target: crate::decomp::NodeId,
+        known: ColumnSet,
+        cost: f64,
+        states: f64,
+        chain: &mut Vec<EdgeId>,
+        best: &mut Option<(f64, Vec<EdgeId>)>,
+    ) {
+        if node == target {
+            if best.as_ref().is_none_or(|(c, _)| cost < *c) {
+                *best = Some((cost, chain.clone()));
+            }
+            return;
+        }
+        for &e in &self.decomp.node(node).outgoing {
+            let em = self.decomp.edge(e);
+            let ep = self.placement.edge(e);
+            let point = em.cols.is_subset(known);
+            let (step_cost, next_states) = if point {
+                let spec_overhead = if ep.speculative { 2.0 } else { 1.0 };
+                (lookup_cost(em.container) * spec_overhead, states)
+            } else {
+                if ep.speculative {
+                    continue; // cannot scan a speculative edge
+                }
+                let fanout = if em.singleton { 1.0 } else { DEFAULT_FANOUT };
+                (SCAN_SETUP_COST + fanout * SCAN_ENTRY_COST, states * fanout)
+            };
+            chain.push(e);
+            self.chains_to(
+                em.dst,
+                target,
+                known.union(em.cols),
+                cost + states * step_cost,
+                next_states,
+                chain,
+                best,
+            );
+            chain.pop();
+        }
     }
 
     /// Renders a query plan in the paper's `let` notation (§5.2).
@@ -754,12 +1051,26 @@ mod tests {
         let plan = planner
             .plan_update(cols(&d, &["src", "dst"]), cols(&d, &["weight"]))
             .unwrap();
-        // Only the weight edge is rewritten by a weight update.
+        // Only the weight edge is rewritten by a weight update, and weight
+        // lives only in the sink's key: the fast path applies.
         let vw = d.edge_between("v", "w").unwrap();
-        assert_eq!(plan.touched, vec![vw]);
-        assert_eq!(plan.updated, cols(&d, &["weight"]));
-        assert_eq!(plan.remove.edges.len(), d.edge_count());
-        assert_eq!(plan.insert.edges.len(), d.edge_count());
+        assert_eq!(plan.touched(), &[vw]);
+        assert_eq!(plan.updated(), cols(&d, &["weight"]));
+        let UpdatePlan::InPlace(ip) = &plan else {
+            panic!("weight update on the stick must take the fast path");
+        };
+        // Steps cover the locate chain ρ→u→v plus the touched edge v→w.
+        assert_eq!(ip.steps.len(), d.edge_count());
+        let last = ip.steps.last().unwrap();
+        assert_eq!(last.edge, vw);
+        assert!(last.touched);
+        assert_eq!(last.mode, LockMode::Exclusive);
+        // The old weight is unknown until the touched edge is read: scan.
+        assert_eq!(last.kind, MutTraverse::Scan);
+        // Under the coarse placement every step shares the root lock, so
+        // mode promotion must make the whole plan exclusive (a shared-then-
+        // exclusive request on one lock would restart every execution).
+        assert!(ip.steps.iter().all(|s| s.mode == LockMode::Exclusive));
 
         // Assignment overlapping the key pattern is rejected.
         assert!(matches!(
@@ -778,6 +1089,81 @@ mod tests {
             planner.plan_update(cols(&d, &["src"]), cols(&d, &["weight"])),
             Err(CoreError::Spec(relc_spec::SpecError::RemoveNotByKey { .. }))
         ));
+    }
+
+    #[test]
+    fn update_fast_path_classification() {
+        // Fine placement on the split: touched edges are hosted at their
+        // sources (per-key locks), the root chains stay shared.
+        let d = split(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap);
+        let p = LockPlacement::fine(&d).unwrap();
+        let planner = Planner::new(d.clone(), p);
+        let plan = planner
+            .plan_update(cols(&d, &["src", "dst"]), cols(&d, &["weight"]))
+            .unwrap();
+        let UpdatePlan::InPlace(ip) = &plan else {
+            panic!("weight update on the split must take the fast path");
+        };
+        let wx = d.edge_between("w", "x").unwrap();
+        let yz = d.edge_between("y", "z").unwrap();
+        let mut touched = plan.touched().to_vec();
+        touched.sort();
+        assert_eq!(touched, vec![wx, yz]);
+        // Both branches must be traversed: 6 steps, 2 touched.
+        assert_eq!(ip.steps.len(), d.edge_count());
+        assert_eq!(ip.steps.iter().filter(|s| s.touched).count(), 2);
+        // Non-touched traversal stays in shared mode (hosts are disjoint
+        // from the touched hosts under the fine placement).
+        assert!(ip
+            .steps
+            .iter()
+            .filter(|s| !s.touched)
+            .all(|s| s.mode == LockMode::Shared));
+        // The first touched edge in mutation order scans for the old
+        // values; the second finds them bound and downgrades to a lookup.
+        let touched_kinds: Vec<MutTraverse> = ip
+            .steps
+            .iter()
+            .filter(|s| s.touched)
+            .map(|s| s.kind)
+            .collect();
+        assert_eq!(touched_kinds, vec![MutTraverse::Scan, MutTraverse::Lookup]);
+
+        // A chain binding the updated column mid-path disqualifies the
+        // fast path: weight sits in a non-sink node's key.
+        let schema = relc_spec::library::graph_schema();
+        let mut b = Decomposition::builder(schema);
+        let root = b.root();
+        let a = b.node("a");
+        let c = b.node("c");
+        b.edge(root, a, &["src", "weight"], ContainerKind::HashMap)
+            .unwrap();
+        b.edge(a, c, &["dst"], ContainerKind::HashMap).unwrap();
+        let d2 = b.build().unwrap();
+        let p2 = LockPlacement::coarse(&d2).unwrap();
+        let planner2 = Planner::new(d2.clone(), p2);
+        let plan2 = planner2
+            .plan_update(cols(&d2, &["src", "dst"]), cols(&d2, &["weight"]))
+            .unwrap();
+        assert!(
+            matches!(plan2, UpdatePlan::General(_)),
+            "weight in a non-sink key forces the general path"
+        );
+
+        // The diamond under speculation: the touched sink edge is not
+        // speculative (only root edges are), so the fast path still
+        // applies, locating through one speculative lookup.
+        let d3 = diamond(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap);
+        let p3 = LockPlacement::speculative(&d3, 8).unwrap();
+        let planner3 = Planner::new(d3.clone(), p3);
+        let plan3 = planner3
+            .plan_update(cols(&d3, &["src", "dst"]), cols(&d3, &["weight"]))
+            .unwrap();
+        let UpdatePlan::InPlace(ip3) = &plan3 else {
+            panic!("diamond/speculative weight update must take the fast path");
+        };
+        // One chain to w suffices (through ρ→x or ρ→y), plus w→z: 3 steps.
+        assert_eq!(ip3.steps.len(), 3);
     }
 
     #[test]

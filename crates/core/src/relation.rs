@@ -372,7 +372,15 @@ impl ConcurrentRelation {
                 Err(TxnError::Core(e)) => {
                     tx.rollback_effects();
                     drop(tx);
-                    engine.rollback();
+                    // Only explicit application aborts count as user
+                    // rollbacks; validation errors (bad patterns, no valid
+                    // plan) never applied an effect and would dilute the
+                    // counter.
+                    if matches!(e, CoreError::TransactionAborted(_)) {
+                        engine.rollback_user();
+                    } else {
+                        engine.rollback();
+                    }
                     return Err(e);
                 }
             }
@@ -465,13 +473,16 @@ impl ConcurrentRelation {
         self.run_transaction(true, |tx| tx.query(s, cols))
     }
 
-    /// Whether any tuple extends `s` (a `query` projected onto nothing).
+    /// Whether any tuple extends `s` — a short-circuiting existence check
+    /// that stops at the first witness tuple instead of materializing,
+    /// deduplicating, and sorting the full projection the way
+    /// `query(s, ∅)` would.
     ///
     /// # Errors
     ///
     /// As for [`Self::query`].
     pub fn contains(&self, s: &Tuple) -> Result<bool, CoreError> {
-        Ok(!self.query(s, ColumnSet::EMPTY)?.is_empty())
+        self.run_transaction(true, |tx| tx.contains(s))
     }
 
     /// All tuples, sorted (a `query` with an empty pattern and all columns).
@@ -1044,6 +1055,9 @@ mod tests {
             let after = rel.verify().unwrap_or_else(|e| panic!("{name}: {e}"));
             assert_eq!(after, before, "{name}: rollback must be exact");
             assert_eq!(rel.len(), 1, "{name}");
+            // The abort is an application rollback, not a conflict retry.
+            let stats = rel.lock_stats();
+            assert!(stats.user_rollbacks >= 1, "{name}: {stats}");
         }
     }
 

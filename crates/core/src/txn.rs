@@ -72,7 +72,7 @@ use relc_spec::{ColumnSet, SpecError, Tuple};
 
 use crate::error::CoreError;
 use crate::exec::{Executor, InsertUndo};
-use crate::planner::{InsertPlan, RemovePlan};
+use crate::planner::{InsertPlan, RemovePlan, UpdatePlan};
 use crate::relation::ConcurrentRelation;
 
 /// Why a transactional operation did not return a value.
@@ -131,6 +131,15 @@ enum UndoOp {
     Unlink { plan: Arc<RemovePlan>, tuple: Tuple },
     /// Inverse of a removal: re-insert the tuple.
     Reinsert { plan: Arc<InsertPlan>, tuple: Tuple },
+    /// Inverse of an in-place update: swap the touched entries back from
+    /// `new` to `old` (holds the old values, not a structural
+    /// unlink/re-insert pair). Replayed under the locks of the forward
+    /// pass, it acquires nothing and can never restart.
+    WriteBack {
+        plan: Arc<UpdatePlan>,
+        old: Tuple,
+        new: Tuple,
+    },
 }
 
 /// An open multi-operation transaction on a [`ConcurrentRelation`].
@@ -305,8 +314,14 @@ impl<'t> Transaction<'t> {
     ///
     /// `s` must be a key (as for `remove`) and `dom t` must be disjoint
     /// from `dom s` — an update never changes which key the tuple answers
-    /// to. Executed as a locked unlink + re-insert under the one two-phase
-    /// scope, so the update is a single serializable step.
+    /// to.
+    ///
+    /// Two strategies, chosen by the planner (see
+    /// [`crate::planner::UpdatePlan`]): when the updated columns appear in
+    /// no non-sink node key, only the touched edges' entries are rewritten
+    /// **in place** under write locks on exactly those edges; otherwise a
+    /// locked unlink + re-insert runs under the one two-phase scope. Either
+    /// way the update is a single serializable step.
     ///
     /// # Errors
     ///
@@ -315,41 +330,60 @@ impl<'t> Transaction<'t> {
     pub fn update(&mut self, s: &Tuple, t: &Tuple) -> Result<Option<Tuple>, TxnError> {
         self.assert_two_phase();
         let plan = self.rel.update_plan(s.dom(), t.dom())?;
-        // Fetched before the unlink is applied: no fallible step may sit
-        // between a mutation and the push of its undo entry. The replaced
-        // tuple is a full valuation, so this is the full-column plan.
-        let reinsert_old = self.rel.insert_plan(self.rel.schema().columns())?;
-        let res = self.exec.run_remove(&plan.remove, s, self.rel.root_ref());
-        let Some(old) = self.track(res)? else {
-            return Ok(None);
-        };
-        // From here the unlink is applied, and the re-insert below can
-        // still restart (its root batch names the *new* values' tokens) —
-        // so the compensation entry is recorded even for single-shot
-        // updates. Its locks are a subset of the unlink's held set.
-        self.undo.push(UndoOp::Reinsert {
-            plan: reinsert_old,
-            tuple: old.clone(),
-        });
-        let new = old.override_with(t);
-        let inverse_new = if self.single_shot {
-            None
-        } else {
-            Some(self.rel.remove_plan(new.dom())?)
-        };
-        let undo = InsertUndo::from_inverse(inverse_new.as_deref());
-        let res = self
-            .exec
-            .run_insert(&plan.insert, &new, &new, self.rel.root_ref(), undo);
-        let reinserted = self.track(res)?;
-        debug_assert!(
-            reinserted,
-            "no tuple can extend the unlinked key under our exclusive locks"
-        );
-        if let Some(plan) = inverse_new {
-            self.undo.push(UndoOp::Unlink { plan, tuple: new });
+        match &*plan {
+            UpdatePlan::InPlace(ip) => {
+                // Every lock is taken before the first write, so a restart
+                // here leaves nothing to compensate; only later operations
+                // of a multi-op transaction can force the write-back.
+                let res = self.exec.run_update_in_place(ip, s, t, self.rel.root_ref());
+                let Some(old) = self.track(res)? else {
+                    return Ok(None);
+                };
+                if !self.single_shot {
+                    self.undo.push(UndoOp::WriteBack {
+                        plan: Arc::clone(&plan),
+                        old: old.clone(),
+                        new: old.override_with(t),
+                    });
+                }
+                Ok(Some(old))
+            }
+            UpdatePlan::General(gp) => {
+                let res = self.exec.run_remove(&gp.remove, s, self.rel.root_ref());
+                let Some(old) = self.track(res)? else {
+                    return Ok(None);
+                };
+                // From here the unlink is applied, and the re-insert below
+                // can still restart (its root batch names the *new*
+                // values' tokens) — so the compensation entry is recorded
+                // even for single-shot updates. Its locks are a subset of
+                // the unlink's held set, and it shares the plan's `Arc`d
+                // full-column insert plan (one plan fetch, not two).
+                self.undo.push(UndoOp::Reinsert {
+                    plan: Arc::clone(&gp.insert),
+                    tuple: old.clone(),
+                });
+                let new = old.override_with(t);
+                let inverse_new = if self.single_shot {
+                    None
+                } else {
+                    Some(self.rel.remove_plan(new.dom())?)
+                };
+                let undo = InsertUndo::from_inverse(inverse_new.as_deref());
+                let res = self
+                    .exec
+                    .run_insert(&gp.insert, &new, &new, self.rel.root_ref(), undo);
+                let reinserted = self.track(res)?;
+                debug_assert!(
+                    reinserted,
+                    "no tuple can extend the unlinked key under our exclusive locks"
+                );
+                if let Some(plan) = inverse_new {
+                    self.undo.push(UndoOp::Unlink { plan, tuple: new });
+                }
+                Ok(Some(old))
+            }
         }
-        Ok(Some(old))
     }
 
     /// `query r s C` (§2) under this transaction's lock scope: the
@@ -373,13 +407,19 @@ impl<'t> Transaction<'t> {
         self.track(res)
     }
 
-    /// Whether any tuple extends `s` (a `query` projected onto nothing).
+    /// Whether any tuple extends `s` — a short-circuiting existence check
+    /// that stops at the first witness instead of materializing,
+    /// deduplicating, and sorting every match the way
+    /// `query(s, ∅)` would.
     ///
     /// # Errors
     ///
     /// As for [`Transaction::query`].
     pub fn contains(&mut self, s: &Tuple) -> Result<bool, TxnError> {
-        Ok(!self.query(s, ColumnSet::EMPTY)?.is_empty())
+        self.assert_two_phase();
+        let plan = self.rel.query_plan(s.dom(), ColumnSet::EMPTY)?;
+        let res = self.exec.run_exists(&plan, s, self.rel.root_ref());
+        self.track(res)
     }
 
     /// All tuples, sorted, as observed under this transaction's locks.
@@ -447,6 +487,16 @@ impl<'t> Transaction<'t> {
                             )
                         });
                     debug_assert!(inserted, "removed tuple reappeared under our locks");
+                }
+                UndoOp::WriteBack { plan, old, new } => {
+                    let UpdatePlan::InPlace(ip) = &*plan else {
+                        unreachable!("WriteBack is recorded only for in-place update plans")
+                    };
+                    // Acquires no locks (the forward pass's are still
+                    // held), so this compensation step cannot restart by
+                    // construction.
+                    self.exec
+                        .run_update_write_back(ip, &old, &new, self.rel.root_ref());
                 }
             }
         }

@@ -277,14 +277,24 @@ impl<O: Ord + Clone + fmt::Debug> TwoPhaseEngine<O> {
         self.stats.flush(&mut self.local);
     }
 
-    /// Aborts the transaction: releases all locks but *keeps* mode hints so
-    /// the retry acquires adequate modes up front, counts a rollback, and
-    /// resets to growing.
+    /// Rolls back after a [`MustRestart`]: releases all locks but *keeps*
+    /// mode hints so the retry acquires adequate modes up front, and
+    /// resets to growing. The conflict itself was already counted (in
+    /// `restarts`) when the restart was issued; this adds nothing, so
+    /// retry storms and application aborts stay distinguishable in the
+    /// statistics.
     pub fn rollback(&mut self) {
-        self.local.rollbacks += 1;
         self.release_all();
         self.phase = Phase::Growing;
         self.stats.flush(&mut self.local);
+    }
+
+    /// Rolls back an explicitly aborted transaction (an application-level
+    /// abort, not a conflict): like [`TwoPhaseEngine::rollback`], but
+    /// counted in the `user_rollbacks` statistic.
+    pub fn rollback_user(&mut self) {
+        self.local.user_rollbacks += 1;
+        self.rollback();
     }
 
     /// Whether the transaction has entered the shrinking phase (released a
@@ -490,6 +500,24 @@ mod tests {
         }
         assert!(a.try_acquire(LockMode::Exclusive));
         unsafe { a.release(LockMode::Exclusive) };
+    }
+
+    #[test]
+    fn restart_and_user_rollbacks_are_distinguished() {
+        let a = lock();
+        let mut e = engine();
+        // Conflict-driven restart: counted in `restarts`, not in
+        // `user_rollbacks`.
+        e.acquire(1, &a, LockMode::Shared).unwrap();
+        let _ = e.acquire(1, &a, LockMode::Exclusive).unwrap_err();
+        e.rollback();
+        // Application abort: counted in `user_rollbacks` only.
+        e.acquire(1, &a, LockMode::Shared).unwrap();
+        e.rollback_user();
+        let snap = e.stats().snapshot();
+        assert_eq!(snap.restarts, 1);
+        assert_eq!(snap.user_rollbacks, 1);
+        assert!(snap.to_string().contains("user-rollbacks=1"), "{snap}");
     }
 
     #[test]

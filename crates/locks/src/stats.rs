@@ -15,7 +15,7 @@ pub struct LockStats {
     upgrades: AtomicU64,
     speculation_failures: AtomicU64,
     commits: AtomicU64,
-    rollbacks: AtomicU64,
+    user_rollbacks: AtomicU64,
 }
 
 /// Per-transaction counter deltas, accumulated locally (no shared-cache
@@ -29,7 +29,7 @@ pub(crate) struct LocalStats {
     pub upgrades: u64,
     pub speculation_failures: u64,
     pub commits: u64,
-    pub rollbacks: u64,
+    pub user_rollbacks: u64,
 }
 
 impl LocalStats {
@@ -40,7 +40,7 @@ impl LocalStats {
             && self.upgrades == 0
             && self.speculation_failures == 0
             && self.commits == 0
-            && self.rollbacks == 0
+            && self.user_rollbacks == 0
     }
 }
 
@@ -76,8 +76,9 @@ impl LockStats {
         if local.commits > 0 {
             self.commits.fetch_add(local.commits, Ordering::Relaxed);
         }
-        if local.rollbacks > 0 {
-            self.rollbacks.fetch_add(local.rollbacks, Ordering::Relaxed);
+        if local.user_rollbacks > 0 {
+            self.user_rollbacks
+                .fetch_add(local.user_rollbacks, Ordering::Relaxed);
         }
         *local = LocalStats::default();
     }
@@ -91,7 +92,7 @@ impl LockStats {
             upgrades: self.upgrades.load(Ordering::Relaxed),
             speculation_failures: self.speculation_failures.load(Ordering::Relaxed),
             commits: self.commits.load(Ordering::Relaxed),
-            rollbacks: self.rollbacks.load(Ordering::Relaxed),
+            user_rollbacks: self.user_rollbacks.load(Ordering::Relaxed),
         }
     }
 }
@@ -111,9 +112,13 @@ pub struct LockStatsSnapshot {
     pub speculation_failures: u64,
     /// Transactions committed (engine `finish` calls).
     pub commits: u64,
-    /// Transactions rolled back (engine `rollback` calls: restarts and
-    /// aborts).
-    pub rollbacks: u64,
+    /// Transactions rolled back by an explicit application abort (engine
+    /// `rollback_user` calls — `tx.abort(..)` in the transaction layer).
+    /// Conflict-driven retries are *not* counted here (they appear in
+    /// `restarts`), and neither are validation errors that never applied
+    /// an effect, so a retry storm is distinguishable from application
+    /// aborts.
+    pub user_rollbacks: u64,
 }
 
 impl fmt::Display for LockStatsSnapshot {
@@ -121,14 +126,14 @@ impl fmt::Display for LockStatsSnapshot {
         write!(
             f,
             "acquisitions={} contended={} restarts={} upgrades={} \
-             spec-failures={} commits={} rollbacks={}",
+             spec-failures={} commits={} user-rollbacks={}",
             self.acquisitions,
             self.contended,
             self.restarts,
             self.upgrades,
             self.speculation_failures,
             self.commits,
-            self.rollbacks
+            self.user_rollbacks
         )
     }
 }
@@ -147,7 +152,7 @@ mod tests {
             upgrades: 1,
             speculation_failures: 1,
             commits: 1,
-            rollbacks: 2,
+            user_rollbacks: 2,
         };
         s.flush(&mut local);
         assert!(local.is_empty(), "flush drains the local deltas");
@@ -159,7 +164,7 @@ mod tests {
         assert_eq!(snap.upgrades, 1);
         assert_eq!(snap.speculation_failures, 1);
         assert_eq!(snap.commits, 1);
-        assert_eq!(snap.rollbacks, 2);
+        assert_eq!(snap.user_rollbacks, 2);
         assert!(snap.to_string().contains("acquisitions=2"));
         assert!(snap.to_string().contains("commits=1"));
     }
