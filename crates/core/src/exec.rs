@@ -8,7 +8,7 @@
 //! serializable; the §5.1 lock order plus the engine's try-and-restart rule
 //! for out-of-order acquisitions gives deadlock freedom.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::ops::ControlFlow;
 use std::sync::Arc;
 
@@ -18,7 +18,9 @@ use relc_spec::Tuple;
 use crate::decomp::{Decomposition, EdgeId, NodeId};
 use crate::instance::{NodeInstance, NodeRef};
 use crate::placement::{LockPlacement, LockToken};
-use crate::planner::{InPlaceUpdate, InsertPlan, MutTraverse, Plan, RemovePlan};
+use crate::planner::{
+    InPlaceUpdate, InsertBatchPlan, InsertPlan, MutTraverse, Plan, RemoveBatchPlan, RemovePlan,
+};
 use crate::query::{PlanStep, QueryState};
 
 /// How a [`Executor::run_insert`] call participates in the transaction
@@ -34,6 +36,16 @@ pub enum InsertUndo<'p> {
     /// the first write, every token that removal could need beyond the
     /// insert's own set, so the compensation can never restart.
     Prepare(&'p RemovePlan),
+    /// Like [`InsertUndo::Prepare`], but for the *final* operation of a
+    /// single-shot transaction (a `ConcurrentRelation::insert_all` batch):
+    /// compensation is still possible (a later row of the same batch can
+    /// restart), so the inverse's extra tokens are pre-acquired — but no
+    /// later operation of this transaction will ever *read* the freshly
+    /// materialized subtrees, so their host locks need not enter the
+    /// engine. Other transactions cannot reach them either: locked
+    /// readers block on the root-hosted tokens the batch sweep holds, and
+    /// speculative readers on the pre-acquired target-side locks.
+    PrepareFinal(&'p RemovePlan),
     /// This insert *is* a compensation step (re-inserting a removed
     /// tuple during rollback). Freshly materialized speculative targets
     /// must still take their target-side locks before publication: the
@@ -54,6 +66,47 @@ impl<'p> InsertUndo<'p> {
             None => InsertUndo::None,
         }
     }
+}
+
+/// FNV-1a, the hasher for the batch-local maps: their keys are consulted
+/// once or twice per row on the hot path, where SipHash's per-hash setup
+/// cost (the `HashMap` default) is measurable and HashDoS resistance is
+/// irrelevant (the maps live for one batch, keyed by the caller's own
+/// tuples).
+#[derive(Default, Clone, Copy)]
+struct FnvHasher(u64);
+
+impl std::hash::Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 {
+            0xcbf2_9ce4_8422_2325
+        } else {
+            self.0
+        };
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+type BuildFnv = std::hash::BuildHasherDefault<FnvHasher>;
+
+/// Batch-local state threaded through [`Executor::run_insert_all`]'s
+/// per-row passes.
+struct BatchInsertCtx<'b> {
+    /// Indexed by edge: the edge leaves the root, so its publication is
+    /// deferred to the flush (from the batch plan).
+    defer: &'b [bool],
+    /// Deferred publications: (edge, entry key) → complete-but-unpublished
+    /// child instance. Later rows of the same batch consult this map so
+    /// shared subtrees stay shared.
+    pending: &'b mut HashMap<(EdgeId, Tuple), NodeRef, BuildFnv>,
 }
 
 /// Executes compiled plans for one transaction at a time.
@@ -343,7 +396,34 @@ impl<'a> Executor<'a> {
         undo: InsertUndo<'_>,
     ) -> Result<bool, MustRestart> {
         self.lock_root_batch(x, root, &|_| false)?;
+        let mut order: Vec<NodeId> = self.decomp.nodes().map(|(id, _)| id).collect();
+        order.sort_by_key(|&v| self.decomp.topo_position(v));
+        self.insert_under_root_locks(plan, x, s, root, undo, &order, None)
+    }
 
+    /// The per-tuple body of [`Executor::run_insert`], entered with the
+    /// tuple's root-hosted locks already held (by `run_insert`'s own root
+    /// batch, or by [`Executor::run_insert_all`]'s bulk sweep).
+    ///
+    /// `topo_nodes` is the materialization order (all nodes, topologically
+    /// sorted — batch plans cache it so it is not re-sorted per row). When
+    /// `batch` is given, root-source edge publications are *deferred*: the
+    /// completed child goes into the batch's pending map instead of the
+    /// root container, and lookups consult that map, so later rows of the
+    /// same batch still share subtrees. The caller flushes the map — in one
+    /// fused [`relc_containers::Container::extend_entries`] call per
+    /// container — before releasing any lock.
+    #[allow(clippy::too_many_arguments)]
+    fn insert_under_root_locks(
+        &mut self,
+        plan: &InsertPlan,
+        x: &Tuple,
+        s: &Tuple,
+        root: &NodeRef,
+        undo: InsertUndo<'_>,
+        topo_nodes: &[NodeId],
+        mut batch: Option<BatchInsertCtx<'_>>,
+    ) -> Result<bool, MustRestart> {
         // Walk every edge in mutation order, locking non-root hosts and
         // recording bindings/presence along x's projections.
         let mut bindings: Vec<Option<NodeRef>> = vec![None; self.decomp.node_count()];
@@ -367,7 +447,15 @@ impl<'a> Executor<'a> {
                 continue; // absent prefix: subtree will be created privately
             };
             let key = x.project(em.cols);
-            if let Some(child) = src_inst.container(self.decomp, e).lookup(&key) {
+            let found = src_inst.container(self.decomp, e).lookup(&key).or_else(|| {
+                // An earlier row of this batch may have created the edge
+                // with its publication still pending.
+                batch
+                    .as_ref()
+                    .filter(|ctx| ctx.defer[e.index()])
+                    .and_then(|ctx| ctx.pending.get(&(e, key.clone())).cloned())
+            });
+            if let Some(child) = found {
                 // Speculative edges: presence is frozen by the fallback
                 // lock held exclusively, so no target lock or re-validation
                 // is needed for the existence check.
@@ -383,7 +471,17 @@ impl<'a> Executor<'a> {
         }
 
         // Existence check: does any tuple extend s? (Chain over dom s.)
-        if self.check_exists(&plan.check, s, &bindings) {
+        // When the chain's first step is a point lookup, the walk above
+        // already answered it: the lookup key is `s`'s projection, which
+        // coincides with `x`'s on columns bound by `s`, and the walk
+        // evaluates every root-source edge definitively. An absent first
+        // edge means no tuple extends `s` — the common case for fresh-key
+        // inserts — so the chain traversal is skipped entirely.
+        let exists = match plan.check.first() {
+            Some(&(e1, MutTraverse::Lookup)) if !present[e1.index()] => false,
+            _ => self.check_exists(&plan.check, s, &bindings),
+        };
+        if exists {
             return Ok(false);
         }
 
@@ -394,7 +492,7 @@ impl<'a> Executor<'a> {
         // uncontended. Hosts we are about to create fresh are unreachable
         // to other transactions until published, so their locks cannot be
         // contended (they are taken below, after creation).
-        if let InsertUndo::Prepare(inverse) = undo {
+        if let InsertUndo::Prepare(inverse) | InsertUndo::PrepareFinal(inverse) = undo {
             let mut batch: Vec<(LockToken, Arc<relc_locks::PhysicalLock>)> = Vec::new();
             for (i, &(e, _)) in inverse.edges.iter().enumerate() {
                 let ep = self.placement.edge(e);
@@ -421,13 +519,40 @@ impl<'a> Executor<'a> {
             self.acquire_sorted_batch(batch, LockMode::Exclusive)?;
         }
 
-        // Materialize: create missing instances in topological order.
-        let mut order: Vec<NodeId> = self.decomp.nodes().map(|(id, _)| id).collect();
-        order.sort_by_key(|&v| self.decomp.topo_position(v));
-        for v in order {
-            if bindings[v.index()].is_none() {
-                let key = x.project(self.decomp.node(v).key_cols);
-                bindings[v.index()] = Some(NodeInstance::new(self.decomp, self.placement, v, key));
+        // Materialize: create missing instances in topological order,
+        // remembering which hosts pre-existed (those were locked during
+        // the walk above; fresh ones were not).
+        let mut prebound = vec![false; self.decomp.node_count()];
+        for &v in topo_nodes {
+            match &bindings[v.index()] {
+                Some(_) => prebound[v.index()] = true,
+                None => {
+                    let key = x.project(self.decomp.node(v).key_cols);
+                    bindings[v.index()] =
+                        Some(NodeInstance::new(self.decomp, self.placement, v, key));
+                }
+            }
+        }
+        // Compensation tokens for *fresh* hosts: the walk only locks hosts
+        // that already exist, so the lock sets of freshly materialized
+        // instances would be published free. A single-shot insert never
+        // needs them held, but a mid-transaction insert must pre-acquire
+        // them: a later shared read of the same transaction (a query
+        // through the new subtree) would otherwise hold them shared, and
+        // the compensating unlink's exclusive acquisition would then be an
+        // upgrade — which rollback must never hit. The instances are
+        // unpublished here, so these try-acquisitions cannot fail.
+        if matches!(undo, InsertUndo::Prepare(_)) {
+            for &e in &plan.edges {
+                let ep = self.placement.edge(e);
+                if ep.host == self.decomp.root() || prebound[ep.host.index()] {
+                    continue;
+                }
+                let host_inst = bindings[ep.host.index()].as_ref().expect("all bound");
+                for tok in self.placement.all_stripe_tokens(e, x) {
+                    let lock = Arc::clone(host_inst.lock(tok.stripe));
+                    self.engine.acquire(tok, &lock, LockMode::Exclusive)?;
+                }
             }
         }
         // Compensation tokens, part two: targets of speculative edges we
@@ -466,12 +591,188 @@ impl<'a> Executor<'a> {
             let em = self.decomp.edge(e);
             let src = bindings[em.src.index()].as_ref().expect("all bound");
             let dst = bindings[em.dst.index()].as_ref().expect("all bound");
+            if let Some(ctx) = batch.as_mut() {
+                if ctx.defer[e.index()] {
+                    // Defer the publication: the subtree below `dst` is
+                    // complete (deeper edges were just written), so linking
+                    // it in later — at the batch flush, still under every
+                    // lock of this sweep — is indistinguishable to readers.
+                    let prev = ctx
+                        .pending
+                        .insert((e, x.project(em.cols)), Arc::clone(dst));
+                    debug_assert!(prev.is_none(), "edge instance appeared under our locks");
+                    continue;
+                }
+            }
             let prev = src
                 .container(self.decomp, e)
                 .write(&x.project(em.cols), Some(Arc::clone(dst)));
             debug_assert!(prev.is_none(), "edge instance appeared under our locks");
         }
         Ok(true)
+    }
+
+    /// Sorts a precomputed sweep of root-lock tokens into the §5.1 global
+    /// order, merges duplicate tokens by *joining* their modes (one
+    /// physical lock requested shared by one row and exclusive by another
+    /// collapses to a single exclusive acquisition up front — never
+    /// shared-then-upgrade), and acquires the survivors in one pass.
+    ///
+    /// Every token names a root-hosted lock and root tokens precede all
+    /// others in the global order, so when this runs as a transaction
+    /// operation's first acquisition the whole sweep is in-order (blocking,
+    /// never restarting on order violations).
+    fn acquire_root_sweep(
+        &mut self,
+        mut sweep: Vec<(LockToken, LockMode)>,
+        root: &NodeRef,
+    ) -> Result<(), MustRestart> {
+        sweep.sort_by(|a, b| a.0.cmp(&b.0));
+        sweep.dedup_by(|next, prev| {
+            if next.0 == prev.0 {
+                prev.1 = prev.1.join(next.1);
+                true
+            } else {
+                false
+            }
+        });
+        for (tok, mode) in sweep {
+            let lock = Arc::clone(root.lock(tok.stripe));
+            self.engine.acquire(tok, &lock, mode)?;
+        }
+        Ok(())
+    }
+
+    /// Runs a compiled batch-insert plan: row `i` inserts the full tuple
+    /// `xs[i]` with existence pattern `rows[i].0` (the caller's validated
+    /// originals; all rows bind the same column sets). The amortized form
+    /// of one [`Executor::run_insert`] per row.
+    ///
+    /// Locking: every row's root-hosted lock tokens — including the
+    /// all-stripes compensation tokens of the shared inverse plan — are
+    /// precomputed, deduplicated, globally sorted, and acquired in **one
+    /// in-order sweep** before the first row runs; the per-row passes then
+    /// skip the root batch entirely. Root-source edge publications are
+    /// deferred into a pending map and flushed at the end with one fused
+    /// [`relc_containers::Container::extend_entries`] call per container,
+    /// key-sorted so sorted containers insert along one in-order walk.
+    ///
+    /// Put-if-absent semantics are the sequential fold: a row whose `s`
+    /// equals an earlier row's is `false` without re-running the check
+    /// (under one batch all rows share `dom s`, so an earlier row's tuple
+    /// extends a later `s` exactly when the patterns are equal).
+    ///
+    /// `results` receives one flag per processed row and `applied` the
+    /// *indices* of the actually-inserted rows; both are filled *even on
+    /// an error return* (the pending map is flushed first), so the
+    /// transaction layer can compensate every applied row whatever
+    /// happened mid-batch.
+    ///
+    /// `final_op` marks the batch as the last operation of a single-shot
+    /// transaction (see [`InsertUndo::PrepareFinal`]): fresh subtree host
+    /// locks are skipped, which is a large share of a load batch's
+    /// per-row lock-engine traffic.
+    ///
+    /// # Errors
+    ///
+    /// [`MustRestart`] on lock contention; the caller rolls back (undoing
+    /// the applied prefix) and retries.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_insert_all(
+        &mut self,
+        plan: &InsertBatchPlan,
+        xs: &[Tuple],
+        rows: &[(Tuple, Tuple)],
+        root: &NodeRef,
+        final_op: bool,
+        results: &mut Vec<bool>,
+        applied: &mut Vec<usize>,
+    ) -> Result<(), MustRestart> {
+        let mut tokens: Vec<LockToken> = Vec::new();
+        for x in xs {
+            for &(e, force_all) in &plan.root_hosted {
+                if force_all {
+                    self.placement.all_stripe_tokens_into(e, x, &mut tokens);
+                } else {
+                    self.placement.fallback_tokens_into(e, x, &mut tokens);
+                }
+            }
+        }
+        self.acquire_root_sweep(
+            tokens.into_iter().map(|t| (t, LockMode::Exclusive)).collect(),
+            root,
+        )?;
+
+        let mut pending: HashMap<(EdgeId, Tuple), NodeRef, BuildFnv> = HashMap::default();
+        let mut seen: HashSet<&Tuple, BuildFnv> = HashSet::default();
+        let mut outcome = Ok(());
+        for (i, x) in xs.iter().enumerate() {
+            let s = &rows[i].0;
+            if seen.contains(s) {
+                // An earlier row claimed this pattern (whether it inserted
+                // or found the tuple pre-existing): put-if-absent fails.
+                results.push(false);
+                continue;
+            }
+            let undo = if final_op {
+                InsertUndo::PrepareFinal(&plan.inverse)
+            } else {
+                InsertUndo::Prepare(&plan.inverse)
+            };
+            let res = self.insert_under_root_locks(
+                &plan.insert,
+                x,
+                s,
+                root,
+                undo,
+                &plan.topo_nodes,
+                Some(BatchInsertCtx {
+                    defer: &plan.defer,
+                    pending: &mut pending,
+                }),
+            );
+            match res {
+                Ok(inserted) => {
+                    results.push(inserted);
+                    seen.insert(s);
+                    if inserted {
+                        applied.push(i);
+                    }
+                }
+                Err(e) => {
+                    outcome = Err(e);
+                    break;
+                }
+            }
+        }
+        // Flush the deferred publications — also on the error path: the
+        // applied rows' compensating unlinks (replayed by the transaction's
+        // rollback, under these still-held locks) must find their tuples
+        // fully linked.
+        self.flush_pending_publications(pending, root);
+        outcome
+    }
+
+    /// Publishes a batch's deferred root-source edges: one fused
+    /// key-sorted [`relc_containers::Container::extend_entries`] call per
+    /// edge container, under the still-held bulk sweep locks.
+    fn flush_pending_publications(
+        &self,
+        pending: HashMap<(EdgeId, Tuple), NodeRef, BuildFnv>,
+        root: &NodeRef,
+    ) {
+        if pending.is_empty() {
+            return;
+        }
+        let mut by_edge: BTreeMap<EdgeId, Vec<(Tuple, NodeRef)>> = BTreeMap::new();
+        for ((e, key), child) in pending {
+            by_edge.entry(e).or_default().push((key, child));
+        }
+        for (e, mut entries) in by_edge {
+            entries.sort_by(|a, b| a.0.cmp(&b.0));
+            let displaced = root.container(self.decomp, e).extend_entries(entries);
+            debug_assert_eq!(displaced, 0, "edge instances appeared under our locks");
+        }
     }
 
     /// Evaluates the existence-check chain over the recorded bindings: true
@@ -854,7 +1155,70 @@ impl<'a> Executor<'a> {
                 .zip(&plan.all_stripes)
                 .any(|(&(pe, _), &all)| pe == e && all)
         })?;
+        let mut order: Vec<NodeId> = self.decomp.nodes().map(|(id, _)| id).collect();
+        order.sort_by_key(|&v| std::cmp::Reverse(self.decomp.topo_position(v)));
+        self.remove_under_root_locks(plan, s, root, &order)
+    }
 
+    /// Runs a compiled batch-remove plan for `keys` (all binding the same
+    /// column set): the amortized form of one [`Executor::run_remove`] per
+    /// key. Every key's root-hosted tokens (with the plan's force-all
+    /// analysis applied) are acquired in one globally sorted in-order
+    /// sweep, then each key unlinks under the held set.
+    ///
+    /// `removed` receives each removed tuple as it is unlinked — filled
+    /// even on an error return, so the transaction layer can compensate
+    /// the applied prefix. Duplicate keys in one batch behave as the
+    /// sequential fold: the first occurrence removes, later ones find
+    /// nothing.
+    ///
+    /// # Errors
+    ///
+    /// [`MustRestart`] on lock contention; the caller rolls back
+    /// (re-inserting the removed prefix) and retries.
+    pub fn run_remove_all(
+        &mut self,
+        plan: &RemoveBatchPlan,
+        keys: &[Tuple],
+        root: &NodeRef,
+        removed: &mut Vec<Tuple>,
+    ) -> Result<(), MustRestart> {
+        let mut tokens: Vec<LockToken> = Vec::new();
+        for s in keys {
+            for &(e, force_all) in &plan.root_hosted {
+                if force_all {
+                    self.placement.all_stripe_tokens_into(e, s, &mut tokens);
+                } else {
+                    self.placement.fallback_tokens_into(e, s, &mut tokens);
+                }
+            }
+        }
+        self.acquire_root_sweep(
+            tokens.into_iter().map(|t| (t, LockMode::Exclusive)).collect(),
+            root,
+        )?;
+        for s in keys {
+            if let Some(t) =
+                self.remove_under_root_locks(&plan.remove, s, root, &plan.reverse_topo_nodes)?
+            {
+                removed.push(t);
+            }
+        }
+        Ok(())
+    }
+
+    /// The per-key body of [`Executor::run_remove`], entered with the
+    /// key's root-hosted locks already held (by `run_remove`'s own root
+    /// batch, or by [`Executor::run_remove_all`]'s bulk sweep).
+    /// `reverse_topo_nodes` is the bottom-up unlink order (batch plans
+    /// cache it so it is not re-sorted per key).
+    fn remove_under_root_locks(
+        &mut self,
+        plan: &RemovePlan,
+        s: &Tuple,
+        root: &NodeRef,
+        reverse_topo_nodes: &[NodeId],
+    ) -> Result<Option<Tuple>, MustRestart> {
         // Multi-state traversal: a scan over an edge whose columns are not
         // bound by `s` (e.g. a by-cpu index when removing by pid) yields
         // several *candidate* states; deeper edges filter them. Since `s`
@@ -939,10 +1303,8 @@ impl<'a> Executor<'a> {
         // All edges present: unlink bottom-up. A node dies when all its
         // containers become empty; dying children are removed from every
         // parent container.
-        let mut order: Vec<NodeId> = self.decomp.nodes().map(|(id, _)| id).collect();
-        order.sort_by_key(|&v| std::cmp::Reverse(self.decomp.topo_position(v)));
         let mut dies = vec![false; self.decomp.node_count()];
-        for v in order {
+        for &v in reverse_topo_nodes {
             let meta = self.decomp.node(v);
             let inst = bindings[v.index()].as_ref().expect("all bound").clone();
             if meta.outgoing.is_empty() {

@@ -61,6 +61,22 @@ pub enum OpRecord {
         /// The transaction's operations, in program order.
         ops: Vec<OpRecord>,
     },
+    /// `insert_all r [(s, t)]`: the sequential put-if-absent fold over the
+    /// rows, taking effect atomically as one linearization point.
+    InsertAll {
+        /// The batch rows, in order.
+        rows: Vec<(Tuple, Tuple)>,
+        /// Observed per-row results.
+        results: Vec<bool>,
+    },
+    /// `remove_all r [s]`: the sequential removal fold over the keys,
+    /// taking effect atomically as one linearization point.
+    RemoveAll {
+        /// The batch keys, in order.
+        keys: Vec<Tuple>,
+        /// Observed total number of removed tuples.
+        result: usize,
+    },
 }
 
 /// A completed operation with real-time interval.
@@ -165,6 +181,36 @@ fn apply(state: &mut BTreeSet<Tuple>, op: &OpRecord) -> bool {
             } else {
                 false
             }
+        }
+        OpRecord::InsertAll { rows, results } => {
+            // The §2 semantics of a batch is the sequential fold; each
+            // row's observed flag must match put-if-absent against the
+            // state the earlier rows built.
+            if rows.len() != results.len() {
+                return false;
+            }
+            let mut scratch = state.clone();
+            for ((s, t), &r) in rows.iter().zip(results) {
+                let exists = scratch.iter().any(|u| u.extends(s));
+                if exists != !r {
+                    return false;
+                }
+                if r {
+                    let x = s.union(t).expect("recorded inserts have disjoint domains");
+                    scratch.insert(x);
+                }
+            }
+            *state = scratch;
+            true
+        }
+        OpRecord::RemoveAll { keys, result } => {
+            let mut removed = 0usize;
+            for s in keys {
+                let before = state.len();
+                state.retain(|u| !u.extends(s));
+                removed += before - state.len();
+            }
+            removed == *result
         }
     }
 }
@@ -618,6 +664,77 @@ mod tests {
             ];
             assert!(check_linearizable(&schema(), &h3));
         }
+    }
+
+    #[test]
+    fn batch_records_are_single_linearization_points() {
+        let cols = schema().columns();
+        // An insert_all of two rows overlapping a full query: the query may
+        // see zero or two of the batch's tuples, never exactly one.
+        let batch = OpRecord::InsertAll {
+            rows: vec![(edge(1, 2), weight(1)), (edge(3, 4), weight(2))],
+            results: vec![true, true],
+        };
+        let one = edge(1, 2).union(&weight(1)).unwrap();
+        let both = vec![
+            edge(1, 2).union(&weight(1)).unwrap(),
+            edge(3, 4).union(&weight(2)).unwrap(),
+        ];
+        for (observed, ok) in [
+            (vec![], true),
+            (both.clone(), true),
+            (vec![one.clone()], false),
+        ] {
+            let h = vec![
+                ev(0, 10, batch.clone()),
+                ev(
+                    1,
+                    9,
+                    OpRecord::Query {
+                        s: Tuple::empty(),
+                        cols,
+                        result: observed,
+                    },
+                ),
+            ];
+            assert_eq!(check_linearizable(&schema(), &h), ok);
+        }
+        // A duplicate pattern inside one batch must lose to the first row.
+        let dup_ok = OpRecord::InsertAll {
+            rows: vec![(edge(1, 2), weight(1)), (edge(1, 2), weight(9))],
+            results: vec![true, false],
+        };
+        assert!(check_linearizable(&schema(), &[ev(0, 1, dup_ok)]));
+        let dup_bad = OpRecord::InsertAll {
+            rows: vec![(edge(1, 2), weight(1)), (edge(1, 2), weight(9))],
+            results: vec![true, true],
+        };
+        assert!(!check_linearizable(&schema(), &[ev(0, 1, dup_bad)]));
+        // remove_all counts the sequential fold (duplicates remove once).
+        let h = vec![
+            ev(0, 10, batch),
+            ev(
+                11,
+                12,
+                OpRecord::RemoveAll {
+                    keys: vec![edge(1, 2), edge(1, 2), edge(3, 4), edge(5, 6)],
+                    result: 2,
+                },
+            ),
+        ];
+        assert!(check_linearizable(&schema(), &h));
+        let h_bad = vec![ev(
+            0,
+            1,
+            OpRecord::RemoveAll {
+                keys: vec![edge(1, 2)],
+                result: 1,
+            },
+        )];
+        assert!(
+            !check_linearizable(&schema(), &h_bad),
+            "removal from an empty relation cannot succeed"
+        );
     }
 
     #[test]

@@ -213,6 +213,15 @@ impl LockPlacement {
     /// For speculative edges this names the *fallback* (absent-edge) locks;
     /// the present-edge lock is discovered by the speculation protocol.
     pub fn fallback_tokens(&self, e: EdgeId, bound: &Tuple) -> Vec<LockToken> {
+        let mut out = Vec::new();
+        self.fallback_tokens_into(e, bound, &mut out);
+        out
+    }
+
+    /// [`LockPlacement::fallback_tokens`] appended into a caller-owned
+    /// buffer — the batched operations compute thousands of tokens per
+    /// sweep and reuse one allocation.
+    pub fn fallback_tokens_into(&self, e: EdgeId, bound: &Tuple, out: &mut Vec<LockToken>) {
         let ep = self.edges[e.index()];
         let host_meta = self.decomp.node(ep.host);
         let instance = bound.project(host_meta.key_cols);
@@ -225,28 +234,25 @@ impl LockPlacement {
         // An empty stripe_by pins the edge to stripe 0 — one fixed lock at
         // a (possibly otherwise striped) node.
         if k == 1 || ep.stripe_by.is_empty() {
-            return vec![LockToken {
+            out.push(LockToken {
                 node_pos,
                 instance,
                 stripe: 0,
-            }];
-        }
-        if ep.stripe_by.is_subset(bound.dom()) {
+            });
+        } else if ep.stripe_by.is_subset(bound.dom()) {
             let stripe = (bound.stable_hash_of(ep.stripe_by) % u64::from(k)) as u32;
-            vec![LockToken {
+            out.push(LockToken {
                 node_pos,
                 instance,
                 stripe,
-            }]
+            });
         } else {
             // Conservative: all stripes.
-            (0..k)
-                .map(|stripe| LockToken {
-                    node_pos,
-                    instance: instance.clone(),
-                    stripe,
-                })
-                .collect()
+            out.extend((0..k).map(|stripe| LockToken {
+                node_pos,
+                instance: instance.clone(),
+                stripe,
+            }));
         }
     }
 
@@ -256,6 +262,14 @@ impl LockPlacement {
     /// otherwise split (§4.4: "we can always conservatively take all k
     /// locks").
     pub fn all_stripe_tokens(&self, e: EdgeId, bound: &Tuple) -> Vec<LockToken> {
+        let mut out = Vec::new();
+        self.all_stripe_tokens_into(e, bound, &mut out);
+        out
+    }
+
+    /// [`LockPlacement::all_stripe_tokens`] appended into a caller-owned
+    /// buffer (see [`LockPlacement::fallback_tokens_into`]).
+    pub fn all_stripe_tokens_into(&self, e: EdgeId, bound: &Tuple, out: &mut Vec<LockToken>) {
         let ep = self.edges[e.index()];
         let host_meta = self.decomp.node(ep.host);
         let instance = bound.project(host_meta.key_cols);
@@ -264,13 +278,11 @@ impl LockPlacement {
             "host instance key must be bound when locking (planner invariant)"
         );
         let node_pos = self.decomp.topo_position(ep.host);
-        (0..self.stripe_count(ep.host))
-            .map(|stripe| LockToken {
-                node_pos,
-                instance: instance.clone(),
-                stripe,
-            })
-            .collect()
+        out.extend((0..self.stripe_count(ep.host)).map(|stripe| LockToken {
+            node_pos,
+            instance: instance.clone(),
+            stripe,
+        }));
     }
 
     /// The token of the *target-side* lock used by the speculation protocol

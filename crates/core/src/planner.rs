@@ -190,6 +190,53 @@ pub struct InPlaceStep {
     pub all_stripes: bool,
 }
 
+/// A compiled batch-insert plan: the per-tuple [`InsertPlan`] plus every
+/// per-edge analysis the batched executor would otherwise redo per tuple.
+///
+/// `insert_all` fetches one of these per batch (one plan-cache hit instead
+/// of two per row), bulk-acquires the union of the batch's root-hosted
+/// lock tokens in one globally sorted sweep, and defers the publication of
+/// root-source edges so they can be written with one fused
+/// `Container::extend_entries` call per container.
+#[derive(Debug, Clone)]
+pub struct InsertBatchPlan {
+    /// The per-tuple insert plan (mutation order + existence-check chain).
+    pub insert: Arc<InsertPlan>,
+    /// Full-column remove plan compensating one applied row — shared with
+    /// the transaction layer's undo entries, exactly as
+    /// [`GeneralUpdate::insert`] shares its re-insert plan.
+    pub inverse: Arc<RemovePlan>,
+    /// Root-hosted edges with their force-all-stripes flag: the per-row
+    /// fallback (or all-stripe) tokens of these edges form the batch's
+    /// bulk lock sweep. The all-stripes entries come from the inverse
+    /// plan — the compensation tokens a mid-transaction insert must hold
+    /// before its first write (see [`crate::exec::InsertUndo::Prepare`]).
+    pub root_hosted: Vec<(EdgeId, bool)>,
+    /// Indexed by edge: the edge leaves the root, so the batch defers its
+    /// publication to the flush (subtrees complete strictly before the
+    /// root links them in, even mid-batch).
+    pub defer: Vec<bool>,
+    /// Node ids in topological order (the per-tuple materialization order,
+    /// sorted once per plan instead of once per tuple).
+    pub topo_nodes: Vec<crate::decomp::NodeId>,
+}
+
+/// A compiled batch-remove plan: the per-key [`RemovePlan`] plus the
+/// precomputed root sweep and the compensating full-column insert plan.
+#[derive(Debug, Clone)]
+pub struct RemoveBatchPlan {
+    /// The per-key remove plan (mutation order + traversal kinds).
+    pub remove: Arc<RemovePlan>,
+    /// Full-column insert plan compensating one removed row.
+    pub reinsert: Arc<InsertPlan>,
+    /// Root-hosted edges with their force-all-stripes flag (from the
+    /// remove plan's per-edge analysis): the bulk lock sweep.
+    pub root_hosted: Vec<(EdgeId, bool)>,
+    /// Node ids in reverse topological order (the per-key unlink order,
+    /// sorted once per plan instead of once per key).
+    pub reverse_topo_nodes: Vec<crate::decomp::NodeId>,
+}
+
 /// The query planner for one (decomposition, placement) pair.
 #[derive(Debug, Clone)]
 pub struct Planner {
@@ -532,6 +579,84 @@ impl Planner {
             all_stripes.push(needs_all);
         }
         Ok(RemovePlan { edges, all_stripes })
+    }
+
+    /// Plans a batched `insert_all` whose rows all bind `bound`: the
+    /// per-tuple insert plan, its full-column inverse (one shared `Arc` for
+    /// every row's undo entry), and the per-edge analyses of the bulk lock
+    /// sweep and the deferred root publications. See [`InsertBatchPlan`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Planner::plan_insert`].
+    pub fn plan_insert_batch(&self, bound: ColumnSet) -> Result<InsertBatchPlan, CoreError> {
+        let insert = Arc::new(self.plan_insert(bound)?);
+        // A full tuple is always a key, so the inverse plan always exists.
+        let inverse = Arc::new(self.plan_remove(self.decomp.schema().columns())?);
+        Ok(InsertBatchPlan {
+            root_hosted: self.root_hosted_edges(&inverse),
+            defer: self.root_source_edges(),
+            topo_nodes: self.nodes_in_topo_order(false),
+            insert,
+            inverse,
+        })
+    }
+
+    /// Plans a batched `remove_all` whose keys all bind `bound`: the
+    /// per-key remove plan, the full-column re-insert compensating one
+    /// removed row, and the precomputed root lock sweep. See
+    /// [`RemoveBatchPlan`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Planner::plan_remove`].
+    pub fn plan_remove_batch(&self, bound: ColumnSet) -> Result<RemoveBatchPlan, CoreError> {
+        let remove = Arc::new(self.plan_remove(bound)?);
+        let reinsert = Arc::new(self.plan_insert(self.decomp.schema().columns())?);
+        Ok(RemoveBatchPlan {
+            root_hosted: self.root_hosted_edges(&remove),
+            reverse_topo_nodes: self.nodes_in_topo_order(true),
+            remove,
+            reinsert,
+        })
+    }
+
+    /// Root-hosted edges with the force-all-stripes flag `plan`'s per-edge
+    /// analysis assigns them — the shape of a batch's bulk lock sweep.
+    fn root_hosted_edges(&self, plan: &RemovePlan) -> Vec<(EdgeId, bool)> {
+        let root = self.decomp.root();
+        self.decomp
+            .edges()
+            .filter(|&(e, _)| self.placement.edge(e).host == root)
+            .map(|(e, _)| {
+                let force_all = plan
+                    .edges
+                    .iter()
+                    .zip(&plan.all_stripes)
+                    .any(|(&(pe, _), &all)| pe == e && all);
+                (e, force_all)
+            })
+            .collect()
+    }
+
+    /// Per-edge (indexed by [`EdgeId::index`]): the edge leaves the root.
+    fn root_source_edges(&self) -> Vec<bool> {
+        let mut defer = vec![false; self.decomp.edge_count()];
+        for (e, em) in self.decomp.edges() {
+            defer[e.index()] = em.src == self.decomp.root();
+        }
+        defer
+    }
+
+    /// All node ids sorted by topological position (reversed on demand).
+    fn nodes_in_topo_order(&self, reverse: bool) -> Vec<crate::decomp::NodeId> {
+        let mut nodes: Vec<crate::decomp::NodeId> =
+            self.decomp.nodes().map(|(id, _)| id).collect();
+        nodes.sort_by_key(|&v| self.decomp.topo_position(v));
+        if reverse {
+            nodes.reverse();
+        }
+        nodes
     }
 
     /// Plans `update r s t` where `dom s = bound` and `dom t = updated`

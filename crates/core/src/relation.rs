@@ -22,7 +22,9 @@ use crate::error::CoreError;
 use crate::exec::Executor;
 use crate::instance::{self, NodeInstance, NodeRef};
 use crate::placement::{LockPlacement, LockToken};
-use crate::planner::{InsertPlan, Plan, Planner, RemovePlan, UpdatePlan};
+use crate::planner::{
+    InsertBatchPlan, InsertPlan, Plan, Planner, RemoveBatchPlan, RemovePlan, UpdatePlan,
+};
 use crate::txn::{Transaction, TxnError};
 
 /// A concurrent relation synthesized from a decomposition and a lock
@@ -61,6 +63,8 @@ pub struct ConcurrentRelation {
     insert_plans: RwLock<HashMap<u64, Arc<InsertPlan>>>,
     remove_plans: RwLock<HashMap<u64, Arc<RemovePlan>>>,
     update_plans: RwLock<HashMap<(u64, u64), Arc<UpdatePlan>>>,
+    insert_batch_plans: RwLock<HashMap<u64, Arc<InsertBatchPlan>>>,
+    remove_batch_plans: RwLock<HashMap<u64, Arc<RemoveBatchPlan>>>,
 }
 
 /// Monotonic relation ids for the thread-local plan memo.
@@ -118,6 +122,10 @@ thread_local! {
         std::cell::RefCell::new(PlanMemo::new());
     static UPDATE_MEMO: std::cell::RefCell<PlanMemo<(u64, u64, u64), Arc<UpdatePlan>>> =
         std::cell::RefCell::new(PlanMemo::new());
+    static INSERT_BATCH_MEMO: std::cell::RefCell<PlanMemo<(u64, u64), Arc<InsertBatchPlan>>> =
+        std::cell::RefCell::new(PlanMemo::new());
+    static REMOVE_BATCH_MEMO: std::cell::RefCell<PlanMemo<(u64, u64), Arc<RemoveBatchPlan>>> =
+        std::cell::RefCell::new(PlanMemo::new());
 }
 
 /// Ids of live relations. The thread-local memos above are keyed by
@@ -168,6 +176,43 @@ impl<K: std::hash::Hash + Eq, V> PlanMemo<K, V> {
     }
 }
 
+/// The shared body of every plan accessor: probe the thread-local memo,
+/// then the relation's shared cache (building and publishing the plan on
+/// a miss), then fill the memo. One definition, six plan kinds — the
+/// memo-sweep and double-planning subtleties live here only.
+fn plan_cached<MK, CK, P>(
+    memo: &'static std::thread::LocalKey<std::cell::RefCell<PlanMemo<MK, Arc<P>>>>,
+    memo_key: MK,
+    rel_id: fn(&MK) -> u64,
+    cache: &RwLock<HashMap<CK, Arc<P>>>,
+    cache_key: CK,
+    build: impl FnOnce() -> Result<P, CoreError>,
+) -> Result<Arc<P>, CoreError>
+where
+    MK: std::hash::Hash + Eq,
+    CK: std::hash::Hash + Eq,
+{
+    if let Some(p) = memo.with(|m| m.borrow().get(&memo_key).cloned()) {
+        return Ok(p);
+    }
+    let cached = cache.read().expect("plan cache").get(&cache_key).cloned();
+    let plan = match cached {
+        Some(p) => p,
+        None => {
+            let plan = Arc::new(build()?);
+            cache
+                .write()
+                .expect("plan cache")
+                .insert(cache_key, Arc::clone(&plan));
+            plan
+        }
+    };
+    memo.with(|m| {
+        m.borrow_mut().insert(memo_key, Arc::clone(&plan), rel_id);
+    });
+    Ok(plan)
+}
+
 impl ConcurrentRelation {
     /// Synthesizes a relation from a decomposition and a placement.
     ///
@@ -204,6 +249,8 @@ impl ConcurrentRelation {
             insert_plans: RwLock::new(HashMap::new()),
             remove_plans: RwLock::new(HashMap::new()),
             update_plans: RwLock::new(HashMap::new()),
+            insert_batch_plans: RwLock::new(HashMap::new()),
+            remove_batch_plans: RwLock::new(HashMap::new()),
         })
     }
 
@@ -402,6 +449,63 @@ impl ConcurrentRelation {
         self.run_transaction(true, |tx| tx.insert(s, t))
     }
 
+    /// Batched `insert r s t` (§2) over many rows as **one transaction**:
+    /// semantically the sequential fold of [`Self::insert`] over `rows`
+    /// (one put-if-absent result per row, duplicates losing to the first
+    /// occurrence), but atomic — observers see all of the batch's effects
+    /// or none — and amortized: the plan is fetched once, every row's root
+    /// lock targets are deduplicated and acquired in one globally sorted
+    /// sweep, and root-edge publications are fused into one bulk container
+    /// write per edge ([`relc_containers::Container::extend_entries`]).
+    ///
+    /// A validation error in *any* row aborts the whole batch with no
+    /// effect.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use relc::{ConcurrentRelation, decomp, placement::LockPlacement};
+    /// use relc_containers::ContainerKind;
+    /// use relc_spec::Value;
+    ///
+    /// let d = decomp::library::stick(ContainerKind::HashMap, ContainerKind::TreeMap);
+    /// let graph = ConcurrentRelation::new(d.clone(), LockPlacement::coarse(&d)?)?;
+    /// let row = |s: i64, t: i64, w: i64| {
+    ///     (
+    ///         d.schema().tuple(&[("src", Value::from(s)), ("dst", Value::from(t))]).unwrap(),
+    ///         d.schema().tuple(&[("weight", Value::from(w))]).unwrap(),
+    ///     )
+    /// };
+    /// let inserted = graph.insert_all(&[row(1, 2, 10), row(1, 3, 11), row(1, 2, 99)])?;
+    /// assert_eq!(inserted, vec![true, true, false]); // duplicate key loses
+    /// assert_eq!(graph.len(), 2);
+    /// assert_eq!(graph.remove_all(&[row(1, 2, 0).0, row(1, 3, 0).0, row(9, 9, 0).0])?, 2);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::insert`], for any row; the batch has no effect.
+    pub fn insert_all(&self, rows: &[(Tuple, Tuple)]) -> Result<Vec<bool>, CoreError> {
+        // Single-shot: the batch is the whole transaction, which lets the
+        // executor skip the fresh-subtree host locks (the batch still
+        // records its undo segment — a mid-batch restart rolls it back).
+        self.run_transaction(true, |tx| tx.insert_all(rows))
+    }
+
+    /// Batched `remove r s` (§2) over many keys as one atomic, amortized
+    /// transaction: the sequential fold of [`Self::remove`] over `keys`
+    /// (duplicate keys remove once), with one plan fetch and one globally
+    /// sorted bulk lock sweep. Returns how many tuples were removed. See
+    /// [`Self::insert_all`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::remove`], for any key; the batch has no effect.
+    pub fn remove_all(&self, keys: &[Tuple]) -> Result<usize, CoreError> {
+        self.run_transaction(true, |tx| tx.remove_all(keys))
+    }
+
     /// `remove r s` (§2): removes the tuple matching the key pattern `s`,
     /// returning how many tuples were removed (0 or 1, since `s` must be a
     /// key). Sugar for a one-operation [`Self::transaction`].
@@ -515,96 +619,64 @@ impl ConcurrentRelation {
         bound: ColumnSet,
         output: ColumnSet,
     ) -> Result<Arc<Plan>, CoreError> {
-        let memo_key = (self.id, bound.bits(), output.bits());
-        if let Some(p) = QUERY_MEMO.with(|m| m.borrow().get(&memo_key).cloned()) {
-            return Ok(p);
-        }
-        let key = (bound.bits(), output.bits());
-        let plan = {
-            let cached = self
-                .query_plans
-                .read()
-                .expect("plan cache")
-                .get(&key)
-                .cloned();
-            match cached {
-                Some(p) => p,
-                None => {
-                    let plan = Arc::new(self.planner.plan_query(bound, output)?);
-                    self.query_plans
-                        .write()
-                        .expect("plan cache")
-                        .insert(key, Arc::clone(&plan));
-                    plan
-                }
-            }
-        };
-        QUERY_MEMO.with(|m| {
-            m.borrow_mut().insert(memo_key, Arc::clone(&plan), |k| k.0);
-        });
-        Ok(plan)
+        plan_cached(
+            &QUERY_MEMO,
+            (self.id, bound.bits(), output.bits()),
+            |k| k.0,
+            &self.query_plans,
+            (bound.bits(), output.bits()),
+            || self.planner.plan_query(bound, output),
+        )
     }
 
     pub(crate) fn insert_plan(&self, bound: ColumnSet) -> Result<Arc<InsertPlan>, CoreError> {
-        let memo_key = (self.id, bound.bits());
-        if let Some(p) = INSERT_MEMO.with(|m| m.borrow().get(&memo_key).cloned()) {
-            return Ok(p);
-        }
-        let key = bound.bits();
-        let plan = {
-            let cached = self
-                .insert_plans
-                .read()
-                .expect("plan cache")
-                .get(&key)
-                .cloned();
-            match cached {
-                Some(p) => p,
-                None => {
-                    let plan = Arc::new(self.planner.plan_insert(bound)?);
-                    self.insert_plans
-                        .write()
-                        .expect("plan cache")
-                        .insert(key, Arc::clone(&plan));
-                    plan
-                }
-            }
-        };
-        INSERT_MEMO.with(|m| {
-            m.borrow_mut().insert(memo_key, Arc::clone(&plan), |k| k.0);
-        });
-        Ok(plan)
+        plan_cached(
+            &INSERT_MEMO,
+            (self.id, bound.bits()),
+            |k| k.0,
+            &self.insert_plans,
+            bound.bits(),
+            || self.planner.plan_insert(bound),
+        )
     }
 
     pub(crate) fn remove_plan(&self, bound: ColumnSet) -> Result<Arc<RemovePlan>, CoreError> {
-        let memo_key = (self.id, bound.bits());
-        if let Some(p) = REMOVE_MEMO.with(|m| m.borrow().get(&memo_key).cloned()) {
-            return Ok(p);
-        }
-        let key = bound.bits();
-        let plan = {
-            let cached = self
-                .remove_plans
-                .read()
-                .expect("plan cache")
-                .get(&key)
-                .cloned();
-            match cached {
-                Some(p) => p,
-                None => {
-                    let plan = Arc::new(self.planner.plan_remove(bound)?);
-                    self.remove_plans
-                        .write()
-                        .expect("plan cache")
-                        .insert(key, Arc::clone(&plan));
-                    plan
-                }
-            }
-        };
-        REMOVE_MEMO.with(|m| {
-            m.borrow_mut().insert(memo_key, Arc::clone(&plan), |k| k.0);
-        });
-        Ok(plan)
+        plan_cached(
+            &REMOVE_MEMO,
+            (self.id, bound.bits()),
+            |k| k.0,
+            &self.remove_plans,
+            bound.bits(),
+            || self.planner.plan_remove(bound),
+        )
+    }
+
+    pub(crate) fn insert_batch_plan(
+        &self,
+        bound: ColumnSet,
+    ) -> Result<Arc<InsertBatchPlan>, CoreError> {
+        plan_cached(
+            &INSERT_BATCH_MEMO,
+            (self.id, bound.bits()),
+            |k| k.0,
+            &self.insert_batch_plans,
+            bound.bits(),
+            || self.planner.plan_insert_batch(bound),
+        )
+    }
+
+    pub(crate) fn remove_batch_plan(
+        &self,
+        bound: ColumnSet,
+    ) -> Result<Arc<RemoveBatchPlan>, CoreError> {
+        plan_cached(
+            &REMOVE_BATCH_MEMO,
+            (self.id, bound.bits()),
+            |k| k.0,
+            &self.remove_batch_plans,
+            bound.bits(),
+            || self.planner.plan_remove_batch(bound),
+        )
     }
 
     pub(crate) fn update_plan(
@@ -612,35 +684,16 @@ impl ConcurrentRelation {
         bound: ColumnSet,
         updated: ColumnSet,
     ) -> Result<Arc<UpdatePlan>, CoreError> {
-        let memo_key = (self.id, bound.bits(), updated.bits());
-        if let Some(p) = UPDATE_MEMO.with(|m| m.borrow().get(&memo_key).cloned()) {
-            return Ok(p);
-        }
-        let key = (bound.bits(), updated.bits());
-        let plan = {
-            let cached = self
-                .update_plans
-                .read()
-                .expect("plan cache")
-                .get(&key)
-                .cloned();
-            match cached {
-                Some(p) => p,
-                None => {
-                    let plan = Arc::new(self.planner.plan_update(bound, updated)?);
-                    self.update_plans
-                        .write()
-                        .expect("plan cache")
-                        .insert(key, Arc::clone(&plan));
-                    plan
-                }
-            }
-        };
-        UPDATE_MEMO.with(|m| {
-            m.borrow_mut().insert(memo_key, Arc::clone(&plan), |k| k.0);
-        });
-        Ok(plan)
+        plan_cached(
+            &UPDATE_MEMO,
+            (self.id, bound.bits(), updated.bits()),
+            |k| k.0,
+            &self.update_plans,
+            (bound.bits(), updated.bits()),
+            || self.planner.plan_update(bound, updated),
+        )
     }
+
 }
 
 impl Drop for ConcurrentRelation {

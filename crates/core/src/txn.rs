@@ -229,7 +229,42 @@ impl<'t> Transaction<'t> {
     /// As for [`ConcurrentRelation::insert`], wrapped in
     /// [`TxnError::Core`]; or [`TxnError::Restart`] (propagate it).
     pub fn insert(&mut self, s: &Tuple, t: &Tuple) -> Result<bool, TxnError> {
+        let record_undo = !self.single_shot;
+        self.insert_impl(s, t, record_undo)
+    }
+
+    /// [`Transaction::insert`] with the undo decision made by the caller:
+    /// batch operations record undo entries even in single-shot mode (a
+    /// mid-batch failure must roll the whole batch back), while the
+    /// single-shot one-op sugar never needs them.
+    fn insert_impl(&mut self, s: &Tuple, t: &Tuple, record_undo: bool) -> Result<bool, TxnError> {
         self.assert_two_phase();
+        let x = self.validate_insert(s, t)?;
+        let plan = self.rel.insert_plan(s.dom())?;
+        // A full tuple is always a key, so the inverse plan always exists.
+        let inverse = if record_undo {
+            Some(self.rel.remove_plan(x.dom())?)
+        } else {
+            None
+        };
+        let undo = InsertUndo::from_inverse(inverse.as_deref());
+        let res = self
+            .exec
+            .run_insert(&plan, &x, s, self.rel.root_ref(), undo);
+        let inserted = self.track(res)?;
+        if inserted {
+            self.len_delta += 1;
+            if let Some(plan) = inverse {
+                self.undo.push(UndoOp::Unlink { plan, tuple: x });
+            }
+        }
+        Ok(inserted)
+    }
+
+    /// §2 argument validation shared by [`Transaction::insert`] and
+    /// [`Transaction::insert_all`]: disjoint domains, full valuation.
+    /// Returns `x = s ∪ t`.
+    fn validate_insert(&self, s: &Tuple, t: &Tuple) -> Result<Tuple, TxnError> {
         if !s.dom().is_disjoint(t.dom()) {
             return Err(SpecError::OverlappingInsertDomains {
                 shared: self
@@ -245,25 +280,121 @@ impl<'t> Transaction<'t> {
             .schema()
             .check_valuation(&x)
             .map_err(CoreError::from)?;
-        let plan = self.rel.insert_plan(s.dom())?;
-        // A full tuple is always a key, so the inverse plan always exists.
-        let inverse = if self.single_shot {
-            None
-        } else {
-            Some(self.rel.remove_plan(x.dom())?)
+        Ok(x)
+    }
+
+    /// Batched `insert r s t` over many rows under this transaction's lock
+    /// scope: semantically the sequential fold of [`Transaction::insert`]
+    /// over `rows` — one put-if-absent result per row, duplicate patterns
+    /// within the batch losing to the first occurrence — executed as **one
+    /// amortized pass**: one plan fetch for the whole batch, every row's
+    /// root lock targets deduplicated and acquired in one globally sorted
+    /// sweep, and root-edge publications fused into one bulk container
+    /// write per edge.
+    ///
+    /// The batch is atomic within the transaction: its rows share one undo
+    /// segment, so a mid-batch failure (or a later abort of the enclosing
+    /// transaction) rolls back *every* applied row, never a prefix. All
+    /// rows are validated before the first effect; rows whose shapes
+    /// (`dom s`, `dom t`) differ from the first row's fall back to the
+    /// per-row path, keeping the fold semantics exact.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Transaction::insert`] — validation errors abort the whole
+    /// batch with no effect; or [`TxnError::Restart`] (propagate it).
+    pub fn insert_all(&mut self, rows: &[(Tuple, Tuple)]) -> Result<Vec<bool>, TxnError> {
+        self.assert_two_phase();
+        let Some(((s0, t0), _)) = rows.split_first() else {
+            return Ok(Vec::new());
         };
-        let undo = InsertUndo::from_inverse(inverse.as_deref());
+        // Shape scan strictly before the first effect. A uniform batch
+        // (every row binding the first row's column sets — the common
+        // case) validates once: the §2 conditions depend only on the
+        // domains, so one disjointness + valuation check covers all rows.
+        let (dom_s, dom_t) = (s0.dom(), t0.dom());
+        if rows
+            .iter()
+            .any(|(s, t)| s.dom() != dom_s || t.dom() != dom_t)
+        {
+            // Mixed shapes need per-row plans; run the fold directly (each
+            // row validates itself, and undo is recorded per row, so
+            // batch atomicity still holds).
+            let mut out = Vec::with_capacity(rows.len());
+            for (s, t) in rows {
+                out.push(self.insert_impl(s, t, true)?);
+            }
+            return Ok(out);
+        }
+        self.validate_insert(s0, t0)?;
+        let xs: Vec<Tuple> = rows.iter().map(|(s, t)| s.union_disjoint(t)).collect();
+        let plan = self.rel.insert_batch_plan(dom_s)?;
+        let mut results = Vec::with_capacity(rows.len());
+        let mut applied = Vec::new();
+        let res = self.exec.run_insert_all(
+            &plan,
+            &xs,
+            rows,
+            self.rel.root_ref(),
+            self.single_shot,
+            &mut results,
+            &mut applied,
+        );
+        // The applied prefix is recorded in the undo segment *before* a
+        // mid-batch restart propagates: rollback must compensate it.
+        let mut xs = xs;
+        for i in applied {
+            self.len_delta += 1;
+            self.undo.push(UndoOp::Unlink {
+                plan: Arc::clone(&plan.inverse),
+                tuple: std::mem::replace(&mut xs[i], Tuple::empty()),
+            });
+        }
+        self.track(res)?;
+        Ok(results)
+    }
+
+    /// Batched `remove r s` over many keys under this transaction's lock
+    /// scope: semantically the sequential fold of [`Transaction::remove`]
+    /// over `keys` (duplicate keys remove once), executed as one amortized
+    /// pass with a single plan fetch and one globally sorted bulk lock
+    /// sweep. Returns how many tuples were removed.
+    ///
+    /// The batch shares one undo segment: a mid-batch failure or a later
+    /// abort re-inserts every removed tuple. Keys whose shape differs from
+    /// the first key's fall back to the per-key path.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Transaction::remove`]; or [`TxnError::Restart`]
+    /// (propagate it).
+    pub fn remove_all(&mut self, keys: &[Tuple]) -> Result<usize, TxnError> {
+        self.assert_two_phase();
+        let Some(k0) = keys.first() else {
+            return Ok(0);
+        };
+        if keys.iter().any(|k| k.dom() != k0.dom()) {
+            let mut n = 0;
+            for k in keys {
+                n += usize::from(self.remove_impl(k, true)?.is_some());
+            }
+            return Ok(n);
+        }
+        let plan = self.rel.remove_batch_plan(k0.dom())?;
+        let mut removed = Vec::new();
         let res = self
             .exec
-            .run_insert(&plan, &x, s, self.rel.root_ref(), undo);
-        let inserted = self.track(res)?;
-        if inserted {
-            self.len_delta += 1;
-            if let Some(plan) = inverse {
-                self.undo.push(UndoOp::Unlink { plan, tuple: x });
-            }
+            .run_remove_all(&plan, keys, self.rel.root_ref(), &mut removed);
+        let n = removed.len();
+        for t in removed {
+            self.len_delta -= 1;
+            self.undo.push(UndoOp::Reinsert {
+                plan: Arc::clone(&plan.reinsert),
+                tuple: t,
+            });
         }
-        Ok(inserted)
+        self.track(res)?;
+        Ok(n)
     }
 
     /// `remove r s` (§2) under this transaction's lock scope; returns how
@@ -283,16 +414,23 @@ impl<'t> Transaction<'t> {
     ///
     /// As for [`Transaction::remove`].
     pub fn remove_returning(&mut self, s: &Tuple) -> Result<Option<Tuple>, TxnError> {
+        let record_undo = !self.single_shot;
+        self.remove_impl(s, record_undo)
+    }
+
+    /// [`Transaction::remove_returning`] with the undo decision made by
+    /// the caller (see [`Transaction::insert_impl`]).
+    fn remove_impl(&mut self, s: &Tuple, record_undo: bool) -> Result<Option<Tuple>, TxnError> {
         self.assert_two_phase();
         let plan = self.rel.remove_plan(s.dom())?;
         // The compensating re-insert's plan is fetched *before* the unlink
         // is applied: no fallible step may sit between a mutation and the
         // push of its undo entry. Removed tuples are full valuations, so
         // the plan's bound set is the whole column set.
-        let reinsert = if self.single_shot {
-            None
-        } else {
+        let reinsert = if record_undo {
             Some(self.rel.insert_plan(self.rel.schema().columns())?)
+        } else {
+            None
         };
         let res = self.exec.run_remove(&plan, s, self.rel.root_ref());
         let removed = self.track(res)?;

@@ -509,6 +509,116 @@ fn small_transaction_histories_are_linearizable() {
     }
 }
 
+/// Wing–Gong checking of short concurrent histories that mix batched
+/// operations (`insert_all` / `remove_all`, recorded as single `InsertAll`
+/// / `RemoveAll` events), single ops, and in-place updates: every batch
+/// must be one linearization point whose per-row results are the
+/// sequential put-if-absent / removal fold.
+#[test]
+fn batch_histories_are_linearizable() {
+    let d = diamond(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap);
+    let placements = vec![
+        LockPlacement::coarse(&d).unwrap(),
+        LockPlacement::fine(&d).unwrap(),
+        LockPlacement::striped_root(&d, 4).unwrap(),
+        LockPlacement::speculative(&d, 4).unwrap(),
+    ];
+    for p in placements {
+        for round in 0..20u64 {
+            let rel = Arc::new(ConcurrentRelation::new(d.clone(), p.clone()).unwrap());
+            let rec = HistoryRecorder::new();
+            let threads = 3;
+            let barrier = Arc::new(Barrier::new(threads));
+            let handles: Vec<_> = (0..threads as u64)
+                .map(|tid| {
+                    let rel = rel.clone();
+                    let rec = rec.clone();
+                    let barrier = barrier.clone();
+                    std::thread::spawn(move || {
+                        let mut x = (round + 1) * (tid + 5) * 0x9e37_79b9;
+                        let mut next = move || {
+                            x ^= x << 13;
+                            x ^= x >> 7;
+                            x ^= x << 17;
+                            x
+                        };
+                        barrier.wait();
+                        for _ in 0..3 {
+                            let s = (next() % 2) as i64;
+                            let dd = (next() % 2) as i64;
+                            let w = (next() % 3) as i64;
+                            match next() % 4 {
+                                0 => {
+                                    // A batch with an intentional duplicate
+                                    // pattern: the fold must report it false.
+                                    let rows = vec![
+                                        (edge(&rel, s, dd), weight(&rel, w)),
+                                        (edge(&rel, dd, s), weight(&rel, w + 1)),
+                                        (edge(&rel, s, dd), weight(&rel, w + 2)),
+                                    ];
+                                    rec.record(|| {
+                                        let results = rel.insert_all(&rows).unwrap();
+                                        ((), OpRecord::InsertAll { rows, results })
+                                    });
+                                }
+                                1 => {
+                                    let keys =
+                                        vec![edge(&rel, s, dd), edge(&rel, 1 - s, 1 - dd)];
+                                    rec.record(|| {
+                                        let result = rel.remove_all(&keys).unwrap();
+                                        ((), OpRecord::RemoveAll { keys, result })
+                                    });
+                                }
+                                2 => {
+                                    rec.record(|| {
+                                        let r = rel
+                                            .update(&edge(&rel, s, dd), &weight(&rel, w))
+                                            .unwrap();
+                                        (
+                                            (),
+                                            OpRecord::Update {
+                                                s: edge(&rel, s, dd),
+                                                t: weight(&rel, w),
+                                                result: r,
+                                            },
+                                        )
+                                    });
+                                }
+                                _ => {
+                                    let cols = rel.schema().column_set(&["dst", "weight"]).unwrap();
+                                    rec.record(|| {
+                                        let pat =
+                                            rel.schema().tuple(&[("src", Value::from(s))]).unwrap();
+                                        let r = rel.query(&pat, cols).unwrap();
+                                        (
+                                            (),
+                                            OpRecord::Query {
+                                                s: pat,
+                                                cols,
+                                                result: r,
+                                            },
+                                        )
+                                    });
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            let history = rec.into_history();
+            assert!(
+                check_linearizable(rel.schema(), &history),
+                "non-linearizable batch history on {} (round {round}): {history:#?}",
+                rel.placement().name()
+            );
+            rel.verify().unwrap();
+        }
+    }
+}
+
 #[test]
 fn len_is_exact_after_quiescence() {
     for (name, rel) in variants().into_iter().take(6) {

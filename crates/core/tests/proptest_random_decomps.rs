@@ -126,6 +126,116 @@ fn tuple4(schema: &RelationSchema, a: i64, bb: i64, c: i64, d: i64) -> Tuple {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
     #[test]
+    fn random_batches_match_sequential_oracle_fold(
+        partitions in proptest::collection::vec(partition_strategy(), 1..4),
+        containers in proptest::collection::vec(container_strategy(), 1..6),
+        placement_pick in 0u8..3,
+        batches in proptest::collection::vec(
+            (proptest::collection::vec((0i64..6, 0i64..3, 0i64..3, 0i64..3), 1..8), 0u8..4),
+            1..12,
+        ),
+    ) {
+        let d = build_decomposition(&partitions, &containers);
+        let p = match placement_pick {
+            0 => LockPlacement::coarse(&d).ok(),
+            1 => LockPlacement::fine(&d).ok(),
+            _ => LockPlacement::striped_root(&d, 4).ok(),
+        };
+        let Some(p) = p else { return Ok(()); }; // container-incompatible
+        let rel = ConcurrentRelation::new(d.clone(), p).unwrap();
+        let oracle = OracleRelation::empty(d.schema().clone());
+        let schema = d.schema().clone();
+
+        for (batch, which) in batches {
+            match which {
+                // insert_all: per-row results must equal the sequential
+                // §2 put-if-absent fold (duplicates inside batches are
+                // frequent with this tiny key range).
+                0 | 1 => {
+                    let rows: Vec<(Tuple, Tuple)> = batch
+                        .iter()
+                        .map(|&(a, bb, c, dd)| {
+                            (
+                                schema.tuple(&[("a", Value::from(a))]).unwrap(),
+                                schema
+                                    .tuple(&[
+                                        ("b", Value::from(bb)),
+                                        ("c", Value::from(c)),
+                                        ("d", Value::from(dd)),
+                                    ])
+                                    .unwrap(),
+                            )
+                        })
+                        .collect();
+                    let got = rel.insert_all(&rows).unwrap();
+                    let want: Vec<bool> = rows
+                        .iter()
+                        .map(|(s, t)| oracle.insert(s, t).unwrap())
+                        .collect();
+                    prop_assert_eq!(got, want);
+                }
+                // remove_all: total must equal the sequential removal fold.
+                2 => {
+                    let keys: Vec<Tuple> = batch
+                        .iter()
+                        .map(|&(a, _, _, _)| schema.tuple(&[("a", Value::from(a))]).unwrap())
+                        .collect();
+                    let got = rel.remove_all(&keys).unwrap();
+                    let want: usize = keys.iter().map(|k| oracle.remove(k)).sum();
+                    prop_assert_eq!(got, want);
+                }
+                // Poisoned batch: valid rows followed by a row whose s/t
+                // domains overlap — the whole batch must abort and the
+                // relation must be bit-identical to its pre-batch state.
+                _ => {
+                    let before = rel.verify().map_err(TestCaseError::fail)?;
+                    let mut rows: Vec<(Tuple, Tuple)> = batch
+                        .iter()
+                        .map(|&(a, bb, c, dd)| {
+                            (
+                                schema.tuple(&[("a", Value::from(a))]).unwrap(),
+                                schema
+                                    .tuple(&[
+                                        ("b", Value::from(bb)),
+                                        ("c", Value::from(c)),
+                                        ("d", Value::from(dd)),
+                                    ])
+                                    .unwrap(),
+                            )
+                        })
+                        .collect();
+                    rows.push((
+                        schema
+                            .tuple(&[("a", Value::from(0)), ("b", Value::from(0))])
+                            .unwrap(),
+                        schema
+                            .tuple(&[
+                                ("b", Value::from(1)),
+                                ("c", Value::from(1)),
+                                ("d", Value::from(1)),
+                            ])
+                            .unwrap(),
+                    ));
+                    prop_assert!(rel.insert_all(&rows).is_err());
+                    let after = rel.verify().map_err(TestCaseError::fail)?;
+                    prop_assert_eq!(before, after, "poisoned batch must be a no-op");
+                }
+            }
+            prop_assert_eq!(rel.len(), oracle.len());
+        }
+        let final_rel = rel.verify().map_err(TestCaseError::fail)?;
+        let final_oracle: std::collections::BTreeSet<Tuple> =
+            oracle.snapshot().into_iter().collect();
+        prop_assert_eq!(final_rel, final_oracle);
+
+        // Drain through remove_all in one batch: everything must go.
+        let all_keys: Vec<Tuple> = oracle.snapshot();
+        let drained = rel.remove_all(&all_keys).unwrap();
+        prop_assert_eq!(drained, all_keys.len());
+        prop_assert!(rel.verify().map_err(TestCaseError::fail)?.is_empty());
+    }
+
+    #[test]
     fn random_trie_decompositions_match_oracle(
         partitions in proptest::collection::vec(partition_strategy(), 1..4),
         containers in proptest::collection::vec(container_strategy(), 1..6),

@@ -105,7 +105,13 @@ enum Phase {
 /// ```
 #[derive(Debug)]
 pub struct TwoPhaseEngine<O: Ord + Clone + fmt::Debug> {
-    held: BTreeMap<O, Held>,
+    /// Held locks, sorted by key. A sorted vector beats a tree here: the
+    /// §5.1 protocol makes *in-order* acquisition the hot path, which is
+    /// an O(1) append (batched sweeps append hundreds of presorted
+    /// tokens); lookups are binary searches over contiguous memory; and
+    /// out-of-order inserts — already the slow try-only path — pay one
+    /// memmove.
+    held: Vec<(O, Held)>,
     hints: BTreeMap<O, LockMode>,
     phase: Phase,
     stats: Arc<LockStats>,
@@ -118,11 +124,24 @@ impl<O: Ord + Clone + fmt::Debug> TwoPhaseEngine<O> {
     /// Creates an idle engine reporting to `stats`.
     pub fn new(stats: Arc<LockStats>) -> Self {
         TwoPhaseEngine {
-            held: BTreeMap::new(),
+            held: Vec::new(),
             hints: BTreeMap::new(),
             phase: Phase::Growing,
             stats,
             local: LocalStats::default(),
+        }
+    }
+
+    /// Index of `key` in the sorted held vector: `Ok(i)` if held,
+    /// `Err(i)` with its insertion point otherwise. The common in-order
+    /// case (`key` greater than everything held) resolves with one
+    /// comparison against the last element.
+    fn held_index(&self, key: &O) -> Result<usize, usize> {
+        match self.held.last() {
+            None => Err(0),
+            Some((max, _)) if key > max => Err(self.held.len()),
+            Some((max, _)) if key == max => Ok(self.held.len() - 1),
+            _ => self.held[..self.held.len() - 1].binary_search_by(|(k, _)| k.cmp(key)),
         }
     }
 
@@ -157,44 +176,45 @@ impl<O: Ord + Clone + fmt::Debug> TwoPhaseEngine<O> {
             Some(hint) => mode.join(*hint),
             None => mode,
         };
-        if let Some(held) = self.held.get_mut(&key) {
-            if Arc::ptr_eq(&held.lock, lock) {
-                if held.mode.covers(mode) {
-                    return Ok(());
+        let pos = match self.held_index(&key) {
+            Ok(i) => {
+                let held = &mut self.held[i].1;
+                if Arc::ptr_eq(&held.lock, lock) {
+                    if held.mode.covers(mode) {
+                        return Ok(());
+                    }
+                    // Upgrade required: remember and restart.
+                    self.hints.insert(key, LockMode::Exclusive);
+                    self.local.upgrades += 1;
+                    self.local.restarts += 1;
+                    return Err(MustRestart {
+                        reason: RestartReason::UpgradeRequired,
+                    });
                 }
-                // Upgrade required: remember and restart.
-                self.hints.insert(key, LockMode::Exclusive);
-                self.local.upgrades += 1;
-                self.local.restarts += 1;
-                return Err(MustRestart {
-                    reason: RestartReason::UpgradeRequired,
-                });
+                // Same key, different physical lock: the instance was
+                // replaced within this transaction (see `Held::shadowed`).
+                // Acquire the new object's lock — try-only, since the key
+                // sits at an arbitrary point of the held order. Replacement
+                // objects are unpublished at this point (their subtree
+                // links are written after their locks are taken), so the
+                // try succeeds except under protocol bugs.
+                let mode = mode.join(held.mode);
+                if !lock.try_acquire(mode) {
+                    self.local.contended += 1;
+                    self.local.restarts += 1;
+                    return Err(MustRestart {
+                        reason: RestartReason::OutOfOrderContention,
+                    });
+                }
+                self.local.acquisitions += 1;
+                let old_lock = std::mem::replace(&mut held.lock, Arc::clone(lock));
+                let old_mode = std::mem::replace(&mut held.mode, mode);
+                held.shadowed.push((old_lock, old_mode));
+                return Ok(());
             }
-            // Same key, different physical lock: the instance was replaced
-            // within this transaction (see `Held::shadowed`). Acquire the
-            // new object's lock — try-only, since the key sits at an
-            // arbitrary point of the held order. Replacement objects are
-            // unpublished at this point (their subtree links are written
-            // after their locks are taken), so the try succeeds except
-            // under protocol bugs.
-            let mode = mode.join(held.mode);
-            if !lock.try_acquire(mode) {
-                self.local.contended += 1;
-                self.local.restarts += 1;
-                return Err(MustRestart {
-                    reason: RestartReason::OutOfOrderContention,
-                });
-            }
-            self.local.acquisitions += 1;
-            let old_lock = std::mem::replace(&mut held.lock, Arc::clone(lock));
-            let old_mode = std::mem::replace(&mut held.mode, mode);
-            held.shadowed.push((old_lock, old_mode));
-            return Ok(());
-        }
-        let in_order = match self.held.last_key_value() {
-            None => true,
-            Some((max, _)) => key > *max,
+            Err(pos) => pos,
         };
+        let in_order = pos == self.held.len();
         if in_order {
             lock.acquire(mode);
         } else if !lock.try_acquire(mode) {
@@ -206,19 +226,22 @@ impl<O: Ord + Clone + fmt::Debug> TwoPhaseEngine<O> {
         }
         self.local.acquisitions += 1;
         self.held.insert(
-            key,
-            Held {
-                lock: Arc::clone(lock),
-                mode,
-                shadowed: Vec::new(),
-            },
+            pos,
+            (
+                key,
+                Held {
+                    lock: Arc::clone(lock),
+                    mode,
+                    shadowed: Vec::new(),
+                },
+            ),
         );
         Ok(())
     }
 
     /// The mode in which `key` is currently held, if any.
     pub fn holds(&self, key: &O) -> Option<LockMode> {
-        self.held.get(key).map(|h| h.mode)
+        self.held_index(key).ok().map(|i| self.held[i].1.mode)
     }
 
     /// Number of currently held locks.
@@ -252,10 +275,10 @@ impl<O: Ord + Clone + fmt::Debug> TwoPhaseEngine<O> {
     ///
     /// Panics if `key` is not held.
     pub fn unlock(&mut self, key: &O) {
-        let held = self
-            .held
-            .remove(key)
-            .unwrap_or_else(|| panic!("unlock of lock {key:?} that is not held"));
+        let (_, held) = match self.held_index(key) {
+            Ok(i) => self.held.remove(i),
+            Err(_) => panic!("unlock of lock {key:?} that is not held"),
+        };
         self.phase = Phase::Shrinking;
         // SAFETY: `held` records the exact modes we acquired.
         unsafe {
@@ -306,7 +329,7 @@ impl<O: Ord + Clone + fmt::Debug> TwoPhaseEngine<O> {
     }
 
     fn release_all(&mut self) {
-        for (_, held) in std::mem::take(&mut self.held) {
+        for (_, held) in self.held.drain(..) {
             // SAFETY: `held` records the exact modes we acquired.
             unsafe {
                 held.lock.release(held.mode);

@@ -166,6 +166,37 @@ impl Tuple {
         Ok(Tuple { fields })
     }
 
+    /// Union of two tuples whose domains the *caller* guarantees disjoint
+    /// — one sorted merge, no conflict scan, no re-sort. The batched
+    /// operation hot path builds one full tuple per row this way after
+    /// validating the (shared) domains once per batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the domains overlap.
+    #[must_use]
+    pub fn union_disjoint(&self, other: &Tuple) -> Tuple {
+        debug_assert!(
+            self.dom().is_disjoint(other.dom()),
+            "union_disjoint requires disjoint domains"
+        );
+        let (a, b) = (&self.fields, &other.fields);
+        let mut fields = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            if a[i].0 < b[j].0 {
+                fields.push(a[i].clone());
+                i += 1;
+            } else {
+                fields.push(b[j].clone());
+                j += 1;
+            }
+        }
+        fields.extend_from_slice(&a[i..]);
+        fields.extend_from_slice(&b[j..]);
+        Tuple { fields }
+    }
+
     /// Right-biased override: the fields of `self`, with every column of
     /// `other` taking `other`'s value (columns new in `other` are added).
     /// This is the §2 `update` combinator: `update r s t` replaces the

@@ -190,6 +190,134 @@ fn conflicting_transaction_orders_restart_not_deadlock() {
     }
 }
 
+/// Batch-vs-batch crossing orders: half the threads submit their batches
+/// with keys ascending, half descending — the *request* orders cross, but
+/// the bulk sweep re-sorts every batch's lock targets into the §5.1 global
+/// order before acquiring, so the workload must neither deadlock nor
+/// livelock. The bounded-restarts assertion catches livelock: sorted
+/// in-order sweeps may block but only restart on genuine out-of-order
+/// conflicts (speculative guesses, non-root locks), so restarts must stay
+/// far below the op count × a generous constant.
+#[test]
+fn crossing_batch_orders_do_not_deadlock_or_livelock() {
+    for (name, rel) in graph_variant_matrix() {
+        let rel2 = rel.clone();
+        let rounds = 150i64;
+        with_watchdog(120, name.clone(), move || {
+            let threads = 8usize;
+            let barrier = Arc::new(Barrier::new(threads));
+            let handles: Vec<_> = (0..threads)
+                .map(|tid| {
+                    let rel = rel2.clone();
+                    let barrier = barrier.clone();
+                    std::thread::spawn(move || {
+                        barrier.wait();
+                        for i in 0..rounds {
+                            // Everyone fights over the same 6 keys; even
+                            // threads batch them ascending, odd descending.
+                            let mut keys: Vec<i64> = (0..6).collect();
+                            if tid % 2 == 1 {
+                                keys.reverse();
+                            }
+                            let rows: Vec<_> = keys
+                                .iter()
+                                .map(|&k| {
+                                    (
+                                        rel.schema()
+                                            .tuple(&[
+                                                ("src", Value::from(k)),
+                                                ("dst", Value::from(k)),
+                                            ])
+                                            .unwrap(),
+                                        rel.schema()
+                                            .tuple(&[("weight", Value::from(i))])
+                                            .unwrap(),
+                                    )
+                                })
+                                .collect();
+                            let _ = rel.insert_all(&rows).unwrap();
+                            let key_pats: Vec<_> =
+                                rows.into_iter().map(|(s, _)| s).collect();
+                            let _ = rel.remove_all(&key_pats).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        rel.verify().unwrap_or_else(|e| panic!("{name}: {e}"));
+        let s = rel.lock_stats();
+        assert!(s.commits > 0, "{name}: {s}");
+        // Livelock bound: 8 threads × rounds × (insert_all + remove_all),
+        // each allowed a generous handful of restarts on average.
+        let total_batches = 8 * rounds as u64 * 2;
+        assert!(
+            s.restarts < total_batches * 32,
+            "{name}: restart storm looks like livelock: {s}"
+        );
+    }
+}
+
+/// Batch writers against single-op writers walking the keys in the
+/// opposite order — the mixed-granularity version of the crossing test.
+#[test]
+fn batch_vs_single_crossing_orders_make_progress() {
+    for (name, rel) in graph_variant_matrix() {
+        let rel2 = rel.clone();
+        with_watchdog(120, name.clone(), move || {
+            let threads = 8usize;
+            let barrier = Arc::new(Barrier::new(threads));
+            let handles: Vec<_> = (0..threads)
+                .map(|tid| {
+                    let rel = rel2.clone();
+                    let barrier = barrier.clone();
+                    std::thread::spawn(move || {
+                        barrier.wait();
+                        let key = |k: i64| {
+                            rel.schema()
+                                .tuple(&[("src", Value::from(k)), ("dst", Value::from(k))])
+                                .unwrap()
+                        };
+                        let w = |v: i64| {
+                            rel.schema().tuple(&[("weight", Value::from(v))]).unwrap()
+                        };
+                        for i in 0..150i64 {
+                            if tid % 2 == 0 {
+                                // Batcher: ascending 4-key batches.
+                                let rows: Vec<_> =
+                                    (0..4).map(|k| (key(k), w(i))).collect();
+                                let _ = rel.insert_all(&rows).unwrap();
+                                let _ = rel
+                                    .remove_all(&[key(0), key(1), key(2), key(3)])
+                                    .unwrap();
+                            } else {
+                                // Single-op writer: descending walk.
+                                for k in (0..4).rev() {
+                                    let _ = rel.insert(&key(k), &w(i)).unwrap();
+                                }
+                                for k in (0..4).rev() {
+                                    let _ = rel.remove(&key(k)).unwrap();
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        rel.verify().unwrap_or_else(|e| panic!("{name}: {e}"));
+        let s = rel.lock_stats();
+        assert!(
+            s.restarts < 8 * 150 * 8 * 32,
+            "{name}: restart storm looks like livelock: {s}"
+        );
+    }
+}
+
 /// The restart machinery terminates: after heavy contention, all lock
 /// statistics are coherent (restarts imply contended or speculative events).
 #[test]
