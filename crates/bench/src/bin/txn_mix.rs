@@ -10,6 +10,9 @@
 //! 64-key block, then remove it, over thread-disjoint key ranges); the
 //! only difference is per-op calls vs one `insert_all`/`remove_all` pair,
 //! so their ops/s ratio is the amortization factor of the batched path.
+//! `shard_load` drives that stream through an 8-way `ShardedRelation`
+//! (multi-root writes), and `shard_mixed` adds routed updates, fan-in
+//! point queries, batch churn, and cross-shard transfer transactions.
 //!
 //! ```text
 //! cargo run --release -p relc-bench --bin txn_mix -- \
@@ -23,7 +26,7 @@ use std::time::Instant;
 
 use relc::decomp::library::{diamond, split, stick};
 use relc::placement::LockPlacement;
-use relc::{ConcurrentRelation, Decomposition};
+use relc::{ConcurrentRelation, Decomposition, ShardedRelation};
 use relc_bench::{arg_present, arg_value};
 use relc_containers::ContainerKind;
 use relc_spec::{RelationSchema, Tuple, Value};
@@ -53,6 +56,30 @@ fn variants() -> Vec<(&'static str, Arc<ConcurrentRelation>)> {
         (
             "diamond/speculative64",
             mk(di.clone(), LockPlacement::speculative(&di, 64).unwrap()),
+        ),
+    ]
+}
+
+/// Sharded counterparts: the same representative pairs partitioned over 8
+/// independent instances. `shard_load` measures the multi-root write path
+/// against `single_load`/`batch_load` on one instance; `shard_mixed`
+/// exercises routed updates, fan-in point queries, batch churn, and
+/// cross-shard transfer transactions on one shared keyspace.
+fn sharded_variants() -> Vec<(&'static str, Arc<ShardedRelation>)> {
+    let st = stick(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap);
+    let sp = split(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap);
+    vec![
+        (
+            "stick/coarse/x8",
+            Arc::new(
+                ShardedRelation::new(st.clone(), LockPlacement::coarse(&st).unwrap(), 8).unwrap(),
+            ),
+        ),
+        (
+            "split/fine/x8",
+            Arc::new(
+                ShardedRelation::new(sp.clone(), LockPlacement::fine(&sp).unwrap(), 8).unwrap(),
+            ),
         ),
     ]
 }
@@ -158,9 +185,7 @@ fn run_workload(
                         let lo = base + (block % 4_096) * BATCH as i64;
                         block += 1;
                         let rows: Vec<(Tuple, Tuple)> = (0..BATCH as i64)
-                            .map(|j| {
-                                (key(&schema, lo + j, lo + j), weight(&schema, j))
-                            })
+                            .map(|j| (key(&schema, lo + j, lo + j), weight(&schema, j)))
                             .collect();
                         if workload == Workload::BatchLoad {
                             let t0 = Instant::now();
@@ -174,8 +199,7 @@ fn run_workload(
                             insert_ns += t0.elapsed().as_nanos() as u64;
                         }
                         // Untimed cleanup (same path for both workloads).
-                        let keys: Vec<Tuple> =
-                            rows.into_iter().map(|(s, _)| s).collect();
+                        let keys: Vec<Tuple> = rows.into_iter().map(|(s, _)| s).collect();
                         rel.remove_all(&keys).unwrap();
                         local += BATCH as u64;
                     }
@@ -239,9 +263,9 @@ fn run_workload(
                             5..=7 => 2,
                             _ => 1,
                         },
-                        Workload::SingleLoad
-                        | Workload::BatchLoad
-                        | Workload::BatchMixed => unreachable!("handled above"),
+                        Workload::SingleLoad | Workload::BatchLoad | Workload::BatchMixed => {
+                            unreachable!("handled above")
+                        }
                     };
                     match pick {
                         0 => {
@@ -294,6 +318,158 @@ fn run_workload(
     }
 }
 
+#[derive(Clone, Copy, PartialEq)]
+enum ShardWorkload {
+    /// The `batch_load` tuple stream driven through a sharded relation:
+    /// per-thread disjoint 64-key blocks, one `insert_all` per block (the
+    /// router splits it into per-shard bulk sweeps), untimed cleanup.
+    Load,
+    /// Contended mix on a shared keyspace: 40% routed update, 20%
+    /// cross-shard transfer transaction, 20% point query, 20% 16-row
+    /// batch churn.
+    Mixed,
+}
+
+impl ShardWorkload {
+    fn label(self) -> &'static str {
+        match self {
+            ShardWorkload::Load => "shard_load",
+            ShardWorkload::Mixed => "shard_mixed",
+        }
+    }
+}
+
+fn run_shard_workload(
+    rel: &Arc<ShardedRelation>,
+    workload: ShardWorkload,
+    threads: usize,
+    ops_per_thread: usize,
+) -> Sample {
+    let schema = rel.schema().clone();
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let done = Arc::new(AtomicU64::new(0));
+    let active_ns = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..threads as u64)
+        .map(|tid| {
+            let rel = Arc::clone(rel);
+            let schema = schema.clone();
+            let barrier = Arc::clone(&barrier);
+            let done = Arc::clone(&done);
+            let active_ns = Arc::clone(&active_ns);
+            std::thread::spawn(move || {
+                let wcols = schema.column_set(&["weight"]).unwrap();
+                let mut x = (tid + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                let mut next = move || {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    x
+                };
+                barrier.wait();
+                match workload {
+                    ShardWorkload::Load => {
+                        // Same protocol as `single_load`/`batch_load`
+                        // (same floor, timed inserts, untimed cleanup) so
+                        // the three are directly comparable.
+                        let base = 1_000_000 + tid as i64 * 1_000_000;
+                        let target = ops_per_thread.max(16_384) as u64;
+                        let mut local = 0u64;
+                        let mut insert_ns = 0u64;
+                        let mut block = 0i64;
+                        while local < target {
+                            let lo = base + (block % 4_096) * BATCH as i64;
+                            block += 1;
+                            let rows: Vec<(Tuple, Tuple)> = (0..BATCH as i64)
+                                .map(|j| (key(&schema, lo + j, lo + j), weight(&schema, j)))
+                                .collect();
+                            let t0 = Instant::now();
+                            rel.insert_all(&rows).unwrap();
+                            insert_ns += t0.elapsed().as_nanos() as u64;
+                            let keys: Vec<Tuple> = rows.into_iter().map(|(s, _)| s).collect();
+                            rel.remove_all(&keys).unwrap();
+                            local += BATCH as u64;
+                        }
+                        done.fetch_add(local, Ordering::Relaxed);
+                        active_ns.fetch_add(insert_ns, Ordering::Relaxed);
+                    }
+                    ShardWorkload::Mixed => {
+                        let mut local = 0u64;
+                        while local < ops_per_thread as u64 {
+                            let a = (next() % KEY_RANGE as u64) as i64;
+                            let b = (next() % KEY_RANGE as u64) as i64;
+                            let w = (next() % 1000) as i64;
+                            match next() % 10 {
+                                0..=3 => {
+                                    rel.update(&key(&schema, a, a), &weight(&schema, w))
+                                        .unwrap();
+                                    local += 1;
+                                }
+                                4..=5 => {
+                                    // Cross-shard transfer: with 8 shards,
+                                    // ~7 of 8 transfers span two roots.
+                                    if a != b {
+                                        rel.transaction(|tx| {
+                                            let wa = tx.query(&key(&schema, a, a), wcols)?;
+                                            let wb = tx.query(&key(&schema, b, b), wcols)?;
+                                            if wa.is_empty() || wb.is_empty() {
+                                                return Ok(());
+                                            }
+                                            tx.update(&key(&schema, a, a), &weight(&schema, w))?;
+                                            tx.update(
+                                                &key(&schema, b, b),
+                                                &weight(&schema, w + 1),
+                                            )?;
+                                            Ok(())
+                                        })
+                                        .unwrap();
+                                    }
+                                    local += 1;
+                                }
+                                6..=7 => {
+                                    let _ = rel.query(&key(&schema, a, a), wcols).unwrap();
+                                    local += 1;
+                                }
+                                _ => {
+                                    // Batch churn on off-diagonal keys.
+                                    let rows: Vec<(Tuple, Tuple)> = (0..16)
+                                        .map(|_| {
+                                            let s = (next() % KEY_RANGE as u64) as i64;
+                                            (key(&schema, s, s + 1), weight(&schema, w))
+                                        })
+                                        .collect();
+                                    rel.insert_all(&rows).unwrap();
+                                    let keys: Vec<Tuple> =
+                                        rows.into_iter().map(|(s, _)| s).collect();
+                                    rel.remove_all(&keys).unwrap();
+                                    local += 32;
+                                }
+                            }
+                        }
+                        done.fetch_add(local, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+    let start = Instant::now();
+    for h in handles {
+        h.join().expect("bench worker panicked");
+    }
+    let elapsed = if workload == ShardWorkload::Load {
+        active_ns.load(Ordering::Relaxed) as f64 / threads as f64 / 1e9
+    } else {
+        start.elapsed().as_secs_f64()
+    };
+    Sample {
+        representation: String::new(),
+        workload: workload.label(),
+        threads,
+        total_ops: done.load(Ordering::Relaxed),
+        elapsed_secs: elapsed,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = arg_present(&args, "--quick");
@@ -328,6 +504,26 @@ fn main() {
         for workload in workloads {
             for &threads in &thread_counts {
                 let mut s = run_workload(&rel, workload, threads, ops_per_thread);
+                s.representation = name.to_owned();
+                let rate = s.total_ops as f64 / s.elapsed_secs.max(1e-9);
+                println!(
+                    "{:<24} {:<14} threads={:<2} {:>12.0} ops/s ({} ops in {:.3}s)",
+                    s.representation, s.workload, s.threads, rate, s.total_ops, s.elapsed_secs
+                );
+                samples.push(s);
+            }
+        }
+        rel.verify().expect("structurally sound after benchmark");
+    }
+
+    for (name, rel) in sharded_variants() {
+        for k in 0..KEY_RANGE {
+            rel.insert(&key(rel.schema(), k, k), &weight(rel.schema(), k))
+                .unwrap();
+        }
+        for workload in [ShardWorkload::Load, ShardWorkload::Mixed] {
+            for &threads in &thread_counts {
+                let mut s = run_shard_workload(&rel, workload, threads, ops_per_thread);
                 s.representation = name.to_owned();
                 let rate = s.total_ops as f64 / s.elapsed_secs.max(1e-9);
                 println!(

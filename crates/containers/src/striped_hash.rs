@@ -206,7 +206,8 @@ impl<K: Key, V: Val> Container<K, V> for StripedHashMap<K, V> {
         // (in index order, as `update_entry` does), instead of one lock
         // round-trip per entry. Entries within a shard keep batch order, so
         // duplicate keys resolve last-writer-wins exactly like the default.
-        let mut by_shard: Vec<Vec<(u64, K, V)>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        let mut by_shard: Vec<Vec<(u64, K, V)>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
         for (k, v) in entries {
             let hash = hash_key(&k);
             by_shard[self.shard_of(hash)].push((hash, k, v));

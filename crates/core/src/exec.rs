@@ -142,6 +142,14 @@ impl<'a> Executor<'a> {
         self.engine.in_shrinking_phase()
     }
 
+    /// Demotes every future acquisition to a try (see
+    /// [`TwoPhaseEngine::set_try_only`]); used by cross-shard
+    /// transactions once this executor's shard stops being the highest
+    /// shard they hold locks in.
+    pub(crate) fn set_try_only(&mut self) {
+        self.engine.set_try_only();
+    }
+
     /// Acquires the physical locks implementing `edge`'s logical locks for
     /// every state, in `mode`.
     fn lock_step(
@@ -597,9 +605,7 @@ impl<'a> Executor<'a> {
                     // complete (deeper edges were just written), so linking
                     // it in later — at the batch flush, still under every
                     // lock of this sweep — is indistinguishable to readers.
-                    let prev = ctx
-                        .pending
-                        .insert((e, x.project(em.cols)), Arc::clone(dst));
+                    let prev = ctx.pending.insert((e, x.project(em.cols)), Arc::clone(dst));
                     debug_assert!(prev.is_none(), "edge instance appeared under our locks");
                     continue;
                 }
@@ -699,7 +705,10 @@ impl<'a> Executor<'a> {
             }
         }
         self.acquire_root_sweep(
-            tokens.into_iter().map(|t| (t, LockMode::Exclusive)).collect(),
+            tokens
+                .into_iter()
+                .map(|t| (t, LockMode::Exclusive))
+                .collect(),
             root,
         )?;
 
@@ -1166,11 +1175,12 @@ impl<'a> Executor<'a> {
     /// analysis applied) are acquired in one globally sorted in-order
     /// sweep, then each key unlinks under the held set.
     ///
-    /// `removed` receives each removed tuple as it is unlinked — filled
-    /// even on an error return, so the transaction layer can compensate
-    /// the applied prefix. Duplicate keys in one batch behave as the
-    /// sequential fold: the first occurrence removes, later ones find
-    /// nothing.
+    /// `removed` receives each removed tuple as it is unlinked, tagged
+    /// with the index of the key that matched it — filled even on an
+    /// error return, so the transaction layer can compensate the applied
+    /// prefix and report per-key outcomes. Duplicate keys in one batch
+    /// behave as the sequential fold: the first occurrence removes, later
+    /// ones find nothing.
     ///
     /// # Errors
     ///
@@ -1181,7 +1191,7 @@ impl<'a> Executor<'a> {
         plan: &RemoveBatchPlan,
         keys: &[Tuple],
         root: &NodeRef,
-        removed: &mut Vec<Tuple>,
+        removed: &mut Vec<(usize, Tuple)>,
     ) -> Result<(), MustRestart> {
         let mut tokens: Vec<LockToken> = Vec::new();
         for s in keys {
@@ -1194,14 +1204,17 @@ impl<'a> Executor<'a> {
             }
         }
         self.acquire_root_sweep(
-            tokens.into_iter().map(|t| (t, LockMode::Exclusive)).collect(),
+            tokens
+                .into_iter()
+                .map(|t| (t, LockMode::Exclusive))
+                .collect(),
             root,
         )?;
-        for s in keys {
+        for (i, s) in keys.iter().enumerate() {
             if let Some(t) =
                 self.remove_under_root_locks(&plan.remove, s, root, &plan.reverse_topo_nodes)?
             {
-                removed.push(t);
+                removed.push((i, t));
             }
         }
         Ok(())

@@ -41,6 +41,7 @@ pub mod placement;
 pub mod planner;
 pub mod query;
 pub mod relation;
+pub mod shard;
 pub mod txn;
 pub mod viz;
 
@@ -49,4 +50,5 @@ pub use error::CoreError;
 pub use placement::{LockPlacement, LockToken, PlacementBuilder};
 pub use planner::{Plan, Planner};
 pub use relation::ConcurrentRelation;
+pub use shard::{ShardedRelation, ShardedTransaction};
 pub use txn::{Transaction, TxnError};

@@ -74,8 +74,9 @@ pub enum OpRecord {
     RemoveAll {
         /// The batch keys, in order.
         keys: Vec<Tuple>,
-        /// Observed total number of removed tuples.
-        result: usize,
+        /// Observed per-key outcomes (whether each key's tuple existed
+        /// and was removed; duplicates of a removed key observe `false`).
+        results: Vec<bool>,
     },
 }
 
@@ -192,7 +193,7 @@ fn apply(state: &mut BTreeSet<Tuple>, op: &OpRecord) -> bool {
             let mut scratch = state.clone();
             for ((s, t), &r) in rows.iter().zip(results) {
                 let exists = scratch.iter().any(|u| u.extends(s));
-                if exists != !r {
+                if exists == r {
                     return false;
                 }
                 if r {
@@ -203,14 +204,23 @@ fn apply(state: &mut BTreeSet<Tuple>, op: &OpRecord) -> bool {
             *state = scratch;
             true
         }
-        OpRecord::RemoveAll { keys, result } => {
-            let mut removed = 0usize;
-            for s in keys {
-                let before = state.len();
-                state.retain(|u| !u.extends(s));
-                removed += before - state.len();
+        OpRecord::RemoveAll { keys, results } => {
+            // The fold semantics per key: the observed flag must match
+            // whether anything matched against the state the earlier keys
+            // left behind.
+            if keys.len() != results.len() {
+                return false;
             }
-            removed == *result
+            let mut scratch = state.clone();
+            for (s, &r) in keys.iter().zip(results) {
+                let before = scratch.len();
+                scratch.retain(|u| !u.extends(s));
+                if (before != scratch.len()) != r {
+                    return false;
+                }
+            }
+            *state = scratch;
+            true
         }
     }
 }
@@ -710,7 +720,8 @@ mod tests {
             results: vec![true, true],
         };
         assert!(!check_linearizable(&schema(), &[ev(0, 1, dup_bad)]));
-        // remove_all counts the sequential fold (duplicates remove once).
+        // remove_all reports the sequential fold per key (duplicates of a
+        // removed key observe false).
         let h = vec![
             ev(0, 10, batch),
             ev(
@@ -718,7 +729,7 @@ mod tests {
                 12,
                 OpRecord::RemoveAll {
                     keys: vec![edge(1, 2), edge(1, 2), edge(3, 4), edge(5, 6)],
-                    result: 2,
+                    results: vec![true, false, true, false],
                 },
             ),
         ];
@@ -728,7 +739,7 @@ mod tests {
             1,
             OpRecord::RemoveAll {
                 keys: vec![edge(1, 2)],
-                result: 1,
+                results: vec![true],
             },
         )];
         assert!(

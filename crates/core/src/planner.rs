@@ -650,8 +650,7 @@ impl Planner {
 
     /// All node ids sorted by topological position (reversed on demand).
     fn nodes_in_topo_order(&self, reverse: bool) -> Vec<crate::decomp::NodeId> {
-        let mut nodes: Vec<crate::decomp::NodeId> =
-            self.decomp.nodes().map(|(id, _)| id).collect();
+        let mut nodes: Vec<crate::decomp::NodeId> = self.decomp.nodes().map(|(id, _)| id).collect();
         nodes.sort_by_key(|&v| self.decomp.topo_position(v));
         if reverse {
             nodes.reverse();

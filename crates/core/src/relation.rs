@@ -79,12 +79,12 @@ thread_local! {
 /// RAII marker for "this thread is inside a transaction on relation
 /// `id`"; entering twice for the same relation is a certain
 /// self-deadlock, so it panics with a diagnosis instead of hanging.
-struct ActiveTxnGuard {
+pub(crate) struct ActiveTxnGuard {
     id: u64,
 }
 
 impl ActiveTxnGuard {
-    fn enter(id: u64) -> Self {
+    pub(crate) fn enter(id: u64) -> Self {
         ACTIVE_TXNS.with(|t| {
             let mut t = t.borrow_mut();
             assert!(
@@ -287,8 +287,15 @@ impl ConcurrentRelation {
 
     /// Number of tuples (maintained outside the locking protocol; exact
     /// under quiescence, approximate during concurrent mutation).
+    ///
+    /// The counter is published *before* a committing transaction releases
+    /// its locks (see [`Self::apply_len_delta`]), so any transaction
+    /// ordered after a commit — anything that contends on one of its locks
+    /// — observes the updated count: at quiescence
+    /// `len() == snapshot().len()` always holds, and the stress suites
+    /// assert it.
     pub fn len(&self) -> usize {
-        self.len.load(Ordering::Relaxed)
+        self.len.load(Ordering::Acquire)
     }
 
     /// Whether the relation is empty (same caveat as [`Self::len`]).
@@ -393,16 +400,12 @@ impl ConcurrentRelation {
                 Ok(r) if !tx.needs_restart() => {
                     let delta = tx.len_delta();
                     drop(tx);
+                    // The counter moves *before* the locks release: a
+                    // delta applied after `finish()` would let an observer
+                    // acquire the freed locks, read the new contents, and
+                    // still see the stale count.
+                    self.apply_len_delta(delta);
                     engine.finish();
-                    match delta.cmp(&0) {
-                        std::cmp::Ordering::Greater => {
-                            self.len.fetch_add(delta as usize, Ordering::Relaxed);
-                        }
-                        std::cmp::Ordering::Less => {
-                            self.len.fetch_sub(delta.unsigned_abs(), Ordering::Relaxed);
-                        }
-                        std::cmp::Ordering::Equal => {}
-                    }
                     return Ok(r);
                 }
                 // Ok with a swallowed MustRestart must not commit — the
@@ -479,7 +482,8 @@ impl ConcurrentRelation {
     /// let inserted = graph.insert_all(&[row(1, 2, 10), row(1, 3, 11), row(1, 2, 99)])?;
     /// assert_eq!(inserted, vec![true, true, false]); // duplicate key loses
     /// assert_eq!(graph.len(), 2);
-    /// assert_eq!(graph.remove_all(&[row(1, 2, 0).0, row(1, 3, 0).0, row(9, 9, 0).0])?, 2);
+    /// let removed = graph.remove_all(&[row(1, 2, 0).0, row(1, 3, 0).0, row(9, 9, 0).0])?;
+    /// assert_eq!(removed, vec![true, true, false]); // per-key outcomes
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
     ///
@@ -496,13 +500,16 @@ impl ConcurrentRelation {
     /// Batched `remove r s` (§2) over many keys as one atomic, amortized
     /// transaction: the sequential fold of [`Self::remove`] over `keys`
     /// (duplicate keys remove once), with one plan fetch and one globally
-    /// sorted bulk lock sweep. Returns how many tuples were removed. See
-    /// [`Self::insert_all`].
+    /// sorted bulk lock sweep. Returns one outcome per key — whether that
+    /// key's tuple existed and was removed (a later duplicate of a removed
+    /// key reads `false`), mirroring [`Self::insert_all`]'s per-row
+    /// results; `results.iter().filter(|b| **b).count()` is the removed
+    /// total.
     ///
     /// # Errors
     ///
     /// As for [`Self::remove`], for any key; the batch has no effect.
-    pub fn remove_all(&self, keys: &[Tuple]) -> Result<usize, CoreError> {
+    pub fn remove_all(&self, keys: &[Tuple]) -> Result<Vec<bool>, CoreError> {
         self.run_transaction(true, |tx| tx.remove_all(keys))
     }
 
@@ -614,6 +621,37 @@ impl ConcurrentRelation {
         &self.root
     }
 
+    /// Applies a committed transaction's net tuple-count change. Called
+    /// while the transaction's locks are still held (release-ordered, so
+    /// the count is visible to anything ordered after the commit).
+    pub(crate) fn apply_len_delta(&self, delta: isize) {
+        match delta.cmp(&0) {
+            std::cmp::Ordering::Greater => {
+                self.len.fetch_add(delta as usize, Ordering::Release);
+            }
+            std::cmp::Ordering::Less => {
+                self.len.fetch_sub(delta.unsigned_abs(), Ordering::Release);
+            }
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+
+    /// The statistics sink shared with this relation's engines (the
+    /// sharding layer builds per-shard engines against it).
+    pub(crate) fn stats_arc(&self) -> &Arc<LockStats> {
+        &self.stats
+    }
+
+    /// Current value of the §5.2 sort-elision ablation knob.
+    pub(crate) fn always_sort_locks(&self) -> bool {
+        self.always_sort_locks.load(Ordering::Relaxed)
+    }
+
+    /// The relation's unique id (for the re-entrancy guard).
+    pub(crate) fn relation_id(&self) -> u64 {
+        self.id
+    }
+
     pub(crate) fn query_plan(
         &self,
         bound: ColumnSet,
@@ -693,7 +731,6 @@ impl ConcurrentRelation {
             || self.planner.plan_update(bound, updated),
         )
     }
-
 }
 
 impl Drop for ConcurrentRelation {

@@ -1,0 +1,849 @@
+//! Sharded relations: one logical relation hash-partitioned across
+//! independent decomposition instances.
+//!
+//! The §5 lock placements make a single decomposition instance scale to
+//! fine-grained locking, but every write still funnels through one root
+//! node, whose lock (or stripe array) bounds multi-core write throughput.
+//! A [`ShardedRelation`] removes that bound by partitioning the tuple
+//! space across `N` complete [`ConcurrentRelation`] instances — each with
+//! its own root, plan caches, and lock engine traffic — by a **seeded
+//! hash of the canonical key columns** ([`RelationSchema::canonical_key`]):
+//! a tuple lives in shard `h(π_key(t)) mod N`, so disjoint-key writes land
+//! on disjoint roots and proceed with no shared state at all.
+//!
+//! # Routing
+//!
+//! An operation whose pattern binds every canonical-key column is
+//! **routed**: it touches exactly one shard and costs the same as on a
+//! single instance. Patterns that bind fewer columns (partial-pattern
+//! queries, alternate-key removes) **fan out** across shards; single-shot
+//! fan-out reads are weakly consistent (each shard linearizable, the
+//! combination not a single atomic snapshot — exactly the §3.1
+//! `ConcurrentHashMap` scan contract), while the same reads inside a
+//! [`ShardedRelation::transaction`] lock every visited shard and are
+//! serializable.
+//!
+//! The router hash is deliberately **decorrelated** from the hashes below
+//! it ([`Tuple::stable_hash_of_seeded`] with the router's own seed): the
+//! lock-stripe hash and the in-container bucket hashes see the same key
+//! bits, and if the router's partition were a function of the same stream,
+//! every relation shard's keys would collapse into a fraction of each
+//! container's buckets/stripes one level down.
+//!
+//! # Cross-shard transactions
+//!
+//! [`ShardedRelation::transaction`] generalizes the single-instance
+//! transaction layer: a [`ShardedTransaction`] lazily opens one
+//! [`Transaction`] per touched shard, routes each operation, and holds
+//! **every** shard's locks until the closure returns (the two-phase
+//! discipline spans shards). Commit finishes each touched shard's engine;
+//! any restart or abort replays *every* touched shard's undo segment
+//! before a single lock is released, so an abort after ops on shards A and
+//! B rolls both back atomically — no observer can see A's effects without
+//! B's.
+//!
+//! Deadlock freedom extends the §5.1 argument lexicographically: the
+//! global coordinate of a lock is `(shard index, lock token)`. A
+//! transaction may block only while acquiring in its current **maximum**
+//! shard; as soon as an operation returns to a lower-indexed shard, that
+//! shard's engine is demoted to try-only acquisition
+//! ([`relc_locks::TwoPhaseEngine::set_try_only`]) — on contention the
+//! whole cross-shard transaction rolls back and retries with backoff
+//! instead of blocking, so no wait-for cycle can form through two shards.
+//!
+//! # Example
+//!
+//! ```
+//! use relc::{ShardedRelation, decomp, placement::LockPlacement};
+//! use relc_containers::ContainerKind;
+//! use relc_spec::Value;
+//!
+//! let d = decomp::library::split(ContainerKind::ConcurrentHashMap,
+//!                                ContainerKind::HashMap);
+//! let p = LockPlacement::fine(&d)?;
+//! let graph = ShardedRelation::new(d.clone(), p, 8)?;
+//!
+//! let edge = |s: i64, t: i64| d.schema()
+//!     .tuple(&[("src", Value::from(s)), ("dst", Value::from(t))]).unwrap();
+//! let w = |w: i64| d.schema().tuple(&[("weight", Value::from(w))]).unwrap();
+//!
+//! assert!(graph.insert(&edge(1, 2), &w(100))?);
+//! assert!(graph.insert(&edge(3, 4), &w(0))?);
+//!
+//! // Cross-shard transfer: both edges' shards stay locked until commit.
+//! graph.transaction(|tx| {
+//!     tx.update(&edge(1, 2), &w(70))?;
+//!     tx.update(&edge(3, 4), &w(30))?;
+//!     Ok(())
+//! })?;
+//! assert_eq!(graph.len(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+use relc_locks::{Backoff, LockStatsSnapshot, TwoPhaseEngine};
+use relc_spec::{ColumnSet, RelationSchema, SpecError, Tuple};
+
+use crate::decomp::Decomposition;
+use crate::error::CoreError;
+use crate::exec::Executor;
+use crate::placement::{LockPlacement, LockToken};
+use crate::relation::{ActiveTxnGuard, ConcurrentRelation};
+use crate::txn::{Transaction, TxnError};
+
+/// The router's default seed. Any value works — what matters is that the
+/// routing hash stream is not the stripe/bucket stream (see the module
+/// docs on decorrelation) — but it is fixed so shard assignment is
+/// reproducible across runs.
+const DEFAULT_ROUTER_SEED: u64 = 0x5bd1_e995_9d03_58c3;
+
+/// One logical relation partitioned across independent decomposition
+/// instances by a seeded hash of its canonical key columns. See the
+/// [module docs](self).
+pub struct ShardedRelation {
+    shards: Vec<ConcurrentRelation>,
+    route_by: ColumnSet,
+    seed: u64,
+}
+
+impl ShardedRelation {
+    /// Synthesizes a relation partitioned over `shards` independent
+    /// instances of the given (decomposition, placement) pair, routed by
+    /// the schema's canonical key under the default router seed.
+    /// `shards` is clamped to at least 1.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ConcurrentRelation::new`].
+    pub fn new(
+        decomp: Arc<Decomposition>,
+        placement: Arc<LockPlacement>,
+        shards: usize,
+    ) -> Result<Self, CoreError> {
+        Self::with_seed(decomp, placement, shards, DEFAULT_ROUTER_SEED)
+    }
+
+    /// [`ShardedRelation::new`] with an explicit router seed (ablation
+    /// and distribution tests; a production deployment has no reason to
+    /// change it).
+    ///
+    /// # Errors
+    ///
+    /// As for [`ConcurrentRelation::new`].
+    pub fn with_seed(
+        decomp: Arc<Decomposition>,
+        placement: Arc<LockPlacement>,
+        shards: usize,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
+        let route_by = decomp.schema().canonical_key();
+        let shards = (0..shards.max(1))
+            .map(|_| ConcurrentRelation::new(Arc::clone(&decomp), Arc::clone(&placement)))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ShardedRelation {
+            shards,
+            route_by,
+            seed,
+        })
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Arc<RelationSchema> {
+        self.shards[0].schema()
+    }
+
+    /// The decomposition every shard is represented by.
+    pub fn decomposition(&self) -> &Arc<Decomposition> {
+        self.shards[0].decomposition()
+    }
+
+    /// The columns the router partitions on (the schema's canonical key).
+    pub fn route_by(&self) -> ColumnSet {
+        self.route_by
+    }
+
+    /// Number of partitions.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The underlying per-shard relations (diagnostics and tests; tuples
+    /// are owned by exactly the shard the router names).
+    pub fn shards(&self) -> &[ConcurrentRelation] {
+        &self.shards
+    }
+
+    /// The shard owning any tuple whose canonical-key projection equals
+    /// `t`'s. `t` must bind every routing column (full tuples always do).
+    pub fn shard_of(&self, t: &Tuple) -> usize {
+        debug_assert!(self.route_by.is_subset(t.dom()));
+        (t.stable_hash_of_seeded(self.route_by, self.seed) % self.shards.len() as u64) as usize
+    }
+
+    /// Routes a pattern: `Some(shard)` when it binds every routing
+    /// column, `None` when the operation must fan out.
+    fn route(&self, pattern: &Tuple) -> Option<usize> {
+        if self.route_by.is_subset(pattern.dom()) {
+            Some(self.shard_of(pattern))
+        } else {
+            None
+        }
+    }
+
+    /// Number of tuples, summed over shards (same advisory-under-motion,
+    /// exact-at-quiescence contract as [`ConcurrentRelation::len`]).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// Whether the relation is empty (same caveat as [`Self::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lock statistics aggregated over every shard. A cross-shard
+    /// transaction contributes one commit (or rollback) per shard it
+    /// touched.
+    pub fn lock_stats(&self) -> LockStatsSnapshot {
+        let mut agg = LockStatsSnapshot::default();
+        for s in self.shards.iter().map(|s| s.lock_stats()) {
+            agg.acquisitions += s.acquisitions;
+            agg.contended += s.contended;
+            agg.restarts += s.restarts;
+            agg.upgrades += s.upgrades;
+            agg.speculation_failures += s.speculation_failures;
+            agg.commits += s.commits;
+            agg.user_rollbacks += s.user_rollbacks;
+        }
+        agg
+    }
+
+    /// Ablation knob (§5.2), forwarded to every shard.
+    pub fn set_always_sort_locks(&self, v: bool) {
+        for s in &self.shards {
+            s.set_always_sort_locks(v);
+        }
+    }
+
+    /// `insert r s t` (§2): routed to the owning shard of the full tuple
+    /// `s ∪ t`; put-if-absent semantics as on a single instance.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ConcurrentRelation::insert`].
+    pub fn insert(&self, s: &Tuple, t: &Tuple) -> Result<bool, CoreError> {
+        match s.union(t) {
+            // Not routable ⇒ not a full valuation (or overlapping
+            // domains): any shard rejects it with the canonical §2 error
+            // before applying an effect.
+            Ok(x) => self.shards[self.route(&x).unwrap_or(0)].insert(s, t),
+            Err(_) => self.shards[0].insert(s, t),
+        }
+    }
+
+    /// The single shard every row of a batch routes to, if one exists.
+    /// `None` when the batch spans shards or a row cannot be routed
+    /// (invalid rows go through the cross-shard path, whose per-shard
+    /// validation surfaces the canonical error).
+    fn single_target_of_rows(&self, rows: &[(Tuple, Tuple)]) -> Option<usize> {
+        let mut target = None;
+        for (s, t) in rows {
+            let i = match s.union(t) {
+                Ok(x) => self.route(&x)?,
+                Err(_) => return None,
+            };
+            if *target.get_or_insert(i) != i {
+                return None;
+            }
+        }
+        target
+    }
+
+    /// Batched `insert r s t` as **one cross-shard transaction**: the
+    /// rows split per shard (equal keys route identically, so the §2
+    /// fold semantics — duplicates lose to the first occurrence — are
+    /// preserved), each shard runs its sub-batch through the PR 3 bulk
+    /// sweep, and all shards commit together: observers see all of the
+    /// batch or none of it.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ConcurrentRelation::insert_all`]; any row's validation
+    /// error rolls back every shard's sub-batch.
+    pub fn insert_all(&self, rows: &[(Tuple, Tuple)]) -> Result<Vec<bool>, CoreError> {
+        if rows.is_empty() {
+            return Ok(Vec::new());
+        }
+        // The whole batch landing in one shard — always true for a 1-shard
+        // relation, common for locality-batched loads — skips the
+        // cross-shard machinery (N engines + guards per attempt, one row
+        // clone per sub-batch) for the shard's own single-shot bulk path.
+        if let Some(i) = self.single_target_of_rows(rows) {
+            return self.shards[i].insert_all(rows);
+        }
+        self.transaction(|tx| tx.insert_all(rows))
+    }
+
+    /// Batched `remove r s` as one cross-shard transaction (see
+    /// [`Self::insert_all`]); returns per-key outcomes like
+    /// [`ConcurrentRelation::remove_all`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`ConcurrentRelation::remove_all`]; the batch has no effect
+    /// on error.
+    pub fn remove_all(&self, keys: &[Tuple]) -> Result<Vec<bool>, CoreError> {
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Single-destination fast path, as in [`Self::insert_all`].
+        let mut target = None;
+        if keys
+            .iter()
+            .all(|k| self.route(k).is_some_and(|i| *target.get_or_insert(i) == i))
+        {
+            if let Some(i) = target {
+                return self.shards[i].remove_all(keys);
+            }
+        }
+        self.transaction(|tx| tx.remove_all(keys))
+    }
+
+    /// `remove r s` (§2); returns how many tuples were removed (0 or 1).
+    ///
+    /// # Errors
+    ///
+    /// As for [`ConcurrentRelation::remove`].
+    pub fn remove(&self, s: &Tuple) -> Result<usize, CoreError> {
+        Ok(usize::from(self.remove_returning(s)?.is_some()))
+    }
+
+    /// Like [`Self::remove`], but returns the removed tuple. Keys binding
+    /// the routing columns touch one shard; alternate keys (a key set
+    /// that does not contain the canonical key) search shard by shard
+    /// inside one cross-shard transaction.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ConcurrentRelation::remove_returning`].
+    pub fn remove_returning(&self, s: &Tuple) -> Result<Option<Tuple>, CoreError> {
+        match self.route(s) {
+            Some(i) => self.shards[i].remove_returning(s),
+            None if !self.schema().is_key(s.dom()) => self.shards[0].remove_returning(s),
+            None => self.transaction(|tx| tx.remove_returning(s)),
+        }
+    }
+
+    /// `update r s t` (§2): routed when `s` binds the routing columns
+    /// (an in-shard update can never change a tuple's shard, since `t`
+    /// must be disjoint from `dom s ⊇` the routing columns); alternate-key
+    /// updates run as a cross-shard transaction that relocates the tuple
+    /// if `t` rewrites a routing column.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ConcurrentRelation::update`].
+    pub fn update(&self, s: &Tuple, t: &Tuple) -> Result<Option<Tuple>, CoreError> {
+        match self.route(s) {
+            Some(i) => self.shards[i].update(s, t),
+            None => self.transaction(|tx| tx.update(s, t)),
+        }
+    }
+
+    /// `query r s C` (§2): routed patterns read one shard and are
+    /// linearizable; fan-out patterns visit shards one at a time and are
+    /// **weakly consistent** across shards (each shard's contribution is
+    /// a locked snapshot, their combination is not). Wrap the query in
+    /// [`Self::transaction`] for a serializable cross-shard read.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ConcurrentRelation::query`].
+    pub fn query(&self, s: &Tuple, cols: ColumnSet) -> Result<Vec<Tuple>, CoreError> {
+        match self.route(s) {
+            Some(i) => self.shards[i].query(s, cols),
+            None => {
+                let mut acc: BTreeSet<Tuple> = BTreeSet::new();
+                for shard in &self.shards {
+                    acc.extend(shard.query(s, cols)?);
+                }
+                Ok(acc.into_iter().collect())
+            }
+        }
+    }
+
+    /// Whether any tuple extends `s`; fan-out patterns short-circuit at
+    /// the first shard with a witness (weakly consistent across shards,
+    /// like [`Self::query`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`ConcurrentRelation::contains`].
+    pub fn contains(&self, s: &Tuple) -> Result<bool, CoreError> {
+        match self.route(s) {
+            Some(i) => self.shards[i].contains(s),
+            None => {
+                for shard in &self.shards {
+                    if shard.contains(s)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+        }
+    }
+
+    /// All tuples, sorted and deduplicated across shards (weakly
+    /// consistent under concurrent mutation, exact at quiescence).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::query`].
+    pub fn snapshot(&self) -> Result<Vec<Tuple>, CoreError> {
+        self.query(&Tuple::empty(), self.schema().columns())
+    }
+
+    /// Structural verification of every quiescent shard instance, plus
+    /// the sharding invariant: each tuple lives in exactly the shard the
+    /// router names. Returns the union of the shards' contents.
+    ///
+    /// # Errors
+    ///
+    /// A description of the violated invariant.
+    pub fn verify(&self) -> Result<BTreeSet<Tuple>, String> {
+        let mut all = BTreeSet::new();
+        for (i, shard) in self.shards.iter().enumerate() {
+            for t in shard.verify().map_err(|e| format!("shard {i}: {e}"))? {
+                let want = self.shard_of(&t);
+                if want != i {
+                    return Err(format!(
+                        "misrouted tuple: shard {i} holds a tuple the router places in shard {want}"
+                    ));
+                }
+                all.insert(t);
+            }
+        }
+        Ok(all)
+    }
+
+    /// Runs `f` as one two-phase transaction spanning every shard it
+    /// touches: per-shard [`Transaction`]s open lazily as operations
+    /// route, all locks across all touched shards are held until the
+    /// closure returns, and commit/rollback is atomic across shards
+    /// (every shard's undo segment replays before any lock is released).
+    /// See the [module docs](self) for the cross-shard ordering protocol.
+    ///
+    /// The closure contract is exactly
+    /// [`ConcurrentRelation::transaction`]'s: propagate [`TxnError`] with
+    /// `?`, return `Err(tx.abort(..))` to roll back, expect re-runs on
+    /// contention, and route every operation on this relation through the
+    /// transaction handle (single-shot calls inside the closure panic
+    /// rather than self-deadlock).
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`TxnError::Core`] error the closure propagates;
+    /// restarts are consumed by the retry loop.
+    pub fn transaction<R>(
+        &self,
+        mut f: impl FnMut(&mut ShardedTransaction<'_>) -> Result<R, TxnError>,
+    ) -> Result<R, CoreError> {
+        // Re-entrancy guards for every shard: a single-shot operation on
+        // this relation (or directly on a shard) inside the closure would
+        // open a second engine against locks this transaction holds.
+        let _guards: Vec<ActiveTxnGuard> = self
+            .shards
+            .iter()
+            .map(|s| ActiveTxnGuard::enter(s.relation_id()))
+            .collect();
+        let mut engines: Vec<TwoPhaseEngine<LockToken>> = self
+            .shards
+            .iter()
+            .map(|s| TwoPhaseEngine::new(Arc::clone(s.stats_arc())))
+            .collect();
+        let mut backoff = Backoff::new();
+        loop {
+            let mut stx = ShardedTransaction::new(self, engines.iter_mut().map(Some).collect());
+            match f(&mut stx) {
+                Ok(r) if !stx.needs_restart() => {
+                    // Commit: publish every shard's len delta while all
+                    // locks are still held, then release shard by shard.
+                    let touched = stx.into_touched(false);
+                    for &(i, delta) in &touched {
+                        self.shards[i].apply_len_delta(delta);
+                    }
+                    for (i, _) in touched {
+                        engines[i].finish();
+                    }
+                    return Ok(r);
+                }
+                // A swallowed restart must not commit (same enforcement
+                // as the single-instance loop).
+                Ok(_) | Err(TxnError::Restart(_)) => {
+                    let touched = stx.into_touched(true);
+                    for (i, _) in touched {
+                        engines[i].rollback();
+                    }
+                    backoff.wait();
+                }
+                Err(TxnError::Core(e)) => {
+                    let touched = stx.into_touched(true);
+                    let user = matches!(e, CoreError::TransactionAborted(_));
+                    for (i, _) in touched {
+                        if user {
+                            engines[i].rollback_user();
+                        } else {
+                            engines[i].rollback();
+                        }
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Debug for ShardedRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedRelation")
+            .field("decomposition", &self.decomposition().describe())
+            .field("shards", &self.shards.len())
+            .field(
+                "route_by",
+                &self.schema().catalog().render_set(self.route_by),
+            )
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// An open cross-shard transaction on a [`ShardedRelation`]. Created by
+/// [`ShardedRelation::transaction`]; operations route exactly as the
+/// relation's single-shot operations do, but all locks of every touched
+/// shard accumulate until the closure returns.
+pub struct ShardedTransaction<'t> {
+    rel: &'t ShardedRelation,
+    /// One engine slot per shard; taken (moved into the shard's
+    /// [`Transaction`]) when the shard is first touched.
+    engines: Vec<Option<&'t mut TwoPhaseEngine<LockToken>>>,
+    open: Vec<Option<Transaction<'t>>>,
+    /// Highest shard index touched so far: acquisitions there may block,
+    /// anything lower is demoted to try-only (global (shard, token)
+    /// order — see the module docs).
+    max_open: Option<usize>,
+}
+
+impl<'t> ShardedTransaction<'t> {
+    fn new(
+        rel: &'t ShardedRelation,
+        engines: Vec<Option<&'t mut TwoPhaseEngine<LockToken>>>,
+    ) -> Self {
+        let n = engines.len();
+        ShardedTransaction {
+            rel,
+            engines,
+            open: (0..n).map(|_| None).collect(),
+            max_open: None,
+        }
+    }
+
+    /// The relation this transaction operates on (metadata access only,
+    /// as for [`Transaction::relation`]).
+    pub fn relation(&self) -> &'t ShardedRelation {
+        self.rel
+    }
+
+    /// The open per-shard transaction for shard `i`, created on first
+    /// touch. Maintains the cross-shard acquisition order: returning to a
+    /// shard below the current maximum demotes that shard's engine to
+    /// try-only for the rest of the attempt.
+    fn shard_tx(&mut self, i: usize) -> &mut Transaction<'t> {
+        if self.open[i].is_none() {
+            let engine = self.engines[i]
+                .take()
+                .expect("engine slot taken exactly once per attempt");
+            let shard = &self.rel.shards[i];
+            let mut exec = Executor::new(shard.decomposition(), shard.placement(), engine);
+            exec.always_sort_locks = shard.always_sort_locks();
+            self.open[i] = Some(Transaction::new(shard, exec, false));
+        }
+        let tx = self.open[i].as_mut().expect("just ensured open");
+        match self.max_open {
+            Some(m) if i < m => tx.force_try_locks(),
+            Some(m) if m < i => self.max_open = Some(i),
+            None => self.max_open = Some(i),
+            _ => {}
+        }
+        tx
+    }
+
+    /// Whether any touched shard demanded a restart; the commit path
+    /// refuses to commit in that case, exactly like the single-instance
+    /// loop.
+    fn needs_restart(&self) -> bool {
+        self.open.iter().flatten().any(|tx| tx.needs_restart())
+    }
+
+    /// Consumes the attempt: optionally rolls back every touched shard's
+    /// undo segment (all while every lock of every shard is still held),
+    /// and returns the touched shard indices with their len deltas. The
+    /// caller releases the engines afterwards.
+    fn into_touched(self, rollback: bool) -> Vec<(usize, isize)> {
+        let mut touched = Vec::new();
+        for (i, slot) in self.open.into_iter().enumerate() {
+            if let Some(mut tx) = slot {
+                if rollback {
+                    tx.rollback_effects();
+                }
+                touched.push((i, tx.len_delta()));
+            }
+        }
+        touched
+    }
+
+    /// `insert r s t` (§2) under this transaction's lock scope, routed to
+    /// the owning shard.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Transaction::insert`].
+    pub fn insert(&mut self, s: &Tuple, t: &Tuple) -> Result<bool, TxnError> {
+        let i = match s.union(t) {
+            Ok(x) => self.rel.route(&x).unwrap_or(0),
+            Err(_) => 0, // canonical validation error from shard 0
+        };
+        self.shard_tx(i).insert(s, t)
+    }
+
+    /// Batched insert under this transaction's lock scope: rows split per
+    /// shard (preserving relative order, which preserves the §2 fold
+    /// semantics — equal keys route identically), one bulk sub-batch per
+    /// touched shard in ascending shard order.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Transaction::insert_all`].
+    pub fn insert_all(&mut self, rows: &[(Tuple, Tuple)]) -> Result<Vec<bool>, TxnError> {
+        if rows.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.rel.shards.len()];
+        for (idx, (s, t)) in rows.iter().enumerate() {
+            let i = match s.union(t) {
+                Ok(x) => self.rel.route(&x).unwrap_or(0),
+                Err(_) => 0,
+            };
+            groups[i].push(idx);
+        }
+        let mut results = vec![false; rows.len()];
+        for (i, group) in groups.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let sub: Vec<(Tuple, Tuple)> = group.iter().map(|&idx| rows[idx].clone()).collect();
+            let sub_results = self.shard_tx(i).insert_all(&sub)?;
+            for (&idx, r) in group.iter().zip(sub_results) {
+                results[idx] = r;
+            }
+        }
+        Ok(results)
+    }
+
+    /// Batched remove under this transaction's lock scope; per-key
+    /// outcomes as for [`Transaction::remove_all`]. Routable keys run as
+    /// per-shard sub-batches; a batch containing any alternate (fan-out)
+    /// key runs strictly key by key instead — the grouped form would
+    /// evaluate all routed keys before any fan-out key, and a routed and
+    /// an alternate pattern in one batch can match the *same* tuple, where
+    /// the §2 fold's outcome depends on evaluation order.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Transaction::remove_all`].
+    pub fn remove_all(&mut self, keys: &[Tuple]) -> Result<Vec<bool>, TxnError> {
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        if keys.iter().any(|k| self.rel.route(k).is_none()) {
+            let mut results = Vec::with_capacity(keys.len());
+            for k in keys {
+                results.push(self.remove_returning(k)?.is_some());
+            }
+            return Ok(results);
+        }
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.rel.shards.len()];
+        for (idx, k) in keys.iter().enumerate() {
+            groups[self.rel.shard_of(k)].push(idx);
+        }
+        let mut results = vec![false; keys.len()];
+        for (i, group) in groups.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let sub: Vec<Tuple> = group.iter().map(|&idx| keys[idx].clone()).collect();
+            let sub_results = self.shard_tx(i).remove_all(&sub)?;
+            for (&idx, r) in group.iter().zip(sub_results) {
+                results[idx] = r;
+            }
+        }
+        Ok(results)
+    }
+
+    /// `remove r s` (§2) under this transaction's lock scope.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Transaction::remove`].
+    pub fn remove(&mut self, s: &Tuple) -> Result<usize, TxnError> {
+        Ok(usize::from(self.remove_returning(s)?.is_some()))
+    }
+
+    /// Like [`ShardedTransaction::remove`], but returns the removed
+    /// tuple. Alternate keys search shards in ascending order under this
+    /// transaction's locks.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Transaction::remove_returning`].
+    pub fn remove_returning(&mut self, s: &Tuple) -> Result<Option<Tuple>, TxnError> {
+        match self.rel.route(s) {
+            Some(i) => self.shard_tx(i).remove_returning(s),
+            None if !self.rel.schema().is_key(s.dom()) => {
+                // Canonical RemoveNotByKey error from shard 0.
+                self.shard_tx(0).remove_returning(s)
+            }
+            None => {
+                for i in 0..self.rel.shards.len() {
+                    if let Some(t) = self.shard_tx(i).remove_returning(s)? {
+                        return Ok(Some(t));
+                    }
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    /// `update r s t` (§2) under this transaction's lock scope. Routed
+    /// patterns update in place within their shard; alternate-key updates
+    /// locate the tuple shard by shard and — when `t` rewrites a routing
+    /// column — relocate it to its new owning shard (an unlink on one
+    /// shard and an insert on another, atomic under this transaction).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Transaction::update`].
+    pub fn update(&mut self, s: &Tuple, t: &Tuple) -> Result<Option<Tuple>, TxnError> {
+        if let Some(i) = self.rel.route(s) {
+            return self.shard_tx(i).update(s, t);
+        }
+        // Validate up front (the §2 conditions plan_update would check):
+        // past this point the operation decomposes into remove + insert.
+        let schema = self.rel.schema();
+        if t.is_empty() {
+            return Err(TxnError::Core(CoreError::Spec(SpecError::EmptyUpdate)));
+        }
+        if !t.dom().is_disjoint(s.dom()) {
+            return Err(TxnError::Core(CoreError::Spec(
+                SpecError::UpdateOverlapsPattern {
+                    shared: schema.catalog().render_set(t.dom().intersection(s.dom())),
+                },
+            )));
+        }
+        if !schema.is_key(s.dom()) {
+            return Err(TxnError::Core(CoreError::Spec(SpecError::RemoveNotByKey {
+                dom: schema.catalog().render_set(s.dom()),
+            })));
+        }
+        let Some(old) = self.remove_returning(s)? else {
+            return Ok(None);
+        };
+        let new = old.override_with(t);
+        let inserted = self
+            .shard_tx(self.rel.shard_of(&new))
+            .insert(&new, &Tuple::empty())?;
+        debug_assert!(
+            inserted,
+            "no tuple can extend the unlinked key under our exclusive locks"
+        );
+        Ok(Some(old))
+    }
+
+    /// `query r s C` (§2) under this transaction's lock scope. Fan-out
+    /// patterns visit every shard and, unlike the single-shot
+    /// [`ShardedRelation::query`], are **serializable**: each visited
+    /// shard's locks persist to commit.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Transaction::query`].
+    pub fn query(&mut self, s: &Tuple, cols: ColumnSet) -> Result<Vec<Tuple>, TxnError> {
+        match self.rel.route(s) {
+            Some(i) => self.shard_tx(i).query(s, cols),
+            None => {
+                let mut acc: BTreeSet<Tuple> = BTreeSet::new();
+                for i in 0..self.rel.shards.len() {
+                    acc.extend(self.shard_tx(i).query(s, cols)?);
+                }
+                Ok(acc.into_iter().collect())
+            }
+        }
+    }
+
+    /// Whether any tuple extends `s`, under this transaction's locks
+    /// (fan-out patterns short-circuit but keep the visited shards'
+    /// locks).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Transaction::contains`].
+    pub fn contains(&mut self, s: &Tuple) -> Result<bool, TxnError> {
+        match self.rel.route(s) {
+            Some(i) => self.shard_tx(i).contains(s),
+            None => {
+                for i in 0..self.rel.shards.len() {
+                    if self.shard_tx(i).contains(s)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+        }
+    }
+
+    /// All tuples, sorted, as observed under this transaction's locks
+    /// (serializable across shards).
+    ///
+    /// # Errors
+    ///
+    /// As for [`ShardedTransaction::query`].
+    pub fn snapshot(&mut self) -> Result<Vec<Tuple>, TxnError> {
+        self.query(&Tuple::empty(), self.rel.schema().columns())
+    }
+
+    /// Aborts the transaction: return this from the closure to roll back
+    /// every touched shard and surface
+    /// [`CoreError::TransactionAborted`].
+    pub fn abort(&self, reason: impl Into<String>) -> TxnError {
+        TxnError::Core(CoreError::TransactionAborted(reason.into()))
+    }
+}
+
+impl fmt::Debug for ShardedTransaction<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedTransaction")
+            .field("shards", &self.rel.shards.len())
+            .field(
+                "touched",
+                &self
+                    .open
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, t)| t.as_ref().map(|_| i))
+                    .collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}

@@ -191,6 +191,16 @@ impl<'t> Transaction<'t> {
         self.saw_restart
     }
 
+    /// Demotes every future lock acquisition of this transaction to a
+    /// *try* (restart on contention, never block). The sharding layer
+    /// calls this when the enclosing cross-shard transaction already holds
+    /// locks under a higher shard index, so blocking here would sit
+    /// outside the global (shard, token) order — see
+    /// [`crate::shard::ShardedTransaction`].
+    pub(crate) fn force_try_locks(&mut self) {
+        self.exec.set_try_only();
+    }
+
     /// The relation this transaction operates on.
     ///
     /// Only for reading metadata (schema, columns): operations on the
@@ -358,7 +368,10 @@ impl<'t> Transaction<'t> {
     /// scope: semantically the sequential fold of [`Transaction::remove`]
     /// over `keys` (duplicate keys remove once), executed as one amortized
     /// pass with a single plan fetch and one globally sorted bulk lock
-    /// sweep. Returns how many tuples were removed.
+    /// sweep. Returns one outcome per key — whether *that* key's tuple
+    /// existed and was removed (a later duplicate of a removed key reads
+    /// `false`) — so batch callers can tell which keys were present;
+    /// `results.iter().filter(|b| **b).count()` is the removed total.
     ///
     /// The batch shares one undo segment: a mid-batch failure or a later
     /// abort re-inserts every removed tuple. Keys whose shape differs from
@@ -368,25 +381,26 @@ impl<'t> Transaction<'t> {
     ///
     /// As for [`Transaction::remove`]; or [`TxnError::Restart`]
     /// (propagate it).
-    pub fn remove_all(&mut self, keys: &[Tuple]) -> Result<usize, TxnError> {
+    pub fn remove_all(&mut self, keys: &[Tuple]) -> Result<Vec<bool>, TxnError> {
         self.assert_two_phase();
         let Some(k0) = keys.first() else {
-            return Ok(0);
+            return Ok(Vec::new());
         };
         if keys.iter().any(|k| k.dom() != k0.dom()) {
-            let mut n = 0;
+            let mut out = Vec::with_capacity(keys.len());
             for k in keys {
-                n += usize::from(self.remove_impl(k, true)?.is_some());
+                out.push(self.remove_impl(k, true)?.is_some());
             }
-            return Ok(n);
+            return Ok(out);
         }
         let plan = self.rel.remove_batch_plan(k0.dom())?;
         let mut removed = Vec::new();
         let res = self
             .exec
             .run_remove_all(&plan, keys, self.rel.root_ref(), &mut removed);
-        let n = removed.len();
-        for t in removed {
+        let mut results = vec![false; keys.len()];
+        for (i, t) in removed {
+            results[i] = true;
             self.len_delta -= 1;
             self.undo.push(UndoOp::Reinsert {
                 plan: Arc::clone(&plan.reinsert),
@@ -394,7 +408,7 @@ impl<'t> Transaction<'t> {
             });
         }
         self.track(res)?;
-        Ok(n)
+        Ok(results)
     }
 
     /// `remove r s` (§2) under this transaction's lock scope; returns how

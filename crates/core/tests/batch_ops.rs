@@ -73,11 +73,8 @@ fn with_watchdog(secs: u64, name: String, f: impl FnOnce() + Send + 'static) {
 fn batch_ops_match_per_op_fold_across_variants() {
     for (name, rel) in variants() {
         // The twin is driven per-op on the same decomposition/placement.
-        let twin = ConcurrentRelation::new(
-            rel.decomposition().clone(),
-            rel.placement().clone(),
-        )
-        .unwrap();
+        let twin =
+            ConcurrentRelation::new(rel.decomposition().clone(), rel.placement().clone()).unwrap();
         let oracle = OracleRelation::empty(rel.schema().clone());
         let mut x = 0xfeed_5eed_u64;
         let mut step = move || {
@@ -93,13 +90,16 @@ fn batch_ops_match_per_op_fold_across_variants() {
                     .map(|_| edge(&rel, (step() % 5) as i64, (step() % 5) as i64))
                     .collect();
                 let got = rel.remove_all(&keys).unwrap();
-                let mut want_twin = 0usize;
-                let mut want_oracle = 0usize;
+                let mut want_twin = Vec::with_capacity(keys.len());
+                let mut want_oracle = Vec::with_capacity(keys.len());
                 for k in &keys {
-                    want_twin += twin.remove(k).unwrap();
-                    want_oracle += oracle.remove(k);
+                    want_twin.push(twin.remove(k).unwrap() == 1);
+                    want_oracle.push(oracle.remove(k) == 1);
                 }
-                assert_eq!(got, want_twin, "remove_all vs twin on {name} (round {round})");
+                assert_eq!(
+                    got, want_twin,
+                    "remove_all vs twin on {name} (round {round})"
+                );
                 assert_eq!(got, want_oracle, "remove_all vs oracle on {name}");
             } else {
                 // Small key range: duplicates inside one batch are common.
@@ -120,7 +120,10 @@ fn batch_ops_match_per_op_fold_across_variants() {
                     .iter()
                     .map(|(s, t)| oracle.insert(s, t).unwrap())
                     .collect();
-                assert_eq!(got, want_twin, "insert_all vs twin on {name} (round {round})");
+                assert_eq!(
+                    got, want_twin,
+                    "insert_all vs twin on {name} (round {round})"
+                );
                 assert_eq!(got, want_oracle, "insert_all vs oracle on {name}");
             }
             assert_eq!(rel.len(), oracle.len(), "len on {name}");
@@ -156,7 +159,8 @@ fn duplicate_keys_in_one_batch_first_wins() {
             Some(&Value::from(10)),
             "{name}: the first row's payload must win"
         );
-        // Duplicate keys in a removal batch remove once.
+        // Duplicate keys in a removal batch remove once, and the per-key
+        // outcomes say which occurrence won (and which keys were absent).
         let removed = rel
             .remove_all(&[
                 edge(&rel, 1, 2),
@@ -165,7 +169,7 @@ fn duplicate_keys_in_one_batch_first_wins() {
                 edge(&rel, 7, 7),
             ])
             .unwrap();
-        assert_eq!(removed, 2, "{name}");
+        assert_eq!(removed, vec![true, false, true, false], "{name}");
         assert!(rel.is_empty(), "{name}");
         rel.verify().unwrap_or_else(|e| panic!("{name}: {e}"));
     }
@@ -239,7 +243,10 @@ fn aborted_transaction_rolls_back_whole_batch() {
                 assert_eq!(tx.insert_all(&rows)?, vec![true, true, true]);
                 // Read-your-writes: the batch is visible inside the txn.
                 assert!(tx.contains(&edge(&rel, 2, 2))?);
-                assert_eq!(tx.remove_all(&[edge(&rel, 0, 0), edge(&rel, 1, 1)])?, 2);
+                assert_eq!(
+                    tx.remove_all(&[edge(&rel, 0, 0), edge(&rel, 1, 1)])?,
+                    vec![true, true]
+                );
                 Err(tx.abort("poisoned"))
             })
             .unwrap_err();
@@ -328,10 +335,7 @@ fn batch_contention_stress_against_single_op_writers() {
                                     let rows: Vec<(Tuple, Tuple)> = (0..4)
                                         .map(|_| {
                                             let (a, b) = mk(&mut next);
-                                            (
-                                                edge(&rel, a, b),
-                                                weight(&rel, (next() % 8) as i64),
-                                            )
+                                            (edge(&rel, a, b), weight(&rel, (next() % 8) as i64))
                                         })
                                         .collect();
                                     rel.insert_all(&rows).unwrap();
@@ -346,13 +350,10 @@ fn batch_contention_stress_against_single_op_writers() {
                                 _ => {
                                     // Single-op writer/reader.
                                     let (a, b) = mk(&mut next);
-                                    let _ = rel
-                                        .insert(&edge(&rel, a, b), &weight(&rel, 1))
-                                        .unwrap();
-                                    let pat = rel
-                                        .schema()
-                                        .tuple(&[("src", Value::from(a))])
-                                        .unwrap();
+                                    let _ =
+                                        rel.insert(&edge(&rel, a, b), &weight(&rel, 1)).unwrap();
+                                    let pat =
+                                        rel.schema().tuple(&[("src", Value::from(a))]).unwrap();
                                     match rel.query(&pat, dw) {
                                         Ok(_) | Err(CoreError::NoValidPlan(_)) => {}
                                         Err(e) => panic!("{e}"),
@@ -421,7 +422,7 @@ fn mixed_shape_batches_keep_fold_semantics() {
             edge(&rel, 1, 2),
         ])
         .unwrap();
-    assert_eq!(removed, 2);
+    assert_eq!(removed, vec![true, true]);
     assert!(rel.is_empty());
     rel.verify().unwrap();
 }
@@ -433,7 +434,7 @@ fn empty_batches_are_noops() {
     let p = LockPlacement::fine(&d).unwrap();
     let rel = ConcurrentRelation::new(d.clone(), p).unwrap();
     assert_eq!(rel.insert_all(&[]).unwrap(), Vec::<bool>::new());
-    assert_eq!(rel.remove_all(&[]).unwrap(), 0);
+    assert_eq!(rel.remove_all(&[]).unwrap(), Vec::<bool>::new());
     assert!(rel.is_empty());
     rel.verify().unwrap();
 }

@@ -175,8 +175,17 @@ fn structural_integrity_under_contended_mixed_ops() {
                 h.join().unwrap();
             }
         });
-        // Quiescent: the instance must be structurally perfect.
-        rel.verify().unwrap_or_else(|e| panic!("{name}: {e}"));
+        // Quiescent: the instance must be structurally perfect, and the
+        // lock-free tuple counter must agree with the real contents —
+        // any drift (a delta applied for a rolled-back op, or dropped by
+        // a poisoned batch) is a bug even if no single observable caught
+        // it mid-run.
+        let snap = rel.verify().unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(
+            rel.len(),
+            snap.len(),
+            "{name}: len() must equal snapshot().len() at quiescence"
+        );
     }
 }
 
@@ -562,11 +571,10 @@ fn batch_histories_are_linearizable() {
                                     });
                                 }
                                 1 => {
-                                    let keys =
-                                        vec![edge(&rel, s, dd), edge(&rel, 1 - s, 1 - dd)];
+                                    let keys = vec![edge(&rel, s, dd), edge(&rel, 1 - s, 1 - dd)];
                                     rec.record(|| {
-                                        let result = rel.remove_all(&keys).unwrap();
-                                        ((), OpRecord::RemoveAll { keys, result })
+                                        let results = rel.remove_all(&keys).unwrap();
+                                        ((), OpRecord::RemoveAll { keys, results })
                                     });
                                 }
                                 2 => {
@@ -614,7 +622,12 @@ fn batch_histories_are_linearizable() {
                 "non-linearizable batch history on {} (round {round}): {history:#?}",
                 rel.placement().name()
             );
-            rel.verify().unwrap();
+            let snap = rel.verify().unwrap();
+            assert_eq!(
+                rel.len(),
+                snap.len(),
+                "len() must equal snapshot().len() at quiescence"
+            );
         }
     }
 }

@@ -118,6 +118,13 @@ pub struct TwoPhaseEngine<O: Ord + Clone + fmt::Debug> {
     /// Per-transaction deltas; flushed to `stats` at finish/rollback so the
     /// lock hot path never touches shared cache lines.
     local: LocalStats,
+    /// When set, even in-order acquisitions only *try* (see
+    /// [`TwoPhaseEngine::set_try_only`]): a coordinating layer has declared
+    /// that this engine's keys are no longer the globally greatest
+    /// coordinates the whole (multi-engine) transaction holds, so blocking
+    /// here could close a wait cycle through another engine. Reset at
+    /// finish/rollback.
+    try_only: bool,
 }
 
 impl<O: Ord + Clone + fmt::Debug> TwoPhaseEngine<O> {
@@ -129,7 +136,33 @@ impl<O: Ord + Clone + fmt::Debug> TwoPhaseEngine<O> {
             phase: Phase::Growing,
             stats,
             local: LocalStats::default(),
+            try_only: false,
         }
+    }
+
+    /// Demotes every future acquisition of this transaction — in-order or
+    /// not — to a *try*: on contention the transaction restarts instead of
+    /// blocking.
+    ///
+    /// The §5.1 deadlock-freedom argument lets a transaction block only
+    /// while requesting a coordinate greater than everything it already
+    /// holds. A layer that composes several engines into one transaction
+    /// (one per shard of a sharded relation) extends the order
+    /// lexicographically to (engine index, key); once the transaction has
+    /// acquired anything under a *higher* engine index, no acquisition in
+    /// this engine is in global order anymore, whatever its key — the
+    /// composing layer flags that here. Cleared automatically by
+    /// [`TwoPhaseEngine::finish`] and [`TwoPhaseEngine::rollback`].
+    ///
+    /// Compensation (undo-log replay, which must never restart) is safe
+    /// under this flag: by the transaction layer's pre-acquisition
+    /// invariant, every lock an inverse operation needs is either already
+    /// held — a covered re-acquisition that returns before any try — or
+    /// belongs to a freshly materialized, not-yet-published instance no
+    /// other thread can hold, where the try always succeeds (the same
+    /// argument the same-key replacement path above relies on).
+    pub fn set_try_only(&mut self) {
+        self.try_only = true;
     }
 
     /// Index of `key` in the sorted held vector: `Ok(i)` if held,
@@ -214,7 +247,7 @@ impl<O: Ord + Clone + fmt::Debug> TwoPhaseEngine<O> {
             }
             Err(pos) => pos,
         };
-        let in_order = pos == self.held.len();
+        let in_order = pos == self.held.len() && !self.try_only;
         if in_order {
             lock.acquire(mode);
         } else if !lock.try_acquire(mode) {
@@ -297,6 +330,7 @@ impl<O: Ord + Clone + fmt::Debug> TwoPhaseEngine<O> {
         self.release_all();
         self.hints.clear();
         self.phase = Phase::Growing;
+        self.try_only = false;
         self.stats.flush(&mut self.local);
     }
 
@@ -309,6 +343,7 @@ impl<O: Ord + Clone + fmt::Debug> TwoPhaseEngine<O> {
     pub fn rollback(&mut self) {
         self.release_all();
         self.phase = Phase::Growing;
+        self.try_only = false;
         self.stats.flush(&mut self.local);
     }
 
@@ -483,6 +518,34 @@ mod tests {
         // Retry in order now succeeds.
         e.acquire(1, &a, LockMode::Shared).unwrap();
         e.acquire(2, &b, LockMode::Shared).unwrap();
+        e.finish();
+    }
+
+    #[test]
+    fn try_only_never_blocks_and_resets_on_release() {
+        let (a, b) = (lock(), lock());
+        // Another party holds `b` exclusively.
+        assert!(b.try_acquire(LockMode::Exclusive));
+        let mut e = engine();
+        e.acquire(1, &a, LockMode::Shared).unwrap();
+        e.set_try_only();
+        // Key 2 > max held key 1 — in order, but try-only must not block.
+        let start = std::time::Instant::now();
+        let err = e.acquire(2, &b, LockMode::Shared).unwrap_err();
+        assert!(
+            start.elapsed() < Duration::from_millis(100),
+            "must not block"
+        );
+        assert_eq!(err.reason, RestartReason::OutOfOrderContention);
+        e.rollback();
+        unsafe { b.release(LockMode::Exclusive) };
+        // Rollback cleared the flag: uncontended in-order blocking
+        // acquisition works again, and try-only succeeds when free.
+        e.acquire(1, &a, LockMode::Shared).unwrap();
+        e.set_try_only();
+        e.acquire(2, &b, LockMode::Exclusive).unwrap();
+        e.finish();
+        e.acquire(2, &b, LockMode::Exclusive).unwrap();
         e.finish();
     }
 

@@ -108,6 +108,23 @@ impl RelationSchema {
         self.fds.closure(cols).intersection(self.columns)
     }
 
+    /// A canonical minimal key: the deterministic result of dropping, in
+    /// column order, every column whose removal leaves a key. Shard
+    /// routers partition on this set — any tuple's placement is a pure
+    /// function of its projection onto the canonical key, and any
+    /// operation that binds all of these columns can be routed to exactly
+    /// one partition.
+    pub fn canonical_key(&self) -> ColumnSet {
+        let mut key = self.columns;
+        for c in self.columns.iter() {
+            let without = key.difference(ColumnSet::single(c));
+            if self.fds.is_key(without, self.columns) {
+                key = without;
+            }
+        }
+        key
+    }
+
     /// Validates that `t` is a full valuation of the schema's columns.
     ///
     /// # Errors

@@ -230,7 +230,27 @@ impl Tuple {
     /// A deterministic 64-bit hash of the projection of this tuple onto
     /// `cols`, for lock striping (§4.4): the stripe is `hash mod k`.
     pub fn stable_hash_of(&self, cols: ColumnSet) -> u64 {
-        let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
+        self.fold_hash_of(cols, 0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// [`Tuple::stable_hash_of`] with an explicit seed and a final
+    /// avalanche, so independent consumers (shard routers vs. lock
+    /// stripes vs. container buckets) draw decorrelated bit streams from
+    /// the same key columns: two hashes of the same projection under
+    /// different seeds share no usable structure, and the avalanche keeps
+    /// `hash mod k` uniform even for small `k` and sequential values.
+    pub fn stable_hash_of_seeded(&self, cols: ColumnSet, seed: u64) -> u64 {
+        // splitmix64 finalizer over the seeded fold.
+        let mut h = self.fold_hash_of(cols, seed ^ 0x6a09_e667_f3bc_c909);
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^ (h >> 31)
+    }
+
+    fn fold_hash_of(&self, cols: ColumnSet, seed: u64) -> u64 {
+        let mut h = seed;
         for (c, v) in &self.fields {
             if cols.contains(*c) {
                 h = h

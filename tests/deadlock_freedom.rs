@@ -229,15 +229,12 @@ fn crossing_batch_orders_do_not_deadlock_or_livelock() {
                                                 ("dst", Value::from(k)),
                                             ])
                                             .unwrap(),
-                                        rel.schema()
-                                            .tuple(&[("weight", Value::from(i))])
-                                            .unwrap(),
+                                        rel.schema().tuple(&[("weight", Value::from(i))]).unwrap(),
                                     )
                                 })
                                 .collect();
                             let _ = rel.insert_all(&rows).unwrap();
-                            let key_pats: Vec<_> =
-                                rows.into_iter().map(|(s, _)| s).collect();
+                            let key_pats: Vec<_> = rows.into_iter().map(|(s, _)| s).collect();
                             let _ = rel.remove_all(&key_pats).unwrap();
                         }
                     })
@@ -280,18 +277,13 @@ fn batch_vs_single_crossing_orders_make_progress() {
                                 .tuple(&[("src", Value::from(k)), ("dst", Value::from(k))])
                                 .unwrap()
                         };
-                        let w = |v: i64| {
-                            rel.schema().tuple(&[("weight", Value::from(v))]).unwrap()
-                        };
+                        let w = |v: i64| rel.schema().tuple(&[("weight", Value::from(v))]).unwrap();
                         for i in 0..150i64 {
                             if tid % 2 == 0 {
                                 // Batcher: ascending 4-key batches.
-                                let rows: Vec<_> =
-                                    (0..4).map(|k| (key(k), w(i))).collect();
+                                let rows: Vec<_> = (0..4).map(|k| (key(k), w(i))).collect();
                                 let _ = rel.insert_all(&rows).unwrap();
-                                let _ = rel
-                                    .remove_all(&[key(0), key(1), key(2), key(3)])
-                                    .unwrap();
+                                let _ = rel.remove_all(&[key(0), key(1), key(2), key(3)]).unwrap();
                             } else {
                                 // Single-op writer: descending walk.
                                 for k in (0..4).rev() {
