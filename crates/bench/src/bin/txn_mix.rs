@@ -13,6 +13,11 @@
 //! `shard_load` drives that stream through an 8-way `ShardedRelation`
 //! (multi-root writes), and `shard_mixed` adds routed updates, fan-in
 //! point queries, batch churn, and cross-shard transfer transactions.
+//! `churn` hammers insert/remove/update over a fixed key range on a
+//! skip-list representation and reports the epoch collector's counters:
+//! with real reclamation, `reclaimed` tracks `retired` and the in-flight
+//! count stays bounded, where the old leaking shim grew linearly with
+//! removals.
 //!
 //! ```text
 //! cargo run --release -p relc-bench --bin txn_mix -- \
@@ -113,6 +118,10 @@ enum Workload {
     /// Contended mix on a shared keyspace: 40% 16-row `insert_all`,
     /// 30% 16-key `remove_all`, 20% update, 10% point query.
     BatchMixed,
+    /// Reclamation churn: 40% insert, 40% remove, 20% update over the
+    /// fixed key range — every remove retires skip-list nodes, so this
+    /// drives the epoch collector as hard as the representation allows.
+    Churn,
 }
 
 impl Workload {
@@ -124,6 +133,7 @@ impl Workload {
             Workload::SingleLoad => "single_load",
             Workload::BatchLoad => "batch_load",
             Workload::BatchMixed => "batch_mixed",
+            Workload::Churn => "churn",
         }
     }
 }
@@ -207,6 +217,34 @@ fn run_workload(
                     active_ns.fetch_add(insert_ns, Ordering::Relaxed);
                     return;
                 }
+                if workload == Workload::Churn {
+                    // Same floor as the load workloads: churn ops are
+                    // cheap, and a `--quick` budget is dominated by
+                    // warm-up (tower heights, epoch participant setup),
+                    // which would make the CI gate flap on this workload.
+                    let target = ops_per_thread.max(16_384) as u64;
+                    let mut local = 0u64;
+                    while local < target {
+                        let k = (next() % KEY_RANGE as u64) as i64;
+                        let w = (next() % 1000) as i64;
+                        match next() % 5 {
+                            0..=1 => {
+                                rel.insert(&key(&schema, k, k), &weight(&schema, w))
+                                    .unwrap();
+                            }
+                            2..=3 => {
+                                rel.remove(&key(&schema, k, k)).unwrap();
+                            }
+                            _ => {
+                                rel.update(&key(&schema, k, k), &weight(&schema, w))
+                                    .unwrap();
+                            }
+                        }
+                        local += 1;
+                    }
+                    done.fetch_add(local, Ordering::Relaxed);
+                    return;
+                }
                 if workload == Workload::BatchMixed {
                     // Contended batches against single ops on one shared
                     // keyspace: batches churn off-diagonal keys while
@@ -263,7 +301,10 @@ fn run_workload(
                             5..=7 => 2,
                             _ => 1,
                         },
-                        Workload::SingleLoad | Workload::BatchLoad | Workload::BatchMixed => {
+                        Workload::SingleLoad
+                        | Workload::BatchLoad
+                        | Workload::BatchMixed
+                        | Workload::Churn => {
                             unreachable!("handled above")
                         }
                     };
@@ -514,6 +555,59 @@ fn main() {
             }
         }
         rel.verify().expect("structurally sound after benchmark");
+    }
+
+    // Reclamation churn runs on skip-list representations only: other
+    // containers do not retire epoch-managed garbage, so the counters
+    // would be flat. Reported alongside throughput: retired/reclaimed
+    // deltas per sample plus the in-flight count at sample end, which
+    // stays bounded under real reclamation (the old shim leaked every
+    // retired node, growing linearly with removals).
+    {
+        let di = stick(
+            ContainerKind::ConcurrentSkipListMap,
+            ContainerKind::ConcurrentSkipListMap,
+        );
+        let rel = Arc::new(
+            ConcurrentRelation::new(di.clone(), LockPlacement::fine(&di).unwrap()).unwrap(),
+        );
+        let name = "stick/skiplist/fine";
+        for k in 0..KEY_RANGE {
+            rel.insert(&key(rel.schema(), k, k), &weight(rel.schema(), k))
+                .unwrap();
+        }
+        for &threads in &thread_counts {
+            let before = rel.reclamation_stats();
+            let mut s = run_workload(&rel, Workload::Churn, threads, ops_per_thread);
+            s.representation = name.to_owned();
+            let after = rel.reclamation_stats();
+            let rate = s.total_ops as f64 / s.elapsed_secs.max(1e-9);
+            println!(
+                "{:<24} {:<14} threads={:<2} {:>12.0} ops/s ({} ops in {:.3}s) \
+                 retired +{} reclaimed +{} in_flight {}",
+                s.representation,
+                s.workload,
+                s.threads,
+                rate,
+                s.total_ops,
+                s.elapsed_secs,
+                after.retired - before.retired,
+                after.reclaimed - before.reclaimed,
+                after.in_flight(),
+            );
+            samples.push(s);
+        }
+        let flushed = rel.flush_reclamation();
+        assert_eq!(
+            flushed.in_flight(),
+            0,
+            "churn garbage fully reclaimed at quiescence"
+        );
+        println!(
+            "churn reclamation at quiescence: retired {} reclaimed {} in_flight 0",
+            flushed.retired, flushed.reclaimed
+        );
+        rel.verify().expect("structurally sound after churn");
     }
 
     for (name, rel) in sharded_variants() {

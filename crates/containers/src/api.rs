@@ -17,6 +17,28 @@ use crate::striped_hash::StripedHashMap;
 use crate::taxonomy::{ContainerProps, PairSafety};
 use crate::tree_map::AvlTreeMap;
 
+pub use crossbeam::epoch::ReclamationStats;
+
+/// Snapshot of the process-wide epoch reclamation counters (retired /
+/// reclaimed deferred destructions; see [`ReclamationStats::in_flight`]).
+///
+/// The epoch domain is global, so this aggregates over every epoch-managed
+/// container in the process (today: every [`ConcurrentSkipListMap`]'s
+/// retired nodes and replaced values). Runtime layers re-export this so
+/// `verify`-style assertions can check that in-flight garbage is bounded
+/// and returns to zero at quiescence.
+pub fn reclamation_stats() -> ReclamationStats {
+    crossbeam::epoch::reclamation_stats()
+}
+
+/// Test-only: drives the epoch collector to quiescence and returns the
+/// final counters — with no thread pinned, everything retired has been
+/// freed and [`ReclamationStats::in_flight`] is 0. See
+/// [`ConcurrentSkipListMap::flush_reclamation`].
+pub fn reclamation_flush() -> ReclamationStats {
+    crossbeam::epoch::flush()
+}
+
 /// Requirements on container keys.
 ///
 /// Keys must be totally ordered (sorted containers, lock ordering), hashable

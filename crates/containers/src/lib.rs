@@ -51,8 +51,11 @@ mod tree_map;
 pub mod extsync;
 pub mod hashing;
 pub mod taxonomy;
+pub mod testsupport;
 
-pub use api::{Container, ContainerKind, Key, Val};
+pub use api::{
+    reclamation_flush, reclamation_stats, Container, ContainerKind, Key, ReclamationStats, Val,
+};
 pub use cow_list::CowArrayList;
 pub use hash_map::ChainedHashMap;
 pub use singleton::SingletonCell;

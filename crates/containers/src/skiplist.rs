@@ -6,7 +6,10 @@
 //! reference [14] is the same lineage): per-node locks, logical deletion via
 //! a `marked` bit, `fully_linked` publication, and unlocked wait-free
 //! traversals. Safe memory reclamation uses `crossbeam` epochs: nodes and
-//! replaced values are destroyed only after all pinned readers have moved on.
+//! replaced values are destroyed only after all pinned readers have moved
+//! on, and the collector's retired/reclaimed/in-flight counters are
+//! surfaced via [`ConcurrentSkipListMap::reclamation_stats`] so churn
+//! tests can assert deferral stays bounded.
 //!
 //! # Locking order (deadlock freedom)
 //!
@@ -19,8 +22,9 @@
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::SeqCst};
 
-use crossbeam::epoch::{self, Atomic, Guard, Owned, Shared};
+use crossbeam::epoch::{self, Atomic, Guard, Owned, ReclamationStats, Shared};
 use parking_lot::{Mutex, MutexGuard};
+use relc_locks::Backoff;
 
 use crate::api::{Container, ContainerKind, Key, Val};
 use crate::taxonomy::ContainerProps;
@@ -182,6 +186,11 @@ impl<K: Key, V: Val> ConcurrentSkipListMap<K, V> {
     fn insert(&self, key: &K, value: V) -> Option<V> {
         let height = random_height();
         let guard = epoch::pin();
+        // Retry paths escalate spin → yield → jittered sleep instead of
+        // spinning unboundedly: on an oversubscribed box the thread we are
+        // waiting on (a mid-removal unlinker or a mid-publication
+        // inserter) may not even be scheduled.
+        let mut backoff = Backoff::new();
         loop {
             let (preds, succs, lfound) = self.find(key, &guard);
             if let Some(l) = lfound {
@@ -189,17 +198,21 @@ impl<K: Key, V: Val> ConcurrentSkipListMap<K, V> {
                 let node = unsafe { succs[l].deref() };
                 if node.marked.load(SeqCst) {
                     // Mid-removal: retry until it is unlinked.
-                    std::hint::spin_loop();
+                    backoff.wait();
                     continue;
                 }
                 // Wait for the inserter to publish.
                 while !node.fully_linked.load(SeqCst) {
-                    std::hint::spin_loop();
+                    backoff.wait();
                 }
                 // Update in place under the node lock (excludes a racing
                 // remove from reading a value we are about to replace).
                 let _node_guard = node.lock.lock();
                 if node.marked.load(SeqCst) {
+                    // The remover held this lock from marking through
+                    // unlinking, so the node is already unlinked: retry
+                    // immediately (and without waiting while we hold the
+                    // victim's lock), the next find() cannot see it.
                     continue;
                 }
                 let old = node.value.swap(Owned::new(value.clone()), SeqCst, &guard);
@@ -212,6 +225,7 @@ impl<K: Key, V: Val> ConcurrentSkipListMap<K, V> {
 
             let Some(lock_guards) = Self::lock_and_validate(&preds, &succs, height, true, &guard)
             else {
+                backoff.wait();
                 continue;
             };
 
@@ -244,6 +258,7 @@ impl<K: Key, V: Val> ConcurrentSkipListMap<K, V> {
         let mut victim: Shared<'_, Node<K, V>> = Shared::null();
         let mut victim_guard: Option<MutexGuard<'_, ()>> = None;
         let mut top = 0usize;
+        let mut backoff = Backoff::new();
         loop {
             let (preds, succs, lfound) = self.find(key, &guard);
             if victim_guard.is_none() {
@@ -272,6 +287,7 @@ impl<K: Key, V: Val> ConcurrentSkipListMap<K, V> {
             let succs_now: Vec<Shared<'_, Node<K, V>>> = (0..top).map(|_| victim).collect();
             let Some(pred_guards) = Self::lock_and_validate(&preds, &succs_now, top, false, &guard)
             else {
+                backoff.wait();
                 continue;
             };
             // Unlink top-down. Victim's tower is frozen: its lock is held
@@ -292,6 +308,24 @@ impl<K: Key, V: Val> ConcurrentSkipListMap<K, V> {
             self.len.fetch_sub(1, SeqCst);
             return Some(old_val);
         }
+    }
+
+    /// Snapshot of the epoch collector's reclamation counters.
+    ///
+    /// The epoch domain is process-global (one collector, as in the real
+    /// `crossbeam`), so the counters aggregate every epoch-managed
+    /// structure — retired nodes and replaced values from *all* skip
+    /// lists, not just this one. Use deltas around a workload.
+    pub fn reclamation_stats(&self) -> ReclamationStats {
+        epoch::reclamation_stats()
+    }
+
+    /// Test-only: drives the epoch collector to quiescence (seals the
+    /// calling thread's garbage, advances epochs, frees ripe bags) and
+    /// returns the final counters. With no concurrently pinned thread the
+    /// returned [`ReclamationStats::in_flight`] is 0.
+    pub fn flush_reclamation(&self) -> ReclamationStats {
+        epoch::flush()
     }
 }
 

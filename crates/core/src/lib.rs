@@ -50,5 +50,6 @@ pub use error::CoreError;
 pub use placement::{LockPlacement, LockToken, PlacementBuilder};
 pub use planner::{Plan, Planner};
 pub use relation::ConcurrentRelation;
+pub use relc_containers::ReclamationStats;
 pub use shard::{ShardedRelation, ShardedTransaction};
 pub use txn::{Transaction, TxnError};

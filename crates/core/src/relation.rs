@@ -279,6 +279,24 @@ impl ConcurrentRelation {
         self.stats.snapshot()
     }
 
+    /// Epoch reclamation counters (retired / reclaimed deferred
+    /// destructions from lock-free containers — today the skip list).
+    ///
+    /// The epoch domain is process-global, so this aggregates every
+    /// epoch-managed container in the process, not just this relation's
+    /// edges; take deltas around a workload. Churn suites assert the
+    /// in-flight count stays bounded and returns to zero after
+    /// [`Self::flush_reclamation`] at quiescence.
+    pub fn reclamation_stats(&self) -> relc_containers::ReclamationStats {
+        relc_containers::reclamation_stats()
+    }
+
+    /// Test-only: drives the epoch collector to quiescence (no thread
+    /// pinned ⇒ everything retired is freed) and returns the counters.
+    pub fn flush_reclamation(&self) -> relc_containers::ReclamationStats {
+        relc_containers::reclamation_flush()
+    }
+
     /// Ablation knob (§5.2): ignore the planner's sort-elision analysis and
     /// always sort lock sets at runtime.
     pub fn set_always_sort_locks(&self, v: bool) {

@@ -228,6 +228,20 @@ impl ShardedRelation {
         }
     }
 
+    /// Epoch reclamation counters. The epoch domain is process-global
+    /// (one collector spanning every shard and every other relation in
+    /// the process), so there is nothing per-shard to aggregate; see
+    /// [`ConcurrentRelation::reclamation_stats`].
+    pub fn reclamation_stats(&self) -> relc_containers::ReclamationStats {
+        relc_containers::reclamation_stats()
+    }
+
+    /// Test-only: drives the epoch collector to quiescence; see
+    /// [`ConcurrentRelation::flush_reclamation`].
+    pub fn flush_reclamation(&self) -> relc_containers::ReclamationStats {
+        relc_containers::reclamation_flush()
+    }
+
     /// `insert r s t` (§2): routed to the owning shard of the full tuple
     /// `s ∪ t`; put-if-absent semantics as on a single instance.
     ///

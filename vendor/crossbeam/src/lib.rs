@@ -1,33 +1,481 @@
 //! Offline stand-in for the subset of `crossbeam` this workspace uses
 //! (the `epoch` module consumed by the concurrent skip list).
 //!
-//! The real crate provides epoch-based memory reclamation: retired nodes
-//! are destroyed once no pinned thread can still observe them. This
-//! stand-in keeps the exact same API but *defers destruction forever*
-//! (i.e. leaks retired nodes). That is a sound instantiation of the epoch
-//! contract — deferral is allowed to be unbounded — at the cost of memory
-//! growth proportional to the number of removals while the container is
-//! alive. `Drop`-time teardown via [`epoch::unprotected`] still frees the
-//! *linked* structure. Replacing this with real epoch reclamation is
-//! tracked as a roadmap item.
+//! Unlike the original stand-in — which satisfied the epoch contract by
+//! deferring destruction *forever* (a sound but leaky instantiation) —
+//! this version implements real epoch-based reclamation:
+//!
+//! * a **global epoch** counter (monotonically increasing `u64`);
+//! * **participant records**, one per thread that has ever pinned,
+//!   registered in a lock-free singly-linked list; each record publishes
+//!   `(local epoch, pinned bit)` on [`epoch::pin`] and clears the bit when
+//!   the last [`epoch::Guard`] drops. Records are recycled: a thread that
+//!   exits releases its slot (`in_use = false`) and a later thread claims
+//!   it by CAS, so the list is bounded by the peak number of concurrent
+//!   threads, not by the total ever spawned;
+//! * **deferred-garbage bags**: [`Guard::defer_destroy`] pushes a
+//!   type-erased destructor into the owning participant's local bag; bags
+//!   are sealed — tagged with the global epoch at seal time and pushed
+//!   onto a global lock-free (Treiber) stack — when they fill, at thread
+//!   exit, and by [`epoch::flush`] (which sweeps every participant's
+//!   bag), so the write path never allocates a bag per operation;
+//! * **epoch advancement**: the global epoch may step from `e` to `e + 1`
+//!   only once every *pinned* participant has published epoch `e`. A bag
+//!   sealed at epoch `e` is freed once the global epoch reaches `e + 2`:
+//!   at that point every thread pinned at retirement time (epoch ≤ `e`)
+//!   has unpinned, and every later pin's epoch load is ordered after the
+//!   unlink that made the garbage unreachable, so no guard can still
+//!   observe it. All epoch protocol accesses use `SeqCst`; the safety
+//!   argument above is in terms of the resulting single total order.
+//!
+//! Collection is amortized: every few sealed bags (and periodically by pin
+//! count) a thread attempts one epoch advance and drains the sealed-bag
+//! stack, freeing what is ripe and re-pushing the rest. In-flight garbage
+//! is therefore bounded by the bag capacity times the number of
+//! participants plus what one advance cycle can ripen — it cannot grow
+//! monotonically the way the old stand-in's leak did.
+//!
+//! Observability for tests lives in [`epoch::ReclamationStats`]
+//! (process-wide retired / reclaimed counters; the epoch domain is global,
+//! exactly as in the real crate's default collector) and
+//! [`epoch::flush`], a **test-only** helper that seals the calling
+//! thread's bag and drives advance/collect rounds until the in-flight
+//! count stops improving — at quiescence (no thread pinned) that means
+//! zero.
+//!
+//! `Drop`-time teardown via [`epoch::unprotected`] still frees the
+//! *linked* structure eagerly; an unprotected `defer_destroy` destroys
+//! immediately (the caller vouches for exclusivity).
 
-/// Epoch-based reclamation API (leaking stand-in; see crate docs).
+/// Epoch-based reclamation API (real garbage collection; see crate docs).
 pub mod epoch {
     use std::marker::PhantomData;
-    use std::sync::atomic::{AtomicPtr, Ordering};
+    use std::mem;
+    use std::ptr;
+    use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering, Ordering::SeqCst};
+    use std::sync::Mutex;
 
-    /// A pinned-epoch guard. In this stand-in it carries no state: pinning
-    /// never blocks reclamation because reclamation never happens.
-    #[derive(Debug)]
-    pub struct Guard {
-        _priv: (),
+    /// Deferred destructions per bag before it is sealed and handed to the
+    /// global garbage stack (non-empty bags also seal at thread exit and
+    /// in [`flush`]'s sweep).
+    const BAG_CAPACITY: usize = 64;
+    /// Attempt an advance+collect cycle every this many sealed bags…
+    const SEALS_PER_COLLECT: u64 = 4;
+    /// …and every this many pins, so read-mostly threads also help.
+    const PINS_PER_COLLECT: u64 = 128;
+    /// Bound on `flush`'s advance/collect rounds without progress.
+    const FLUSH_STALL_ROUNDS: u32 = 4;
+
+    // ---------------------------------------------------------------------
+    // Global collector state.
+    // ---------------------------------------------------------------------
+
+    /// The global epoch. Advances by 1; never wraps in practice (u64).
+    static GLOBAL_EPOCH: AtomicU64 = AtomicU64::new(0);
+    /// Head of the lock-free participant list.
+    static PARTICIPANTS: AtomicPtr<Participant> = AtomicPtr::new(ptr::null_mut());
+    /// Head of the Treiber stack of sealed garbage bags.
+    static GARBAGE: AtomicPtr<SealedBag> = AtomicPtr::new(ptr::null_mut());
+    /// Total deferred destructions ever handed to the collector.
+    static RETIRED: AtomicU64 = AtomicU64::new(0);
+    /// Total deferred destructions actually executed.
+    static RECLAIMED: AtomicU64 = AtomicU64::new(0);
+    /// Sealed-bag counter driving amortized collection.
+    static SEALS: AtomicU64 = AtomicU64::new(0);
+
+    /// A type-erased deferred destruction.
+    struct Deferred {
+        ptr: *mut u8,
+        drop_fn: unsafe fn(*mut u8),
     }
 
-    static UNPROTECTED: Guard = Guard { _priv: () };
+    // SAFETY: a `Deferred` is only created for heap allocations whose
+    // owner has relinquished them (the `defer_destroy` contract), so the
+    // collector may run the destructor from any thread.
+    unsafe impl Send for Deferred {}
+
+    impl Deferred {
+        /// Runs the destructor.
+        ///
+        /// # Safety
+        ///
+        /// Must be called at most once, and only when the referent is
+        /// unreachable to every pinned thread.
+        unsafe fn execute(self) {
+            (self.drop_fn)(self.ptr);
+        }
+    }
+
+    /// A bag of garbage sealed at a known global epoch, linked into the
+    /// global Treiber stack.
+    struct SealedBag {
+        epoch: u64,
+        items: Vec<Deferred>,
+        next: *mut SealedBag,
+    }
+
+    /// One record per (concurrently live) thread.
+    struct Participant {
+        /// `(epoch << 1) | pinned` — the epoch this thread observed at its
+        /// most recent pin, plus whether it is currently pinned.
+        state: AtomicU64,
+        /// Guard nesting depth. Owner-thread only; atomic so the record
+        /// itself stays `Sync`.
+        pin_depth: AtomicU64,
+        /// Total pins, for amortized collection. Owner-thread only.
+        pins: AtomicU64,
+        /// Bumped each time a new thread claims this record. Guards carry
+        /// the generation they were pinned under, so a guard whose drop
+        /// outlives its thread's `Handle` (TLS destructor ordering) can
+        /// detect that the slot was released — and possibly recycled by
+        /// another thread — and must not touch its state.
+        generation: AtomicU64,
+        /// Whether a live thread currently owns this record.
+        in_use: AtomicBool,
+        /// Garbage deferred by the owner, not yet sealed. Only the owner
+        /// pushes; the lock is uncontended and exists to keep the record
+        /// `Sync` across the participant list.
+        bag: Mutex<Vec<Deferred>>,
+        next: AtomicPtr<Participant>,
+    }
+
+    impl Participant {
+        fn current_epoch_if_pinned(&self) -> Option<u64> {
+            let s = self.state.load(SeqCst);
+            (s & 1 == 1).then_some(s >> 1)
+        }
+    }
+
+    /// Claims a participant record for the current thread: reuses a
+    /// released slot if one exists, otherwise pushes a fresh record.
+    fn register() -> *const Participant {
+        let mut p = PARTICIPANTS.load(SeqCst);
+        while !p.is_null() {
+            // SAFETY: participant records are never freed.
+            let part = unsafe { &*p };
+            if !part.in_use.load(SeqCst)
+                && part
+                    .in_use
+                    .compare_exchange(false, true, SeqCst, SeqCst)
+                    .is_ok()
+            {
+                // Previous owner always leaves the record unpinned with an
+                // empty bag (see `Handle::drop`), so claiming is just
+                // refreshing the published epoch. The generation bump
+                // invalidates any of the previous owner's guards that
+                // have not been dropped yet.
+                part.generation.fetch_add(1, SeqCst);
+                part.pin_depth.store(0, SeqCst);
+                part.state.store(GLOBAL_EPOCH.load(SeqCst) << 1, SeqCst);
+                return p;
+            }
+            p = part.next.load(SeqCst);
+        }
+        let fresh = Box::into_raw(Box::new(Participant {
+            state: AtomicU64::new(GLOBAL_EPOCH.load(SeqCst) << 1),
+            pin_depth: AtomicU64::new(0),
+            pins: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
+            in_use: AtomicBool::new(true),
+            bag: Mutex::new(Vec::new()),
+            next: AtomicPtr::new(ptr::null_mut()),
+        }));
+        loop {
+            let head = PARTICIPANTS.load(SeqCst);
+            // SAFETY: `fresh` is ours until the CAS publishes it.
+            unsafe { (*fresh).next.store(head, SeqCst) };
+            if PARTICIPANTS
+                .compare_exchange(head, fresh, SeqCst, SeqCst)
+                .is_ok()
+            {
+                return fresh;
+            }
+        }
+    }
+
+    /// Thread-local handle owning this thread's participant slot.
+    struct Handle {
+        participant: *const Participant,
+    }
+
+    impl Drop for Handle {
+        fn drop(&mut self) {
+            // SAFETY: records are never freed.
+            let part = unsafe { &*self.participant };
+            // Seal whatever garbage is still local so it cannot be
+            // stranded in a slot nobody may ever claim again.
+            let leftovers = mem::take(&mut *part.bag.lock().unwrap());
+            if !leftovers.is_empty() {
+                seal(leftovers);
+            }
+            // A leaked guard could leave the pinned bit set; force it
+            // clear so a dead thread can never stall the epoch.
+            part.state.store(part.state.load(SeqCst) & !1, SeqCst);
+            // Release the slot for recycling only when no guard is
+            // outstanding: a guard that outlives this Handle (TLS
+            // destructor ordering, or a mem::forget'd guard) keeps
+            // `pin_depth` nonzero, and its late drop must never race a
+            // new owner's claim — the slot is leaked instead (one small
+            // record; the generation check in `Guard::drop` stays as
+            // defense in depth).
+            if part.pin_depth.load(SeqCst) == 0 {
+                part.in_use.store(false, SeqCst);
+            }
+            // Opportunistically ripen what we just sealed.
+            collect();
+        }
+    }
+
+    thread_local! {
+        static HANDLE: Handle = Handle {
+            participant: register(),
+        };
+    }
+
+    /// Seals `items` at the current global epoch and pushes the bag onto
+    /// the global garbage stack; periodically triggers collection.
+    fn seal(items: Vec<Deferred>) {
+        debug_assert!(!items.is_empty());
+        let bag = Box::into_raw(Box::new(SealedBag {
+            epoch: GLOBAL_EPOCH.load(SeqCst),
+            items,
+            next: ptr::null_mut(),
+        }));
+        loop {
+            let head = GARBAGE.load(SeqCst);
+            // SAFETY: `bag` is ours until the CAS publishes it.
+            unsafe { (*bag).next = head };
+            if GARBAGE.compare_exchange(head, bag, SeqCst, SeqCst).is_ok() {
+                break;
+            }
+        }
+        if SEALS.fetch_add(1, SeqCst).is_multiple_of(SEALS_PER_COLLECT) {
+            collect();
+        }
+    }
+
+    /// Tries to step the global epoch forward once. Fails if any pinned
+    /// participant has not yet observed the current epoch (or if another
+    /// thread advanced concurrently).
+    fn try_advance() -> bool {
+        let global = GLOBAL_EPOCH.load(SeqCst);
+        let mut p = PARTICIPANTS.load(SeqCst);
+        while !p.is_null() {
+            // SAFETY: records are never freed.
+            let part = unsafe { &*p };
+            if part.in_use.load(SeqCst) {
+                if let Some(e) = part.current_epoch_if_pinned() {
+                    if e != global {
+                        return false;
+                    }
+                }
+            }
+            p = part.next.load(SeqCst);
+        }
+        // Participants that registered or pinned after the scan above
+        // re-read the global epoch after publishing their state (the
+        // repin loop in `pin`), so they can never be left pinned more
+        // than one epoch behind a successful advance.
+        GLOBAL_EPOCH
+            .compare_exchange(global, global + 1, SeqCst, SeqCst)
+            .is_ok()
+    }
+
+    /// Steals the sealed-bag stack, frees every bag that is two epochs
+    /// old, and re-pushes the rest. Returns how many deferred items were
+    /// freed.
+    fn collect() -> u64 {
+        try_advance();
+        let mut head = GARBAGE.swap(ptr::null_mut(), SeqCst);
+        if head.is_null() {
+            return 0;
+        }
+        let global = GLOBAL_EPOCH.load(SeqCst);
+        let mut freed = 0u64;
+        let mut keep_head: *mut SealedBag = ptr::null_mut();
+        let mut keep_tail: *mut SealedBag = ptr::null_mut();
+        while !head.is_null() {
+            // SAFETY: the stack hand-off transfers ownership of the chain.
+            let mut bag = unsafe { Box::from_raw(head) };
+            head = bag.next;
+            if bag.epoch + 2 <= global {
+                freed += bag.items.len() as u64;
+                for item in bag.items.drain(..) {
+                    // SAFETY: sealed two epochs ago — no pinned thread can
+                    // still observe the referent (crate-level argument).
+                    unsafe { item.execute() };
+                }
+                // `bag` box dropped here.
+            } else {
+                let raw = Box::into_raw(bag);
+                // SAFETY: `raw` is ours until re-pushed below.
+                unsafe {
+                    (*raw).next = keep_head;
+                    if keep_head.is_null() {
+                        keep_tail = raw;
+                    }
+                }
+                keep_head = raw;
+            }
+        }
+        if freed > 0 {
+            RECLAIMED.fetch_add(freed, SeqCst);
+        }
+        if !keep_head.is_null() {
+            loop {
+                let old = GARBAGE.load(SeqCst);
+                // SAFETY: the kept chain is exclusively ours; `keep_tail`
+                // is its last node.
+                unsafe { (*keep_tail).next = old };
+                if GARBAGE
+                    .compare_exchange(old, keep_head, SeqCst, SeqCst)
+                    .is_ok()
+                {
+                    break;
+                }
+            }
+        }
+        freed
+    }
+
+    // ---------------------------------------------------------------------
+    // Observability.
+    // ---------------------------------------------------------------------
+
+    /// A snapshot of the process-wide reclamation counters.
+    ///
+    /// The epoch domain is global (one collector per process, as with the
+    /// real crate's default collector), so these counters aggregate over
+    /// every epoch-managed structure in the process.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct ReclamationStats {
+        /// Deferred destructions handed to the collector so far.
+        pub retired: u64,
+        /// Deferred destructions executed so far.
+        pub reclaimed: u64,
+    }
+
+    impl ReclamationStats {
+        /// Garbage retired but not yet freed.
+        pub fn in_flight(&self) -> u64 {
+            self.retired.saturating_sub(self.reclaimed)
+        }
+    }
+
+    /// Reads the reclamation counters.
+    ///
+    /// `reclaimed` is loaded before `retired` so that a concurrent
+    /// retire+reclaim can never make the snapshot's in-flight count go
+    /// negative.
+    pub fn reclamation_stats() -> ReclamationStats {
+        let reclaimed = RECLAIMED.load(SeqCst);
+        let retired = RETIRED.load(SeqCst);
+        ReclamationStats { retired, reclaimed }
+    }
+
+    /// Test-only: seals every participant's garbage bag and drives
+    /// advance/collect rounds until the in-flight count stops improving,
+    /// then returns the final counters.
+    ///
+    /// At quiescence (no thread pinned) this reclaims *everything* and
+    /// the returned [`ReclamationStats::in_flight`] is 0. While other
+    /// threads hold guards the epoch cannot pass them, so some garbage
+    /// may legitimately remain in flight; calling `flush` from inside a
+    /// pinned scope likewise cannot advance past the caller's own epoch.
+    pub fn flush() -> ReclamationStats {
+        // Seal every participant's local bag, not just the caller's:
+        // bags are kept across unpins (see `Guard::drop`), so garbage
+        // deferred by an idle thread would otherwise never ripen. Sound
+        // for a bag owner that is still pinned at epoch ℓ: the seal tag
+        // is ≥ ℓ, and the epoch cannot reach tag+2 until that owner
+        // unpins.
+        let mut p = PARTICIPANTS.load(SeqCst);
+        while !p.is_null() {
+            // SAFETY: records are never freed.
+            let part = unsafe { &*p };
+            if part.in_use.load(SeqCst) {
+                let local = mem::take(&mut *part.bag.lock().unwrap());
+                if !local.is_empty() {
+                    seal(local);
+                }
+            }
+            p = part.next.load(SeqCst);
+        }
+        let mut stalled = 0u32;
+        loop {
+            let advanced = try_advance();
+            let freed = collect();
+            if reclamation_stats().in_flight() == 0 {
+                break;
+            }
+            if advanced || freed > 0 {
+                stalled = 0;
+            } else {
+                stalled += 1;
+                if stalled >= FLUSH_STALL_ROUNDS {
+                    break;
+                }
+            }
+        }
+        reclamation_stats()
+    }
+
+    // ---------------------------------------------------------------------
+    // Guards and pinning.
+    // ---------------------------------------------------------------------
+
+    /// A pinned-epoch guard: while any guard for the thread is live, the
+    /// global epoch can advance at most once past the thread's published
+    /// epoch, so nothing the thread can still reach is freed.
+    ///
+    /// Guards must not be stored in thread-local storage: a guard whose
+    /// destructor runs after the thread's epoch handle is torn down no
+    /// longer pins anything (the handle's teardown force-unpins so a dead
+    /// thread can never stall the epoch).
+    #[derive(Debug)]
+    pub struct Guard {
+        /// Owning participant; null for the unprotected guard.
+        local: *const Participant,
+        /// The participant generation this guard was pinned under; a
+        /// mismatch at drop means the slot was released (and possibly
+        /// recycled by another thread) first.
+        generation: u64,
+    }
 
     /// Pins the current thread, returning a guard.
     pub fn pin() -> Guard {
-        Guard { _priv: () }
+        HANDLE.with(|h| {
+            // SAFETY: records are never freed.
+            let part = unsafe { &*h.participant };
+            let depth = part.pin_depth.load(SeqCst);
+            part.pin_depth.store(depth + 1, SeqCst);
+            if depth == 0 {
+                // Publish (epoch, pinned) and re-read until the published
+                // epoch matches the global: an advance that raced our
+                // store is thereby observed, keeping every *visible*
+                // pinned epoch within one step of the global.
+                let mut e = GLOBAL_EPOCH.load(SeqCst);
+                loop {
+                    part.state.store((e << 1) | 1, SeqCst);
+                    let now = GLOBAL_EPOCH.load(SeqCst);
+                    if now == e {
+                        break;
+                    }
+                    e = now;
+                }
+                let pins = part.pins.load(Ordering::Relaxed).wrapping_add(1);
+                part.pins.store(pins, Ordering::Relaxed);
+                if pins.is_multiple_of(PINS_PER_COLLECT) {
+                    // Freed bags are ≥ 2 epochs old, which our fresh pin
+                    // (current epoch) cannot be reaching into.
+                    collect();
+                }
+            }
+            Guard {
+                local: h.participant,
+                generation: part.generation.load(SeqCst),
+            }
+        })
     }
 
     /// Returns a guard usable without pinning.
@@ -37,22 +485,84 @@ pub mod epoch {
     /// The caller must guarantee that no other thread can concurrently
     /// access the data structure (e.g. inside `Drop` with `&mut self`).
     pub unsafe fn unprotected() -> &'static Guard {
-        &UNPROTECTED
+        struct SyncGuard(Guard);
+        // SAFETY: the unprotected guard carries no participant; sharing
+        // it across threads is harmless (its operations act immediately).
+        unsafe impl Sync for SyncGuard {}
+        static UNPROTECTED: SyncGuard = SyncGuard(Guard {
+            local: ptr::null(),
+            generation: 0,
+        });
+        &UNPROTECTED.0
     }
 
     impl Guard {
-        /// Schedules `ptr`'s referent for destruction once all pinned
-        /// threads have moved on. This stand-in leaks it instead, which is
-        /// a legal (if wasteful) deferral.
+        /// Schedules `ptr`'s referent for destruction once no pinned
+        /// thread can still observe it. On the [`unprotected`] guard the
+        /// destruction runs immediately.
         ///
         /// # Safety
         ///
-        /// `ptr` must be unreachable to threads that pin after this call.
+        /// `ptr` must be non-null, must have been allocated via [`Owned`]
+        /// / [`Atomic::new`], must be unreachable to threads that pin
+        /// after this call, and must not be deferred twice.
         pub unsafe fn defer_destroy<T>(&self, ptr: Shared<'_, T>) {
-            // Intentionally leaked; see the crate-level documentation.
-            let _ = ptr;
+            unsafe fn dropper<T>(p: *mut u8) {
+                drop(Box::from_raw(p as *mut T));
+            }
+            debug_assert!(!ptr.is_null(), "defer_destroy of null");
+            let deferred = Deferred {
+                ptr: ptr.ptr as *mut u8,
+                drop_fn: dropper::<T>,
+            };
+            RETIRED.fetch_add(1, SeqCst);
+            if self.local.is_null() {
+                // Unprotected: the caller vouches nobody else can reach
+                // the referent; destroy eagerly.
+                deferred.execute();
+                RECLAIMED.fetch_add(1, SeqCst);
+                return;
+            }
+            // SAFETY: records are never freed.
+            let part = &*self.local;
+            let mut bag = part.bag.lock().unwrap();
+            bag.push(deferred);
+            if bag.len() >= BAG_CAPACITY {
+                let items = mem::take(&mut *bag);
+                drop(bag);
+                seal(items);
+            }
         }
     }
+
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            if self.local.is_null() {
+                return;
+            }
+            // SAFETY: records are never freed; guards are `!Send`, so this
+            // runs on the owning thread.
+            let part = unsafe { &*self.local };
+            if part.generation.load(SeqCst) != self.generation {
+                // The slot was released (thread teardown ran first) and
+                // recycled; the new owner's state is not ours to touch.
+                return;
+            }
+            let depth = part.pin_depth.load(SeqCst) - 1;
+            part.pin_depth.store(depth, SeqCst);
+            if depth == 0 {
+                part.state.store(part.state.load(SeqCst) & !1, SeqCst);
+            }
+            // Garbage stays in the local bag across unpins (sealed when
+            // the bag fills, at thread exit, or by `flush`): the write
+            // path never allocates a one-item bag per operation, and the
+            // in-flight total stays bounded by bag capacity × threads.
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // Pointer types (unchanged API surface).
+    // ---------------------------------------------------------------------
 
     /// A heap-owned pointer, analogous to `Box`.
     #[derive(Debug)]
@@ -225,9 +735,18 @@ pub mod epoch {
 mod tests {
     use super::epoch::{self, Atomic, Owned, Shared};
     use std::sync::atomic::Ordering::SeqCst;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// The epoch domain is process-global, so tests that pin or assert on
+    /// the reclamation counters must not interleave with each other.
+    fn serialize() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
 
     #[test]
     fn atomic_round_trip() {
+        let _serial = serialize();
         let guard = epoch::pin();
         let a: Atomic<i32> = Atomic::null();
         assert!(a.load(SeqCst, &guard).is_null());
@@ -239,5 +758,57 @@ mod tests {
         assert_eq!(old, got);
         assert_eq!(unsafe { *old.deref() }, 7);
         drop(unsafe { old.into_owned() }); // reclaim manually
+    }
+
+    #[test]
+    fn deferred_garbage_is_reclaimed_at_quiescence() {
+        let _serial = serialize();
+        let before = epoch::reclamation_stats();
+        {
+            let guard = epoch::pin();
+            for i in 0..200 {
+                let s = Owned::new(vec![i; 8]).into_shared(&guard);
+                unsafe { guard.defer_destroy(s) };
+            }
+        }
+        let after = epoch::flush();
+        assert!(after.retired >= before.retired + 200);
+        assert!(
+            after.reclaimed >= before.reclaimed + 200,
+            "flush at quiescence reclaims everything deferred: {after:?}"
+        );
+    }
+
+    #[test]
+    fn pinned_guard_blocks_reclamation() {
+        let _serial = serialize();
+        let _outer = epoch::pin(); // keep this thread pinned
+        let a: Atomic<String> = Atomic::new("alive".to_owned());
+        let held = a.load(SeqCst, &_outer);
+        let swapped = a.swap(Owned::new("next".to_owned()), SeqCst, &_outer);
+        unsafe { _outer.defer_destroy(swapped) };
+        // Flushing from inside the pin cannot advance past our epoch, so
+        // the deferred string must still be readable.
+        epoch::flush();
+        assert_eq!(unsafe { held.deref() }, "alive");
+        // Teardown: free the replacement eagerly.
+        unsafe {
+            let g = epoch::unprotected();
+            let cur = a.load(SeqCst, g);
+            g.defer_destroy(cur);
+        }
+    }
+
+    #[test]
+    fn unprotected_defer_destroys_immediately() {
+        let _serial = serialize();
+        let before = epoch::reclamation_stats();
+        unsafe {
+            let g = epoch::unprotected();
+            let s = Owned::new(1234u64).into_shared(g);
+            g.defer_destroy(s);
+        }
+        let after = epoch::reclamation_stats();
+        assert!(after.reclaimed > before.reclaimed);
     }
 }
