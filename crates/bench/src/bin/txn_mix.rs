@@ -122,6 +122,15 @@ enum Workload {
     /// fixed key range — every remove retires skip-list nodes, so this
     /// drives the epoch collector as hard as the representation allows.
     Churn,
+    /// 95% point queries / 5% updates. Queries run single-shot, which
+    /// since the MVCC layer landed routes onto the lock-free snapshot
+    /// path: no locks, no restarts, writers undisturbed.
+    ReadHeavy,
+    /// The same 95/5 mix with every query routed through
+    /// `transaction(|tx| tx.query(..))` — the pre-MVCC 2PL read path
+    /// (shared root locks, restart-prone), kept as the committed
+    /// comparison point for `read_heavy`.
+    ReadHeavyLocked,
 }
 
 impl Workload {
@@ -134,6 +143,8 @@ impl Workload {
             Workload::BatchLoad => "batch_load",
             Workload::BatchMixed => "batch_mixed",
             Workload::Churn => "churn",
+            Workload::ReadHeavy => "read_heavy",
+            Workload::ReadHeavyLocked => "read_heavy_locked",
         }
     }
 }
@@ -144,6 +155,21 @@ struct Sample {
     threads: usize,
     total_ops: u64,
     elapsed_secs: f64,
+    /// Per-op latency percentiles in microseconds, measured on the
+    /// per-op workloads (block-granular workloads have no meaningful
+    /// per-op latency and leave them `None`).
+    p50_us: Option<f64>,
+    p99_us: Option<f64>,
+}
+
+/// (p50, p99) over raw per-op nanosecond latencies.
+fn percentiles_us(mut lats: Vec<u64>) -> (Option<f64>, Option<f64>) {
+    if lats.is_empty() {
+        return (None, None);
+    }
+    lats.sort_unstable();
+    let at = |q: f64| lats[((lats.len() - 1) as f64 * q) as usize] as f64 / 1e3;
+    (Some(at(0.50)), Some(at(0.99)))
 }
 
 fn run_workload(
@@ -158,6 +184,9 @@ fn run_workload(
     // Load workloads time only their measured section (inserts); the
     // cleanup removes run off the clock. Accumulated across threads.
     let active_ns = Arc::new(AtomicU64::new(0));
+    // Per-op latencies (nanoseconds) from the per-op workloads, merged
+    // across threads at the end for the p50/p99 report.
+    let latencies = Arc::new(std::sync::Mutex::new(Vec::<u64>::new()));
     let handles: Vec<_> = (0..threads as u64)
         .map(|tid| {
             let rel = Arc::clone(rel);
@@ -165,6 +194,7 @@ fn run_workload(
             let barrier = Arc::clone(&barrier);
             let done = Arc::clone(&done);
             let active_ns = Arc::clone(&active_ns);
+            let latencies = Arc::clone(&latencies);
             std::thread::spawn(move || {
                 let wcols = schema.column_set(&["weight"]).unwrap();
                 let mut x = (tid + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
@@ -288,7 +318,17 @@ fn run_workload(
                     done.fetch_add(local, Ordering::Relaxed);
                     return;
                 }
+                // The read mixes floor their sample size like the load
+                // workloads above: reads are ~1.5us, so a `--quick`
+                // budget is a few tens of milliseconds — short enough
+                // that one scheduler stall on the 1-CPU CI runner flips
+                // the snapshot-vs-locked gate.
+                let ops_per_thread = match workload {
+                    Workload::ReadHeavy | Workload::ReadHeavyLocked => ops_per_thread.max(16_384),
+                    _ => ops_per_thread,
+                };
                 let mut local = 0u64;
+                let mut lats = Vec::with_capacity(ops_per_thread);
                 for i in 0..ops_per_thread {
                     let a = (next() % KEY_RANGE as u64) as i64;
                     let b = (next() % KEY_RANGE as u64) as i64;
@@ -301,6 +341,21 @@ fn run_workload(
                             5..=7 => 2,
                             _ => 1,
                         },
+                        // 95/5 read/update, snapshot vs locked reads.
+                        Workload::ReadHeavy => {
+                            if i % 20 == 0 {
+                                0
+                            } else {
+                                2
+                            }
+                        }
+                        Workload::ReadHeavyLocked => {
+                            if i % 20 == 0 {
+                                0
+                            } else {
+                                3
+                            }
+                        }
                         Workload::SingleLoad
                         | Workload::BatchLoad
                         | Workload::BatchMixed
@@ -308,6 +363,7 @@ fn run_workload(
                             unreachable!("handled above")
                         }
                     };
+                    let t0 = Instant::now();
                     match pick {
                         0 => {
                             rel.update(&key(&schema, a, a), &weight(&schema, w))
@@ -328,13 +384,26 @@ fn run_workload(
                                 .unwrap();
                             }
                         }
-                        _ => {
+                        2 => {
+                            // Single-shot: the lock-free snapshot path.
                             let _ = rel.query(&key(&schema, a, a), wcols).unwrap();
                         }
+                        _ => {
+                            // The 2PL read path: shared locks root-down,
+                            // exactly what single-shot queries did before
+                            // the MVCC layer.
+                            rel.transaction(|tx| {
+                                let _ = tx.query(&key(&schema, a, a), wcols)?;
+                                Ok(())
+                            })
+                            .unwrap();
+                        }
                     }
+                    lats.push(t0.elapsed().as_nanos() as u64);
                     local += 1;
                 }
                 done.fetch_add(local, Ordering::Relaxed);
+                latencies.lock().unwrap().extend(lats);
             })
         })
         .collect();
@@ -350,12 +419,16 @@ fn run_workload(
     } else {
         start.elapsed().as_secs_f64()
     };
+    let lats = std::mem::take(&mut *latencies.lock().unwrap());
+    let (p50_us, p99_us) = percentiles_us(lats);
     Sample {
         representation: String::new(),
         workload: workload.label(),
         threads,
         total_ops: done.load(Ordering::Relaxed),
         elapsed_secs: elapsed,
+        p50_us,
+        p99_us,
     }
 }
 
@@ -508,6 +581,16 @@ fn run_shard_workload(
         threads,
         total_ops: done.load(Ordering::Relaxed),
         elapsed_secs: elapsed,
+        p50_us: None,
+        p99_us: None,
+    }
+}
+
+/// ` p50=… p99=…` when the sample carries per-op latencies, else empty.
+fn latency_suffix(s: &Sample) -> String {
+    match (s.p50_us, s.p99_us) {
+        (Some(p50), Some(p99)) => format!(" p50={p50:.1}us p99={p99:.1}us"),
+        _ => String::new(),
     }
 }
 
@@ -530,6 +613,8 @@ fn main() {
         Workload::UpdateHeavy,
         Workload::TxnTransfer,
         Workload::Mixed,
+        Workload::ReadHeavy,
+        Workload::ReadHeavyLocked,
         Workload::SingleLoad,
         Workload::BatchLoad,
         Workload::BatchMixed,
@@ -548,8 +633,14 @@ fn main() {
                 s.representation = name.to_owned();
                 let rate = s.total_ops as f64 / s.elapsed_secs.max(1e-9);
                 println!(
-                    "{:<24} {:<14} threads={:<2} {:>12.0} ops/s ({} ops in {:.3}s)",
-                    s.representation, s.workload, s.threads, rate, s.total_ops, s.elapsed_secs
+                    "{:<24} {:<17} threads={:<2} {:>12.0} ops/s ({} ops in {:.3}s){}",
+                    s.representation,
+                    s.workload,
+                    s.threads,
+                    rate,
+                    s.total_ops,
+                    s.elapsed_secs,
+                    latency_suffix(&s),
                 );
                 samples.push(s);
             }
@@ -660,6 +751,21 @@ fn main() {
             );
         }
     }
+    // MVCC read-path summary: lock-free snapshot reads vs the 2PL locked
+    // read path on the same 95/5 mix, at the highest thread count.
+    for rep in &reps {
+        if let (Some(locked), Some(snap)) = (
+            rate_of(rep, "read_heavy_locked"),
+            rate_of(rep, "read_heavy"),
+        ) {
+            println!(
+                "snapshot-read speedup {rep:<24} at {top} threads: {:.2}x ({:.0} -> {:.0} ops/s)",
+                snap / locked.max(1e-9),
+                locked,
+                snap
+            );
+        }
+    }
 
     // Hand-rolled JSON (the workspace is offline; no serde).
     let mut json = String::from("{\n  \"benchmark\": \"txn_mix\",\n");
@@ -673,9 +779,13 @@ fn main() {
             json,
             "    {{\"representation\": \"{}\", \"workload\": \"{}\", \
              \"threads\": {}, \"total_ops\": {}, \"elapsed_secs\": {:.6}, \
-             \"ops_per_sec\": {:.1}}}",
+             \"ops_per_sec\": {:.1}",
             s.representation, s.workload, s.threads, s.total_ops, s.elapsed_secs, rate
         );
+        if let (Some(p50), Some(p99)) = (s.p50_us, s.p99_us) {
+            let _ = write!(json, ", \"p50_us\": {p50:.2}, \"p99_us\": {p99:.2}");
+        }
+        json.push('}');
         json.push_str(if i + 1 < samples.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ]\n}\n");

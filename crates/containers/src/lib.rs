@@ -47,11 +47,19 @@ mod skiplist;
 mod splay;
 mod striped_hash;
 mod tree_map;
+mod version;
 
 pub mod extsync;
 pub mod hashing;
 pub mod taxonomy;
 pub mod testsupport;
+
+/// Re-export of the epoch-reclamation pin API, for runtime layers that
+/// traverse epoch-managed structures (e.g. [`VersionCell`] chains)
+/// directly rather than through a container method.
+pub mod epoch {
+    pub use crossbeam::epoch::{pin, Guard};
+}
 
 pub use api::{
     reclamation_flush, reclamation_stats, Container, ContainerKind, Key, ReclamationStats, Val,
@@ -64,3 +72,4 @@ pub use splay::SplayTreeMap;
 pub use striped_hash::StripedHashMap;
 pub use taxonomy::{render_figure1, ContainerProps, OpKind, OpPair, PairSafety};
 pub use tree_map::AvlTreeMap;
+pub use version::{version_stats, VersionCell, VersionStats};

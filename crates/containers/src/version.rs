@@ -1,0 +1,330 @@
+//! Multiversion cells: the per-entry version chains behind MVCC snapshot
+//! reads.
+//!
+//! A [`VersionCell`] holds a lock-free, epoch-managed chain of
+//! `(commit stamp, value)` nodes, newest first. Mutation (`push`,
+//! `truncate`) is only ever performed by a writer that holds the entry's
+//! synthesized two-phase locks — writers to the same entry are already
+//! serialized by the lock placement, so the chain needs no CAS loops —
+//! while readers traverse it with nothing but an epoch guard, resolving
+//! the newest version committed at or before their snapshot timestamp.
+//!
+//! Invariants (maintained by the caller's locking discipline plus the
+//! commit clock's commit-before-lock-release ordering):
+//!
+//! * below the head, stamps are committed and strictly decreasing;
+//! * only the head may be tentative ([`TENTATIVE_TS`]), and a tentative
+//!   head is invisible to every reader (no snapshot can reach
+//!   `u64::MAX`);
+//! * a push carrying the *same* stamp as the head replaces the head in
+//!   place, so a transaction that overwrites its own write (or compensates
+//!   it during rollback) nets to one version.
+//!
+//! Retired nodes go through the epoch collector, so they are counted by
+//! [`ReclamationStats`](crate::ReclamationStats); this module additionally
+//! keeps process-global [`VersionStats`] counters (`created` / `retired`)
+//! so tests can prove superseded versions are actually reclaimed.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed, Ordering::SeqCst};
+use std::sync::Arc;
+
+use crossbeam::epoch::{self, Atomic, Guard, Owned, Shared};
+use relc_locks::CommitStamp;
+
+/// Process-global count of version nodes ever created.
+static VERSIONS_CREATED: AtomicU64 = AtomicU64::new(0);
+/// Process-global count of version nodes retired (handed to the epoch
+/// collector or freed on cell drop).
+static VERSIONS_RETIRED: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time copy of the process-global version-node counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VersionStats {
+    /// Version nodes ever created.
+    pub created: u64,
+    /// Version nodes retired. Trails `created` by the number of nodes
+    /// still live in version chains.
+    pub retired: u64,
+}
+
+impl VersionStats {
+    /// Version nodes currently live (created minus retired).
+    pub fn live(&self) -> u64 {
+        self.created.saturating_sub(self.retired)
+    }
+}
+
+impl fmt::Display for VersionStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "versions-created={} versions-retired={} live={}",
+            self.created,
+            self.retired,
+            self.live()
+        )
+    }
+}
+
+/// Reads the process-global version-node counters.
+pub fn version_stats() -> VersionStats {
+    VersionStats {
+        created: VERSIONS_CREATED.load(Relaxed),
+        retired: VERSIONS_RETIRED.load(Relaxed),
+    }
+}
+
+/// One link in a version chain. `value: None` is a tombstone (the entry
+/// was absent as of `stamp`).
+struct VersionNode<V> {
+    stamp: Arc<CommitStamp>,
+    value: Option<V>,
+    prev: Atomic<VersionNode<V>>,
+}
+
+/// An entry's multiversion history. See the [module docs](self).
+pub struct VersionCell<V> {
+    head: Atomic<VersionNode<V>>,
+}
+
+impl<V> fmt::Debug for VersionCell<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("VersionCell {{ .. }}")
+    }
+}
+
+fn retire_to_collector<V>(node: Shared<'_, VersionNode<V>>, guard: &Guard) {
+    VERSIONS_RETIRED.fetch_add(1, Relaxed);
+    // Safety: the caller has unlinked `node` from the chain while holding
+    // the entry's write locks, so no new reader can reach it; in-flight
+    // readers are protected by their epoch guards until quiescence.
+    unsafe { guard.defer_destroy(node) };
+}
+
+impl<V: Clone> VersionCell<V> {
+    /// Creates a cell whose chain starts with `(stamp, value)`.
+    pub fn new(stamp: Arc<CommitStamp>, value: Option<V>) -> Self {
+        VERSIONS_CREATED.fetch_add(1, Relaxed);
+        VersionCell {
+            head: Atomic::new(VersionNode {
+                stamp,
+                value,
+                prev: Atomic::null(),
+            }),
+        }
+    }
+
+    /// Pushes a new version. Caller must hold the entry's write locks
+    /// (same-entry pushes are serialized by 2PL). A push with the same
+    /// stamp `Arc` as the current head replaces the head in place.
+    pub fn push(&self, stamp: Arc<CommitStamp>, value: Option<V>, guard: &Guard) {
+        let head = self.head.load(SeqCst, guard);
+        let prev = match unsafe { head.as_ref() } {
+            Some(h) if Arc::ptr_eq(&h.stamp, &stamp) => {
+                // Same transaction attempt rewrote this entry (or a
+                // rollback compensation undid it): collapse to one node.
+                h.prev.load(SeqCst, guard)
+            }
+            _ => head,
+        };
+        VERSIONS_CREATED.fetch_add(1, Relaxed);
+        let node = Owned::new(VersionNode {
+            stamp,
+            value,
+            prev: Atomic::null(),
+        })
+        .into_shared(guard);
+        unsafe { node.deref() }.prev.store(prev, SeqCst);
+        self.head.store(node, SeqCst);
+        if prev != head {
+            // Replaced in place: the old head is unreachable from the
+            // chain now (in-flight readers may still hold it).
+            retire_to_collector(head, guard);
+        }
+    }
+
+    /// Resolves the newest version committed at or before `snap`:
+    /// `Some(v)` if that version is live, `None` if it is a tombstone or
+    /// the chain has no version that old (the entry did not exist yet at
+    /// `snap`). Lock-free; requires only an epoch guard.
+    pub fn resolve(&self, snap: u64, guard: &Guard) -> Option<V> {
+        let mut cur = self.head.load(SeqCst, guard);
+        while let Some(node) = unsafe { cur.as_ref() } {
+            // Tentative stamps load as u64::MAX, so they are skipped like
+            // any future-committed version.
+            if node.stamp.load() <= snap {
+                return node.value.clone();
+            }
+            cur = node.prev.load(SeqCst, guard);
+        }
+        None
+    }
+
+    /// Drops every version strictly older than the newest committed
+    /// version at or before `min_active` (the keeper). Caller must hold
+    /// the entry's write locks. Safe because every in-flight reader's
+    /// snapshot is `≥ min_active`, so the keeper (or something newer) is
+    /// the version any of them resolves.
+    pub fn truncate(&self, min_active: u64, guard: &Guard) {
+        let mut cur = self.head.load(SeqCst, guard);
+        // Find the keeper.
+        let keeper = loop {
+            match unsafe { cur.as_ref() } {
+                Some(node) if node.stamp.load() > min_active => {
+                    cur = node.prev.load(SeqCst, guard);
+                }
+                other => break other,
+            }
+        };
+        let Some(keeper) = keeper else { return };
+        // Cut everything below it. In-flight readers that already walked
+        // past the keeper keep following the (intact) prev pointers of
+        // the cut nodes until their guards quiesce.
+        let mut cut = keeper.prev.swap(Shared::null(), SeqCst, guard);
+        while let Some(node) = unsafe { cut.as_ref() } {
+            let next = node.prev.load(SeqCst, guard);
+            retire_to_collector(cut, guard);
+            cut = next;
+        }
+    }
+
+    /// Whether this cell will never be visible to any present or future
+    /// reader: its entire history is one committed tombstone at or before
+    /// `min_active`. Call after [`truncate`](Self::truncate) with the
+    /// same bound; caller must hold the entry's write locks. A dead
+    /// cell's index entry may be unlinked.
+    pub fn is_dead(&self, min_active: u64, guard: &Guard) -> bool {
+        let head = self.head.load(SeqCst, guard);
+        match unsafe { head.as_ref() } {
+            Some(node) => {
+                node.value.is_none()
+                    && node.stamp.load() <= min_active
+                    && node.prev.load(SeqCst, guard).is_null()
+            }
+            None => true,
+        }
+    }
+}
+
+impl<V> Drop for VersionCell<V> {
+    fn drop(&mut self) {
+        // Safety: drop means no thread can reach this cell anymore, so
+        // the chain can be freed eagerly.
+        let guard = unsafe { epoch::unprotected() };
+        let mut cur = self.head.load(SeqCst, guard);
+        while let Some(node) = unsafe { cur.as_ref() } {
+            let next = node.prev.load(SeqCst, guard);
+            VERSIONS_RETIRED.fetch_add(1, Relaxed);
+            drop(unsafe { cur.into_owned() });
+            cur = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn committed(ts_hint: &mut u64) -> Arc<CommitStamp> {
+        let s = CommitStamp::new();
+        *ts_hint = relc_locks::commit_clock().commit(&s);
+        s
+    }
+
+    #[test]
+    fn resolve_picks_newest_at_or_below_snapshot() {
+        let guard = epoch::pin();
+        let mut t1 = 0;
+        let s1 = committed(&mut t1);
+        let cell = VersionCell::new(s1, Some(10));
+        let mut t2 = 0;
+        let s2 = committed(&mut t2);
+        cell.push(s2, Some(20), &guard);
+
+        assert_eq!(cell.resolve(t1.saturating_sub(1), &guard), None);
+        assert_eq!(cell.resolve(t1, &guard), Some(10));
+        assert_eq!(cell.resolve(t2 - 1, &guard), Some(10));
+        assert_eq!(cell.resolve(t2, &guard), Some(20));
+        assert_eq!(cell.resolve(u64::MAX - 1, &guard), Some(20));
+    }
+
+    #[test]
+    fn tentative_heads_are_invisible_and_same_stamp_replaces() {
+        let guard = epoch::pin();
+        let mut t1 = 0;
+        let s1 = committed(&mut t1);
+        let cell = VersionCell::new(s1, Some(1));
+
+        let tentative = CommitStamp::new();
+        cell.push(Arc::clone(&tentative), Some(2), &guard);
+        // Not yet committed: readers still see the old version.
+        assert_eq!(cell.resolve(t1, &guard), Some(1));
+
+        // Rewrite by the same attempt: replaced in place, chain stays
+        // two nodes deep.
+        let before = version_stats();
+        cell.push(Arc::clone(&tentative), Some(3), &guard);
+        let after = version_stats();
+        assert_eq!(after.created - before.created, 1);
+        assert_eq!(after.retired - before.retired, 1);
+
+        let t2 = relc_locks::commit_clock().commit(&tentative);
+        assert_eq!(cell.resolve(t2, &guard), Some(3));
+        assert_eq!(cell.resolve(t2 - 1, &guard), Some(1));
+    }
+
+    #[test]
+    fn tombstones_resolve_as_absent() {
+        let guard = epoch::pin();
+        let mut t1 = 0;
+        let s1 = committed(&mut t1);
+        let cell: VersionCell<i64> = VersionCell::new(s1, Some(7));
+        let mut t2 = 0;
+        let s2 = committed(&mut t2);
+        cell.push(s2, None, &guard);
+        assert_eq!(cell.resolve(t1, &guard), Some(7));
+        assert_eq!(cell.resolve(t2, &guard), None);
+        assert!(!cell.is_dead(t1, &guard), "older live version still needed");
+        cell.truncate(t2, &guard);
+        assert!(cell.is_dead(t2, &guard));
+    }
+
+    #[test]
+    fn truncate_keeps_the_newest_version_at_or_below_the_floor() {
+        let guard = epoch::pin();
+        let mut ts = [0u64; 4];
+        let stamps: Vec<_> = ts.iter_mut().map(committed).collect::<Vec<_>>();
+        let cell = VersionCell::new(Arc::clone(&stamps[0]), Some(0));
+        for (i, s) in stamps.iter().enumerate().skip(1) {
+            cell.push(Arc::clone(s), Some(i as i64), &guard);
+        }
+        let before = version_stats();
+        // Floor between ts[1] and ts[2]: keeper is version 1; versions 0
+        // is retired, 2 and 3 stay.
+        cell.truncate(ts[1], &guard);
+        let after = version_stats();
+        assert_eq!(after.retired - before.retired, 1);
+        assert_eq!(cell.resolve(ts[1], &guard), Some(1));
+        assert_eq!(cell.resolve(ts[3], &guard), Some(3));
+        // Floor below everything: nothing to cut.
+        cell.truncate(0, &guard);
+        assert_eq!(version_stats().retired, after.retired);
+    }
+
+    #[test]
+    fn drop_frees_the_whole_chain() {
+        let mut t = 0;
+        let before = version_stats();
+        {
+            let guard = epoch::pin();
+            let cell = VersionCell::new(committed(&mut t), Some(1));
+            for i in 0..5 {
+                cell.push(committed(&mut t), Some(i), &guard);
+            }
+        }
+        let after = version_stats();
+        assert_eq!(after.created - before.created, 6);
+        assert_eq!(after.retired - before.retired, 6);
+    }
+}

@@ -17,6 +17,7 @@ use relc_spec::Tuple;
 
 use crate::decomp::{Decomposition, EdgeId, NodeId};
 use crate::instance::{NodeInstance, NodeRef};
+use crate::mvcc::MvccScope;
 use crate::placement::{LockPlacement, LockToken};
 use crate::planner::{
     InPlaceUpdate, InsertBatchPlan, InsertPlan, MutTraverse, Plan, RemoveBatchPlan, RemovePlan,
@@ -117,6 +118,9 @@ pub struct Executor<'a> {
     /// Ablation knob: ignore the planner's sort-elision analysis and always
     /// sort lock sets at runtime (§5.2).
     pub always_sort_locks: bool,
+    /// MVCC state of the current attempt: the shared commit stamp and the
+    /// journal of mirrored writes (see [`crate::mvcc`]).
+    mvcc: MvccScope,
 }
 
 impl<'a> Executor<'a> {
@@ -131,7 +135,28 @@ impl<'a> Executor<'a> {
             placement,
             engine,
             always_sort_locks: false,
+            mvcc: MvccScope::default(),
         }
+    }
+
+    /// Takes the attempt's MVCC state; the commit/rollback paths stamp
+    /// and retire it before the engine releases any lock.
+    pub(crate) fn take_mvcc(&mut self) -> MvccScope {
+        std::mem::take(&mut self.mvcc)
+    }
+
+    /// Pre-seeds the attempt's commit stamp (cross-shard transactions
+    /// share one stamp across every shard's executor).
+    pub(crate) fn set_mvcc_stamp(&mut self, stamp: Arc<relc_locks::CommitStamp>) {
+        self.mvcc.set_stamp(stamp);
+    }
+
+    /// Mirrors a locked container write into `host`'s shadow version
+    /// index for `edge` (see [`crate::mvcc`]). Called at every site that
+    /// mutates an edge container, under the same exclusive locks.
+    fn mvcc_write(&mut self, host: &NodeRef, edge: EdgeId, key: Tuple, value: Option<NodeRef>) {
+        let guard = relc_containers::epoch::pin();
+        self.mvcc.write(self.decomp, host, edge, key, value, &guard);
     }
 
     /// Whether the engine has entered the shrinking phase. The
@@ -597,22 +622,37 @@ impl<'a> Executor<'a> {
                 continue;
             }
             let em = self.decomp.edge(e);
-            let src = bindings[em.src.index()].as_ref().expect("all bound");
-            let dst = bindings[em.dst.index()].as_ref().expect("all bound");
+            let src = bindings[em.src.index()]
+                .as_ref()
+                .expect("all bound")
+                .clone();
+            let dst = bindings[em.dst.index()]
+                .as_ref()
+                .expect("all bound")
+                .clone();
+            // Mirror the publication into the version index first: the
+            // version stays tentative (invisible to snapshot readers)
+            // until the commit stamp publishes, so mirror-then-write and
+            // write-then-mirror are indistinguishable — and mirroring the
+            // *deferred* branch here (rather than at the batch flush)
+            // keeps one code path for both.
+            self.mvcc_write(&src, e, x.project(em.cols), Some(Arc::clone(&dst)));
             if let Some(ctx) = batch.as_mut() {
                 if ctx.defer[e.index()] {
                     // Defer the publication: the subtree below `dst` is
                     // complete (deeper edges were just written), so linking
                     // it in later — at the batch flush, still under every
                     // lock of this sweep — is indistinguishable to readers.
-                    let prev = ctx.pending.insert((e, x.project(em.cols)), Arc::clone(dst));
+                    let prev = ctx
+                        .pending
+                        .insert((e, x.project(em.cols)), Arc::clone(&dst));
                     debug_assert!(prev.is_none(), "edge instance appeared under our locks");
                     continue;
                 }
             }
             let prev = src
                 .container(self.decomp, e)
-                .write(&x.project(em.cols), Some(Arc::clone(dst)));
+                .write(&x.project(em.cols), Some(Arc::clone(&dst)));
             debug_assert!(prev.is_none(), "edge instance appeared under our locks");
         }
         Ok(true)
@@ -1081,6 +1121,11 @@ impl<'a> Executor<'a> {
                 })
                 .clone();
             let new_key = new.project(em.cols);
+            // Mirror as tombstone(old) + live(new); when the keys
+            // coincide the two same-stamp pushes hit one cell and
+            // collapse to the live version.
+            self.mvcc_write(src_inst, *e, old_key.clone(), None);
+            self.mvcc_write(src_inst, *e, new_key.clone(), Some(Arc::clone(&inst)));
             let prev = src_inst
                 .container(self.decomp, *e)
                 .update_entry(old_key, &new_key, inst);
@@ -1105,7 +1150,7 @@ impl<'a> Executor<'a> {
     /// that would mean the undo log is being replayed out of order (a
     /// transaction-layer bug).
     pub fn run_update_write_back(
-        &self,
+        &mut self,
         plan: &InPlaceUpdate,
         old: &Tuple,
         new: &Tuple,
@@ -1126,6 +1171,13 @@ impl<'a> Executor<'a> {
                         NodeInstance::new(self.decomp, self.placement, em.dst, key)
                     })
                     .clone();
+                self.mvcc_write(&src, step.edge, new.project(em.cols), None);
+                self.mvcc_write(
+                    &src,
+                    step.edge,
+                    old.project(em.cols),
+                    Some(Arc::clone(&inst)),
+                );
                 let prev = src.container(self.decomp, step.edge).update_entry(
                     &new.project(em.cols),
                     &old.project(em.cols),
@@ -1327,6 +1379,7 @@ impl<'a> Executor<'a> {
             for &e in &meta.outgoing {
                 let em = self.decomp.edge(e);
                 if dies[em.dst.index()] {
+                    self.mvcc_write(&inst, e, tuple.project(em.cols), None);
                     let prev = inst
                         .container(self.decomp, e)
                         .write(&tuple.project(em.cols), None);

@@ -12,7 +12,7 @@ use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
 
-use relc_containers::Container;
+use relc_containers::{ConcurrentSkipListMap, Container, VersionCell};
 use relc_locks::PhysicalLock;
 use relc_spec::Tuple;
 
@@ -22,6 +22,13 @@ use crate::placement::LockPlacement;
 /// Shared handle to a node instance.
 pub type NodeRef = Arc<NodeInstance>;
 
+/// The shadow version index of one outgoing edge: entry key → that
+/// entry's MVCC version chain. Kept parallel to the edge's main
+/// container and mirrored by every locked write, so snapshot readers
+/// traverse only this lock-free structure and never touch containers
+/// that are unsafe under concurrent writes.
+pub type VersionIndex = ConcurrentSkipListMap<Tuple, Arc<VersionCell<NodeRef>>>;
+
 /// A run-time instance `v_t` of decomposition node `v`.
 pub struct NodeInstance {
     node: NodeId,
@@ -29,6 +36,9 @@ pub struct NodeInstance {
     locks: Box<[Arc<PhysicalLock>]>,
     /// One container per outgoing edge, parallel to `node.outgoing`.
     containers: Box<[Box<dyn Container<Tuple, NodeRef>>]>,
+    /// One shadow version index per outgoing edge, parallel to
+    /// `containers`.
+    versions: Box<[VersionIndex]>,
 }
 
 impl NodeInstance {
@@ -58,11 +68,13 @@ impl NodeInstance {
             .iter()
             .map(|&e| decomp.edge(e).container.instantiate::<Tuple, NodeRef>())
             .collect();
+        let versions = meta.outgoing.iter().map(|_| VersionIndex::new()).collect();
         Arc::new(NodeInstance {
             node,
             key,
             locks,
             containers,
+            versions,
         })
     }
 
@@ -102,6 +114,21 @@ impl NodeInstance {
             .position(|&e| e == edge)
             .expect("edge must leave this node");
         &*self.containers[pos]
+    }
+
+    /// The shadow version index of outgoing edge `edge`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is not an outgoing edge of this node.
+    pub fn versions(&self, decomp: &Decomposition, edge: EdgeId) -> &VersionIndex {
+        let pos = decomp
+            .node(self.node)
+            .outgoing
+            .iter()
+            .position(|&e| e == edge)
+            .expect("edge must leave this node");
+        &self.versions[pos]
     }
 
     /// Whether every container of this instance is empty (the instance

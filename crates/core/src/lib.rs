@@ -37,6 +37,7 @@ pub mod error;
 pub mod exec;
 pub mod instance;
 pub mod lincheck;
+pub(crate) mod mvcc;
 pub mod placement;
 pub mod planner;
 pub mod query;
@@ -49,7 +50,7 @@ pub use decomp::{Decomposition, DecompositionBuilder, EdgeId, NodeId};
 pub use error::CoreError;
 pub use placement::{LockPlacement, LockToken, PlacementBuilder};
 pub use planner::{Plan, Planner};
-pub use relation::ConcurrentRelation;
-pub use relc_containers::ReclamationStats;
-pub use shard::{ShardedRelation, ShardedTransaction};
+pub use relation::{ConcurrentRelation, SnapshotReader};
+pub use relc_containers::{ReclamationStats, VersionStats};
+pub use shard::{ShardedRelation, ShardedSnapshotReader, ShardedTransaction};
 pub use txn::{Transaction, TxnError};

@@ -1,0 +1,367 @@
+//! The MVCC write mirror and lock-free snapshot walkers.
+//!
+//! Every locked container mutation in [`crate::exec`] is mirrored into
+//! the written instance's *shadow version index* (see
+//! [`crate::instance::VersionIndex`]): a lock-free map from entry key to
+//! that entry's [`VersionCell`] chain, kept parallel to the edge's main
+//! container. All versions written by one transaction attempt share one
+//! [`CommitStamp`]; the commit path stamps it through the global
+//! [`commit clock`](relc_locks::commit_clock) *before* the lock engine
+//! releases anything, so a version's stamp being `≤` a reader's snapshot
+//! implies the whole owning transaction committed before that snapshot.
+//!
+//! Snapshot readers ([`crate::relation::SnapshotReader`]) never touch
+//! the main containers — many of which are unsafe under concurrent
+//! writes and rely on the synthesized lock placement — only the version
+//! indexes, resolving at each edge the newest version committed at or
+//! before their snapshot timestamp. They hold an epoch guard for the
+//! whole traversal, which keeps truncated version nodes and purged cells
+//! alive until they are done.
+//!
+//! # Version retirement
+//!
+//! At commit (locks still held), the committer computes the oldest
+//! snapshot any in-flight reader holds
+//! ([`SnapshotRegistry::min_active`](relc_locks::SnapshotRegistry::min_active))
+//! once, then for every cell in its write journal: truncates versions
+//! strictly older than the newest version at or below that floor, and —
+//! if the cell's whole remaining history is one committed tombstone at
+//! or below the floor — unlinks the cell from its index (the skip list
+//! defers the `Arc` through the epoch collector, so retirement shows up
+//! in `ReclamationStats`). Cells are only ever mutated or unlinked by a
+//! transaction holding the entry's 2PL write locks, which is what makes
+//! the chains single-writer. A cell tombstoned while an old reader was
+//! still live is retired the next time *any* transaction writes that
+//! entry (or when the relation drops); it is never reclaimed behind a
+//! lock-free reader's back.
+
+use std::collections::BTreeSet;
+use std::ops::ControlFlow;
+use std::sync::Arc;
+
+use relc_containers::epoch::Guard;
+use relc_containers::{Container, VersionCell};
+use relc_locks::CommitStamp;
+use relc_spec::Tuple;
+
+use crate::decomp::{Decomposition, EdgeId};
+use crate::instance::NodeRef;
+use crate::placement::LockPlacement;
+use crate::planner::Plan;
+use crate::query::{PlanStep, QueryState};
+
+/// One mirrored write: enough to revisit the cell at commit for
+/// truncation and dead-cell purge.
+pub(crate) struct JournalEntry {
+    /// The instance whose version index holds the cell.
+    pub host: NodeRef,
+    /// The outgoing edge the entry belongs to.
+    pub edge: EdgeId,
+    /// The entry key within the edge.
+    pub key: Tuple,
+    /// The entry's version chain.
+    pub cell: Arc<VersionCell<NodeRef>>,
+}
+
+/// Per-transaction-attempt MVCC state, owned by the executor: the shared
+/// commit stamp (created lazily on the first mirrored write, so
+/// read-only and no-op transactions never touch the clock) and the write
+/// journal revisited at commit.
+#[derive(Default)]
+pub(crate) struct MvccScope {
+    stamp: Option<Arc<CommitStamp>>,
+    pub journal: Vec<JournalEntry>,
+}
+
+impl MvccScope {
+    /// The attempt's stamp, created on first use.
+    pub fn stamp(&mut self) -> Arc<CommitStamp> {
+        Arc::clone(self.stamp.get_or_insert_with(CommitStamp::new))
+    }
+
+    /// The stamp, if any mirrored write created one.
+    pub fn stamp_opt(&self) -> Option<&Arc<CommitStamp>> {
+        self.stamp.as_ref()
+    }
+
+    /// Pre-seeds the stamp (cross-shard attempts share one stamp).
+    pub fn set_stamp(&mut self, stamp: Arc<CommitStamp>) {
+        debug_assert!(
+            self.stamp.is_none(),
+            "stamp injection must precede every mirrored write"
+        );
+        self.stamp = Some(stamp);
+    }
+
+    /// Mirrors one locked container write into `host`'s version index
+    /// for `edge`: pushes a version (`None` = tombstone) stamped with
+    /// this attempt's stamp onto the entry's cell, creating the cell on
+    /// first write. Caller must hold the entry's placement write locks —
+    /// the same locks that serialize the mirrored container mutation —
+    /// which serializes all same-entry cell mutation.
+    pub fn write(
+        &mut self,
+        decomp: &Decomposition,
+        host: &NodeRef,
+        edge: EdgeId,
+        key: Tuple,
+        value: Option<NodeRef>,
+        guard: &Guard,
+    ) {
+        let stamp = self.stamp();
+        let index = host.versions(decomp, edge);
+        let cell = match index.lookup(&key) {
+            Some(cell) => {
+                cell.push(stamp, value, guard);
+                cell
+            }
+            None => {
+                let cell = Arc::new(VersionCell::new(stamp, value));
+                index.write(&key, Some(Arc::clone(&cell)));
+                cell
+            }
+        };
+        self.journal.push(JournalEntry {
+            host: Arc::clone(host),
+            edge,
+            key,
+            cell,
+        });
+    }
+
+    /// Commit-side maintenance, run with the attempt's locks still held
+    /// and its stamp already committed: truncate every journaled cell to
+    /// the retirement floor `min_active` and unlink cells whose whole
+    /// visible history is one committed tombstone at or below it.
+    ///
+    /// Where the placement guards a whole edge container instance with
+    /// one physical lock
+    /// (`!`[`LockPlacement::admits_container_concurrency`]), the *whole*
+    /// version index of each journaled edge is swept, not just the
+    /// journaled cells. A dead cell that a live reader pinned at *its*
+    /// committing transaction's retirement can only otherwise be
+    /// reclaimed by a later write of the same entry key — and on
+    /// value-keyed edges (a weight sink, say) the same key rarely
+    /// recurs, so those corpses would pile up and every snapshot scan
+    /// would crawl them forever. The sweep is safe exactly because this
+    /// attempt holds that single per-instance lock exclusively for every
+    /// journaled edge, so no other writer can be mutating *any* cell of
+    /// the index. Speculative edges (present entries locked at per-entry
+    /// targets) and edges striped by entry-key columns (another stripe's
+    /// writer may hold another stripe) keep the journaled-cells-only
+    /// rule — there, the entry keys are relation keys, which workloads
+    /// do rewrite.
+    pub fn retire(&self, placement: &LockPlacement, min_active: u64, guard: &Guard) {
+        let decomp = placement.decomposition();
+        let mut swept: Vec<(*const (), EdgeId)> = Vec::new();
+        for entry in &self.journal {
+            if !placement.admits_container_concurrency(entry.edge) {
+                let tag = (Arc::as_ptr(&entry.host).cast::<()>(), entry.edge);
+                if swept.contains(&tag) {
+                    continue;
+                }
+                swept.push(tag);
+                let index = entry.host.versions(decomp, entry.edge);
+                let mut dead: Vec<Tuple> = Vec::new();
+                index.scan(&mut |k: &Tuple, cell| {
+                    cell.truncate(min_active, guard);
+                    if cell.is_dead(min_active, guard) {
+                        dead.push(k.clone());
+                    }
+                    std::ops::ControlFlow::<()>::Continue(())
+                });
+                for k in dead {
+                    index.write(&k, None);
+                }
+            } else {
+                entry.cell.truncate(min_active, guard);
+                if entry.cell.is_dead(min_active, guard) {
+                    entry
+                        .host
+                        .versions(decomp, entry.edge)
+                        .write(&entry.key, None);
+                }
+            }
+        }
+    }
+}
+
+/// Stamps and retires the MVCC scopes of one finishing attempt — commit
+/// *and* rollback paths alike (compensations push versions under the same
+/// stamp, so an aborted attempt's stamped state equals the
+/// pre-transaction state; leaving the stamp tentative forever would pin
+/// every entry the attempt touched at its pre-attempt version chain
+/// head). Must run while the attempt's locks are still held and strictly
+/// before the engine releases anything: that ordering is the whole
+/// commit-visibility argument. Scopes with an empty journal are ignored;
+/// if none wrote, the clock is never touched.
+pub(crate) fn finish_attempt(placement: &LockPlacement, scopes: &[MvccScope]) {
+    let Some(stamp) = scopes
+        .iter()
+        .find(|s| !s.journal.is_empty())
+        .and_then(|s| s.stamp_opt())
+    else {
+        return;
+    };
+    let clock = relc_locks::commit_clock();
+    clock.commit(stamp);
+    let min_active = relc_locks::snapshot_registry().min_active(clock);
+    let guard = relc_containers::epoch::pin();
+    for scope in scopes {
+        scope.retire(placement, min_active, &guard);
+    }
+}
+
+impl std::fmt::Debug for MvccScope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MvccScope")
+            .field("stamped", &self.stamp.is_some())
+            .field("journal", &self.journal.len())
+            .finish()
+    }
+}
+
+/// Resolves `key` through `src`'s version index for `edge` at snapshot
+/// `snap`.
+fn resolve_edge(
+    decomp: &Decomposition,
+    src: &NodeRef,
+    edge: EdgeId,
+    key: &Tuple,
+    snap: u64,
+    guard: &Guard,
+) -> Option<NodeRef> {
+    src.versions(decomp, edge)
+        .lookup(key)
+        .and_then(|cell| cell.resolve(snap, guard))
+}
+
+/// Runs a compiled query plan against the version indexes at snapshot
+/// `snap`: the lock-free mirror of [`crate::exec::Executor::run_query`].
+/// `Lock` steps are skipped and `SpecLookup` degenerates to a plain
+/// version lookup — a snapshot reader needs neither locks nor
+/// speculation validation, because the versions it resolves are
+/// immutable once committed.
+pub(crate) fn snapshot_query(
+    decomp: &Decomposition,
+    plan: &Plan,
+    pattern: &Tuple,
+    root: &NodeRef,
+    snap: u64,
+    guard: &Guard,
+) -> Vec<Tuple> {
+    let mut states = vec![QueryState::initial(
+        decomp,
+        pattern.clone(),
+        Arc::clone(root),
+    )];
+    for step in &plan.steps {
+        match step {
+            PlanStep::Lock { .. } => continue,
+            PlanStep::Lookup { edge } | PlanStep::SpecLookup { edge, .. } => {
+                let em = decomp.edge(*edge);
+                let mut out = Vec::with_capacity(states.len());
+                for mut st in states {
+                    let key = st.tuple.project(em.cols);
+                    let src = st.instance(em.src).clone();
+                    if let Some(child) = resolve_edge(decomp, &src, *edge, &key, snap, guard) {
+                        st.nodes[em.dst.index()] = Some(child);
+                        out.push(st);
+                    }
+                }
+                states = out;
+            }
+            PlanStep::Scan { edge } => {
+                let em = decomp.edge(*edge);
+                let mut out = Vec::new();
+                for st in states {
+                    let src = st.instance(em.src).clone();
+                    src.versions(decomp, *edge).scan(&mut |k: &Tuple, cell| {
+                        if st.tuple.matches(k) {
+                            if let Some(child) = cell.resolve(snap, guard) {
+                                let mut next = st.clone();
+                                next.tuple = st.tuple.union(k).expect("matches implies mergeable");
+                                next.nodes[em.dst.index()] = Some(child);
+                                out.push(next);
+                            }
+                        }
+                        ControlFlow::Continue(())
+                    });
+                }
+                states = out;
+            }
+        }
+        if states.is_empty() {
+            return Vec::new();
+        }
+    }
+    let set: BTreeSet<Tuple> = states
+        .into_iter()
+        .map(|st| st.tuple.project(plan.output))
+        .collect();
+    set.into_iter().collect()
+}
+
+/// Short-circuiting existence check over the version indexes at snapshot
+/// `snap`: the lock-free mirror of [`crate::exec::Executor::run_exists`].
+pub(crate) fn snapshot_exists(
+    decomp: &Decomposition,
+    plan: &Plan,
+    pattern: &Tuple,
+    root: &NodeRef,
+    snap: u64,
+    guard: &Guard,
+) -> bool {
+    let st = QueryState::initial(decomp, pattern.clone(), Arc::clone(root));
+    snapshot_exists_from(decomp, &plan.steps, st, snap, guard)
+}
+
+fn snapshot_exists_from(
+    decomp: &Decomposition,
+    steps: &[PlanStep],
+    mut st: QueryState,
+    snap: u64,
+    guard: &Guard,
+) -> bool {
+    let Some((step, rest)) = steps.split_first() else {
+        return true; // the state survived every step: a witness
+    };
+    match step {
+        PlanStep::Lock { .. } => snapshot_exists_from(decomp, rest, st, snap, guard),
+        PlanStep::Lookup { edge } | PlanStep::SpecLookup { edge, .. } => {
+            let em = decomp.edge(*edge);
+            let key = st.tuple.project(em.cols);
+            let src = st.instance(em.src).clone();
+            match resolve_edge(decomp, &src, *edge, &key, snap, guard) {
+                Some(child) => {
+                    st.nodes[em.dst.index()] = Some(child);
+                    snapshot_exists_from(decomp, rest, st, snap, guard)
+                }
+                None => false,
+            }
+        }
+        PlanStep::Scan { edge } => {
+            let em = decomp.edge(*edge);
+            let src = st.instance(em.src).clone();
+            let mut found = false;
+            src.versions(decomp, *edge).scan(&mut |k: &Tuple, cell| {
+                if !st.tuple.matches(k) {
+                    return ControlFlow::Continue(());
+                }
+                let Some(child) = cell.resolve(snap, guard) else {
+                    return ControlFlow::Continue(());
+                };
+                let mut next = st.clone();
+                next.tuple = st.tuple.union(k).expect("matches implies mergeable");
+                next.nodes[em.dst.index()] = Some(child);
+                if snapshot_exists_from(decomp, rest, next, snap, guard) {
+                    found = true;
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            });
+            found
+        }
+    }
+}

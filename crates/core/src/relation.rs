@@ -21,6 +21,7 @@ use crate::decomp::Decomposition;
 use crate::error::CoreError;
 use crate::exec::Executor;
 use crate::instance::{self, NodeInstance, NodeRef};
+use crate::mvcc;
 use crate::placement::{LockPlacement, LockToken};
 use crate::planner::{
     InsertBatchPlan, InsertPlan, Plan, Planner, RemoveBatchPlan, RemovePlan, UpdatePlan,
@@ -417,12 +418,17 @@ impl ConcurrentRelation {
             match f(&mut tx) {
                 Ok(r) if !tx.needs_restart() => {
                     let delta = tx.len_delta();
+                    let scope = tx.take_mvcc();
                     drop(tx);
                     // The counter moves *before* the locks release: a
                     // delta applied after `finish()` would let an observer
                     // acquire the freed locks, read the new contents, and
-                    // still see the stale count.
+                    // still see the stale count. Likewise the MVCC commit
+                    // stamp publishes before the locks release — that
+                    // ordering is what lets a snapshot reader treat
+                    // "stamp ≤ snapshot" as "fully committed".
                     self.apply_len_delta(delta);
+                    mvcc::finish_attempt(&self.placement, std::slice::from_ref(&scope));
                     engine.finish();
                     return Ok(r);
                 }
@@ -433,13 +439,20 @@ impl ConcurrentRelation {
                 // restart.
                 Ok(_) | Err(TxnError::Restart(_)) => {
                     tx.rollback_effects();
+                    let scope = tx.take_mvcc();
                     drop(tx);
+                    // The aborted attempt's versions (original writes plus
+                    // the compensations that net them out) still publish
+                    // at one timestamp, before the locks release.
+                    mvcc::finish_attempt(&self.placement, std::slice::from_ref(&scope));
                     engine.rollback();
                     backoff.wait();
                 }
                 Err(TxnError::Core(e)) => {
                     tx.rollback_effects();
+                    let scope = tx.take_mvcc();
                     drop(tx);
+                    mvcc::finish_attempt(&self.placement, std::slice::from_ref(&scope));
                     // Only explicit application aborts count as user
                     // rollbacks; validation errors (bad patterns, no valid
                     // plan) never applied an effect and would dilute the
@@ -598,8 +611,13 @@ impl ConcurrentRelation {
     ///
     /// [`CoreError::NoValidPlan`] if no chain can bind this shape under the
     /// placement (e.g. it would have to scan a speculative edge).
+    /// Since the MVCC layer landed this routes onto the lock-free
+    /// snapshot path: the result is a serializable read at the current
+    /// commit timestamp, it acquires no locks, and it can neither block
+    /// nor restart writers. Reads that must observe a transaction's own
+    /// uncommitted writes use [`Transaction::query`] instead.
     pub fn query(&self, s: &Tuple, cols: ColumnSet) -> Result<Vec<Tuple>, CoreError> {
-        self.run_transaction(true, |tx| tx.query(s, cols))
+        self.read_transaction(|snap| snap.query(s, cols))
     }
 
     /// Whether any tuple extends `s` — a short-circuiting existence check
@@ -610,8 +628,9 @@ impl ConcurrentRelation {
     /// # Errors
     ///
     /// As for [`Self::query`].
+    /// Routes onto the lock-free snapshot path, like [`Self::query`].
     pub fn contains(&self, s: &Tuple) -> Result<bool, CoreError> {
-        self.run_transaction(true, |tx| tx.contains(s))
+        self.read_transaction(|snap| snap.contains(s))
     }
 
     /// All tuples, sorted (a `query` with an empty pattern and all columns).
@@ -621,6 +640,58 @@ impl ConcurrentRelation {
     /// As for [`Self::query`].
     pub fn snapshot(&self) -> Result<Vec<Tuple>, CoreError> {
         self.query(&Tuple::empty(), self.schema().columns())
+    }
+
+    /// Runs a lock-free read-only transaction: every read through the
+    /// [`SnapshotReader`] observes one consistent snapshot of the
+    /// relation — the state as of the commit timestamp captured at entry
+    /// — no matter how many writers commit while the closure runs.
+    /// Readers acquire no locks, never restart, and never block or
+    /// restart writers; they traverse the decomposition's shadow version
+    /// indexes under an epoch guard (see [`crate::mvcc`]).
+    ///
+    /// Snapshot reads are *serializable at their snapshot timestamp*:
+    /// the closure's reads interleave with concurrent writers exactly as
+    /// if the whole closure ran atomically at the moment of entry.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use relc::{ConcurrentRelation, decomp, placement::LockPlacement};
+    /// use relc_containers::ContainerKind;
+    /// use relc_spec::Value;
+    ///
+    /// let d = decomp::library::stick(ContainerKind::HashMap, ContainerKind::TreeMap);
+    /// let graph = ConcurrentRelation::new(d.clone(), LockPlacement::coarse(&d)?)?;
+    /// let s = d.schema().tuple(&[("src", Value::from(1)), ("dst", Value::from(2))])?;
+    /// let t = d.schema().tuple(&[("weight", Value::from(42))])?;
+    /// graph.insert(&s, &t)?;
+    /// let (all, n) = graph.read_transaction(|snap| {
+    ///     let all = snap.snapshot()?;
+    ///     // A second read in the same transaction sees the same state,
+    ///     // even if a writer committed in between.
+    ///     Ok::<_, relc::CoreError>((all.clone(), all.len()))
+    /// })?;
+    /// assert_eq!(n, 1);
+    /// assert_eq!(all.len(), 1);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a thread that is already inside a transaction
+    /// on this relation (the same re-entrancy diagnosis as the locked
+    /// single-shot operations, kept for API uniformity).
+    pub fn read_transaction<R>(&self, f: impl FnOnce(&SnapshotReader<'_>) -> R) -> R {
+        let _guard = ActiveTxnGuard::enter(self.id);
+        let reader = SnapshotReader::open(self);
+        f(&reader)
+    }
+
+    /// Process-global version-chain counters (`created` / `retired`);
+    /// the MVCC analogue of [`Self::reclamation_stats`].
+    pub fn version_stats(&self) -> relc_containers::VersionStats {
+        relc_containers::version_stats()
     }
 
     /// Structural verification of the quiescent instance (tests):
@@ -668,6 +739,48 @@ impl ConcurrentRelation {
     /// The relation's unique id (for the re-entrancy guard).
     pub(crate) fn relation_id(&self) -> u64 {
         self.id
+    }
+
+    /// Snapshot query at an externally-captured `(snap, guard)` pair —
+    /// the sharded layer reads every shard at *one* registration, so the
+    /// snapshot context outlives any single shard's traversal.
+    pub(crate) fn snapshot_query_at(
+        &self,
+        s: &Tuple,
+        cols: ColumnSet,
+        snap: u64,
+        guard: &relc_containers::epoch::Guard,
+    ) -> Result<Vec<Tuple>, CoreError> {
+        let plan = self.query_plan(s.dom(), cols)?;
+        self.stats.record_snapshot_reads(1);
+        Ok(mvcc::snapshot_query(
+            &self.decomp,
+            &plan,
+            s,
+            &self.root,
+            snap,
+            guard,
+        ))
+    }
+
+    /// Snapshot existence check at an externally-captured `(snap, guard)`
+    /// pair; see [`Self::snapshot_query_at`].
+    pub(crate) fn snapshot_exists_at(
+        &self,
+        s: &Tuple,
+        snap: u64,
+        guard: &relc_containers::epoch::Guard,
+    ) -> Result<bool, CoreError> {
+        let plan = self.query_plan(s.dom(), ColumnSet::EMPTY)?;
+        self.stats.record_snapshot_reads(1);
+        Ok(mvcc::snapshot_exists(
+            &self.decomp,
+            &plan,
+            s,
+            &self.root,
+            snap,
+            guard,
+        ))
     }
 
     pub(crate) fn query_plan(
@@ -748,6 +861,80 @@ impl ConcurrentRelation {
             (bound.bits(), updated.bits()),
             || self.planner.plan_update(bound, updated),
         )
+    }
+}
+
+/// A lock-free read-only view of a [`ConcurrentRelation`] at one commit
+/// timestamp, handed to [`ConcurrentRelation::read_transaction`]'s
+/// closure. All reads resolve against the version chains at the captured
+/// snapshot; committed writers later than the snapshot are invisible,
+/// tentative (uncommitted) versions always are.
+///
+/// While the reader is alive it is registered with the global
+/// [`relc_locks::SnapshotRegistry`], which stops committers from
+/// truncating version history it still needs, and it holds an epoch
+/// guard, which keeps already-truncated nodes it may be walking alive
+/// until it drops.
+pub struct SnapshotReader<'r> {
+    rel: &'r ConcurrentRelation,
+    snap: u64,
+    guard: relc_containers::epoch::Guard,
+    _reg: relc_locks::SnapshotGuard,
+}
+
+impl<'r> SnapshotReader<'r> {
+    fn open(rel: &'r ConcurrentRelation) -> Self {
+        let reg = relc_locks::snapshot_registry().register(relc_locks::commit_clock());
+        let guard = relc_containers::epoch::pin();
+        SnapshotReader {
+            rel,
+            snap: reg.snap(),
+            guard,
+            _reg: reg,
+        }
+    }
+
+    /// The commit timestamp this reader observes.
+    pub fn snapshot_ts(&self) -> u64 {
+        self.snap
+    }
+
+    /// `query r s C` (§2) at this snapshot: the projection onto `cols` of
+    /// all tuples extending `s`, deduplicated and sorted — lock-free.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ConcurrentRelation::query`] (the same compiled plans
+    /// drive the snapshot traversal, so the same shapes are plannable).
+    pub fn query(&self, s: &Tuple, cols: ColumnSet) -> Result<Vec<Tuple>, CoreError> {
+        self.rel.snapshot_query_at(s, cols, self.snap, &self.guard)
+    }
+
+    /// Whether any tuple extends `s` at this snapshot — short-circuiting,
+    /// lock-free.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SnapshotReader::query`].
+    pub fn contains(&self, s: &Tuple) -> Result<bool, CoreError> {
+        self.rel.snapshot_exists_at(s, self.snap, &self.guard)
+    }
+
+    /// All tuples at this snapshot, sorted.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SnapshotReader::query`].
+    pub fn snapshot(&self) -> Result<Vec<Tuple>, CoreError> {
+        self.query(&Tuple::empty(), self.rel.schema().columns())
+    }
+}
+
+impl fmt::Debug for SnapshotReader<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SnapshotReader")
+            .field("snapshot_ts", &self.snap)
+            .finish()
     }
 }
 

@@ -17,11 +17,12 @@
 //! **routed**: it touches exactly one shard and costs the same as on a
 //! single instance. Patterns that bind fewer columns (partial-pattern
 //! queries, alternate-key removes) **fan out** across shards; single-shot
-//! fan-out reads are weakly consistent (each shard linearizable, the
-//! combination not a single atomic snapshot — exactly the §3.1
-//! `ConcurrentHashMap` scan contract), while the same reads inside a
-//! [`ShardedRelation::transaction`] lock every visited shard and are
-//! serializable.
+//! fan-out reads capture one snapshot timestamp from the process-global
+//! commit clock and read every shard at it (see
+//! [`ShardedRelation::read_transaction`]), so the combination is a single
+//! consistent cut — serializable, with no locks taken. Reads inside a
+//! [`ShardedRelation::transaction`] additionally lock every visited shard
+//! (they observe the transaction's own uncommitted writes).
 //!
 //! The router hash is deliberately **decorrelated** from the hashes below
 //! it ([`Tuple::stable_hash_of_seeded`] with the router's own seed): the
@@ -84,12 +85,13 @@ use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
 
-use relc_locks::{Backoff, LockStatsSnapshot, TwoPhaseEngine};
+use relc_locks::{Backoff, CommitStamp, LockStatsSnapshot, TwoPhaseEngine};
 use relc_spec::{ColumnSet, RelationSchema, SpecError, Tuple};
 
 use crate::decomp::Decomposition;
 use crate::error::CoreError;
 use crate::exec::Executor;
+use crate::mvcc::{self, MvccScope};
 use crate::placement::{LockPlacement, LockToken};
 use crate::relation::{ActiveTxnGuard, ConcurrentRelation};
 use crate::txn::{Transaction, TxnError};
@@ -160,6 +162,11 @@ impl ShardedRelation {
         self.shards[0].decomposition()
     }
 
+    /// The lock placement every shard runs under.
+    pub fn placement(&self) -> &Arc<LockPlacement> {
+        self.shards[0].placement()
+    }
+
     /// The columns the router partitions on (the schema's canonical key).
     pub fn route_by(&self) -> ColumnSet {
         self.route_by
@@ -217,6 +224,7 @@ impl ShardedRelation {
             agg.speculation_failures += s.speculation_failures;
             agg.commits += s.commits;
             agg.user_rollbacks += s.user_rollbacks;
+            agg.snapshot_reads += s.snapshot_reads;
         }
         agg
     }
@@ -367,11 +375,13 @@ impl ShardedRelation {
         }
     }
 
-    /// `query r s C` (§2): routed patterns read one shard and are
-    /// linearizable; fan-out patterns visit shards one at a time and are
-    /// **weakly consistent** across shards (each shard's contribution is
-    /// a locked snapshot, their combination is not). Wrap the query in
-    /// [`Self::transaction`] for a serializable cross-shard read.
+    /// `query r s C` (§2), lock-free at one snapshot timestamp: routed
+    /// patterns read one shard; fan-out patterns read **every shard at
+    /// the same snapshot** — since the MVCC layer landed, the commit
+    /// clock is process-global, so a single registered timestamp is one
+    /// consistent cut across all shards and the combined result is
+    /// serializable (the former weakly-consistent shard-by-shard fan-out
+    /// is gone).
     ///
     /// # Errors
     ///
@@ -379,19 +389,13 @@ impl ShardedRelation {
     pub fn query(&self, s: &Tuple, cols: ColumnSet) -> Result<Vec<Tuple>, CoreError> {
         match self.route(s) {
             Some(i) => self.shards[i].query(s, cols),
-            None => {
-                let mut acc: BTreeSet<Tuple> = BTreeSet::new();
-                for shard in &self.shards {
-                    acc.extend(shard.query(s, cols)?);
-                }
-                Ok(acc.into_iter().collect())
-            }
+            None => self.read_transaction(|snap| snap.query(s, cols)),
         }
     }
 
     /// Whether any tuple extends `s`; fan-out patterns short-circuit at
-    /// the first shard with a witness (weakly consistent across shards,
-    /// like [`Self::query`]).
+    /// the first shard with a witness, all shards probed at one snapshot
+    /// timestamp (consistent across shards, like [`Self::query`]).
     ///
     /// # Errors
     ///
@@ -399,25 +403,51 @@ impl ShardedRelation {
     pub fn contains(&self, s: &Tuple) -> Result<bool, CoreError> {
         match self.route(s) {
             Some(i) => self.shards[i].contains(s),
-            None => {
-                for shard in &self.shards {
-                    if shard.contains(s)? {
-                        return Ok(true);
-                    }
-                }
-                Ok(false)
-            }
+            None => self.read_transaction(|snap| snap.contains(s)),
         }
     }
 
-    /// All tuples, sorted and deduplicated across shards (weakly
-    /// consistent under concurrent mutation, exact at quiescence).
+    /// All tuples, sorted and deduplicated across shards — one consistent
+    /// snapshot even under concurrent mutation (see [`Self::query`]).
     ///
     /// # Errors
     ///
     /// As for [`Self::query`].
     pub fn snapshot(&self) -> Result<Vec<Tuple>, CoreError> {
-        self.query(&Tuple::empty(), self.schema().columns())
+        self.read_transaction(|snap| snap.snapshot())
+    }
+
+    /// Runs a lock-free read-only transaction spanning every shard: the
+    /// closure's [`ShardedSnapshotReader`] captures **one** commit
+    /// timestamp and resolves every read on every shard against it. The
+    /// commit clock is process-global and cross-shard writers stamp all
+    /// their shards' versions with a single shared stamp before any lock
+    /// is released, so that one timestamp is a consistent cut: no read
+    /// can see shard A's half of a cross-shard transaction without
+    /// shard B's.
+    ///
+    /// Same contract as [`ConcurrentRelation::read_transaction`]: no
+    /// locks, no restarts, writers never blocked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a thread already inside a transaction on this
+    /// relation (same re-entrancy diagnosis as the locked operations).
+    pub fn read_transaction<R>(&self, f: impl FnOnce(&ShardedSnapshotReader<'_>) -> R) -> R {
+        let _guards: Vec<ActiveTxnGuard> = self
+            .shards
+            .iter()
+            .map(|s| ActiveTxnGuard::enter(s.relation_id()))
+            .collect();
+        let reader = ShardedSnapshotReader::open(self);
+        f(&reader)
+    }
+
+    /// Process-global version-chain counters; like
+    /// [`Self::reclamation_stats`], there is nothing per-shard to
+    /// aggregate.
+    pub fn version_stats(&self) -> relc_containers::VersionStats {
+        relc_containers::version_stats()
     }
 
     /// Structural verification of every quiescent shard instance, plus
@@ -484,11 +514,16 @@ impl ShardedRelation {
             match f(&mut stx) {
                 Ok(r) if !stx.needs_restart() => {
                     // Commit: publish every shard's len delta while all
-                    // locks are still held, then release shard by shard.
-                    let touched = stx.into_touched(false);
+                    // locks are still held, stamp the shared commit
+                    // timestamp over *all* shards' version journals (one
+                    // stamp per attempt ⇒ readers see the cross-shard
+                    // transaction atomically), then release shard by
+                    // shard.
+                    let (touched, scopes) = stx.into_touched(false);
                     for &(i, delta) in &touched {
                         self.shards[i].apply_len_delta(delta);
                     }
+                    mvcc::finish_attempt(self.placement(), &scopes);
                     for (i, _) in touched {
                         engines[i].finish();
                     }
@@ -497,14 +532,16 @@ impl ShardedRelation {
                 // A swallowed restart must not commit (same enforcement
                 // as the single-instance loop).
                 Ok(_) | Err(TxnError::Restart(_)) => {
-                    let touched = stx.into_touched(true);
+                    let (touched, scopes) = stx.into_touched(true);
+                    mvcc::finish_attempt(self.placement(), &scopes);
                     for (i, _) in touched {
                         engines[i].rollback();
                     }
                     backoff.wait();
                 }
                 Err(TxnError::Core(e)) => {
-                    let touched = stx.into_touched(true);
+                    let (touched, scopes) = stx.into_touched(true);
+                    mvcc::finish_attempt(self.placement(), &scopes);
                     let user = matches!(e, CoreError::TransactionAborted(_));
                     for (i, _) in touched {
                         if user {
@@ -548,6 +585,11 @@ pub struct ShardedTransaction<'t> {
     /// anything lower is demoted to try-only (global (shard, token)
     /// order — see the module docs).
     max_open: Option<usize>,
+    /// One commit stamp shared by every shard's MVCC write journal:
+    /// snapshot readers see the cross-shard attempt commit (or roll
+    /// back) as a single timestamp, never one shard's effects without
+    /// another's.
+    stamp: Arc<CommitStamp>,
 }
 
 impl<'t> ShardedTransaction<'t> {
@@ -561,6 +603,7 @@ impl<'t> ShardedTransaction<'t> {
             engines,
             open: (0..n).map(|_| None).collect(),
             max_open: None,
+            stamp: CommitStamp::new(),
         }
     }
 
@@ -582,7 +625,11 @@ impl<'t> ShardedTransaction<'t> {
             let shard = &self.rel.shards[i];
             let mut exec = Executor::new(shard.decomposition(), shard.placement(), engine);
             exec.always_sort_locks = shard.always_sort_locks();
-            self.open[i] = Some(Transaction::new(shard, exec, false));
+            let mut tx = Transaction::new(shard, exec, false);
+            // All shards write versions under the attempt's shared stamp
+            // (injected before any mirrored write can happen).
+            tx.set_mvcc_stamp(Arc::clone(&self.stamp));
+            self.open[i] = Some(tx);
         }
         let tx = self.open[i].as_mut().expect("just ensured open");
         match self.max_open {
@@ -603,19 +650,24 @@ impl<'t> ShardedTransaction<'t> {
 
     /// Consumes the attempt: optionally rolls back every touched shard's
     /// undo segment (all while every lock of every shard is still held),
-    /// and returns the touched shard indices with their len deltas. The
-    /// caller releases the engines afterwards.
-    fn into_touched(self, rollback: bool) -> Vec<(usize, isize)> {
+    /// and returns the touched shard indices with their len deltas plus
+    /// every touched shard's MVCC scope (taken *after* any rollback, so
+    /// compensation versions are journaled too). The caller stamps the
+    /// scopes through [`mvcc::finish_attempt`] and releases the engines
+    /// afterwards.
+    fn into_touched(self, rollback: bool) -> (Vec<(usize, isize)>, Vec<MvccScope>) {
         let mut touched = Vec::new();
+        let mut scopes = Vec::new();
         for (i, slot) in self.open.into_iter().enumerate() {
             if let Some(mut tx) = slot {
                 if rollback {
                     tx.rollback_effects();
                 }
                 touched.push((i, tx.len_delta()));
+                scopes.push(tx.take_mvcc());
             }
         }
-        touched
+        (touched, scopes)
     }
 
     /// `insert r s t` (§2) under this transaction's lock scope, routed to
@@ -842,6 +894,99 @@ impl<'t> ShardedTransaction<'t> {
     /// [`CoreError::TransactionAborted`].
     pub fn abort(&self, reason: impl Into<String>) -> TxnError {
         TxnError::Core(CoreError::TransactionAborted(reason.into()))
+    }
+}
+
+/// A lock-free read-only view of a [`ShardedRelation`] at one commit
+/// timestamp, handed to [`ShardedRelation::read_transaction`]'s closure.
+/// One snapshot registration and one epoch guard span every shard: all
+/// reads — routed or fanned out — resolve at the same timestamp, which
+/// the shared-stamp commit protocol makes a consistent cut across
+/// shards.
+pub struct ShardedSnapshotReader<'r> {
+    rel: &'r ShardedRelation,
+    snap: u64,
+    guard: relc_containers::epoch::Guard,
+    _reg: relc_locks::SnapshotGuard,
+}
+
+impl<'r> ShardedSnapshotReader<'r> {
+    fn open(rel: &'r ShardedRelation) -> Self {
+        // Register before pinning, like the single-instance reader: the
+        // registration stops committers from truncating history at or
+        // below `snap`, the guard keeps already-truncated nodes alive.
+        let reg = relc_locks::snapshot_registry().register(relc_locks::commit_clock());
+        let guard = relc_containers::epoch::pin();
+        ShardedSnapshotReader {
+            rel,
+            snap: reg.snap(),
+            guard,
+            _reg: reg,
+        }
+    }
+
+    /// The commit timestamp every shard is read at.
+    pub fn snapshot_ts(&self) -> u64 {
+        self.snap
+    }
+
+    /// `query r s C` (§2) at this snapshot: routed patterns read the
+    /// owning shard, fan-out patterns union every shard's contribution —
+    /// all at the same timestamp, so the union is itself a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ConcurrentRelation::query`].
+    pub fn query(&self, s: &Tuple, cols: ColumnSet) -> Result<Vec<Tuple>, CoreError> {
+        match self.rel.route(s) {
+            Some(i) => self.rel.shards[i].snapshot_query_at(s, cols, self.snap, &self.guard),
+            None => {
+                let mut acc: BTreeSet<Tuple> = BTreeSet::new();
+                for shard in &self.rel.shards {
+                    acc.extend(shard.snapshot_query_at(s, cols, self.snap, &self.guard)?);
+                }
+                Ok(acc.into_iter().collect())
+            }
+        }
+    }
+
+    /// Whether any tuple extends `s` at this snapshot; fan-out patterns
+    /// short-circuit at the first shard with a witness.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ShardedSnapshotReader::query`].
+    pub fn contains(&self, s: &Tuple) -> Result<bool, CoreError> {
+        match self.rel.route(s) {
+            Some(i) => self.rel.shards[i].snapshot_exists_at(s, self.snap, &self.guard),
+            None => {
+                for shard in &self.rel.shards {
+                    if shard.snapshot_exists_at(s, self.snap, &self.guard)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+        }
+    }
+
+    /// All tuples at this snapshot, sorted and deduplicated across
+    /// shards.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ShardedSnapshotReader::query`].
+    pub fn snapshot(&self) -> Result<Vec<Tuple>, CoreError> {
+        self.query(&Tuple::empty(), self.rel.schema().columns())
+    }
+}
+
+impl fmt::Debug for ShardedSnapshotReader<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedSnapshotReader")
+            .field("snapshot_ts", &self.snap)
+            .field("shards", &self.rel.shards.len())
+            .finish()
     }
 }
 

@@ -230,6 +230,21 @@ impl<'t> Transaction<'t> {
         self.len_delta
     }
 
+    /// Takes the attempt's MVCC state (commit stamp + write journal);
+    /// the commit/rollback paths stamp and retire it before the engine
+    /// releases any lock.
+    pub(crate) fn take_mvcc(&mut self) -> crate::mvcc::MvccScope {
+        self.exec.take_mvcc()
+    }
+
+    /// Pre-seeds the attempt's commit stamp. The sharding layer injects
+    /// one shared stamp into every shard-local transaction of a
+    /// cross-shard attempt, so all shards' versions become visible at one
+    /// timestamp (a single consistent cut).
+    pub(crate) fn set_mvcc_stamp(&mut self, stamp: std::sync::Arc<relc_locks::CommitStamp>) {
+        self.exec.set_mvcc_stamp(stamp);
+    }
+
     /// `insert r s t` (§2) under this transaction's lock scope: inserts
     /// `s ∪ t` provided no existing tuple extends `s`; returns whether the
     /// insert happened.

@@ -44,12 +44,17 @@
 #![warn(missing_docs)]
 
 mod backoff;
+mod clock;
 mod engine;
 mod mode;
 mod physical;
 mod stats;
 
 pub use backoff::Backoff;
+pub use clock::{
+    commit_clock, snapshot_registry, CommitClock, CommitStamp, SnapshotGuard, SnapshotRegistry,
+    TENTATIVE_TS,
+};
 pub use engine::{MustRestart, RestartReason, TwoPhaseEngine};
 pub use mode::LockMode;
 pub use physical::PhysicalLock;

@@ -16,6 +16,7 @@ pub struct LockStats {
     speculation_failures: AtomicU64,
     commits: AtomicU64,
     user_rollbacks: AtomicU64,
+    snapshot_reads: AtomicU64,
 }
 
 /// Per-transaction counter deltas, accumulated locally (no shared-cache
@@ -83,6 +84,15 @@ impl LockStats {
         *local = LocalStats::default();
     }
 
+    /// Records `n` completed MVCC snapshot read operations. Snapshot
+    /// reads never enter the lock engine (that is the point), so they
+    /// bypass the [`LocalStats`] flush path and record directly.
+    pub fn record_snapshot_reads(&self, n: u64) {
+        if n > 0 {
+            self.snapshot_reads.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// Takes a point-in-time snapshot of all counters.
     pub fn snapshot(&self) -> LockStatsSnapshot {
         LockStatsSnapshot {
@@ -93,6 +103,7 @@ impl LockStats {
             speculation_failures: self.speculation_failures.load(Ordering::Relaxed),
             commits: self.commits.load(Ordering::Relaxed),
             user_rollbacks: self.user_rollbacks.load(Ordering::Relaxed),
+            snapshot_reads: self.snapshot_reads.load(Ordering::Relaxed),
         }
     }
 }
@@ -119,6 +130,9 @@ pub struct LockStatsSnapshot {
     /// an effect, so a retry storm is distinguishable from application
     /// aborts.
     pub user_rollbacks: u64,
+    /// Lock-free MVCC snapshot read operations (queries/membership tests
+    /// served from version chains without touching the lock engine).
+    pub snapshot_reads: u64,
 }
 
 impl fmt::Display for LockStatsSnapshot {
@@ -126,14 +140,15 @@ impl fmt::Display for LockStatsSnapshot {
         write!(
             f,
             "acquisitions={} contended={} restarts={} upgrades={} \
-             spec-failures={} commits={} user-rollbacks={}",
+             spec-failures={} commits={} user-rollbacks={} snapshot-reads={}",
             self.acquisitions,
             self.contended,
             self.restarts,
             self.upgrades,
             self.speculation_failures,
             self.commits,
-            self.user_rollbacks
+            self.user_rollbacks,
+            self.snapshot_reads
         )
     }
 }
@@ -157,6 +172,8 @@ mod tests {
         s.flush(&mut local);
         assert!(local.is_empty(), "flush drains the local deltas");
         s.flush(&mut local); // no-op
+        s.record_snapshot_reads(3);
+        s.record_snapshot_reads(0); // no-op
         let snap = s.snapshot();
         assert_eq!(snap.acquisitions, 2);
         assert_eq!(snap.contended, 1);
@@ -165,7 +182,9 @@ mod tests {
         assert_eq!(snap.speculation_failures, 1);
         assert_eq!(snap.commits, 1);
         assert_eq!(snap.user_rollbacks, 2);
+        assert_eq!(snap.snapshot_reads, 3);
         assert!(snap.to_string().contains("acquisitions=2"));
         assert!(snap.to_string().contains("commits=1"));
+        assert!(snap.to_string().contains("snapshot-reads=3"));
     }
 }
