@@ -236,7 +236,23 @@ fn churn(
     }
 }
 
-fn churn_battery(threads: u64, rounds: u64, keyspace: u64, bound: u64) {
+/// How tightly churn must bound the in-flight garbage peak.
+enum InFlightBound {
+    /// Peak may never exceed this many items. Only meaningful when the
+    /// run spans many scheduler timeslices: the peak is retire-rate ×
+    /// the longest epoch stall, and a stall is one descheduled pinned
+    /// thread's timeslice-out.
+    Absolute(u64),
+    /// Peak must stay at or below `num/den` of total retired. The right
+    /// check for short runs on an oversubscribed box, where one
+    /// scheduler stall can span most of the run and any absolute bound
+    /// is a coin flip — a measurable dip below "everything" still proves
+    /// collection ran *during* churn, which the old leak-forever shim
+    /// (peak == retired, always) can never pass.
+    FractionOfRetired(u64, u64),
+}
+
+fn churn_battery(threads: u64, rounds: u64, keyspace: u64, bound: InFlightBound) {
     reclamation_flush();
     let before = reclamation_stats();
 
@@ -282,14 +298,20 @@ fn churn_battery(threads: u64, rounds: u64, keyspace: u64, bound: u64) {
     assert!(reclaimed > 0, "churn must actually reclaim garbage");
     assert_eq!(stats.in_flight(), 0, "flush at quiescence frees everything");
     assert_eq!(retired, reclaimed, "every retirement eventually freed");
+    let limit = match bound {
+        InFlightBound::Absolute(n) => {
+            assert!(
+                retired > n,
+                "churn too small to make the bound meaningful: retired {retired} <= bound {n}"
+            );
+            n
+        }
+        InFlightBound::FractionOfRetired(num, den) => retired * num / den,
+    };
     assert!(
-        retired > bound,
-        "churn too small to make the bound meaningful: retired {retired} <= bound {bound}"
-    );
-    assert!(
-        peak <= bound,
+        peak <= limit,
         "in-flight garbage must stay bounded during churn (the old shim grew \
-         monotonically): peak {peak} > bound {bound} (retired {retired})"
+         monotonically): peak {peak} > bound {limit} (retired {retired})"
     );
 
     // Live drop-tracked allocations return to the container's logical size.
@@ -314,9 +336,13 @@ fn churn_battery(threads: u64, rounds: u64, keyspace: u64, bound: u64) {
 #[test]
 fn churn_reclaims_and_bounds_in_flight() {
     let _serial = serialize();
-    // Bound rationale as in the soak: comfortably above one scheduler
-    // stall's worth of retirements, comfortably below total retired.
-    churn_battery(4, 8_000, 48, 16_384);
+    // This quick battery finishes within a few scheduler timeslices, so
+    // an absolute peak bound is scheduling luck (observed peaks on a
+    // loaded 1-CPU box range ~45–80% of retired); the fractional bound
+    // still separates real reclamation from the leak-forever shim, and
+    // the `--ignored` soak asserts the tight absolute bound on a run
+    // long enough to amortize stalls.
+    churn_battery(4, 24_000, 48, InFlightBound::FractionOfRetired(7, 8));
 }
 
 #[test]
@@ -330,7 +356,7 @@ fn soak_sustained_churn_memory_stays_bounded() {
     // descheduled pinned thread freezes the epoch for a timeslice while
     // the others keep retiring at release-build speed (observed peaks
     // ~30k), hence a bound well above that but still ~8% of total.
-    churn_battery(8, 300_000, 64, 131_072);
+    churn_battery(8, 300_000, 64, InFlightBound::Absolute(131_072));
 }
 
 // ---------------------------------------------------------------------------

@@ -85,8 +85,14 @@ impl MvccScope {
     }
 
     /// Pre-seeds the stamp (cross-shard attempts share one stamp).
+    ///
+    /// A late injection — after a mirrored write already lazily created a
+    /// stamp — would split one attempt's versions across two
+    /// `CommitStamp`s and break single-timestamp atomic visibility, so
+    /// this asserts in release builds too (it is a once-per-attempt
+    /// path; the cost is negligible).
     pub fn set_stamp(&mut self, stamp: Arc<CommitStamp>) {
-        debug_assert!(
+        assert!(
             self.stamp.is_none(),
             "stamp injection must precede every mirrored write"
         );

@@ -557,6 +557,52 @@ fn registered_reader_pins_its_version() {
     assert_eq!(now[0].get(wcol).and_then(|v| v.as_int()), Some(299));
 }
 
+/// Regression: single-shot reads route through `read_transaction`, so a
+/// `relB.contains()` inside `relA.read_transaction(..)` registers a
+/// second snapshot on the same thread. With the old one-slot-per-thread
+/// registry the inner registration overwrote the outer's slot and its
+/// guard drop deregistered the still-active outer reader, letting
+/// committers retire versions the outer snapshot needed. Each
+/// registration now holds its own slot.
+#[test]
+fn nested_read_does_not_deregister_outer_snapshot() {
+    let _serial = serialize();
+    let d = stick(ContainerKind::ConcurrentHashMap, ContainerKind::TreeMap);
+    let rel =
+        Arc::new(ConcurrentRelation::new(d.clone(), LockPlacement::fine(&d).unwrap()).unwrap());
+    let other = ConcurrentRelation::new(d.clone(), LockPlacement::fine(&d).unwrap()).unwrap();
+    rel.insert(&edge(&rel, 9, 9), &weight(&rel, 111)).unwrap();
+    other
+        .insert(&edge(&other, 1, 1), &weight(&other, 1))
+        .unwrap();
+    let wcols = rel.schema().column_set(&["weight"]).unwrap();
+    let wcol = rel.schema().column("weight").unwrap();
+
+    rel.read_transaction(|snap| {
+        let before = snap.query(&edge(&rel, 9, 9), wcols).unwrap();
+        assert_eq!(before[0].get(wcol).and_then(|v| v.as_int()), Some(111));
+        // Nested registration + drop on this thread.
+        assert!(other.contains(&edge(&other, 1, 1)).unwrap());
+        // Commit-side retirement on another thread must still honor the
+        // outer snapshot after the inner guard dropped.
+        let rel2 = Arc::clone(&rel);
+        std::thread::spawn(move || {
+            for i in 0..300 {
+                rel2.update(&edge(&rel2, 9, 9), &weight(&rel2, i)).unwrap();
+            }
+        })
+        .join()
+        .unwrap();
+        let after = snap.query(&edge(&rel, 9, 9), wcols).unwrap();
+        assert_eq!(
+            before, after,
+            "outer snapshot was deregistered by the nested read"
+        );
+    });
+    let now = rel.read_transaction(|snap| snap.query(&edge(&rel, 9, 9), wcols).unwrap());
+    assert_eq!(now[0].get(wcol).and_then(|v| v.as_int()), Some(299));
+}
+
 /// The new counters surface through the public stats accessors and are
 /// non-zero after snapshot traffic: `snapshot_reads` on
 /// `LockStats`/sharded aggregation, `versions_created`/`versions_retired`

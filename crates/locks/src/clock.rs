@@ -29,7 +29,7 @@
 //! # Why registration validates
 //!
 //! [`SnapshotRegistry::register`] publishes the reader's snapshot into a
-//! per-thread slot and then re-reads `visible`; if the watermark moved,
+//! per-registration slot and then re-reads `visible`; if the watermark moved,
 //! it retries with the newer value. This closes the classic race against
 //! [`SnapshotRegistry::min_active`]: a committer that scanned the slots
 //! *before* the reader's store published its snapshot must — in the
@@ -107,12 +107,23 @@ impl CommitClock {
     /// committed before my snapshot".
     ///
     /// Returns the allocated timestamp.
+    ///
+    /// # Oversubscription hazard
+    ///
+    /// Publication is strictly in allocation order, so a committer
+    /// descheduled between its `alloc` fetch-add and its `visible` store
+    /// convoys every later committer (and rollback, which stamps too)
+    /// until the scheduler runs it again. The window is a handful of
+    /// straight-line instructions — no locks, no I/O — so in practice it
+    /// closes in nanoseconds, and because each committer only ever waits
+    /// on *smaller* timestamps the wait-for order is acyclic (no
+    /// deadlock). But on a heavily oversubscribed box (threads ≫ cores)
+    /// the stall is scheduler-bound, not instruction-bound; if that ever
+    /// shows up in profiles, allocate-and-stamp under one short critical
+    /// section, or park/wake instead of yielding.
     pub fn commit(&self, stamp: &CommitStamp) -> u64 {
         let ts = self.alloc.fetch_add(1, SeqCst) + 1;
         stamp.0.store(ts, SeqCst);
-        // Publish in allocation order. The window between another
-        // committer's alloc and publish is a handful of straight-line
-        // instructions (no locks, no I/O), so this wait is short.
         let mut spins = 0u32;
         while self.visible.load(SeqCst) != ts - 1 {
             spins += 1;
@@ -141,9 +152,14 @@ type Slot = Arc<AtomicU64>;
 /// decide how far version chains may be truncated
 /// ([`SnapshotRegistry::min_active`]).
 ///
-/// Slots are claimed once per thread (and recycled through a free list
-/// when the thread exits), so the hot path of a read is two `SeqCst`
-/// stores and two loads — no locking.
+/// Every registration claims its **own** slot — nested registrations on
+/// one thread (a `relB.query()` inside `relA.read_transaction(..)`
+/// routes through `read_transaction` again) therefore occupy distinct
+/// slots and can never clobber each other, regardless of drop order.
+/// Released slots are cached in a per-thread free list (spilled to the
+/// registry-global one at thread exit), so the hot path of a read is a
+/// thread-local pop/push plus two `SeqCst` stores and two loads — no
+/// locking.
 #[derive(Debug, Default)]
 pub struct SnapshotRegistry {
     slots: RwLock<Vec<Slot>>,
@@ -157,10 +173,11 @@ pub fn snapshot_registry() -> &'static SnapshotRegistry {
 }
 
 /// RAII registration of one snapshot read; dropping it marks the slot
-/// idle again.
+/// idle again and returns it to the dropping thread's slot cache.
 #[derive(Debug)]
 pub struct SnapshotGuard {
     slot: Slot,
+    index: usize,
     snap: u64,
 }
 
@@ -174,43 +191,60 @@ impl SnapshotGuard {
 impl Drop for SnapshotGuard {
     fn drop(&mut self) {
         self.slot.store(TENTATIVE_TS, SeqCst);
+        release_slot(Arc::clone(&self.slot), self.index);
     }
 }
 
-/// Returns the calling thread's registry slot, claiming one on first use
-/// and releasing it (back to the free list) when the thread exits.
-fn thread_slot(reg: &'static SnapshotRegistry) -> Slot {
-    struct ThreadSlot {
-        slot: Slot,
-        index: usize,
-    }
-    impl Drop for ThreadSlot {
-        fn drop(&mut self) {
-            self.slot.store(TENTATIVE_TS, SeqCst);
-            snapshot_registry()
-                .free
-                .lock()
-                .expect("free list")
-                .push(self.index);
+/// A thread's cache of idle registry slots. Slots are interchangeable,
+/// so a guard dropped on a different thread than it was registered on
+/// simply donates its slot to the dropping thread's cache. On thread
+/// exit the cached slots spill back to the registry-global free list.
+struct SlotCache(Vec<(Slot, usize)>);
+
+impl Drop for SlotCache {
+    fn drop(&mut self) {
+        let mut free = snapshot_registry().free.lock().expect("free list");
+        for (_, index) in self.0.drain(..) {
+            free.push(index);
         }
     }
-    thread_local! {
-        static SLOT: std::cell::OnceCell<ThreadSlot> = const { std::cell::OnceCell::new() };
+}
+
+thread_local! {
+    static SLOT_CACHE: std::cell::RefCell<SlotCache> =
+        const { std::cell::RefCell::new(SlotCache(Vec::new())) };
+}
+
+/// Claims an idle registry slot for one registration: thread cache
+/// first, then the global free list, then a fresh slot. Distinct live
+/// registrations always hold distinct slots.
+fn claim_slot(reg: &'static SnapshotRegistry) -> (Slot, usize) {
+    if let Ok(Some(cached)) = SLOT_CACHE.try_with(|c| c.borrow_mut().0.pop()) {
+        return cached;
     }
-    SLOT.with(|cell| {
-        let ts = cell.get_or_init(|| {
-            if let Some(index) = reg.free.lock().expect("free list").pop() {
-                let slot = Arc::clone(&reg.slots.read().expect("slots")[index]);
-                return ThreadSlot { slot, index };
-            }
-            let mut slots = reg.slots.write().expect("slots");
-            let index = slots.len();
-            let slot = Arc::new(AtomicU64::new(TENTATIVE_TS));
-            slots.push(Arc::clone(&slot));
-            ThreadSlot { slot, index }
-        });
-        Arc::clone(&ts.slot)
-    })
+    if let Some(index) = reg.free.lock().expect("free list").pop() {
+        let slot = Arc::clone(&reg.slots.read().expect("slots")[index]);
+        return (slot, index);
+    }
+    let mut slots = reg.slots.write().expect("slots");
+    let index = slots.len();
+    let slot = Arc::new(AtomicU64::new(TENTATIVE_TS));
+    slots.push(Arc::clone(&slot));
+    (slot, index)
+}
+
+/// Returns a slot to the calling thread's cache, or to the global free
+/// list when the thread-local is already torn down.
+fn release_slot(slot: Slot, index: usize) {
+    let mut pair = Some((slot, index));
+    let cached = SLOT_CACHE.try_with(|c| c.borrow_mut().0.push(pair.take().expect("pair")));
+    if cached.is_err() {
+        snapshot_registry()
+            .free
+            .lock()
+            .expect("free list")
+            .push(index);
+    }
 }
 
 impl SnapshotRegistry {
@@ -219,12 +253,12 @@ impl SnapshotRegistry {
     /// so a concurrent committer's [`SnapshotRegistry::min_active`] can
     /// never miss the registration.
     pub fn register(&'static self, clock: &CommitClock) -> SnapshotGuard {
-        let slot = thread_slot(self);
+        let (slot, index) = claim_slot(self);
         loop {
             let snap = clock.now();
             slot.store(snap, SeqCst);
             if clock.now() == snap {
-                return SnapshotGuard { slot, snap };
+                return SnapshotGuard { slot, index, snap };
             }
             // The watermark moved between publish and validate: retry so
             // the registered value is never below what a concurrent
@@ -317,6 +351,46 @@ mod tests {
         // other threads may still hold older snapshots, so only check
         // against our own).
         assert!(reg.min_active(clock) >= snap.min(reg.min_active(clock)));
+    }
+
+    #[test]
+    fn nested_registrations_hold_distinct_slots() {
+        let clock = commit_clock();
+        let reg = snapshot_registry();
+        let outer = reg.register(clock);
+        // Advance the clock so an inner registration lands on a strictly
+        // newer snapshot.
+        let s = CommitStamp::new();
+        clock.commit(&s);
+        let inner = reg.register(clock);
+        assert!(inner.snap() >= outer.snap());
+        // Both snapshots must bound min_active while both are live: the
+        // inner registration may not overwrite the outer's slot.
+        assert!(reg.min_active(clock) <= outer.snap());
+        // Dropping the inner guard must not deregister the outer reader.
+        drop(inner);
+        let s2 = CommitStamp::new();
+        clock.commit(&s2);
+        assert!(reg.min_active(clock) <= outer.snap());
+        drop(outer);
+    }
+
+    #[test]
+    fn out_of_order_guard_drop_keeps_live_reader_registered() {
+        let clock = commit_clock();
+        let reg = snapshot_registry();
+        let outer = reg.register(clock);
+        let s = CommitStamp::new();
+        clock.commit(&s);
+        let inner = reg.register(clock);
+        let inner_snap = inner.snap();
+        // Drop the guards in registration (non-LIFO) order: the inner
+        // reader must stay protected after the outer slot is released.
+        drop(outer);
+        let s2 = CommitStamp::new();
+        clock.commit(&s2);
+        assert!(reg.min_active(clock) <= inner_snap);
+        drop(inner);
     }
 
     #[test]
