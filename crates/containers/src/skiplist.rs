@@ -170,6 +170,8 @@ impl<K: Key, V: Val> ConcurrentSkipListMap<K, V> {
                 return None;
             }
             if expect_succ_unmarked {
+                // SAFETY: `succs[level]` was loaded under `guard`; nodes
+                // are only freed after all guards quiesce.
                 if let Some(s) = unsafe { succs[level].as_ref() } {
                     if s.marked.load(SeqCst) {
                         return None;

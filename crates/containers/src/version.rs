@@ -120,6 +120,8 @@ impl<V: Clone> VersionCell<V> {
     /// stamp `Arc` as the current head replaces the head in place.
     pub fn push(&self, stamp: Arc<CommitStamp>, value: Option<V>, guard: &Guard) {
         let head = self.head.load(SeqCst, guard);
+        // SAFETY: `head` was loaded under `guard` and chain nodes are
+        // retired through the epoch collector, so it is live here.
         let prev = match unsafe { head.as_ref() } {
             Some(h) if Arc::ptr_eq(&h.stamp, &stamp) => {
                 // Same transaction attempt rewrote this entry (or a
@@ -135,6 +137,8 @@ impl<V: Clone> VersionCell<V> {
             prev: Atomic::null(),
         })
         .into_shared(guard);
+        // SAFETY: `node` was allocated two lines up and is not yet
+        // published; it is trivially live and non-null.
         unsafe { node.deref() }.prev.store(prev, SeqCst);
         self.head.store(node, SeqCst);
         if prev != head {
@@ -150,6 +154,8 @@ impl<V: Clone> VersionCell<V> {
     /// `snap`). Lock-free; requires only an epoch guard.
     pub fn resolve(&self, snap: u64, guard: &Guard) -> Option<V> {
         let mut cur = self.head.load(SeqCst, guard);
+        // SAFETY: every link was loaded under `guard`; retired nodes
+        // outlive all guards pinned before their unlink.
         while let Some(node) = unsafe { cur.as_ref() } {
             // Tentative stamps load as u64::MAX, so they are skipped like
             // any future-committed version.
@@ -170,6 +176,8 @@ impl<V: Clone> VersionCell<V> {
         let mut cur = self.head.load(SeqCst, guard);
         // Find the keeper.
         let keeper = loop {
+            // SAFETY: loaded under `guard`; the caller's write locks keep
+            // any concurrent truncation out, so links stay reachable.
             match unsafe { cur.as_ref() } {
                 Some(node) if node.stamp.load() > min_active => {
                     cur = node.prev.load(SeqCst, guard);
@@ -182,11 +190,30 @@ impl<V: Clone> VersionCell<V> {
         // past the keeper keep following the (intact) prev pointers of
         // the cut nodes until their guards quiesce.
         let mut cut = keeper.prev.swap(Shared::null(), SeqCst, guard);
+        // SAFETY: the cut nodes were just unlinked by this thread (which
+        // holds the entry's write locks) and are not yet handed to the
+        // collector, so each is still live while we walk it.
         while let Some(node) = unsafe { cut.as_ref() } {
             let next = node.prev.load(SeqCst, guard);
             retire_to_collector(cut, guard);
             cut = next;
         }
+    }
+
+    /// Snapshot of the chain's stamps, newest first: `(stamp, is_live)`
+    /// pairs where `is_live` is `false` for tombstones. A tentative head
+    /// reports as `u64::MAX`. Lock-free; requires only an epoch guard.
+    /// Intended for invariant checking — the chain below the head must be
+    /// strictly decreasing and fully committed.
+    pub fn chain_stamps(&self, guard: &Guard) -> Vec<(u64, bool)> {
+        let mut out = Vec::new();
+        let mut cur = self.head.load(SeqCst, guard);
+        // SAFETY: every link was loaded under `guard`; see `resolve`.
+        while let Some(node) = unsafe { cur.as_ref() } {
+            out.push((node.stamp.load(), node.value.is_some()));
+            cur = node.prev.load(SeqCst, guard);
+        }
+        out
     }
 
     /// Whether this cell will never be visible to any present or future
@@ -196,6 +223,7 @@ impl<V: Clone> VersionCell<V> {
     /// cell's index entry may be unlinked.
     pub fn is_dead(&self, min_active: u64, guard: &Guard) -> bool {
         let head = self.head.load(SeqCst, guard);
+        // SAFETY: loaded under `guard`; see `push` for chain liveness.
         match unsafe { head.as_ref() } {
             Some(node) => {
                 node.value.is_none()
@@ -216,6 +244,8 @@ impl<V> Drop for VersionCell<V> {
         while let Some(node) = unsafe { cur.as_ref() } {
             let next = node.prev.load(SeqCst, guard);
             VERSIONS_RETIRED.fetch_add(1, Relaxed);
+            // SAFETY: `drop` gives exclusive ownership of the whole
+            // chain; each node is reachable exactly once.
             drop(unsafe { cur.into_owned() });
             cur = next;
         }

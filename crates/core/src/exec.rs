@@ -428,7 +428,10 @@ impl<'a> Executor<'a> {
         root: &NodeRef,
         undo: InsertUndo<'_>,
     ) -> Result<bool, MustRestart> {
-        self.lock_root_batch(x, root, &|_| false)?;
+        // A scanning existence check reads whole container instances
+        // unlocked; take every root stripe so no sibling-stripe writer can
+        // race the scan (`InsertPlan::check_has_scan`).
+        self.lock_root_batch(x, root, &|_| plan.check_has_scan)?;
         let mut order: Vec<NodeId> = self.decomp.nodes().map(|(id, _)| id).collect();
         order.sort_by_key(|&v| self.decomp.topo_position(v));
         self.insert_under_root_locks(plan, x, s, root, undo, &order, None)
@@ -1011,6 +1014,23 @@ impl<'a> Executor<'a> {
                 // §4.5: self-locking lookup; the planner guarantees spec
                 // steps are point lookups and never touched.
                 debug_assert!(step.kind == MutTraverse::Lookup && !step.touched);
+                // Pin the fallback root stripe *before* the target
+                // protocol: unlocked existence checks exclude structural
+                // writers by sweeping every root stripe (see
+                // `InsertPlan::check_has_scan`), and the in-place rewrite
+                // is such a writer even when the present path would let it
+                // skip the root entirely.
+                let mut batch: Vec<(LockToken, Arc<relc_locks::PhysicalLock>)> = Vec::new();
+                for c in &cands {
+                    let Some(host_inst) = c.st.nodes[ep.host.index()].clone() else {
+                        continue;
+                    };
+                    for tok in self.placement.fallback_tokens(step.edge, &c.st.tuple) {
+                        let lock = Arc::clone(host_inst.lock(tok.stripe));
+                        batch.push((tok, lock));
+                    }
+                }
+                self.acquire_sorted_batch(batch, step.mode)?;
                 let states = std::mem::take(&mut cands)
                     .into_iter()
                     .map(|c| (c.st, c.touched))

@@ -32,6 +32,7 @@
 
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod decomp;
 pub mod error;
 pub mod exec;
@@ -46,6 +47,7 @@ pub mod shard;
 pub mod txn;
 pub mod viz;
 
+pub use analysis::{Analyzer, AnalyzerOptions, Diagnostic, DiagnosticKind};
 pub use decomp::{Decomposition, DecompositionBuilder, EdgeId, NodeId};
 pub use error::CoreError;
 pub use placement::{LockPlacement, LockToken, PlacementBuilder};

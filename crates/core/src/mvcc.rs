@@ -227,6 +227,103 @@ impl std::fmt::Debug for MvccScope {
     }
 }
 
+/// Quiescent verification of every version chain reachable from `root`
+/// (test support; surfaced through
+/// [`ConcurrentRelation::verify`](crate::ConcurrentRelation::verify)):
+///
+/// * chain stamps are strictly decreasing newest-first;
+/// * no tentative stamp survives quiescence ([`finish_attempt`] commits
+///   the stamp on rollback paths too);
+/// * after compacting each chain to the current retirement floor, at
+///   most one version sits at or below the floor (the keeper —
+///   [`VersionCell::truncate`]'s postcondition);
+/// * the version indexes, resolved at the current clock time, carry
+///   exactly the live keys of the main containers (every locked write
+///   was mirrored, every mirror was written).
+///
+/// As a side effect chains are compacted to the current floor, exactly
+/// as a committing writer would; at quiescence that is sound and
+/// exercises the retirement path.
+pub(crate) fn verify_versions(decomp: &Decomposition, root: &NodeRef) -> Result<(), String> {
+    let clock = relc_locks::commit_clock();
+    let floor = relc_locks::snapshot_registry().min_active(clock);
+    let now = clock.now();
+    let guard = relc_containers::epoch::pin();
+    let mut seen: Vec<*const ()> = Vec::new();
+    let mut stack: Vec<NodeRef> = vec![Arc::clone(root)];
+    while let Some(inst) = stack.pop() {
+        let ptr = Arc::as_ptr(&inst).cast::<()>();
+        if seen.contains(&ptr) {
+            continue;
+        }
+        seen.push(ptr);
+        let meta = decomp.node(inst.node());
+        for &e in &meta.outgoing {
+            let em = decomp.edge(e);
+            let ename = format!("{}→{}", meta.name, decomp.node(em.dst).name);
+            let mut live: BTreeSet<Tuple> = BTreeSet::new();
+            inst.container(decomp, e)
+                .scan(&mut |k: &Tuple, child: &NodeRef| {
+                    live.insert(k.clone());
+                    stack.push(Arc::clone(child));
+                    ControlFlow::Continue(())
+                });
+            let mut err: Option<String> = None;
+            let mut resolved: BTreeSet<Tuple> = BTreeSet::new();
+            inst.versions(decomp, e).scan(&mut |k: &Tuple, cell| {
+                cell.truncate(floor, &guard);
+                let stamps = cell.chain_stamps(&guard);
+                if let Some(w) = stamps.windows(2).find(|w| w[0].0 <= w[1].0) {
+                    err = Some(format!(
+                        "version chain for {k:?} on {ename} of instance \
+                         {:?} is not strictly decreasing: {} then {}",
+                        inst.key(),
+                        w[0].0,
+                        w[1].0
+                    ));
+                    return ControlFlow::Break(());
+                }
+                if stamps.iter().any(|&(s, _)| s == u64::MAX) {
+                    err = Some(format!(
+                        "version chain for {k:?} on {ename} of instance \
+                         {:?} holds a tentative stamp at quiescence",
+                        inst.key()
+                    ));
+                    return ControlFlow::Break(());
+                }
+                let below = stamps.iter().filter(|&&(s, _)| s <= floor).count();
+                if below > 1 {
+                    err = Some(format!(
+                        "version chain for {k:?} on {ename} of instance \
+                         {:?} keeps {below} versions at or below the \
+                         retirement floor {floor}",
+                        inst.key()
+                    ));
+                    return ControlFlow::Break(());
+                }
+                if cell.resolve(now, &guard).is_some() {
+                    resolved.insert(k.clone());
+                }
+                ControlFlow::Continue(())
+            });
+            if let Some(err) = err {
+                return Err(err);
+            }
+            if resolved != live {
+                let missing: Vec<_> = live.difference(&resolved).collect();
+                let phantom: Vec<_> = resolved.difference(&live).collect();
+                return Err(format!(
+                    "version index for {ename} of instance {:?} disagrees \
+                     with the container: unmirrored live keys {missing:?}, \
+                     phantom version keys {phantom:?}",
+                    inst.key()
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Resolves `key` through `src`'s version index for `edge` at snapshot
 /// `snap`.
 fn resolve_edge(

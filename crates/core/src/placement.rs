@@ -62,6 +62,16 @@ pub struct LockToken {
     pub stripe: u32,
 }
 
+impl relc_locks::LockdepClass for LockToken {
+    /// The `lockdep` witness collapses tokens to `(node position, stripe)`
+    /// classes: every instance of one decomposition level shares the
+    /// ordering constraints the §5.1 order imposes on the level, which is
+    /// exactly the granularity at which an order inversion is a bug.
+    fn lockdep_class(&self) -> u64 {
+        (u64::from(self.node_pos) << 32) | u64::from(self.stripe)
+    }
+}
+
 impl fmt::Display for LockToken {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -485,6 +495,40 @@ impl PlacementBuilder {
                     )));
                 }
             }
+            edges.push(ep);
+        }
+        Ok(Arc::new(LockPlacement {
+            decomp: Arc::clone(d),
+            edges,
+            stripe_counts: self.stripe_counts.clone(),
+            name: self.name.clone(),
+        }))
+    }
+
+    /// Builds the placement **without** the §4.3/§4.5 validation — every
+    /// edge must still have *a* placement, but domination, path-sharing,
+    /// and the speculative prerequisites are not enforced.
+    ///
+    /// This exists solely so the lock-discipline analyzer's rejection
+    /// battery (see [`crate::analysis`]) can construct deliberately
+    /// ill-formed placements and prove they are flagged; never hand one of
+    /// these to an executor.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::IllFormedPlacement`] if some edge has no placement at
+    /// all (the analyzer needs a total edge map to run).
+    pub fn build_unchecked(&self) -> Result<Arc<LockPlacement>, CoreError> {
+        let d = &self.decomp;
+        let mut edges = Vec::with_capacity(d.edge_count());
+        for (e, em) in d.edges() {
+            let ep = self.edges[e.index()].ok_or_else(|| {
+                CoreError::IllFormedPlacement(format!(
+                    "edge {}→{} has no placement",
+                    d.node(em.src).name,
+                    d.node(em.dst).name
+                ))
+            })?;
             edges.push(ep);
         }
         Ok(Arc::new(LockPlacement {

@@ -70,6 +70,13 @@ pub struct InsertPlan {
     pub edges: Vec<EdgeId>,
     /// Existence-check chain over the bound columns `dom s`.
     pub check: Vec<(EdgeId, MutTraverse)>,
+    /// The check chain scans at least one edge. The check runs *unlocked*,
+    /// so a scan observes whole container instances; under a striped root
+    /// the fallback sweep holds only the inserted tuple's stripe, which
+    /// does not exclude writers on sibling stripes. Force the root sweep
+    /// to take every stripe (§4.4's conservative all-`k` rule) so the
+    /// scanned instances are writer-free.
+    pub check_has_scan: bool,
 }
 
 /// A compiled remove plan (§2's `remove r s`; `s` must be a key).
@@ -463,9 +470,11 @@ impl Planner {
     /// placement (e.g. the check would scan a speculative edge).
     pub fn plan_insert(&self, bound: ColumnSet) -> Result<InsertPlan, CoreError> {
         let check = self.plan_check_chain(bound)?;
+        let check_has_scan = check.iter().any(|&(_, k)| k == MutTraverse::Scan);
         Ok(InsertPlan {
             edges: self.mutation_order(),
             check,
+            check_has_scan,
         })
     }
 
@@ -593,8 +602,15 @@ impl Planner {
         let insert = Arc::new(self.plan_insert(bound)?);
         // A full tuple is always a key, so the inverse plan always exists.
         let inverse = Arc::new(self.plan_remove(self.decomp.schema().columns())?);
+        // The unlocked check chain's scans need every root stripe held,
+        // exactly as in the single-row path (see `InsertPlan::check_has_scan`).
+        let root_hosted = self
+            .root_hosted_edges(&inverse)
+            .into_iter()
+            .map(|(e, force)| (e, force || insert.check_has_scan))
+            .collect();
         Ok(InsertBatchPlan {
-            root_hosted: self.root_hosted_edges(&inverse),
+            root_hosted,
             defer: self.root_source_edges(),
             topo_nodes: self.nodes_in_topo_order(false),
             insert,

@@ -695,13 +695,18 @@ impl ConcurrentRelation {
     }
 
     /// Structural verification of the quiescent instance (tests):
-    /// branch agreement, sharing, no exhausted instances. Returns the
-    /// represented relation.
+    /// branch agreement, sharing, no exhausted instances, and the MVCC
+    /// version-chain invariants (strictly decreasing stamps, no
+    /// tentative stamps, compaction to the retirement floor, mirror
+    /// completeness against the containers — see
+    /// [`mvcc::verify_versions`](crate::mvcc)). Returns the represented
+    /// relation.
     ///
     /// # Errors
     ///
     /// A description of the violated invariant.
     pub fn verify(&self) -> Result<std::collections::BTreeSet<Tuple>, String> {
+        mvcc::verify_versions(&self.decomp, &self.root)?;
         instance::verify_instance(&self.decomp, &self.root)
     }
 

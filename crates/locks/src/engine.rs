@@ -22,6 +22,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
+use crate::lockdep::LockdepClass;
 use crate::mode::LockMode;
 use crate::physical::PhysicalLock;
 use crate::stats::{LocalStats, LockStats};
@@ -104,7 +105,7 @@ enum Phase {
 /// # Ok::<(), relc_locks::MustRestart>(())
 /// ```
 #[derive(Debug)]
-pub struct TwoPhaseEngine<O: Ord + Clone + fmt::Debug> {
+pub struct TwoPhaseEngine<O: Ord + Clone + fmt::Debug + LockdepClass> {
     /// Held locks, sorted by key. A sorted vector beats a tree here: the
     /// §5.1 protocol makes *in-order* acquisition the hot path, which is
     /// an O(1) append (batched sweeps append hundreds of presorted
@@ -127,7 +128,7 @@ pub struct TwoPhaseEngine<O: Ord + Clone + fmt::Debug> {
     try_only: bool,
 }
 
-impl<O: Ord + Clone + fmt::Debug> TwoPhaseEngine<O> {
+impl<O: Ord + Clone + fmt::Debug + LockdepClass> TwoPhaseEngine<O> {
     /// Creates an idle engine reporting to `stats`.
     pub fn new(stats: Arc<LockStats>) -> Self {
         TwoPhaseEngine {
@@ -247,6 +248,13 @@ impl<O: Ord + Clone + fmt::Debug> TwoPhaseEngine<O> {
             }
             Err(pos) => pos,
         };
+        // Feed the lockdep witness before we can possibly block: a real
+        // deadlock would otherwise never get its edge recorded.
+        #[cfg(feature = "lockdep")]
+        crate::lockdep::record_acquisition(
+            self.held.iter().map(|(k, _)| k.lockdep_class()),
+            key.lockdep_class(),
+        );
         let in_order = pos == self.held.len() && !self.try_only;
         if in_order {
             lock.acquire(mode);
@@ -381,7 +389,7 @@ impl<O: Ord + Clone + fmt::Debug> TwoPhaseEngine<O> {
     }
 }
 
-impl<O: Ord + Clone + fmt::Debug> Drop for TwoPhaseEngine<O> {
+impl<O: Ord + Clone + fmt::Debug + LockdepClass> Drop for TwoPhaseEngine<O> {
     fn drop(&mut self) {
         self.release_all();
         self.stats.flush(&mut self.local);

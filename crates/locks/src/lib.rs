@@ -46,6 +46,7 @@
 mod backoff;
 mod clock;
 mod engine;
+pub mod lockdep;
 mod mode;
 mod physical;
 mod stats;
@@ -56,6 +57,7 @@ pub use clock::{
     TENTATIVE_TS,
 };
 pub use engine::{MustRestart, RestartReason, TwoPhaseEngine};
+pub use lockdep::LockdepClass;
 pub use mode::LockMode;
 pub use physical::PhysicalLock;
 pub use stats::{LockStats, LockStatsSnapshot};

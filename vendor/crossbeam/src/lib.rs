@@ -47,6 +47,8 @@
 //! *linked* structure eagerly; an unprotected `defer_destroy` destroys
 //! immediately (the caller vouches for exclusivity).
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 /// Epoch-based reclamation API (real garbage collection; see crate docs).
 pub mod epoch {
     use std::marker::PhantomData;
@@ -102,7 +104,10 @@ pub mod epoch {
         /// Must be called at most once, and only when the referent is
         /// unreachable to every pinned thread.
         unsafe fn execute(self) {
-            (self.drop_fn)(self.ptr);
+            // SAFETY: caller upholds the once-only / unreachable
+            // contract above; `drop_fn` was built for exactly this
+            // pointer's type in `defer_destroy`.
+            unsafe { (self.drop_fn)(self.ptr) };
         }
     }
 
@@ -508,7 +513,9 @@ pub mod epoch {
         /// after this call, and must not be deferred twice.
         pub unsafe fn defer_destroy<T>(&self, ptr: Shared<'_, T>) {
             unsafe fn dropper<T>(p: *mut u8) {
-                drop(Box::from_raw(p as *mut T));
+                // SAFETY: `p` is the erased `Box<T>` allocation captured
+                // below; the collector calls each `Deferred` once.
+                drop(unsafe { Box::from_raw(p as *mut T) });
             }
             debug_assert!(!ptr.is_null(), "defer_destroy of null");
             let deferred = Deferred {
@@ -517,14 +524,15 @@ pub mod epoch {
             };
             RETIRED.fetch_add(1, SeqCst);
             if self.local.is_null() {
-                // Unprotected: the caller vouches nobody else can reach
-                // the referent; destroy eagerly.
-                deferred.execute();
+                // SAFETY (unprotected guard): the caller vouches nobody
+                // else can reach the referent; destroy eagerly.
+                unsafe { deferred.execute() };
                 RECLAIMED.fetch_add(1, SeqCst);
                 return;
             }
-            // SAFETY: records are never freed.
-            let part = &*self.local;
+            // SAFETY: participant records are never freed, so the
+            // non-null `local` pointer is always live.
+            let part = unsafe { &*self.local };
             let mut bag = part.bag.lock().unwrap();
             bag.push(deferred);
             if bag.len() >= BAG_CAPACITY {
@@ -637,7 +645,8 @@ pub mod epoch {
         ///
         /// Non-null pointers must reference a live allocation for `'g`.
         pub unsafe fn as_ref(&self) -> Option<&'g T> {
-            self.ptr.as_ref()
+            // SAFETY: caller guarantees liveness for `'g` when non-null.
+            unsafe { self.ptr.as_ref() }
         }
 
         /// Dereferences a known non-null pointer.
@@ -647,7 +656,8 @@ pub mod epoch {
         /// The pointer must be non-null and reference a live allocation
         /// for `'g`.
         pub unsafe fn deref(&self) -> &'g T {
-            &*self.ptr
+            // SAFETY: caller guarantees non-null and liveness for `'g`.
+            unsafe { &*self.ptr }
         }
 
         /// Reclaims ownership of the allocation.
@@ -658,7 +668,9 @@ pub mod epoch {
         /// dereferenced again.
         pub unsafe fn into_owned(self) -> Owned<T> {
             Owned {
-                inner: Box::from_raw(self.ptr),
+                // SAFETY: caller guarantees unique reachability, so
+                // re-boxing the allocation cannot alias.
+                inner: unsafe { Box::from_raw(self.ptr) },
             }
         }
     }
