@@ -230,7 +230,48 @@ fn main() -> ExitCode {
         }
     }
 
-    if regressions.is_empty() && read_gate_failures.is_empty() {
+    // Range access-path gate: within the candidate run, the `range_scan`
+    // mix on the ordered representation (skip list keyed by the range
+    // column — native bounded in-order RangeScan) must keep a real
+    // advantage over the hash fallback (filtered full scan of the whole
+    // edge). If the planner stops picking the ordered edge, or the
+    // ordered container's `scan_range` degrades to a full walk, the two
+    // converge to ~1x — so the gate requires a minimum advantage rather
+    // than mere parity. Geomean across thread counts where both are
+    // present; same-run samples, so no machine normalization applies.
+    let range_advantage: f64 = arg_value(&args, "--range-advantage", 1.5);
+    let mut range_gate_failure = None;
+    {
+        let mut ratios = Vec::new();
+        for ((rep, wl, threads), &ordered_rate) in &candidate {
+            if wl != "range_scan" || rep != "stick/cslm-src/fine" {
+                continue;
+            }
+            if let Some(&fallback_rate) =
+                candidate.get(&("stick/chm-src/fine".to_owned(), wl.clone(), *threads))
+            {
+                ratios.push(ordered_rate / fallback_rate.max(1e-9));
+            }
+        }
+        if !ratios.is_empty() {
+            let g = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+            let verdict = if g < range_advantage {
+                range_gate_failure = Some(g);
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            println!(
+                "range-path {verdict:<9} ordered vs fallback geomean over {} \
+                 thread counts: {:.2}x (required >= {:.2}x)",
+                ratios.len(),
+                g,
+                range_advantage
+            );
+        }
+    }
+
+    if regressions.is_empty() && read_gate_failures.is_empty() && range_gate_failure.is_none() {
         println!(
             "bench_compare: {} workloads ({compared} samples) within {:.0}% of the baseline",
             by_workload.len(),
@@ -238,9 +279,17 @@ fn main() -> ExitCode {
         );
         ExitCode::SUCCESS
     } else if regressions.is_empty() {
-        eprintln!("bench_compare: snapshot read path lost to the locked read path:");
-        for (rep, g) in &read_gate_failures {
-            eprintln!("  {rep}: {g:.2}x");
+        if !read_gate_failures.is_empty() {
+            eprintln!("bench_compare: snapshot read path lost to the locked read path:");
+            for (rep, g) in &read_gate_failures {
+                eprintln!("  {rep}: {g:.2}x");
+            }
+        }
+        if let Some(g) = range_gate_failure {
+            eprintln!(
+                "bench_compare: ordered range scan lost its advantage over the \
+                 fallback scan: {g:.2}x (required >= {range_advantage:.2}x)"
+            );
         }
         ExitCode::FAILURE
     } else {

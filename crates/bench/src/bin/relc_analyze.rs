@@ -1,7 +1,10 @@
 //! **Lock-discipline report** — runs the static §4.3/§5.1 analyzer
 //! (`relc::analysis`) over the standard decomposition library under every
 //! standard lock placement, printing one line per combination and every
-//! diagnostic the symbolic executor raises.
+//! diagnostic the symbolic executor raises. `analyze_all` covers every
+//! plan shape per combination: queries and existence checks over every
+//! bound-column subset, range queries (`RangeScan` plans, ordered and
+//! fallback) over every free column, inserts, removes, and updates.
 //!
 //! Exits nonzero if any combination produces a diagnostic, so it doubles
 //! as a CI gate:

@@ -13,6 +13,10 @@
 //! `shard_load` drives that stream through an 8-way `ShardedRelation`
 //! (multi-root writes), and `shard_mixed` adds routed updates, fan-in
 //! point queries, batch churn, and cross-shard transfer transactions.
+//! `range_scan` drives a 90/10 range-read/update mix over a window of the
+//! `src` column through the locked path, on an ordered representation
+//! (native bounded `RangeScan`) and the hash fallback (filtered full
+//! scan), so their ratio measures the access-path advantage.
 //! `churn` hammers insert/remove/update over a fixed key range on a
 //! skip-list representation and reports the epoch collector's counters:
 //! with real reclamation, `reclaimed` tracks `retired` and the in-flight
@@ -34,11 +38,17 @@ use relc::placement::LockPlacement;
 use relc::{ConcurrentRelation, Decomposition, ShardedRelation};
 use relc_bench::{arg_present, arg_value};
 use relc_containers::ContainerKind;
-use relc_spec::{RelationSchema, Tuple, Value};
+use relc_spec::{RangePattern, RelationSchema, Tuple, Value};
 
 const KEY_RANGE: i64 = 256;
 /// Rows per `insert_all` / `remove_all` call in the batch workloads.
 const BATCH: usize = 64;
+/// Key universe for the `range_scan` workload: large enough that the
+/// fallback's full-edge scan dominates its cost (at `KEY_RANGE` the
+/// per-result downstream locking swamps the scan and the two access
+/// paths measure the same), small enough that the fallback samples
+/// don't dominate the whole benchmark's runtime.
+const RANGE_UNIVERSE: i64 = 4_096;
 
 fn variants() -> Vec<(&'static str, Arc<ConcurrentRelation>)> {
     let mk = |d: Arc<Decomposition>, p| Arc::new(ConcurrentRelation::new(d, p).unwrap());
@@ -131,6 +141,17 @@ enum Workload {
     /// (shared root locks, restart-prone), kept as the committed
     /// comparison point for `read_heavy`.
     ReadHeavyLocked,
+    /// 90% locked-path `query_range` (a random 16-wide window over the
+    /// `src` column, top-16) / 10% updates. Routed through
+    /// `transaction(|tx| tx.query_range(..))` because that is where the
+    /// access path depends on the container: ordered containers walk only
+    /// the interval (`RangeScan`), hash containers scan the whole edge
+    /// and filter. (Single-shot range reads go to the snapshot path,
+    /// whose version indexes are sorted on every representation — both
+    /// variants would be bounded walks and the comparison would measure
+    /// nothing.) Run on a skip-list-keyed representation vs the hash
+    /// fallback so their ratio is the access-path advantage.
+    RangeScan,
 }
 
 impl Workload {
@@ -145,6 +166,7 @@ impl Workload {
             Workload::Churn => "churn",
             Workload::ReadHeavy => "read_heavy",
             Workload::ReadHeavyLocked => "read_heavy_locked",
+            Workload::RangeScan => "range_scan",
         }
     }
 }
@@ -325,8 +347,16 @@ fn run_workload(
                 // the snapshot-vs-locked gate.
                 let ops_per_thread = match workload {
                     Workload::ReadHeavy | Workload::ReadHeavyLocked => ops_per_thread.max(16_384),
+                    // Range ops are hundreds of times heavier than point
+                    // reads on the fallback representation: fix the
+                    // *total* op budget instead of flooring it, so the
+                    // fallback samples stay ~1s each at every thread
+                    // count.
+                    Workload::RangeScan => (4_096 / threads).max(256),
                     _ => ops_per_thread,
                 };
+                let scol = schema.column("src").unwrap();
+                let rcols = schema.column_set(&["src", "weight"]).unwrap();
                 let mut local = 0u64;
                 let mut lats = Vec::with_capacity(ops_per_thread);
                 for i in 0..ops_per_thread {
@@ -354,6 +384,14 @@ fn run_workload(
                                 0
                             } else {
                                 3
+                            }
+                        }
+                        // 90/10 range-read/update.
+                        Workload::RangeScan => {
+                            if i % 10 == 0 {
+                                0
+                            } else {
+                                4
                             }
                         }
                         Workload::SingleLoad
@@ -388,12 +426,29 @@ fn run_workload(
                             // Single-shot: the lock-free snapshot path.
                             let _ = rel.query(&key(&schema, a, a), wcols).unwrap();
                         }
-                        _ => {
+                        3 => {
                             // The 2PL read path: shared locks root-down,
                             // exactly what single-shot queries did before
                             // the MVCC layer.
                             rel.transaction(|tx| {
                                 let _ = tx.query(&key(&schema, a, a), wcols)?;
+                                Ok(())
+                            })
+                            .unwrap();
+                        }
+                        _ => {
+                            // Locked-path range read: bounded in-order
+                            // `RangeScan` on ordered containers, filtered
+                            // full scan on hash containers.
+                            let lo = (next() % RANGE_UNIVERSE as u64) as i64;
+                            let range = RangePattern::half_open(
+                                scol,
+                                Value::from(lo),
+                                Value::from(lo + 16),
+                            )
+                            .with_limit(16);
+                            rel.transaction(|tx| {
+                                let _ = tx.query_range(&Tuple::empty(), &range, rcols)?;
                                 Ok(())
                             })
                             .unwrap();
@@ -701,6 +756,51 @@ fn main() {
         rel.verify().expect("structurally sound after churn");
     }
 
+    // Range-scan workloads run on a dedicated pair of representations:
+    // the same relation keyed by `src` through an ordered container
+    // (skip list — the planner emits a native bounded in-order
+    // `RangeScan`) vs a hash map (the same plan step degrades to a
+    // filtered full scan). Their ratio is the access-path advantage;
+    // `bench_compare` gates it within the candidate run.
+    {
+        let pairs: [(&str, Arc<Decomposition>); 2] = [
+            (
+                "stick/cslm-src/fine",
+                stick(ContainerKind::ConcurrentSkipListMap, ContainerKind::HashMap),
+            ),
+            (
+                "stick/chm-src/fine",
+                stick(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap),
+            ),
+        ];
+        for (name, d) in pairs {
+            let rel = Arc::new(
+                ConcurrentRelation::new(d.clone(), LockPlacement::fine(&d).unwrap()).unwrap(),
+            );
+            for k in 0..RANGE_UNIVERSE {
+                rel.insert(&key(rel.schema(), k, k), &weight(rel.schema(), k))
+                    .unwrap();
+            }
+            for &threads in &thread_counts {
+                let mut s = run_workload(&rel, Workload::RangeScan, threads, ops_per_thread);
+                s.representation = name.to_owned();
+                let rate = s.total_ops as f64 / s.elapsed_secs.max(1e-9);
+                println!(
+                    "{:<24} {:<17} threads={:<2} {:>12.0} ops/s ({} ops in {:.3}s){}",
+                    s.representation,
+                    s.workload,
+                    s.threads,
+                    rate,
+                    s.total_ops,
+                    s.elapsed_secs,
+                    latency_suffix(&s),
+                );
+                samples.push(s);
+            }
+            rel.verify().expect("structurally sound after benchmark");
+        }
+    }
+
     for (name, rel) in sharded_variants() {
         for k in 0..KEY_RANGE {
             rel.insert(&key(rel.schema(), k, k), &weight(rel.schema(), k))
@@ -765,6 +865,19 @@ fn main() {
                 snap
             );
         }
+    }
+    // Range access-path summary: native ordered RangeScan vs the
+    // filtered-fallback scan on the same mix, at the highest thread count.
+    if let (Some(ordered), Some(fallback)) = (
+        rate_of("stick/cslm-src/fine", "range_scan"),
+        rate_of("stick/chm-src/fine", "range_scan"),
+    ) {
+        println!(
+            "range-scan ordered vs fallback at {top} threads: {:.2}x ({:.0} -> {:.0} ops/s)",
+            ordered / fallback.max(1e-9),
+            fallback,
+            ordered
+        );
     }
 
     // Hand-rolled JSON (the workspace is offline; no serde).

@@ -6,7 +6,7 @@
 
 use std::fmt;
 use std::hash::Hash;
-use std::ops::ControlFlow;
+use std::ops::{Bound, ControlFlow};
 
 use crate::cow_list::CowArrayList;
 use crate::hash_map::ChainedHashMap;
@@ -70,6 +70,42 @@ pub trait Container<K: Key, V: Val>: Send + Sync + fmt::Debug {
     /// Whether iteration is sorted, snapshot, or weakly consistent is
     /// declared by [`Container::props`].
     fn scan(&self, f: &mut dyn FnMut(&K, &V) -> ControlFlow<()>);
+
+    /// Iterates over the entries whose keys lie in `[lo, hi]` (each end
+    /// independently inclusive, exclusive, or unbounded), invoking `f`
+    /// once per entry; `f` may stop early with [`ControlFlow::Break`].
+    ///
+    /// Containers with `sorted_scan` keep keys ordered and override this
+    /// with a *bounded* traversal that visits only the interval — in key
+    /// order, so callers may break at the first key past a limit. The
+    /// default is a filtered full scan: every entry is visited, order and
+    /// consistency are whatever [`Container::scan`] provides, and
+    /// breaking early does **not** imply the remaining keys are out of
+    /// range.
+    fn scan_range(
+        &self,
+        lo: Bound<&K>,
+        hi: Bound<&K>,
+        f: &mut dyn FnMut(&K, &V) -> ControlFlow<()>,
+    ) {
+        self.scan(&mut |k, v| {
+            let above = match lo {
+                Bound::Included(b) => k >= b,
+                Bound::Excluded(b) => k > b,
+                Bound::Unbounded => true,
+            };
+            let below = match hi {
+                Bound::Included(b) => k <= b,
+                Bound::Excluded(b) => k < b,
+                Bound::Unbounded => true,
+            };
+            if above && below {
+                f(k, v)
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+    }
 
     /// Sets the value associated with `key` to `value`; `None` removes any
     /// existing entry (§3). Returns the previous value, if any.
@@ -340,6 +376,74 @@ mod tests {
             .is_concurrency_safe());
         assert!(!ContainerKind::SplayTreeMap.props().is_concurrency_safe());
         assert!(ContainerKind::Singleton.props().is_concurrency_safe());
+    }
+
+    #[test]
+    fn scan_range_agrees_across_all_kinds() {
+        use std::ops::Bound::{Excluded, Included, Unbounded};
+        for kind in ContainerKind::ALL {
+            let c: Box<dyn Container<i64, i64>> = kind.instantiate();
+            let n = if kind == ContainerKind::Singleton {
+                1
+            } else {
+                20
+            };
+            for k in 0..n {
+                c.write(&k, Some(k * 10));
+            }
+            let collect = |lo: Bound<&i64>, hi: Bound<&i64>| {
+                let mut got: Vec<(i64, i64)> = Vec::new();
+                c.scan_range(lo, hi, &mut |k, v| {
+                    got.push((*k, *v));
+                    ControlFlow::Continue(())
+                });
+                got.sort_unstable();
+                got
+            };
+            let expect = |f: &dyn Fn(i64) -> bool| {
+                (0..n)
+                    .filter(|&k| f(k))
+                    .map(|k| (k, k * 10))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(
+                collect(Included(&3), Excluded(&9)),
+                expect(&|k| (3..9).contains(&k)),
+                "{kind}"
+            );
+            assert_eq!(
+                collect(Excluded(&3), Included(&9)),
+                expect(&|k| k > 3 && k <= 9),
+                "{kind}"
+            );
+            assert_eq!(
+                collect(Unbounded, Excluded(&5)),
+                expect(&|k| k < 5),
+                "{kind}"
+            );
+            assert_eq!(
+                collect(Included(&7), Unbounded),
+                expect(&|k| k >= 7),
+                "{kind}"
+            );
+            assert_eq!(collect(Unbounded, Unbounded), expect(&|_| true), "{kind}");
+            assert_eq!(collect(Included(&9), Excluded(&9)), vec![], "{kind}");
+            // Sorted containers visit the interval in key order and
+            // support early exit at a limit.
+            if kind.props().sorted_scan {
+                let mut got = Vec::new();
+                c.scan_range(Included(&2), Unbounded, &mut |k, _| {
+                    got.push(*k);
+                    if got.len() == 3 {
+                        ControlFlow::Break(())
+                    } else {
+                        ControlFlow::Continue(())
+                    }
+                });
+                let want: Vec<i64> = (2..n.min(5)).collect();
+                assert_eq!(got, want, "{kind}");
+            }
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! and never block writers; writers serialize among themselves, clone the
 //! array, apply the change, and publish the new snapshot.
 
-use std::ops::ControlFlow;
+use std::ops::{Bound, ControlFlow};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -73,6 +73,33 @@ impl<K: Key, V: Val> Container<K, V> for CowArrayList<K, V> {
         let snap = self.snapshot();
         for (k, v) in snap.iter() {
             if f(k, v).is_break() {
+                return;
+            }
+        }
+    }
+
+    fn scan_range(
+        &self,
+        lo: Bound<&K>,
+        hi: Bound<&K>,
+        f: &mut dyn FnMut(&K, &V) -> ControlFlow<()>,
+    ) {
+        // Bounded snapshot iteration: binary-search the start position in
+        // the sorted snapshot, walk forward, stop at the first key past
+        // the upper bound.
+        let snap = self.snapshot();
+        let start = match lo {
+            Bound::Included(b) => snap.partition_point(|(k, _)| k < b),
+            Bound::Excluded(b) => snap.partition_point(|(k, _)| k <= b),
+            Bound::Unbounded => 0,
+        };
+        for (k, v) in &snap[start..] {
+            let below = match hi {
+                Bound::Included(b) => k <= b,
+                Bound::Excluded(b) => k < b,
+                Bound::Unbounded => true,
+            };
+            if !below || f(k, v).is_break() {
                 return;
             }
         }

@@ -19,7 +19,7 @@
 //! A thread holding a lock on key `k` therefore never waits for a lock on a
 //! key greater than `k`, so the wait-for graph is acyclic.
 
-use std::ops::ControlFlow;
+use std::ops::{Bound, ControlFlow};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::SeqCst};
 
 use crossbeam::epoch::{self, Atomic, Guard, Owned, ReclamationStats, Shared};
@@ -364,6 +364,46 @@ impl<K: Key, V: Val> Container<K, V> for ConcurrentSkipListMap<K, V> {
             if node.fully_linked.load(SeqCst) && !node.marked.load(SeqCst) {
                 let v = node.value.load(SeqCst, &guard);
                 let key = node.key.as_ref().expect("non-head nodes have keys");
+                // SAFETY: as in `lookup`.
+                if f(key, unsafe { v.deref() }).is_break() {
+                    return;
+                }
+            }
+            curr = node.next[0].load(SeqCst, &guard);
+        }
+    }
+
+    fn scan_range(
+        &self,
+        lo: Bound<&K>,
+        hi: Bound<&K>,
+        f: &mut dyn FnMut(&K, &V) -> ControlFlow<()>,
+    ) {
+        // Bounded sorted walk, weakly consistent like `scan`: position at
+        // the lower bound via the tower search (O(log n) instead of
+        // walking the bottom level from the head), then follow the bottom
+        // level until a key passes the upper bound.
+        let guard = epoch::pin();
+        let mut curr = match lo {
+            Bound::Included(b) | Bound::Excluded(b) => self.find(b, &guard).1[0],
+            Bound::Unbounded => self.head.next[0].load(SeqCst, &guard),
+        };
+        // SAFETY: reachable under `guard`, as in `scan`.
+        while let Some(node) = unsafe { curr.as_ref() } {
+            let key = node.key.as_ref().expect("non-head nodes have keys");
+            // find() lands on the first key ≥ the bound; an excluded
+            // bound must skip the key itself.
+            let skip = matches!(lo, Bound::Excluded(b) if key == b);
+            let below = match hi {
+                Bound::Included(b) => key <= b,
+                Bound::Excluded(b) => key < b,
+                Bound::Unbounded => true,
+            };
+            if !below {
+                return;
+            }
+            if !skip && node.fully_linked.load(SeqCst) && !node.marked.load(SeqCst) {
+                let v = node.value.load(SeqCst, &guard);
                 // SAFETY: as in `lookup`.
                 if f(key, unsafe { v.deref() }).is_break() {
                     return;

@@ -3,7 +3,7 @@
 //! lock-sort elision analysis (§5.2) relies on that.
 
 use std::cmp::Ordering as CmpOrdering;
-use std::ops::ControlFlow;
+use std::ops::{Bound, ControlFlow};
 
 use crate::api::{Container, ContainerKind, Key, Val};
 use crate::extsync::ExtSyncCell;
@@ -176,6 +176,40 @@ impl<K: Key, V: Val> RawTree<K, V> {
         ControlFlow::Continue(())
     }
 
+    /// Bounded in-order traversal: subtrees entirely below `lo` or
+    /// entirely above `hi` are pruned, so the visit cost is
+    /// O(log n + interval size) rather than O(n).
+    fn scan_range_inorder(
+        link: &Link<K, V>,
+        lo: Bound<&K>,
+        hi: Bound<&K>,
+        f: &mut dyn FnMut(&K, &V) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        let Some(n) = link else {
+            return ControlFlow::Continue(());
+        };
+        let above_lo = match lo {
+            Bound::Included(b) => &n.key >= b,
+            Bound::Excluded(b) => &n.key > b,
+            Bound::Unbounded => true,
+        };
+        let below_hi = match hi {
+            Bound::Included(b) => &n.key <= b,
+            Bound::Excluded(b) => &n.key < b,
+            Bound::Unbounded => true,
+        };
+        if above_lo {
+            Self::scan_range_inorder(&n.left, lo, hi, f)?;
+            if below_hi {
+                f(&n.key, &n.value)?;
+            }
+        }
+        if below_hi {
+            Self::scan_range_inorder(&n.right, lo, hi, f)?;
+        }
+        ControlFlow::Continue(())
+    }
+
     #[cfg(test)]
     fn check_invariants(link: &Link<K, V>) -> (i8, Option<(&K, &K)>) {
         match link {
@@ -254,6 +288,17 @@ impl<K: Key, V: Val> Container<K, V> for AvlTreeMap<K, V> {
     fn scan(&self, f: &mut dyn FnMut(&K, &V) -> ControlFlow<()>) {
         self.inner.read(|t| {
             let _ = RawTree::scan_inorder(&t.root, f);
+        });
+    }
+
+    fn scan_range(
+        &self,
+        lo: Bound<&K>,
+        hi: Bound<&K>,
+        f: &mut dyn FnMut(&K, &V) -> ControlFlow<()>,
+    ) {
+        self.inner.read(|t| {
+            let _ = RawTree::scan_range_inorder(&t.root, lo, hi, f);
         });
     }
 

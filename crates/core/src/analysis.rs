@@ -225,6 +225,12 @@ pub struct AnalyzerOptions {
     /// try-only acquisitions (see
     /// [`Analyzer::analyze_sharded_order`]).
     pub suppress_shard_demotion: bool,
+    /// Model an executor that locks only one stripe before a range scan —
+    /// as if the range interval routed the traversal to a single stripe
+    /// the way a point lookup's key does. A range scan can visit entries
+    /// in *every* stripe, so the analyzer must flag the scan's read as
+    /// uncovered on striped hosts.
+    pub demote_range_lock: bool,
 }
 
 /// How strictly an acquisition site treats ordering. Blocking sites are
@@ -884,6 +890,10 @@ impl Analyzer {
     ) {
         let mut st = SymState::operand(&self.decomp, bound, 0);
         let mut site = Site::Blocking;
+        let has_range = plan
+            .steps
+            .iter()
+            .any(|s| matches!(s, PlanStep::RangeScan { .. }));
         // §5.2 sort-elision re-verification state, mirroring
         // `chain_to_plan`.
         let mut chain_sorted = true;
@@ -909,11 +919,14 @@ impl Analyzer {
                             ),
                         );
                     }
-                    let toks = if all_stripes {
+                    let mut toks = if all_stripes {
                         ex.all_stripe_tokens(edge, &st, step_no)
                     } else {
                         ex.fallback_tokens(edge, &st, step_no)
                     };
+                    if self.options.demote_range_lock && has_range {
+                        toks.truncate(1);
+                    }
                     ex.acquire_batch(toks, mode, site, step_no);
                 }
                 PlanStep::Lookup { edge } => {
@@ -927,6 +940,43 @@ impl Analyzer {
                     st.bound[em.dst.index()] = true;
                     if tolerant_after_scan {
                         site = Site::Tolerant;
+                    }
+                    let group_min = em.cols.iter().next().map(|c| c.index());
+                    let group_max = em.cols.iter().last().map(|c| c.index());
+                    chain_sorted = chain_sorted
+                        && em.container.props().sorted_scan
+                        && match (last_scanned_max, group_min) {
+                            (Some(prev_max), Some(min)) => prev_max < min,
+                            _ => true,
+                        };
+                    last_scanned_max = last_scanned_max.max(group_max);
+                }
+                PlanStep::RangeScan { edge, ordered } => {
+                    // Lock-wise a range scan is a scan: the traversal may
+                    // touch any entry of the container, so it needs the
+                    // same scan-read justification (all stripes for
+                    // striped hosts, shared mode otherwise).
+                    let em = self.decomp.edge(edge);
+                    ex.require_read(edge, &st, false, step_no);
+                    st.scan_bind(em.cols, &mut ex.next_scan);
+                    st.bound[em.dst.index()] = true;
+                    if tolerant_after_scan {
+                        site = Site::Tolerant;
+                    }
+                    // The planner may only claim `ordered` (native bounded
+                    // in-order walk, enabling the top-k short-circuit) on a
+                    // container whose scan is sorted.
+                    if ordered && !em.container.props().sorted_scan {
+                        ex.diag(
+                            DiagnosticKind::PresortedUnsound,
+                            step_no,
+                            vec![],
+                            format!(
+                                "range scan over edge {} claims a native ordered \
+                                 walk, but the container's scan is unsorted",
+                                ex.edge_name(edge)
+                            ),
+                        );
                     }
                     let group_min = em.cols.iter().next().map(|c| c.index());
                     let group_max = em.cols.iter().last().map(|c| c.index());
@@ -975,6 +1025,30 @@ impl Analyzer {
     ) -> Result<Vec<Diagnostic>, CoreError> {
         let plan = self.planner.plan_query(bound, output)?;
         let mut ex = self.exec(format!("query bound={}", self.render_set(bound)));
+        self.sym_plan_steps(&mut ex, &plan, bound, false);
+        Ok(ex.diags)
+    }
+
+    /// Analyzes `query_range` for a pattern binding `bound`, an interval
+    /// over `range_col`, and outputs `output` — the plan the planner
+    /// emits when the range column is free ([`Planner::plan_range`]),
+    /// which may contain `RangeScan` steps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planner failures ([`CoreError::NoValidPlan`]).
+    pub fn analyze_query_range(
+        &self,
+        bound: ColumnSet,
+        range_col: ColumnId,
+        output: ColumnSet,
+    ) -> Result<Vec<Diagnostic>, CoreError> {
+        let plan = self.planner.plan_range(bound, range_col, output)?;
+        let mut ex = self.exec(format!(
+            "query_range bound={} col={}",
+            self.render_set(bound),
+            self.render_set(ColumnSet::single(range_col))
+        ));
         self.sym_plan_steps(&mut ex, &plan, bound, false);
         Ok(ex.diags)
     }
@@ -1431,6 +1505,14 @@ impl Analyzer {
         for &bound in &subsets {
             if let Ok(d) = self.analyze_query(bound, full) {
                 out.extend(d);
+            }
+            for &rc in &cols {
+                if bound.contains(rc) {
+                    continue;
+                }
+                if let Ok(d) = self.analyze_query_range(bound, rc, full) {
+                    out.extend(d);
+                }
             }
             if let Ok(d) = self.analyze_exists(bound) {
                 out.extend(d);

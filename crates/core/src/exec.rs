@@ -9,11 +9,11 @@
 //! for out-of-order acquisitions gives deadlock freedom.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
-use std::ops::ControlFlow;
+use std::ops::{Bound, ControlFlow};
 use std::sync::Arc;
 
 use relc_locks::{LockMode, MustRestart, TwoPhaseEngine};
-use relc_spec::Tuple;
+use relc_spec::{ColumnSet, RangePattern, Tuple, Value};
 
 use crate::decomp::{Decomposition, EdgeId, NodeId};
 use crate::instance::{NodeInstance, NodeRef};
@@ -97,6 +97,51 @@ impl std::hash::Hasher for FnvHasher {
 }
 
 type BuildFnv = std::hash::BuildHasherDefault<FnvHasher>;
+
+/// Assembles the canonical `query_range` output from surviving (full or
+/// partial) tuples: filter by the interval, order by **(range value,
+/// projected tuple)**, deduplicate keeping first occurrences, truncate at
+/// the limit — exactly [`relc_spec::OracleRelation::query_range`]'s
+/// reference order. Shared by the locked executor, the MVCC snapshot
+/// interpreter, and the sharded fan-out merge, so every access path agrees
+/// with the oracle tuple-for-tuple.
+pub(crate) fn assemble_range_output(
+    tuples: impl IntoIterator<Item = Tuple>,
+    range: &RangePattern,
+    output: ColumnSet,
+) -> Vec<Tuple> {
+    let mut matched: Vec<(Value, Tuple)> = tuples
+        .into_iter()
+        .filter_map(|t| {
+            let v = t.get(range.col()).filter(|v| range.contains(v))?.clone();
+            Some((v, t.project(output)))
+        })
+        .collect();
+    matched.sort();
+    let mut seen = BTreeSet::new();
+    let mut out = Vec::new();
+    for (_, p) in matched {
+        if seen.insert(p.clone()) {
+            out.push(p);
+            if range.limit().is_some_and(|k| out.len() >= k) {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// The container-key interval of a range over a single-column edge: each
+/// value bound becomes a single-field key tuple bound (tuple order over
+/// single-column keys coincides with value order).
+pub(crate) fn range_key_bounds(range: &RangePattern) -> (Bound<Tuple>, Bound<Tuple>) {
+    let mk = |b: Bound<&Value>| match b {
+        Bound::Included(v) => Bound::Included(Tuple::from_pairs([(range.col(), v.clone())])),
+        Bound::Excluded(v) => Bound::Excluded(Tuple::from_pairs([(range.col(), v.clone())])),
+        Bound::Unbounded => Bound::Unbounded,
+    };
+    (mk(range.lo()), mk(range.hi()))
+}
 
 /// Batch-local state threaded through [`Executor::run_insert_all`]'s
 /// per-row passes.
@@ -268,6 +313,63 @@ impl<'a> Executor<'a> {
         out
     }
 
+    /// Bounded range traversal: every state fans out over `edge`'s entries
+    /// inside the key interval induced by `range` (the planner guarantees
+    /// the edge keys on exactly the range column, so the value interval
+    /// *is* a contiguous key interval). On sorted containers the walk
+    /// visits only the interval, in ascending value order; elsewhere
+    /// [`relc_containers::Container::scan_range`] degrades to a filtered
+    /// full scan.
+    ///
+    /// `distinct_limit` is the top-k short circuit, passed only when the
+    /// walk is ordered *and* this is the plan's final traversal: entries
+    /// arrive in strictly ascending value order per state (one container
+    /// entry per value), so once `k` distinct output projections have been
+    /// collected, every later entry either duplicates one (with a larger
+    /// value, which dedup discards) or has `k` strictly smaller distinct
+    /// predecessors — never in the global top-k.
+    fn range_scan_step(
+        &self,
+        states: Vec<QueryState>,
+        edge: EdgeId,
+        range: &RangePattern,
+        distinct_limit: Option<(usize, ColumnSet)>,
+    ) -> Vec<QueryState> {
+        let em = self.decomp.edge(edge);
+        debug_assert!(
+            em.cols == ColumnSet::single(range.col()),
+            "planner invariant: range-scanned edge keys on the range column"
+        );
+        let (lo, hi) = range_key_bounds(range);
+        let mut out = Vec::new();
+        for st in states {
+            let src = st.instance(em.src).clone();
+            let mut distinct: BTreeSet<Tuple> = BTreeSet::new();
+            src.container(self.decomp, edge).scan_range(
+                lo.as_ref(),
+                hi.as_ref(),
+                &mut |k: &Tuple, child: &NodeRef| {
+                    if st.tuple.matches(k) {
+                        let mut next = st.clone();
+                        next.tuple = st.tuple.union(k).expect("matches implies mergeable");
+                        next.nodes[em.dst.index()] = Some(Arc::clone(child));
+                        if let Some((limit, output)) = &distinct_limit {
+                            distinct.insert(next.tuple.project(*output));
+                            out.push(next);
+                            if distinct.len() >= *limit {
+                                return ControlFlow::Break(());
+                            }
+                        } else {
+                            out.push(next);
+                        }
+                    }
+                    ControlFlow::Continue(())
+                },
+            );
+        }
+        out
+    }
+
     /// §4.5 speculative point traversal for reads: guess with an unlocked
     /// (linearizable) lookup, lock the target if present or the fallback
     /// stripe if absent, re-validate, and restart the transaction on a
@@ -350,6 +452,9 @@ impl<'a> Executor<'a> {
                 PlanStep::Scan { edge } => {
                     states = self.scan_step(states, *edge);
                 }
+                PlanStep::RangeScan { .. } => {
+                    unreachable!("plan_query never emits RangeScan; use run_query_range")
+                }
                 PlanStep::SpecLookup { edge, mode } => {
                     states = self.spec_lookup_step(states, *edge, *mode)?;
                 }
@@ -363,6 +468,74 @@ impl<'a> Executor<'a> {
             .map(|st| st.tuple.project(plan.output))
             .collect();
         Ok(set.into_iter().collect())
+    }
+
+    /// Runs a compiled range plan (§2's `query_range r s ρ C`): interprets
+    /// the chain exactly as [`Executor::run_query`], with
+    /// [`PlanStep::RangeScan`] steps walking only the key interval, then
+    /// assembles the canonical output — matches ordered by (range value,
+    /// projection), deduplicated, truncated at the limit — via
+    /// [`assemble_range_output`].
+    ///
+    /// The final filter re-checks the interval on every surviving state, so
+    /// chains that bind the range column through an ordinary multi-column
+    /// scan (no single-column edge qualified) are just as correct — they
+    /// only do more work.
+    ///
+    /// # Errors
+    ///
+    /// [`MustRestart`] if lock acquisition or speculation failed; the caller
+    /// rolls back and retries.
+    pub fn run_query_range(
+        &mut self,
+        plan: &Plan,
+        pattern: &Tuple,
+        range: &RangePattern,
+        root: &NodeRef,
+    ) -> Result<Vec<Tuple>, MustRestart> {
+        let mut states = vec![QueryState::initial(
+            self.decomp,
+            pattern.clone(),
+            Arc::clone(root),
+        )];
+        let last = plan.steps.len().saturating_sub(1);
+        for (i, step) in plan.steps.iter().enumerate() {
+            match step {
+                PlanStep::Lock {
+                    edge,
+                    mode,
+                    presorted,
+                    all_stripes,
+                } => {
+                    self.lock_step(&states, *edge, *mode, *presorted, *all_stripes)?;
+                }
+                PlanStep::Lookup { edge } => {
+                    states = self.lookup_step(states, *edge);
+                }
+                PlanStep::Scan { edge } => {
+                    states = self.scan_step(states, *edge);
+                }
+                PlanStep::RangeScan { edge, ordered } => {
+                    let distinct_limit = if *ordered && i == last {
+                        range.limit().map(|k| (k, plan.output))
+                    } else {
+                        None
+                    };
+                    states = self.range_scan_step(states, *edge, range, distinct_limit);
+                }
+                PlanStep::SpecLookup { edge, mode } => {
+                    states = self.spec_lookup_step(states, *edge, *mode)?;
+                }
+            }
+            if states.is_empty() {
+                return Ok(Vec::new());
+            }
+        }
+        Ok(assemble_range_output(
+            states.into_iter().map(|st| st.tuple),
+            range,
+            plan.output,
+        ))
     }
 
     /// Acquires exclusive locks on every root-hosted edge for the tuple
@@ -935,6 +1108,9 @@ impl<'a> Executor<'a> {
                     }
                     None => Ok(false),
                 }
+            }
+            PlanStep::RangeScan { .. } => {
+                unreachable!("plan_query never emits RangeScan; use run_query_range")
             }
             PlanStep::SpecLookup { edge, mode } => {
                 match self.spec_lookup_step(vec![st], *edge, *mode)?.pop() {

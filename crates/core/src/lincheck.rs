@@ -15,7 +15,7 @@ use std::collections::{BTreeSet, HashSet};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use relc_spec::{ColumnSet, RelationSchema, Tuple};
+use relc_spec::{ColumnSet, RangePattern, RelationSchema, Tuple, Value};
 
 /// One completed operation with its observed result.
 #[derive(Debug, Clone)]
@@ -43,6 +43,18 @@ pub enum OpRecord {
         /// Projection columns `C`.
         cols: ColumnSet,
         /// Observed result (sorted, deduplicated).
+        result: Vec<Tuple>,
+    },
+    /// `query_range r s ρ C` returning the range-ordered projection.
+    Range {
+        /// Pattern `s`.
+        s: Tuple,
+        /// The interval predicate over one column (plus optional limit).
+        range: RangePattern,
+        /// Projection columns `C`.
+        cols: ColumnSet,
+        /// Observed result (ordered by (range value, projection),
+        /// deduplicated, capped at the range's limit).
         result: Vec<Tuple>,
     },
     /// `update r s t` returning the replaced tuple.
@@ -160,6 +172,33 @@ fn apply(state: &mut BTreeSet<Tuple>, op: &OpRecord) -> bool {
                 .map(|u| u.project(*cols))
                 .collect();
             got.iter().cloned().collect::<Vec<_>>() == *result
+        }
+        OpRecord::Range {
+            s,
+            range,
+            cols,
+            result,
+        } => {
+            let mut matched: Vec<(Value, Tuple)> = state
+                .iter()
+                .filter(|u| u.extends(s))
+                .filter_map(|u| {
+                    let v = u.get(range.col()).filter(|v| range.contains(v))?.clone();
+                    Some((v, u.project(*cols)))
+                })
+                .collect();
+            matched.sort();
+            let mut seen = BTreeSet::new();
+            let mut expect = Vec::new();
+            for (_, p) in matched {
+                if seen.insert(p.clone()) {
+                    expect.push(p);
+                    if range.limit().is_some_and(|k| expect.len() >= k) {
+                        break;
+                    }
+                }
+            }
+            expect == *result
         }
         OpRecord::Update { s, t, result } => match result {
             Some(old) => {

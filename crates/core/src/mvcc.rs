@@ -44,7 +44,10 @@ use relc_containers::{Container, VersionCell};
 use relc_locks::CommitStamp;
 use relc_spec::Tuple;
 
+use relc_spec::RangePattern;
+
 use crate::decomp::{Decomposition, EdgeId};
+use crate::exec::{assemble_range_output, range_key_bounds};
 use crate::instance::NodeRef;
 use crate::placement::LockPlacement;
 use crate::planner::Plan;
@@ -200,8 +203,14 @@ impl MvccScope {
 /// head). Must run while the attempt's locks are still held and strictly
 /// before the engine releases anything: that ordering is the whole
 /// commit-visibility argument. Scopes with an empty journal are ignored;
-/// if none wrote, the clock is never touched.
-pub(crate) fn finish_attempt(placement: &LockPlacement, scopes: &[MvccScope]) {
+/// if none wrote, the clock is never touched. Retirement truncates to
+/// `registry`'s floor — the *owning relation's* registry, so snapshot
+/// readers of other relations never pin this relation's dead versions.
+pub(crate) fn finish_attempt(
+    placement: &LockPlacement,
+    registry: &relc_locks::SnapshotRegistry,
+    scopes: &[MvccScope],
+) {
     let Some(stamp) = scopes
         .iter()
         .find(|s| !s.journal.is_empty())
@@ -211,7 +220,7 @@ pub(crate) fn finish_attempt(placement: &LockPlacement, scopes: &[MvccScope]) {
     };
     let clock = relc_locks::commit_clock();
     clock.commit(stamp);
-    let min_active = relc_locks::snapshot_registry().min_active(clock);
+    let min_active = registry.min_active(clock);
     let guard = relc_containers::epoch::pin();
     for scope in scopes {
         scope.retire(placement, min_active, &guard);
@@ -244,9 +253,13 @@ impl std::fmt::Debug for MvccScope {
 /// As a side effect chains are compacted to the current floor, exactly
 /// as a committing writer would; at quiescence that is sound and
 /// exercises the retirement path.
-pub(crate) fn verify_versions(decomp: &Decomposition, root: &NodeRef) -> Result<(), String> {
+pub(crate) fn verify_versions(
+    decomp: &Decomposition,
+    root: &NodeRef,
+    registry: &relc_locks::SnapshotRegistry,
+) -> Result<(), String> {
     let clock = relc_locks::commit_clock();
-    let floor = relc_locks::snapshot_registry().min_active(clock);
+    let floor = registry.min_active(clock);
     let now = clock.now();
     let guard = relc_containers::epoch::pin();
     let mut seen: Vec<*const ()> = Vec::new();
@@ -324,6 +337,39 @@ pub(crate) fn verify_versions(decomp: &Decomposition, root: &NodeRef) -> Result<
     Ok(())
 }
 
+/// Total number of versions across every version chain reachable from
+/// `root` (test support; surfaced through
+/// [`ConcurrentRelation::version_footprint`](crate::ConcurrentRelation::version_footprint)).
+/// Unlike [`verify_versions`] this is pure observation: no truncation,
+/// no invariant checks — so a retirement regression can compare
+/// footprints before/after churn without perturbing the chains.
+pub(crate) fn version_footprint(decomp: &Decomposition, root: &NodeRef) -> usize {
+    let guard = relc_containers::epoch::pin();
+    let mut total = 0usize;
+    let mut seen: Vec<*const ()> = Vec::new();
+    let mut stack: Vec<NodeRef> = vec![Arc::clone(root)];
+    while let Some(inst) = stack.pop() {
+        let ptr = Arc::as_ptr(&inst).cast::<()>();
+        if seen.contains(&ptr) {
+            continue;
+        }
+        seen.push(ptr);
+        let meta = decomp.node(inst.node());
+        for &e in &meta.outgoing {
+            inst.container(decomp, e)
+                .scan(&mut |_k: &Tuple, child: &NodeRef| {
+                    stack.push(Arc::clone(child));
+                    ControlFlow::Continue(())
+                });
+            inst.versions(decomp, e).scan(&mut |_k: &Tuple, cell| {
+                total += cell.chain_stamps(&guard).len();
+                ControlFlow::Continue(())
+            });
+        }
+    }
+    total
+}
+
 /// Resolves `key` through `src`'s version index for `edge` at snapshot
 /// `snap`.
 fn resolve_edge(
@@ -393,6 +439,9 @@ pub(crate) fn snapshot_query(
                 }
                 states = out;
             }
+            PlanStep::RangeScan { .. } => {
+                unreachable!("plan_query never emits RangeScan; use snapshot_query_range")
+            }
         }
         if states.is_empty() {
             return Vec::new();
@@ -403,6 +452,113 @@ pub(crate) fn snapshot_query(
         .map(|st| st.tuple.project(plan.output))
         .collect();
     set.into_iter().collect()
+}
+
+/// Runs a compiled range plan against the version indexes at snapshot
+/// `snap`: the lock-free mirror of
+/// [`crate::exec::Executor::run_query_range`]. [`PlanStep::RangeScan`]
+/// walks only the key interval of the edge's *version index* — a skip
+/// list, so the walk is a bounded in-order traversal regardless of the
+/// main container's kind (the step's `ordered` flag describes the locked
+/// path; here every index is sorted) — resolving each cell at `snap`.
+/// Output assembly is the shared canonical order, so a snapshot range
+/// read answers exactly what a locked one would on the same cut.
+pub(crate) fn snapshot_query_range(
+    decomp: &Decomposition,
+    plan: &Plan,
+    pattern: &Tuple,
+    range: &RangePattern,
+    root: &NodeRef,
+    snap: u64,
+    guard: &Guard,
+) -> Vec<Tuple> {
+    let mut states = vec![QueryState::initial(
+        decomp,
+        pattern.clone(),
+        Arc::clone(root),
+    )];
+    let last = plan.steps.len().saturating_sub(1);
+    for (i, step) in plan.steps.iter().enumerate() {
+        match step {
+            PlanStep::Lock { .. } => continue,
+            PlanStep::Lookup { edge } | PlanStep::SpecLookup { edge, .. } => {
+                let em = decomp.edge(*edge);
+                let mut out = Vec::with_capacity(states.len());
+                for mut st in states {
+                    let key = st.tuple.project(em.cols);
+                    let src = st.instance(em.src).clone();
+                    if let Some(child) = resolve_edge(decomp, &src, *edge, &key, snap, guard) {
+                        st.nodes[em.dst.index()] = Some(child);
+                        out.push(st);
+                    }
+                }
+                states = out;
+            }
+            PlanStep::Scan { edge } => {
+                let em = decomp.edge(*edge);
+                let mut out = Vec::new();
+                for st in states {
+                    let src = st.instance(em.src).clone();
+                    src.versions(decomp, *edge).scan(&mut |k: &Tuple, cell| {
+                        if st.tuple.matches(k) {
+                            if let Some(child) = cell.resolve(snap, guard) {
+                                let mut next = st.clone();
+                                next.tuple = st.tuple.union(k).expect("matches implies mergeable");
+                                next.nodes[em.dst.index()] = Some(child);
+                                out.push(next);
+                            }
+                        }
+                        ControlFlow::Continue(())
+                    });
+                }
+                states = out;
+            }
+            PlanStep::RangeScan { edge, .. } => {
+                let em = decomp.edge(*edge);
+                let (lo, hi) = range_key_bounds(range);
+                // Top-k short circuit: the skip-list walk is ascending and
+                // single-column keys carry one entry per value, so on the
+                // final traversal each state's first k distinct output
+                // projections contain every global top-k candidate (see
+                // `Executor::range_scan_step`).
+                let distinct_limit = if i == last { range.limit() } else { None };
+                let mut out = Vec::new();
+                for st in states {
+                    let src = st.instance(em.src).clone();
+                    let mut distinct: BTreeSet<Tuple> = BTreeSet::new();
+                    src.versions(decomp, *edge).scan_range(
+                        lo.as_ref(),
+                        hi.as_ref(),
+                        &mut |k: &Tuple, cell| {
+                            if st.tuple.matches(k) {
+                                if let Some(child) = cell.resolve(snap, guard) {
+                                    let mut next = st.clone();
+                                    next.tuple =
+                                        st.tuple.union(k).expect("matches implies mergeable");
+                                    next.nodes[em.dst.index()] = Some(child);
+                                    if let Some(limit) = distinct_limit {
+                                        distinct.insert(next.tuple.project(plan.output));
+                                        out.push(next);
+                                        if distinct.len() >= limit {
+                                            return ControlFlow::Break(());
+                                        }
+                                    } else {
+                                        out.push(next);
+                                    }
+                                }
+                            }
+                            ControlFlow::Continue(())
+                        },
+                    );
+                }
+                states = out;
+            }
+        }
+        if states.is_empty() {
+            return Vec::new();
+        }
+    }
+    assemble_range_output(states.into_iter().map(|st| st.tuple), range, plan.output)
 }
 
 /// Short-circuiting existence check over the version indexes at snapshot
@@ -442,6 +598,9 @@ fn snapshot_exists_from(
                 }
                 None => false,
             }
+        }
+        PlanStep::RangeScan { .. } => {
+            unreachable!("plan_query never emits RangeScan; use snapshot_query_range")
         }
         PlanStep::Scan { edge } => {
             let em = decomp.edge(*edge);

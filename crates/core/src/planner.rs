@@ -36,7 +36,7 @@ use std::sync::Arc;
 
 use relc_containers::ContainerKind;
 use relc_locks::LockMode;
-use relc_spec::ColumnSet;
+use relc_spec::{ColumnId, ColumnSet};
 
 use crate::decomp::{Decomposition, EdgeId};
 use crate::error::CoreError;
@@ -269,6 +269,11 @@ const DEFAULT_FANOUT: f64 = 8.0;
 const LOCK_COST_SHARED: f64 = 0.4;
 const LOCK_COST_EXCLUSIVE: f64 = 0.8;
 const LOCK_COST_PER_EXTRA_STRIPE: f64 = 0.15;
+/// Assumed fraction of an edge's entries falling inside a range interval.
+/// A bounded in-order walk over a sorted container visits only that
+/// fraction, so a range-scannable chain out-costs the filtered full scan
+/// and wins the cheapest-chain selection.
+const RANGE_SELECTIVITY: f64 = 0.35;
 
 impl Planner {
     /// Creates a planner.
@@ -302,7 +307,45 @@ impl Planner {
     /// [`CoreError::NoValidPlan`] if every chain would have to scan a
     /// speculative edge.
     pub fn plan_query(&self, bound: ColumnSet, output: ColumnSet) -> Result<Plan, CoreError> {
-        let needed = bound.union(output);
+        self.plan_query_inner(bound, output, None)
+    }
+
+    /// Plans `query_range r s (lo ≤ c < hi) C`: a chain query whose states
+    /// are additionally constrained by an interval over column `range_col`.
+    ///
+    /// The chain must bind the range column (otherwise the interval could
+    /// not be checked). When the edge that first binds it keys on *exactly*
+    /// that column, tuple order over the edge's single-column keys coincides
+    /// with value order, so the interval is a contiguous container-key range
+    /// and the planner emits [`PlanStep::RangeScan`] — a bounded in-order
+    /// walk on sorted containers, a filtered full scan elsewhere. Edges
+    /// binding the range column among other columns fall back to an
+    /// ordinary [`PlanStep::Scan`] (the executor filters the fan-out). Both
+    /// shapes are costed and the cheapest chain wins, with
+    /// [`RANGE_SELECTIVITY`] discounting bounded walks.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NoValidPlan`] as for [`Planner::plan_query`].
+    pub fn plan_range(
+        &self,
+        bound: ColumnSet,
+        range_col: ColumnId,
+        output: ColumnSet,
+    ) -> Result<Plan, CoreError> {
+        self.plan_query_inner(bound, output, Some(range_col))
+    }
+
+    fn plan_query_inner(
+        &self,
+        bound: ColumnSet,
+        output: ColumnSet,
+        range_col: Option<ColumnId>,
+    ) -> Result<Plan, CoreError> {
+        let mut needed = bound.union(output);
+        if let Some(rc) = range_col {
+            needed.insert(rc);
+        }
         let mut best: Option<Plan> = None;
         let mut chain: Vec<EdgeId> = Vec::new();
         self.enumerate_chains(
@@ -310,6 +353,7 @@ impl Planner {
             bound,
             needed,
             output,
+            range_col,
             &mut chain,
             &mut best,
         );
@@ -323,12 +367,14 @@ impl Planner {
         })
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn enumerate_chains(
         &self,
         node: crate::decomp::NodeId,
         bound: ColumnSet,
         needed: ColumnSet,
         output: ColumnSet,
+        range_col: Option<ColumnId>,
         chain: &mut Vec<EdgeId>,
         best: &mut Option<Plan>,
     ) {
@@ -337,7 +383,7 @@ impl Planner {
         // unverified, silently dropping the constraint. The root witnesses
         // no tuples, so at least one edge must be traversed.
         if needed.is_subset(self.decomp.node(node).key_cols) && node != self.decomp.root() {
-            if let Some(plan) = self.chain_to_plan(chain, bound, output) {
+            if let Some(plan) = self.chain_to_plan(chain, bound, output, range_col) {
                 if best.as_ref().is_none_or(|b| plan.cost < b.cost) {
                     *best = Some(plan);
                 }
@@ -346,13 +392,27 @@ impl Planner {
         }
         for &e in &self.decomp.node(node).outgoing {
             chain.push(e);
-            self.enumerate_chains(self.decomp.edge(e).dst, bound, needed, output, chain, best);
+            self.enumerate_chains(
+                self.decomp.edge(e).dst,
+                bound,
+                needed,
+                output,
+                range_col,
+                chain,
+                best,
+            );
             chain.pop();
         }
     }
 
     /// Builds and costs the plan for one chain; `None` if invalid.
-    fn chain_to_plan(&self, chain: &[EdgeId], bound: ColumnSet, output: ColumnSet) -> Option<Plan> {
+    fn chain_to_plan(
+        &self,
+        chain: &[EdgeId],
+        bound: ColumnSet,
+        output: ColumnSet,
+        range_col: Option<ColumnId>,
+    ) -> Option<Plan> {
         let mut steps = Vec::new();
         let mut known = bound;
         let mut cost = 0.0f64;
@@ -404,7 +464,14 @@ impl Planner {
                     steps.push(PlanStep::Lookup { edge: e });
                     cost += states * lookup_cost(em.container);
                 } else {
-                    steps.push(PlanStep::Scan { edge: e });
+                    // An edge keying on exactly the (still unbound) range
+                    // column maps the value interval onto a contiguous
+                    // container-key interval: range-scan it. Sorted
+                    // containers walk only the interval; elsewhere the
+                    // traversal degrades to a filtered full scan (same
+                    // visit cost, smaller fan-out).
+                    let range_here = range_col
+                        .is_some_and(|rc| !known.contains(rc) && em.cols == ColumnSet::single(rc));
                     // A scan reads the whole container instance, whose
                     // population grows with the number of key columns the
                     // edge binds; filtering only shrinks the *output*.
@@ -420,8 +487,21 @@ impl Planner {
                             .powi(em.cols.difference(known).len() as i32)
                             .min(4096.0)
                     };
-                    cost += states * (SCAN_SETUP_COST + population * SCAN_ENTRY_COST);
-                    states *= out_fanout;
+                    if range_here {
+                        let ordered = em.container.props().sorted_scan;
+                        steps.push(PlanStep::RangeScan { edge: e, ordered });
+                        let visited = if ordered {
+                            (population * RANGE_SELECTIVITY).max(1.0)
+                        } else {
+                            population
+                        };
+                        cost += states * (SCAN_SETUP_COST + visited * SCAN_ENTRY_COST);
+                        states *= (out_fanout * RANGE_SELECTIVITY).max(1.0);
+                    } else {
+                        steps.push(PlanStep::Scan { edge: e });
+                        cost += states * (SCAN_SETUP_COST + population * SCAN_ENTRY_COST);
+                        states *= out_fanout;
+                    }
                     let group_min = em.cols.iter().next().map(|c| c.index());
                     let group_max = em.cols.iter().last().map(|c| c.index());
                     chain_sorted = chain_sorted

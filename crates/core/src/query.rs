@@ -50,6 +50,22 @@ pub enum PlanStep {
         /// The edge to traverse.
         edge: EdgeId,
     },
+    /// Traverse `edge` by a *bounded* range scan: the edge's single key
+    /// column is the range column of a [`relc_spec::RangePattern`], so the
+    /// interval over values is a contiguous interval of container keys.
+    /// On a sorted container ([`ordered`](PlanStep::RangeScan::ordered))
+    /// the traversal visits only the interval, in key order; elsewhere it
+    /// degrades to a filtered full scan. The interval's bounds travel
+    /// alongside the plan (steps are shapes, not instances — like the
+    /// pattern tuple of every other step).
+    RangeScan {
+        /// The edge to traverse.
+        edge: EdgeId,
+        /// Whether the edge's container keeps sorted order (`sorted_scan`),
+        /// making the traversal a bounded in-order walk whose output is in
+        /// range order (enables limit short-circuiting downstream).
+        ordered: bool,
+    },
     /// §4.5: speculative point traversal of a concurrency-safe edge — guess
     /// via an unlocked lookup, lock the target (present) or the fallback
     /// stripe (absent), re-validate, restart the transaction on a wrong
@@ -69,6 +85,7 @@ impl PlanStep {
             PlanStep::Lock { edge, .. }
             | PlanStep::Lookup { edge }
             | PlanStep::Scan { edge }
+            | PlanStep::RangeScan { edge, .. }
             | PlanStep::SpecLookup { edge, .. } => *edge,
         }
     }
@@ -183,6 +200,17 @@ pub fn render_plan(decomp: &Decomposition, steps: &[PlanStep]) -> String {
                 out.push_str(&format!(
                     "let {} = scan({}, {}) in\n",
                     var as char,
+                    current as char,
+                    edge_name(*edge)
+                ));
+                current = var;
+            }
+            PlanStep::RangeScan { edge, ordered } => {
+                var += 1;
+                out.push_str(&format!(
+                    "let {} = range-scan{}({}, {}) in\n",
+                    var as char,
+                    if *ordered { "" } else { "~" },
                     current as char,
                     edge_name(*edge)
                 ));

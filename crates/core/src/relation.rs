@@ -15,7 +15,7 @@ use std::sync::{Arc, RwLock};
 use relc_locks::{Backoff, LockStats, LockStatsSnapshot, TwoPhaseEngine};
 #[cfg(doc)]
 use relc_spec::SpecError;
-use relc_spec::{ColumnSet, RelationSchema, Tuple};
+use relc_spec::{ColumnSet, RangePattern, RelationSchema, Tuple};
 
 use crate::decomp::Decomposition;
 use crate::error::CoreError;
@@ -60,7 +60,13 @@ pub struct ConcurrentRelation {
     /// Unique id for the thread-local plan memo (avoids cross-thread cache
     /// traffic on the shared plan maps in the per-operation hot path).
     id: u64,
+    /// Per-relation snapshot-reader registry: a long-lived reader of
+    /// *this* relation pins only this relation's version retirement, not
+    /// every relation in the process. Shards of one sharded relation
+    /// share a single registry so a cross-shard reader is one floor.
+    snapshots: Arc<relc_locks::SnapshotRegistry>,
     query_plans: RwLock<HashMap<(u64, u64), Arc<Plan>>>,
+    range_plans: RwLock<HashMap<(u64, usize, u64), Arc<Plan>>>,
     insert_plans: RwLock<HashMap<u64, Arc<InsertPlan>>>,
     remove_plans: RwLock<HashMap<u64, Arc<RemovePlan>>>,
     update_plans: RwLock<HashMap<(u64, u64), Arc<UpdatePlan>>>,
@@ -114,8 +120,14 @@ impl Drop for ActiveTxnGuard {
     }
 }
 
+/// Memo key for range plans:
+/// (relation id, bound-column bits, range column, output bits).
+type RangePlanKey = (u64, u64, usize, u64);
+
 thread_local! {
     static QUERY_MEMO: std::cell::RefCell<PlanMemo<(u64, u64, u64), Arc<Plan>>> =
+        std::cell::RefCell::new(PlanMemo::new());
+    static RANGE_MEMO: std::cell::RefCell<PlanMemo<RangePlanKey, Arc<Plan>>> =
         std::cell::RefCell::new(PlanMemo::new());
     static INSERT_MEMO: std::cell::RefCell<PlanMemo<(u64, u64), Arc<InsertPlan>>> =
         std::cell::RefCell::new(PlanMemo::new());
@@ -225,6 +237,17 @@ impl ConcurrentRelation {
         decomp: Arc<Decomposition>,
         placement: Arc<LockPlacement>,
     ) -> Result<Self, CoreError> {
+        Self::new_with_registry(decomp, placement, relc_locks::SnapshotRegistry::new())
+    }
+
+    /// As [`Self::new`], but registering snapshot readers with the given
+    /// registry — the sharding layer passes one registry to every shard
+    /// so a cross-shard reader establishes a single retirement floor.
+    pub(crate) fn new_with_registry(
+        decomp: Arc<Decomposition>,
+        placement: Arc<LockPlacement>,
+        snapshots: Arc<relc_locks::SnapshotRegistry>,
+    ) -> Result<Self, CoreError> {
         if !Arc::ptr_eq(placement.decomposition(), &decomp) {
             return Err(CoreError::IllFormedPlacement(
                 "placement belongs to a different decomposition".into(),
@@ -246,7 +269,9 @@ impl ConcurrentRelation {
             len: AtomicUsize::new(0),
             always_sort_locks: AtomicBool::new(false),
             id,
+            snapshots,
             query_plans: RwLock::new(HashMap::new()),
+            range_plans: RwLock::new(HashMap::new()),
             insert_plans: RwLock::new(HashMap::new()),
             remove_plans: RwLock::new(HashMap::new()),
             update_plans: RwLock::new(HashMap::new()),
@@ -428,7 +453,11 @@ impl ConcurrentRelation {
                     // ordering is what lets a snapshot reader treat
                     // "stamp ≤ snapshot" as "fully committed".
                     self.apply_len_delta(delta);
-                    mvcc::finish_attempt(&self.placement, std::slice::from_ref(&scope));
+                    mvcc::finish_attempt(
+                        &self.placement,
+                        &self.snapshots,
+                        std::slice::from_ref(&scope),
+                    );
                     engine.finish();
                     return Ok(r);
                 }
@@ -444,7 +473,11 @@ impl ConcurrentRelation {
                     // The aborted attempt's versions (original writes plus
                     // the compensations that net them out) still publish
                     // at one timestamp, before the locks release.
-                    mvcc::finish_attempt(&self.placement, std::slice::from_ref(&scope));
+                    mvcc::finish_attempt(
+                        &self.placement,
+                        &self.snapshots,
+                        std::slice::from_ref(&scope),
+                    );
                     engine.rollback();
                     backoff.wait();
                 }
@@ -452,7 +485,11 @@ impl ConcurrentRelation {
                     tx.rollback_effects();
                     let scope = tx.take_mvcc();
                     drop(tx);
-                    mvcc::finish_attempt(&self.placement, std::slice::from_ref(&scope));
+                    mvcc::finish_attempt(
+                        &self.placement,
+                        &self.snapshots,
+                        std::slice::from_ref(&scope),
+                    );
                     // Only explicit application aborts count as user
                     // rollbacks; validation errors (bad patterns, no valid
                     // plan) never applied an effect and would dilute the
@@ -620,6 +657,31 @@ impl ConcurrentRelation {
         self.read_transaction(|snap| snap.query(s, cols))
     }
 
+    /// Range query: the projection onto `cols` of all tuples extending
+    /// `s` whose `range` column falls inside the interval, ordered by
+    /// (range-column value, projection), deduplicated, truncated to
+    /// `range.limit()` if set.
+    ///
+    /// Like [`Self::query`] this routes onto the lock-free snapshot
+    /// path: one consistent cut, no locks, writers neither blocked nor
+    /// restarted. When the planner can put an ordered container on the
+    /// range column the traversal visits only the in-interval prefix
+    /// (and stops at `limit` distinct results); otherwise it degrades to
+    /// a filtered scan with identical results.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::query`]. A range column already bound by `s` is
+    /// not an error: the interval simply filters the bound value.
+    pub fn query_range(
+        &self,
+        s: &Tuple,
+        range: &RangePattern,
+        cols: ColumnSet,
+    ) -> Result<Vec<Tuple>, CoreError> {
+        self.read_transaction(|snap| snap.query_range(s, range, cols))
+    }
+
     /// Whether any tuple extends `s` — a short-circuiting existence check
     /// that stops at the first witness tuple instead of materializing,
     /// deduplicating, and sorting the full projection the way
@@ -706,8 +768,25 @@ impl ConcurrentRelation {
     ///
     /// A description of the violated invariant.
     pub fn verify(&self) -> Result<std::collections::BTreeSet<Tuple>, String> {
-        mvcc::verify_versions(&self.decomp, &self.root)?;
+        mvcc::verify_versions(&self.decomp, &self.root, &self.snapshots)?;
         instance::verify_instance(&self.decomp, &self.root)
+    }
+
+    /// Total number of versions held across every version chain reachable
+    /// from the root (test support for retirement regressions: after
+    /// churn at quiescence this should return to one version per live
+    /// entry — even while a snapshot reader on a *different* relation
+    /// stays open, since registries are per relation).
+    pub fn version_footprint(&self) -> usize {
+        mvcc::version_footprint(&self.decomp, &self.root)
+    }
+
+    /// The snapshot-reader registry owned by this relation (advanced:
+    /// registering directly pins this relation's version retirement
+    /// without opening a [`Self::read_transaction`]; most callers never
+    /// need this).
+    pub fn snapshots(&self) -> &Arc<relc_locks::SnapshotRegistry> {
+        &self.snapshots
     }
 
     /// The root node instance (shared with open transactions).
@@ -768,6 +847,29 @@ impl ConcurrentRelation {
         ))
     }
 
+    /// Snapshot range query at an externally-captured `(snap, guard)`
+    /// pair; see [`Self::snapshot_query_at`].
+    pub(crate) fn snapshot_query_range_at(
+        &self,
+        s: &Tuple,
+        range: &RangePattern,
+        cols: ColumnSet,
+        snap: u64,
+        guard: &relc_containers::epoch::Guard,
+    ) -> Result<Vec<Tuple>, CoreError> {
+        let plan = self.range_plan(s.dom(), range, cols)?;
+        self.stats.record_snapshot_reads(1);
+        Ok(mvcc::snapshot_query_range(
+            &self.decomp,
+            &plan,
+            s,
+            range,
+            &self.root,
+            snap,
+            guard,
+        ))
+    }
+
     /// Snapshot existence check at an externally-captured `(snap, guard)`
     /// pair; see [`Self::snapshot_query_at`].
     pub(crate) fn snapshot_exists_at(
@@ -800,6 +902,23 @@ impl ConcurrentRelation {
             &self.query_plans,
             (bound.bits(), output.bits()),
             || self.planner.plan_query(bound, output),
+        )
+    }
+
+    pub(crate) fn range_plan(
+        &self,
+        bound: ColumnSet,
+        range: &RangePattern,
+        output: ColumnSet,
+    ) -> Result<Arc<Plan>, CoreError> {
+        let col = range.col().index();
+        plan_cached(
+            &RANGE_MEMO,
+            (self.id, bound.bits(), col, output.bits()),
+            |k| k.0,
+            &self.range_plans,
+            (bound.bits(), col, output.bits()),
+            || self.planner.plan_range(bound, range.col(), output),
         )
     }
 
@@ -875,9 +994,10 @@ impl ConcurrentRelation {
 /// snapshot; committed writers later than the snapshot are invisible,
 /// tentative (uncommitted) versions always are.
 ///
-/// While the reader is alive it is registered with the global
-/// [`relc_locks::SnapshotRegistry`], which stops committers from
-/// truncating version history it still needs, and it holds an epoch
+/// While the reader is alive it is registered with the **relation's
+/// own** [`relc_locks::SnapshotRegistry`], which stops this relation's
+/// committers from truncating version history it still needs — but
+/// leaves every other relation's retirement unpinned — and it holds an epoch
 /// guard, which keeps already-truncated nodes it may be walking alive
 /// until it drops.
 pub struct SnapshotReader<'r> {
@@ -889,7 +1009,7 @@ pub struct SnapshotReader<'r> {
 
 impl<'r> SnapshotReader<'r> {
     fn open(rel: &'r ConcurrentRelation) -> Self {
-        let reg = relc_locks::snapshot_registry().register(relc_locks::commit_clock());
+        let reg = rel.snapshots.register(relc_locks::commit_clock());
         let guard = relc_containers::epoch::pin();
         SnapshotReader {
             rel,
@@ -913,6 +1033,22 @@ impl<'r> SnapshotReader<'r> {
     /// drive the snapshot traversal, so the same shapes are plannable).
     pub fn query(&self, s: &Tuple, cols: ColumnSet) -> Result<Vec<Tuple>, CoreError> {
         self.rel.snapshot_query_at(s, cols, self.snap, &self.guard)
+    }
+
+    /// Range query at this snapshot; see
+    /// [`ConcurrentRelation::query_range`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`SnapshotReader::query`].
+    pub fn query_range(
+        &self,
+        s: &Tuple,
+        range: &RangePattern,
+        cols: ColumnSet,
+    ) -> Result<Vec<Tuple>, CoreError> {
+        self.rel
+            .snapshot_query_range_at(s, range, cols, self.snap, &self.guard)
     }
 
     /// Whether any tuple extends `s` at this snapshot — short-circuiting,

@@ -86,11 +86,11 @@ use std::fmt;
 use std::sync::Arc;
 
 use relc_locks::{Backoff, CommitStamp, LockStatsSnapshot, TwoPhaseEngine};
-use relc_spec::{ColumnSet, RelationSchema, SpecError, Tuple};
+use relc_spec::{ColumnSet, RangePattern, RelationSchema, SpecError, Tuple};
 
 use crate::decomp::Decomposition;
 use crate::error::CoreError;
-use crate::exec::Executor;
+use crate::exec::{assemble_range_output, Executor};
 use crate::mvcc::{self, MvccScope};
 use crate::placement::{LockPlacement, LockToken};
 use crate::relation::{ActiveTxnGuard, ConcurrentRelation};
@@ -142,8 +142,18 @@ impl ShardedRelation {
         seed: u64,
     ) -> Result<Self, CoreError> {
         let route_by = decomp.schema().canonical_key();
+        // One snapshot registry shared by every shard: a cross-shard
+        // reader registers once and establishes a single retirement
+        // floor for the whole sharded relation (and only for it).
+        let registry = relc_locks::SnapshotRegistry::new();
         let shards = (0..shards.max(1))
-            .map(|_| ConcurrentRelation::new(Arc::clone(&decomp), Arc::clone(&placement)))
+            .map(|_| {
+                ConcurrentRelation::new_with_registry(
+                    Arc::clone(&decomp),
+                    Arc::clone(&placement),
+                    Arc::clone(&registry),
+                )
+            })
             .collect::<Result<Vec<_>, _>>()?;
         Ok(ShardedRelation {
             shards,
@@ -393,6 +403,22 @@ impl ShardedRelation {
         }
     }
 
+    /// Range query, lock-free at one snapshot timestamp: routed patterns
+    /// read one shard, fan-out patterns read every shard at the same
+    /// snapshot and merge (see [`ShardedSnapshotReader::query_range`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`ConcurrentRelation::query_range`].
+    pub fn query_range(
+        &self,
+        s: &Tuple,
+        range: &RangePattern,
+        cols: ColumnSet,
+    ) -> Result<Vec<Tuple>, CoreError> {
+        self.read_transaction(|snap| snap.query_range(s, range, cols))
+    }
+
     /// Whether any tuple extends `s`; fan-out patterns short-circuit at
     /// the first shard with a witness, all shards probed at one snapshot
     /// timestamp (consistent across shards, like [`Self::query`]).
@@ -523,7 +549,7 @@ impl ShardedRelation {
                     for &(i, delta) in &touched {
                         self.shards[i].apply_len_delta(delta);
                     }
-                    mvcc::finish_attempt(self.placement(), &scopes);
+                    mvcc::finish_attempt(self.placement(), self.shards[0].snapshots(), &scopes);
                     for (i, _) in touched {
                         engines[i].finish();
                     }
@@ -533,7 +559,7 @@ impl ShardedRelation {
                 // as the single-instance loop).
                 Ok(_) | Err(TxnError::Restart(_)) => {
                     let (touched, scopes) = stx.into_touched(true);
-                    mvcc::finish_attempt(self.placement(), &scopes);
+                    mvcc::finish_attempt(self.placement(), self.shards[0].snapshots(), &scopes);
                     for (i, _) in touched {
                         engines[i].rollback();
                     }
@@ -541,7 +567,7 @@ impl ShardedRelation {
                 }
                 Err(TxnError::Core(e)) => {
                     let (touched, scopes) = stx.into_touched(true);
-                    mvcc::finish_attempt(self.placement(), &scopes);
+                    mvcc::finish_attempt(self.placement(), self.shards[0].snapshots(), &scopes);
                     let user = matches!(e, CoreError::TransactionAborted(_));
                     for (i, _) in touched {
                         if user {
@@ -858,6 +884,35 @@ impl<'t> ShardedTransaction<'t> {
         }
     }
 
+    /// Range query under this transaction's lock scope: routed patterns
+    /// visit one shard; fan-out patterns visit every shard uncapped and
+    /// merge globally (same merge discipline as
+    /// [`ShardedSnapshotReader::query_range`]), serializable because
+    /// every visited shard's locks persist to commit.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Transaction::query`].
+    pub fn query_range(
+        &mut self,
+        s: &Tuple,
+        range: &RangePattern,
+        cols: ColumnSet,
+    ) -> Result<Vec<Tuple>, TxnError> {
+        match self.rel.route(s) {
+            Some(i) => self.shard_tx(i).query_range(s, range, cols),
+            None => {
+                let ext = cols.with(range.col());
+                let uncapped = range.without_limit();
+                let mut acc: Vec<Tuple> = Vec::new();
+                for i in 0..self.rel.shards.len() {
+                    acc.extend(self.shard_tx(i).query_range(s, &uncapped, ext)?);
+                }
+                Ok(assemble_range_output(acc, range, cols))
+            }
+        }
+    }
+
     /// Whether any tuple extends `s`, under this transaction's locks
     /// (fan-out patterns short-circuit but keep the visited shards'
     /// locks).
@@ -915,7 +970,9 @@ impl<'r> ShardedSnapshotReader<'r> {
         // Register before pinning, like the single-instance reader: the
         // registration stops committers from truncating history at or
         // below `snap`, the guard keeps already-truncated nodes alive.
-        let reg = relc_locks::snapshot_registry().register(relc_locks::commit_clock());
+        let reg = rel.shards[0]
+            .snapshots()
+            .register(relc_locks::commit_clock());
         let guard = relc_containers::epoch::pin();
         ShardedSnapshotReader {
             rel,
@@ -946,6 +1003,45 @@ impl<'r> ShardedSnapshotReader<'r> {
                     acc.extend(shard.snapshot_query_at(s, cols, self.snap, &self.guard)?);
                 }
                 Ok(acc.into_iter().collect())
+            }
+        }
+    }
+
+    /// Range query at this snapshot: routed patterns read the owning
+    /// shard natively; fan-out patterns query every shard **uncapped**
+    /// with the range column added to the projection, then merge, order,
+    /// deduplicate, and cap globally — a per-shard cap could drop a
+    /// projection whose in-shard predecessors dedup away against other
+    /// shards' results. All shards are read at the one registered
+    /// timestamp, so the merged result is itself a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ConcurrentRelation::query_range`].
+    pub fn query_range(
+        &self,
+        s: &Tuple,
+        range: &RangePattern,
+        cols: ColumnSet,
+    ) -> Result<Vec<Tuple>, CoreError> {
+        match self.rel.route(s) {
+            Some(i) => {
+                self.rel.shards[i].snapshot_query_range_at(s, range, cols, self.snap, &self.guard)
+            }
+            None => {
+                let ext = cols.with(range.col());
+                let uncapped = range.without_limit();
+                let mut acc: Vec<Tuple> = Vec::new();
+                for shard in &self.rel.shards {
+                    acc.extend(shard.snapshot_query_range_at(
+                        s,
+                        &uncapped,
+                        ext,
+                        self.snap,
+                        &self.guard,
+                    )?);
+                }
+                Ok(assemble_range_output(acc, range, cols))
             }
         }
     }

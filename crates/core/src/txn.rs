@@ -574,6 +574,30 @@ impl<'t> Transaction<'t> {
         self.track(res)
     }
 
+    /// Range query under this transaction's lock scope: the projection
+    /// onto `cols` of all tuples extending `s` whose `range` column falls
+    /// inside the interval, ordered by (range-column value, projection),
+    /// deduplicated, truncated to `range.limit()` if set. Observes this
+    /// transaction's own earlier writes; the same two-phase lock
+    /// persistence as [`Transaction::query`] applies.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Transaction::query`].
+    pub fn query_range(
+        &mut self,
+        s: &Tuple,
+        range: &relc_spec::RangePattern,
+        cols: ColumnSet,
+    ) -> Result<Vec<Tuple>, TxnError> {
+        self.assert_two_phase();
+        let plan = self.rel.range_plan(s.dom(), range, cols)?;
+        let res = self
+            .exec
+            .run_query_range(&plan, s, range, self.rel.root_ref());
+        self.track(res)
+    }
+
     /// Whether any tuple extends `s` — a short-circuiting existence check
     /// that stops at the first witness instead of materializing,
     /// deduplicating, and sorting every match the way

@@ -240,6 +240,36 @@ fn seeded_unsound_presort_flagged() {
     );
 }
 
+/// A range scan can visit entries in every stripe of its host; an
+/// executor that locks only one stripe — as if the interval routed the
+/// traversal the way a point lookup's key does — must be flagged as an
+/// uncovered read under a striped placement.
+#[test]
+fn seeded_under_locked_range_scan_flagged() {
+    let d = library::stick(ContainerKind::ConcurrentHashMap, ContainerKind::TreeMap);
+    let p = LockPlacement::striped_root(&d, 2).unwrap();
+    let opts = AnalyzerOptions {
+        demote_range_lock: true,
+        ..Default::default()
+    };
+    let analyzer = Analyzer::with_options(Arc::clone(&d), Arc::clone(&p), opts);
+    let src = d.schema().column("src").unwrap();
+    let diags = analyzer
+        .analyze_query_range(relc_spec::ColumnSet::new(), src, d.schema().columns())
+        .unwrap();
+    assert!(
+        diags
+            .iter()
+            .any(|x| x.kind == DiagnosticKind::UncoveredRead),
+        "under-locked range scan not flagged: {diags:?}"
+    );
+    // Sanity: the planner's real range plan (all stripes locked) is clean.
+    let ok = Analyzer::new(Arc::clone(&d), p)
+        .analyze_query_range(relc_spec::ColumnSet::new(), src, d.schema().columns())
+        .unwrap();
+    assert!(ok.is_empty(), "standard range plan should be clean: {ok:?}");
+}
+
 /// Disabling the cross-shard try-only demotion must surface as an
 /// out-of-order acquisition in the lexicographic (shard, token) model.
 #[test]

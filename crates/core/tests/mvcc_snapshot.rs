@@ -505,8 +505,10 @@ fn pinned_dead_cells_are_swept_by_later_commits() {
         // Register before the update so this commit's min_active is the
         // reader's (pre-update) snapshot: the weight-(i-1) cell it
         // tombstones is still visible to the reader and must survive
-        // this commit. The next iteration's commit sweeps it.
-        let g = relc_locks::snapshot_registry().register(relc_locks::commit_clock());
+        // this commit. The next iteration's commit sweeps it. The
+        // registration must target *this relation's* registry —
+        // registries are per relation now.
+        let g = rel.snapshots().register(relc_locks::commit_clock());
         rel.update(&edge(&rel, 3, 3), &weight(&rel, i)).unwrap();
         drop(g);
     }

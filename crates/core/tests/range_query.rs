@@ -1,0 +1,565 @@
+//! Differential validation of `query_range`: the snapshot path, the
+//! locked transactional path, and the sharded fan-out must all agree
+//! with the sequential oracle's §2-style range semantics — ordered by
+//! (range-column value, projection), deduplicated, capped at the
+//! limit — across every standard decomposition and lock placement,
+//! for hand-picked and randomized intervals alike; and concurrent
+//! range reads must observe one consistent snapshot cut.
+
+use std::ops::Bound;
+use std::sync::{Arc, Barrier};
+
+use relc::decomp::library::{diamond, split, stick};
+use relc::lincheck::{check_linearizable, HistoryRecorder, OpRecord};
+use relc::placement::LockPlacement;
+use relc::{ConcurrentRelation, Decomposition, ShardedRelation};
+use relc_containers::ContainerKind;
+use relc_spec::{ColumnSet, OracleRelation, RangePattern, Tuple, Value};
+
+fn graph_decomps() -> Vec<(&'static str, Arc<Decomposition>)> {
+    vec![
+        (
+            "stick(tm,tm)",
+            stick(ContainerKind::TreeMap, ContainerKind::TreeMap),
+        ),
+        (
+            "stick(chm,tm)",
+            stick(ContainerKind::ConcurrentHashMap, ContainerKind::TreeMap),
+        ),
+        (
+            "stick(cslm,chm)",
+            stick(
+                ContainerKind::ConcurrentSkipListMap,
+                ContainerKind::ConcurrentHashMap,
+            ),
+        ),
+        (
+            "split(chm,tm)",
+            split(ContainerKind::ConcurrentHashMap, ContainerKind::TreeMap),
+        ),
+        (
+            "diamond(chm,tm)",
+            diamond(ContainerKind::ConcurrentHashMap, ContainerKind::TreeMap),
+        ),
+    ]
+}
+
+fn standard_placements(d: &Arc<Decomposition>) -> Vec<Arc<LockPlacement>> {
+    [
+        LockPlacement::coarse(d).ok(),
+        LockPlacement::fine(d).ok(),
+        LockPlacement::striped_root(d, 2).ok(),
+        LockPlacement::striped_root(d, 8).ok(),
+        LockPlacement::speculative(d, 4).ok(),
+    ]
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+fn tup(d: &Arc<Decomposition>, cols: &[(&str, i64)]) -> Tuple {
+    let pairs: Vec<(&str, Value)> = cols.iter().map(|&(c, v)| (c, Value::from(v))).collect();
+    d.schema().tuple(&pairs).unwrap()
+}
+
+/// 30 tuples with deliberately colliding values in every column, so
+/// ranges overlap duplicates and projections dedup across them.
+fn seed_data(d: &Arc<Decomposition>) -> Vec<(Tuple, Tuple)> {
+    (0..30i64)
+        .map(|k| {
+            (
+                tup(d, &[("src", k % 5), ("dst", k % 7)]),
+                tup(d, &[("weight", (k * 3) % 11)]),
+            )
+        })
+        .collect()
+}
+
+/// A battery of interval shapes over one column: both-ends bounds of
+/// every openness, rays, unbounded, empty, and limits.
+fn range_battery(d: &Arc<Decomposition>, col: &str) -> Vec<RangePattern> {
+    let c = d.schema().column(col).unwrap();
+    vec![
+        RangePattern::all(c),
+        RangePattern::all(c).with_limit(3),
+        RangePattern::all(c).with_limit(1),
+        RangePattern::closed(c, Value::from(2), Value::from(6)),
+        RangePattern::half_open(c, Value::from(2), Value::from(6)),
+        RangePattern::half_open(c, Value::from(3), Value::from(3)),
+        RangePattern::at_least(c, Value::from(4)),
+        RangePattern::at_least(c, Value::from(4)).with_limit(4),
+        RangePattern::below(c, Value::from(5)),
+        RangePattern::new(
+            c,
+            Bound::Excluded(Value::from(2)),
+            Bound::Included(Value::from(8)),
+        ),
+        RangePattern::closed(c, Value::from(2), Value::from(6)).with_limit(2),
+    ]
+}
+
+/// Every decomposition × placement must answer every pattern × range ×
+/// projection shape exactly like the oracle — snapshot path and locked
+/// transactional path alike.
+#[test]
+fn range_results_match_oracle_across_variants() {
+    for (dname, d) in graph_decomps() {
+        let oracle = OracleRelation::empty(d.schema().clone());
+        for (s, t) in seed_data(&d) {
+            let _ = oracle.insert(&s, &t);
+        }
+        let full = d.schema().columns();
+        let projections = vec![
+            full,
+            d.schema().column_set(&["dst"]).unwrap(),
+            d.schema().column_set(&["weight"]).unwrap(),
+            d.schema().column_set(&["src", "weight"]).unwrap(),
+            ColumnSet::new(),
+        ];
+        let patterns = vec![
+            Tuple::empty(),
+            tup(&d, &[("src", 1)]),
+            tup(&d, &[("src", 2), ("dst", 3)]),
+        ];
+        for p in standard_placements(&d) {
+            let rel = ConcurrentRelation::new(d.clone(), Arc::clone(&p)).unwrap();
+            for (s, t) in seed_data(&d) {
+                rel.insert(&s, &t).unwrap();
+            }
+            for col in ["src", "dst", "weight"] {
+                for range in range_battery(&d, col) {
+                    for &cols in &projections {
+                        for s in &patterns {
+                            let got = match rel.query_range(s, &range, cols) {
+                                Ok(g) => g,
+                                // Speculative edges cannot be scanned; shapes
+                                // with no valid chain are skipped, mirroring
+                                // `analyze_all`.
+                                Err(relc::CoreError::NoValidPlan(_)) => continue,
+                                Err(e) => panic!("{dname} under `{}`: {e}", p.name()),
+                            };
+                            let want = oracle.query_range(s, &range, cols);
+                            assert_eq!(
+                                got,
+                                want,
+                                "{dname} under `{}`: range {range} over {col}, \
+                                 pattern {s:?}",
+                                p.name()
+                            );
+                        }
+                    }
+                }
+            }
+            // Locked path spot-check: same answers under a two-phase
+            // transaction, and the transaction sees its own writes.
+            let wcol = d.schema().column("weight").unwrap();
+            let r = RangePattern::at_least(wcol, Value::from(0));
+            if rel.query_range(&Tuple::empty(), &r, full).is_ok() {
+                rel.transaction(|tx| {
+                    let got = tx.query_range(&Tuple::empty(), &r, full)?;
+                    assert_eq!(got, oracle.query_range(&Tuple::empty(), &r, full));
+                    Ok(())
+                })
+                .unwrap();
+            }
+        }
+    }
+}
+
+/// Randomized differential: random churn, then random intervals with
+/// random openness and limits, compared against the oracle on every
+/// round.
+#[test]
+fn randomized_ranges_match_oracle() {
+    for (dname, d) in graph_decomps().into_iter().take(3) {
+        let p = LockPlacement::fine(&d).unwrap();
+        let rel = ConcurrentRelation::new(d.clone(), Arc::clone(&p)).unwrap();
+        let oracle = OracleRelation::empty(d.schema().clone());
+        let full = d.schema().columns();
+        let cols_list = [
+            full,
+            d.schema().column_set(&["dst"]).unwrap(),
+            d.schema().column_set(&["src", "weight"]).unwrap(),
+        ];
+        let col_names = ["src", "dst", "weight"];
+        let mut x = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for round in 0..200u64 {
+            let src = (next() % 8) as i64;
+            let dst = (next() % 8) as i64;
+            let w = (next() % 16) as i64;
+            let s = tup(&d, &[("src", src), ("dst", dst)]);
+            if next() % 4 == 0 {
+                let a = rel.remove(&s).unwrap();
+                let b = oracle.remove(&s);
+                assert_eq!(a, b, "{dname}: remove divergence");
+            } else {
+                let t = tup(&d, &[("weight", w)]);
+                let a = rel.insert(&s, &t).unwrap();
+                let b = oracle.insert(&s, &t).unwrap();
+                assert_eq!(a, b, "{dname}: insert divergence");
+            }
+            if round % 5 != 0 {
+                continue;
+            }
+            let c = d.schema().column(col_names[(next() % 3) as usize]).unwrap();
+            let lo = (next() % 16) as i64;
+            let hi = lo + (next() % 10) as i64 - 2;
+            let lo_b = match next() % 3 {
+                0 => Bound::Included(Value::from(lo)),
+                1 => Bound::Excluded(Value::from(lo)),
+                _ => Bound::Unbounded,
+            };
+            let hi_b = match next() % 3 {
+                0 => Bound::Included(Value::from(hi)),
+                1 => Bound::Excluded(Value::from(hi)),
+                _ => Bound::Unbounded,
+            };
+            let mut range = RangePattern::new(c, lo_b, hi_b);
+            if next() % 2 == 0 {
+                range = range.with_limit((next() % 5) as usize + 1);
+            }
+            let cols = cols_list[(next() % 3) as usize];
+            let pattern = if next() % 3 == 0 {
+                tup(&d, &[("src", (next() % 8) as i64)])
+            } else {
+                Tuple::empty()
+            };
+            let want = oracle.query_range(&pattern, &range, cols);
+            let got = rel.query_range(&pattern, &range, cols).unwrap();
+            assert_eq!(got, want, "{dname}: range {range}, pattern {pattern:?}");
+        }
+    }
+}
+
+/// Sharded ranges: routed patterns hit one shard, fan-out patterns merge
+/// every shard at one snapshot — both must match the oracle, including
+/// limits that interact with cross-shard deduplication (the same
+/// projection reachable from several shards at different range values).
+#[test]
+fn sharded_ranges_match_oracle() {
+    let d = split(ContainerKind::ConcurrentHashMap, ContainerKind::TreeMap);
+    let p = LockPlacement::fine(&d).unwrap();
+    let rel = ShardedRelation::new(d.clone(), Arc::clone(&p), 4).unwrap();
+    let oracle = OracleRelation::empty(d.schema().clone());
+    for (s, t) in seed_data(&d) {
+        rel.insert(&s, &t).unwrap();
+        let _ = oracle.insert(&s, &t);
+    }
+    let full = d.schema().columns();
+    let projections = vec![
+        full,
+        d.schema().column_set(&["dst"]).unwrap(),
+        // {src}: many (src, dst) pairs share a src, so the same
+        // projection surfaces from several shards — the fan-out merge
+        // must dedup at the smallest range value, not per shard.
+        d.schema().column_set(&["src"]).unwrap(),
+    ];
+    let patterns = vec![
+        Tuple::empty(),
+        tup(&d, &[("src", 1)]),
+        // Binds the full routing key: served by one shard.
+        tup(&d, &[("src", 2), ("dst", 3)]),
+    ];
+    for col in ["src", "dst", "weight"] {
+        for range in range_battery(&d, col) {
+            for &cols in &projections {
+                for s in &patterns {
+                    let want = oracle.query_range(s, &range, cols);
+                    let got = rel.query_range(s, &range, cols).unwrap();
+                    assert_eq!(
+                        got, want,
+                        "sharded: range {range} over {col}, pattern {s:?}"
+                    );
+                }
+            }
+        }
+    }
+    // Locked sharded path: same answers, serializable across shards.
+    let wcol = d.schema().column("weight").unwrap();
+    let r = RangePattern::closed(wcol, Value::from(2), Value::from(9)).with_limit(5);
+    rel.transaction(|tx| {
+        let got = tx.query_range(&Tuple::empty(), &r, full)?;
+        assert_eq!(got, oracle.query_range(&Tuple::empty(), &r, full));
+        Ok(())
+    })
+    .unwrap();
+}
+
+/// Concurrent range reads observe one consistent cut: every writer
+/// transaction inserts a *pair* of tuples atomically, so any range read
+/// over the whole window must count an even number of results — on the
+/// single relation and across shards.
+#[test]
+fn range_reads_are_one_snapshot_cut() {
+    let d = stick(ContainerKind::ConcurrentHashMap, ContainerKind::TreeMap);
+    let p = LockPlacement::fine(&d).unwrap();
+    let full = d.schema().columns();
+    let wcol = d.schema().column("weight").unwrap();
+    let range = RangePattern::all(wcol);
+
+    let rel = Arc::new(ConcurrentRelation::new(d.clone(), Arc::clone(&p)).unwrap());
+    let barrier = Arc::new(Barrier::new(3));
+    let writer = {
+        let rel = Arc::clone(&rel);
+        let d = d.clone();
+        let barrier = Arc::clone(&barrier);
+        std::thread::spawn(move || {
+            barrier.wait();
+            for k in 0..60i64 {
+                rel.transaction(|tx| {
+                    tx.insert(
+                        &tup(&d, &[("src", 2 * k), ("dst", 2 * k)]),
+                        &tup(&d, &[("weight", k % 7)]),
+                    )?;
+                    tx.insert(
+                        &tup(&d, &[("src", 2 * k + 1), ("dst", 2 * k + 1)]),
+                        &tup(&d, &[("weight", k % 7)]),
+                    )?;
+                    Ok(())
+                })
+                .unwrap();
+            }
+        })
+    };
+    let readers: Vec<_> = (0..2)
+        .map(|_| {
+            let rel = Arc::clone(&rel);
+            let range = range.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                for _ in 0..150 {
+                    let got = rel.query_range(&Tuple::empty(), &range, full).unwrap();
+                    assert_eq!(got.len() % 2, 0, "torn range read: {} results", got.len());
+                }
+            })
+        })
+        .collect();
+    writer.join().unwrap();
+    for r in readers {
+        r.join().unwrap();
+    }
+
+    // Sharded: the pair straddles shards, so a torn fan-out would be
+    // visible unless all shards are read at one registered timestamp.
+    let srel = Arc::new(ShardedRelation::new(d.clone(), p, 4).unwrap());
+    let barrier = Arc::new(Barrier::new(3));
+    let writer = {
+        let srel = Arc::clone(&srel);
+        let d = d.clone();
+        let barrier = Arc::clone(&barrier);
+        std::thread::spawn(move || {
+            barrier.wait();
+            for k in 0..60i64 {
+                srel.transaction(|tx| {
+                    tx.insert(
+                        &tup(&d, &[("src", 2 * k), ("dst", 2 * k)]),
+                        &tup(&d, &[("weight", k % 7)]),
+                    )?;
+                    tx.insert(
+                        &tup(&d, &[("src", 2 * k + 1), ("dst", 2 * k + 1)]),
+                        &tup(&d, &[("weight", k % 7)]),
+                    )?;
+                    Ok(())
+                })
+                .unwrap();
+            }
+        })
+    };
+    let readers: Vec<_> = (0..2)
+        .map(|_| {
+            let srel = Arc::clone(&srel);
+            let range = range.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                for _ in 0..150 {
+                    let got = srel.query_range(&Tuple::empty(), &range, full).unwrap();
+                    assert_eq!(
+                        got.len() % 2,
+                        0,
+                        "torn cross-shard range read: {} results",
+                        got.len()
+                    );
+                }
+            })
+        })
+        .collect();
+    writer.join().unwrap();
+    for r in readers {
+        r.join().unwrap();
+    }
+}
+
+/// Small mixed histories of writers and range readers must be
+/// linearizable under the §2 range semantics (Wing–Gong with the
+/// `Range` record).
+#[test]
+fn concurrent_range_histories_linearize() {
+    let d = stick(ContainerKind::ConcurrentHashMap, ContainerKind::TreeMap);
+    let p = LockPlacement::fine(&d).unwrap();
+    let wcol = d.schema().column("weight").unwrap();
+    for round in 0..20u64 {
+        let rel = Arc::new(ConcurrentRelation::new(d.clone(), p.clone()).unwrap());
+        let rec = HistoryRecorder::new();
+        let threads = 3usize;
+        let barrier = Arc::new(Barrier::new(threads));
+        let handles: Vec<_> = (0..threads as u64)
+            .map(|tid| {
+                let rel = Arc::clone(&rel);
+                let d = d.clone();
+                let rec = Arc::clone(&rec);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let mut x = (round + 1) * (tid + 2) * 0x9e37_79b9;
+                    let mut next = move || {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        x
+                    };
+                    barrier.wait();
+                    for _ in 0..4 {
+                        let sv = (next() % 2) as i64;
+                        let dv = (next() % 2) as i64;
+                        let wv = (next() % 3) as i64;
+                        if tid == 0 {
+                            let range = RangePattern::closed(wcol, Value::from(0), Value::from(1))
+                                .with_limit(2);
+                            let cols = d.schema().column_set(&["src", "dst"]).unwrap();
+                            rec.record(|| {
+                                let result =
+                                    rel.query_range(&Tuple::empty(), &range, cols).unwrap();
+                                (
+                                    (),
+                                    OpRecord::Range {
+                                        s: Tuple::empty(),
+                                        range: range.clone(),
+                                        cols,
+                                        result,
+                                    },
+                                )
+                            });
+                        } else if next() % 3 == 0 {
+                            let s = tup(&d, &[("src", sv), ("dst", dv)]);
+                            rec.record(|| {
+                                let result = rel.remove(&s).unwrap();
+                                (
+                                    (),
+                                    OpRecord::Remove {
+                                        s: s.clone(),
+                                        result,
+                                    },
+                                )
+                            });
+                        } else {
+                            let s = tup(&d, &[("src", sv), ("dst", dv)]);
+                            let t = tup(&d, &[("weight", wv)]);
+                            rec.record(|| {
+                                let result = rel.insert(&s, &t).unwrap();
+                                (
+                                    (),
+                                    OpRecord::Insert {
+                                        s: s.clone(),
+                                        t: t.clone(),
+                                        result,
+                                    },
+                                )
+                            });
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let history = rec.into_history();
+        assert!(
+            check_linearizable(d.schema(), &history),
+            "round {round}: non-linearizable range history: {history:#?}"
+        );
+    }
+}
+
+/// Per-relation retirement (regression): an idle snapshot reader held on
+/// relation A must not pin relation B's version chains — B's churn
+/// reclaims back to its baseline footprint while the A-reader stays
+/// open. A reader on B itself still pins, and its release lets the next
+/// commits sweep the backlog.
+#[test]
+fn held_reader_on_other_relation_does_not_pin_retirement() {
+    let d = stick(ContainerKind::ConcurrentHashMap, ContainerKind::TreeMap);
+    let p = LockPlacement::coarse(&d).unwrap();
+    let a = ConcurrentRelation::new(d.clone(), Arc::clone(&p)).unwrap();
+    let b = ConcurrentRelation::new(d.clone(), Arc::clone(&p)).unwrap();
+    a.insert(
+        &tup(&d, &[("src", 1), ("dst", 1)]),
+        &tup(&d, &[("weight", 0)]),
+    )
+    .unwrap();
+    b.insert(
+        &tup(&d, &[("src", 1), ("dst", 1)]),
+        &tup(&d, &[("weight", 0)]),
+    )
+    .unwrap();
+    let baseline = b.version_footprint();
+    a.read_transaction(|snap| {
+        let pinned_a = snap.snapshot().unwrap();
+        // Churn B hard while the A-reader stays registered. With one
+        // process-global registry this pinned every superseded version
+        // of B (footprint ≈ baseline + 300); with per-relation
+        // registries each commit retires B back down.
+        for i in 1..=300i64 {
+            b.update(
+                &tup(&d, &[("src", 1), ("dst", 1)]),
+                &tup(&d, &[("weight", i)]),
+            )
+            .unwrap();
+        }
+        let churned = b.version_footprint();
+        assert!(
+            churned <= baseline + 8,
+            "idle reader on A pinned B's retirement: footprint {churned} \
+             vs baseline {baseline}"
+        );
+        // Converse: a reader registered on B itself does pin B.
+        let g = b.snapshots().register(relc_locks::commit_clock());
+        for i in 301..=360i64 {
+            b.update(
+                &tup(&d, &[("src", 1), ("dst", 1)]),
+                &tup(&d, &[("weight", i)]),
+            )
+            .unwrap();
+        }
+        let pinned = b.version_footprint();
+        assert!(
+            pinned >= baseline + 50,
+            "reader on B must pin B's versions: footprint {pinned} \
+             vs baseline {baseline}"
+        );
+        drop(g);
+        // Released: the next commits sweep the backlog back down.
+        for i in 361..=364i64 {
+            b.update(
+                &tup(&d, &[("src", 1), ("dst", 1)]),
+                &tup(&d, &[("weight", i)]),
+            )
+            .unwrap();
+        }
+        let reclaimed = b.version_footprint();
+        assert!(
+            reclaimed <= baseline + 8,
+            "B's backlog not reclaimed after reader release: footprint \
+             {reclaimed} vs baseline {baseline}"
+        );
+        // The A-reader still observes its pinned state.
+        assert_eq!(snap.snapshot().unwrap(), pinned_a);
+    });
+}

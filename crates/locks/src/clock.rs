@@ -37,8 +37,9 @@
 //! re-read, so the reader observes the change and re-registers at a
 //! timestamp the committer's retirement decision already covers.
 
-use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::SeqCst};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Duration;
 
 /// The timestamp value of a not-yet-committed [`CommitStamp`]: larger
 /// than every possible snapshot, so tentative versions are invisible to
@@ -83,13 +84,34 @@ pub struct CommitClock {
     /// Largest timestamp whose transaction (and all before it) has fully
     /// stamped its versions.
     visible: AtomicU64,
+    /// Committers currently parked waiting for their predecessor to
+    /// publish. Checked by every publisher so the uncontended commit path
+    /// stays a pair of atomic ops — the wake mutex is only touched when a
+    /// waiter actually parked.
+    parked: AtomicUsize,
+    /// Guards the park/wake handshake (never held across the publication
+    /// itself).
+    park_mutex: Mutex<()>,
+    /// Signalled after every `visible` advance while `parked > 0`.
+    park_cv: std::sync::Condvar,
 }
+
+/// Publication-wait spin policy: busy-spin this many iterations first
+/// (the predecessor's window is a handful of straight-line instructions),
+/// then yield the CPU this many times (the predecessor is probably
+/// runnable on another core), then park on the condvar (the predecessor
+/// is descheduled — spinning would burn exactly the CPU it needs).
+const PUBLISH_SPINS: u32 = 64;
+const PUBLISH_YIELDS: u32 = 128;
 
 impl CommitClock {
     fn new() -> Self {
         CommitClock {
             alloc: AtomicU64::new(0),
             visible: AtomicU64::new(0),
+            parked: AtomicUsize::new(0),
+            park_mutex: Mutex::new(()),
+            park_cv: std::sync::Condvar::new(),
         }
     }
 
@@ -117,24 +139,58 @@ impl CommitClock {
     /// straight-line instructions — no locks, no I/O — so in practice it
     /// closes in nanoseconds, and because each committer only ever waits
     /// on *smaller* timestamps the wait-for order is acyclic (no
-    /// deadlock). But on a heavily oversubscribed box (threads ≫ cores)
-    /// the stall is scheduler-bound, not instruction-bound; if that ever
-    /// shows up in profiles, allocate-and-stamp under one short critical
-    /// section, or park/wake instead of yielding.
+    /// deadlock). On a heavily oversubscribed box (threads ≫ cores) the
+    /// stall is scheduler-bound, not instruction-bound, so the wait is
+    /// **bounded**: [`PUBLISH_SPINS`] busy iterations, then
+    /// [`PUBLISH_YIELDS`] yields, then the waiter *parks* on a condvar
+    /// and is woken by whichever publisher advances `visible` — parked
+    /// waiters consume no CPU, which is exactly what lets the descheduled
+    /// predecessor run. The uncontended path never touches the mutex:
+    /// publishers only take it when `parked > 0`.
     pub fn commit(&self, stamp: &CommitStamp) -> u64 {
         let ts = self.alloc.fetch_add(1, SeqCst) + 1;
         stamp.0.store(ts, SeqCst);
         let mut spins = 0u32;
         while self.visible.load(SeqCst) != ts - 1 {
             spins += 1;
-            if spins < 64 {
+            if spins <= PUBLISH_SPINS {
                 std::hint::spin_loop();
-            } else {
+            } else if spins <= PUBLISH_SPINS + PUBLISH_YIELDS {
                 std::thread::yield_now();
+            } else {
+                self.park_until_predecessor(ts);
+                break;
             }
         }
         self.visible.store(ts, SeqCst);
+        if self.parked.load(SeqCst) > 0 {
+            // Take-and-drop the mutex before notifying: a waiter that has
+            // incremented `parked` but not yet blocked is still inside the
+            // critical section re-checking `visible`, so it either sees
+            // our store or is already blocked when the notification fires
+            // — never a lost wakeup.
+            drop(self.park_mutex.lock().unwrap_or_else(|e| e.into_inner()));
+            self.park_cv.notify_all();
+        }
         ts
+    }
+
+    /// Blocks until `visible == ts - 1`. The timeout is belt-and-braces:
+    /// a publisher that raced past the `parked` increment re-checks at
+    /// most 1 ms later, keeping the wait bounded by the scheduler rather
+    /// than by luck.
+    #[cold]
+    fn park_until_predecessor(&self, ts: u64) {
+        let mut guard = self.park_mutex.lock().unwrap_or_else(|e| e.into_inner());
+        self.parked.fetch_add(1, SeqCst);
+        while self.visible.load(SeqCst) != ts - 1 {
+            guard = self
+                .park_cv
+                .wait_timeout(guard, Duration::from_millis(1))
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+        self.parked.fetch_sub(1, SeqCst);
     }
 }
 
@@ -152,30 +208,38 @@ type Slot = Arc<AtomicU64>;
 /// decide how far version chains may be truncated
 /// ([`SnapshotRegistry::min_active`]).
 ///
+/// Registries are **per relation**: each `ConcurrentRelation` owns one
+/// (shards of one sharded relation share one), so a long-lived reader
+/// pins version retirement only for the relation it is actually reading
+/// — an idle reader on relation A must not make relation B's dead
+/// version cells immortal. The [`snapshot_registry`] process-global
+/// instance remains for callers without a relation at hand.
+///
 /// Every registration claims its **own** slot — nested registrations on
 /// one thread (a `relB.query()` inside `relA.read_transaction(..)`
 /// routes through `read_transaction` again) therefore occupy distinct
 /// slots and can never clobber each other, regardless of drop order.
-/// Released slots are cached in a per-thread free list (spilled to the
-/// registry-global one at thread exit), so the hot path of a read is a
-/// thread-local pop/push plus two `SeqCst` stores and two loads — no
-/// locking.
+/// Released slot indexes return to the owning registry's free list, so
+/// the slot table stays as small as the registry's peak reader
+/// concurrency.
 #[derive(Debug, Default)]
 pub struct SnapshotRegistry {
     slots: RwLock<Vec<Slot>>,
     free: Mutex<Vec<usize>>,
 }
 
-/// The process-global snapshot registry.
-pub fn snapshot_registry() -> &'static SnapshotRegistry {
-    static REGISTRY: OnceLock<SnapshotRegistry> = OnceLock::new();
-    REGISTRY.get_or_init(SnapshotRegistry::default)
+/// The process-global snapshot registry (for registrations not tied to
+/// any particular relation).
+pub fn snapshot_registry() -> &'static Arc<SnapshotRegistry> {
+    static REGISTRY: OnceLock<Arc<SnapshotRegistry>> = OnceLock::new();
+    REGISTRY.get_or_init(SnapshotRegistry::new)
 }
 
 /// RAII registration of one snapshot read; dropping it marks the slot
-/// idle again and returns it to the dropping thread's slot cache.
+/// idle again and returns it to the owning registry's free list.
 #[derive(Debug)]
 pub struct SnapshotGuard {
+    owner: Arc<SnapshotRegistry>,
     slot: Slot,
     index: usize,
     snap: u64,
@@ -191,74 +255,47 @@ impl SnapshotGuard {
 impl Drop for SnapshotGuard {
     fn drop(&mut self) {
         self.slot.store(TENTATIVE_TS, SeqCst);
-        release_slot(Arc::clone(&self.slot), self.index);
-    }
-}
-
-/// A thread's cache of idle registry slots. Slots are interchangeable,
-/// so a guard dropped on a different thread than it was registered on
-/// simply donates its slot to the dropping thread's cache. On thread
-/// exit the cached slots spill back to the registry-global free list.
-struct SlotCache(Vec<(Slot, usize)>);
-
-impl Drop for SlotCache {
-    fn drop(&mut self) {
-        let mut free = snapshot_registry().free.lock().expect("free list");
-        for (_, index) in self.0.drain(..) {
-            free.push(index);
-        }
-    }
-}
-
-thread_local! {
-    static SLOT_CACHE: std::cell::RefCell<SlotCache> =
-        const { std::cell::RefCell::new(SlotCache(Vec::new())) };
-}
-
-/// Claims an idle registry slot for one registration: thread cache
-/// first, then the global free list, then a fresh slot. Distinct live
-/// registrations always hold distinct slots.
-fn claim_slot(reg: &'static SnapshotRegistry) -> (Slot, usize) {
-    if let Ok(Some(cached)) = SLOT_CACHE.try_with(|c| c.borrow_mut().0.pop()) {
-        return cached;
-    }
-    if let Some(index) = reg.free.lock().expect("free list").pop() {
-        let slot = Arc::clone(&reg.slots.read().expect("slots")[index]);
-        return (slot, index);
-    }
-    let mut slots = reg.slots.write().expect("slots");
-    let index = slots.len();
-    let slot = Arc::new(AtomicU64::new(TENTATIVE_TS));
-    slots.push(Arc::clone(&slot));
-    (slot, index)
-}
-
-/// Returns a slot to the calling thread's cache, or to the global free
-/// list when the thread-local is already torn down.
-fn release_slot(slot: Slot, index: usize) {
-    let mut pair = Some((slot, index));
-    let cached = SLOT_CACHE.try_with(|c| c.borrow_mut().0.push(pair.take().expect("pair")));
-    if cached.is_err() {
-        snapshot_registry()
-            .free
-            .lock()
-            .expect("free list")
-            .push(index);
+        self.owner.free.lock().expect("free list").push(self.index);
     }
 }
 
 impl SnapshotRegistry {
+    /// Creates a fresh registry (one per relation; see the type docs).
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new() -> Arc<SnapshotRegistry> {
+        Arc::new(SnapshotRegistry::default())
+    }
+
+    /// Claims an idle slot: the free list first, then a fresh slot.
+    /// Distinct live registrations always hold distinct slots.
+    fn claim_slot(&self) -> (Slot, usize) {
+        if let Some(index) = self.free.lock().expect("free list").pop() {
+            let slot = Arc::clone(&self.slots.read().expect("slots")[index]);
+            return (slot, index);
+        }
+        let mut slots = self.slots.write().expect("slots");
+        let index = slots.len();
+        let slot = Arc::new(AtomicU64::new(TENTATIVE_TS));
+        slots.push(Arc::clone(&slot));
+        (slot, index)
+    }
+
     /// Registers the calling thread as reading at the clock's current
     /// watermark, using publish-then-validate (see the [module docs](self))
     /// so a concurrent committer's [`SnapshotRegistry::min_active`] can
     /// never miss the registration.
-    pub fn register(&'static self, clock: &CommitClock) -> SnapshotGuard {
-        let (slot, index) = claim_slot(self);
+    pub fn register(self: &Arc<Self>, clock: &CommitClock) -> SnapshotGuard {
+        let (slot, index) = self.claim_slot();
         loop {
             let snap = clock.now();
             slot.store(snap, SeqCst);
             if clock.now() == snap {
-                return SnapshotGuard { slot, index, snap };
+                return SnapshotGuard {
+                    owner: Arc::clone(self),
+                    slot,
+                    index,
+                    snap,
+                };
             }
             // The watermark moved between publish and validate: retry so
             // the registered value is never below what a concurrent
@@ -266,12 +303,13 @@ impl SnapshotRegistry {
         }
     }
 
-    /// The oldest snapshot any in-flight reader holds, or the clock's
-    /// current watermark when no reader is active. Versions strictly
-    /// older than the newest version `≤ min_active` of their chain can
-    /// never be observed again and are safe to retire; entries whose
-    /// newest version is a tombstone stamped `≤ min_active` are invisible
-    /// to every present and future reader and are safe to unlink.
+    /// The oldest snapshot any in-flight reader of **this registry**
+    /// holds, or the clock's current watermark when no reader is active.
+    /// Versions strictly older than the newest version `≤ min_active` of
+    /// their chain can never be observed again and are safe to retire;
+    /// entries whose newest version is a tombstone stamped `≤ min_active`
+    /// are invisible to every present and future reader and are safe to
+    /// unlink.
     pub fn min_active(&self, clock: &CommitClock) -> u64 {
         // Read the watermark FIRST: a reader that registers after this
         // load observes (SeqCst) a visible ≥ our value, so its snapshot
@@ -391,6 +429,48 @@ mod tests {
         clock.commit(&s2);
         assert!(reg.min_active(clock) <= inner_snap);
         drop(inner);
+    }
+
+    #[test]
+    fn oversubscribed_commits_publish_with_bounded_latency() {
+        // 4x hardware oversubscription: with the old unbounded spin, a
+        // descheduled next-watermark holder convoys every later committer
+        // on a busy loop and this test crawls (or times out under a
+        // starved scheduler). The spin -> yield -> park ladder keeps
+        // publication latency bounded by scheduler wakeups instead.
+        let clock = commit_clock();
+        let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
+        let threads = 4 * cores;
+        let per = 50;
+        let barrier = Arc::new(Barrier::new(threads));
+        let start = std::time::Instant::now();
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let b = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    b.wait();
+                    for _ in 0..per {
+                        let s = CommitStamp::new();
+                        let ts = clock.commit(&s);
+                        assert!(clock.now() >= ts);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Generous liveness bound: the whole oversubscribed run must
+        // finish well inside CI timeouts.
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(60),
+            "publication convoyed: {} threads x {} commits took {:?}",
+            threads,
+            per,
+            start.elapsed()
+        );
+        // No committer may be left unpublished.
+        assert!(clock.parked.load(SeqCst) == 0);
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //!   bitmask column sets;
 //! * [`Tuple`] — finite maps from columns to values, with the paper's
 //!   `⊇` (extends) and `∼` (matches) relations;
+//! * [`RangePattern`] — one-column interval predicates (with optional
+//!   top-k limit) for range queries;
 //! * [`FunctionalDependency`], [`FdSet`] — FDs with attribute closure and
 //!   key inference;
 //! * [`RelationSchema`] — a specification (columns + FDs), built with
@@ -45,6 +47,7 @@ mod column;
 mod error;
 mod fd;
 mod oracle;
+mod range;
 mod schema;
 mod tuple;
 mod value;
@@ -53,6 +56,7 @@ pub use column::{Catalog, ColumnId, ColumnSet, ColumnSetIter};
 pub use error::SpecError;
 pub use fd::{FdSet, FunctionalDependency};
 pub use oracle::OracleRelation;
+pub use range::RangePattern;
 pub use schema::{library, RelationSchema, SchemaBuilder};
 pub use tuple::{Tuple, TupleMergeError};
 pub use value::Value;

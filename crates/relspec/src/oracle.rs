@@ -13,8 +13,10 @@ use std::sync::{Arc, Mutex};
 
 use crate::column::ColumnSet;
 use crate::error::SpecError;
+use crate::range::RangePattern;
 use crate::schema::RelationSchema;
 use crate::tuple::Tuple;
+use crate::value::Value;
 
 /// A reference implementation of a concurrent relation: a mutex around a set
 /// of tuples, with the §2 operation semantics.
@@ -162,6 +164,43 @@ impl OracleRelation {
             .map(|t| t.project(cols))
             .collect();
         set.into_iter().collect()
+    }
+
+    /// `query_range r s ρ C`: the range-query reference semantics every
+    /// synthesized representation must match.
+    ///
+    /// Matches every tuple `u ⊇ s` whose value in the range column lies
+    /// inside `range`'s interval, orders the matches by **range-column
+    /// value first, then projected tuple**, projects each onto `cols` in
+    /// that order, deduplicates keeping first occurrences, and truncates
+    /// at `range.limit()`. The ordering step is what distinguishes this
+    /// from `query` + filter: `limit` selects the k *smallest* matches in
+    /// range order, and projections are emitted in range order rather
+    /// than projected-tuple order. The tie-break is the *projection*, not
+    /// the full tuple, so a representation whose access path binds only
+    /// the queried columns can reproduce the order exactly.
+    pub fn query_range(&self, s: &Tuple, range: &RangePattern, cols: ColumnSet) -> Vec<Tuple> {
+        let guard = self.tuples.lock().expect("oracle lock poisoned");
+        let mut matched: Vec<(Value, Tuple)> = guard
+            .iter()
+            .filter(|t| t.extends(s))
+            .filter_map(|t| {
+                let v = t.get(range.col()).filter(|v| range.contains(v))?;
+                Some((v.clone(), t.project(cols)))
+            })
+            .collect();
+        matched.sort();
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for (_, p) in matched {
+            if seen.insert(p.clone()) {
+                out.push(p);
+                if range.limit().is_some_and(|k| out.len() >= k) {
+                    break;
+                }
+            }
+        }
+        out
     }
 
     /// Number of tuples currently in the relation.
@@ -341,6 +380,32 @@ mod tests {
         assert!(r.check_fds().is_err());
         r.load([mk(1, 2, 10), mk(2, 1, 20)]);
         assert!(r.check_fds().is_ok());
+    }
+
+    #[test]
+    fn query_range_orders_limits_and_dedupes() {
+        let r = OracleRelation::empty(graph_schema());
+        r.insert(&edge_key(&r, 1, 5), &weight(&r, 50)).unwrap();
+        r.insert(&edge_key(&r, 1, 2), &weight(&r, 20)).unwrap();
+        r.insert(&edge_key(&r, 2, 3), &weight(&r, 20)).unwrap();
+        r.insert(&edge_key(&r, 1, 3), &weight(&r, 30)).unwrap();
+        let dst = r.schema().column("dst").unwrap();
+        let src1 = r.schema().tuple(&[("src", Value::from(1))]).unwrap();
+        let dcols = r.schema().column_set(&["dst"]).unwrap();
+        // 2 ≤ dst < 5 with src = 1: dst ∈ {2, 3}, in range order.
+        let rng = crate::RangePattern::half_open(dst, Value::from(2), Value::from(5));
+        let got = r.query_range(&src1, &rng, dcols);
+        let dval = |t: &Tuple| t.get(dst).unwrap().as_int().unwrap();
+        assert_eq!(got.iter().map(dval).collect::<Vec<_>>(), vec![2, 3]);
+        // Projection onto weight dedupes: dst ∈ {2,3} over all srcs maps
+        // to weights {20, 20, 30} → [20, 30] in range order.
+        let wcols = r.schema().column_set(&["weight"]).unwrap();
+        let got = r.query_range(&Tuple::empty(), &rng, wcols);
+        assert_eq!(got.len(), 2);
+        // limit takes the smallest matches in range order.
+        let top1 = crate::RangePattern::all(dst).with_limit(1);
+        let got = r.query_range(&src1, &top1, dcols);
+        assert_eq!(got.iter().map(dval).collect::<Vec<_>>(), vec![2]);
     }
 
     #[test]
