@@ -22,8 +22,8 @@ use relc::placement::LockPlacement;
 use relc::{ConcurrentRelation, CoreError, Decomposition};
 use relc_containers::ContainerKind;
 
+use crate::calibrate::OpMix;
 use crate::graph::RelationGraph;
-use crate::workload::OpMix;
 
 /// The three Fig. 3 decomposition structures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -304,7 +304,7 @@ pub fn enumerate(stripe_factors: &[u32]) -> Vec<Candidate> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::workload::FIGURE5_MIXES;
+    use crate::calibrate::FIGURE5_MIXES;
 
     #[test]
     fn space_has_paper_scale() {

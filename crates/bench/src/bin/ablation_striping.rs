@@ -17,7 +17,7 @@ use std::sync::Arc;
 use relc::decomp::library::{split, stick};
 use relc::placement::LockPlacement;
 use relc::ConcurrentRelation;
-use relc_autotune::workload::{run_workload, KeyDistribution, OpMix, WorkloadConfig};
+use relc_autotune::calibrate::{run_workload, KeyDistribution, OpMix, WorkloadConfig};
 use relc_autotune::{GraphOps, RelationGraph};
 use relc_bench::arg_value;
 use relc_bench::report::ThroughputTable;

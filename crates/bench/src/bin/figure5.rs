@@ -13,7 +13,7 @@
 
 use std::sync::Arc;
 
-use relc_autotune::workload::{run_workload, KeyDistribution, WorkloadConfig, FIGURE5_MIXES};
+use relc_autotune::calibrate::{run_workload, KeyDistribution, WorkloadConfig, FIGURE5_MIXES};
 use relc_bench::report::{default_thread_counts, ThroughputTable};
 use relc_bench::{arg_present, arg_value, figures};
 

@@ -231,6 +231,13 @@ pub struct AnalyzerOptions {
     /// in *every* stripe, so the analyzer must flag the scan's read as
     /// uncovered on striped hosts.
     pub demote_range_lock: bool,
+    /// Model a live-migration cutover whose fence locks only the first
+    /// stripe of each root-hosted edge instead of the full all-stripe
+    /// sweep — an under-locked cutover that fails to drain writers
+    /// parked on the other stripes. On striped placements the frozen-cut
+    /// reads and the root-swap publication writes must be flagged (see
+    /// [`Analyzer::analyze_migration`]).
+    pub suppress_migration_fence: bool,
 }
 
 /// How strictly an acquisition site treats ordering. Blocking sites are
@@ -1481,6 +1488,74 @@ impl Analyzer {
         ex.diags
     }
 
+    /// Analyzes the live-migration cutover
+    /// ([`crate::ConcurrentRelation::migrate_to`]): the all-stripe
+    /// exclusive fence over every root-hosted edge, the frozen-cut
+    /// structural walk of the whole tree, the bulk load into the new
+    /// (still unpublished) tree, and the root-swap publication.
+    ///
+    /// The discipline being checked: the fence must cover every read of
+    /// the cut walk — directly at the root, through R2 exclusion gates
+    /// below it (every root→source path starts with a root-hosted edge
+    /// whose full stripe set the fence holds exclusively) — and must
+    /// exclude every writer at the publication point, where the swap
+    /// makes the bulk-loaded tree reachable. Bulk-load writes themselves
+    /// target unpublished instances and are self-covered, exactly like
+    /// the executor's fresh-subtree writes.
+    ///
+    /// With [`AnalyzerOptions::suppress_migration_fence`] the sweep
+    /// locks only the first stripe of each root-hosted edge — the
+    /// under-locked cutover — and on striped placements the walk's reads
+    /// and the publication writes must surface as
+    /// [`DiagnosticKind::UncoveredRead`] /
+    /// [`DiagnosticKind::UncoveredWrite`].
+    pub fn analyze_migration(&self) -> Vec<Diagnostic> {
+        let mut ex = self.exec("migration cutover".to_owned());
+        let mut st = SymState::operand(&self.decomp, ColumnSet::new(), 0);
+        let root = self.decomp.root();
+        // Fence: every stripe of every root-hosted edge, exclusively, in
+        // one sorted sweep (the executor's `acquire_migration_fence`).
+        let mut sweep = Vec::new();
+        for (e, _) in self.decomp.edges() {
+            if self.placement.edge(e).host == root {
+                let mut toks = ex.all_stripe_tokens(e, &st, None);
+                if self.options.suppress_migration_fence {
+                    toks.truncate(1);
+                }
+                sweep.extend(toks);
+            }
+        }
+        ex.acquire_batch(sweep, LockMode::Exclusive, Site::Sweep, None);
+        // Frozen cut: the structural walk observes every entry of every
+        // edge, descending in topological order and scan-binding the
+        // columns it reads (so lower hosts' instance keys are bound when
+        // their lock sites are checked).
+        let mut edges: Vec<EdgeId> = self.decomp.edges().map(|(e, _)| e).collect();
+        edges.sort_by_key(|&e| self.decomp.topo_position(self.decomp.edge(e).src));
+        for &e in &edges {
+            let em = self.decomp.edge(e);
+            let (dst, cols) = (em.dst, em.cols);
+            ex.require_read(e, &st, false, None);
+            st.scan_bind(cols, &mut ex.next_scan);
+            st.bound[dst.index()] = true;
+        }
+        // Bulk load: writes into the new tree's still-unpublished
+        // instances are self-covered (`fresh`), like the executor's
+        // fresh-subtree writes — but each still owes its MVCC mirror.
+        for &e in &edges {
+            ex.require_write(e, &st, true, None);
+        }
+        // Publication: the swap makes the loaded tree reachable, which
+        // carries the same writer-exclusion obligation as mutating every
+        // root-hosted edge in place.
+        for &e in &edges {
+            if self.placement.edge(e).host == root {
+                ex.require_write(e, &st, false, None);
+            }
+        }
+        ex.diags
+    }
+
     /// Runs the whole battery: the structural placement checks, every
     /// operation shape over every bound-column subset (and every disjoint
     /// updated subset for updates), and the cross-shard order model.
@@ -1539,6 +1614,7 @@ impl Analyzer {
             }
         }
         out.extend(self.analyze_sharded_order());
+        out.extend(self.analyze_migration());
         out
     }
 }

@@ -569,6 +569,42 @@ impl<'a> Executor<'a> {
         Ok(())
     }
 
+    /// Acquires the migration write fence: every stripe of every
+    /// root-hosted edge, exclusively, in one sorted batch — the same
+    /// all-stripe sweep scanning removals use, widened to the whole root.
+    ///
+    /// Every locked operation holds at least one root-hosted lock for its
+    /// full two-phase scope: mutations take the root batch
+    /// ([`Executor::lock_root_batch`]), locked reads traverse from the
+    /// root, and even the speculative in-place update pins its fallback
+    /// root stripe before the target protocol. Holding the complete sweep
+    /// therefore means no writer is in flight and none can acquire until
+    /// the fence releases; `ConcurrentRelation::migrate_to` runs its
+    /// MVCC cut, bulk load, and root swap under this fence.
+    ///
+    /// # Errors
+    ///
+    /// [`MustRestart`] on contention, like any other acquisition — the
+    /// migration loop backs off and retries.
+    pub(crate) fn acquire_migration_fence(&mut self, root: &NodeRef) -> Result<(), MustRestart> {
+        // The root's key columns are empty, so the empty tuple is a valid
+        // instance bound for every root-hosted token.
+        let bound = Tuple::empty();
+        let mut batch: Vec<LockToken> = Vec::new();
+        for (e, _) in self.decomp.edges() {
+            if self.placement.edge(e).host == self.decomp.root() {
+                batch.extend(self.placement.all_stripe_tokens(e, &bound));
+            }
+        }
+        batch.sort();
+        batch.dedup();
+        for tok in batch {
+            let lock = Arc::clone(root.lock(tok.stripe));
+            self.engine.acquire(tok, &lock, LockMode::Exclusive)?;
+        }
+        Ok(())
+    }
+
     /// Runs a compiled insert plan for the full tuple `x = s ∪ t` with
     /// pattern `s`. Returns whether the tuple was inserted (put-if-absent,
     /// §2).

@@ -52,7 +52,7 @@ pub use decomp::{Decomposition, DecompositionBuilder, EdgeId, NodeId};
 pub use error::CoreError;
 pub use placement::{LockPlacement, LockToken, PlacementBuilder};
 pub use planner::{Plan, Planner};
-pub use relation::{ConcurrentRelation, SnapshotReader};
+pub use relation::{ConcurrentRelation, OpCountersSnapshot, SnapshotReader, StatsSnapshot};
 pub use relc_containers::{ReclamationStats, VersionStats};
 pub use shard::{ShardedRelation, ShardedSnapshotReader, ShardedTransaction};
 pub use txn::{Transaction, TxnError};

@@ -90,6 +90,15 @@ pub enum OpRecord {
         /// and was removed; duplicates of a removed key observe `false`).
         results: Vec<bool>,
     },
+    /// A live migration ([`crate::ConcurrentRelation::migrate_to`] /
+    /// [`crate::ShardedRelation::migrate_to`]): swaps the physical
+    /// representation while the *abstract* relation is unchanged — the
+    /// identity on the model state. Recording it in a concurrent history
+    /// still constrains the search (the checker must find a total order
+    /// where every read before and after the cutover is explained by the
+    /// same evolving contents, i.e. the cutover neither lost, duplicated,
+    /// nor invented tuples).
+    Migrate,
 }
 
 /// A completed operation with real-time interval.
@@ -211,6 +220,9 @@ fn apply(state: &mut BTreeSet<Tuple>, op: &OpRecord) -> bool {
             }
             None => !state.iter().any(|u| u.extends(s)),
         },
+        // Representation change only: the abstract state is untouched, so
+        // any placement in the order explains it.
+        OpRecord::Migrate => true,
         OpRecord::Txn { ops } => {
             // All-or-nothing: the sub-operations must be explainable in
             // program order from this linearization point.

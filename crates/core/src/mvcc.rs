@@ -211,10 +211,24 @@ pub(crate) fn finish_attempt(
     registry: &relc_locks::SnapshotRegistry,
     scopes: &[MvccScope],
 ) {
+    let paired: Vec<(&LockPlacement, &MvccScope)> = scopes.iter().map(|s| (placement, s)).collect();
+    finish_attempt_mixed(registry, &paired);
+}
+
+/// [`finish_attempt`] for scopes journaled against *different*
+/// placements: a cross-shard attempt that raced a live migration can
+/// hold per-shard representations from both sides of the cutover, and a
+/// scope's journal entries only resolve against the placement (and its
+/// decomposition) they were written under. One stamp still publishes
+/// for the whole attempt; each scope retires under its own placement.
+pub(crate) fn finish_attempt_mixed(
+    registry: &relc_locks::SnapshotRegistry,
+    scopes: &[(&LockPlacement, &MvccScope)],
+) {
     let Some(stamp) = scopes
         .iter()
-        .find(|s| !s.journal.is_empty())
-        .and_then(|s| s.stamp_opt())
+        .find(|(_, s)| !s.journal.is_empty())
+        .and_then(|(_, s)| s.stamp_opt())
     else {
         return;
     };
@@ -222,7 +236,7 @@ pub(crate) fn finish_attempt(
     clock.commit(stamp);
     let min_active = registry.min_active(clock);
     let guard = relc_containers::epoch::pin();
-    for scope in scopes {
+    for (placement, scope) in scopes {
         scope.retire(placement, min_active, &guard);
     }
 }

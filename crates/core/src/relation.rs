@@ -50,21 +50,52 @@ use crate::txn::{Transaction, TxnError};
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub struct ConcurrentRelation {
-    decomp: Arc<Decomposition>,
-    placement: Arc<LockPlacement>,
-    planner: Planner,
-    root: NodeRef,
+    /// The schema is fixed for the relation's lifetime — migrations swap
+    /// the representation, never the logical relation — so it is cached
+    /// here and handed out by reference while `repr` changes underneath.
+    schema: Arc<RelationSchema>,
+    /// The current physical representation. Swapped atomically by
+    /// [`Self::migrate_to`] under the migration write fence; every
+    /// transaction attempt and snapshot reader pins one `Arc<Repr>` for
+    /// its whole scope, so in-flight work keeps the representation it
+    /// started on alive until it finishes.
+    repr: RwLock<Arc<Repr>>,
     stats: Arc<LockStats>,
     len: AtomicUsize,
     always_sort_locks: AtomicBool,
-    /// Unique id for the thread-local plan memo (avoids cross-thread cache
-    /// traffic on the shared plan maps in the per-operation hot path).
+    /// Unique id for the re-entrancy guard (stable across migrations;
+    /// the per-representation plan memos key on [`Repr::id`] instead).
     id: u64,
     /// Per-relation snapshot-reader registry: a long-lived reader of
     /// *this* relation pins only this relation's version retirement, not
     /// every relation in the process. Shards of one sharded relation
     /// share a single registry so a cross-shard reader is one floor.
+    /// Shared by every representation the relation migrates through.
     snapshots: Arc<relc_locks::SnapshotRegistry>,
+    /// Top-level operation counters (see [`OpCountersSnapshot`]).
+    ops: OpCounters,
+    /// Number of completed [`Self::migrate_to`] cutovers.
+    migrations: std::sync::atomic::AtomicU64,
+}
+
+/// One physical representation of a relation: a `(decomposition, lock
+/// placement)` pair plus the instance tree that realizes it and the plan
+/// caches compiled against it. [`ConcurrentRelation`] holds the *current*
+/// representation behind an `RwLock<Arc<Repr>>`; live migration builds a
+/// fresh `Repr` and swaps the pointer, while transactions and snapshot
+/// readers that pinned the old one keep using it until they drop — at
+/// which point the old instance tree retires through the epoch collector
+/// like any other unlinked subtree.
+pub(crate) struct Repr {
+    /// Unique id for the thread-local plan memo (avoids cross-thread cache
+    /// traffic on the shared plan maps in the per-operation hot path).
+    /// Per representation, not per relation: plans compiled for the old
+    /// decomposition must not leak into the new one after a migration.
+    pub(crate) id: u64,
+    pub(crate) decomp: Arc<Decomposition>,
+    pub(crate) placement: Arc<LockPlacement>,
+    pub(crate) planner: Planner,
+    pub(crate) root: NodeRef,
     query_plans: RwLock<HashMap<(u64, u64), Arc<Plan>>>,
     range_plans: RwLock<HashMap<(u64, usize, u64), Arc<Plan>>>,
     insert_plans: RwLock<HashMap<u64, Arc<InsertPlan>>>,
@@ -72,6 +103,105 @@ pub struct ConcurrentRelation {
     update_plans: RwLock<HashMap<(u64, u64), Arc<UpdatePlan>>>,
     insert_batch_plans: RwLock<HashMap<u64, Arc<InsertBatchPlan>>>,
     remove_batch_plans: RwLock<HashMap<u64, Arc<RemoveBatchPlan>>>,
+}
+
+/// Top-level operation counters for one relation flavor, surfaced through
+/// [`StatsSnapshot::ops`]. Counts public API calls (one `insert_all` of
+/// `n` rows is `n` batch rows and one batch), not internal retries —
+/// restart pressure is visible in [`LockStatsSnapshot::restarts`] instead.
+#[derive(Default)]
+pub(crate) struct OpCounters {
+    pub(crate) inserts: std::sync::atomic::AtomicU64,
+    pub(crate) removes: std::sync::atomic::AtomicU64,
+    pub(crate) updates: std::sync::atomic::AtomicU64,
+    pub(crate) queries: std::sync::atomic::AtomicU64,
+    pub(crate) range_queries: std::sync::atomic::AtomicU64,
+    pub(crate) contains_checks: std::sync::atomic::AtomicU64,
+    pub(crate) batch_rows: std::sync::atomic::AtomicU64,
+    pub(crate) transactions: std::sync::atomic::AtomicU64,
+    pub(crate) read_transactions: std::sync::atomic::AtomicU64,
+}
+
+impl OpCounters {
+    pub(crate) fn bump(counter: &std::sync::atomic::AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> OpCountersSnapshot {
+        OpCountersSnapshot {
+            inserts: self.inserts.load(Ordering::Relaxed),
+            removes: self.removes.load(Ordering::Relaxed),
+            updates: self.updates.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            range_queries: self.range_queries.load(Ordering::Relaxed),
+            contains_checks: self.contains_checks.load(Ordering::Relaxed),
+            batch_rows: self.batch_rows.load(Ordering::Relaxed),
+            transactions: self.transactions.load(Ordering::Relaxed),
+            read_transactions: self.read_transactions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a relation's top-level operation counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpCountersSnapshot {
+    /// Single-shot `insert` calls.
+    pub inserts: u64,
+    /// Single-shot `remove` / `remove_returning` calls.
+    pub removes: u64,
+    /// Single-shot `update` calls.
+    pub updates: u64,
+    /// `query` / `snapshot` calls (lock-free snapshot reads).
+    pub queries: u64,
+    /// `query_range` calls.
+    pub range_queries: u64,
+    /// `contains` calls.
+    pub contains_checks: u64,
+    /// Rows submitted through `insert_all` / `remove_all` batches.
+    pub batch_rows: u64,
+    /// Explicit multi-operation `transaction` calls.
+    pub transactions: u64,
+    /// `read_transaction` calls.
+    pub read_transactions: u64,
+}
+
+impl OpCountersSnapshot {
+    /// Total top-level operations (each batch row counts once).
+    pub fn total(&self) -> u64 {
+        self.inserts
+            + self.removes
+            + self.updates
+            + self.queries
+            + self.range_queries
+            + self.contains_checks
+            + self.batch_rows
+            + self.transactions
+            + self.read_transactions
+    }
+}
+
+/// The unified observability surface the autotuner consumes: lock,
+/// version, and reclamation counters plus per-op counts and migration
+/// progress, captured in one call on either relation flavor
+/// ([`ConcurrentRelation::stats_snapshot`],
+/// [`crate::ShardedRelation::stats_snapshot`]). The `locks`, `versions`,
+/// and `reclamation` fields agree with the legacy `lock_stats()` /
+/// `version_stats()` / `reclamation_stats()` accessors — they read the
+/// same counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Two-phase engine counters (acquisitions, restarts, commits, …).
+    pub locks: LockStatsSnapshot,
+    /// Process-global MVCC version-chain counters.
+    pub versions: relc_containers::VersionStats,
+    /// Process-global epoch-reclamation counters.
+    pub reclamation: relc_containers::ReclamationStats,
+    /// Top-level operation counters of this relation flavor.
+    pub ops: OpCountersSnapshot,
+    /// Current tuple count (same caveat as [`ConcurrentRelation::len`]).
+    pub len: usize,
+    /// Completed live migrations on this relation.
+    pub migrations: u64,
 }
 
 /// Monotonic relation ids for the thread-local plan memo.
@@ -226,6 +356,228 @@ where
     Ok(plan)
 }
 
+impl Repr {
+    /// Builds a fresh (empty) representation.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::IllFormedPlacement`] if the placement belongs to a
+    /// different decomposition.
+    pub(crate) fn new(
+        decomp: Arc<Decomposition>,
+        placement: Arc<LockPlacement>,
+    ) -> Result<Arc<Self>, CoreError> {
+        if !Arc::ptr_eq(placement.decomposition(), &decomp) {
+            return Err(CoreError::IllFormedPlacement(
+                "placement belongs to a different decomposition".into(),
+            ));
+        }
+        let root = NodeInstance::new(&decomp, &placement, decomp.root(), Tuple::empty());
+        let planner = Planner::new(Arc::clone(&decomp), Arc::clone(&placement));
+        let id = NEXT_RELATION_ID.fetch_add(1, Ordering::Relaxed);
+        LIVE_RELATIONS
+            .write()
+            .expect("live-relation set")
+            .insert(id);
+        Ok(Arc::new(Repr {
+            id,
+            decomp,
+            placement,
+            planner,
+            root,
+            query_plans: RwLock::new(HashMap::new()),
+            range_plans: RwLock::new(HashMap::new()),
+            insert_plans: RwLock::new(HashMap::new()),
+            remove_plans: RwLock::new(HashMap::new()),
+            update_plans: RwLock::new(HashMap::new()),
+            insert_batch_plans: RwLock::new(HashMap::new()),
+            remove_batch_plans: RwLock::new(HashMap::new()),
+        }))
+    }
+
+    /// The root node instance of this representation's tree.
+    pub(crate) fn root(&self) -> &NodeRef {
+        &self.root
+    }
+
+    /// Snapshot query at an externally-captured `(snap, guard)` pair —
+    /// readers capture a representation and a registration together, so
+    /// the traversal always runs against the tree its snapshot was
+    /// registered for. `stats` is the owning relation's counter sink.
+    pub(crate) fn snapshot_query_at(
+        &self,
+        stats: &LockStats,
+        s: &Tuple,
+        cols: ColumnSet,
+        snap: u64,
+        guard: &relc_containers::epoch::Guard,
+    ) -> Result<Vec<Tuple>, CoreError> {
+        let plan = self.query_plan(s.dom(), cols)?;
+        stats.record_snapshot_reads(1);
+        Ok(mvcc::snapshot_query(
+            &self.decomp,
+            &plan,
+            s,
+            &self.root,
+            snap,
+            guard,
+        ))
+    }
+
+    /// Snapshot range query at an externally-captured `(snap, guard)`
+    /// pair; see [`Self::snapshot_query_at`].
+    pub(crate) fn snapshot_query_range_at(
+        &self,
+        stats: &LockStats,
+        s: &Tuple,
+        range: &RangePattern,
+        cols: ColumnSet,
+        snap: u64,
+        guard: &relc_containers::epoch::Guard,
+    ) -> Result<Vec<Tuple>, CoreError> {
+        let plan = self.range_plan(s.dom(), range, cols)?;
+        stats.record_snapshot_reads(1);
+        Ok(mvcc::snapshot_query_range(
+            &self.decomp,
+            &plan,
+            s,
+            range,
+            &self.root,
+            snap,
+            guard,
+        ))
+    }
+
+    /// Snapshot existence check at an externally-captured `(snap, guard)`
+    /// pair; see [`Self::snapshot_query_at`].
+    pub(crate) fn snapshot_exists_at(
+        &self,
+        stats: &LockStats,
+        s: &Tuple,
+        snap: u64,
+        guard: &relc_containers::epoch::Guard,
+    ) -> Result<bool, CoreError> {
+        let plan = self.query_plan(s.dom(), ColumnSet::EMPTY)?;
+        stats.record_snapshot_reads(1);
+        Ok(mvcc::snapshot_exists(
+            &self.decomp,
+            &plan,
+            s,
+            &self.root,
+            snap,
+            guard,
+        ))
+    }
+
+    pub(crate) fn query_plan(
+        &self,
+        bound: ColumnSet,
+        output: ColumnSet,
+    ) -> Result<Arc<Plan>, CoreError> {
+        plan_cached(
+            &QUERY_MEMO,
+            (self.id, bound.bits(), output.bits()),
+            |k| k.0,
+            &self.query_plans,
+            (bound.bits(), output.bits()),
+            || self.planner.plan_query(bound, output),
+        )
+    }
+
+    pub(crate) fn range_plan(
+        &self,
+        bound: ColumnSet,
+        range: &RangePattern,
+        output: ColumnSet,
+    ) -> Result<Arc<Plan>, CoreError> {
+        let col = range.col().index();
+        plan_cached(
+            &RANGE_MEMO,
+            (self.id, bound.bits(), col, output.bits()),
+            |k| k.0,
+            &self.range_plans,
+            (bound.bits(), col, output.bits()),
+            || self.planner.plan_range(bound, range.col(), output),
+        )
+    }
+
+    pub(crate) fn insert_plan(&self, bound: ColumnSet) -> Result<Arc<InsertPlan>, CoreError> {
+        plan_cached(
+            &INSERT_MEMO,
+            (self.id, bound.bits()),
+            |k| k.0,
+            &self.insert_plans,
+            bound.bits(),
+            || self.planner.plan_insert(bound),
+        )
+    }
+
+    pub(crate) fn remove_plan(&self, bound: ColumnSet) -> Result<Arc<RemovePlan>, CoreError> {
+        plan_cached(
+            &REMOVE_MEMO,
+            (self.id, bound.bits()),
+            |k| k.0,
+            &self.remove_plans,
+            bound.bits(),
+            || self.planner.plan_remove(bound),
+        )
+    }
+
+    pub(crate) fn insert_batch_plan(
+        &self,
+        bound: ColumnSet,
+    ) -> Result<Arc<InsertBatchPlan>, CoreError> {
+        plan_cached(
+            &INSERT_BATCH_MEMO,
+            (self.id, bound.bits()),
+            |k| k.0,
+            &self.insert_batch_plans,
+            bound.bits(),
+            || self.planner.plan_insert_batch(bound),
+        )
+    }
+
+    pub(crate) fn remove_batch_plan(
+        &self,
+        bound: ColumnSet,
+    ) -> Result<Arc<RemoveBatchPlan>, CoreError> {
+        plan_cached(
+            &REMOVE_BATCH_MEMO,
+            (self.id, bound.bits()),
+            |k| k.0,
+            &self.remove_batch_plans,
+            bound.bits(),
+            || self.planner.plan_remove_batch(bound),
+        )
+    }
+
+    pub(crate) fn update_plan(
+        &self,
+        bound: ColumnSet,
+        updated: ColumnSet,
+    ) -> Result<Arc<UpdatePlan>, CoreError> {
+        plan_cached(
+            &UPDATE_MEMO,
+            (self.id, bound.bits(), updated.bits()),
+            |k| k.0,
+            &self.update_plans,
+            (bound.bits(), updated.bits()),
+            || self.planner.plan_update(bound, updated),
+        )
+    }
+}
+
+impl Drop for Repr {
+    fn drop(&mut self) {
+        // Unregister so the thread-local plan memos can shed this
+        // representation's entries at their next sweep.
+        LIVE_RELATIONS
+            .write()
+            .expect("live-relation set")
+            .remove(&self.id);
+    }
+}
+
 impl ConcurrentRelation {
     /// Synthesizes a relation from a decomposition and a placement.
     ///
@@ -248,56 +600,78 @@ impl ConcurrentRelation {
         placement: Arc<LockPlacement>,
         snapshots: Arc<relc_locks::SnapshotRegistry>,
     ) -> Result<Self, CoreError> {
-        if !Arc::ptr_eq(placement.decomposition(), &decomp) {
-            return Err(CoreError::IllFormedPlacement(
-                "placement belongs to a different decomposition".into(),
-            ));
-        }
-        let root = NodeInstance::new(&decomp, &placement, decomp.root(), Tuple::empty());
-        let planner = Planner::new(Arc::clone(&decomp), Arc::clone(&placement));
-        let id = NEXT_RELATION_ID.fetch_add(1, Ordering::Relaxed);
-        LIVE_RELATIONS
-            .write()
-            .expect("live-relation set")
-            .insert(id);
+        let repr = Repr::new(decomp, placement)?;
+        let schema = Arc::clone(repr.decomp.schema());
         Ok(ConcurrentRelation {
-            decomp,
-            placement,
-            planner,
-            root,
+            schema,
+            repr: RwLock::new(repr),
             stats: Arc::new(LockStats::new()),
             len: AtomicUsize::new(0),
             always_sort_locks: AtomicBool::new(false),
-            id,
+            id: NEXT_RELATION_ID.fetch_add(1, Ordering::Relaxed),
             snapshots,
-            query_plans: RwLock::new(HashMap::new()),
-            range_plans: RwLock::new(HashMap::new()),
-            insert_plans: RwLock::new(HashMap::new()),
-            remove_plans: RwLock::new(HashMap::new()),
-            update_plans: RwLock::new(HashMap::new()),
-            insert_batch_plans: RwLock::new(HashMap::new()),
-            remove_batch_plans: RwLock::new(HashMap::new()),
+            ops: OpCounters::default(),
+            migrations: std::sync::atomic::AtomicU64::new(0),
         })
     }
 
-    /// The relation's schema.
+    /// The relation's schema (fixed for the relation's lifetime — live
+    /// migration swaps the representation, never the logical relation).
     pub fn schema(&self) -> &Arc<RelationSchema> {
-        self.decomp.schema()
+        &self.schema
     }
 
-    /// The decomposition this relation is represented by.
-    pub fn decomposition(&self) -> &Arc<Decomposition> {
-        &self.decomp
+    /// The decomposition currently representing the relation. Owned:
+    /// [`Self::migrate_to`] may install a different representation at any
+    /// moment, so callers get a pinned `Arc`, not a reference into the
+    /// relation.
+    pub fn decomposition(&self) -> Arc<Decomposition> {
+        Arc::clone(&self.current_repr().decomp)
     }
 
-    /// The lock placement in force.
-    pub fn placement(&self) -> &Arc<LockPlacement> {
-        &self.placement
+    /// The lock placement currently in force (owned, like
+    /// [`Self::decomposition`]).
+    pub fn placement(&self) -> Arc<LockPlacement> {
+        Arc::clone(&self.current_repr().placement)
     }
 
-    /// The planner (exposed for plan inspection and rendering).
-    pub fn planner(&self) -> &Planner {
-        &self.planner
+    /// The current representation's planner (exposed for plan inspection
+    /// and rendering; owned, like [`Self::decomposition`]).
+    pub fn planner(&self) -> Planner {
+        self.current_repr().planner.clone()
+    }
+
+    /// Pins the current representation. Cheap (one `RwLock` read + `Arc`
+    /// clone); writers are only ever [`Self::migrate_to`]'s pointer swap.
+    pub(crate) fn current_repr(&self) -> Arc<Repr> {
+        Arc::clone(&self.repr.read().expect("repr lock"))
+    }
+
+    /// Installs a new representation. Called only under the migration
+    /// write fence (all root stripes held exclusively), with the new
+    /// tree fully loaded and its bulk-load commit stamps published.
+    pub(crate) fn install_repr(&self, repr: Arc<Repr>) {
+        *self.repr.write().expect("repr lock") = repr;
+        self.migrations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of completed [`Self::migrate_to`] cutovers.
+    pub fn migration_count(&self) -> u64 {
+        self.migrations.load(Ordering::Relaxed)
+    }
+
+    /// Captures the unified observability surface: lock + version +
+    /// reclamation counters, per-op counts, the tuple count, and the
+    /// migration count, in one struct (the autotuner's input).
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            locks: self.stats.snapshot(),
+            versions: relc_containers::version_stats(),
+            reclamation: relc_containers::reclamation_stats(),
+            ops: self.ops.snapshot(),
+            len: self.len(),
+            migrations: self.migration_count(),
+        }
     }
 
     /// Lock statistics accumulated so far.
@@ -419,6 +793,7 @@ impl ConcurrentRelation {
         &self,
         f: impl FnMut(&mut Transaction<'_>) -> Result<R, TxnError>,
     ) -> Result<R, CoreError> {
+        OpCounters::bump(&self.ops.transactions, 1);
         self.run_transaction(false, f)
     }
 
@@ -437,11 +812,20 @@ impl ConcurrentRelation {
         let mut engine: TwoPhaseEngine<LockToken> = TwoPhaseEngine::new(Arc::clone(&self.stats));
         let mut backoff = Backoff::new();
         loop {
-            let mut exec = Executor::new(&self.decomp, &self.placement, &mut engine);
+            // Pin the representation for this attempt. A migration may
+            // install a new one while this attempt runs — but only after
+            // draining every writer through the all-stripe fence, and any
+            // attempt that acquired at least one lock holds a root-hosted
+            // one, so a completed swap implies this attempt held nothing
+            // when the fence was taken. The `Arc::ptr_eq` check below
+            // catches exactly that stale window: the attempt rolls back
+            // its (now-unreachable) effects and retries on the new tree.
+            let repr = self.current_repr();
+            let mut exec = Executor::new(&repr.decomp, &repr.placement, &mut engine);
             exec.always_sort_locks = self.always_sort_locks.load(Ordering::Relaxed);
-            let mut tx = Transaction::new(self, exec, single_shot);
+            let mut tx = Transaction::new(self, &repr, exec, single_shot);
             match f(&mut tx) {
-                Ok(r) if !tx.needs_restart() => {
+                Ok(r) if !tx.needs_restart() && Arc::ptr_eq(&self.current_repr(), &repr) => {
                     let delta = tx.len_delta();
                     let scope = tx.take_mvcc();
                     drop(tx);
@@ -454,7 +838,7 @@ impl ConcurrentRelation {
                     // "stamp ≤ snapshot" as "fully committed".
                     self.apply_len_delta(delta);
                     mvcc::finish_attempt(
-                        &self.placement,
+                        &repr.placement,
                         &self.snapshots,
                         std::slice::from_ref(&scope),
                     );
@@ -466,6 +850,12 @@ impl ConcurrentRelation {
                 // unlink landed but whose re-insert restarted). Enforced,
                 // not just documented: handled exactly like a propagated
                 // restart.
+                // This arm also catches a successful closure whose
+                // representation was swapped out mid-attempt (the
+                // `Arc::ptr_eq` guard above): its effects landed in the
+                // retired tree, so they are rolled back — under the
+                // attempt's own still-held locks — and the closure
+                // re-runs against the new representation.
                 Ok(_) | Err(TxnError::Restart(_)) => {
                     tx.rollback_effects();
                     let scope = tx.take_mvcc();
@@ -474,7 +864,7 @@ impl ConcurrentRelation {
                     // the compensations that net them out) still publish
                     // at one timestamp, before the locks release.
                     mvcc::finish_attempt(
-                        &self.placement,
+                        &repr.placement,
                         &self.snapshots,
                         std::slice::from_ref(&scope),
                     );
@@ -486,7 +876,7 @@ impl ConcurrentRelation {
                     let scope = tx.take_mvcc();
                     drop(tx);
                     mvcc::finish_attempt(
-                        &self.placement,
+                        &repr.placement,
                         &self.snapshots,
                         std::slice::from_ref(&scope),
                     );
@@ -517,6 +907,7 @@ impl ConcurrentRelation {
     /// * [`CoreError::NoValidPlan`] if the placement cannot support the
     ///   existence check for this shape of `s`.
     pub fn insert(&self, s: &Tuple, t: &Tuple) -> Result<bool, CoreError> {
+        OpCounters::bump(&self.ops.inserts, 1);
         self.run_transaction(true, |tx| tx.insert(s, t))
     }
 
@@ -559,6 +950,7 @@ impl ConcurrentRelation {
     ///
     /// As for [`Self::insert`], for any row; the batch has no effect.
     pub fn insert_all(&self, rows: &[(Tuple, Tuple)]) -> Result<Vec<bool>, CoreError> {
+        OpCounters::bump(&self.ops.batch_rows, rows.len() as u64);
         // Single-shot: the batch is the whole transaction, which lets the
         // executor skip the fresh-subtree host locks (the batch still
         // records its undo segment — a mid-batch restart rolls it back).
@@ -578,6 +970,7 @@ impl ConcurrentRelation {
     ///
     /// As for [`Self::remove`], for any key; the batch has no effect.
     pub fn remove_all(&self, keys: &[Tuple]) -> Result<Vec<bool>, CoreError> {
+        OpCounters::bump(&self.ops.batch_rows, keys.len() as u64);
         self.run_transaction(true, |tx| tx.remove_all(keys))
     }
 
@@ -600,6 +993,7 @@ impl ConcurrentRelation {
     ///
     /// As for [`Self::remove`].
     pub fn remove_returning(&self, s: &Tuple) -> Result<Option<Tuple>, CoreError> {
+        OpCounters::bump(&self.ops.removes, 1);
         self.run_transaction(true, |tx| tx.remove_returning(s))
     }
 
@@ -637,6 +1031,7 @@ impl ConcurrentRelation {
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
     pub fn update(&self, s: &Tuple, t: &Tuple) -> Result<Option<Tuple>, CoreError> {
+        OpCounters::bump(&self.ops.updates, 1);
         self.run_transaction(true, |tx| tx.update(s, t))
     }
 
@@ -654,7 +1049,8 @@ impl ConcurrentRelation {
     /// nor restart writers. Reads that must observe a transaction's own
     /// uncommitted writes use [`Transaction::query`] instead.
     pub fn query(&self, s: &Tuple, cols: ColumnSet) -> Result<Vec<Tuple>, CoreError> {
-        self.read_transaction(|snap| snap.query(s, cols))
+        OpCounters::bump(&self.ops.queries, 1);
+        self.open_reader(|snap| snap.query(s, cols))
     }
 
     /// Range query: the projection onto `cols` of all tuples extending
@@ -679,7 +1075,8 @@ impl ConcurrentRelation {
         range: &RangePattern,
         cols: ColumnSet,
     ) -> Result<Vec<Tuple>, CoreError> {
-        self.read_transaction(|snap| snap.query_range(s, range, cols))
+        OpCounters::bump(&self.ops.range_queries, 1);
+        self.open_reader(|snap| snap.query_range(s, range, cols))
     }
 
     /// Whether any tuple extends `s` — a short-circuiting existence check
@@ -692,7 +1089,8 @@ impl ConcurrentRelation {
     /// As for [`Self::query`].
     /// Routes onto the lock-free snapshot path, like [`Self::query`].
     pub fn contains(&self, s: &Tuple) -> Result<bool, CoreError> {
-        self.read_transaction(|snap| snap.contains(s))
+        OpCounters::bump(&self.ops.contains_checks, 1);
+        self.open_reader(|snap| snap.contains(s))
     }
 
     /// All tuples, sorted (a `query` with an empty pattern and all columns).
@@ -745,6 +1143,15 @@ impl ConcurrentRelation {
     /// on this relation (the same re-entrancy diagnosis as the locked
     /// single-shot operations, kept for API uniformity).
     pub fn read_transaction<R>(&self, f: impl FnOnce(&SnapshotReader<'_>) -> R) -> R {
+        OpCounters::bump(&self.ops.read_transactions, 1);
+        self.open_reader(f)
+    }
+
+    /// The body of [`Self::read_transaction`], shared with the
+    /// single-read sugar (`query`/`query_range`/`contains`) so those
+    /// count under their own op counters rather than as read
+    /// transactions.
+    fn open_reader<R>(&self, f: impl FnOnce(&SnapshotReader<'_>) -> R) -> R {
         let _guard = ActiveTxnGuard::enter(self.id);
         let reader = SnapshotReader::open(self);
         f(&reader)
@@ -768,8 +1175,9 @@ impl ConcurrentRelation {
     ///
     /// A description of the violated invariant.
     pub fn verify(&self) -> Result<std::collections::BTreeSet<Tuple>, String> {
-        mvcc::verify_versions(&self.decomp, &self.root, &self.snapshots)?;
-        instance::verify_instance(&self.decomp, &self.root)
+        let repr = self.current_repr();
+        mvcc::verify_versions(&repr.decomp, &repr.root, &self.snapshots)?;
+        instance::verify_instance(&repr.decomp, &repr.root)
     }
 
     /// Total number of versions held across every version chain reachable
@@ -778,7 +1186,8 @@ impl ConcurrentRelation {
     /// entry — even while a snapshot reader on a *different* relation
     /// stays open, since registries are per relation).
     pub fn version_footprint(&self) -> usize {
-        mvcc::version_footprint(&self.decomp, &self.root)
+        let repr = self.current_repr();
+        mvcc::version_footprint(&repr.decomp, &repr.root)
     }
 
     /// The snapshot-reader registry owned by this relation (advanced:
@@ -787,11 +1196,6 @@ impl ConcurrentRelation {
     /// need this).
     pub fn snapshots(&self) -> &Arc<relc_locks::SnapshotRegistry> {
         &self.snapshots
-    }
-
-    /// The root node instance (shared with open transactions).
-    pub(crate) fn root_ref(&self) -> &NodeRef {
-        &self.root
     }
 
     /// Applies a committed transaction's net tuple-count change. Called
@@ -825,166 +1229,154 @@ impl ConcurrentRelation {
         self.id
     }
 
-    /// Snapshot query at an externally-captured `(snap, guard)` pair —
-    /// the sharded layer reads every shard at *one* registration, so the
-    /// snapshot context outlives any single shard's traversal.
-    pub(crate) fn snapshot_query_at(
+    /// Live migration: rebuilds the relation under a new `(decomposition,
+    /// placement)` pair and atomically cuts traffic over, without ever
+    /// blocking readers and with writers paused only for the cutover
+    /// itself.
+    ///
+    /// The protocol:
+    ///
+    /// 1. **Fence.** Acquire every stripe of every root-hosted edge
+    ///    exclusively (the 2PL engine's all-stripe sweep, widened to the
+    ///    whole root — [`Executor`]'s migration fence). Every locked
+    ///    operation holds at least one root-hosted lock for its whole
+    ///    two-phase scope, so holding the complete sweep drains all
+    ///    in-flight writers and blocks new ones.
+    /// 2. **Cut.** Capture one MVCC commit timestamp. Under the fence no
+    ///    writer can commit, so the old tree is frozen at exactly this
+    ///    cut.
+    /// 3. **Bulk load.** Read the full contents at the cut (lock-free
+    ///    snapshot read) and load them into a freshly built tree for the
+    ///    new pair via the batched `insert_all` sweep (one fused
+    ///    container write per root edge).
+    /// 4. **Swap.** Atomically install the new representation, then
+    ///    release the fence.
+    ///
+    /// Snapshot readers registered before the swap pinned the old
+    /// representation and keep reading it — frozen at their snapshot —
+    /// until they drop; the old tree then retires through the epoch
+    /// collector. Writers that raced the fence (captured the old
+    /// representation but acquired their locks only after the swap) fail
+    /// the commit-time representation check in the transaction loop, roll
+    /// back under their own locks, and retry against the new tree.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::IllFormedPlacement`] if `placement` belongs to a
+    ///   different decomposition, or if `decomp`'s schema differs from
+    ///   this relation's (migration changes the representation, never the
+    ///   logical relation);
+    /// * any planner error from bulk-loading the new representation (e.g.
+    ///   the new pair cannot plan full-tuple inserts); the relation is
+    ///   left on the old representation, unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called from inside a transaction on this relation (the
+    /// same re-entrancy diagnosis as every other entry point).
+    pub fn migrate_to(
         &self,
-        s: &Tuple,
-        cols: ColumnSet,
-        snap: u64,
-        guard: &relc_containers::epoch::Guard,
-    ) -> Result<Vec<Tuple>, CoreError> {
-        let plan = self.query_plan(s.dom(), cols)?;
-        self.stats.record_snapshot_reads(1);
-        Ok(mvcc::snapshot_query(
-            &self.decomp,
-            &plan,
-            s,
-            &self.root,
-            snap,
-            guard,
-        ))
+        decomp: Arc<Decomposition>,
+        placement: Arc<LockPlacement>,
+    ) -> Result<(), CoreError> {
+        if decomp.schema() != &self.schema {
+            return Err(CoreError::IllFormedPlacement(
+                "migration target has a different schema".into(),
+            ));
+        }
+        // Validates placement/decomposition agreement; the new tree is
+        // invisible to everyone until the swap.
+        let new_repr = Repr::new(decomp, placement)?;
+
+        let _guard = ActiveTxnGuard::enter(self.id);
+        let mut engine: TwoPhaseEngine<LockToken> = TwoPhaseEngine::new(Arc::clone(&self.stats));
+        let mut backoff = Backoff::new();
+        loop {
+            let repr = self.current_repr();
+            let fence = {
+                let mut exec = Executor::new(&repr.decomp, &repr.placement, &mut engine);
+                exec.always_sort_locks = self.always_sort_locks.load(Ordering::Relaxed);
+                exec.acquire_migration_fence(&repr.root)
+            };
+            if fence.is_err() {
+                engine.rollback();
+                backoff.wait();
+                continue;
+            }
+            // Fence held: no writer in flight, none can start. The old
+            // tree is frozen at this cut.
+            let result = self.load_frozen_contents(&repr, &new_repr);
+            match result {
+                Ok(rows) => {
+                    debug_assert_eq!(rows, self.len(), "quiescent cut must be exact");
+                    // Publish the new representation *before* releasing
+                    // the fence, mirroring the commit path's
+                    // publish-before-unlock ordering.
+                    self.install_repr(new_repr);
+                    engine.finish();
+                    return Ok(());
+                }
+                Err(e) => {
+                    engine.rollback();
+                    return Err(e);
+                }
+            }
+        }
     }
 
-    /// Snapshot range query at an externally-captured `(snap, guard)`
-    /// pair; see [`Self::snapshot_query_at`].
-    pub(crate) fn snapshot_query_range_at(
+    /// The bulk-load step of [`Self::migrate_to`], run under the fence:
+    /// reads the frozen contents at one MVCC cut and loads them into
+    /// `new_repr`'s (still private) tree. Returns the row count.
+    pub(crate) fn load_frozen_contents(
         &self,
-        s: &Tuple,
-        range: &RangePattern,
-        cols: ColumnSet,
-        snap: u64,
-        guard: &relc_containers::epoch::Guard,
-    ) -> Result<Vec<Tuple>, CoreError> {
-        let plan = self.range_plan(s.dom(), range, cols)?;
-        self.stats.record_snapshot_reads(1);
-        Ok(mvcc::snapshot_query_range(
-            &self.decomp,
-            &plan,
-            s,
-            range,
-            &self.root,
-            snap,
-            guard,
-        ))
-    }
+        repr: &Repr,
+        new_repr: &Arc<Repr>,
+    ) -> Result<usize, CoreError> {
+        let snap = relc_locks::commit_clock().now();
+        let guard = relc_containers::epoch::pin();
+        let all = self.schema.columns();
+        // Prefer the MVCC snapshot traversal at the cut; placements that
+        // cannot plan a full scan (e.g. all-speculative roots) fall back
+        // to the direct structural walk, which under the fence reads the
+        // same frozen state.
+        let rows: Vec<Tuple> =
+            match repr.snapshot_query_at(&self.stats, &Tuple::empty(), all, snap, &guard) {
+                Ok(rows) => rows,
+                Err(CoreError::NoValidPlan(_)) => {
+                    instance::abstract_relation(&repr.decomp, &repr.root)
+                        .into_iter()
+                        .collect()
+                }
+                Err(e) => return Err(e),
+            };
+        drop(guard);
 
-    /// Snapshot existence check at an externally-captured `(snap, guard)`
-    /// pair; see [`Self::snapshot_query_at`].
-    pub(crate) fn snapshot_exists_at(
-        &self,
-        s: &Tuple,
-        snap: u64,
-        guard: &relc_containers::epoch::Guard,
-    ) -> Result<bool, CoreError> {
-        let plan = self.query_plan(s.dom(), ColumnSet::EMPTY)?;
-        self.stats.record_snapshot_reads(1);
-        Ok(mvcc::snapshot_exists(
-            &self.decomp,
-            &plan,
-            s,
-            &self.root,
-            snap,
-            guard,
-        ))
-    }
-
-    pub(crate) fn query_plan(
-        &self,
-        bound: ColumnSet,
-        output: ColumnSet,
-    ) -> Result<Arc<Plan>, CoreError> {
-        plan_cached(
-            &QUERY_MEMO,
-            (self.id, bound.bits(), output.bits()),
-            |k| k.0,
-            &self.query_plans,
-            (bound.bits(), output.bits()),
-            || self.planner.plan_query(bound, output),
-        )
-    }
-
-    pub(crate) fn range_plan(
-        &self,
-        bound: ColumnSet,
-        range: &RangePattern,
-        output: ColumnSet,
-    ) -> Result<Arc<Plan>, CoreError> {
-        let col = range.col().index();
-        plan_cached(
-            &RANGE_MEMO,
-            (self.id, bound.bits(), col, output.bits()),
-            |k| k.0,
-            &self.range_plans,
-            (bound.bits(), col, output.bits()),
-            || self.planner.plan_range(bound, range.col(), output),
-        )
-    }
-
-    pub(crate) fn insert_plan(&self, bound: ColumnSet) -> Result<Arc<InsertPlan>, CoreError> {
-        plan_cached(
-            &INSERT_MEMO,
-            (self.id, bound.bits()),
-            |k| k.0,
-            &self.insert_plans,
-            bound.bits(),
-            || self.planner.plan_insert(bound),
-        )
-    }
-
-    pub(crate) fn remove_plan(&self, bound: ColumnSet) -> Result<Arc<RemovePlan>, CoreError> {
-        plan_cached(
-            &REMOVE_MEMO,
-            (self.id, bound.bits()),
-            |k| k.0,
-            &self.remove_plans,
-            bound.bits(),
-            || self.planner.plan_remove(bound),
-        )
-    }
-
-    pub(crate) fn insert_batch_plan(
-        &self,
-        bound: ColumnSet,
-    ) -> Result<Arc<InsertBatchPlan>, CoreError> {
-        plan_cached(
-            &INSERT_BATCH_MEMO,
-            (self.id, bound.bits()),
-            |k| k.0,
-            &self.insert_batch_plans,
-            bound.bits(),
-            || self.planner.plan_insert_batch(bound),
-        )
-    }
-
-    pub(crate) fn remove_batch_plan(
-        &self,
-        bound: ColumnSet,
-    ) -> Result<Arc<RemoveBatchPlan>, CoreError> {
-        plan_cached(
-            &REMOVE_BATCH_MEMO,
-            (self.id, bound.bits()),
-            |k| k.0,
-            &self.remove_batch_plans,
-            bound.bits(),
-            || self.planner.plan_remove_batch(bound),
-        )
-    }
-
-    pub(crate) fn update_plan(
-        &self,
-        bound: ColumnSet,
-        updated: ColumnSet,
-    ) -> Result<Arc<UpdatePlan>, CoreError> {
-        plan_cached(
-            &UPDATE_MEMO,
-            (self.id, bound.bits(), updated.bits()),
-            |k| k.0,
-            &self.update_plans,
-            (bound.bits(), updated.bits()),
-            || self.planner.plan_update(bound, updated),
-        )
+        // Load through a scratch relation wrapping the new representation
+        // so the batched insert path (plans, bulk sweeps, fused container
+        // writes, MVCC mirrors) is reused verbatim. Its locks are private
+        // until the swap, so this contends with nobody; its bulk commits
+        // stamp the new tree's version chains *before* the swap makes
+        // them reachable, so any reader registered after the swap has a
+        // snapshot at or above every bulk stamp.
+        let scratch = ConcurrentRelation {
+            schema: Arc::clone(&self.schema),
+            repr: RwLock::new(Arc::clone(new_repr)),
+            stats: Arc::new(LockStats::new()),
+            len: AtomicUsize::new(0),
+            always_sort_locks: AtomicBool::new(false),
+            id: NEXT_RELATION_ID.fetch_add(1, Ordering::Relaxed),
+            snapshots: Arc::clone(&self.snapshots),
+            ops: OpCounters::default(),
+            migrations: std::sync::atomic::AtomicU64::new(0),
+        };
+        let n = rows.len();
+        const CHUNK: usize = 4096;
+        for chunk in rows.chunks(CHUNK.max(1)) {
+            let batch: Vec<(Tuple, Tuple)> =
+                chunk.iter().map(|t| (t.clone(), Tuple::empty())).collect();
+            scratch.insert_all(&batch)?;
+        }
+        Ok(n)
     }
 }
 
@@ -1002,6 +1394,12 @@ impl ConcurrentRelation {
 /// until it drops.
 pub struct SnapshotReader<'r> {
     rel: &'r ConcurrentRelation,
+    /// The representation pinned for this reader's lifetime. A live
+    /// migration may swap the relation's current representation at any
+    /// moment; this reader keeps traversing the tree its snapshot was
+    /// registered against (frozen at that snapshot by the fence), and
+    /// the held `Arc` keeps that tree alive until the reader drops.
+    repr: Arc<Repr>,
     snap: u64,
     guard: relc_containers::epoch::Guard,
     _reg: relc_locks::SnapshotGuard,
@@ -1009,10 +1407,25 @@ pub struct SnapshotReader<'r> {
 
 impl<'r> SnapshotReader<'r> {
     fn open(rel: &'r ConcurrentRelation) -> Self {
-        let reg = rel.snapshots.register(relc_locks::commit_clock());
+        // Capture → register → re-check: if a migration swapped the
+        // representation between the capture and the registration, the
+        // registered snapshot could postdate commits that only the *new*
+        // tree contains — so re-capture until one representation spans
+        // the registration. The held `Arc` rules out ABA: the old
+        // representation cannot be freed (and its address reused) while
+        // `repr` still points at it.
+        let (repr, reg) = loop {
+            let repr = rel.current_repr();
+            let reg = rel.snapshots.register(relc_locks::commit_clock());
+            if Arc::ptr_eq(&rel.current_repr(), &repr) {
+                break (repr, reg);
+            }
+            drop(reg);
+        };
         let guard = relc_containers::epoch::pin();
         SnapshotReader {
             rel,
+            repr,
             snap: reg.snap(),
             guard,
             _reg: reg,
@@ -1032,7 +1445,8 @@ impl<'r> SnapshotReader<'r> {
     /// As for [`ConcurrentRelation::query`] (the same compiled plans
     /// drive the snapshot traversal, so the same shapes are plannable).
     pub fn query(&self, s: &Tuple, cols: ColumnSet) -> Result<Vec<Tuple>, CoreError> {
-        self.rel.snapshot_query_at(s, cols, self.snap, &self.guard)
+        self.repr
+            .snapshot_query_at(&self.rel.stats, s, cols, self.snap, &self.guard)
     }
 
     /// Range query at this snapshot; see
@@ -1047,8 +1461,8 @@ impl<'r> SnapshotReader<'r> {
         range: &RangePattern,
         cols: ColumnSet,
     ) -> Result<Vec<Tuple>, CoreError> {
-        self.rel
-            .snapshot_query_range_at(s, range, cols, self.snap, &self.guard)
+        self.repr
+            .snapshot_query_range_at(&self.rel.stats, s, range, cols, self.snap, &self.guard)
     }
 
     /// Whether any tuple extends `s` at this snapshot — short-circuiting,
@@ -1058,7 +1472,8 @@ impl<'r> SnapshotReader<'r> {
     ///
     /// As for [`SnapshotReader::query`].
     pub fn contains(&self, s: &Tuple) -> Result<bool, CoreError> {
-        self.rel.snapshot_exists_at(s, self.snap, &self.guard)
+        self.repr
+            .snapshot_exists_at(&self.rel.stats, s, self.snap, &self.guard)
     }
 
     /// All tuples at this snapshot, sorted.
@@ -1079,23 +1494,14 @@ impl fmt::Debug for SnapshotReader<'_> {
     }
 }
 
-impl Drop for ConcurrentRelation {
-    fn drop(&mut self) {
-        // Unregister so the thread-local plan memos can shed this
-        // relation's entries at their next sweep.
-        LIVE_RELATIONS
-            .write()
-            .expect("live-relation set")
-            .remove(&self.id);
-    }
-}
-
 impl fmt::Debug for ConcurrentRelation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let repr = self.current_repr();
         f.debug_struct("ConcurrentRelation")
-            .field("decomposition", &self.decomp.describe())
-            .field("placement", &self.placement.name())
+            .field("decomposition", &repr.decomp.describe())
+            .field("placement", &repr.placement.name())
             .field("len", &self.len())
+            .field("migrations", &self.migration_count())
             .finish()
     }
 }

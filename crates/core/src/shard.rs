@@ -83,6 +83,7 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use relc_locks::{Backoff, CommitStamp, LockStatsSnapshot, TwoPhaseEngine};
@@ -93,7 +94,7 @@ use crate::error::CoreError;
 use crate::exec::{assemble_range_output, Executor};
 use crate::mvcc::{self, MvccScope};
 use crate::placement::{LockPlacement, LockToken};
-use crate::relation::{ActiveTxnGuard, ConcurrentRelation};
+use crate::relation::{ActiveTxnGuard, ConcurrentRelation, OpCounters, Repr, StatsSnapshot};
 use crate::txn::{Transaction, TxnError};
 
 /// The router's default seed. Any value works — what matters is that the
@@ -109,6 +110,17 @@ pub struct ShardedRelation {
     shards: Vec<ConcurrentRelation>,
     route_by: ColumnSet,
     seed: u64,
+    /// Seqlock-style generation for the sharded cutover: odd exactly
+    /// while [`Self::migrate_to`] is swapping shard representations, even
+    /// otherwise. Fan-out snapshot readers spin past odd values and
+    /// re-validate after registering, so no reader ever captures a
+    /// half-migrated mix of old and new shard trees.
+    migration_epoch: AtomicU64,
+    /// Top-level operation counters of the sharded flavor (the per-shard
+    /// relations keep their own; these count calls on *this* surface).
+    ops: OpCounters,
+    /// Completed whole-relation [`Self::migrate_to`] cutovers.
+    migrations: AtomicU64,
 }
 
 impl ShardedRelation {
@@ -159,6 +171,9 @@ impl ShardedRelation {
             shards,
             route_by,
             seed,
+            migration_epoch: AtomicU64::new(0),
+            ops: OpCounters::default(),
+            migrations: AtomicU64::new(0),
         })
     }
 
@@ -167,13 +182,16 @@ impl ShardedRelation {
         self.shards[0].schema()
     }
 
-    /// The decomposition every shard is represented by.
-    pub fn decomposition(&self) -> &Arc<Decomposition> {
+    /// The decomposition every shard is currently represented by. Owned:
+    /// [`Self::migrate_to`] may install a different representation at any
+    /// moment (see [`ConcurrentRelation::decomposition`]).
+    pub fn decomposition(&self) -> Arc<Decomposition> {
         self.shards[0].decomposition()
     }
 
-    /// The lock placement every shard runs under.
-    pub fn placement(&self) -> &Arc<LockPlacement> {
+    /// The lock placement every shard currently runs under (owned, like
+    /// [`Self::decomposition`]).
+    pub fn placement(&self) -> Arc<LockPlacement> {
         self.shards[0].placement()
     }
 
@@ -239,6 +257,31 @@ impl ShardedRelation {
         agg
     }
 
+    /// Captures the unified observability surface for the sharded flavor:
+    /// lock counters aggregated over every shard, the process-global
+    /// version and reclamation counters, this surface's own top-level
+    /// operation counts, the summed tuple count, and the number of
+    /// completed whole-relation migrations. The `locks`, `versions`, and
+    /// `reclamation` fields agree with [`Self::lock_stats`],
+    /// [`Self::version_stats`], and [`Self::reclamation_stats`] — they
+    /// read the same counters.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            locks: self.lock_stats(),
+            versions: relc_containers::version_stats(),
+            reclamation: relc_containers::reclamation_stats(),
+            ops: self.ops.snapshot(),
+            len: self.len(),
+            migrations: self.migration_count(),
+        }
+    }
+
+    /// Number of completed [`Self::migrate_to`] cutovers (whole-relation
+    /// cutovers, not per-shard swaps).
+    pub fn migration_count(&self) -> u64 {
+        self.migrations.load(Ordering::Relaxed)
+    }
+
     /// Ablation knob (§5.2), forwarded to every shard.
     pub fn set_always_sort_locks(&self, v: bool) {
         for s in &self.shards {
@@ -267,6 +310,7 @@ impl ShardedRelation {
     ///
     /// As for [`ConcurrentRelation::insert`].
     pub fn insert(&self, s: &Tuple, t: &Tuple) -> Result<bool, CoreError> {
+        OpCounters::bump(&self.ops.inserts, 1);
         match s.union(t) {
             // Not routable ⇒ not a full valuation (or overlapping
             // domains): any shard rejects it with the canonical §2 error
@@ -309,6 +353,7 @@ impl ShardedRelation {
         if rows.is_empty() {
             return Ok(Vec::new());
         }
+        OpCounters::bump(&self.ops.batch_rows, rows.len() as u64);
         // The whole batch landing in one shard — always true for a 1-shard
         // relation, common for locality-batched loads — skips the
         // cross-shard machinery (N engines + guards per attempt, one row
@@ -316,7 +361,7 @@ impl ShardedRelation {
         if let Some(i) = self.single_target_of_rows(rows) {
             return self.shards[i].insert_all(rows);
         }
-        self.transaction(|tx| tx.insert_all(rows))
+        self.run_transaction(|tx| tx.insert_all(rows))
     }
 
     /// Batched `remove r s` as one cross-shard transaction (see
@@ -331,6 +376,7 @@ impl ShardedRelation {
         if keys.is_empty() {
             return Ok(Vec::new());
         }
+        OpCounters::bump(&self.ops.batch_rows, keys.len() as u64);
         // Single-destination fast path, as in [`Self::insert_all`].
         let mut target = None;
         if keys
@@ -341,7 +387,7 @@ impl ShardedRelation {
                 return self.shards[i].remove_all(keys);
             }
         }
-        self.transaction(|tx| tx.remove_all(keys))
+        self.run_transaction(|tx| tx.remove_all(keys))
     }
 
     /// `remove r s` (§2); returns how many tuples were removed (0 or 1).
@@ -362,10 +408,11 @@ impl ShardedRelation {
     ///
     /// As for [`ConcurrentRelation::remove_returning`].
     pub fn remove_returning(&self, s: &Tuple) -> Result<Option<Tuple>, CoreError> {
+        OpCounters::bump(&self.ops.removes, 1);
         match self.route(s) {
             Some(i) => self.shards[i].remove_returning(s),
             None if !self.schema().is_key(s.dom()) => self.shards[0].remove_returning(s),
-            None => self.transaction(|tx| tx.remove_returning(s)),
+            None => self.run_transaction(|tx| tx.remove_returning(s)),
         }
     }
 
@@ -379,9 +426,10 @@ impl ShardedRelation {
     ///
     /// As for [`ConcurrentRelation::update`].
     pub fn update(&self, s: &Tuple, t: &Tuple) -> Result<Option<Tuple>, CoreError> {
+        OpCounters::bump(&self.ops.updates, 1);
         match self.route(s) {
             Some(i) => self.shards[i].update(s, t),
-            None => self.transaction(|tx| tx.update(s, t)),
+            None => self.run_transaction(|tx| tx.update(s, t)),
         }
     }
 
@@ -397,9 +445,10 @@ impl ShardedRelation {
     ///
     /// As for [`ConcurrentRelation::query`].
     pub fn query(&self, s: &Tuple, cols: ColumnSet) -> Result<Vec<Tuple>, CoreError> {
+        OpCounters::bump(&self.ops.queries, 1);
         match self.route(s) {
             Some(i) => self.shards[i].query(s, cols),
-            None => self.read_transaction(|snap| snap.query(s, cols)),
+            None => self.run_read(|snap| snap.query(s, cols)),
         }
     }
 
@@ -416,7 +465,8 @@ impl ShardedRelation {
         range: &RangePattern,
         cols: ColumnSet,
     ) -> Result<Vec<Tuple>, CoreError> {
-        self.read_transaction(|snap| snap.query_range(s, range, cols))
+        OpCounters::bump(&self.ops.range_queries, 1);
+        self.run_read(|snap| snap.query_range(s, range, cols))
     }
 
     /// Whether any tuple extends `s`; fan-out patterns short-circuit at
@@ -427,9 +477,10 @@ impl ShardedRelation {
     ///
     /// As for [`ConcurrentRelation::contains`].
     pub fn contains(&self, s: &Tuple) -> Result<bool, CoreError> {
+        OpCounters::bump(&self.ops.contains_checks, 1);
         match self.route(s) {
             Some(i) => self.shards[i].contains(s),
-            None => self.read_transaction(|snap| snap.contains(s)),
+            None => self.run_read(|snap| snap.contains(s)),
         }
     }
 
@@ -440,7 +491,8 @@ impl ShardedRelation {
     ///
     /// As for [`Self::query`].
     pub fn snapshot(&self) -> Result<Vec<Tuple>, CoreError> {
-        self.read_transaction(|snap| snap.snapshot())
+        OpCounters::bump(&self.ops.queries, 1);
+        self.run_read(|snap| snap.snapshot())
     }
 
     /// Runs a lock-free read-only transaction spanning every shard: the
@@ -460,6 +512,14 @@ impl ShardedRelation {
     /// Panics if called on a thread already inside a transaction on this
     /// relation (same re-entrancy diagnosis as the locked operations).
     pub fn read_transaction<R>(&self, f: impl FnOnce(&ShardedSnapshotReader<'_>) -> R) -> R {
+        OpCounters::bump(&self.ops.read_transactions, 1);
+        self.run_read(f)
+    }
+
+    /// The snapshot-reader scope shared by [`Self::read_transaction`] and
+    /// the fan-out single-shot reads (which keep their own operation
+    /// counters instead of counting as read transactions).
+    fn run_read<R>(&self, f: impl FnOnce(&ShardedSnapshotReader<'_>) -> R) -> R {
         let _guards: Vec<ActiveTxnGuard> = self
             .shards
             .iter()
@@ -499,6 +559,126 @@ impl ShardedRelation {
         Ok(all)
     }
 
+    /// Live migration of the whole sharded relation to a new
+    /// `(decomposition, placement)` pair — the sharded generalization of
+    /// [`ConcurrentRelation::migrate_to`], run as **one cross-shard
+    /// cutover** so fan-out readers never observe a half-migrated mix of
+    /// representations.
+    ///
+    /// The protocol extends the single-instance fence shard by shard:
+    ///
+    /// 1. **Fence every shard, in ascending shard order.** Each shard's
+    ///    migration fence (every stripe of every root-hosted edge, held
+    ///    exclusively) is acquired with that shard's own engine; ascending
+    ///    order matches the cross-shard `(shard, token)` acquisition order,
+    ///    so the fence cannot deadlock against a cross-shard transaction —
+    ///    a transaction blocked against a fenced shard either waits in its
+    ///    maximum shard or fails its try-only acquisition and restarts. A
+    ///    contended fence rolls back **all** shards' fences and retries
+    ///    with backoff.
+    /// 2. **One cut.** With every fence held, no writer on any shard is in
+    ///    flight and none can commit: the whole relation is frozen. Each
+    ///    shard's contents are read at an MVCC cut and bulk-loaded into
+    ///    that shard's fresh tree (the new trees are private until the
+    ///    swap, so the loads contend with nobody).
+    /// 3. **Swap window.** The migration epoch goes odd, every shard's
+    ///    representation is swapped, the epoch goes even. Fan-out snapshot
+    ///    readers spin past the odd window and re-validate their captured
+    ///    representations after registering, so every reader holds either
+    ///    all-old or all-new trees — and either set is the same frozen cut
+    ///    while any fence is held, so even a reader that raced the window
+    ///    reads one consistent snapshot.
+    /// 4. **Release.** Every fence releases; writers resume on the new
+    ///    trees. Writers that captured an old representation fail the
+    ///    commit-time representation check and retry.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ConcurrentRelation::migrate_to`]; on error the relation is
+    /// left on the old representation, unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called from inside a transaction on this relation (the
+    /// same re-entrancy diagnosis as every other entry point).
+    pub fn migrate_to(
+        &self,
+        decomp: Arc<Decomposition>,
+        placement: Arc<LockPlacement>,
+    ) -> Result<(), CoreError> {
+        if decomp.schema() != self.schema() {
+            return Err(CoreError::IllFormedPlacement(
+                "migration target has a different schema".into(),
+            ));
+        }
+        let _guards: Vec<ActiveTxnGuard> = self
+            .shards
+            .iter()
+            .map(|s| ActiveTxnGuard::enter(s.relation_id()))
+            .collect();
+        // One fresh (empty, still private) representation per shard;
+        // built before fencing so placement validation fails fast.
+        let new_reprs: Vec<Arc<Repr>> = self
+            .shards
+            .iter()
+            .map(|_| Repr::new(Arc::clone(&decomp), Arc::clone(&placement)))
+            .collect::<Result<_, _>>()?;
+        let mut engines: Vec<TwoPhaseEngine<LockToken>> = self
+            .shards
+            .iter()
+            .map(|s| TwoPhaseEngine::new(Arc::clone(s.stats_arc())))
+            .collect();
+        let mut backoff = Backoff::new();
+        loop {
+            let reprs: Vec<Arc<Repr>> = self.shards.iter().map(|s| s.current_repr()).collect();
+            // Ascending shard order (see the deadlock argument above).
+            let mut fenced = true;
+            for i in 0..self.shards.len() {
+                let fence = {
+                    let mut exec =
+                        Executor::new(&reprs[i].decomp, &reprs[i].placement, &mut engines[i]);
+                    exec.always_sort_locks = self.shards[i].always_sort_locks();
+                    exec.acquire_migration_fence(&reprs[i].root)
+                };
+                if fence.is_err() {
+                    fenced = false;
+                    break;
+                }
+            }
+            if !fenced {
+                for engine in &mut engines {
+                    engine.rollback();
+                }
+                backoff.wait();
+                continue;
+            }
+            // Every fence held: the whole relation is frozen at one cut.
+            for (i, shard) in self.shards.iter().enumerate() {
+                match shard.load_frozen_contents(&reprs[i], &new_reprs[i]) {
+                    Ok(rows) => debug_assert_eq!(rows, shard.len(), "quiescent cut must be exact"),
+                    Err(e) => {
+                        for engine in &mut engines {
+                            engine.rollback();
+                        }
+                        return Err(e);
+                    }
+                }
+            }
+            // Swap window: odd epoch keeps fan-out readers from capturing
+            // a mixed representation set while the per-shard swaps land.
+            self.migration_epoch.fetch_add(1, Ordering::AcqRel);
+            for (shard, new_repr) in self.shards.iter().zip(new_reprs) {
+                shard.install_repr(new_repr);
+            }
+            self.migration_epoch.fetch_add(1, Ordering::AcqRel);
+            self.migrations.fetch_add(1, Ordering::Relaxed);
+            for engine in &mut engines {
+                engine.finish();
+            }
+            return Ok(());
+        }
+    }
+
     /// Runs `f` as one two-phase transaction spanning every shard it
     /// touches: per-shard [`Transaction`]s open lazily as operations
     /// route, all locks across all touched shards are held until the
@@ -519,6 +699,17 @@ impl ShardedRelation {
     /// restarts are consumed by the retry loop.
     pub fn transaction<R>(
         &self,
+        f: impl FnMut(&mut ShardedTransaction<'_>) -> Result<R, TxnError>,
+    ) -> Result<R, CoreError> {
+        OpCounters::bump(&self.ops.transactions, 1);
+        self.run_transaction(f)
+    }
+
+    /// The cross-shard transaction loop shared by [`Self::transaction`]
+    /// and the fan-out single-shot sugar (which keeps its own operation
+    /// counters, exactly like the single-instance layer).
+    fn run_transaction<R>(
+        &self,
         mut f: impl FnMut(&mut ShardedTransaction<'_>) -> Result<R, TxnError>,
     ) -> Result<R, CoreError> {
         // Re-entrancy guards for every shard: a single-shot operation on
@@ -536,9 +727,22 @@ impl ShardedRelation {
             .collect();
         let mut backoff = Backoff::new();
         loop {
-            let mut stx = ShardedTransaction::new(self, engines.iter_mut().map(Some).collect());
+            // Pin every shard's representation for this attempt (same
+            // stale-window discipline as the single-instance loop: a
+            // migration completing mid-attempt fails the commit-time
+            // check below, and the attempt rolls back and re-runs on the
+            // new trees).
+            let reprs: Vec<Arc<Repr>> = self.shards.iter().map(|s| s.current_repr()).collect();
+            let mut stx =
+                ShardedTransaction::new(self, &reprs, engines.iter_mut().map(Some).collect());
             match f(&mut stx) {
-                Ok(r) if !stx.needs_restart() => {
+                Ok(r)
+                    if !stx.needs_restart()
+                        && reprs
+                            .iter()
+                            .zip(&self.shards)
+                            .all(|(r, s)| Arc::ptr_eq(r, &s.current_repr())) =>
+                {
                     // Commit: publish every shard's len delta while all
                     // locks are still held, stamp the shared commit
                     // timestamp over *all* shards' version journals (one
@@ -549,17 +753,19 @@ impl ShardedRelation {
                     for &(i, delta) in &touched {
                         self.shards[i].apply_len_delta(delta);
                     }
-                    mvcc::finish_attempt(self.placement(), self.shards[0].snapshots(), &scopes);
+                    Self::stamp_scopes(&reprs, self.shards[0].snapshots(), &touched, &scopes);
                     for (i, _) in touched {
                         engines[i].finish();
                     }
                     return Ok(r);
                 }
                 // A swallowed restart must not commit (same enforcement
-                // as the single-instance loop).
+                // as the single-instance loop); this arm also rolls back
+                // an attempt whose representation set was swapped out by
+                // a live migration mid-flight.
                 Ok(_) | Err(TxnError::Restart(_)) => {
                     let (touched, scopes) = stx.into_touched(true);
-                    mvcc::finish_attempt(self.placement(), self.shards[0].snapshots(), &scopes);
+                    Self::stamp_scopes(&reprs, self.shards[0].snapshots(), &touched, &scopes);
                     for (i, _) in touched {
                         engines[i].rollback();
                     }
@@ -567,7 +773,7 @@ impl ShardedRelation {
                 }
                 Err(TxnError::Core(e)) => {
                     let (touched, scopes) = stx.into_touched(true);
-                    mvcc::finish_attempt(self.placement(), self.shards[0].snapshots(), &scopes);
+                    Self::stamp_scopes(&reprs, self.shards[0].snapshots(), &touched, &scopes);
                     let user = matches!(e, CoreError::TransactionAborted(_));
                     for (i, _) in touched {
                         if user {
@@ -580,6 +786,24 @@ impl ShardedRelation {
                 }
             }
         }
+    }
+
+    /// Stamps and retires one attempt's MVCC scopes, each under the
+    /// placement of the representation it was journaled against —
+    /// `touched` and `scopes` are aligned (both in ascending order of
+    /// touched shard index).
+    fn stamp_scopes(
+        reprs: &[Arc<Repr>],
+        registry: &relc_locks::SnapshotRegistry,
+        touched: &[(usize, isize)],
+        scopes: &[MvccScope],
+    ) {
+        let paired: Vec<(&LockPlacement, &MvccScope)> = touched
+            .iter()
+            .zip(scopes)
+            .map(|(&(i, _), scope)| (&*reprs[i].placement, scope))
+            .collect();
+        mvcc::finish_attempt_mixed(registry, &paired);
     }
 }
 
@@ -603,6 +827,10 @@ impl fmt::Debug for ShardedRelation {
 /// shard accumulate until the closure returns.
 pub struct ShardedTransaction<'t> {
     rel: &'t ShardedRelation,
+    /// The per-shard representations pinned for this attempt (captured
+    /// once in the retry loop; the commit path refuses to commit if any
+    /// shard's representation was swapped by a live migration since).
+    reprs: &'t [Arc<Repr>],
     /// One engine slot per shard; taken (moved into the shard's
     /// [`Transaction`]) when the shard is first touched.
     engines: Vec<Option<&'t mut TwoPhaseEngine<LockToken>>>,
@@ -621,11 +849,13 @@ pub struct ShardedTransaction<'t> {
 impl<'t> ShardedTransaction<'t> {
     fn new(
         rel: &'t ShardedRelation,
+        reprs: &'t [Arc<Repr>],
         engines: Vec<Option<&'t mut TwoPhaseEngine<LockToken>>>,
     ) -> Self {
         let n = engines.len();
         ShardedTransaction {
             rel,
+            reprs,
             engines,
             open: (0..n).map(|_| None).collect(),
             max_open: None,
@@ -649,9 +879,10 @@ impl<'t> ShardedTransaction<'t> {
                 .take()
                 .expect("engine slot taken exactly once per attempt");
             let shard = &self.rel.shards[i];
-            let mut exec = Executor::new(shard.decomposition(), shard.placement(), engine);
+            let repr = &self.reprs[i];
+            let mut exec = Executor::new(&repr.decomp, &repr.placement, engine);
             exec.always_sort_locks = shard.always_sort_locks();
-            let mut tx = Transaction::new(shard, exec, false);
+            let mut tx = Transaction::new(shard, repr, exec, false);
             // All shards write versions under the attempt's shared stamp
             // (injected before any mirrored write can happen).
             tx.set_mvcc_stamp(Arc::clone(&self.stamp));
@@ -960,6 +1191,11 @@ impl<'t> ShardedTransaction<'t> {
 /// shards.
 pub struct ShardedSnapshotReader<'r> {
     rel: &'r ShardedRelation,
+    /// The per-shard representations pinned for this reader's lifetime —
+    /// validated against the migration epoch at open, so they are either
+    /// all pre-cutover or all post-cutover, never a mix. The held `Arc`s
+    /// keep retired trees alive until the reader drops.
+    reprs: Vec<Arc<Repr>>,
     snap: u64,
     guard: relc_containers::epoch::Guard,
     _reg: relc_locks::SnapshotGuard,
@@ -967,15 +1203,41 @@ pub struct ShardedSnapshotReader<'r> {
 
 impl<'r> ShardedSnapshotReader<'r> {
     fn open(rel: &'r ShardedRelation) -> Self {
-        // Register before pinning, like the single-instance reader: the
-        // registration stops committers from truncating history at or
-        // below `snap`, the guard keeps already-truncated nodes alive.
-        let reg = rel.shards[0]
-            .snapshots()
-            .register(relc_locks::commit_clock());
+        // Capture every shard's representation and one registration, then
+        // re-validate both the migration epoch and each captured pointer:
+        // a live migration swaps the shards one by one, and a capture that
+        // straddled the swap window could pair pre-cutover trees on some
+        // shards with post-cutover trees on others. The epoch is odd for
+        // exactly the swap window, so spinning past odd values and
+        // re-checking afterwards guarantees an all-old or all-new set.
+        // Registering before the re-check (and before pinning) keeps the
+        // single-instance ordering: the registration stops committers from
+        // truncating history at or below `snap`, the epoch guard keeps
+        // already-truncated nodes alive.
+        let (reprs, reg) = loop {
+            let e1 = rel.migration_epoch.load(Ordering::Acquire);
+            if e1 & 1 == 1 {
+                std::thread::yield_now();
+                continue;
+            }
+            let reprs: Vec<Arc<Repr>> = rel.shards.iter().map(|s| s.current_repr()).collect();
+            let reg = rel.shards[0]
+                .snapshots()
+                .register(relc_locks::commit_clock());
+            if rel.migration_epoch.load(Ordering::Acquire) == e1
+                && reprs
+                    .iter()
+                    .zip(&rel.shards)
+                    .all(|(r, s)| Arc::ptr_eq(r, &s.current_repr()))
+            {
+                break (reprs, reg);
+            }
+            drop(reg);
+        };
         let guard = relc_containers::epoch::pin();
         ShardedSnapshotReader {
             rel,
+            reprs,
             snap: reg.snap(),
             guard,
             _reg: reg,
@@ -996,15 +1258,27 @@ impl<'r> ShardedSnapshotReader<'r> {
     /// As for [`ConcurrentRelation::query`].
     pub fn query(&self, s: &Tuple, cols: ColumnSet) -> Result<Vec<Tuple>, CoreError> {
         match self.rel.route(s) {
-            Some(i) => self.rel.shards[i].snapshot_query_at(s, cols, self.snap, &self.guard),
+            Some(i) => self.shard_query(i, s, cols),
             None => {
                 let mut acc: BTreeSet<Tuple> = BTreeSet::new();
-                for shard in &self.rel.shards {
-                    acc.extend(shard.snapshot_query_at(s, cols, self.snap, &self.guard)?);
+                for i in 0..self.rel.shards.len() {
+                    acc.extend(self.shard_query(i, s, cols)?);
                 }
                 Ok(acc.into_iter().collect())
             }
         }
+    }
+
+    /// One shard's contribution at this snapshot, traversing the pinned
+    /// representation (a live migration never redirects an open reader).
+    fn shard_query(&self, i: usize, s: &Tuple, cols: ColumnSet) -> Result<Vec<Tuple>, CoreError> {
+        self.reprs[i].snapshot_query_at(
+            self.rel.shards[i].stats_arc(),
+            s,
+            cols,
+            self.snap,
+            &self.guard,
+        )
     }
 
     /// Range query at this snapshot: routed patterns read the owning
@@ -1025,15 +1299,21 @@ impl<'r> ShardedSnapshotReader<'r> {
         cols: ColumnSet,
     ) -> Result<Vec<Tuple>, CoreError> {
         match self.rel.route(s) {
-            Some(i) => {
-                self.rel.shards[i].snapshot_query_range_at(s, range, cols, self.snap, &self.guard)
-            }
+            Some(i) => self.reprs[i].snapshot_query_range_at(
+                self.rel.shards[i].stats_arc(),
+                s,
+                range,
+                cols,
+                self.snap,
+                &self.guard,
+            ),
             None => {
                 let ext = cols.with(range.col());
                 let uncapped = range.without_limit();
                 let mut acc: Vec<Tuple> = Vec::new();
-                for shard in &self.rel.shards {
-                    acc.extend(shard.snapshot_query_range_at(
+                for (i, repr) in self.reprs.iter().enumerate() {
+                    acc.extend(repr.snapshot_query_range_at(
+                        self.rel.shards[i].stats_arc(),
                         s,
                         &uncapped,
                         ext,
@@ -1054,10 +1334,20 @@ impl<'r> ShardedSnapshotReader<'r> {
     /// As for [`ShardedSnapshotReader::query`].
     pub fn contains(&self, s: &Tuple) -> Result<bool, CoreError> {
         match self.rel.route(s) {
-            Some(i) => self.rel.shards[i].snapshot_exists_at(s, self.snap, &self.guard),
+            Some(i) => self.reprs[i].snapshot_exists_at(
+                self.rel.shards[i].stats_arc(),
+                s,
+                self.snap,
+                &self.guard,
+            ),
             None => {
-                for shard in &self.rel.shards {
-                    if shard.snapshot_exists_at(s, self.snap, &self.guard)? {
+                for (i, repr) in self.reprs.iter().enumerate() {
+                    if repr.snapshot_exists_at(
+                        self.rel.shards[i].stats_arc(),
+                        s,
+                        self.snap,
+                        &self.guard,
+                    )? {
                         return Ok(true);
                     }
                 }

@@ -73,7 +73,7 @@ use relc_spec::{ColumnSet, SpecError, Tuple};
 use crate::error::CoreError;
 use crate::exec::{Executor, InsertUndo};
 use crate::planner::{InsertPlan, RemovePlan, UpdatePlan};
-use crate::relation::ConcurrentRelation;
+use crate::relation::{ConcurrentRelation, Repr};
 
 /// Why a transactional operation did not return a value.
 ///
@@ -152,6 +152,10 @@ enum UndoOp {
 /// [`ConcurrentRelation::transaction`]: crate::ConcurrentRelation::transaction
 pub struct Transaction<'t> {
     rel: &'t ConcurrentRelation,
+    /// The representation this attempt is pinned to (captured by the
+    /// transaction loop before the attempt starts; the loop validates at
+    /// commit that it is still the relation's current one).
+    repr: &'t Repr,
     exec: Executor<'t>,
     undo: Vec<UndoOp>,
     len_delta: isize,
@@ -160,9 +164,15 @@ pub struct Transaction<'t> {
 }
 
 impl<'t> Transaction<'t> {
-    pub(crate) fn new(rel: &'t ConcurrentRelation, exec: Executor<'t>, single_shot: bool) -> Self {
+    pub(crate) fn new(
+        rel: &'t ConcurrentRelation,
+        repr: &'t Repr,
+        exec: Executor<'t>,
+        single_shot: bool,
+    ) -> Self {
         Transaction {
             rel,
+            repr,
             exec,
             undo: Vec::new(),
             len_delta: 0,
@@ -265,17 +275,15 @@ impl<'t> Transaction<'t> {
     fn insert_impl(&mut self, s: &Tuple, t: &Tuple, record_undo: bool) -> Result<bool, TxnError> {
         self.assert_two_phase();
         let x = self.validate_insert(s, t)?;
-        let plan = self.rel.insert_plan(s.dom())?;
+        let plan = self.repr.insert_plan(s.dom())?;
         // A full tuple is always a key, so the inverse plan always exists.
         let inverse = if record_undo {
-            Some(self.rel.remove_plan(x.dom())?)
+            Some(self.repr.remove_plan(x.dom())?)
         } else {
             None
         };
         let undo = InsertUndo::from_inverse(inverse.as_deref());
-        let res = self
-            .exec
-            .run_insert(&plan, &x, s, self.rel.root_ref(), undo);
+        let res = self.exec.run_insert(&plan, &x, s, self.repr.root(), undo);
         let inserted = self.track(res)?;
         if inserted {
             self.len_delta += 1;
@@ -353,14 +361,14 @@ impl<'t> Transaction<'t> {
         }
         self.validate_insert(s0, t0)?;
         let xs: Vec<Tuple> = rows.iter().map(|(s, t)| s.union_disjoint(t)).collect();
-        let plan = self.rel.insert_batch_plan(dom_s)?;
+        let plan = self.repr.insert_batch_plan(dom_s)?;
         let mut results = Vec::with_capacity(rows.len());
         let mut applied = Vec::new();
         let res = self.exec.run_insert_all(
             &plan,
             &xs,
             rows,
-            self.rel.root_ref(),
+            self.repr.root(),
             self.single_shot,
             &mut results,
             &mut applied,
@@ -408,11 +416,11 @@ impl<'t> Transaction<'t> {
             }
             return Ok(out);
         }
-        let plan = self.rel.remove_batch_plan(k0.dom())?;
+        let plan = self.repr.remove_batch_plan(k0.dom())?;
         let mut removed = Vec::new();
         let res = self
             .exec
-            .run_remove_all(&plan, keys, self.rel.root_ref(), &mut removed);
+            .run_remove_all(&plan, keys, self.repr.root(), &mut removed);
         let mut results = vec![false; keys.len()];
         for (i, t) in removed {
             results[i] = true;
@@ -451,17 +459,17 @@ impl<'t> Transaction<'t> {
     /// the caller (see [`Transaction::insert_impl`]).
     fn remove_impl(&mut self, s: &Tuple, record_undo: bool) -> Result<Option<Tuple>, TxnError> {
         self.assert_two_phase();
-        let plan = self.rel.remove_plan(s.dom())?;
+        let plan = self.repr.remove_plan(s.dom())?;
         // The compensating re-insert's plan is fetched *before* the unlink
         // is applied: no fallible step may sit between a mutation and the
         // push of its undo entry. Removed tuples are full valuations, so
         // the plan's bound set is the whole column set.
         let reinsert = if record_undo {
-            Some(self.rel.insert_plan(self.rel.schema().columns())?)
+            Some(self.repr.insert_plan(self.rel.schema().columns())?)
         } else {
             None
         };
-        let res = self.exec.run_remove(&plan, s, self.rel.root_ref());
+        let res = self.exec.run_remove(&plan, s, self.repr.root());
         let removed = self.track(res)?;
         if let Some(u) = &removed {
             self.len_delta -= 1;
@@ -496,13 +504,13 @@ impl<'t> Transaction<'t> {
     /// [`TxnError::Core`]; or [`TxnError::Restart`] (propagate it).
     pub fn update(&mut self, s: &Tuple, t: &Tuple) -> Result<Option<Tuple>, TxnError> {
         self.assert_two_phase();
-        let plan = self.rel.update_plan(s.dom(), t.dom())?;
+        let plan = self.repr.update_plan(s.dom(), t.dom())?;
         match &*plan {
             UpdatePlan::InPlace(ip) => {
                 // Every lock is taken before the first write, so a restart
                 // here leaves nothing to compensate; only later operations
                 // of a multi-op transaction can force the write-back.
-                let res = self.exec.run_update_in_place(ip, s, t, self.rel.root_ref());
+                let res = self.exec.run_update_in_place(ip, s, t, self.repr.root());
                 let Some(old) = self.track(res)? else {
                     return Ok(None);
                 };
@@ -516,7 +524,7 @@ impl<'t> Transaction<'t> {
                 Ok(Some(old))
             }
             UpdatePlan::General(gp) => {
-                let res = self.exec.run_remove(&gp.remove, s, self.rel.root_ref());
+                let res = self.exec.run_remove(&gp.remove, s, self.repr.root());
                 let Some(old) = self.track(res)? else {
                     return Ok(None);
                 };
@@ -534,12 +542,12 @@ impl<'t> Transaction<'t> {
                 let inverse_new = if self.single_shot {
                     None
                 } else {
-                    Some(self.rel.remove_plan(new.dom())?)
+                    Some(self.repr.remove_plan(new.dom())?)
                 };
                 let undo = InsertUndo::from_inverse(inverse_new.as_deref());
                 let res = self
                     .exec
-                    .run_insert(&gp.insert, &new, &new, self.rel.root_ref(), undo);
+                    .run_insert(&gp.insert, &new, &new, self.repr.root(), undo);
                 let reinserted = self.track(res)?;
                 debug_assert!(
                     reinserted,
@@ -569,8 +577,8 @@ impl<'t> Transaction<'t> {
     /// [`TxnError::Core`]; or [`TxnError::Restart`] (propagate it).
     pub fn query(&mut self, s: &Tuple, cols: ColumnSet) -> Result<Vec<Tuple>, TxnError> {
         self.assert_two_phase();
-        let plan = self.rel.query_plan(s.dom(), cols)?;
-        let res = self.exec.run_query(&plan, s, self.rel.root_ref());
+        let plan = self.repr.query_plan(s.dom(), cols)?;
+        let res = self.exec.run_query(&plan, s, self.repr.root());
         self.track(res)
     }
 
@@ -591,10 +599,8 @@ impl<'t> Transaction<'t> {
         cols: ColumnSet,
     ) -> Result<Vec<Tuple>, TxnError> {
         self.assert_two_phase();
-        let plan = self.rel.range_plan(s.dom(), range, cols)?;
-        let res = self
-            .exec
-            .run_query_range(&plan, s, range, self.rel.root_ref());
+        let plan = self.repr.range_plan(s.dom(), range, cols)?;
+        let res = self.exec.run_query_range(&plan, s, range, self.repr.root());
         self.track(res)
     }
 
@@ -608,8 +614,8 @@ impl<'t> Transaction<'t> {
     /// As for [`Transaction::query`].
     pub fn contains(&mut self, s: &Tuple) -> Result<bool, TxnError> {
         self.assert_two_phase();
-        let plan = self.rel.query_plan(s.dom(), ColumnSet::EMPTY)?;
-        let res = self.exec.run_exists(&plan, s, self.rel.root_ref());
+        let plan = self.repr.query_plan(s.dom(), ColumnSet::EMPTY)?;
+        let res = self.exec.run_exists(&plan, s, self.repr.root());
         self.track(res)
     }
 
@@ -647,7 +653,7 @@ impl<'t> Transaction<'t> {
                 UndoOp::Unlink { plan, tuple } => {
                     let removed = self
                         .exec
-                        .run_remove(&plan, &tuple, self.rel.root_ref())
+                        .run_remove(&plan, &tuple, self.repr.root())
                         .unwrap_or_else(|_| {
                             panic!(
                                 "transaction compensation (unlink) restarted; \
@@ -668,7 +674,7 @@ impl<'t> Transaction<'t> {
                             &plan,
                             &tuple,
                             &tuple,
-                            self.rel.root_ref(),
+                            self.repr.root(),
                             InsertUndo::Compensation,
                         )
                         .unwrap_or_else(|_| {
@@ -687,7 +693,7 @@ impl<'t> Transaction<'t> {
                     // held), so this compensation step cannot restart by
                     // construction.
                     self.exec
-                        .run_update_write_back(ip, &old, &new, self.rel.root_ref());
+                        .run_update_write_back(ip, &old, &new, self.repr.root());
                 }
             }
         }

@@ -270,6 +270,31 @@ fn seeded_under_locked_range_scan_flagged() {
     assert!(ok.is_empty(), "standard range plan should be clean: {ok:?}");
 }
 
+/// A migration fence that sweeps only the *first* stripe of each
+/// root-hosted edge leaves the remaining stripes unlocked, so the frozen
+/// cut and the bulk-load publication are both under-protected; under a
+/// striped placement this must surface as uncovered reads/writes.
+#[test]
+fn seeded_under_locked_migration_fence_flagged() {
+    let d = library::stick(ContainerKind::ConcurrentHashMap, ContainerKind::TreeMap);
+    let p = LockPlacement::striped_root(&d, 8).unwrap();
+    let opts = AnalyzerOptions {
+        suppress_migration_fence: true,
+        ..Default::default()
+    };
+    let diags = Analyzer::with_options(Arc::clone(&d), Arc::clone(&p), opts).analyze_migration();
+    assert!(
+        diags
+            .iter()
+            .any(|x| x.kind == DiagnosticKind::UncoveredRead
+                || x.kind == DiagnosticKind::UncoveredWrite),
+        "under-locked migration cutover not flagged: {diags:?}"
+    );
+    // Sanity: the real fence (all-stripe exclusive sweep) is clean.
+    let ok = Analyzer::new(d, p).analyze_migration();
+    assert!(ok.is_empty(), "full-fence cutover should be clean: {ok:?}");
+}
+
 /// Disabling the cross-shard try-only demotion must surface as an
 /// out-of-order acquisition in the lexicographic (shard, token) model.
 #[test]

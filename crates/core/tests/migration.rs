@@ -1,0 +1,699 @@
+//! Live-migration differential battery: oracle equivalence across a chain
+//! of representation changes, constant-sum preservation under concurrent
+//! writers racing the cutover (torn-read detector), linearizability of
+//! histories that span `Migrate` records, pinned snapshot readers across
+//! the root swap, sharded no-half-migrated-mix, and agreement of the
+//! unified `StatsSnapshot` with the legacy per-facet stats accessors.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use relc::decomp::library::{diamond, split, stick};
+use relc::lincheck::{check_linearizable, HistoryRecorder, OpRecord};
+use relc::placement::LockPlacement;
+use relc::{ConcurrentRelation, Decomposition, ShardedRelation};
+use relc_containers::ContainerKind;
+use relc_spec::{Tuple, Value};
+
+/// The migration chain: every hop changes the decomposition, the lock
+/// placement, or both, over the shared graph schema.
+fn candidates() -> Vec<(String, Arc<Decomposition>, Arc<LockPlacement>)> {
+    let st = stick(ContainerKind::ConcurrentHashMap, ContainerKind::TreeMap);
+    let st2 = stick(ContainerKind::ConcurrentSkipListMap, ContainerKind::HashMap);
+    let sp = split(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap);
+    let di = diamond(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap);
+    vec![
+        (
+            "stick/striped8".into(),
+            st.clone(),
+            LockPlacement::striped_root(&st, 8).unwrap(),
+        ),
+        (
+            "split/fine".into(),
+            sp.clone(),
+            LockPlacement::fine(&sp).unwrap(),
+        ),
+        (
+            "diamond/coarse".into(),
+            di.clone(),
+            LockPlacement::coarse(&di).unwrap(),
+        ),
+        (
+            "stick(cslm)/speculative4".into(),
+            st2.clone(),
+            LockPlacement::speculative(&st2, 4).unwrap(),
+        ),
+        (
+            "split/striped2".into(),
+            sp.clone(),
+            LockPlacement::striped_root(&sp, 2).unwrap(),
+        ),
+    ]
+}
+
+/// Candidates whose placements can plan full-relation scans (the
+/// constant-sum readers snapshot the whole relation; speculative edges
+/// cannot be scanned, so that hop is exercised only by the quiescent
+/// chain tests and point-read workloads).
+fn scannable_candidates() -> Vec<(String, Arc<Decomposition>, Arc<LockPlacement>)> {
+    candidates()
+        .into_iter()
+        .filter(|(name, _, _)| !name.contains("speculative"))
+        .collect()
+}
+
+fn edge(schema: &relc_spec::RelationSchema, s: i64, d: i64) -> Tuple {
+    schema
+        .tuple(&[("src", Value::from(s)), ("dst", Value::from(d))])
+        .unwrap()
+}
+
+fn weight(schema: &relc_spec::RelationSchema, w: i64) -> Tuple {
+    schema.tuple(&[("weight", Value::from(w))]).unwrap()
+}
+
+fn with_watchdog(secs: u64, name: &str, f: impl FnOnce() + Send + 'static) {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        f();
+        let _ = tx.send(());
+    });
+    rx.recv_timeout(Duration::from_secs(secs))
+        .unwrap_or_else(|_| panic!("watchdog: {name} did not finish (deadlock?)"));
+}
+
+/// Sums the `weight` column of a full-relation snapshot.
+fn sum_weights(schema: &relc_spec::RelationSchema, rows: &[Tuple]) -> i64 {
+    let w = schema.column("weight").unwrap();
+    rows.iter()
+        .map(|t| t.get(w).and_then(|v| v.as_int()).unwrap())
+        .sum()
+}
+
+// ---------------------------------------------------------------------------
+// Oracle equivalence across a migration chain (quiescent differential).
+// ---------------------------------------------------------------------------
+
+/// Walking the whole candidate chain must preserve the abstract relation
+/// exactly at every hop, bump the migration counter, and leave a fully
+/// functional relation (inserts/removes/queries keep working after each
+/// swap).
+#[test]
+fn migration_chain_preserves_contents() {
+    let chain = candidates();
+    let (_, d0, p0) = &chain[0];
+    let rel = ConcurrentRelation::new(Arc::clone(d0), Arc::clone(p0)).unwrap();
+    let schema = rel.schema().clone();
+    for k in 0..64i64 {
+        assert!(rel
+            .insert(&edge(&schema, k % 8, k), &weight(&schema, k * 3))
+            .unwrap());
+    }
+    let expected = rel.verify().unwrap();
+    assert_eq!(expected.len(), 64);
+
+    for (hop, (name, d, p)) in chain.iter().enumerate().skip(1) {
+        rel.migrate_to(Arc::clone(d), Arc::clone(p)).unwrap();
+        assert_eq!(rel.migration_count(), hop as u64, "{name}");
+        assert_eq!(rel.len(), 64, "{name}");
+        let got = rel.verify().unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(got, expected, "{name}: contents changed across migration");
+        // Spot-check the compiled plans against the new representation.
+        let wc = schema.column_set(&["weight"]).unwrap();
+        assert_eq!(
+            rel.query(&edge(&schema, 5, 5), wc).unwrap(),
+            vec![weight(&schema, 15)],
+            "{name}"
+        );
+        assert!(rel.contains(&edge(&schema, 0, 0)).unwrap(), "{name}");
+        // The relation must stay writable after the swap.
+        assert!(rel
+            .insert(&edge(&schema, 100, hop as i64), &weight(&schema, 1))
+            .unwrap());
+        assert_eq!(rel.remove(&edge(&schema, 100, hop as i64)).unwrap(), 1);
+    }
+}
+
+/// Same differential for the sharded flavor: every hop re-decomposes all
+/// shards behind one cutover.
+#[test]
+fn sharded_migration_chain_preserves_contents() {
+    let chain = candidates();
+    let (_, d0, p0) = &chain[0];
+    let rel = ShardedRelation::new(Arc::clone(d0), Arc::clone(p0), 4).unwrap();
+    let schema = rel.schema().clone();
+    for k in 0..64i64 {
+        assert!(rel
+            .insert(&edge(&schema, k % 8, k), &weight(&schema, k * 3))
+            .unwrap());
+    }
+    let expected = rel.verify().unwrap();
+    for (hop, (name, d, p)) in chain.iter().enumerate().skip(1) {
+        rel.migrate_to(Arc::clone(d), Arc::clone(p)).unwrap();
+        assert_eq!(rel.migration_count(), hop as u64, "{name}");
+        let got = rel.verify().unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(got, expected, "{name}: contents changed across migration");
+        assert_eq!(rel.len(), 64, "{name}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Torn-read detector: constant sum under writers racing live migrations.
+// ---------------------------------------------------------------------------
+
+/// Concurrent transfer transactions conserve a total while the main
+/// thread cycles the representation underneath them. Any read — locked
+/// transaction or lock-free snapshot — observing a partial cutover
+/// (tuples missing, duplicated, or a transfer half-applied) breaks the
+/// sum.
+#[test]
+fn constant_sum_preserved_across_live_migrations() {
+    let chain = scannable_candidates();
+    let (_, d0, p0) = &chain[0];
+    let rel = Arc::new(ConcurrentRelation::new(Arc::clone(d0), Arc::clone(p0)).unwrap());
+    let schema = rel.schema().clone();
+    let accounts = 8i64;
+    let total = 100 * accounts;
+    for k in 0..accounts {
+        assert!(rel
+            .insert(&edge(&schema, k, k), &weight(&schema, 100))
+            .unwrap());
+    }
+
+    let rel2 = rel.clone();
+    with_watchdog(
+        120,
+        "constant_sum_preserved_across_live_migrations",
+        move || {
+            let rel = rel2;
+            let schema = rel.schema().clone();
+            let stop = Arc::new(AtomicBool::new(false));
+            let writers = 4;
+            let readers = 2;
+            let barrier = Arc::new(Barrier::new(writers + readers));
+            let mut handles = Vec::new();
+            for tid in 0..writers as u64 {
+                let rel = rel.clone();
+                let schema = schema.clone();
+                let stop = stop.clone();
+                let barrier = barrier.clone();
+                handles.push(std::thread::spawn(move || {
+                    let mut x = (tid + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                    let mut next = move || {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        x
+                    };
+                    barrier.wait();
+                    let wc = schema.column_set(&["weight"]).unwrap();
+                    let w = schema.column("weight").unwrap();
+                    while !stop.load(Ordering::Relaxed) {
+                        let a = (next() % accounts as u64) as i64;
+                        let mut b = (next() % accounts as u64) as i64;
+                        if a == b {
+                            b = (b + 1) % accounts;
+                        }
+                        let (ka, kb) = (edge(&schema, a, a), edge(&schema, b, b));
+                        rel.transaction(|tx| {
+                            let wa = tx.query(&ka, wc)?[0].get(w).unwrap().as_int().unwrap();
+                            let wb = tx.query(&kb, wc)?[0].get(w).unwrap().as_int().unwrap();
+                            tx.update(&ka, &weight(&schema, wa - 1))?;
+                            tx.update(&kb, &weight(&schema, wb + 1))?;
+                            Ok(())
+                        })
+                        .unwrap();
+                    }
+                }));
+            }
+            for _ in 0..readers {
+                let rel = rel.clone();
+                let schema = schema.clone();
+                let stop = stop.clone();
+                let barrier = barrier.clone();
+                handles.push(std::thread::spawn(move || {
+                    barrier.wait();
+                    while !stop.load(Ordering::Relaxed) {
+                        // Lock-free snapshot read: one consistent cut.
+                        let rows = rel.snapshot().unwrap();
+                        assert_eq!(rows.len(), accounts as usize, "torn snapshot: {rows:?}");
+                        assert_eq!(
+                            sum_weights(&schema, &rows),
+                            total,
+                            "torn snapshot sum: {rows:?}"
+                        );
+                        // Locked multi-key read inside one transaction (full
+                        // scans are not plannable under speculative
+                        // placements, so sum point reads instead).
+                        let w = schema.column("weight").unwrap();
+                        let wc = schema.column_set(&["weight"]).unwrap();
+                        let locked_sum = rel
+                            .transaction(|tx| {
+                                let mut sum = 0i64;
+                                for k in 0..accounts {
+                                    let rows = tx.query(&edge(&schema, k, k), wc)?;
+                                    sum += rows[0].get(w).unwrap().as_int().unwrap();
+                                }
+                                Ok(sum)
+                            })
+                            .unwrap();
+                        assert_eq!(locked_sum, total, "torn locked read");
+                    }
+                }));
+            }
+            // Main thread: cycle live migrations under the workload.
+            for (_, d, p) in scannable_candidates().iter().cycle().take(12) {
+                rel.migrate_to(Arc::clone(d), Arc::clone(p)).unwrap();
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            stop.store(true, Ordering::Relaxed);
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(rel.migration_count(), 12);
+            let rows = rel.snapshot().unwrap();
+            assert_eq!(sum_weights(&schema, &rows), total);
+            rel.verify().unwrap();
+        },
+    );
+}
+
+/// Sharded flavor of the torn-read detector: cross-shard transfers race
+/// the shard-by-shard cutover; a fan-out read observing a half-migrated
+/// mix (some shards old, some new, straddling a completed migration)
+/// would tear the sum or the cardinality.
+#[test]
+fn sharded_constant_sum_across_live_migrations() {
+    let chain = scannable_candidates();
+    let (_, d0, p0) = &chain[0];
+    let rel = Arc::new(ShardedRelation::new(Arc::clone(d0), Arc::clone(p0), 4).unwrap());
+    let schema = rel.schema().clone();
+    let accounts = 8i64;
+    let total = 100 * accounts;
+    for k in 0..accounts {
+        assert!(rel
+            .insert(&edge(&schema, k, k), &weight(&schema, 100))
+            .unwrap());
+    }
+
+    let rel2 = rel.clone();
+    with_watchdog(
+        120,
+        "sharded_constant_sum_across_live_migrations",
+        move || {
+            let rel = rel2;
+            let schema = rel.schema().clone();
+            let stop = Arc::new(AtomicBool::new(false));
+            let writers = 4;
+            let readers = 2;
+            let barrier = Arc::new(Barrier::new(writers + readers));
+            let mut handles = Vec::new();
+            for tid in 0..writers as u64 {
+                let rel = rel.clone();
+                let schema = schema.clone();
+                let stop = stop.clone();
+                let barrier = barrier.clone();
+                handles.push(std::thread::spawn(move || {
+                    let mut x = (tid + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                    let mut next = move || {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        x
+                    };
+                    barrier.wait();
+                    let wc = schema.column_set(&["weight"]).unwrap();
+                    let w = schema.column("weight").unwrap();
+                    while !stop.load(Ordering::Relaxed) {
+                        let a = (next() % accounts as u64) as i64;
+                        let mut b = (next() % accounts as u64) as i64;
+                        if a == b {
+                            b = (b + 1) % accounts;
+                        }
+                        let (ka, kb) = (edge(&schema, a, a), edge(&schema, b, b));
+                        rel.transaction(|tx| {
+                            let wa = tx.query(&ka, wc)?[0].get(w).unwrap().as_int().unwrap();
+                            let wb = tx.query(&kb, wc)?[0].get(w).unwrap().as_int().unwrap();
+                            tx.update(&ka, &weight(&schema, wa - 1))?;
+                            tx.update(&kb, &weight(&schema, wb + 1))?;
+                            Ok(())
+                        })
+                        .unwrap();
+                    }
+                }));
+            }
+            for _ in 0..readers {
+                let rel = rel.clone();
+                let schema = schema.clone();
+                let stop = stop.clone();
+                let barrier = barrier.clone();
+                handles.push(std::thread::spawn(move || {
+                    barrier.wait();
+                    while !stop.load(Ordering::Relaxed) {
+                        // Fan-out snapshot read across every shard: must be one
+                        // consistent cut even mid-cutover.
+                        let rows = rel.snapshot().unwrap();
+                        assert_eq!(rows.len(), accounts as usize, "torn fan-out: {rows:?}");
+                        assert_eq!(
+                            sum_weights(&schema, &rows),
+                            total,
+                            "half-migrated mix observed: {rows:?}"
+                        );
+                    }
+                }));
+            }
+            for (_, d, p) in scannable_candidates().iter().cycle().take(8) {
+                rel.migrate_to(Arc::clone(d), Arc::clone(p)).unwrap();
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            stop.store(true, Ordering::Relaxed);
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(rel.migration_count(), 8);
+            let rows = rel.snapshot().unwrap();
+            assert_eq!(sum_weights(&schema, &rows), total);
+            rel.verify().unwrap();
+        },
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Linearizability across Migrate records.
+// ---------------------------------------------------------------------------
+
+/// Recorded histories that span live migrations must stay linearizable:
+/// the `Migrate` record is the identity on the abstract state, so the
+/// checker must find one total order explaining every read on both sides
+/// of each cutover from the same evolving contents.
+#[test]
+fn lincheck_histories_spanning_migrations() {
+    let chain = candidates();
+    for round in 0..12u64 {
+        let (_, d0, p0) = &chain[(round as usize) % chain.len()];
+        let rel = Arc::new(ConcurrentRelation::new(Arc::clone(d0), Arc::clone(p0)).unwrap());
+        let schema = rel.schema().clone();
+        let rec = HistoryRecorder::new();
+        let threads = 3;
+        let barrier = Arc::new(Barrier::new(threads + 1));
+        let handles: Vec<_> = (0..threads as u64)
+            .map(|tid| {
+                let rel = rel.clone();
+                let schema = schema.clone();
+                let rec = rec.clone();
+                let barrier = barrier.clone();
+                std::thread::spawn(move || {
+                    let mut x = (round + 1) * (tid + 1) * 0x9e37_79b9;
+                    let mut next = move || {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        x
+                    };
+                    barrier.wait();
+                    let cols = schema.column_set(&["dst", "weight"]).unwrap();
+                    for _ in 0..5 {
+                        let s = (next() % 2) as i64;
+                        let dd = (next() % 2) as i64;
+                        let w = (next() % 3) as i64;
+                        match next() % 3 {
+                            0 => rec.record(|| {
+                                let r = rel
+                                    .insert(&edge(&schema, s, dd), &weight(&schema, w))
+                                    .unwrap();
+                                (
+                                    (),
+                                    OpRecord::Insert {
+                                        s: edge(&schema, s, dd),
+                                        t: weight(&schema, w),
+                                        result: r,
+                                    },
+                                )
+                            }),
+                            1 => rec.record(|| {
+                                let r = rel.remove(&edge(&schema, s, dd)).unwrap();
+                                (
+                                    (),
+                                    OpRecord::Remove {
+                                        s: edge(&schema, s, dd),
+                                        result: r,
+                                    },
+                                )
+                            }),
+                            _ => rec.record(|| {
+                                let pat = schema.tuple(&[("src", Value::from(s))]).unwrap();
+                                let r = rel.query(&pat, cols).unwrap();
+                                (
+                                    (),
+                                    OpRecord::Query {
+                                        s: pat,
+                                        cols,
+                                        result: r,
+                                    },
+                                )
+                            }),
+                        }
+                    }
+                })
+            })
+            .collect();
+        // Migration thread: two representation swaps interleaved with the
+        // recorded operations, themselves recorded as Migrate events.
+        {
+            let rel = rel.clone();
+            let rec = rec.clone();
+            let barrier = barrier.clone();
+            let chain2 = candidates();
+            let handle = std::thread::spawn(move || {
+                barrier.wait();
+                for i in 1..3 {
+                    let (_, d, p) = &chain2[(round as usize + i) % chain2.len()];
+                    rec.record(|| {
+                        rel.migrate_to(Arc::clone(d), Arc::clone(p)).unwrap();
+                        ((), OpRecord::Migrate)
+                    });
+                }
+            });
+            for h in handles {
+                h.join().unwrap();
+            }
+            handle.join().unwrap();
+        }
+        let history = rec.into_history();
+        assert!(
+            check_linearizable(rel.schema(), &history),
+            "non-linearizable migration history (round {round}): {history:#?}"
+        );
+        rel.verify().unwrap();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot readers pinned across a migration.
+// ---------------------------------------------------------------------------
+
+/// A snapshot reader opened before a migration keeps reading the
+/// representation it captured — the root swap must neither block on it
+/// nor invalidate it — while reads opened after the cutover see the new
+/// representation with identical contents.
+#[test]
+fn snapshot_reader_pinned_across_migration() {
+    let chain = candidates();
+    let (_, d0, p0) = &chain[0];
+    let (_, d1, p1) = &chain[1];
+    let rel = ConcurrentRelation::new(Arc::clone(d0), Arc::clone(p0)).unwrap();
+    let schema = rel.schema().clone();
+    for k in 0..16i64 {
+        assert!(rel
+            .insert(&edge(&schema, k, k), &weight(&schema, k))
+            .unwrap());
+    }
+    rel.read_transaction(|snap| {
+        let before = snap.snapshot().unwrap();
+        assert_eq!(before.len(), 16);
+        // Migrate from another thread while this reader stays open; the
+        // fence drains writers only, so this must not deadlock.
+        std::thread::scope(|s| {
+            s.spawn(|| rel.migrate_to(Arc::clone(d1), Arc::clone(p1)).unwrap())
+                .join()
+                .unwrap();
+        });
+        assert_eq!(rel.migration_count(), 1);
+        // The open reader still serves the pre-migration representation.
+        let after = snap.snapshot().unwrap();
+        assert_eq!(before, after, "pinned reader saw the cutover");
+    });
+    // A fresh read runs against the new representation, same contents.
+    let rows = rel.snapshot().unwrap();
+    assert_eq!(rows.len(), 16);
+    rel.verify().unwrap();
+}
+
+/// Sharded flavor: a fan-out snapshot reader spanning the cutover keeps
+/// its per-shard pinned representations; no half-migrated mix even though
+/// the swap completes underneath it.
+#[test]
+fn sharded_snapshot_reader_pinned_across_migration() {
+    let chain = candidates();
+    let (_, d0, p0) = &chain[0];
+    let (_, d1, p1) = &chain[1];
+    let rel = ShardedRelation::new(Arc::clone(d0), Arc::clone(p0), 4).unwrap();
+    let schema = rel.schema().clone();
+    for k in 0..16i64 {
+        assert!(rel
+            .insert(&edge(&schema, k, k), &weight(&schema, k))
+            .unwrap());
+    }
+    rel.read_transaction(|snap| {
+        let before = snap.snapshot().unwrap();
+        assert_eq!(before.len(), 16);
+        std::thread::scope(|s| {
+            s.spawn(|| rel.migrate_to(Arc::clone(d1), Arc::clone(p1)).unwrap())
+                .join()
+                .unwrap();
+        });
+        assert_eq!(rel.migration_count(), 1);
+        let after = snap.snapshot().unwrap();
+        assert_eq!(before, after, "pinned fan-out reader saw the cutover");
+    });
+    let rows = rel.snapshot().unwrap();
+    assert_eq!(rows.len(), 16);
+    rel.verify().unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// StatsSnapshot agreement with the legacy per-facet accessors.
+// ---------------------------------------------------------------------------
+
+/// Runs the shared mixed workload against either flavor through a common
+/// closure interface, returning the per-category op counts each thread
+/// performed (deterministic, so the unified counters can be checked
+/// exactly).
+fn mixed_workload<R: Sync>(
+    rel: &R,
+    schema: &Arc<relc_spec::RelationSchema>,
+    ops: &(dyn Fn(&R, &Tuple, &Tuple, u64) + Sync),
+) {
+    let threads = 4;
+    let rounds = 50u64;
+    let barrier = Barrier::new(threads);
+    std::thread::scope(|s| {
+        for tid in 0..threads as u64 {
+            let barrier = &barrier;
+            let schema = schema.clone();
+            s.spawn(move || {
+                barrier.wait();
+                for i in 0..rounds {
+                    let k = ((tid * rounds + i) % 16) as i64;
+                    let key = edge(&schema, k, k);
+                    let val = weight(&schema, i as i64);
+                    ops(rel, &key, &val, i);
+                }
+            });
+        }
+    });
+}
+
+/// The unified snapshot's per-relation facets must agree exactly with the
+/// legacy accessors once the workload quiesces, and its process-global
+/// facets must land inside a monotone bracket taken around the call.
+#[test]
+fn stats_snapshot_agrees_with_legacy_accessors() {
+    let chain = candidates();
+    let (_, d0, p0) = &chain[0];
+    let rel = ConcurrentRelation::new(Arc::clone(d0), Arc::clone(p0)).unwrap();
+    let schema = rel.schema().clone();
+    mixed_workload(&rel, &schema, &|rel, key, val, i| match i % 5 {
+        0 => {
+            let _ = rel.insert(key, val).unwrap();
+        }
+        1 => {
+            let _ = rel.remove(key).unwrap();
+        }
+        2 => {
+            let _ = rel
+                .query(key, rel.schema().column_set(&["weight"]).unwrap())
+                .unwrap();
+        }
+        3 => {
+            let _ = rel.contains(key).unwrap();
+        }
+        _ => {
+            let _ = rel.update(key, val).unwrap();
+        }
+    });
+
+    // Quiescent now: per-relation facets are exact.
+    let v1 = rel.version_stats();
+    let r1 = rel.reclamation_stats();
+    let s = rel.stats_snapshot();
+    let v2 = rel.version_stats();
+    let r2 = rel.reclamation_stats();
+
+    assert_eq!(s.locks, rel.lock_stats());
+    assert_eq!(s.len, rel.len());
+    assert_eq!(s.migrations, rel.migration_count());
+    // 4 threads x 50 rounds, i % 5 buckets of 10 each.
+    assert_eq!(s.ops.inserts, 40);
+    assert_eq!(s.ops.removes, 40);
+    assert_eq!(s.ops.queries, 40);
+    assert_eq!(s.ops.contains_checks, 40);
+    assert_eq!(s.ops.updates, 40);
+    assert_eq!(s.ops.total(), 200);
+    // Process-global facets: monotone bracket (other tests in this binary
+    // may churn the global counters concurrently).
+    assert!(v1.created <= s.versions.created && s.versions.created <= v2.created);
+    assert!(v1.retired <= s.versions.retired && s.versions.retired <= v2.retired);
+    assert!(r1.retired <= s.reclamation.retired && s.reclamation.retired <= r2.retired);
+    assert!(r1.reclaimed <= s.reclamation.reclaimed && s.reclamation.reclaimed <= r2.reclaimed);
+}
+
+/// Sharded flavor of the same agreement check: the aggregated lock facet
+/// must equal the legacy aggregation, and the op counters must count each
+/// top-level call once no matter how many shards it fans out to.
+#[test]
+fn sharded_stats_snapshot_agrees_with_legacy_accessors() {
+    let chain = candidates();
+    let (_, d0, p0) = &chain[0];
+    let rel = ShardedRelation::new(Arc::clone(d0), Arc::clone(p0), 4).unwrap();
+    let schema = rel.schema().clone();
+    mixed_workload(&rel, &schema, &|rel, key, val, i| match i % 5 {
+        0 => {
+            let _ = rel.insert(key, val).unwrap();
+        }
+        1 => {
+            let _ = rel.remove(key).unwrap();
+        }
+        2 => {
+            let _ = rel
+                .query(key, rel.schema().column_set(&["weight"]).unwrap())
+                .unwrap();
+        }
+        3 => {
+            let _ = rel.contains(key).unwrap();
+        }
+        _ => {
+            let _ = rel.update(key, val).unwrap();
+        }
+    });
+
+    let v1 = rel.version_stats();
+    let r1 = rel.reclamation_stats();
+    let s = rel.stats_snapshot();
+    let v2 = rel.version_stats();
+    let r2 = rel.reclamation_stats();
+
+    assert_eq!(s.locks, rel.lock_stats());
+    assert_eq!(s.len, rel.len());
+    assert_eq!(s.migrations, rel.migration_count());
+    assert_eq!(s.ops.inserts, 40);
+    assert_eq!(s.ops.removes, 40);
+    assert_eq!(s.ops.queries, 40);
+    assert_eq!(s.ops.contains_checks, 40);
+    assert_eq!(s.ops.updates, 40);
+    assert!(v1.created <= s.versions.created && s.versions.created <= v2.created);
+    assert!(v1.retired <= s.versions.retired && s.versions.retired <= v2.retired);
+    assert!(r1.retired <= s.reclamation.retired && s.reclamation.retired <= r2.retired);
+    assert!(r1.reclaimed <= s.reclamation.reclaimed && s.reclamation.reclaimed <= r2.reclaimed);
+}

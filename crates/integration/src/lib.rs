@@ -4,66 +4,132 @@
 
 use std::sync::Arc;
 
-use relc::decomp::library::{diamond, split, stick};
-use relc::placement::LockPlacement;
-use relc::{ConcurrentRelation, Decomposition};
+use relc::ConcurrentRelation;
+use relc_autotune::candidates::{enumerate, Candidate, PlacementKind, Structure};
 use relc_containers::ContainerKind;
 
 /// Builds a labelled matrix of graph-relation representations covering the
-/// three Fig. 3 structures and all four placement families.
+/// three Fig. 3 structures and all four placement families, expressed
+/// through the autotuner's [`Candidate`] API: a consistency-filtered slice
+/// of the enumerated §6.1 space, plus curated candidates that exercise the
+/// containers outside the autotune menu (splay trees, copy-on-write
+/// arrays) and mixed per-branch container choices.
 pub fn graph_variant_matrix() -> Vec<(String, Arc<ConcurrentRelation>)> {
-    let mut out: Vec<(String, Arc<ConcurrentRelation>)> = Vec::new();
-    let decomps: Vec<(&str, Arc<Decomposition>)> = vec![
-        (
-            "stick(HM,TM)",
-            stick(ContainerKind::HashMap, ContainerKind::TreeMap),
-        ),
-        (
-            "stick(CHM,HM)",
-            stick(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap),
-        ),
-        (
-            "split(CHM,HM)",
-            split(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap),
-        ),
-        (
-            "split(CSLM,TM)",
-            split(ContainerKind::ConcurrentSkipListMap, ContainerKind::TreeMap),
-        ),
-        (
-            "diamond(CHM,HM)",
-            diamond(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap),
-        ),
-        (
-            "diamond(CHM,COW)",
-            diamond(
-                ContainerKind::ConcurrentHashMap,
-                ContainerKind::CopyOnWriteArrayList,
-            ),
-        ),
-        (
-            "stick(CHM,Splay)",
-            stick(
-                ContainerKind::ConcurrentHashMap,
-                ContainerKind::SplayTreeMap,
-            ),
-        ),
-    ];
-    for (dname, d) in decomps {
-        let placements = [
-            ("coarse", LockPlacement::coarse(&d).ok()),
-            ("fine", LockPlacement::fine(&d).ok()),
-            ("striped16", LockPlacement::striped_root(&d, 16).ok()),
-            ("spec8", LockPlacement::speculative(&d, 8).ok()),
-        ];
-        for (pname, p) in placements {
-            if let Some(p) = p {
-                let rel = ConcurrentRelation::new(d.clone(), p).expect("matrix variants are valid");
-                out.push((format!("{dname}/{pname}"), Arc::new(rel)));
+    let mut cands: Vec<Candidate> = Vec::new();
+
+    // One enumerated candidate per (structure, placement family): the
+    // autotuner's own validity- and consistency-filtered space.
+    let space = enumerate(&[16]);
+    for structure in Structure::ALL {
+        for family in ["coarse", "fine", "striped", "speculative"] {
+            if let Some(c) = space.iter().find(|c| {
+                c.structure == structure
+                    && match c.placement {
+                        PlacementKind::Coarse => family == "coarse",
+                        PlacementKind::Fine => family == "fine",
+                        PlacementKind::Striped(_) => family == "striped",
+                        PlacementKind::Speculative(_) => family == "speculative",
+                    }
+            }) {
+                cands.push(c.clone());
             }
         }
     }
-    out
+
+    // Curated candidates beyond the autotune menu: splay trees (§5's
+    // self-adjusting container), copy-on-write arrays, and split/diamond
+    // variants with different containers per branch.
+    let curated = [
+        Candidate {
+            structure: Structure::Stick,
+            top: ContainerKind::HashMap,
+            second: ContainerKind::SplayTreeMap,
+            top2: None,
+            second2: None,
+            placement: PlacementKind::Coarse,
+        },
+        Candidate {
+            structure: Structure::Stick,
+            top: ContainerKind::ConcurrentHashMap,
+            second: ContainerKind::SplayTreeMap,
+            top2: None,
+            second2: None,
+            placement: PlacementKind::Fine,
+        },
+        Candidate {
+            structure: Structure::Stick,
+            top: ContainerKind::ConcurrentHashMap,
+            second: ContainerKind::SplayTreeMap,
+            top2: None,
+            second2: None,
+            placement: PlacementKind::Striped(16),
+        },
+        Candidate {
+            structure: Structure::Stick,
+            top: ContainerKind::ConcurrentSkipListMap,
+            second: ContainerKind::CopyOnWriteArrayList,
+            top2: None,
+            second2: None,
+            placement: PlacementKind::Striped(8),
+        },
+        Candidate {
+            structure: Structure::Split,
+            top: ContainerKind::ConcurrentHashMap,
+            second: ContainerKind::CopyOnWriteArrayList,
+            top2: None,
+            second2: None,
+            placement: PlacementKind::Fine,
+        },
+        Candidate {
+            structure: Structure::Split,
+            top: ContainerKind::ConcurrentSkipListMap,
+            second: ContainerKind::TreeMap,
+            top2: Some(ContainerKind::ConcurrentHashMap),
+            second2: Some(ContainerKind::HashMap),
+            placement: PlacementKind::Striped(16),
+        },
+        Candidate {
+            structure: Structure::Split,
+            top: ContainerKind::ConcurrentHashMap,
+            second: ContainerKind::SplayTreeMap,
+            top2: Some(ContainerKind::ConcurrentHashMap),
+            second2: Some(ContainerKind::CopyOnWriteArrayList),
+            placement: PlacementKind::Fine,
+        },
+        Candidate {
+            structure: Structure::Diamond,
+            top: ContainerKind::ConcurrentHashMap,
+            second: ContainerKind::CopyOnWriteArrayList,
+            top2: None,
+            second2: None,
+            placement: PlacementKind::Fine,
+        },
+        Candidate {
+            structure: Structure::Diamond,
+            top: ContainerKind::ConcurrentHashMap,
+            second: ContainerKind::CopyOnWriteArrayList,
+            top2: None,
+            second2: None,
+            placement: PlacementKind::Striped(16),
+        },
+        Candidate {
+            structure: Structure::Diamond,
+            top: ContainerKind::ConcurrentHashMap,
+            second: ContainerKind::HashMap,
+            top2: Some(ContainerKind::ConcurrentSkipListMap),
+            second2: Some(ContainerKind::TreeMap),
+            placement: PlacementKind::Speculative(8),
+        },
+    ];
+    cands.extend(curated);
+
+    cands
+        .into_iter()
+        .filter_map(|c| {
+            let rel = c.build().ok()?;
+            Some((c.name(), rel))
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -74,8 +140,27 @@ mod tests {
     fn matrix_is_substantial_and_diverse() {
         let m = graph_variant_matrix();
         assert!(m.len() >= 20, "got {}", m.len());
-        assert!(m.iter().any(|(n, _)| n.contains("spec")));
-        assert!(m.iter().any(|(n, _)| n.contains("Splay")));
-        assert!(m.iter().any(|(n, _)| n.contains("COW")));
+        // All three structures and all four placement families appear.
+        for needle in [
+            "stick/",
+            "split/",
+            "diamond/",
+            "coarse",
+            "fine",
+            "striped",
+            "speculative",
+        ] {
+            assert!(
+                m.iter().any(|(n, _)| n.contains(needle)),
+                "no `{needle}` variant in {:?}",
+                m.iter().map(|(n, _)| n).collect::<Vec<_>>()
+            );
+        }
+        // The curated containers beyond the autotune menu survive.
+        assert!(m.iter().any(|(n, _)| n.contains("SplayTreeMap")));
+        assert!(m.iter().any(|(n, _)| n.contains("CopyOnWriteArrayList")));
+        // Mixed per-branch containers are present (Candidate::name marks
+        // them with ` | `).
+        assert!(m.iter().any(|(n, _)| n.contains(" | ")));
     }
 }
