@@ -450,16 +450,42 @@ fn json_str(s: &str) -> String {
 }
 
 /// Rust's shortest-round-trip float formatting, with a decimal point kept
-/// so integers stay re-parseable as floats.
+/// so integers stay re-parseable as floats. Non-finite values have no
+/// JSON number form, so they are encoded as tagged strings instead of
+/// being silently clamped: `"Infinity"`, `"-Infinity"`, and
+/// `"NaN:<16 hex digits>"` carrying the exact bit pattern (sign and
+/// payload survive the round trip). [`Json::as_num`] decodes all three.
 fn json_num(v: f64) -> String {
-    if !v.is_finite() {
-        return "0".to_owned();
+    if v.is_nan() {
+        return format!("\"NaN:{:016x}\"", v.to_bits());
+    }
+    if v.is_infinite() {
+        return if v > 0.0 {
+            "\"Infinity\"".to_owned()
+        } else {
+            "\"-Infinity\"".to_owned()
+        };
     }
     let s = format!("{v}");
     if s.contains('.') || s.contains('e') {
         s
     } else {
         format!("{s}.0")
+    }
+}
+
+/// Decodes the tagged-string forms [`json_num`] uses for values JSON
+/// numbers cannot carry.
+fn non_finite_from_str(s: &str) -> Option<f64> {
+    match s {
+        "Infinity" => Some(f64::INFINITY),
+        "-Infinity" => Some(f64::NEG_INFINITY),
+        _ => s
+            .strip_prefix("NaN:")
+            .filter(|hex| hex.len() == 16)
+            .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+            .map(f64::from_bits)
+            .filter(|v| v.is_nan()),
     }
 }
 
@@ -518,6 +544,8 @@ impl Json {
     fn as_num(&self, what: &str) -> Result<f64, String> {
         match self {
             Json::Num(n) => Ok(*n),
+            Json::Str(s) => non_finite_from_str(s)
+                .ok_or_else(|| format!("{what}: expected number, got string `{s}`")),
             _ => Err(format!("{what}: expected number")),
         }
     }
@@ -662,6 +690,8 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
 
 #[cfg(test)]
 mod tests {
+    use proptest::prelude::*;
+
     use super::*;
     use crate::calibrate::OpMix;
 
@@ -828,6 +858,65 @@ mod tests {
         }
         // And a re-serialization is byte-identical (stable field order).
         assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_non_finite_features() {
+        // A calibration run divided by a zero counter once produced NaN
+        // and infinity features; the old emitter silently clamped them
+        // to 0, corrupting the model on save/load. They must round-trip
+        // bit-exactly now (including NaN payload bits and -0.0's sign).
+        let mut model = fake_model();
+        let f = &mut model.entries[0].features[0];
+        f.ops_per_sec = f64::NAN;
+        f.restart_rate = f64::INFINITY;
+        f.contention = f64::NEG_INFINITY;
+        f.snapshot_read_rate = f64::from_bits(0x7ff8_dead_beef_0001); // payload NaN
+        f.version_churn = f64::MIN_POSITIVE / 2.0; // subnormal
+        f.p50_us = -0.0;
+        let text = model.to_json();
+        let back = CostModel::from_json(&text).unwrap();
+        let g = &back.entries[0].features[0];
+        let bits = |v: f64| v.to_bits();
+        let orig = &model.entries[0].features[0];
+        assert_eq!(bits(g.ops_per_sec), bits(orig.ops_per_sec));
+        assert_eq!(bits(g.restart_rate), bits(orig.restart_rate));
+        assert_eq!(bits(g.contention), bits(orig.contention));
+        assert_eq!(bits(g.snapshot_read_rate), bits(orig.snapshot_read_rate));
+        assert_eq!(bits(g.version_churn), bits(orig.version_churn));
+        assert_eq!(bits(g.p50_us), bits(orig.p50_us));
+        assert_eq!(
+            back.to_json(),
+            text,
+            "re-serialization must be byte-identical"
+        );
+    }
+
+    proptest! {
+        /// Every f64 bit pattern — finite, subnormal, ±0, ±inf, and NaNs
+        /// with arbitrary payloads — survives emit → parse → re-emit with
+        /// identical bits and identical text.
+        #[test]
+        fn json_num_round_trips_every_bit_pattern(
+            bits in prop_oneof![
+                4 => any::<u64>(),
+                // Subnormals of both signs (mantissa-only patterns).
+                2 => 1u64..1 << 52,
+                2 => (1u64..1 << 52).prop_map(|m| m | (1 << 63)),
+                // Non-finite: ±inf and arbitrary-payload NaNs.
+                1 => Just(0x7ff0_0000_0000_0000u64),
+                1 => Just(0xfff0_0000_0000_0000u64),
+                2 => 0x7ff0_0000_0000_0001u64..0x8000_0000_0000_0000,
+                2 => 0xfff0_0000_0000_0001u64..u64::MAX,
+            ]
+        ) {
+            let v = f64::from_bits(bits);
+            let text = json_num(v);
+            let parsed = Json::parse(&text).unwrap();
+            let back = parsed.as_num("v").unwrap();
+            prop_assert_eq!(back.to_bits(), v.to_bits());
+            prop_assert_eq!(json_num(back), text);
+        }
     }
 
     #[test]

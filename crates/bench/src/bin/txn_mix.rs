@@ -31,11 +31,11 @@
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use relc::decomp::library::{diamond, split, stick};
 use relc::placement::LockPlacement;
-use relc::{ConcurrentRelation, Decomposition, ShardedRelation};
+use relc::{ConcurrentRelation, Decomposition, ShardedRelation, WalOptions};
 use relc_bench::{arg_present, arg_value};
 use relc_containers::ContainerKind;
 use relc_spec::{RangePattern, RelationSchema, Tuple, Value};
@@ -819,6 +819,91 @@ fn main() {
             }
         }
         rel.verify().expect("structurally sound after benchmark");
+    }
+
+    // WAL commit workload: the `update_heavy` op stream against a durable
+    // relation, one redo record per committed transaction. The fsync-off
+    // configuration measures the pure logging overhead (encode + append
+    // under the publication window + buffered flush) and is sampled into
+    // the JSON baseline; fsync-on numbers are printed only — real disk
+    // sync latency is too machine-dependent to gate on — together with
+    // the group-commit amortization (commits per fsync).
+    {
+        let mk_durable = |fsync: bool, tag: &str| {
+            let dir =
+                std::env::temp_dir().join(format!("relc-bench-wal-{}-{tag}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            let sp = split(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap);
+            let opts = WalOptions {
+                fsync,
+                group_window: if fsync {
+                    Duration::from_millis(2)
+                } else {
+                    Duration::ZERO
+                },
+            };
+            let (rel, _) = ConcurrentRelation::open_durable(
+                sp.clone(),
+                LockPlacement::fine(&sp).unwrap(),
+                &dir,
+                opts,
+            )
+            .unwrap();
+            let rel = Arc::new(rel);
+            for k in 0..KEY_RANGE {
+                rel.insert(&key(rel.schema(), k, k), &weight(rel.schema(), k))
+                    .unwrap();
+            }
+            (rel, dir)
+        };
+        for &threads in &thread_counts {
+            let (rel, dir) = mk_durable(false, &format!("nosync-{threads}"));
+            let mut s = run_workload(&rel, Workload::UpdateHeavy, threads, ops_per_thread);
+            s.representation = "split/fine/wal".to_owned();
+            s.workload = "wal_commit";
+            let rate = s.total_ops as f64 / s.elapsed_secs.max(1e-9);
+            println!(
+                "{:<24} {:<17} threads={:<2} {:>12.0} ops/s ({} ops in {:.3}s){}",
+                s.representation,
+                s.workload,
+                s.threads,
+                rate,
+                s.total_ops,
+                s.elapsed_secs,
+                latency_suffix(&s),
+            );
+            samples.push(s);
+            rel.verify().expect("structurally sound after benchmark");
+            drop(rel);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        // fsync-on: top thread count only, smaller budget (each commit
+        // waits for a real fsync batch).
+        let threads = *thread_counts.last().expect("nonempty");
+        let (rel, dir) = mk_durable(true, "fsync");
+        let s = run_workload(
+            &rel,
+            Workload::UpdateHeavy,
+            threads,
+            ops_per_thread.min(2_000),
+        );
+        let rate = s.total_ops as f64 / s.elapsed_secs.max(1e-9);
+        let stats = rel.wal_stats().expect("durable relation has WAL stats");
+        println!(
+            "{:<24} {:<17} threads={:<2} {:>12.0} ops/s ({} ops in {:.3}s) \
+             commits/fsync {:.1} (max batch {}) [print-only]",
+            "split/fine/wal",
+            "wal_commit_fsync",
+            threads,
+            rate,
+            s.total_ops,
+            s.elapsed_secs,
+            stats.appends as f64 / stats.fsyncs.max(1) as f64,
+            stats.max_batch,
+        );
+        rel.verify().expect("structurally sound after benchmark");
+        drop(rel);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     // Batch amortization summary: batch_load vs single_load on the same

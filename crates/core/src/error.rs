@@ -33,6 +33,11 @@ pub enum CoreError {
     ///
     /// [`Transaction::abort`]: crate::txn::Transaction::abort
     TransactionAborted(String),
+    /// The write-ahead log or checkpoint failed (I/O error, corrupt
+    /// checkpoint, malformed record where the format demands one). The
+    /// string carries the underlying error's description — `io::Error`
+    /// itself is neither `Clone` nor `Eq`.
+    Durability(String),
 }
 
 impl fmt::Display for CoreError {
@@ -45,6 +50,7 @@ impl fmt::Display for CoreError {
             CoreError::NoValidPlan(m) => write!(f, "no valid query plan: {m}"),
             CoreError::Spec(e) => write!(f, "{e}"),
             CoreError::TransactionAborted(m) => write!(f, "transaction aborted: {m}"),
+            CoreError::Durability(m) => write!(f, "durability: {m}"),
         }
     }
 }

@@ -46,6 +46,7 @@ pub mod relation;
 pub mod shard;
 pub mod txn;
 pub mod viz;
+pub mod wal;
 
 pub use analysis::{Analyzer, AnalyzerOptions, Diagnostic, DiagnosticKind};
 pub use decomp::{Decomposition, DecompositionBuilder, EdgeId, NodeId};
@@ -56,3 +57,4 @@ pub use relation::{ConcurrentRelation, OpCountersSnapshot, SnapshotReader, Stats
 pub use relc_containers::{ReclamationStats, VersionStats};
 pub use shard::{ShardedRelation, ShardedSnapshotReader, ShardedTransaction};
 pub use txn::{Transaction, TxnError};
+pub use wal::{RecoveryReport, WalOptions};

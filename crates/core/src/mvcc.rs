@@ -211,8 +211,22 @@ pub(crate) fn finish_attempt(
     registry: &relc_locks::SnapshotRegistry,
     scopes: &[MvccScope],
 ) {
+    finish_attempt_with(placement, registry, scopes, |_| {});
+}
+
+/// [`finish_attempt`] with a publication hook: `publish` runs with the
+/// freshly committed timestamp immediately after the clock publishes it
+/// and strictly before version retirement. The WAL's commit path appends
+/// its redo record there — still inside the committer's log-order
+/// critical section, so log order equals timestamp order.
+pub(crate) fn finish_attempt_with(
+    placement: &LockPlacement,
+    registry: &relc_locks::SnapshotRegistry,
+    scopes: &[MvccScope],
+    publish: impl FnOnce(u64),
+) {
     let paired: Vec<(&LockPlacement, &MvccScope)> = scopes.iter().map(|s| (placement, s)).collect();
-    finish_attempt_mixed(registry, &paired);
+    finish_attempt_mixed_with(registry, &paired, publish);
 }
 
 /// [`finish_attempt`] for scopes journaled against *different*
@@ -225,6 +239,18 @@ pub(crate) fn finish_attempt_mixed(
     registry: &relc_locks::SnapshotRegistry,
     scopes: &[(&LockPlacement, &MvccScope)],
 ) {
+    finish_attempt_mixed_with(registry, scopes, |_| {});
+}
+
+/// [`finish_attempt_mixed`] with the same publication hook as
+/// [`finish_attempt_with`]: `publish` runs with the committed timestamp
+/// right after publication (and never runs if no scope wrote — a pure
+/// read commits no timestamp and logs nothing).
+pub(crate) fn finish_attempt_mixed_with(
+    registry: &relc_locks::SnapshotRegistry,
+    scopes: &[(&LockPlacement, &MvccScope)],
+    publish: impl FnOnce(u64),
+) {
     let Some(stamp) = scopes
         .iter()
         .find(|(_, s)| !s.journal.is_empty())
@@ -233,7 +259,8 @@ pub(crate) fn finish_attempt_mixed(
         return;
     };
     let clock = relc_locks::commit_clock();
-    clock.commit(stamp);
+    let ts = clock.commit(stamp);
+    publish(ts);
     let min_active = registry.min_active(clock);
     let guard = relc_containers::epoch::pin();
     for (placement, scope) in scopes {

@@ -76,6 +76,10 @@ pub struct ConcurrentRelation {
     ops: OpCounters,
     /// Number of completed [`Self::migrate_to`] cutovers.
     migrations: std::sync::atomic::AtomicU64,
+    /// The write-ahead log, attached by [`Self::open_durable`] after
+    /// recovery. `None` (the default) costs one branch on the commit
+    /// path and nothing else — WAL off is zero-overhead.
+    wal: Option<Arc<crate::wal::Wal>>,
 }
 
 /// One physical representation of a relation: a `(decomposition, lock
@@ -612,6 +616,7 @@ impl ConcurrentRelation {
             snapshots,
             ops: OpCounters::default(),
             migrations: std::sync::atomic::AtomicU64::new(0),
+            wal: None,
         })
     }
 
@@ -827,6 +832,7 @@ impl ConcurrentRelation {
             match f(&mut tx) {
                 Ok(r) if !tx.needs_restart() && Arc::ptr_eq(&self.current_repr(), &repr) => {
                     let delta = tx.len_delta();
+                    let redo = tx.take_redo();
                     let scope = tx.take_mvcc();
                     drop(tx);
                     // The counter moves *before* the locks release: a
@@ -837,12 +843,44 @@ impl ConcurrentRelation {
                     // ordering is what lets a snapshot reader treat
                     // "stamp ≤ snapshot" as "fully committed".
                     self.apply_len_delta(delta);
-                    mvcc::finish_attempt(
-                        &repr.placement,
-                        &self.snapshots,
-                        std::slice::from_ref(&scope),
-                    );
+                    let mut wal_seq = None;
+                    match self.wal.as_ref().filter(|_| !redo.is_empty()) {
+                        Some(wal) => {
+                            // Encode outside the order lock, append inside
+                            // it: the order lock spans timestamp allocation
+                            // and the buffer append, so log order equals
+                            // timestamp order and every flushed prefix is a
+                            // committed prefix. The fsync wait happens off
+                            // the lock path, after release.
+                            let ops_bytes = crate::wal::encode_ops(&redo);
+                            let order = wal.lock_order();
+                            mvcc::finish_attempt_with(
+                                &repr.placement,
+                                &self.snapshots,
+                                std::slice::from_ref(&scope),
+                                |ts| {
+                                    wal_seq = Some(wal.append_commit(ts, false, &ops_bytes));
+                                    wal.raise_applied_through(ts);
+                                    drop(order);
+                                },
+                            );
+                        }
+                        None => mvcc::finish_attempt(
+                            &repr.placement,
+                            &self.snapshots,
+                            std::slice::from_ref(&scope),
+                        ),
+                    }
                     engine.finish();
+                    // Group-commit durability wait, after lock release:
+                    // conflicting transactions append in timestamp order
+                    // under the 2PL locks, and per-log durability is
+                    // prefix-closed, so a durable dependent implies a
+                    // durable antecedent — recovery still yields a
+                    // consistent committed prefix.
+                    if let (Some(wal), Some(seq)) = (self.wal.as_ref(), wal_seq) {
+                        wal.wait_durable(seq)?;
+                    }
                     return Ok(r);
                 }
                 // Ok with a swallowed MustRestart must not commit — the
@@ -1332,24 +1370,7 @@ impl ConcurrentRelation {
         repr: &Repr,
         new_repr: &Arc<Repr>,
     ) -> Result<usize, CoreError> {
-        let snap = relc_locks::commit_clock().now();
-        let guard = relc_containers::epoch::pin();
-        let all = self.schema.columns();
-        // Prefer the MVCC snapshot traversal at the cut; placements that
-        // cannot plan a full scan (e.g. all-speculative roots) fall back
-        // to the direct structural walk, which under the fence reads the
-        // same frozen state.
-        let rows: Vec<Tuple> =
-            match repr.snapshot_query_at(&self.stats, &Tuple::empty(), all, snap, &guard) {
-                Ok(rows) => rows,
-                Err(CoreError::NoValidPlan(_)) => {
-                    instance::abstract_relation(&repr.decomp, &repr.root)
-                        .into_iter()
-                        .collect()
-                }
-                Err(e) => return Err(e),
-            };
-        drop(guard);
+        let rows = self.frozen_rows(repr)?;
 
         // Load through a scratch relation wrapping the new representation
         // so the batched insert path (plans, bulk sweeps, fused container
@@ -1368,6 +1389,7 @@ impl ConcurrentRelation {
             snapshots: Arc::clone(&self.snapshots),
             ops: OpCounters::default(),
             migrations: std::sync::atomic::AtomicU64::new(0),
+            wal: None,
         };
         let n = rows.len();
         const CHUNK: usize = 4096;
@@ -1377,6 +1399,248 @@ impl ConcurrentRelation {
             scratch.insert_all(&batch)?;
         }
         Ok(n)
+    }
+
+    /// Reads the relation's frozen contents at the current clock time.
+    /// Only sound with the migration write-fence held (every writer
+    /// drained): shared by [`Self::load_frozen_contents`] and the
+    /// checkpoint path.
+    pub(crate) fn frozen_rows(&self, repr: &Repr) -> Result<Vec<Tuple>, CoreError> {
+        let snap = relc_locks::commit_clock().now();
+        let guard = relc_containers::epoch::pin();
+        let all = self.schema.columns();
+        // Prefer the MVCC snapshot traversal at the cut; placements that
+        // cannot plan a full scan (e.g. all-speculative roots) fall back
+        // to the direct structural walk, which under the fence reads the
+        // same frozen state.
+        match repr.snapshot_query_at(&self.stats, &Tuple::empty(), all, snap, &guard) {
+            Ok(rows) => Ok(rows),
+            Err(CoreError::NoValidPlan(_)) => {
+                Ok(instance::abstract_relation(&repr.decomp, &repr.root)
+                    .into_iter()
+                    .collect())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Whether this relation logs to a WAL (drives redo capture in the
+    /// transaction layer).
+    pub(crate) fn has_wal(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// The WAL handle (sharding layer and tests).
+    pub(crate) fn wal(&self) -> Option<&Arc<crate::wal::Wal>> {
+        self.wal.as_ref()
+    }
+
+    /// Attaches a WAL. Only valid before the relation is shared (the
+    /// field is plain, not atomic); [`Self::open_durable`] and the
+    /// sharded constructor call this after recovery so the replay itself
+    /// is never re-logged.
+    pub(crate) fn attach_wal(&mut self, wal: Arc<crate::wal::Wal>) {
+        self.wal = Some(wal);
+    }
+
+    /// Opens a **durable** relation backed by a write-ahead log in `dir`
+    /// (created if absent): recovers whatever a previous process left
+    /// there — checkpoint plus log tail, tolerating a torn tail — then
+    /// attaches the log so every subsequent committed transaction
+    /// appends one redo record, group-commit batched. The commit clock
+    /// resumes strictly above the highest replayed stamp.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error, a corrupt checkpoint, or the usual construction
+    /// errors of [`Self::new`].
+    pub fn open_durable(
+        decomp: Arc<Decomposition>,
+        placement: Arc<LockPlacement>,
+        dir: impl AsRef<std::path::Path>,
+        opts: crate::wal::WalOptions,
+    ) -> Result<(Self, crate::wal::RecoveryReport), CoreError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CoreError::Durability(format!("create {}: {e}", dir.display())))?;
+        let wal = crate::wal::Wal::open(dir.join("relation.wal"), dir.join("relation.ckpt"), opts)?;
+        let mut rel = Self::new(decomp, placement)?;
+        let report = rel.recover_from(&wal, None)?;
+        rel.attach_wal(Arc::new(wal));
+        Ok((rel, report))
+    }
+
+    /// Recovery: loads the checkpoint (if any) and replays the log tail.
+    /// The WAL is deliberately *not* attached yet, so neither the bulk
+    /// checkpoint load nor the replayed transactions append records.
+    pub(crate) fn recover_from(
+        &self,
+        wal: &crate::wal::Wal,
+        markers: Option<&std::collections::BTreeSet<u64>>,
+    ) -> Result<crate::wal::RecoveryReport, CoreError> {
+        let mut report = crate::wal::RecoveryReport::default();
+        if let Some((cut_ts, rows)) = wal.read_checkpoint()? {
+            const CHUNK: usize = 4096;
+            for chunk in rows.chunks(CHUNK) {
+                let batch: Vec<(Tuple, Tuple)> =
+                    chunk.iter().map(|t| (t.clone(), Tuple::empty())).collect();
+                self.insert_all(&batch)?;
+            }
+            report.checkpoint_rows = rows.len();
+            report.max_ts = cut_ts;
+            wal.raise_applied_through(cut_ts);
+        }
+        let tail = self.replay_tail(wal, markers)?;
+        report.merge(&tail);
+        Ok(report)
+    }
+
+    /// Replays every log record above the WAL's replay floor through the
+    /// normal transaction path (one transaction per record, preserving
+    /// the original atomicity), raises the floor to the highest replayed
+    /// stamp, and re-seeds the commit clock strictly above it. Keying on
+    /// the floor makes a second pass over the same tail a no-op —
+    /// recovery idempotence (a crash *during* recovery simply re-runs
+    /// it).
+    pub(crate) fn replay_tail(
+        &self,
+        wal: &crate::wal::Wal,
+        markers: Option<&std::collections::BTreeSet<u64>>,
+    ) -> Result<crate::wal::RecoveryReport, CoreError> {
+        use crate::txn::RedoOp;
+        let (mut records, torn_tail) = wal.read_records()?;
+        records.sort_by_key(crate::wal::WalRecord::ts);
+        let floor = wal.applied_through();
+        let mut report = crate::wal::RecoveryReport {
+            torn_tail,
+            max_ts: floor,
+            ..Default::default()
+        };
+        for rec in records {
+            let crate::wal::WalRecord::Commit {
+                ts,
+                cross_shard,
+                ops,
+            } = rec
+            else {
+                continue;
+            };
+            if ts <= floor {
+                continue;
+            }
+            // A cross-shard record without its durable marker is the
+            // prefix of an atomic transaction whose commit point (the
+            // marker fsync) never happened: skip it on every shard —
+            // atomic abort.
+            if cross_shard && markers.is_some_and(|m| !m.contains(&ts)) {
+                continue;
+            }
+            self.transaction(|tx| {
+                for op in &ops {
+                    match op {
+                        RedoOp::Insert(s, t) => {
+                            tx.insert(s, t)?;
+                        }
+                        RedoOp::Remove(key) => {
+                            tx.remove(key)?;
+                        }
+                        RedoOp::Update(s, t) => {
+                            tx.update(s, t)?;
+                        }
+                    }
+                }
+                Ok(())
+            })?;
+            report.replayed += 1;
+            report.max_ts = report.max_ts.max(ts);
+        }
+        wal.raise_applied_through(report.max_ts);
+        relc_locks::commit_clock().advance_to(report.max_ts);
+        Ok(report)
+    }
+
+    /// Re-runs log replay on a live durable relation — the crash-during-
+    /// recovery path, exposed for differential testing: every record at
+    /// or below the replay floor (everything already in memory) is
+    /// skipped, so calling this right after [`Self::open_durable`] — or
+    /// twice in a row — changes nothing.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Durability`] if the relation has no WAL, or any
+    /// replay error.
+    pub fn replay_log(&self) -> Result<crate::wal::RecoveryReport, CoreError> {
+        let wal = self
+            .wal
+            .as_ref()
+            .ok_or_else(|| CoreError::Durability("relation has no write-ahead log".into()))?;
+        self.replay_tail(wal, None)
+    }
+
+    /// Checkpoints the relation: freezes it behind the migration
+    /// write-fence (every writer drained — one MVCC cut, the same
+    /// machinery as [`Self::migrate_to`]), snapshots the contents to the
+    /// checkpoint sidecar (tmp + fsync + rename), and truncates the log.
+    /// Committers that were still waiting on a group fsync are released:
+    /// the checkpoint's cut covers their in-memory (published-
+    /// before-unlock) effects, so the checkpoint itself is their
+    /// durability. Returns the number of rows checkpointed.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Durability`] if the relation has no WAL or on any
+    /// I/O error; the relation's in-memory state is unaffected either
+    /// way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called from inside a transaction on this relation (the
+    /// same re-entrancy diagnosis as every other entry point).
+    pub fn checkpoint(&self) -> Result<usize, CoreError> {
+        let wal = self
+            .wal
+            .as_ref()
+            .ok_or_else(|| CoreError::Durability("relation has no write-ahead log".into()))?;
+        let _guard = ActiveTxnGuard::enter(self.id);
+        let mut engine: TwoPhaseEngine<LockToken> = TwoPhaseEngine::new(Arc::clone(&self.stats));
+        let mut backoff = Backoff::new();
+        loop {
+            let repr = self.current_repr();
+            let fence = {
+                let mut exec = Executor::new(&repr.decomp, &repr.placement, &mut engine);
+                exec.always_sort_locks = self.always_sort_locks.load(Ordering::Relaxed);
+                exec.acquire_migration_fence(&repr.root)
+            };
+            if fence.is_err() {
+                engine.rollback();
+                backoff.wait();
+                continue;
+            }
+            // Fence held: no writer in flight, none can start, and every
+            // committed stamp is ≤ now() — the cut covers exactly the
+            // committed history.
+            let cut_ts = relc_locks::commit_clock().now();
+            let result = self
+                .frozen_rows(&repr)
+                .and_then(|rows| wal.checkpoint(cut_ts, &rows).map(|()| rows.len()));
+            match result {
+                Ok(n) => {
+                    engine.finish();
+                    return Ok(n);
+                }
+                Err(e) => {
+                    engine.rollback();
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Group-commit batching counters of this relation's WAL (`None`
+    /// without one): appends, flushes, fsyncs, and the largest
+    /// commits-per-fsync batch.
+    pub fn wal_stats(&self) -> Option<relc_locks::GroupCommitStats> {
+        self.wal.as_ref().map(|w| w.stats())
     }
 }
 

@@ -95,7 +95,8 @@ use crate::exec::{assemble_range_output, Executor};
 use crate::mvcc::{self, MvccScope};
 use crate::placement::{LockPlacement, LockToken};
 use crate::relation::{ActiveTxnGuard, ConcurrentRelation, OpCounters, Repr, StatsSnapshot};
-use crate::txn::{Transaction, TxnError};
+use crate::txn::{RedoOp, Transaction, TxnError};
+use crate::wal::{self, RecoveryReport, Wal, WalOptions, WalRecord};
 
 /// The router's default seed. Any value works — what matters is that the
 /// routing hash stream is not the stripe/bucket stream (see the module
@@ -749,13 +750,97 @@ impl ShardedRelation {
                     // stamp per attempt ⇒ readers see the cross-shard
                     // transaction atomically), then release shard by
                     // shard.
-                    let (touched, scopes) = stx.into_touched(false);
+                    let (touched, scopes, redos) = stx.into_touched(false);
                     for &(i, delta) in &touched {
                         self.shards[i].apply_len_delta(delta);
                     }
-                    Self::stamp_scopes(&reprs, self.shards[0].snapshots(), &touched, &scopes);
-                    for (i, _) in touched {
+                    // Per-shard WAL records for every writing shard. The
+                    // shards of one relation either all have a WAL or
+                    // none does.
+                    let writers: Vec<(usize, Vec<u8>)> = if self.shards[0].has_wal() {
+                        touched
+                            .iter()
+                            .zip(&redos)
+                            .filter(|(_, redo)| !redo.is_empty())
+                            .map(|(&(i, _), redo)| (i, wal::encode_ops(redo)))
+                            .collect()
+                    } else {
+                        Vec::new()
+                    };
+                    if writers.is_empty() {
+                        Self::stamp_scopes(&reprs, self.shards[0].snapshots(), &touched, &scopes);
+                        for (i, _) in touched {
+                            engines[i].finish();
+                        }
+                        return Ok(r);
+                    }
+                    // Writes on >1 shard need the marker protocol: each
+                    // data record is flagged, and recovery applies them
+                    // only if the shared timestamp's marker is durable.
+                    let cross = writers.len() > 1;
+                    // Every involved log's order lock, ascending shard
+                    // order (the same global order every committer uses,
+                    // so no deadlock), held across the one shared
+                    // clock.commit and all appends: each log's record
+                    // sequence stays in timestamp order.
+                    let order_guards: Vec<_> = writers
+                        .iter()
+                        .map(|&(i, _)| self.shards[i].wal().expect("checked").lock_order())
+                        .collect();
+                    let mut seqs: Vec<(usize, u64)> = Vec::new();
+                    let mut committed_ts = 0u64;
+                    Self::stamp_scopes_with(
+                        &reprs,
+                        self.shards[0].snapshots(),
+                        &touched,
+                        &scopes,
+                        |ts| {
+                            for (i, bytes) in &writers {
+                                let shard_wal = self.shards[*i].wal().expect("checked");
+                                seqs.push((*i, shard_wal.append_commit(ts, cross, bytes)));
+                                shard_wal.raise_applied_through(ts);
+                            }
+                            committed_ts = ts;
+                            drop(order_guards);
+                        },
+                    );
+                    // Multi-shard attempts wait for durability *before*
+                    // any lock releases: a conflicting transaction must
+                    // not commit (and become durable in its own log) on
+                    // top of effects whose records could still vanish in
+                    // a crash — that closes the cross-log read-dependency
+                    // anomaly. The marker appends last, strictly after
+                    // every data record is durable: a durable marker
+                    // *implies* durable data records on every shard
+                    // (atomic commit), an absent marker aborts them all
+                    // (atomic abort).
+                    let durability: Result<(), CoreError> = if touched.len() > 1 {
+                        (|| {
+                            for &(i, seq) in &seqs {
+                                self.shards[i].wal().expect("checked").wait_durable(seq)?;
+                            }
+                            if cross {
+                                let w0 = self.shards[0].wal().expect("checked");
+                                let mseq = w0.append_marker(committed_ts);
+                                w0.wait_durable(mseq)?;
+                            }
+                            Ok(())
+                        })()
+                    } else {
+                        Ok(())
+                    };
+                    for &(i, _) in &touched {
                         engines[i].finish();
+                    }
+                    durability?;
+                    if touched.len() == 1 {
+                        // Single-shard attempts wait off the lock path,
+                        // exactly like the single-instance commit: per-log
+                        // durability is prefix-closed, so a durable
+                        // dependent implies its durable antecedent.
+                        for &(i, seq) in &seqs {
+                            self.shards[i].wal().expect("checked").wait_durable(seq)?;
+                        }
                     }
                     return Ok(r);
                 }
@@ -764,7 +849,7 @@ impl ShardedRelation {
                 // an attempt whose representation set was swapped out by
                 // a live migration mid-flight.
                 Ok(_) | Err(TxnError::Restart(_)) => {
-                    let (touched, scopes) = stx.into_touched(true);
+                    let (touched, scopes, _) = stx.into_touched(true);
                     Self::stamp_scopes(&reprs, self.shards[0].snapshots(), &touched, &scopes);
                     for (i, _) in touched {
                         engines[i].rollback();
@@ -772,7 +857,7 @@ impl ShardedRelation {
                     backoff.wait();
                 }
                 Err(TxnError::Core(e)) => {
-                    let (touched, scopes) = stx.into_touched(true);
+                    let (touched, scopes, _) = stx.into_touched(true);
                     Self::stamp_scopes(&reprs, self.shards[0].snapshots(), &touched, &scopes);
                     let user = matches!(e, CoreError::TransactionAborted(_));
                     for (i, _) in touched {
@@ -804,6 +889,194 @@ impl ShardedRelation {
             .map(|(&(i, _), scope)| (&*reprs[i].placement, scope))
             .collect();
         mvcc::finish_attempt_mixed(registry, &paired);
+    }
+
+    /// [`Self::stamp_scopes`] with a publish hook: `publish(ts)` runs at
+    /// the commit timestamp, after the stamp is written into every
+    /// journaled version but before the timestamp becomes visible to
+    /// readers — the window where the WAL record must be appended so log
+    /// order matches timestamp order.
+    fn stamp_scopes_with(
+        reprs: &[Arc<Repr>],
+        registry: &relc_locks::SnapshotRegistry,
+        touched: &[(usize, isize)],
+        scopes: &[MvccScope],
+        publish: impl FnOnce(u64),
+    ) {
+        let paired: Vec<(&LockPlacement, &MvccScope)> = touched
+            .iter()
+            .zip(scopes)
+            .map(|(&(i, _), scope)| (&*reprs[i].placement, scope))
+            .collect();
+        mvcc::finish_attempt_mixed_with(registry, &paired, publish);
+    }
+
+    /// Opens a **durable** sharded relation backed by one write-ahead log
+    /// per shard in `dir` (created if absent): `shard-<i>.wal` /
+    /// `shard-<i>.ckpt`. Recovery replays each shard's checkpoint and log
+    /// tail; a record flagged cross-shard applies only if shard 0's log
+    /// holds a durable commit **marker** for its timestamp, so a crash
+    /// between two shards' fsyncs aborts the whole transaction on every
+    /// shard (atomic cross-shard recovery). The commit clock resumes
+    /// strictly above the highest replayed stamp of any shard.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error, a corrupt checkpoint, or the usual construction
+    /// errors of [`Self::new`].
+    pub fn open_durable(
+        decomp: Arc<Decomposition>,
+        placement: Arc<LockPlacement>,
+        shards: usize,
+        dir: impl AsRef<std::path::Path>,
+        opts: WalOptions,
+    ) -> Result<(Self, RecoveryReport), CoreError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CoreError::Durability(format!("create {}: {e}", dir.display())))?;
+        let mut rel = Self::with_seed(decomp, placement, shards, DEFAULT_ROUTER_SEED)?;
+        let wals: Vec<Wal> = (0..rel.shards.len())
+            .map(|i| {
+                Wal::open(
+                    dir.join(format!("shard-{i}.wal")),
+                    dir.join(format!("shard-{i}.ckpt")),
+                    opts,
+                )
+            })
+            .collect::<Result<_, _>>()?;
+        // The marker set lives in shard 0's log: a cross-shard record on
+        // any shard commits iff its timestamp's marker reached disk.
+        let markers: BTreeSet<u64> = wals[0]
+            .read_records()?
+            .0
+            .iter()
+            .filter_map(|r| match r {
+                WalRecord::Marker { ts } => Some(*ts),
+                WalRecord::Commit { .. } => None,
+            })
+            .collect();
+        let mut report = RecoveryReport::default();
+        for (shard, shard_wal) in rel.shards.iter().zip(&wals) {
+            let shard_report = shard.recover_from(shard_wal, Some(&markers))?;
+            report.merge(&shard_report);
+        }
+        for (shard, shard_wal) in rel.shards.iter_mut().zip(wals) {
+            shard.attach_wal(Arc::new(shard_wal));
+        }
+        Ok((rel, report))
+    }
+
+    /// Checkpoints every shard at **one** MVCC cut: acquires all shards'
+    /// migration write fences in ascending order (the same frozen state
+    /// [`Self::migrate_to`] snapshots), writes each shard's frozen rows to
+    /// its checkpoint sidecar at a single cut timestamp, then truncates
+    /// the logs — shard 0's **last**, because it holds the cross-shard
+    /// commit markers: a crash after truncating shard 0 but before shard
+    /// `i > 0` would otherwise strand cross-shard records whose markers
+    /// are gone, silently aborting committed transactions. With the
+    /// marker log truncated last, any stranded cross-shard record's
+    /// marker is still present (or the record's shard was already
+    /// checkpointed past it). Returns the total rows snapshotted.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Durability`] if the relation was not opened with
+    /// [`Self::open_durable`], or any checkpoint I/O error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called from inside a transaction on this relation.
+    pub fn checkpoint(&self) -> Result<usize, CoreError> {
+        if !self.shards[0].has_wal() {
+            return Err(CoreError::Durability(
+                "relation has no write-ahead log".into(),
+            ));
+        }
+        let _guards: Vec<ActiveTxnGuard> = self
+            .shards
+            .iter()
+            .map(|s| ActiveTxnGuard::enter(s.relation_id()))
+            .collect();
+        let mut engines: Vec<TwoPhaseEngine<LockToken>> = self
+            .shards
+            .iter()
+            .map(|s| TwoPhaseEngine::new(Arc::clone(s.stats_arc())))
+            .collect();
+        let mut backoff = Backoff::new();
+        loop {
+            let reprs: Vec<Arc<Repr>> = self.shards.iter().map(|s| s.current_repr()).collect();
+            let mut fenced = true;
+            for i in 0..self.shards.len() {
+                let fence = {
+                    let mut exec =
+                        Executor::new(&reprs[i].decomp, &reprs[i].placement, &mut engines[i]);
+                    exec.always_sort_locks = self.shards[i].always_sort_locks();
+                    exec.acquire_migration_fence(&reprs[i].root)
+                };
+                if fence.is_err() {
+                    fenced = false;
+                    break;
+                }
+            }
+            if !fenced {
+                for engine in &mut engines {
+                    engine.rollback();
+                }
+                backoff.wait();
+                continue;
+            }
+            // Every fence held: one quiescent cut across all shards.
+            let cut_ts = relc_locks::commit_clock().now();
+            let result = (|| {
+                let mut total = 0usize;
+                // Phase 1: every shard's snapshot sidecar reaches disk
+                // before any log shrinks — a crash mid-phase leaves all
+                // logs intact and recovery keyed on each sidecar's floor.
+                for (shard, repr) in self.shards.iter().zip(&reprs) {
+                    let rows = shard.frozen_rows(repr)?;
+                    let shard_wal = shard.wal().expect("checked");
+                    shard_wal.write_snapshot(cut_ts, &rows)?;
+                    total += rows.len();
+                }
+                // Phase 2: truncate, shard 0 (the marker log) last.
+                for shard in self.shards.iter().rev() {
+                    shard.wal().expect("checked").truncate_log()?;
+                }
+                Ok(total)
+            })();
+            match result {
+                Ok(total) => {
+                    for engine in &mut engines {
+                        engine.finish();
+                    }
+                    return Ok(total);
+                }
+                Err(e) => {
+                    for engine in &mut engines {
+                        engine.rollback();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Aggregated group-commit statistics across all shards' logs
+    /// (appends/flushes/fsyncs summed, `max_batch` the maximum), or
+    /// `None` if the relation has no WAL.
+    pub fn wal_stats(&self) -> Option<relc_locks::GroupCommitStats> {
+        if !self.shards[0].has_wal() {
+            return None;
+        }
+        let mut agg = relc_locks::GroupCommitStats::default();
+        for shard in &self.shards {
+            let s = shard.wal_stats()?;
+            agg.appends += s.appends;
+            agg.flushes += s.flushes;
+            agg.fsyncs += s.fsyncs;
+            agg.max_batch = agg.max_batch.max(s.max_batch);
+        }
+        Some(agg)
     }
 }
 
@@ -909,22 +1182,29 @@ impl<'t> ShardedTransaction<'t> {
     /// undo segment (all while every lock of every shard is still held),
     /// and returns the touched shard indices with their len deltas plus
     /// every touched shard's MVCC scope (taken *after* any rollback, so
-    /// compensation versions are journaled too). The caller stamps the
-    /// scopes through [`mvcc::finish_attempt`] and releases the engines
-    /// afterwards.
-    fn into_touched(self, rollback: bool) -> (Vec<(usize, isize)>, Vec<MvccScope>) {
+    /// compensation versions are journaled too) and its redo stream
+    /// (empty unless the shard has a WAL; rollback clears it). The
+    /// caller stamps the scopes through [`mvcc::finish_attempt`] and
+    /// releases the engines afterwards.
+    #[allow(clippy::type_complexity)]
+    fn into_touched(
+        self,
+        rollback: bool,
+    ) -> (Vec<(usize, isize)>, Vec<MvccScope>, Vec<Vec<RedoOp>>) {
         let mut touched = Vec::new();
         let mut scopes = Vec::new();
+        let mut redos = Vec::new();
         for (i, slot) in self.open.into_iter().enumerate() {
             if let Some(mut tx) = slot {
                 if rollback {
                     tx.rollback_effects();
                 }
                 touched.push((i, tx.len_delta()));
+                redos.push(tx.take_redo());
                 scopes.push(tx.take_mvcc());
             }
         }
-        (touched, scopes)
+        (touched, scopes, redos)
     }
 
     /// `insert r s t` (§2) under this transaction's lock scope, routed to

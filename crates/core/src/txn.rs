@@ -125,6 +125,21 @@ impl From<SpecError> for TxnError {
     }
 }
 
+/// One applied operation, recorded as its API arguments for the
+/// write-ahead log's redo stream. Captured only when the relation has a
+/// WAL attached (see [`Transaction::new`]); replay re-runs the same calls
+/// through a fresh transaction, so the redo record needs nothing beyond
+/// what the caller originally passed.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum RedoOp {
+    /// `insert r s t` that actually inserted.
+    Insert(Tuple, Tuple),
+    /// `remove r s` that actually removed.
+    Remove(Tuple),
+    /// `update r s t` that found (and replaced) a tuple.
+    Update(Tuple, Tuple),
+}
+
 /// A structural inverse recorded for one applied operation.
 enum UndoOp {
     /// Inverse of an insert: unlink the tuple.
@@ -158,6 +173,13 @@ pub struct Transaction<'t> {
     repr: &'t Repr,
     exec: Executor<'t>,
     undo: Vec<UndoOp>,
+    /// Applied operations in order, for the WAL's redo record. Empty
+    /// (never pushed, no allocation) unless the relation has a WAL.
+    redo: Vec<RedoOp>,
+    /// Whether to capture [`RedoOp`]s — true exactly when the relation
+    /// has a WAL attached. Unlike undo, redo is captured even in
+    /// single-shot mode: the record is what recovery replays.
+    log_redo: bool,
     len_delta: isize,
     single_shot: bool,
     saw_restart: bool,
@@ -175,6 +197,8 @@ impl<'t> Transaction<'t> {
             repr,
             exec,
             undo: Vec::new(),
+            redo: Vec::new(),
+            log_redo: rel.has_wal(),
             len_delta: 0,
             single_shot,
             saw_restart: false,
@@ -240,6 +264,12 @@ impl<'t> Transaction<'t> {
         self.len_delta
     }
 
+    /// Takes the attempt's applied-operation stream for the WAL's redo
+    /// record (empty when the relation has no WAL, or nothing applied).
+    pub(crate) fn take_redo(&mut self) -> Vec<RedoOp> {
+        std::mem::take(&mut self.redo)
+    }
+
     /// Takes the attempt's MVCC state (commit stamp + write journal);
     /// the commit/rollback paths stamp and retire it before the engine
     /// releases any lock.
@@ -289,6 +319,9 @@ impl<'t> Transaction<'t> {
             self.len_delta += 1;
             if let Some(plan) = inverse {
                 self.undo.push(UndoOp::Unlink { plan, tuple: x });
+            }
+            if self.log_redo {
+                self.redo.push(RedoOp::Insert(s.clone(), t.clone()));
             }
         }
         Ok(inserted)
@@ -382,6 +415,10 @@ impl<'t> Transaction<'t> {
                 plan: Arc::clone(&plan.inverse),
                 tuple: std::mem::replace(&mut xs[i], Tuple::empty()),
             });
+            if self.log_redo {
+                let (s, t) = &rows[i];
+                self.redo.push(RedoOp::Insert(s.clone(), t.clone()));
+            }
         }
         self.track(res)?;
         Ok(results)
@@ -429,6 +466,9 @@ impl<'t> Transaction<'t> {
                 plan: Arc::clone(&plan.reinsert),
                 tuple: t,
             });
+            if self.log_redo {
+                self.redo.push(RedoOp::Remove(keys[i].clone()));
+            }
         }
         self.track(res)?;
         Ok(results)
@@ -479,6 +519,9 @@ impl<'t> Transaction<'t> {
                     tuple: u.clone(),
                 });
             }
+            if self.log_redo {
+                self.redo.push(RedoOp::Remove(s.clone()));
+            }
         }
         Ok(removed)
     }
@@ -521,6 +564,9 @@ impl<'t> Transaction<'t> {
                         new: old.override_with(t),
                     });
                 }
+                if self.log_redo {
+                    self.redo.push(RedoOp::Update(s.clone(), t.clone()));
+                }
                 Ok(Some(old))
             }
             UpdatePlan::General(gp) => {
@@ -555,6 +601,9 @@ impl<'t> Transaction<'t> {
                 );
                 if let Some(plan) = inverse_new {
                     self.undo.push(UndoOp::Unlink { plan, tuple: new });
+                }
+                if self.log_redo {
+                    self.redo.push(RedoOp::Update(s.clone(), t.clone()));
                 }
                 Ok(Some(old))
             }
@@ -698,6 +747,7 @@ impl<'t> Transaction<'t> {
             }
         }
         self.len_delta = 0;
+        self.redo.clear();
     }
 }
 

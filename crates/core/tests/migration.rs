@@ -697,3 +697,112 @@ fn sharded_stats_snapshot_agrees_with_legacy_accessors() {
     assert!(r1.retired <= s.reclamation.retired && s.reclamation.retired <= r2.retired);
     assert!(r1.reclaimed <= s.reclamation.reclaimed && s.reclamation.reclaimed <= r2.reclaimed);
 }
+
+/// Regression: the snapshot-reader registration window against the
+/// shard-by-shard cutover. A fan-out reader captures per-shard
+/// representation pointers, registers its snapshot, then re-validates
+/// the migration epoch and every captured pointer; if that window were
+/// racy, a reader opening *during* the swap could pair pre-cutover
+/// trees on some shards with post-cutover trees on others and observe a
+/// torn cut. Hammer it: readers open continuously while a migrator
+/// flips representations and a writer moves weight between shards under
+/// a constant-sum invariant — every snapshot must be complete and
+/// sum-exact.
+#[test]
+fn sharded_readers_racing_repeated_cutover_see_single_cut() {
+    with_watchdog(120, "sharded cutover race", || {
+        let chain = scannable_candidates();
+        let (_, d0, p0) = &chain[0];
+        let rel = Arc::new(ShardedRelation::new(Arc::clone(d0), Arc::clone(p0), 4).unwrap());
+        let schema = rel.schema().clone();
+        let n = 16i64;
+        for k in 0..n {
+            assert!(rel
+                .insert(&edge(&schema, k, k), &weight(&schema, k))
+                .unwrap());
+        }
+        let total: i64 = (0..n).sum();
+        let stop = Arc::new(AtomicBool::new(false));
+        let barrier = Arc::new(Barrier::new(4));
+        std::thread::scope(|s| {
+            // Two reader threads: open a fan-out snapshot per iteration —
+            // each open races the cutover's register/re-validate window
+            // afresh — and check the cut is whole and sum-constant.
+            for _ in 0..2 {
+                let rel = Arc::clone(&rel);
+                let schema = schema.clone();
+                let stop = Arc::clone(&stop);
+                let barrier = Arc::clone(&barrier);
+                s.spawn(move || {
+                    barrier.wait();
+                    while !stop.load(Ordering::Relaxed) {
+                        rel.read_transaction(|snap| {
+                            let rows = snap.snapshot().unwrap();
+                            assert_eq!(rows.len() as i64, n, "torn cut: lost/duplicated rows");
+                            assert_eq!(
+                                sum_weights(&schema, &rows),
+                                total,
+                                "torn cut: snapshot mixes shard states"
+                            );
+                        });
+                    }
+                });
+            }
+            // Writer: cross-shard weight transfers (sum-preserving).
+            {
+                let rel = Arc::clone(&rel);
+                let schema = schema.clone();
+                let stop = Arc::clone(&stop);
+                let barrier = Arc::clone(&barrier);
+                s.spawn(move || {
+                    let mut x = 0x9e37_79b9_u64;
+                    let mut next = move || {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        x
+                    };
+                    barrier.wait();
+                    let wcol = schema.column_set(&["weight"]).unwrap();
+                    while !stop.load(Ordering::Relaxed) {
+                        let a = (next() % n as u64) as i64;
+                        let b = (next() % n as u64) as i64;
+                        if a == b {
+                            continue;
+                        }
+                        rel.transaction(|tx| {
+                            let wa = tx.query(&edge(&schema, a, a), wcol)?[0]
+                                .get(schema.column("weight").unwrap())
+                                .and_then(|v| v.as_int())
+                                .unwrap();
+                            let wb = tx.query(&edge(&schema, b, b), wcol)?[0]
+                                .get(schema.column("weight").unwrap())
+                                .and_then(|v| v.as_int())
+                                .unwrap();
+                            tx.update(&edge(&schema, a, a), &weight(&schema, wa - 1))?;
+                            tx.update(&edge(&schema, b, b), &weight(&schema, wb + 1))?;
+                            Ok(())
+                        })
+                        .unwrap();
+                    }
+                });
+            }
+            // Migrator: a dozen back-to-back cutovers, then stop the run.
+            let stop = Arc::clone(&stop);
+            let barrier = Arc::clone(&barrier);
+            let rel2 = Arc::clone(&rel);
+            s.spawn(move || {
+                barrier.wait();
+                for i in 1..13usize {
+                    let (_, d, p) = &chain[i % chain.len()];
+                    rel2.migrate_to(Arc::clone(d), Arc::clone(p)).unwrap();
+                }
+                stop.store(true, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(rel.migration_count(), 12);
+        let rows = rel.snapshot().unwrap();
+        assert_eq!(sum_weights(&schema, &rows), total);
+        rel.verify().unwrap();
+    });
+}

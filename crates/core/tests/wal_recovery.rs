@@ -1,0 +1,644 @@
+//! Durability battery: kill-and-reopen crash simulation for the
+//! write-ahead log. Crashes are simulated at the file level — run a
+//! committed workload against a durable relation (recording a
+//! per-commit oracle), copy the log directory, mutilate the copy the
+//! way a crash would (truncate the log at arbitrary byte offsets, leave
+//! a checkpoint temp file behind, rename a checkpoint without
+//! truncating the log, drop a cross-shard commit marker), then recover
+//! a fresh relation from the copy and check it equals the
+//! committed-prefix oracle.
+//!
+//! Also covered: recovery idempotence (replay-twice is a no-op keyed on
+//! the replay floor), the commit clock resuming strictly above the
+//! highest replayed stamp, and the group-commit acceptance bound
+//! (>= 2 commits per fsync under a concurrent commit workload).
+
+use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Barrier, Mutex, MutexGuard};
+use std::time::Duration;
+
+use relc::decomp::library::split;
+use relc::placement::LockPlacement;
+use relc::{ConcurrentRelation, ShardedRelation, WalOptions};
+use relc_containers::ContainerKind;
+use relc_spec::{Tuple, Value};
+
+/// The commit clock is process-global; every test here serializes so
+/// clock-resumption assertions are not perturbed by parallel tests.
+fn serialize() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Framed size of a cross-shard commit marker record:
+/// magic(1) + kind(1) + len(4) + checksum(8) + ts payload(8).
+const MARKER_FRAME_LEN: u64 = 22;
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("relc-recovery-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn copy_dir(src: &Path, dst: &Path) {
+    let _ = std::fs::remove_dir_all(dst);
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+    }
+}
+
+fn graph() -> (
+    Arc<relc::Decomposition>,
+    Arc<relc::placement::LockPlacement>,
+) {
+    let d = split(ContainerKind::ConcurrentHashMap, ContainerKind::HashMap);
+    let p = LockPlacement::fine(&d).unwrap();
+    (d, p)
+}
+
+fn key(rel: &ConcurrentRelation, s: i64, d: i64) -> Tuple {
+    rel.schema()
+        .tuple(&[("src", Value::from(s)), ("dst", Value::from(d))])
+        .unwrap()
+}
+
+fn payload(rel: &ConcurrentRelation, w: i64) -> Tuple {
+    rel.schema().tuple(&[("weight", Value::from(w))]).unwrap()
+}
+
+/// Full contents as a set of complete rows.
+fn dump(rel: &ConcurrentRelation) -> HashSet<Tuple> {
+    let all = rel.schema().columns();
+    rel.query(&Tuple::empty(), all)
+        .unwrap()
+        .into_iter()
+        .collect()
+}
+
+fn dump_sharded(rel: &ShardedRelation) -> HashSet<Tuple> {
+    let all = rel.schema().columns();
+    rel.query(&Tuple::empty(), all)
+        .unwrap()
+        .into_iter()
+        .collect()
+}
+
+/// Materializes a `(src, dst) -> weight` oracle into full rows.
+fn oracle_rows(rel: &ConcurrentRelation, m: &HashMap<(i64, i64), i64>) -> HashSet<Tuple> {
+    m.iter()
+        .map(|(&(s, d), &w)| {
+            rel.schema()
+                .tuple(&[
+                    ("src", Value::from(s)),
+                    ("dst", Value::from(d)),
+                    ("weight", Value::from(w)),
+                ])
+                .unwrap()
+        })
+        .collect()
+}
+
+struct XorShift(u64);
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+/// Runs `commits` single-threaded committed transactions (insert /
+/// update / remove over a small key space), returning the oracle state
+/// *after each commit* and the log file length after each commit (the
+/// exact durable-record boundaries, since fsync-on commits wait for
+/// their own record).
+/// Per-commit oracle states plus the log-file length after each commit.
+type WorkloadTrace = (Vec<HashMap<(i64, i64), i64>>, Vec<u64>);
+
+fn committed_workload(
+    rel: &ConcurrentRelation,
+    log_path: &Path,
+    commits: usize,
+    seed: u64,
+) -> WorkloadTrace {
+    committed_workload_from(rel, log_path, commits, seed, HashMap::new())
+}
+
+/// [`committed_workload`] continuing from a known oracle state (so a
+/// second batch against a non-empty relation plans no no-op inserts,
+/// which would log nothing).
+fn committed_workload_from(
+    rel: &ConcurrentRelation,
+    log_path: &Path,
+    commits: usize,
+    seed: u64,
+    initial: HashMap<(i64, i64), i64>,
+) -> WorkloadTrace {
+    let mut rng = XorShift(seed | 1);
+    let mut oracle: HashMap<(i64, i64), i64> = initial;
+    let mut states = vec![oracle.clone()];
+    let mut sizes = vec![std::fs::metadata(log_path).map(|m| m.len()).unwrap_or(0)];
+    for _ in 0..commits {
+        let n_ops = 1 + (rng.next() % 3) as usize;
+        let mut planned: Vec<(u8, (i64, i64), i64)> = Vec::new();
+        let mut next_state = oracle.clone();
+        for _ in 0..n_ops {
+            let s = (rng.next() % 4) as i64;
+            let d = (rng.next() % 4) as i64;
+            let w = (rng.next() % 100) as i64;
+            match next_state.get(&(s, d)) {
+                Some(_) if rng.next().is_multiple_of(2) => {
+                    next_state.insert((s, d), w);
+                    planned.push((1, (s, d), w)); // update
+                }
+                Some(_) => {
+                    next_state.remove(&(s, d));
+                    planned.push((2, (s, d), 0)); // remove
+                }
+                None => {
+                    next_state.insert((s, d), w);
+                    planned.push((0, (s, d), w)); // insert
+                }
+            }
+        }
+        rel.transaction(|tx| {
+            for &(op, (s, d), w) in &planned {
+                let k = key(rel, s, d);
+                match op {
+                    0 => {
+                        tx.insert(&k, &payload(rel, w))?;
+                    }
+                    1 => {
+                        tx.update(&k, &payload(rel, w))?;
+                    }
+                    _ => {
+                        tx.remove(&k)?;
+                    }
+                }
+            }
+            Ok(())
+        })
+        .unwrap();
+        oracle = next_state;
+        states.push(oracle.clone());
+        sizes.push(std::fs::metadata(log_path).unwrap().len());
+    }
+    (states, sizes)
+}
+
+/// Basic reopen: a clean shutdown (no crash) recovers exactly the
+/// committed state, and the commit clock resumes strictly above the
+/// highest replayed stamp (observed as a strictly increasing `max_ts`
+/// across generations that each add a commit).
+#[test]
+fn reopen_recovers_committed_state_and_clock_resumes_above() {
+    let _serial = serialize();
+    let (d, p) = graph();
+    let dir = fresh_dir("reopen");
+
+    let (rel, report) =
+        ConcurrentRelation::open_durable(d.clone(), p.clone(), &dir, WalOptions::default())
+            .unwrap();
+    assert_eq!(report.replayed, 0);
+    assert_eq!(report.checkpoint_rows, 0);
+    let (states, _) = committed_workload(&rel, &dir.join("relation.wal"), 40, 0x5eed);
+    let expect = oracle_rows(&rel, states.last().unwrap());
+    assert_eq!(dump(&rel), expect);
+    drop(rel);
+
+    let (rel2, report2) =
+        ConcurrentRelation::open_durable(d.clone(), p.clone(), &dir, WalOptions::default())
+            .unwrap();
+    assert_eq!(dump(&rel2), expect);
+    assert!(!report2.torn_tail);
+    assert!(report2.replayed > 0);
+    assert!(
+        relc_locks::commit_clock().now() >= report2.max_ts,
+        "clock must resume at or above the highest replayed stamp"
+    );
+    // A post-recovery commit must stamp strictly above every replayed
+    // stamp: reopen a third time and watch max_ts strictly increase.
+    rel2.insert(&key(&rel2, 7, 7), &payload(&rel2, 7)).unwrap();
+    drop(rel2);
+    let (rel3, report3) =
+        ConcurrentRelation::open_durable(d, p, &dir, WalOptions::default()).unwrap();
+    assert!(
+        report3.max_ts > report2.max_ts,
+        "new commit must be stamped strictly above the replayed history \
+         ({} vs {})",
+        report3.max_ts,
+        report2.max_ts
+    );
+    assert!(dump(&rel3).contains(
+        &rel3
+            .schema()
+            .tuple(&[
+                ("src", Value::from(7)),
+                ("dst", Value::from(7)),
+                ("weight", Value::from(7)),
+            ])
+            .unwrap()
+    ));
+}
+
+/// The kill-and-reopen sweep: truncate a copy of the log at random byte
+/// offsets (plus every exact record boundary) and check the recovered
+/// state equals the committed prefix whose records fit wholly below the
+/// cut — never a torn suffix, never a lost durable prefix.
+#[test]
+fn torn_tail_truncation_sweep_recovers_committed_prefix() {
+    let _serial = serialize();
+    let (d, p) = graph();
+    let dir = fresh_dir("sweep");
+    let (rel, _) =
+        ConcurrentRelation::open_durable(d.clone(), p.clone(), &dir, WalOptions::default())
+            .unwrap();
+    let (states, sizes) = committed_workload(&rel, &dir.join("relation.wal"), 30, 0xc0ffee);
+    drop(rel);
+
+    let total = *sizes.last().unwrap();
+    let mut rng = XorShift(0xdead_beef);
+    let mut cuts: Vec<u64> = sizes.clone(); // every exact boundary
+    cuts.extend((0..40).map(|_| rng.next() % (total + 1))); // random crash points
+    let crash = fresh_dir("sweep-crash");
+    for cut in cuts {
+        copy_dir(&dir, &crash);
+        let log = crash.join("relation.wal");
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&log)
+            .unwrap()
+            .set_len(cut)
+            .unwrap();
+        let (rec, report) =
+            ConcurrentRelation::open_durable(d.clone(), p.clone(), &crash, WalOptions::default())
+                .unwrap();
+        // Number of commits whose record lies wholly below the cut.
+        let prefix = sizes.iter().filter(|&&s| s <= cut).count() - 1;
+        assert_eq!(
+            dump(&rec),
+            oracle_rows(&rec, &states[prefix]),
+            "cut at byte {cut} must recover exactly the {prefix}-commit prefix"
+        );
+        assert_eq!(report.replayed, prefix, "cut at byte {cut}");
+        let at_boundary = sizes.contains(&cut);
+        assert_eq!(
+            report.torn_tail, !at_boundary,
+            "cut at byte {cut}: torn iff mid-record"
+        );
+    }
+}
+
+/// Replay idempotence: re-running recovery over the same tail is a
+/// no-op — both on a freshly recovered relation and after new commits
+/// land (every logged commit raises the replay floor as it publishes,
+/// so its own record is never double-applied).
+#[test]
+fn replay_twice_is_a_noop() {
+    let _serial = serialize();
+    let (d, p) = graph();
+    let dir = fresh_dir("idem");
+    let (rel, _) =
+        ConcurrentRelation::open_durable(d.clone(), p.clone(), &dir, WalOptions::default())
+            .unwrap();
+    let (states, _) = committed_workload(&rel, &dir.join("relation.wal"), 25, 0x1de8);
+    drop(rel);
+
+    let (rec, first) = ConcurrentRelation::open_durable(d, p, &dir, WalOptions::default()).unwrap();
+    let after_recovery = dump(&rec);
+    assert_eq!(after_recovery, oracle_rows(&rec, states.last().unwrap()));
+
+    let again = rec.replay_log().unwrap();
+    assert_eq!(
+        again.replayed, 0,
+        "second pass over the same tail replays nothing"
+    );
+    assert_eq!(dump(&rec), after_recovery);
+
+    // New commits append to the log; replaying on the live relation must
+    // skip them too (their effects are already in memory).
+    rec.insert(&key(&rec, 9, 9), &payload(&rec, 9)).unwrap();
+    let live = dump(&rec);
+    let third = rec.replay_log().unwrap();
+    assert_eq!(third.replayed, 0, "live commits must not be double-applied");
+    assert_eq!(dump(&rec), live);
+    assert!(first.max_ts > 0);
+}
+
+/// Crash mid-checkpoint, state (a): the temp sidecar was being written
+/// when the process died — never renamed. Recovery must ignore it and
+/// replay the full (untruncated) log.
+#[test]
+fn crash_before_checkpoint_rename_recovers_from_log() {
+    let _serial = serialize();
+    let (d, p) = graph();
+    let dir = fresh_dir("ckpt-tmp");
+    let (rel, _) =
+        ConcurrentRelation::open_durable(d.clone(), p.clone(), &dir, WalOptions::default())
+            .unwrap();
+    let (states, _) = committed_workload(&rel, &dir.join("relation.wal"), 20, 0xaaaa);
+    drop(rel);
+
+    // A half-written (garbage) temp sidecar, as a crash mid-write leaves.
+    std::fs::write(dir.join("relation.tmp"), b"half-written checkpoint garbag").unwrap();
+    let (rec, report) =
+        ConcurrentRelation::open_durable(d, p, &dir, WalOptions::default()).unwrap();
+    assert_eq!(report.checkpoint_rows, 0, "temp file is not a checkpoint");
+    assert_eq!(report.replayed, 20);
+    assert_eq!(dump(&rec), oracle_rows(&rec, states.last().unwrap()));
+}
+
+/// Crash mid-checkpoint, state (b): the sidecar was renamed into place
+/// but the process died before truncating the log. Recovery loads the
+/// checkpoint and must skip every log record at or below its cut —
+/// the checkpoint already contains those effects.
+#[test]
+fn crash_after_checkpoint_rename_before_truncate_is_idempotent() {
+    let _serial = serialize();
+    let (d, p) = graph();
+    let dir = fresh_dir("ckpt-untruncated");
+    let (rel, _) =
+        ConcurrentRelation::open_durable(d.clone(), p.clone(), &dir, WalOptions::default())
+            .unwrap();
+    let (states, _) = committed_workload(&rel, &dir.join("relation.wal"), 20, 0xbbbb);
+    let expect = oracle_rows(&rel, states.last().unwrap());
+
+    // Save the pre-checkpoint log, checkpoint (which truncates it), then
+    // put the old log back: exactly the crash window between rename and
+    // truncate.
+    let log_path = dir.join("relation.wal");
+    let old_log = std::fs::read(&log_path).unwrap();
+    let rows = rel.checkpoint().unwrap();
+    assert_eq!(rows, states.last().unwrap().len());
+    drop(rel);
+    std::fs::write(&log_path, &old_log).unwrap();
+
+    let (rec, report) =
+        ConcurrentRelation::open_durable(d, p, &dir, WalOptions::default()).unwrap();
+    assert_eq!(report.checkpoint_rows, rows);
+    assert_eq!(
+        report.replayed, 0,
+        "every surviving log record predates the checkpoint cut"
+    );
+    assert_eq!(dump(&rec), expect);
+}
+
+/// Checkpoint + post-checkpoint tail: recovery is checkpoint rows plus
+/// exactly the commits after the cut.
+#[test]
+fn checkpoint_then_tail_recovers_both() {
+    let _serial = serialize();
+    let (d, p) = graph();
+    let dir = fresh_dir("ckpt-tail");
+    let (rel, _) =
+        ConcurrentRelation::open_durable(d.clone(), p.clone(), &dir, WalOptions::default())
+            .unwrap();
+    let (states, _) = committed_workload(&rel, &dir.join("relation.wal"), 15, 0xcccc);
+    let ckpt_rows = rel.checkpoint().unwrap();
+    assert_eq!(ckpt_rows, states.last().unwrap().len());
+    let (states2, _) = committed_workload_from(
+        &rel,
+        &dir.join("relation.wal"),
+        10,
+        0xdddd,
+        states.last().unwrap().clone(),
+    );
+    let expect = oracle_rows(&rel, states2.last().unwrap());
+    drop(rel);
+
+    let (rec, report) =
+        ConcurrentRelation::open_durable(d, p, &dir, WalOptions::default()).unwrap();
+    assert_eq!(report.checkpoint_rows, ckpt_rows);
+    assert_eq!(report.replayed, 10);
+    assert_eq!(dump(&rec), expect);
+}
+
+/// Group-commit acceptance: under a concurrent commit workload with a
+/// small leader window, fsyncs batch at least two commits each on
+/// average pace — observed as `max_batch >= 2` and strictly fewer
+/// fsyncs than appends.
+#[test]
+fn group_commit_batches_at_least_two_commits_per_fsync() {
+    let _serial = serialize();
+    let (d, p) = graph();
+    let dir = fresh_dir("batch");
+    let opts = WalOptions {
+        fsync: true,
+        group_window: Duration::from_millis(3),
+    };
+    let (rel, _) = ConcurrentRelation::open_durable(d, p, &dir, opts).unwrap();
+    let rel = Arc::new(rel);
+    let threads = 8usize;
+    let per = 16i64;
+    let barrier = Arc::new(Barrier::new(threads));
+    let handles: Vec<_> = (0..threads as i64)
+        .map(|t| {
+            let rel = Arc::clone(&rel);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..per {
+                    rel.insert(&key(&rel, t, i), &payload(&rel, t * per + i))
+                        .unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let stats = rel.wal_stats().unwrap();
+    assert_eq!(stats.appends, (threads as i64 * per) as u64);
+    assert!(
+        stats.max_batch >= 2,
+        "no fsync ever covered two commits: {stats:?}"
+    );
+    assert!(
+        stats.fsyncs < stats.appends,
+        "group commit amortized nothing: {stats:?}"
+    );
+    assert_eq!(rel.len(), threads * per as usize);
+}
+
+fn skey(rel: &ShardedRelation, s: i64, d: i64) -> Tuple {
+    rel.schema()
+        .tuple(&[("src", Value::from(s)), ("dst", Value::from(d))])
+        .unwrap()
+}
+
+fn spayload(rel: &ShardedRelation, w: i64) -> Tuple {
+    rel.schema().tuple(&[("weight", Value::from(w))]).unwrap()
+}
+
+/// Sharded reopen: per-shard logs recover the whole partitioned state,
+/// including cross-shard transactions (whose markers are durable).
+#[test]
+fn sharded_reopen_recovers_cross_shard_transactions() {
+    let _serial = serialize();
+    let (d, p) = graph();
+    let dir = fresh_dir("sharded");
+    let (rel, report) =
+        ShardedRelation::open_durable(d.clone(), p.clone(), 4, &dir, WalOptions::default())
+            .unwrap();
+    assert_eq!(report.replayed, 0);
+    // Cross-shard transactions: each writes a diagonal of keys that hash
+    // across shards.
+    for round in 0..12i64 {
+        rel.transaction(|tx| {
+            for i in 0..5i64 {
+                tx.insert(&skey(&rel, round, i), &spayload(&rel, round * 10 + i))?;
+            }
+            Ok(())
+        })
+        .unwrap();
+    }
+    // And some routed single-shard writes.
+    for i in 0..10i64 {
+        rel.insert(&skey(&rel, 100 + i, 0), &spayload(&rel, i))
+            .unwrap();
+    }
+    let expect = dump_sharded(&rel);
+    assert_eq!(rel.len(), 12 * 5 + 10);
+    drop(rel);
+
+    let (rec, report) =
+        ShardedRelation::open_durable(d, p, 4, &dir, WalOptions::default()).unwrap();
+    assert_eq!(dump_sharded(&rec), expect);
+    assert!(!report.torn_tail);
+    assert!(
+        relc_locks::commit_clock().now() >= report.max_ts,
+        "clock resumes above the highest stamp of any shard"
+    );
+}
+
+/// Cross-shard atomic abort: if the commit marker for a cross-shard
+/// transaction never reached disk, recovery must abort the transaction
+/// on *every* shard — even shards whose data records are durable.
+/// Restoring the marker commits it everywhere.
+#[test]
+fn sharded_missing_marker_aborts_cross_shard_transaction_everywhere() {
+    let _serial = serialize();
+    let (d, p) = graph();
+    let dir = fresh_dir("marker");
+    let (rel, _) =
+        ShardedRelation::open_durable(d.clone(), p.clone(), 4, &dir, WalOptions::default())
+            .unwrap();
+    // Baseline: routed writes on every shard.
+    for i in 0..20i64 {
+        rel.insert(&skey(&rel, i, 0), &spayload(&rel, i)).unwrap();
+    }
+    let baseline = dump_sharded(&rel);
+    // One cross-shard transaction, last in every involved log. Spread
+    // keys until at least two shards are written.
+    rel.transaction(|tx| {
+        for i in 0..6i64 {
+            tx.insert(&skey(&rel, 50 + i, 1), &spayload(&rel, 500 + i))?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    let full = dump_sharded(&rel);
+    assert_eq!(full.len(), baseline.len() + 6);
+    // The marker protocol only engages when >1 shard writes; make sure
+    // this key diagonal really spreads (deterministic router, so this
+    // either always holds or the keys need changing).
+    let spread: HashSet<usize> = (0..6i64)
+        .map(|i| rel.shard_of(&skey(&rel, 50 + i, 1)))
+        .collect();
+    assert!(spread.len() >= 2, "test keys must span at least two shards");
+    drop(rel);
+
+    // Crash copy 1: shard 0's log loses its trailing marker record (the
+    // marker is appended after every data record, so it is the last
+    // record in shard-0.wal).
+    let crash = fresh_dir("marker-crash");
+    copy_dir(&dir, &crash);
+    let log0 = crash.join("shard-0.wal");
+    let len = std::fs::metadata(&log0).unwrap().len();
+    assert!(len > MARKER_FRAME_LEN);
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(&log0)
+        .unwrap()
+        .set_len(len - MARKER_FRAME_LEN)
+        .unwrap();
+    let (aborted, _) =
+        ShardedRelation::open_durable(d.clone(), p.clone(), 4, &crash, WalOptions::default())
+            .unwrap();
+    assert_eq!(
+        dump_sharded(&aborted),
+        baseline,
+        "without the marker, the cross-shard transaction must vanish from every shard"
+    );
+    drop(aborted);
+
+    // Crash copy 2: marker intact — the transaction commits everywhere.
+    copy_dir(&dir, &crash);
+    let (committed, _) =
+        ShardedRelation::open_durable(d, p, 4, &crash, WalOptions::default()).unwrap();
+    assert_eq!(dump_sharded(&committed), full);
+}
+
+/// Sharded checkpoint: one cut across all shards, then reopen recovers
+/// checkpoint + tail; the aggregated WAL stats surface afterwards.
+#[test]
+fn sharded_checkpoint_then_reopen() {
+    let _serial = serialize();
+    let (d, p) = graph();
+    let dir = fresh_dir("sharded-ckpt");
+    let (rel, _) =
+        ShardedRelation::open_durable(d.clone(), p.clone(), 3, &dir, WalOptions::default())
+            .unwrap();
+    for i in 0..15i64 {
+        rel.insert(&skey(&rel, i, i), &spayload(&rel, i)).unwrap();
+    }
+    let ckpt_rows = rel.checkpoint().unwrap();
+    assert_eq!(ckpt_rows, 15);
+    // Post-checkpoint tail, including a cross-shard transaction.
+    rel.transaction(|tx| {
+        for i in 0..4i64 {
+            tx.insert(&skey(&rel, 30 + i, 2), &spayload(&rel, i))?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    let expect = dump_sharded(&rel);
+    assert!(rel.wal_stats().unwrap().appends > 0);
+    drop(rel);
+
+    let (rec, report) =
+        ShardedRelation::open_durable(d, p, 3, &dir, WalOptions::default()).unwrap();
+    assert_eq!(report.checkpoint_rows, ckpt_rows);
+    assert_eq!(dump_sharded(&rec), expect);
+    assert_eq!(rec.len(), 19);
+}
+
+/// A durable relation with fsync disabled still recovers everything the
+/// OS flushed (here: everything, since the process exits cleanly) — the
+/// benchmark configuration stays functional.
+#[test]
+fn fsync_off_still_logs_and_recovers_on_clean_shutdown() {
+    let _serial = serialize();
+    let (d, p) = graph();
+    let dir = fresh_dir("nosync");
+    let opts = WalOptions {
+        fsync: false,
+        group_window: Duration::ZERO,
+    };
+    let (rel, _) = ConcurrentRelation::open_durable(d.clone(), p.clone(), &dir, opts).unwrap();
+    for i in 0..10i64 {
+        rel.insert(&key(&rel, i, 0), &payload(&rel, i)).unwrap();
+    }
+    let expect = dump(&rel);
+    let stats = rel.wal_stats().unwrap();
+    assert_eq!(stats.fsyncs, 0, "fsync disabled must issue no fsyncs");
+    assert!(stats.appends >= 10);
+    drop(rel);
+    let (rec, _) = ConcurrentRelation::open_durable(d, p, &dir, opts).unwrap();
+    assert_eq!(dump(&rec), expect);
+}

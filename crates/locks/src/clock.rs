@@ -175,6 +175,47 @@ impl CommitClock {
         ts
     }
 
+    /// Advances the clock to at least `ts` without publishing any
+    /// versions — crash recovery's re-seed: after replaying a log whose
+    /// highest record carries stamp `ts`, the clock must resume
+    /// *strictly above* it so post-recovery commits never reuse a
+    /// replayed timestamp. A no-op if the clock already passed `ts`.
+    ///
+    /// Only takes effect from a quiescent state (`alloc == visible`,
+    /// i.e. no committer between its allocation and its publication):
+    /// jumping `alloc` while a committer is in flight would strand that
+    /// committer waiting for a predecessor watermark that no longer
+    /// exists. Recovery runs before the relation is shared, so the loop
+    /// terminates as soon as concurrent committers (of *other*
+    /// relations on the same process-global clock) drain.
+    pub fn advance_to(&self, ts: u64) {
+        loop {
+            let visible = self.visible.load(SeqCst);
+            if visible >= ts {
+                return;
+            }
+            let alloc = self.alloc.load(SeqCst);
+            if alloc != visible {
+                // In-flight committers: let them publish, then retry.
+                std::thread::yield_now();
+                continue;
+            }
+            if self
+                .alloc
+                .compare_exchange(visible, ts, SeqCst, SeqCst)
+                .is_err()
+            {
+                continue;
+            }
+            self.visible.store(ts, SeqCst);
+            if self.parked.load(SeqCst) > 0 {
+                drop(self.park_mutex.lock().unwrap_or_else(|e| e.into_inner()));
+                self.park_cv.notify_all();
+            }
+            return;
+        }
+    }
+
     /// Blocks until `visible == ts - 1`. The timeout is belt-and-braces:
     /// a publisher that raced past the `parked` increment re-checks at
     /// most 1 ms later, keeping the wait bounded by the scheduler rather

@@ -46,6 +46,7 @@
 mod backoff;
 mod clock;
 mod engine;
+mod group_commit;
 pub mod lockdep;
 mod mode;
 mod physical;
@@ -57,6 +58,7 @@ pub use clock::{
     TENTATIVE_TS,
 };
 pub use engine::{MustRestart, RestartReason, TwoPhaseEngine};
+pub use group_commit::{GroupCommit, GroupCommitStats};
 pub use lockdep::LockdepClass;
 pub use mode::LockMode;
 pub use physical::PhysicalLock;
