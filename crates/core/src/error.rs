@@ -37,6 +37,18 @@ pub enum CoreError {
     /// checkpoint, malformed record where the format demands one). The
     /// string carries the underlying error's description — `io::Error`
     /// itself is neither `Clone` nor `Eq`.
+    ///
+    /// **From a commit path this is *not* an abort.** When a transaction
+    /// closure has already succeeded and this error surfaces from the
+    /// durability wait, the transaction **did commit in memory** — its
+    /// effects are published and visible to every later transaction —
+    /// but durability is unknown (the record may or may not survive a
+    /// crash). Do **not** retry the closure: the effects would be
+    /// applied twice. The log is poisoned at this point, so every later
+    /// commit on the same relation fails the same way until the log is
+    /// reset — by a successful checkpoint (which snapshots the committed
+    /// in-memory state wholesale and truncates the log) or by a process
+    /// restart plus recovery.
     Durability(String),
 }
 

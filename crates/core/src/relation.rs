@@ -794,6 +794,14 @@ impl ConcurrentRelation {
     /// and spec errors from the operations, or an explicit abort).
     /// [`TxnError::Restart`] never escapes — it is consumed by the retry
     /// loop.
+    ///
+    /// On a durable relation, [`CoreError::Durability`] can also surface
+    /// *after* the closure succeeded, from the group-commit fsync wait.
+    /// That case is **not** an abort: the transaction already committed
+    /// in memory (its effects are published and its locks released) but
+    /// durability is unknown. Retrying the closure would apply its
+    /// effects twice — treat the error as fatal for this relation (see
+    /// the [`CoreError::Durability`] docs).
     pub fn transaction<R>(
         &self,
         f: impl FnMut(&mut Transaction<'_>) -> Result<R, TxnError>,
@@ -877,7 +885,13 @@ impl ConcurrentRelation {
                     // under the 2PL locks, and per-log durability is
                     // prefix-closed, so a durable dependent implies a
                     // durable antecedent — recovery still yields a
-                    // consistent committed prefix.
+                    // consistent committed prefix. (Sound here because a
+                    // single-instance relation has exactly one log; the
+                    // sharded commit path must instead wait *before*
+                    // releasing, since prefix-closure says nothing about
+                    // cross-log dependencies.) An `Err` from this wait
+                    // means committed-in-memory-but-durability-unknown,
+                    // not aborted — see [`CoreError::Durability`].
                     if let (Some(wal), Some(seq)) = (self.wal.as_ref(), wal_seq) {
                         wal.wait_durable(seq)?;
                     }

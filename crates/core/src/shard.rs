@@ -804,44 +804,42 @@ impl ShardedRelation {
                             drop(order_guards);
                         },
                     );
-                    // Multi-shard attempts wait for durability *before*
-                    // any lock releases: a conflicting transaction must
-                    // not commit (and become durable in its own log) on
-                    // top of effects whose records could still vanish in
-                    // a crash — that closes the cross-log read-dependency
-                    // anomaly. The marker appends last, strictly after
-                    // every data record is durable: a durable marker
-                    // *implies* durable data records on every shard
-                    // (atomic commit), an absent marker aborts them all
-                    // (atomic abort).
-                    let durability: Result<(), CoreError> = if touched.len() > 1 {
-                        (|| {
-                            for &(i, seq) in &seqs {
-                                self.shards[i].wal().expect("checked").wait_durable(seq)?;
-                            }
-                            if cross {
-                                let w0 = self.shards[0].wal().expect("checked");
-                                let mseq = w0.append_marker(committed_ts);
-                                w0.wait_durable(mseq)?;
-                            }
-                            Ok(())
-                        })()
-                    } else {
-                        Ok(())
-                    };
-                    for &(i, _) in &touched {
-                        engines[i].finish();
-                    }
-                    durability?;
-                    if touched.len() == 1 {
-                        // Single-shard attempts wait off the lock path,
-                        // exactly like the single-instance commit: per-log
-                        // durability is prefix-closed, so a durable
-                        // dependent implies its durable antecedent.
+                    // Every writing attempt waits for durability *before*
+                    // any lock releases — single-shard ones too. Per-log
+                    // durability is prefix-closed, but a sharded relation
+                    // has one log per shard and prefix-closure says
+                    // nothing about *cross*-log dependencies: if this
+                    // attempt released its locks first, a later
+                    // transaction could read these effects, become
+                    // durable in a *different* shard's log, and survive a
+                    // crash that loses this attempt's record — recovery
+                    // would replay the dependent without its antecedent.
+                    // Holding the locks until the records are durable
+                    // means any observer of these effects commits
+                    // strictly after they can no longer vanish. The
+                    // marker appends last, strictly after every data
+                    // record is durable: a durable marker *implies*
+                    // durable data records on every shard (atomic
+                    // commit), an absent marker aborts them all (atomic
+                    // abort).
+                    let durability: Result<(), CoreError> = (|| {
                         for &(i, seq) in &seqs {
                             self.shards[i].wal().expect("checked").wait_durable(seq)?;
                         }
+                        if cross {
+                            let w0 = self.shards[0].wal().expect("checked");
+                            let mseq = w0.append_marker(committed_ts);
+                            w0.wait_durable(mseq)?;
+                        }
+                        Ok(())
+                    })();
+                    for &(i, _) in &touched {
+                        engines[i].finish();
                     }
+                    // On a durability error the attempt has already
+                    // published in memory (see the `transaction` docs on
+                    // what `CoreError::Durability` means here).
+                    durability?;
                     return Ok(r);
                 }
                 // A swallowed restart must not commit (same enforcement
@@ -892,10 +890,13 @@ impl ShardedRelation {
     }
 
     /// [`Self::stamp_scopes`] with a publish hook: `publish(ts)` runs at
-    /// the commit timestamp, after the stamp is written into every
-    /// journaled version but before the timestamp becomes visible to
-    /// readers — the window where the WAL record must be appended so log
-    /// order matches timestamp order.
+    /// the commit timestamp, after [`CommitClock::commit`] has published
+    /// it to readers but still inside the committer's log-order critical
+    /// section — callers hold every involved log's order lock across the
+    /// commit *and* the appends, and that lock (not pre-visibility) is
+    /// what guarantees log order matches timestamp order.
+    ///
+    /// [`CommitClock::commit`]: relc_locks::CommitClock::commit
     fn stamp_scopes_with(
         reprs: &[Arc<Repr>],
         registry: &relc_locks::SnapshotRegistry,

@@ -43,6 +43,12 @@ struct State {
     durable_seq: u64,
     /// Whether a leader is currently writing + fsyncing.
     syncing: bool,
+    /// Set to the first flush failure's description. A failed flush may
+    /// have torn a record mid-log (partial `write_all`), making every
+    /// byte appended after it unrecoverable — so once set, every
+    /// [`GroupCommit::wait_durable`] for a not-yet-durable record fails
+    /// until [`GroupCommit::truncate_and_reset`] wipes the file.
+    poisoned: Option<String>,
 }
 
 /// Counters describing how well fsync batching amortized; see
@@ -85,6 +91,10 @@ pub struct GroupCommit {
     flushes: AtomicU64,
     fsyncs: AtomicU64,
     max_batch: AtomicU64,
+    /// Test-only fault injection: number of upcoming flushes forced to
+    /// fail before any byte reaches the file.
+    #[cfg(test)]
+    fail_flushes: AtomicU64,
 }
 
 impl GroupCommit {
@@ -113,6 +123,8 @@ impl GroupCommit {
             flushes: AtomicU64::new(0),
             fsyncs: AtomicU64::new(0),
             max_batch: AtomicU64::new(0),
+            #[cfg(test)]
+            fail_flushes: AtomicU64::new(0),
         })
     }
 
@@ -151,18 +163,32 @@ impl GroupCommit {
     }
 
     /// Blocks until record `seq` is durable, electing this thread as the
-    /// flush leader if no flush is in flight. Returns the first I/O error
-    /// the leader hits (followers of a failed flush retry leadership
-    /// themselves, so an error is never silently swallowed).
+    /// flush leader if no flush is in flight. A flush failure **poisons**
+    /// the log: the failed batch was drained but may be torn mid-file, so
+    /// the leader, every follower of that batch, and every later caller
+    /// whose record is not already durable all get an error —
+    /// `durable_seq` never advances past bytes actually synced, and
+    /// nothing is ever reported durable that could vanish (or sit behind
+    /// a torn record) after a crash. Only
+    /// [`Self::truncate_and_reset`] — which wipes the file — clears the
+    /// poison. Records that were durable *before* the failure still
+    /// return `Ok`: they are genuinely on disk and recovery's torn-tail
+    /// scan stops before anything written afterwards.
     ///
     /// # Errors
     ///
-    /// Any I/O error writing or syncing the log.
+    /// Any I/O error writing or syncing the log, or a previous flush
+    /// failure that poisoned the log.
     pub fn wait_durable(&self, seq: u64) -> io::Result<()> {
         let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if st.durable_seq >= seq {
                 return Ok(());
+            }
+            if let Some(msg) = &st.poisoned {
+                return Err(io::Error::other(format!(
+                    "log poisoned by earlier flush failure: {msg}"
+                )));
             }
             if st.syncing {
                 st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
@@ -182,8 +208,9 @@ impl GroupCommit {
             let res = self.flush_batch(&batch, records);
             st = self.state.lock().unwrap_or_else(|e| e.into_inner());
             st.syncing = false;
-            if res.is_ok() {
-                st.durable_seq = st.durable_seq.max(upto);
+            match &res {
+                Ok(()) => st.durable_seq = st.durable_seq.max(upto),
+                Err(e) => st.poisoned = Some(e.to_string()),
             }
             self.cv.notify_all();
             res?;
@@ -194,6 +221,11 @@ impl GroupCommit {
     fn flush_batch(&self, batch: &[u8], records: u64) -> io::Result<()> {
         if batch.is_empty() {
             return Ok(());
+        }
+        #[cfg(test)]
+        if self.fail_flushes.load(Ordering::Relaxed) > 0 {
+            self.fail_flushes.fetch_sub(1, Ordering::Relaxed);
+            return Err(io::Error::other("injected flush failure"));
         }
         let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
         file.write_all(batch)?;
@@ -210,7 +242,9 @@ impl GroupCommit {
     /// the checkpoint path, called with writers quiescent (no concurrent
     /// [`Self::append`]; a leader mid-flush is waited out). Any records
     /// still buffered are discarded and their waiters released as durable:
-    /// the checkpoint that triggers truncation supersedes them.
+    /// the checkpoint that triggers truncation supersedes them. A poison
+    /// left by a failed flush is cleared on success — truncation wipes
+    /// any torn bytes, so the file is clean again.
     ///
     /// # Errors
     ///
@@ -222,7 +256,7 @@ impl GroupCommit {
         }
         st.syncing = true;
         drop(st);
-        let res = (|| {
+        let res: io::Result<()> = (|| {
             let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
             file.set_len(0)?;
             file.seek(SeekFrom::Start(0))?;
@@ -235,8 +269,21 @@ impl GroupCommit {
         st.syncing = false;
         st.buf.clear();
         st.buffered_records = 0;
-        st.durable_seq = st.next_seq;
         st.buffered_through = st.next_seq;
+        match &res {
+            // Truncation wiped any torn bytes: the file is clean again
+            // and the (discarded, superseded) records count as durable.
+            Ok(()) => {
+                st.durable_seq = st.next_seq;
+                st.poisoned = None;
+            }
+            // A failed truncation leaves the file in an unknown state
+            // *and* just discarded the buffered records — keep
+            // `durable_seq` where it was and poison, so their waiters
+            // (and every later commit) fail instead of reporting
+            // durability that was never achieved.
+            Err(e) => st.poisoned = Some(e.to_string()),
+        }
         self.cv.notify_all();
         res
     }
@@ -312,6 +359,33 @@ mod tests {
             "group window must batch at least one pair: {st:?}"
         );
         assert!(st.fsyncs < st.appends, "fsyncs must amortize: {st:?}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn failed_flush_poisons_until_truncate() {
+        let path = temp_path("poison");
+        let _ = std::fs::remove_file(&path);
+        let gc = GroupCommit::open(&path, true).unwrap();
+        let s1 = gc.append(b"good;");
+        gc.wait_durable(s1).unwrap();
+        gc.fail_flushes.store(1, Ordering::Relaxed);
+        let s2 = gc.append(b"lost;");
+        // The leader hits the injected failure...
+        assert!(gc.wait_durable(s2).is_err());
+        // ...and it is sticky: the drained batch is gone, so no later
+        // leader may ever report s2 (or anything after it) durable.
+        assert!(gc.wait_durable(s2).is_err());
+        let s3 = gc.append(b"after;");
+        assert!(gc.wait_durable(s3).is_err());
+        // Records durable before the failure stay truthfully durable.
+        gc.wait_durable(s1).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"good;");
+        // Truncation wipes the file and clears the poison.
+        gc.truncate_and_reset().unwrap();
+        let s4 = gc.append(b"fresh;");
+        gc.wait_durable(s4).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"fresh;");
         std::fs::remove_file(&path).unwrap();
     }
 
